@@ -1,0 +1,85 @@
+// Ablation A2 (Sec IV-G / VI-A): MBR batching policy.
+//
+// Sweeps the fixed batch size beta and the adaptive max-extent knob, and
+// reports the tradeoff the paper describes: larger batches cut the update
+// rate but produce wider boxes (more range replicas and more false-positive
+// candidates); the adaptive policy bounds box width by construction.
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace sdsi;
+  std::printf("=== Ablation: MBR batching (fixed beta vs adaptive extent) ===\n");
+
+  constexpr std::size_t kNodes = 100;
+  struct Variant {
+    std::string label;
+    core::MbrBatcher::Options options;
+  };
+  std::vector<Variant> variants;
+  for (const std::size_t beta : {1u, 2u, 5u, 10u, 20u}) {
+    Variant v;
+    v.label = "fixed beta=" + std::to_string(beta);
+    v.options.mode = core::MbrBatcher::Mode::kFixedCount;
+    v.options.batch_size = beta;
+    variants.push_back(v);
+  }
+  for (const double extent : {0.01, 0.03, 0.08}) {
+    Variant v;
+    v.label = "adaptive extent=" + common::format_fixed(extent, 2);
+    v.options.mode = core::MbrBatcher::Mode::kAdaptive;
+    v.options.max_extent = extent;
+    variants.push_back(v);
+  }
+
+  std::vector<core::ExperimentConfig> configs;
+  for (const Variant& variant : variants) {
+    configs.push_back(bench::paper_experiment(kNodes));
+    configs.back().batching = variant.options;
+  }
+  // Sec VI-A closed loop: the controller retunes each stream's extent to a
+  // target emission rate instead of a fixed knob.
+  for (const double target : {0.5, 1.0}) {
+    Variant v;
+    v.label = "closed-loop target=" + common::format_fixed(target, 1) + "/win";
+    variants.push_back(v);
+    configs.push_back(bench::paper_experiment(kNodes));
+    core::AdaptivePrecisionController::Options controller;
+    controller.target_rate = target;
+    configs.back().adaptive_precision = controller;
+  }
+  bench::print_workload_banner(configs.front().workload);
+  const auto experiments = bench::run_sweep(configs);
+
+  common::TextTable table({"Policy", "MBRs/node/s", "Replicas/MBR",
+                           "Total MBR load/node/s", "Matches reported",
+                           "Resp mean latency (ms)"});
+  for (std::size_t i = 0; i < experiments.size(); ++i) {
+    const auto& experiment = experiments[i];
+    const core::LoadReport load = experiment->load_report();
+    const core::OverheadReport overhead = experiment->overhead_report();
+    const auto mbr_components =
+        load.per_component[static_cast<std::size_t>(
+            core::LoadComponent::kMbrSource)] +
+        load.per_component[static_cast<std::size_t>(
+            core::LoadComponent::kMbrInternal)] +
+        load.per_component[static_cast<std::size_t>(
+            core::LoadComponent::kMbrTransit)];
+    table.begin_row()
+        .add_cell(variants[i].label)
+        .add_num(load.per_component[static_cast<std::size_t>(
+                     core::LoadComponent::kMbrSource)] /
+                     2.0,  // send+deliver counted per message
+                 3)
+        .add_num(overhead.mbr_internal, 2)
+        .add_num(mbr_components, 3)
+        .add_int(static_cast<long long>(
+            experiment->quality_report().matches_reported))
+        .add_num(experiment->metrics().response().latency_ms.mean(), 0);
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nShape check: raising beta cuts MBRs/s but widens boxes (replicas\n"
+      "per MBR grow); the adaptive policy caps replicas/MBR regardless of\n"
+      "stream speed, trading update rate automatically (Sec VI-A).\n");
+  return 0;
+}

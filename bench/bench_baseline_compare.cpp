@@ -1,0 +1,183 @@
+// Ablation A3 (Sec IV-A): the distributed index vs the two naive designs —
+// a centralized data center and local-storage-plus-query-flooding — under
+// the same Table I workload on the same Chord substrate.
+//
+// Paper argument to quantify: the centralized design concentrates the whole
+// system's traffic on one node (hotspot, single point of failure); flooding
+// makes every query cost O(N); the content-routed index keeps per-node load
+// flat and bounded.
+#include <algorithm>
+#include <memory>
+
+#include "baseline/centralized.hpp"
+#include "baseline/flooding.hpp"
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace sdsi;
+
+struct RunResult {
+  double mean_load = 0.0;
+  double max_load = 0.0;
+  double query_cost = 0.0;  // delivered query copies per posed query
+  std::uint64_t matches = 0;
+};
+
+/// Drives `system` with the Experiment's workload shape: one random-walk
+/// stream per node, Poisson similarity queries at 2 q/s from random nodes.
+template <typename System>
+RunResult drive(sim::Simulator& sim, routing::RoutingSystem& /*routing*/,
+                System& system, std::size_t nodes, std::uint64_t seed,
+                const core::WorkloadConfig& workload,
+                const dsp::FeatureConfig& features) {
+  common::RngFactory rng_factory(seed);
+  std::vector<std::unique_ptr<streams::RandomWalkGenerator>> generators;
+  common::Pcg32 period_rng = rng_factory.make("periods");
+  for (NodeIndex node = 0; node < nodes; ++node) {
+    const StreamId sid = 1000 + node;
+    system.register_stream(node, sid);
+    generators.push_back(std::make_unique<streams::RandomWalkGenerator>(
+        rng_factory.make("walk", node)));
+    const auto period = sim::Duration::micros(
+        period_rng.uniform_int(workload.stream_period_min.count_micros(),
+                               workload.stream_period_max.count_micros()));
+    auto* generator = generators.back().get();
+    sim.schedule_periodic(sim.now() + period, period,
+                          [&system, node, sid, generator] {
+                            system.post_stream_value(node, sid,
+                                                     generator->next());
+                          });
+  }
+  auto query_rng =
+      std::make_shared<common::Pcg32>(rng_factory.make("queries"));
+  auto walk_rng = std::make_shared<common::Pcg32>(rng_factory.make("qwalk"));
+  auto queries_posed = std::make_shared<std::uint64_t>(0);
+  auto arrival = std::make_shared<std::function<void()>>();
+  *arrival = [&, arrival, query_rng, walk_rng, queries_posed] {
+    std::vector<Sample> window(features.window_size);
+    Sample value = walk_rng->uniform(-10.0, 10.0);
+    for (Sample& x : window) {
+      value += walk_rng->uniform(-1.0, 1.0);
+      x = value;
+    }
+    const auto client = static_cast<NodeIndex>(
+        query_rng->bounded(static_cast<std::uint32_t>(nodes)));
+    const auto lifespan = sim::Duration::micros(
+        query_rng->uniform_int(workload.query_lifespan_min.count_micros(),
+                               workload.query_lifespan_max.count_micros()));
+    (void)system.subscribe_similarity(
+        client, dsp::extract_features(window, features),
+        workload.query_radius, lifespan);
+    ++*queries_posed;
+    sim.schedule_after(
+        sim::Duration::seconds(
+            query_rng->exponential(workload.query_rate_per_sec)),
+        [arrival] { (*arrival)(); });
+  };
+  sim.schedule_after(sim::Duration::seconds(0.1), [arrival] { (*arrival)(); });
+
+  system.start();
+  const sim::Duration warmup = sim::Duration::seconds(60);
+  const sim::Duration measure = sim::Duration::seconds(60);
+  system.metrics().set_enabled(false);
+  sim.run_until(sim::SimTime::zero() + warmup);
+  system.metrics().reset();
+  system.metrics().set_enabled(true);
+  const std::uint64_t queries_before = *queries_posed;
+  sim.run_until(sim::SimTime::zero() + warmup + measure);
+  system.metrics().set_enabled(false);
+
+  RunResult result;
+  const double seconds = measure.as_seconds();
+  for (NodeIndex node = 0; node < nodes; ++node) {
+    const double rate =
+        static_cast<double>(system.metrics().node_load_total(node)) / seconds;
+    result.mean_load += rate / static_cast<double>(nodes);
+    result.max_load = std::max(result.max_load, rate);
+  }
+  const std::uint64_t posed = *queries_posed - queries_before;
+  result.query_cost =
+      posed == 0 ? 0.0
+                 : static_cast<double>(system.metrics().query().delivered) /
+                       static_cast<double>(posed);
+  for (const auto& [id, record] : system.client_records()) {
+    result.matches += record.matched_streams.size();
+  }
+  return result;
+}
+
+core::MiddlewareConfig middleware_config() {
+  core::MiddlewareConfig config;
+  config.features = core::experiment_feature_config();
+  return config;
+}
+
+RunResult run_middleware(std::size_t nodes) {
+  core::ExperimentConfig config = bench::paper_experiment(nodes);
+  core::Experiment experiment(config);
+  experiment.run();
+  RunResult result;
+  const core::LoadReport load = experiment.load_report();
+  result.mean_load = load.total;
+  for (const double rate : load.per_node_total) {
+    result.max_load = std::max(result.max_load, rate);
+  }
+  const auto& query = experiment.metrics().query();
+  result.query_cost =
+      query.originated == 0
+          ? 0.0
+          : static_cast<double>(query.delivered) /
+                static_cast<double>(query.originated);
+  result.matches = experiment.quality_report().matches_reported;
+  return result;
+}
+
+template <typename System>
+RunResult run_baseline(std::size_t nodes, std::uint64_t seed) {
+  sim::Simulator sim;
+  chord::ChordConfig chord_config;
+  chord::ChordNetwork net(sim, chord_config);
+  net.bootstrap(routing::hash_node_ids(nodes, common::IdSpace(32), seed));
+  System system(net, middleware_config());
+  core::WorkloadConfig workload;
+  return drive(sim, net, system, nodes, seed, workload,
+               core::experiment_feature_config());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Baseline comparison: distributed index vs centralized vs flooding ===\n");
+  common::TextTable table({"Nodes", "System", "Mean load/node/s",
+                           "Max load/node/s", "Max/Mean", "Query copies",
+                           "Matches"});
+  for (const std::size_t n : {std::size_t{50}, std::size_t{100}}) {
+    struct Row {
+      const char* name;
+      RunResult result;
+    };
+    const Row rows[] = {
+        {"sdsi (this paper)", run_middleware(n)},
+        {"centralized", run_baseline<baseline::CentralizedSystem>(n, 42)},
+        {"flooding", run_baseline<baseline::FloodingSystem>(n, 42)},
+    };
+    for (const Row& row : rows) {
+      table.begin_row()
+          .add_int(static_cast<long long>(n))
+          .add_cell(row.name)
+          .add_num(row.result.mean_load, 2)
+          .add_num(row.result.max_load, 2)
+          .add_num(row.result.max_load / std::max(row.result.mean_load, 1e-9),
+                   1)
+          .add_num(row.result.query_cost, 1)
+          .add_int(static_cast<long long>(row.result.matches));
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nShape check: the centralized max/mean ratio explodes with N (the\n"
+      "hotspot absorbs everything); flooding's query cost is ~N copies per\n"
+      "query; the distributed index keeps both flat.\n");
+  return 0;
+}

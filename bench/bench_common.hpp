@@ -1,0 +1,65 @@
+// Shared plumbing for the figure-reproduction benches: Table I banner,
+// parallel parameter sweeps, and uniform table output.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+
+namespace sdsi::bench {
+
+/// The node counts of Section V ("the number of nodes varied from 50 to
+/// 500").
+inline std::vector<std::size_t> paper_node_counts() {
+  return {50, 100, 200, 300, 500};
+}
+
+inline core::ExperimentConfig paper_experiment(std::size_t nodes,
+                                               std::uint64_t seed = 42) {
+  core::ExperimentConfig config;
+  config.num_nodes = nodes;
+  config.seed = seed;
+  config.warmup = sim::Duration::seconds(80);
+  config.measure = sim::Duration::seconds(60);
+  return config;
+}
+
+/// Prints the Table I banner so every bench states its workload.
+inline void print_workload_banner(const core::WorkloadConfig& workload) {
+  std::printf(
+      "Table I workload: PMIN %.0fms PMAX %.0fms BSPAN %.0fms QRATE %.1fq/s "
+      "QMIN %.0fs QMAX %.0fs NPER %.0fms radius %.2f\n",
+      workload.stream_period_min.as_millis(),
+      workload.stream_period_max.as_millis(),
+      workload.mbr_lifespan.as_millis(), workload.query_rate_per_sec,
+      workload.query_lifespan_min.as_seconds(),
+      workload.query_lifespan_max.as_seconds(),
+      workload.notify_period.as_millis(), workload.query_radius);
+}
+
+/// Runs one experiment per config, in parallel (each simulation is
+/// self-contained and deterministic). Results keep input order.
+inline std::vector<std::unique_ptr<core::Experiment>> run_sweep(
+    const std::vector<core::ExperimentConfig>& configs) {
+  std::vector<std::unique_ptr<core::Experiment>> experiments;
+  experiments.reserve(configs.size());
+  for (const core::ExperimentConfig& config : configs) {
+    experiments.push_back(std::make_unique<core::Experiment>(config));
+  }
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(experiments.size());
+    for (auto& experiment : experiments) {
+      workers.emplace_back([&experiment] { experiment->run(); });
+    }
+  }
+  return experiments;
+}
+
+}  // namespace sdsi::bench

@@ -1,0 +1,178 @@
+// Ablation A4 (Sec VI-B): hierarchical cluster-leader feature-space
+// partitioning for variable-selectivity queries, vs the flat key-range
+// multicast.
+//
+// The hierarchy clusters *ring-adjacent* data centers. Under content-based
+// routing, ring adjacency IS feature adjacency (Eq. 6 is monotone in the
+// routing coordinate), so each leaf's stored content occupies a narrow slice
+// of feature space and cluster boxes stay tight. A leaf here therefore holds
+// the summaries whose keys fall on its arc — the content-routed store — not
+// its own stream.
+//
+// Flat range multicast must contact every node under the query's key range
+// (~ N * radius nodes) regardless of what they store; the hierarchy climbs
+// O(log N) leaders and descends only into subtrees whose advertised boxes
+// intersect the ball, pruning with all 2k feature dimensions instead of the
+// single routing coordinate.
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/mapper.hpp"
+#include "ext/hierarchy.hpp"
+#include "routing/static_ring.hpp"
+#include "streams/generators.hpp"
+#include "streams/summarizer.hpp"
+
+int main() {
+  using namespace sdsi;
+  std::printf("=== Sec VI-B extension: hierarchical partitioning vs flat range multicast ===\n");
+
+  constexpr std::size_t kNodes = 256;
+  constexpr std::size_t kStreams = 256;
+  dsp::FeatureConfig features;
+  features.window_size = 128;
+  features.num_coefficients = 2;
+
+  common::RngFactory rng_factory(7);
+  const common::IdSpace space(32);
+  const core::SummaryMapper mapper(space);
+  std::vector<Key> ring_ids = routing::hash_node_ids(kNodes, space, 3);
+  std::sort(ring_ids.begin(), ring_ids.end());
+
+  // successor(key) as a ring position in [0, kNodes).
+  auto ring_position_of = [&](Key key) {
+    const auto it =
+        std::lower_bound(ring_ids.begin(), ring_ids.end(), key);
+    return static_cast<NodeIndex>(
+        it == ring_ids.end() ? 0 : static_cast<std::size_t>(
+                                       it - ring_ids.begin()));
+  };
+
+  // Build the hierarchy over ring positions and ingest the content-routed
+  // store: every stream's current summaries live at successor(h(X)).
+  ext::HierarchyConfig hierarchy_config;
+  hierarchy_config.cluster_size = 4;
+  hierarchy_config.slack = 0.005;
+  ext::HierarchicalIndex hierarchy(kNodes, hierarchy_config);
+  std::vector<std::vector<dsp::FeatureVector>> stored(kNodes);
+  std::vector<dsp::FeatureVector> all_points;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    streams::RandomWalkGenerator walk(rng_factory.make("walk", s));
+    streams::StreamSummarizer summarizer(features);
+    for (std::size_t i = 0; i < features.window_size; ++i) {
+      summarizer.push(walk.next());
+    }
+    for (int i = 0; i < 10; ++i) {
+      summarizer.push(walk.next());
+      if (const auto fv = summarizer.features()) {
+        const NodeIndex home = ring_position_of(mapper.key_for(*fv));
+        hierarchy.update(home, *fv);
+        stored[home].push_back(*fv);
+        all_points.push_back(*fv);
+      }
+    }
+  }
+
+  // Flat comparison: nodes under the key-range image of [q - r, q + r].
+  auto flat_nodes_contacted = [&](const dsp::FeatureVector& q, double r) {
+    const auto [lo, hi] = mapper.query_range(q, r);
+    std::size_t count = 1;  // successor(lo)
+    for (const Key id : ring_ids) {
+      count += space.in_closed(id, lo, hi) ? 1u : 0u;
+    }
+    return count;
+  };
+
+  common::Pcg32 query_rng = rng_factory.make("queries");
+  auto evaluate = [&](const ext::HierarchicalIndex& index,
+                      const std::vector<std::vector<dsp::FeatureVector>>& data,
+                      const std::vector<dsp::FeatureVector>& probes,
+                      const char* label) {
+    std::printf("\n--- workload: %s ---\n", label);
+    common::TextTable table({"Radius", "Flat msgs/query", "Hier msgs/query",
+                             "Hier candidates", "Nodes with matches",
+                             "Savings"});
+    for (const double radius : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+      common::OnlineStats flat_msgs;
+      common::OnlineStats hier_msgs;
+      common::OnlineStats hier_candidates;
+      common::OnlineStats matching_nodes;
+      for (int q = 0; q < 200; ++q) {
+        const auto origin = static_cast<NodeIndex>(query_rng.bounded(kNodes));
+        const dsp::FeatureVector& probe = probes[query_rng.bounded(
+            static_cast<std::uint32_t>(probes.size()))];
+        flat_msgs.add(
+            static_cast<double>(flat_nodes_contacted(probe, radius)));
+        const auto result = index.query(origin, probe, radius);
+        hier_msgs.add(static_cast<double>(result.messages));
+        hier_candidates.add(
+            static_cast<double>(result.candidate_leaves.size()));
+        std::size_t with_matches = 0;
+        for (NodeIndex node = 0; node < kNodes; ++node) {
+          const bool any = std::any_of(
+              data[node].begin(), data[node].end(),
+              [&](const dsp::FeatureVector& p) {
+                return p.distance(probe) <= radius;
+              });
+          with_matches += any ? 1u : 0u;
+        }
+        matching_nodes.add(static_cast<double>(with_matches));
+      }
+      table.begin_row()
+          .add_num(radius, 2)
+          .add_num(flat_msgs.mean(), 1)
+          .add_num(hier_msgs.mean(), 1)
+          .add_num(hier_candidates.mean(), 1)
+          .add_num(matching_nodes.mean(), 1)
+          .add_cell(
+              common::format_fixed(flat_msgs.mean() / hier_msgs.mean(), 1) +
+              "x");
+    }
+    std::printf("%s", table.render().c_str());
+  };
+
+  evaluate(hierarchy, stored, all_points, "diffuse (random-walk streams)");
+
+  // Clustered workload: streams fall into a few behavioral archetypes (the
+  // variable-selectivity scenario Sec VI-B motivates). Feature mass
+  // concentrates around the archetype points, so subtree boxes are tight in
+  // every dimension and wide queries over sparse regions prune hard.
+  ext::HierarchicalIndex clustered_index(kNodes, hierarchy_config);
+  std::vector<std::vector<dsp::FeatureVector>> clustered_stored(kNodes);
+  std::vector<dsp::FeatureVector> clustered_points;
+  common::Pcg32 cluster_rng = rng_factory.make("clusters");
+  std::vector<std::array<double, 4>> archetypes;
+  for (int c = 0; c < 8; ++c) {
+    archetypes.push_back({cluster_rng.uniform(-0.5, 0.5),
+                          cluster_rng.uniform(-0.5, 0.5),
+                          cluster_rng.uniform(-0.3, 0.3),
+                          cluster_rng.uniform(-0.3, 0.3)});
+  }
+  for (std::size_t s = 0; s < kStreams * 10; ++s) {
+    const auto& base = archetypes[s % archetypes.size()];
+    const dsp::FeatureVector point(
+        {dsp::Complex{base[0] + cluster_rng.uniform(-0.02, 0.02),
+                      base[1] + cluster_rng.uniform(-0.02, 0.02)},
+         dsp::Complex{base[2] + cluster_rng.uniform(-0.02, 0.02),
+                      base[3] + cluster_rng.uniform(-0.02, 0.02)}});
+    const NodeIndex home = ring_position_of(mapper.key_for(point));
+    clustered_index.update(home, point);
+    clustered_stored[home].push_back(point);
+    clustered_points.push_back(point);
+  }
+  evaluate(clustered_index, clustered_stored, clustered_points,
+           "clustered (8 behavioral archetypes)");
+
+  std::printf(
+      "\nShape check: on diffuse data the hierarchy roughly ties with the\n"
+      "flat multicast (only the routing coordinate prunes); on clustered\n"
+      "data — Sec VI-B's variable-selectivity scenario — wide queries prune\n"
+      "whole subtrees in every feature dimension and win by a growing\n"
+      "factor. Update damping (diffuse): %llu updates -> %llu messages.\n",
+      static_cast<unsigned long long>(hierarchy.total_updates()),
+      static_cast<unsigned long long>(hierarchy.total_update_messages()));
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Figure 3(b): "Fourier locality" — feature vectors of consecutive windows
+// of a host-load trace cluster tightly, which is what makes MBR batching
+// (Sec IV-G) pay off.
+//
+// The original CMU host-load traces are gone; the synthetic HostLoadGenerator
+// reproduces their autocorrelation structure (DESIGN.md §2). We quantify
+// locality as the ratio between consecutive-step feature movement and the
+// overall spread of the feature cloud, and compare against an i.i.d. noise
+// stream, which has no locality.
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "streams/generators.hpp"
+#include "streams/summarizer.hpp"
+
+int main() {
+  using namespace sdsi;
+  std::printf("=== Figure 3(b): locality of summaries on host-load data ===\n");
+
+  dsp::FeatureConfig features;
+  features.window_size = 128;
+  features.num_coefficients = 2;
+
+  struct SourceResult {
+    std::string name;
+    common::OnlineStats step;     // per-step feature movement
+    common::OnlineStats spread0;  // coordinate 0 (Re X1) cloud
+    common::OnlineStats spread1;  // coordinate 1 (Im X1) cloud
+    common::OnlineStats mbr_extent;  // extent of 5-vector batches
+  };
+
+  common::RngFactory rng_factory(2026);
+  auto measure = [&](const std::string& name,
+                     streams::StreamGenerator& generator) {
+    SourceResult result;
+    result.name = name;
+    streams::StreamSummarizer summarizer(features);
+    for (std::size_t i = 0; i < features.window_size; ++i) {
+      summarizer.push(generator.next());
+    }
+    std::optional<dsp::FeatureVector> previous;
+    double batch_lo = 0.0;
+    double batch_hi = 0.0;
+    int in_batch = 0;
+    for (int i = 0; i < 20000; ++i) {
+      summarizer.push(generator.next());
+      const auto current = summarizer.features();
+      if (!current.has_value()) {
+        continue;
+      }
+      result.spread0.add(current->routing_coordinate());
+      result.spread1.add((*current)[0].imag());
+      if (previous.has_value()) {
+        result.step.add(previous->distance(*current));
+      }
+      previous = current;
+      const double x = current->routing_coordinate();
+      if (in_batch == 0) {
+        batch_lo = batch_hi = x;
+      } else {
+        batch_lo = std::min(batch_lo, x);
+        batch_hi = std::max(batch_hi, x);
+      }
+      if (++in_batch == 5) {
+        result.mbr_extent.add(batch_hi - batch_lo);
+        in_batch = 0;
+      }
+    }
+    return result;
+  };
+
+  streams::HostLoadGenerator host_load(rng_factory.make("host-load"));
+  streams::RandomWalkGenerator random_walk(rng_factory.make("walk"));
+
+  // An i.i.d. noise stream: the no-locality control.
+  class NoiseGenerator final : public streams::StreamGenerator {
+   public:
+    explicit NoiseGenerator(common::Pcg32 rng) : rng_(rng) {}
+    Sample next() override { return rng_.uniform(-1.0, 1.0); }
+    std::string name() const override { return "iid-noise"; }
+
+   private:
+    common::Pcg32 rng_;
+  } noise(rng_factory.make("noise"));
+
+  SourceResult results[] = {measure("host-load (CMU-like)", host_load),
+                            measure("random-walk", random_walk),
+                            measure("iid-noise (control)", noise)};
+
+  common::TextTable table({"Stream", "step |dF| mean", "cloud stddev",
+                           "locality ratio", "5-vector MBR extent",
+                           "Re(X1) range", "Im(X1) range"});
+  for (const SourceResult& r : results) {
+    const double cloud = std::sqrt(r.spread0.variance() + r.spread1.variance());
+    table.begin_row()
+        .add_cell(r.name)
+        .add_num(r.step.mean(), 4)
+        .add_num(cloud, 4)
+        .add_num(r.step.mean() / cloud, 3)
+        .add_num(r.mbr_extent.mean(), 4)
+        .add_cell(common::format_fixed(r.spread0.min(), 3) + ".." +
+                  common::format_fixed(r.spread0.max(), 3))
+        .add_cell(common::format_fixed(r.spread1.min(), 3) + ".." +
+                  common::format_fixed(r.spread1.max(), 3));
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nShape check: host-load and random-walk locality ratios sit well\n"
+      "below the i.i.d. control's, i.e. consecutive summaries are strongly\n"
+      "temporally correlated (the Fig 3b cluster), which is what makes MBR\n"
+      "batching effective.\n");
+  return 0;
+}

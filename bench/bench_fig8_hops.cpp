@@ -1,0 +1,50 @@
+// Figure 8: average number of hops traversed by each message type before
+// being processed.
+//
+// Paper shapes: point-routed messages (MBRs, responses, the initial query
+// copy) take ~(1/2) log2 N hops; range-forwarded "internal" copies take one
+// ring hop each, but a query's range walk makes queries the slowest to fully
+// propagate.
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace sdsi;
+  std::printf("=== Figure 8: average hops traversed by a request ===\n");
+
+  std::vector<core::ExperimentConfig> configs;
+  for (const std::size_t n : bench::paper_node_counts()) {
+    configs.push_back(bench::paper_experiment(n));
+  }
+  bench::print_workload_banner(configs.front().workload);
+  const auto experiments = bench::run_sweep(configs);
+
+  common::TextTable table({"Nodes", "MBR", "Internal MBR", "Query",
+                           "Internal query", "Response", "0.5*log2(N)"});
+  for (const auto& experiment : experiments) {
+    const core::HopsReport hops = experiment->hops_report();
+    const auto n = static_cast<double>(experiment->config().num_nodes);
+    table.begin_row()
+        .add_int(static_cast<long long>(experiment->config().num_nodes))
+        .add_num(hops.mbr, 2)
+        .add_num(hops.mbr_internal, 2)
+        .add_num(hops.query, 2)
+        .add_num(hops.query_internal, 2)
+        .add_num(hops.response, 2)
+        .add_num(0.5 * std::log2(n), 2);
+  }
+  std::printf("%s", table.render().c_str());
+
+  // The paper's accompanying observation: end-to-end propagation of a whole
+  // query range (and hence of detected similarities flowing back) spans as
+  // many ring hops as the range covers nodes.
+  common::TextTable latency({"Nodes", "Query range walk max (ms)",
+                             "Response mean latency (ms)"});
+  for (const auto& experiment : experiments) {
+    latency.begin_row()
+        .add_int(static_cast<long long>(experiment->config().num_nodes))
+        .add_num(experiment->metrics().query().range_latency_ms.max(), 0)
+        .add_num(experiment->metrics().response().latency_ms.mean(), 0);
+  }
+  std::printf("\n%s", latency.render().c_str());
+  return 0;
+}

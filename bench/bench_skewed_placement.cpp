@@ -1,0 +1,124 @@
+// Load balancing beyond the paper's 1-stream-per-node setup: what happens
+// when stream *sources* are skewed (a few data centers host most streams,
+// Zipf-style), as real sensor deployments are?
+//
+// The paper's balance claim rests on content routing: storage and matching
+// load follow the summaries' keys, not the sources. So even with heavily
+// skewed ingest, the storage/matching side should stay as balanced as the
+// uniform deployment — only the per-source sending cost concentrates.
+#include <algorithm>
+#include <cmath>
+
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace sdsi;
+
+struct Placement {
+  const char* name;
+  /// stream index -> hosting node.
+  std::vector<NodeIndex> hosts;
+};
+
+core::LoadReport run_with_hosts(const Placement& placement,
+                                std::size_t nodes) {
+  // Mirror the Experiment driver, but with explicit stream placement.
+  sim::Simulator sim;
+  chord::ChordConfig chord_config;
+  chord::ChordNetwork net(sim, chord_config);
+  net.bootstrap(routing::hash_node_ids(nodes, common::IdSpace(32), 42));
+  core::MiddlewareConfig mw_config;
+  mw_config.features = core::experiment_feature_config();
+  core::MiddlewareSystem system(net, mw_config);
+  core::WorkloadConfig workload;
+
+  common::RngFactory rng_factory(42);
+  std::vector<std::unique_ptr<streams::RandomWalkGenerator>> generators;
+  common::Pcg32 period_rng = rng_factory.make("periods");
+  for (std::size_t s = 0; s < placement.hosts.size(); ++s) {
+    const StreamId sid = 1000 + s;
+    const NodeIndex host = placement.hosts[s];
+    system.register_stream(host, sid);
+    generators.push_back(std::make_unique<streams::RandomWalkGenerator>(
+        rng_factory.make("walk", s)));
+    const auto period = sim::Duration::micros(
+        period_rng.uniform_int(workload.stream_period_min.count_micros(),
+                               workload.stream_period_max.count_micros()));
+    auto* generator = generators.back().get();
+    sim.schedule_periodic(sim.now() + period, period,
+                          [&system, host, sid, generator] {
+                            system.post_stream_value(host, sid,
+                                                     generator->next());
+                          });
+  }
+  system.start();
+  system.metrics().set_enabled(false);
+  sim.run_until(sim::SimTime::zero() + sim::Duration::seconds(80));
+  system.metrics().reset();
+  system.metrics().set_enabled(true);
+  sim.run_until(sim::SimTime::zero() + sim::Duration::seconds(120));
+
+  core::LoadReport report;
+  for (NodeIndex node = 0; node < nodes; ++node) {
+    report.per_node_total.push_back(
+        static_cast<double>(system.metrics().node_load_total(node)) / 40.0);
+    report.total += report.per_node_total.back() / static_cast<double>(nodes);
+  }
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Load balance under skewed stream placement (no queries) ===\n");
+  constexpr std::size_t kNodes = 100;
+  constexpr std::size_t kStreams = 100;
+
+  common::Pcg32 zipf_rng(9, 9);
+  Placement uniform{"uniform (paper: 1 stream/node)", {}};
+  Placement skewed{"Zipf-skewed sources", {}};
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    uniform.hosts.push_back(static_cast<NodeIndex>(s % kNodes));
+    // Zipf-ish: stream s hosted by node ~ rank distribution (top nodes get
+    // most streams).
+    const double u = zipf_rng.uniform01();
+    const auto host = static_cast<NodeIndex>(
+        std::min<double>(kNodes - 1, std::floor(kNodes * u * u * u)));
+    skewed.hosts.push_back(host);
+  }
+
+  common::TextTable table({"Placement", "Mean load/node/s", "Max load",
+                           "Max/Mean", "p95/p50", "Hosts w/ >1 stream"});
+  for (const Placement& placement : {uniform, skewed}) {
+    const core::LoadReport report = run_with_hosts(placement, kNodes);
+    common::Percentiles percentiles;
+    double max_load = 0.0;
+    for (const double rate : report.per_node_total) {
+      percentiles.add(rate);
+      max_load = std::max(max_load, rate);
+    }
+    std::vector<int> per_host(kNodes, 0);
+    for (const NodeIndex host : placement.hosts) {
+      ++per_host[host];
+    }
+    const auto crowded = std::count_if(per_host.begin(), per_host.end(),
+                                       [](int n) { return n > 1; });
+    table.begin_row()
+        .add_cell(placement.name)
+        .add_num(report.total, 2)
+        .add_num(max_load, 2)
+        .add_num(max_load / report.total, 2)
+        .add_num(percentiles.quantile(0.95) /
+                     std::max(percentiles.quantile(0.5), 1e-9),
+                 2)
+        .add_int(crowded);
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nShape check: content routing decouples storage/matching load from\n"
+      "where streams are hosted — the skewed deployment's max/mean stays\n"
+      "close to the uniform one's (the residual gap is the hot sources'\n"
+      "own sending cost, which no index can redistribute).\n");
+  return 0;
+}

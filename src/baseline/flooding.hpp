@@ -1,0 +1,62 @@
+// Baseline 2 (paper Sec IV-A): store every summary only at its source and
+// flood each similarity query to every data center.
+//
+// Point/range queries on a known stream are cheap here, but every similarity
+// query costs O(N) messages ("answering such queries requires communication
+// with every data center in the system"). The flood is realized as a range
+// multicast over the full ring, which is exactly how a DHT without an index
+// would broadcast.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/index_store.hpp"
+#include "core/metrics.hpp"
+#include "core/node.hpp"
+#include "core/system.hpp"
+#include "routing/api.hpp"
+
+namespace sdsi::baseline {
+
+class FloodingSystem {
+ public:
+  FloodingSystem(routing::RoutingSystem& routing,
+                 core::MiddlewareConfig config);
+
+  core::MetricsCollector& metrics() noexcept { return metrics_; }
+
+  void start();
+
+  void register_stream(NodeIndex node, StreamId stream);
+  void post_stream_value(NodeIndex node, StreamId stream, Sample value);
+  core::QueryId subscribe_similarity(NodeIndex client,
+                                     dsp::FeatureVector features,
+                                     double radius, sim::Duration lifespan);
+
+  const core::ClientQueryRecord* client_record(core::QueryId id) const;
+  const std::unordered_map<core::QueryId, core::ClientQueryRecord>&
+  client_records() const noexcept {
+    return client_records_;
+  }
+
+ private:
+  struct NodeState {
+    std::map<StreamId, core::LocalStream> streams;
+    core::IndexStore store;  // local summaries + flooded subscriptions
+    std::unordered_map<core::QueryId, core::AggregatorRecord> reply_state;
+  };
+
+  void on_deliver(NodeIndex at, const routing::Message& msg);
+  void periodic_tick(NodeIndex node);
+
+  routing::RoutingSystem& routing_;
+  core::MiddlewareConfig config_;
+  core::MetricsCollector metrics_;
+  std::vector<NodeState> nodes_;
+  std::unordered_map<core::QueryId, core::ClientQueryRecord> client_records_;
+  core::QueryId next_query_id_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace sdsi::baseline

@@ -1,0 +1,172 @@
+// The Chord content-based routing protocol over the discrete-event simulator.
+//
+// This is our reimplementation of the substrate the paper ran on (the MIT
+// Chord simulator): consistent hashing onto an m-bit identifier circle,
+// per-node finger tables giving O(log N) lookups, and the join / leave /
+// stabilize machinery that makes the ring adapt to membership changes.
+// Key-routed messages travel hop by hop with a constant 50 ms per-hop delay,
+// exactly as the paper states its simulator does.
+//
+// Two ways to form a ring:
+//  - bootstrap(ids): instantly installs globally consistent state (used by
+//    the performance experiments, which run on a stable ring);
+//  - join()/leave()/crash() + periodic stabilization (used by the adaptivity
+//    tests to show the ring repairing itself, Sec II-B.1 / VII).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "chord/node_state.hpp"
+#include "routing/api.hpp"
+
+namespace sdsi::chord {
+
+/// How key-routed messages traverse the overlay (both appear in the Chord
+/// paper):
+///  - recursive: each node forwards the message to the next hop (one
+///    transmission per hop — what the evaluation figures assume);
+///  - iterative: the ORIGIN probes each hop and gets the next-hop address
+///    back, then sends the payload directly to the responsible node
+///    (2 transmissions per resolved hop + 1 delivery; the origin stays in
+///    control, at double the traffic and latency).
+enum class LookupStyle : std::uint8_t {
+  kRecursive,
+  kIterative,
+};
+
+struct ChordConfig {
+  /// Ring width m. Experiments use 32; Figure-1 tests use 5.
+  unsigned id_bits = 32;
+
+  /// Constant per-hop latency ("the Chord simulator simulates a constant
+  /// 50ms delay per hop").
+  sim::Duration hop_latency = sim::Duration::millis(50);
+
+  LookupStyle lookup_style = LookupStyle::kRecursive;
+
+  /// Successor-list length r (fault tolerance of routing).
+  std::size_t successor_list_length = 4;
+
+  /// Safety valve: a routed message that exceeds this hop count is dropped
+  /// and counted in lost_messages() (can only happen mid-churn).
+  int max_route_hops = 512;
+};
+
+class ChordNetwork final : public routing::RoutingSystem {
+ public:
+  using Message = routing::Message;
+
+  ChordNetwork(sim::Simulator& simulator, ChordConfig config);
+
+  const ChordConfig& config() const noexcept { return config_; }
+
+  // --- Ring construction -------------------------------------------------
+
+  /// Creates node slots for every id and installs globally consistent
+  /// successor/predecessor/finger state. Ids must be distinct.
+  void bootstrap(std::span<const Key> ids);
+
+  /// Recomputes all routing state of alive nodes from the ground truth
+  /// (oracle repair; tests use it to model "stabilization has converged").
+  void rebuild_routing_state();
+
+  // --- Membership protocol ------------------------------------------------
+
+  /// Protocol join: the new node asks `via` to look up its own id, adopts
+  /// the result as successor, and lets stabilization integrate it fully.
+  /// Returns the new node's index.
+  NodeIndex join(Key id, NodeIndex via);
+
+  /// Graceful departure: hands its keys' coverage to the successor by
+  /// patching neighbors before going down.
+  void leave(NodeIndex node);
+
+  /// Crash failure: the node silently vanishes; peers discover it through
+  /// stabilization and successor lists.
+  void crash(NodeIndex node);
+
+  /// One stabilization round at `node`: verify successor, adopt a closer
+  /// one, notify it, refresh the successor list.
+  void stabilize(NodeIndex node);
+
+  /// Refreshes finger i of `node` by a local-state lookup.
+  void fix_finger(NodeIndex node, unsigned finger);
+
+  /// Runs `rounds` full sweeps of stabilize + fix all fingers over all alive
+  /// nodes (convergence helper for tests).
+  void run_maintenance_rounds(int rounds);
+
+  // --- Introspection ------------------------------------------------------
+
+  struct LookupTrace {
+    NodeIndex result = kInvalidNode;
+    int hops = 0;
+    std::vector<NodeIndex> path;  // nodes visited, origin first
+  };
+
+  /// Executes the lookup algorithm over current protocol state without
+  /// sending messages or advancing time. This is what Figure 1(b) depicts.
+  LookupTrace trace_lookup(NodeIndex from, Key key) const;
+
+  const NodeState& state(NodeIndex node) const {
+    SDSI_CHECK(node < nodes_.size());
+    return nodes_[node];
+  }
+
+  std::size_t alive_count() const noexcept { return alive_count_; }
+  std::uint64_t lost_messages() const noexcept { return lost_messages_; }
+
+  // --- RoutingSystem interface ---------------------------------------------
+
+  std::size_t num_nodes() const override { return nodes_.size(); }
+  bool is_alive(NodeIndex node) const override {
+    return node < nodes_.size() && nodes_[node].alive;
+  }
+  Key node_id(NodeIndex node) const override {
+    SDSI_CHECK(node < nodes_.size());
+    return nodes_[node].id;
+  }
+  NodeIndex successor_index(NodeIndex node) const override;
+  NodeIndex predecessor_index(NodeIndex node) const override;
+  NodeIndex find_successor_oracle(Key key) const override;
+
+ protected:
+  void route_to_key(NodeIndex from, Key key, Message msg) override;
+  void route_direct(NodeIndex from, NodeIndex to, Message msg) override;
+
+ private:
+  NodeIndex create_node(Key id);
+
+  /// First alive entry of `node`'s successor list (patches the successor
+  /// pointer if the head died).
+  NodeIndex live_successor(NodeIndex node) const;
+
+  /// Largest finger of `node` strictly inside (node, key), skipping dead
+  /// entries; falls back to the live successor.
+  NodeIndex closest_preceding_node(NodeIndex node, Key key) const;
+
+  /// Lookup step shared by trace_lookup and the message path. Returns the
+  /// next node to visit; sets `final_here` when `current` is the
+  /// responsible node.
+  NodeIndex next_hop(NodeIndex current, Key key, bool& final_here) const;
+
+  /// Continues routing `msg` from `current` (already charged for arriving
+  /// there).
+  void route_step(NodeIndex current, Key key, Message msg);
+
+  /// Iterative flavor: the origin probes `current` for the next hop; each
+  /// probe round costs two transmissions (request + reply).
+  void iterate_step(NodeIndex origin, NodeIndex current, Key key, Message msg);
+
+  void refresh_successor_list(NodeIndex node);
+  void rebuild_oracle();
+
+  ChordConfig config_;
+  std::vector<NodeState> nodes_;
+  std::vector<std::pair<Key, NodeIndex>> oracle_;  // sorted alive nodes
+  std::size_t alive_count_ = 0;
+  std::uint64_t lost_messages_ = 0;
+};
+
+}  // namespace sdsi::chord

@@ -1,0 +1,54 @@
+// Per-node Chord protocol state (paper Sec II-B.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace sdsi::chord {
+
+/// The finger table of one node: entry i points at successor(n + 2^i mod 2^m)
+/// for i in [0, m). Entry 0 is the immediate successor. Real Chord stores the
+/// IP/port of each finger; the simulator-level NodeIndex plays that role.
+class FingerTable {
+ public:
+  FingerTable() = default;
+  explicit FingerTable(unsigned bits)
+      : entries_(bits, kInvalidNode) {}
+
+  unsigned size() const noexcept {
+    return static_cast<unsigned>(entries_.size());
+  }
+
+  NodeIndex get(unsigned i) const noexcept {
+    SDSI_DCHECK(i < entries_.size());
+    return entries_[i];
+  }
+  void set(unsigned i, NodeIndex node) noexcept {
+    SDSI_DCHECK(i < entries_.size());
+    entries_[i] = node;
+  }
+
+ private:
+  std::vector<NodeIndex> entries_;
+};
+
+/// Everything one data center knows about the ring.
+struct NodeState {
+  Key id = 0;
+  bool alive = false;
+
+  /// Protocol pointers. `successor` duplicates successor_list.front() but is
+  /// kept explicit to mirror the protocol description.
+  NodeIndex predecessor = kInvalidNode;
+  NodeIndex successor = kInvalidNode;
+
+  /// r next successors, for routing around failed successors.
+  std::vector<NodeIndex> successor_list;
+
+  FingerTable fingers;
+};
+
+}  // namespace sdsi::chord

@@ -1,0 +1,34 @@
+// Invariant checking. SDSI_CHECK is always on (simulation correctness beats
+// the last few percent of speed); SDSI_DCHECK compiles away in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <source_location>
+
+namespace sdsi::detail {
+
+[[noreturn]] inline void check_failed(const char* expr,
+                                      const std::source_location& loc) {
+  std::fprintf(stderr, "SDSI_CHECK failed: %s at %s:%u (%s)\n", expr,
+               loc.file_name(), static_cast<unsigned>(loc.line()),
+               loc.function_name());
+  std::abort();
+}
+
+}  // namespace sdsi::detail
+
+#define SDSI_CHECK(expr)                                                 \
+  do {                                                                   \
+    if (!(expr)) [[unlikely]] {                                          \
+      ::sdsi::detail::check_failed(#expr, std::source_location::current()); \
+    }                                                                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define SDSI_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define SDSI_DCHECK(expr) SDSI_CHECK(expr)
+#endif

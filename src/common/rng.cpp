@@ -1,0 +1,60 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/sha1.hpp"
+
+namespace sdsi::common {
+
+std::uint32_t Pcg32::bounded(std::uint32_t bound) noexcept {
+  SDSI_DCHECK(bound > 0);
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t product = static_cast<std::uint64_t>(next()) * bound;
+  auto low = static_cast<std::uint32_t>(product);
+  if (low < bound) {
+    const std::uint32_t threshold = (0u - bound) % bound;
+    while (low < threshold) {
+      product = static_cast<std::uint64_t>(next()) * bound;
+      low = static_cast<std::uint32_t>(product);
+    }
+  }
+  return static_cast<std::uint32_t>(product >> 32);
+}
+
+double Pcg32::normal() noexcept {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u;
+  double v;
+  double s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return u * factor;
+}
+
+double Pcg32::exponential(double rate) noexcept {
+  SDSI_DCHECK(rate > 0.0);
+  // 1 - uniform01() is in (0, 1], keeping log() finite.
+  return -std::log(1.0 - uniform01()) / rate;
+}
+
+Pcg32 RngFactory::make(std::string_view name, std::uint64_t index) const noexcept {
+  // Hash the stream name so child identity does not depend on call order.
+  const std::uint64_t name_hash = sha1_prefix64(name);
+  SplitMix64 mixer(master_seed_ ^ name_hash);
+  const std::uint64_t a = mixer.next() + 0x9E3779B97F4A7C15ull * index;
+  SplitMix64 mixer2(a);
+  const std::uint64_t seed = mixer2.next();
+  const std::uint64_t stream = mixer2.next();
+  return Pcg32(seed, stream);
+}
+
+}  // namespace sdsi::common

@@ -1,0 +1,132 @@
+// Deterministic random-number infrastructure.
+//
+// Every stochastic component of a simulation draws from its own named child
+// stream of one master seed, so (a) runs are bit-reproducible, and (b) adding
+// a new consumer does not perturb the draws seen by existing consumers.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/check.hpp"
+
+namespace sdsi::common {
+
+/// SplitMix64 — used for seed derivation (Steele et al., "Fast splittable
+/// pseudorandom number generators").
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    state_ += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// PCG32 (O'Neill) — small, fast, statistically solid; our workhorse stream.
+/// Satisfies std::uniform_random_bit_generator.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  Pcg32() noexcept : Pcg32(0x853C49E6748FEA9Bull, 0xDA3E39CB94B95BDBull) {}
+
+  Pcg32(std::uint64_t seed, std::uint64_t stream) noexcept {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    (void)next();
+    state_ += seed;
+    (void)next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return 0xFFFFFFFFu; }
+
+  result_type operator()() noexcept { return next(); }
+
+  result_type next() noexcept {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ull + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  std::uint64_t next64() noexcept {
+    return (static_cast<std::uint64_t>(next()) << 32) | next();
+  }
+
+  /// Unbiased integer in [0, bound) via Lemire rejection.
+  std::uint32_t bounded(std::uint32_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    SDSI_DCHECK(lo <= hi);
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    SDSI_DCHECK(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) {  // full 64-bit range
+      return static_cast<std::int64_t>(next64());
+    }
+    // Two 32-bit bounded draws cover 64-bit spans adequately for simulation.
+    if (span <= 0xFFFFFFFFull) {
+      return lo + static_cast<std::int64_t>(
+                      bounded(static_cast<std::uint32_t>(span)));
+    }
+    // Rejection sample the wide case.
+    const std::uint64_t limit = span * (~0ull / span);
+    std::uint64_t draw;
+    do {
+      draw = next64();
+    } while (draw >= limit);
+    return lo + static_cast<std::int64_t>(draw % span);
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() noexcept;
+
+  /// Exponential with the given rate (events per unit time).
+  double exponential(double rate) noexcept;
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+/// Derives independent child generators from one master seed by name. Child
+/// streams are stable across runs and across unrelated code changes.
+class RngFactory {
+ public:
+  explicit RngFactory(std::uint64_t master_seed) noexcept
+      : master_seed_(master_seed) {}
+
+  /// Deterministic child stream for the (name, index) pair.
+  Pcg32 make(std::string_view name, std::uint64_t index = 0) const noexcept;
+
+  std::uint64_t master_seed() const noexcept { return master_seed_; }
+
+ private:
+  std::uint64_t master_seed_;
+};
+
+}  // namespace sdsi::common

@@ -1,0 +1,162 @@
+#include "common/sha1.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace sdsi::common {
+
+namespace {
+
+constexpr std::uint32_t rotl(std::uint32_t value, int shift) noexcept {
+  return std::rotl(value, shift);
+}
+
+}  // namespace
+
+void Sha1::reset() noexcept {
+  state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  buffer_len_ = 0;
+  total_bits_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) noexcept {
+  std::uint32_t w[80];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = (static_cast<std::uint32_t>(block[4 * t]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * t + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * t + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * t + 3]);
+  }
+  for (int t = 16; t < 80; ++t) {
+    w[t] = rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+  }
+
+  std::uint32_t a = state_[0];
+  std::uint32_t b = state_[1];
+  std::uint32_t c = state_[2];
+  std::uint32_t d = state_[3];
+  std::uint32_t e = state_[4];
+
+  for (int t = 0; t < 80; ++t) {
+    std::uint32_t f;
+    std::uint32_t k;
+    if (t < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999u;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t temp = rotl(a, 5) + f + e + k + w[t];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = temp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) noexcept {
+  total_bits_ += static_cast<std::uint64_t>(data.size()) * 8u;
+  std::size_t offset = 0;
+  if (buffer_len_ > 0) {
+    const std::size_t take = std::min(data.size(), buffer_.size() - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    offset = take;
+    if (buffer_len_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  while (data.size() - offset >= 64) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    const std::size_t rest = data.size() - offset;
+    std::memcpy(buffer_.data() + buffer_len_, data.data() + offset, rest);
+    buffer_len_ += rest;
+  }
+}
+
+void Sha1::update(std::string_view text) noexcept {
+  update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+Sha1Digest Sha1::finish() noexcept {
+  const std::uint64_t bits = total_bits_;
+  // Append the 0x80 terminator then zero-pad to 56 mod 64, then the length.
+  const std::uint8_t terminator = 0x80;
+  update(std::span<const std::uint8_t>(&terminator, 1));
+  total_bits_ -= 8;  // the padding bytes are not part of the message length
+  const std::uint8_t zero = 0x00;
+  while (buffer_len_ != 56) {
+    update(std::span<const std::uint8_t>(&zero, 1));
+    total_bits_ -= 8;
+  }
+  std::uint8_t length_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    length_bytes[i] = static_cast<std::uint8_t>(bits >> (56 - 8 * i));
+  }
+  update(std::span<const std::uint8_t>(length_bytes, 8));
+
+  Sha1Digest digest;
+  for (int i = 0; i < 5; ++i) {
+    digest[static_cast<std::size_t>(4 * i)] =
+        static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 24);
+    digest[static_cast<std::size_t>(4 * i + 1)] =
+        static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 16);
+    digest[static_cast<std::size_t>(4 * i + 2)] =
+        static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 8);
+    digest[static_cast<std::size_t>(4 * i + 3)] =
+        static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)]);
+  }
+  return digest;
+}
+
+Sha1Digest sha1(std::span<const std::uint8_t> data) noexcept {
+  Sha1 hasher;
+  hasher.update(data);
+  return hasher.finish();
+}
+
+Sha1Digest sha1(std::string_view text) noexcept {
+  Sha1 hasher;
+  hasher.update(text);
+  return hasher.finish();
+}
+
+std::string to_hex(const Sha1Digest& digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(digest.size() * 2);
+  for (const std::uint8_t byte : digest) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0x0F]);
+  }
+  return out;
+}
+
+std::uint64_t digest_prefix64(const Sha1Digest& digest) noexcept {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value = (value << 8) | digest[static_cast<std::size_t>(i)];
+  }
+  return value;
+}
+
+}  // namespace sdsi::common

@@ -1,0 +1,63 @@
+// SHA-1 (FIPS 180-1), implemented from scratch.
+//
+// The paper's consistent hashing assigns node and key identifiers with SHA-1
+// [ref 1 in the paper]. We implement the full algorithm rather than linking a
+// crypto library: the simulator only needs its avalanche/uniformity behavior,
+// but matching the paper's primitive keeps identifier distributions honest.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace sdsi::common {
+
+/// 160-bit SHA-1 digest.
+using Sha1Digest = std::array<std::uint8_t, 20>;
+
+/// Incremental SHA-1 hasher. Usage: Sha1 h; h.update(...); h.finish();
+class Sha1 {
+ public:
+  Sha1() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(std::string_view text) noexcept;
+
+  /// Finalizes and returns the digest. The hasher must be reset() before
+  /// further use.
+  Sha1Digest finish() noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 5> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+/// One-shot digest of a byte span.
+Sha1Digest sha1(std::span<const std::uint8_t> data) noexcept;
+
+/// One-shot digest of a text string.
+Sha1Digest sha1(std::string_view text) noexcept;
+
+/// Lower-case hex rendering of a digest (for tests against FIPS vectors).
+std::string to_hex(const Sha1Digest& digest);
+
+/// First 64 bits of the digest, big-endian — the "m-bit identifier" prefix the
+/// paper truncates from SHA-1 output. Callers mask to their ring width.
+std::uint64_t digest_prefix64(const Sha1Digest& digest) noexcept;
+
+/// Convenience: SHA-1 based 64-bit hash of arbitrary text.
+inline std::uint64_t sha1_prefix64(std::string_view text) noexcept {
+  return digest_prefix64(sha1(text));
+}
+
+}  // namespace sdsi::common

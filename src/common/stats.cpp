@@ -1,0 +1,67 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+
+namespace sdsi::common {
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  SDSI_CHECK(hi > lo);
+  SDSI_CHECK(buckets > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  auto idx = static_cast<std::int64_t>((x - lo_) / width_);
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::fraction_above(double x) const noexcept {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  std::uint64_t above = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (bucket_low(i) >= x) {
+      above += counts_[i];
+    }
+  }
+  return static_cast<double>(above) / static_cast<double>(total_);
+}
+
+double Percentiles::quantile(double q) {
+  SDSI_CHECK(!samples_.empty());
+  SDSI_CHECK(q >= 0.0 && q <= 1.0);
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[rank];
+}
+
+}  // namespace sdsi::common

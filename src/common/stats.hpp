@@ -1,0 +1,100 @@
+// Streaming statistics and histograms used by the metrics layer and the
+// experiment reports (Figures 6-8).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace sdsi::common {
+
+/// Welford online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (count_ == 1) {
+      min_ = max_ = x;
+    } else {
+      if (x < min_) min_ = x;
+      if (x > max_) max_ = x;
+    }
+  }
+
+  void merge(const OnlineStats& other) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+  double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp into the
+/// edge buckets. Mirrors Figure 6(b)'s "distribution of load across nodes".
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const noexcept { return counts_[i]; }
+  double bucket_low(std::size_t i) const noexcept {
+    return lo_ + width_ * static_cast<double>(i);
+  }
+  double bucket_high(std::size_t i) const noexcept {
+    return lo_ + width_ * static_cast<double>(i + 1);
+  }
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Tail mass above `x` — used to check the "not heavy-tailed" claim.
+  double fraction_above(double x) const noexcept;
+
+ private:
+  double lo_;
+  double width_;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Exact percentile over a stored sample set (sizes here are small: one value
+/// per node or per message).
+class Percentiles {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  bool empty() const noexcept { return samples_.empty(); }
+  std::size_t size() const noexcept { return samples_.size(); }
+
+  /// q in [0, 1]; nearest-rank percentile. Sorts lazily.
+  double quantile(double q);
+  double median() { return quantile(0.5); }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+}  // namespace sdsi::common

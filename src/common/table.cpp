@@ -1,0 +1,79 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace sdsi::common {
+
+std::string format_fixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SDSI_CHECK(!header_.empty());
+}
+
+TextTable& TextTable::begin_row() {
+  rows_.emplace_back();
+  rows_.back().reserve(header_.size());
+  return *this;
+}
+
+TextTable& TextTable::add_cell(std::string text) {
+  SDSI_CHECK(!rows_.empty());
+  rows_.back().push_back(std::move(text));
+  return *this;
+}
+
+TextTable& TextTable::add_num(double value, int precision) {
+  return add_cell(format_fixed(value, precision));
+}
+
+TextTable& TextTable::add_int(long long value) {
+  return add_cell(std::to_string(value));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      line += cell;
+      line.append(widths[c] - cell.size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') {
+      line.pop_back();
+    }
+    line.push_back('\n');
+    return line;
+  };
+
+  std::string out = render_row(header_);
+  std::size_t rule_len = 0;
+  for (const std::size_t w : widths) {
+    rule_len += w + 2;
+  }
+  out.append(rule_len - 2, '-');
+  out.push_back('\n');
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+}  // namespace sdsi::common

@@ -1,0 +1,34 @@
+// Plain-text table rendering for the benchmark harnesses. Every figure/table
+// bench prints its series through this, so outputs are uniform and diffable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sdsi::common {
+
+/// Column-aligned ASCII table. Cells are strings; numeric helpers format with
+/// fixed precision so series line up across rows.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row. Subsequent add_cell/add_num calls fill it.
+  TextTable& begin_row();
+  TextTable& add_cell(std::string text);
+  TextTable& add_num(double value, int precision = 3);
+  TextTable& add_int(long long value);
+
+  /// Renders the table with a separator line under the header.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with fixed `precision` decimals.
+std::string format_fixed(double value, int precision);
+
+}  // namespace sdsi::common

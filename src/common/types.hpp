@@ -1,0 +1,33 @@
+// Fundamental value types shared by every sdsi module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace sdsi {
+
+/// Identifier on the Chord ring. The paper uses m-bit identifiers produced by
+/// SHA-1 truncation (for node addresses / stream ids) or by scaling a feature
+/// value (Eq. 6). We store them in 64 bits; the active width `m` is carried by
+/// the IdSpace that produced them (common/ring_math.hpp).
+using Key = std::uint64_t;
+
+/// Dense index of a data center (node) inside one simulation. This is a
+/// simulator-level handle, not the ring identifier: the ring identifier of
+/// node `n` is assigned by hashing, exactly as Chord hashes a node's IP.
+using NodeIndex = std::uint32_t;
+
+inline constexpr NodeIndex kInvalidNode = std::numeric_limits<NodeIndex>::max();
+
+/// Application-level identifier of a data stream (paper: "sid").
+using StreamId = std::uint64_t;
+
+/// Monotone sequence number used to break simulation-event ties
+/// deterministically.
+using SeqNo = std::uint64_t;
+
+/// A single stream observation (the paper's data points are bounded reals).
+using Sample = double;
+
+}  // namespace sdsi

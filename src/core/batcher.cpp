@@ -1,0 +1,65 @@
+#include "core/batcher.hpp"
+
+#include <algorithm>
+
+namespace sdsi::core {
+
+bool MbrBatcher::would_exceed_extent(
+    const dsp::FeatureVector& features) const {
+  // Allocation-free: adaptive mode runs this once per feature vector.
+  if (current_.empty()) {
+    return false;
+  }
+  const auto low = current_.low();
+  const auto high = current_.high();
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    const double coords[2] = {features[i].real(), features[i].imag()};
+    for (std::size_t part = 0; part < 2; ++part) {
+      const std::size_t d = 2 * i + part;
+      const double new_low = std::min(low[d], coords[part]);
+      const double new_high = std::max(high[d], coords[part]);
+      if (new_high - new_low > options_.max_extent) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::optional<dsp::Mbr> MbrBatcher::push(const dsp::FeatureVector& features) {
+  ++vectors_;
+  std::optional<dsp::Mbr> closed;
+  if (options_.mode == Mode::kAdaptive &&
+      (would_exceed_extent(features) ||
+       pending_count_ >= options_.max_batch)) {
+    closed = emit();
+  }
+  current_.extend(features);
+  ++pending_count_;
+  if (options_.mode == Mode::kFixedCount &&
+      pending_count_ >= options_.batch_size) {
+    SDSI_CHECK(!closed.has_value());
+    closed = emit();
+  }
+  return closed;
+}
+
+std::optional<dsp::Mbr> MbrBatcher::flush() {
+  if (pending_count_ == 0) {
+    return std::nullopt;
+  }
+  return emit();
+}
+
+std::optional<dsp::Mbr> MbrBatcher::emit() {
+  if (pending_count_ == 0) {
+    return std::nullopt;
+  }
+  dsp::Mbr finished = std::move(current_);
+  current_ = dsp::Mbr();
+  pending_count_ = 0;
+  ++batches_;
+  return finished;
+}
+
+}  // namespace sdsi::core

@@ -1,0 +1,74 @@
+// MBR batching of consecutive feature vectors (paper Sec IV-G).
+//
+// Consecutive summaries of one stream differ in a single sample out of N
+// ("Fourier locality", Fig 3b), so instead of routing every feature vector,
+// every `batch_size` of them are grouped into one MBR and the box is routed.
+//
+// The adaptive variant (paper Sec VI-A, after Olston et al.) bounds the box
+// *size* instead of the point count: it emits as soon as adding the next
+// vector would push any side beyond `max_extent`, trading update rate for
+// precision — fast-moving streams emit more, flat streams emit less.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+#include "dsp/mbr.hpp"
+
+namespace sdsi::core {
+
+class MbrBatcher {
+ public:
+  enum class Mode {
+    kFixedCount,  // paper Sec IV-G: every beta vectors -> one MBR
+    kAdaptive,    // paper Sec VI-A: bounded box extent
+  };
+
+  struct Options {
+    Mode mode = Mode::kFixedCount;
+    std::size_t batch_size = 5;  // beta (fixed-count mode)
+    double max_extent = 0.05;    // per-dimension cap (adaptive mode)
+    std::size_t max_batch = 64;  // adaptive hard cap so boxes always flush
+  };
+
+  MbrBatcher() : MbrBatcher(Options{}) {}
+  explicit MbrBatcher(Options options) : options_(options) {
+    SDSI_CHECK(options_.batch_size >= 1);
+    SDSI_CHECK(options_.max_batch >= 1);
+    SDSI_CHECK(options_.max_extent > 0.0);
+  }
+
+  const Options& options() const noexcept { return options_; }
+
+  /// Adjusts the adaptive extent budget at runtime (used by the Sec VI-A
+  /// precision controller). Applies from the next push; the current batch
+  /// keeps the box it has already grown.
+  void set_max_extent(double extent) noexcept {
+    SDSI_DCHECK(extent > 0.0);
+    options_.max_extent = extent;
+  }
+
+  /// Adds a feature vector; returns the finished MBR when the batch closes.
+  std::optional<dsp::Mbr> push(const dsp::FeatureVector& features);
+
+  /// Flushes a partially filled batch (stream shutdown).
+  std::optional<dsp::Mbr> flush();
+
+  std::size_t pending() const noexcept { return pending_count_; }
+  std::uint64_t batches_emitted() const noexcept { return batches_; }
+  std::uint64_t vectors_seen() const noexcept { return vectors_; }
+
+ private:
+  std::optional<dsp::Mbr> emit();
+  bool would_exceed_extent(const dsp::FeatureVector& features) const;
+
+  Options options_;
+  dsp::Mbr current_;
+  std::size_t pending_count_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t vectors_ = 0;
+};
+
+}  // namespace sdsi::core

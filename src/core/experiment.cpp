@@ -1,0 +1,278 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sdsi::core {
+
+namespace {
+
+StreamId stream_id_for_node(NodeIndex node) { return 1000 + node; }
+
+}  // namespace
+
+Experiment::Experiment(ExperimentConfig config)
+    : config_(config),
+      rng_factory_(config.seed),
+      query_rng_(rng_factory_.make("query-arrivals")),
+      query_walk_rng_(rng_factory_.make("query-patterns")) {
+  SDSI_CHECK(config_.num_nodes >= 1);
+}
+
+Experiment::~Experiment() = default;
+
+void Experiment::build() {
+  const common::IdSpace space(config_.id_bits);
+  const std::vector<Key> ids =
+      routing::hash_node_ids(config_.num_nodes, space, config_.seed);
+
+  switch (config_.substrate) {
+    case SubstrateKind::kChord: {
+      chord::ChordConfig chord_config;
+      chord_config.id_bits = config_.id_bits;
+      chord_config.lookup_style = config_.chord_lookup;
+      auto network = std::make_unique<chord::ChordNetwork>(sim_, chord_config);
+      network->bootstrap(ids);
+      routing_ = std::move(network);
+      break;
+    }
+    case SubstrateKind::kPrefixRing: {
+      routing::PrefixRingConfig prefix_config;
+      prefix_config.id_bits = config_.id_bits;
+      auto network =
+          std::make_unique<routing::PrefixRing>(sim_, prefix_config);
+      network->bootstrap(ids);
+      routing_ = std::move(network);
+      break;
+    }
+    case SubstrateKind::kStaticRing:
+      routing_ = std::make_unique<routing::StaticRing>(sim_, space, ids);
+      break;
+  }
+
+  if (config_.message_loss > 0.0) {
+    routing_->set_message_loss(config_.message_loss,
+                               rng_factory_.make("message-loss"));
+  }
+
+  MiddlewareConfig middleware;
+  middleware.features = config_.features;
+  middleware.batching = config_.batching;
+  middleware.multicast = config_.multicast;
+  middleware.mbr_lifespan = config_.workload.mbr_lifespan;
+  middleware.notify_period = config_.workload.notify_period;
+  middleware.adaptive_precision = config_.adaptive_precision;
+  system_ = std::make_unique<MiddlewareSystem>(*routing_, middleware);
+  system_->metrics().set_enabled(false);
+}
+
+std::unique_ptr<streams::StreamGenerator> Experiment::make_generator(
+    NodeIndex node) {
+  switch (config_.stream_family) {
+    case StreamFamily::kRandomWalk:
+      return std::make_unique<streams::RandomWalkGenerator>(
+          rng_factory_.make("stream-walk", node));
+    case StreamFamily::kStockMarket: {
+      // One shared market so tickers stay cross-correlated; built lazily on
+      // the first node. Tickers advance the market in lockstep: all stock
+      // streams share one period (closes arrive together), so ticker 0's
+      // pull steps the whole market (see StockTickerStream).
+      if (market_ == nullptr) {
+        streams::StockMarketModel::Params params;
+        params.num_tickers = config_.num_nodes;
+        market_ = std::make_shared<streams::StockMarketModel>(
+            rng_factory_.make("stock-market"), params);
+      }
+      return std::make_unique<streams::StockTickerStream>(market_, node);
+    }
+    case StreamFamily::kHostLoad:
+      return std::make_unique<streams::HostLoadGenerator>(
+          rng_factory_.make("stream-load", node));
+  }
+  SDSI_CHECK(false);
+}
+
+void Experiment::schedule_streams() {
+  // "Each node is a source of exactly one stream", simulated as a periodic
+  // process with per-stream period uniform in [PMIN, PMAX]. The stock
+  // family keeps one common period so the shared market advances in
+  // lockstep (daily closes arrive together at every data center).
+  generators_.reserve(config_.num_nodes);
+  common::Pcg32 period_rng = rng_factory_.make("stream-periods");
+  const bool lockstep = config_.stream_family == StreamFamily::kStockMarket;
+  const auto common_period = sim::Duration::micros(
+      (config_.workload.stream_period_min.count_micros() +
+       config_.workload.stream_period_max.count_micros()) /
+      2);
+  for (NodeIndex node = 0; node < config_.num_nodes; ++node) {
+    const StreamId sid = stream_id_for_node(node);
+    system_->register_stream(node, sid);
+    generators_.push_back(make_generator(node));
+    const auto period =
+        lockstep ? common_period
+                 : sim::Duration::micros(period_rng.uniform_int(
+                       config_.workload.stream_period_min.count_micros(),
+                       config_.workload.stream_period_max.count_micros()));
+    const auto offset =
+        lockstep ? sim::Duration()
+                 : sim::Duration::micros(
+                       period_rng.uniform_int(0, period.count_micros()));
+    streams::StreamGenerator* generator = generators_.back().get();
+    sim_.schedule_periodic(sim_.now() + offset + period, period,
+                           [this, node, sid, generator] {
+                             system_->post_stream_value(node, sid,
+                                                        generator->next());
+                           });
+  }
+}
+
+dsp::FeatureVector Experiment::random_query_features() {
+  // Query patterns are drawn from the same family as the data, so query
+  // keys follow the data key distribution.
+  std::vector<Sample> window(config_.features.window_size);
+  switch (config_.stream_family) {
+    case StreamFamily::kRandomWalk: {
+      streams::RandomWalkGenerator walk(query_walk_rng_,
+                                        query_walk_rng_.uniform(-10.0, 10.0));
+      for (Sample& x : window) {
+        x = walk.next();
+      }
+      break;
+    }
+    case StreamFamily::kStockMarket: {
+      // A GBM price path with market-typical volatility.
+      double price = 100.0;
+      for (Sample& x : window) {
+        price *= std::exp(0.0002 + 0.012 * query_walk_rng_.normal());
+        x = price;
+      }
+      break;
+    }
+    case StreamFamily::kHostLoad: {
+      streams::HostLoadGenerator load(query_walk_rng_);
+      for (Sample& x : window) {
+        x = load.next();
+      }
+      break;
+    }
+  }
+  // Advance the shared rng so consecutive queries differ.
+  query_walk_rng_ = common::Pcg32(query_walk_rng_.next64(),
+                                  query_walk_rng_.next64());
+  return dsp::extract_features(window, config_.features);
+}
+
+void Experiment::schedule_queries() {
+  // Poisson arrivals at QRATE; every query is issued by a random node
+  // ("queries are generated synthetically using a uniform distribution").
+  auto arrival = std::make_shared<std::function<void()>>();
+  *arrival = [this, arrival] {
+    const NodeIndex client = static_cast<NodeIndex>(
+        query_rng_.bounded(static_cast<std::uint32_t>(config_.num_nodes)));
+    const auto lifespan = sim::Duration::micros(query_rng_.uniform_int(
+        config_.workload.query_lifespan_min.count_micros(),
+        config_.workload.query_lifespan_max.count_micros()));
+    system_->subscribe_similarity(client, random_query_features(),
+                                  config_.workload.query_radius, lifespan);
+    ++queries_posed_;
+    const double gap =
+        query_rng_.exponential(config_.workload.query_rate_per_sec);
+    sim_.schedule_after(sim::Duration::seconds(gap), [arrival] {
+      (*arrival)();
+    });
+  };
+  const double first_gap =
+      query_rng_.exponential(config_.workload.query_rate_per_sec);
+  sim_.schedule_after(sim::Duration::seconds(first_gap),
+                      [arrival] { (*arrival)(); });
+}
+
+void Experiment::run() {
+  SDSI_CHECK(!ran_);
+  ran_ = true;
+  build();
+  schedule_streams();
+  schedule_queries();
+  system_->start();
+
+  sim_.run_until(sim::SimTime::zero() + config_.warmup);
+  system_->metrics().reset();
+  system_->metrics().set_enabled(true);
+  sim_.run_until(sim::SimTime::zero() + config_.warmup + config_.measure);
+  system_->metrics().set_enabled(false);
+}
+
+LoadReport Experiment::load_report() const {
+  SDSI_CHECK(ran_);
+  const MetricsCollector& metrics = system_->metrics();
+  const double seconds = measured_seconds();
+  const auto nodes = static_cast<double>(config_.num_nodes);
+  LoadReport report;
+  for (std::size_t c = 0; c < report.per_component.size(); ++c) {
+    std::uint64_t total = 0;
+    for (NodeIndex node = 0; node < config_.num_nodes; ++node) {
+      total += metrics.node_load(node, static_cast<LoadComponent>(c));
+    }
+    report.per_component[c] = static_cast<double>(total) / seconds / nodes;
+    report.total += report.per_component[c];
+  }
+  report.per_node_total.reserve(config_.num_nodes);
+  for (NodeIndex node = 0; node < config_.num_nodes; ++node) {
+    report.per_node_total.push_back(
+        static_cast<double>(metrics.node_load_total(node)) / seconds);
+  }
+  return report;
+}
+
+OverheadReport Experiment::overhead_report() const {
+  SDSI_CHECK(ran_);
+  const MetricsCollector& metrics = system_->metrics();
+  auto ratio = [](std::uint64_t num, std::uint64_t den) {
+    return den == 0 ? 0.0
+                    : static_cast<double>(num) / static_cast<double>(den);
+  };
+  OverheadReport report;
+  report.mbr_internal =
+      ratio(metrics.mbr().range_internal, metrics.mbr().originated);
+  report.mbr_transit = ratio(metrics.mbr().transit, metrics.mbr().originated);
+  report.query_internal =
+      ratio(metrics.query().range_internal, metrics.query().originated);
+  report.query_transit =
+      ratio(metrics.query().transit, metrics.query().originated);
+  report.neighbor_exchange =
+      ratio(metrics.neighbor().originated, metrics.response().originated);
+  report.response_transit =
+      ratio(metrics.response().transit, metrics.response().originated);
+  return report;
+}
+
+HopsReport Experiment::hops_report() const {
+  SDSI_CHECK(ran_);
+  const MetricsCollector& metrics = system_->metrics();
+  HopsReport report;
+  report.mbr = metrics.mbr().hops_routed.mean();
+  report.mbr_internal = metrics.mbr().hops_internal.mean();
+  report.query = metrics.query().hops_routed.mean();
+  report.query_internal = metrics.query().hops_internal.mean();
+  report.response = metrics.response().hops_routed.mean();
+  return report;
+}
+
+QualityReport Experiment::quality_report() const {
+  SDSI_CHECK(ran_);
+  QualityReport report;
+  report.queries_posed = queries_posed_;
+  common::OnlineStats first_response;
+  for (const auto& [id, record] : system_->client_records()) {
+    report.responses_received += record.responses_received;
+    report.matches_reported += record.matched_streams.size();
+    if (record.first_response_at.has_value()) {
+      first_response.add(
+          (*record.first_response_at - record.issued_at).as_millis());
+    }
+  }
+  report.mean_first_response_ms = first_response.mean();
+  return report;
+}
+
+}  // namespace sdsi::core

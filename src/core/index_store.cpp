@@ -1,0 +1,55 @@
+#include "core/index_store.hpp"
+
+#include <algorithm>
+
+namespace sdsi::core {
+
+void IndexStore::add_subscription(
+    std::shared_ptr<const SimilarityQuery> query, Key middle_key,
+    sim::SimTime expires) {
+  SDSI_CHECK(query != nullptr);
+  const QueryId id = query->id;
+  auto [it, inserted] = subscriptions_.try_emplace(id);
+  if (inserted) {
+    it->second.query = std::move(query);
+    it->second.middle_key = middle_key;
+  }
+  it->second.expires = expires;
+}
+
+void IndexStore::expire(sim::SimTime now) {
+  std::erase_if(mbrs_,
+                [now](const StoredMbr& entry) { return entry.expires <= now; });
+  std::erase_if(subscriptions_, [now](const auto& pair) {
+    return pair.second.expires <= now;
+  });
+}
+
+std::vector<SimilarityMatch> IndexStore::match(sim::SimTime now) {
+  std::vector<SimilarityMatch> fresh;
+  for (auto& [id, sub] : subscriptions_) {
+    if (sub.expires <= now) {
+      continue;
+    }
+    const SimilarityQuery& query = *sub.query;
+    for (const StoredMbr& entry : mbrs_) {
+      if (entry.expires <= now || sub.reported.contains(entry.stream)) {
+        continue;
+      }
+      const double bound = entry.mbr.min_distance(query.features);
+      if (bound <= query.radius) {
+        sub.reported.insert(entry.stream);
+        fresh.push_back(SimilarityMatch{id, entry.stream, bound, now});
+      }
+    }
+  }
+  return fresh;
+}
+
+const IndexStore::Subscription* IndexStore::find_subscription(
+    QueryId id) const {
+  const auto it = subscriptions_.find(id);
+  return it == subscriptions_.end() ? nullptr : &it->second;
+}
+
+}  // namespace sdsi::core

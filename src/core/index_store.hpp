@@ -1,0 +1,71 @@
+// Per-data-center index storage (paper Sec IV, Table I lifespans).
+//
+// Each node stores (a) the MBRs routed to it by content, and (b) the
+// similarity-query subscriptions replicated onto it because its arc
+// intersects the query's key range. Both carry lifespans: "every MBR or
+// query is stored at nodes only for a certain life span after which it is
+// removed, to prevent cluttering of storage space and to eliminate query
+// responses that contain stale information."
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/query.hpp"
+
+namespace sdsi::core {
+
+class IndexStore {
+ public:
+  struct StoredMbr {
+    StreamId stream = 0;
+    NodeIndex source = kInvalidNode;
+    dsp::Mbr mbr;
+    std::uint64_t batch_seq = 0;
+    sim::SimTime stored_at;
+    sim::SimTime expires;
+  };
+
+  struct Subscription {
+    std::shared_ptr<const SimilarityQuery> query;
+    Key middle_key = 0;
+    sim::SimTime expires;
+    /// Streams already reported by THIS node for this query; reports are
+    /// deduplicated per node, the aggregator dedups across nodes.
+    std::unordered_set<StreamId> reported;
+  };
+
+  void add_mbr(StoredMbr entry) { mbrs_.push_back(std::move(entry)); }
+
+  /// Inserts or refreshes a subscription (range re-replication of the same
+  /// query id keeps the original state).
+  void add_subscription(std::shared_ptr<const SimilarityQuery> query,
+                        Key middle_key, sim::SimTime expires);
+
+  /// Drops every MBR and subscription whose lifespan passed.
+  void expire(sim::SimTime now);
+
+  /// One matching pass (Eq. 8 + MBR lower bound): returns the NEW
+  /// (query, stream) candidate pairs detected at `now`, recording them so
+  /// they are never reported twice by this node.
+  std::vector<SimilarityMatch> match(sim::SimTime now);
+
+  std::size_t mbr_count() const noexcept { return mbrs_.size(); }
+  std::size_t subscription_count() const noexcept {
+    return subscriptions_.size();
+  }
+  const std::vector<StoredMbr>& mbrs() const noexcept { return mbrs_; }
+  const std::unordered_map<QueryId, Subscription>& subscriptions()
+      const noexcept {
+    return subscriptions_;
+  }
+  const Subscription* find_subscription(QueryId id) const;
+
+ private:
+  std::vector<StoredMbr> mbrs_;
+  std::unordered_map<QueryId, Subscription> subscriptions_;
+};
+
+}  // namespace sdsi::core

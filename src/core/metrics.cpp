@@ -1,0 +1,129 @@
+#include "core/metrics.hpp"
+
+#include "common/check.hpp"
+
+namespace sdsi::core {
+
+MetricsCollector::MetricsCollector(std::size_t num_nodes)
+    : per_node_(num_nodes) {}
+
+void MetricsCollector::reset() {
+  for (auto& counters : per_node_) {
+    counters.fill(0);
+  }
+  mbr_ = CategoryCounters{};
+  query_ = CategoryCounters{};
+  response_ = CategoryCounters{};
+  neighbor_ = CategoryCounters{};
+  location_ = CategoryCounters{};
+}
+
+CategoryCounters& MetricsCollector::category(const routing::Message& msg) {
+  switch (static_cast<MsgKind>(msg.kind)) {
+    case MsgKind::kMbrUpdate:
+      return mbr_;
+    case MsgKind::kSimilarityQuery:
+    case MsgKind::kInnerProductQuery:
+      return query_;
+    case MsgKind::kResponse:
+      return response_;
+    case MsgKind::kNeighborExchange:
+      return neighbor_;
+    case MsgKind::kLocationPut:
+    case MsgKind::kLocationGet:
+    case MsgKind::kLocationReply:
+      return location_;
+  }
+  SDSI_CHECK(false);
+}
+
+void MetricsCollector::add_node_load(NodeIndex node,
+                                     const routing::Message& msg,
+                                     bool transit) {
+  if (node >= per_node_.size()) {
+    return;
+  }
+  LoadComponent component = LoadComponent::kQueries;
+  switch (static_cast<MsgKind>(msg.kind)) {
+    case MsgKind::kMbrUpdate:
+      component = transit ? LoadComponent::kMbrTransit
+                          : (msg.range_internal ? LoadComponent::kMbrInternal
+                                                : LoadComponent::kMbrSource);
+      break;
+    case MsgKind::kSimilarityQuery:
+    case MsgKind::kInnerProductQuery:
+    case MsgKind::kLocationPut:
+    case MsgKind::kLocationGet:
+    case MsgKind::kLocationReply:
+      component = LoadComponent::kQueries;  // "all query messages" (Fig 6a d)
+      break;
+    case MsgKind::kResponse:
+      component = transit ? LoadComponent::kResponsesTransit
+                          : LoadComponent::kResponses;
+      break;
+    case MsgKind::kNeighborExchange:
+      component = LoadComponent::kResponsesInternal;
+      break;
+  }
+  ++per_node_[node][static_cast<std::size_t>(component)];
+}
+
+void MetricsCollector::on_send(NodeIndex from, const routing::Message& msg) {
+  if (!enabled_) {
+    return;
+  }
+  CategoryCounters& cat = category(msg);
+  if (msg.range_internal) {
+    ++cat.range_internal;
+  } else {
+    ++cat.originated;
+  }
+  add_node_load(from, msg, /*transit=*/false);
+}
+
+void MetricsCollector::on_transit(NodeIndex via, const routing::Message& msg) {
+  if (!enabled_) {
+    return;
+  }
+  ++category(msg).transit;
+  add_node_load(via, msg, /*transit=*/true);
+}
+
+void MetricsCollector::on_deliver(NodeIndex at, const routing::Message& msg) {
+  if (!enabled_) {
+    return;
+  }
+  CategoryCounters& cat = category(msg);
+  ++cat.delivered;
+  if (msg.range_internal) {
+    cat.hops_internal.add(static_cast<double>(msg.hops));
+  } else {
+    cat.hops_routed.add(static_cast<double>(msg.hops));
+  }
+  if (clock_ != nullptr) {
+    const double elapsed = (clock_->now() - msg.sent_at).as_millis();
+    if (msg.range_internal) {
+      cat.range_latency_ms.add(elapsed);
+    } else {
+      cat.latency_ms.add(elapsed);
+    }
+  }
+  add_node_load(at, msg, /*transit=*/false);
+}
+
+std::uint64_t MetricsCollector::node_load(NodeIndex node,
+                                          LoadComponent component) const {
+  SDSI_CHECK(node < per_node_.size());
+  return per_node_[node][static_cast<std::size_t>(component)];
+}
+
+std::uint64_t MetricsCollector::node_load_total(NodeIndex node) const {
+  SDSI_CHECK(node < per_node_.size());
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : per_node_[node]) {
+    total += count;
+  }
+  return total;
+}
+
+}  // namespace sdsi::core

@@ -1,0 +1,125 @@
+// Instrumentation for the paper's three evaluation characteristics:
+//  - per-node message load, split into the seven components of Fig 6(a);
+//  - message overhead per input event, the six components of Fig 7;
+//  - hops traversed per message type, Fig 8.
+//
+// The collector plugs into the routing layer as a MetricsHook, so every
+// origination, overlay transit, and delivery is observed exactly once.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "routing/api.hpp"
+
+namespace sdsi::core {
+
+/// Application message tags carried in routing::Message::kind.
+enum class MsgKind : int {
+  kMbrUpdate = 1,         // batched stream summaries (Sec IV-G)
+  kSimilarityQuery = 2,   // continuous similarity subscription (Sec IV-E)
+  kInnerProductQuery = 3, // inner-product subscription (Sec IV-D)
+  kResponse = 4,          // periodic response to a client (Sec IV-F)
+  kNeighborExchange = 5,  // detected-similarity digests between neighbors
+  kLocationPut = 6,       // stream-id -> source registration (h2 service)
+  kLocationGet = 7,       // stream-id resolution request
+  kLocationReply = 8,     // stream-id resolution reply
+};
+
+/// The seven per-node load components of Fig 6(a).
+enum class LoadComponent : std::size_t {
+  kMbrSource = 0,        // (a) MBRs originated by the node as a stream source
+  kMbrInternal = 1,      // (b) extra copies when an MBR range spans nodes
+  kMbrTransit = 2,       // (c) MBRs relayed by intermediate overlay nodes
+  kQueries = 3,          // (d) all query messages
+  kResponses = 4,        // (e) responses from the notifying node to clients
+  kResponsesInternal = 5,// (f) neighbor-to-neighbor similarity digests
+  kResponsesTransit = 6, // (g) responses relayed by intermediate nodes
+  kCount = 7,
+};
+
+inline const char* load_component_name(LoadComponent c) {
+  switch (c) {
+    case LoadComponent::kMbrSource: return "MBRs";
+    case LoadComponent::kMbrInternal: return "MBRs internal";
+    case LoadComponent::kMbrTransit: return "MBRs in transit";
+    case LoadComponent::kQueries: return "Queries";
+    case LoadComponent::kResponses: return "Responses";
+    case LoadComponent::kResponsesInternal: return "Responses internal";
+    case LoadComponent::kResponsesTransit: return "Responses in transit";
+    case LoadComponent::kCount: break;
+  }
+  return "?";
+}
+
+/// Aggregate counters for one message category (Fig 7 / Fig 8 views).
+struct CategoryCounters {
+  std::uint64_t originated = 0;      // first-class sends (not range copies)
+  std::uint64_t range_internal = 0;  // copies created by range forwarding
+  std::uint64_t transit = 0;         // overlay relays
+  std::uint64_t delivered = 0;       // deliveries (all copies)
+  common::OnlineStats hops_routed;   // hops of delivered first-class copies
+  common::OnlineStats hops_internal; // hops of delivered range copies
+  common::OnlineStats latency_ms;        // send->deliver, first-class copies
+  common::OnlineStats range_latency_ms;  // original send->deliver, range
+                                         // copies (cumulative walk delay)
+};
+
+class MetricsCollector final : public routing::MetricsHook {
+ public:
+  explicit MetricsCollector(std::size_t num_nodes);
+
+  /// While disabled (warm-up), nothing is recorded.
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+  void reset();
+
+  /// Grows the per-node table when data centers join at runtime.
+  void ensure_nodes(std::size_t count) {
+    if (count > per_node_.size()) {
+      per_node_.resize(count);
+    }
+  }
+
+  // MetricsHook interface.
+  void on_send(NodeIndex from, const routing::Message& msg) override;
+  void on_transit(NodeIndex via, const routing::Message& msg) override;
+  void on_deliver(NodeIndex at, const routing::Message& msg) override;
+
+  /// Attach the simulator clock so latency can be measured.
+  void set_clock(const sim::Simulator* clock) noexcept { clock_ = clock; }
+
+  std::size_t num_nodes() const noexcept { return per_node_.size(); }
+
+  /// Load events (sends + transits + deliveries touching the node) of one
+  /// Fig 6(a) component at one node.
+  std::uint64_t node_load(NodeIndex node, LoadComponent component) const;
+
+  /// Total load events at a node across all components.
+  std::uint64_t node_load_total(NodeIndex node) const;
+
+  const CategoryCounters& mbr() const noexcept { return mbr_; }
+  const CategoryCounters& query() const noexcept { return query_; }
+  const CategoryCounters& response() const noexcept { return response_; }
+  const CategoryCounters& neighbor() const noexcept { return neighbor_; }
+  const CategoryCounters& location() const noexcept { return location_; }
+
+ private:
+  CategoryCounters& category(const routing::Message& msg);
+  void add_node_load(NodeIndex node, const routing::Message& msg,
+                     bool transit);
+
+  bool enabled_ = true;
+  const sim::Simulator* clock_ = nullptr;
+  std::vector<std::array<std::uint64_t,
+                         static_cast<std::size_t>(LoadComponent::kCount)>>
+      per_node_;
+  CategoryCounters mbr_;
+  CategoryCounters query_;
+  CategoryCounters response_;
+  CategoryCounters neighbor_;
+  CategoryCounters location_;
+};
+
+}  // namespace sdsi::core

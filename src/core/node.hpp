@@ -1,0 +1,82 @@
+// Per-data-center middleware state. MiddlewareSystem (system.hpp) drives the
+// logic; this header holds what one node knows.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/batcher.hpp"
+#include "core/index_store.hpp"
+#include "core/precision.hpp"
+#include "core/query.hpp"
+#include "streams/summarizer.hpp"
+
+namespace sdsi::core {
+
+/// One inner-product subscription installed at a stream's source node.
+struct InnerProductSubscription {
+  std::shared_ptr<const InnerProductQuery> query;
+  sim::SimTime expires;
+};
+
+/// A stream this node is the source of ("each node is a source of exactly
+/// one stream" in the experiments; the API supports several).
+struct LocalStream {
+  StreamId id = 0;
+  streams::StreamSummarizer summarizer;
+  MbrBatcher batcher;
+  /// Per-stream Sec VI-A closed loop, when the middleware enables it.
+  std::optional<AdaptivePrecisionController> precision;
+  std::uint64_t batch_seq = 0;
+  std::vector<InnerProductSubscription> inner_subscriptions;
+
+  LocalStream(StreamId stream, const dsp::FeatureConfig& features,
+              const MbrBatcher::Options& batching)
+      : id(stream), summarizer(features), batcher(batching) {}
+};
+
+/// Aggregation state for one similarity query whose range middle key this
+/// node covers (Sec IV-F: range nodes report candidates to the middle node,
+/// which periodically pushes responses to the client).
+struct AggregatorRecord {
+  NodeIndex client = kInvalidNode;
+  sim::SimTime expires;
+  std::vector<SimilarityMatch> pending;     // to include in the next push
+  std::unordered_set<StreamId> seen;        // cross-node deduplication
+  std::uint64_t pushes = 0;
+};
+
+struct MiddlewareNode {
+  NodeIndex index = kInvalidNode;
+
+  /// Streams originating here, keyed by stream id.
+  std::map<StreamId, LocalStream> streams;
+
+  /// Content-routed storage (MBRs + similarity subscriptions).
+  IndexStore store;
+
+  /// Similarity queries aggregated here (this node covers their middle key).
+  std::unordered_map<QueryId, AggregatorRecord> aggregations;
+
+  /// Match reports waiting for the next periodic neighbor digest.
+  std::vector<MatchReport> outgoing_reports;
+
+  /// Location-service directory fragment: streams whose h2 key this node
+  /// covers.
+  std::unordered_map<StreamId, NodeIndex> location_directory;
+
+  /// Client-side cache of resolved stream locations ("remembers the mapping
+  /// so next time it does not need to retrieve it").
+  std::unordered_map<StreamId, NodeIndex> location_cache;
+
+  /// Inner-product queries posed here and still waiting for a location
+  /// reply, keyed by stream id.
+  std::unordered_map<StreamId,
+                     std::vector<std::shared_ptr<const InnerProductQuery>>>
+      pending_inner_queries;
+};
+
+}  // namespace sdsi::core

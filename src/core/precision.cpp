@@ -1,0 +1,29 @@
+#include "core/precision.hpp"
+
+#include <algorithm>
+
+namespace sdsi::core {
+
+double AdaptivePrecisionController::observe(bool emitted) {
+  ++vectors_in_window_;
+  if (emitted) {
+    ++emissions_in_window_;
+  }
+  if (vectors_in_window_ >= options_.window) {
+    const double rate = static_cast<double>(emissions_in_window_);
+    if (rate > options_.target_rate) {
+      // Updates too frequent: widen the boxes (grow fast — overload hurts).
+      extent_ = std::min(extent_ * options_.grow_factor, options_.max_extent);
+    } else if (rate < 0.5 * options_.target_rate) {
+      // Plenty of slack: claw precision back (shrink gently).
+      extent_ =
+          std::max(extent_ * options_.shrink_factor, options_.min_extent);
+    }
+    vectors_in_window_ = 0;
+    emissions_in_window_ = 0;
+    ++adaptations_;
+  }
+  return extent_;
+}
+
+}  // namespace sdsi::core

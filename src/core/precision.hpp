@@ -1,0 +1,62 @@
+// Adaptive precision setting for MBRs (paper Sec VI-A, after Olston et al.,
+// "Adaptive precision setting for cached approximate values").
+//
+// The fixed batching of Sec IV-G is data-independent: a fast-moving stream
+// ships huge boxes, a flat stream ships needless updates. This controller
+// closes the loop: it watches how often a stream's batcher emits and adjusts
+// the per-dimension extent budget to hit a target update rate —
+//  - emitting too often  -> grow the boxes (cheaper, less precise);
+//  - emitting too rarely -> shrink them (preciser, the bandwidth is there).
+// Growth is multiplicative on overflow, shrinkage is gentle and periodic,
+// the asymmetric policy Olston's caching scheme uses.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace sdsi::core {
+
+class AdaptivePrecisionController {
+ public:
+  struct Options {
+    /// Desired MBR emissions per adaptation window.
+    double target_rate = 1.0;
+    /// Extent budget bounds (feature-space units; coordinates live in
+    /// [-1, 1], so 0.5 is a quarter of the diameter).
+    double min_extent = 1e-3;
+    double max_extent = 0.5;
+    double grow_factor = 1.5;
+    double shrink_factor = 0.9;
+    /// Feature vectors per adaptation step.
+    std::uint64_t window = 16;
+  };
+
+  AdaptivePrecisionController() : AdaptivePrecisionController(Options{}) {}
+  explicit AdaptivePrecisionController(Options options)
+      : options_(options), extent_(options.max_extent / 4.0) {
+    SDSI_CHECK(options_.min_extent > 0.0);
+    SDSI_CHECK(options_.min_extent <= options_.max_extent);
+    SDSI_CHECK(options_.grow_factor > 1.0);
+    SDSI_CHECK(options_.shrink_factor > 0.0 && options_.shrink_factor < 1.0);
+    SDSI_CHECK(options_.window >= 1);
+    SDSI_CHECK(options_.target_rate > 0.0);
+  }
+
+  const Options& options() const noexcept { return options_; }
+  double extent() const noexcept { return extent_; }
+  std::uint64_t adaptations() const noexcept { return adaptations_; }
+
+  /// Observes one feature vector having been pushed (and whether the batch
+  /// closed on it). Returns the extent budget to apply from now on.
+  double observe(bool emitted);
+
+ private:
+  Options options_;
+  double extent_;
+  std::uint64_t vectors_in_window_ = 0;
+  std::uint64_t emissions_in_window_ = 0;
+  std::uint64_t adaptations_ = 0;
+};
+
+}  // namespace sdsi::core

@@ -1,0 +1,110 @@
+// Query model (paper Sec III-B) and the typed payloads the middleware puts
+// into routing messages.
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dsp/features.hpp"
+#include "dsp/mbr.hpp"
+#include "sim/time.hpp"
+
+namespace sdsi::core {
+
+using QueryId = std::uint64_t;
+
+/// Similarity query (q, epsilon, lifespan): report every stream whose
+/// normalized window is within distance epsilon of the query sequence,
+/// continuously for `lifespan`.
+struct SimilarityQuery {
+  QueryId id = 0;
+  NodeIndex client = kInvalidNode;
+  dsp::FeatureVector features;  // extracted from the query sequence q
+  double radius = 0.1;          // epsilon
+  sim::Duration lifespan;
+  sim::SimTime issued_at;
+};
+
+/// Inner-product query (sid, i, w, lifespan): continuously report
+/// sum_j i_j * w_j * x_j over the most recent window of stream `stream`.
+struct InnerProductQuery {
+  QueryId id = 0;
+  NodeIndex client = kInvalidNode;
+  StreamId stream = 0;
+  std::vector<double> index;    // data items of interest
+  std::vector<double> weights;  // per-item weights
+  sim::Duration lifespan;
+  sim::SimTime issued_at;
+};
+
+/// One detected similarity candidate (stream whose summary passed the
+/// lower-bound test against the query ball).
+struct SimilarityMatch {
+  QueryId query = 0;
+  StreamId stream = 0;
+  double bound_distance = 0.0;  // lower bound that admitted the candidate
+  sim::SimTime detected_at;
+};
+
+// --- Routing payloads -------------------------------------------------------
+
+/// Payload of kMbrUpdate messages: one batch of summaries from one stream.
+struct MbrPayload {
+  StreamId stream = 0;
+  NodeIndex source = kInvalidNode;
+  dsp::Mbr mbr;
+  std::uint64_t batch_seq = 0;  // per-stream batch counter
+};
+
+/// Payload of kSimilarityQuery messages (shared across all range replicas).
+struct SimilarityQueryPayload {
+  std::shared_ptr<const SimilarityQuery> query;
+  Key middle_key = 0;  // aggregation point of the query's key range
+};
+
+/// Payload of kInnerProductQuery messages.
+struct InnerProductQueryPayload {
+  std::shared_ptr<const InnerProductQuery> query;
+};
+
+/// One report traveling neighbor-to-neighbor toward a query's middle node.
+struct MatchReport {
+  SimilarityMatch match;
+  NodeIndex client = kInvalidNode;
+  Key middle_key = 0;
+  sim::SimTime query_expires;
+};
+
+/// Payload of kNeighborExchange messages: the node's aggregated digest of
+/// match reports for this period (one message, all queries — which is why
+/// the paper's component (f) is constant per node).
+struct NeighborDigestPayload {
+  std::vector<MatchReport> reports;
+};
+
+/// Payload of kResponse messages: periodic push to one client.
+struct ResponsePayload {
+  QueryId query = 0;
+  NodeIndex client = kInvalidNode;
+  bool inner_product = false;
+  std::vector<SimilarityMatch> matches;  // new matches since last push
+  double inner_product_value = 0.0;      // for inner-product subscriptions
+};
+
+/// Location service payloads (Sec IV-D).
+struct LocationPutPayload {
+  StreamId stream = 0;
+  NodeIndex source = kInvalidNode;
+};
+struct LocationGetPayload {
+  StreamId stream = 0;
+  NodeIndex requester = kInvalidNode;
+};
+struct LocationReplyPayload {
+  StreamId stream = 0;
+  NodeIndex source = kInvalidNode;  // kInvalidNode: unknown stream
+};
+
+}  // namespace sdsi::core

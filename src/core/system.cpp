@@ -1,0 +1,595 @@
+#include "core/system.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "dsp/normalize.hpp"
+
+namespace sdsi::core {
+
+namespace {
+
+template <typename T>
+std::shared_ptr<const T> payload_of(const routing::Message& msg) {
+  const auto* ptr = std::any_cast<std::shared_ptr<const T>>(&msg.payload);
+  SDSI_CHECK(ptr != nullptr);
+  return *ptr;
+}
+
+}  // namespace
+
+MiddlewareSystem::MiddlewareSystem(routing::RoutingSystem& routing,
+                                   MiddlewareConfig config)
+    : routing_(routing),
+      config_(config),
+      mapper_(routing.id_space()),
+      metrics_(routing.num_nodes()),
+      nodes_(routing.num_nodes()) {
+  config_.features.validate();
+  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].index = i;
+  }
+  metrics_.set_clock(&routing_.simulator());
+  routing_.set_metrics_hook(&metrics_);
+  routing_.set_deliver(
+      [this](NodeIndex at, const Message& msg) { on_deliver(at, msg); });
+}
+
+void MiddlewareSystem::schedule_tick(NodeIndex index, sim::Duration offset) {
+  sim::Simulator& sim = routing_.simulator();
+  sim.schedule_periodic(sim.now() + offset + config_.notify_period,
+                        config_.notify_period,
+                        [this, index] { periodic_tick(index); });
+}
+
+void MiddlewareSystem::start() {
+  SDSI_CHECK(!started_);
+  started_ = true;
+  const std::int64_t period_us = config_.notify_period.count_micros();
+  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+    // Stagger ticks across one period: data centers do not share a clock.
+    schedule_tick(i, sim::Duration::micros(
+                         period_us * static_cast<std::int64_t>(i) /
+                         static_cast<std::int64_t>(nodes_.size())));
+  }
+}
+
+MiddlewareNode& MiddlewareSystem::state_of(NodeIndex index) {
+  if (index >= nodes_.size()) {
+    attach_node(index);
+  }
+  return nodes_[index];
+}
+
+void MiddlewareSystem::attach_node(NodeIndex index) {
+  while (nodes_.size() <= index) {
+    const auto fresh = static_cast<NodeIndex>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_.back().index = fresh;
+    if (started_) {
+      schedule_tick(fresh, sim::Duration());
+    }
+  }
+  metrics_.ensure_nodes(nodes_.size());
+}
+
+// --- Application primitives --------------------------------------------------
+
+void MiddlewareSystem::register_stream(NodeIndex node, StreamId stream) {
+  MbrBatcher::Options batching = config_.batching;
+  if (config_.adaptive_precision.has_value()) {
+    batching.mode = MbrBatcher::Mode::kAdaptive;
+    batching.max_extent =
+        AdaptivePrecisionController(*config_.adaptive_precision).extent();
+  }
+  auto [it, inserted] = state_of(node).streams.try_emplace(
+      stream, stream, config_.features, batching);
+  SDSI_CHECK(inserted);
+  if (config_.adaptive_precision.has_value()) {
+    it->second.precision.emplace(*config_.adaptive_precision);
+  }
+
+  Message msg;
+  msg.kind = static_cast<int>(MsgKind::kLocationPut);
+  msg.payload = std::make_shared<const LocationPutPayload>(
+      LocationPutPayload{stream, node});
+  routing_.send(node, mapper_.key_for_stream(stream), std::move(msg));
+}
+
+void MiddlewareSystem::unregister_stream(NodeIndex node, StreamId stream) {
+  MiddlewareNode& state = state_of(node);
+  const auto it = state.streams.find(stream);
+  SDSI_CHECK(it != state.streams.end());
+  if (std::optional<dsp::Mbr> partial = it->second.batcher.flush()) {
+    route_mbr(node, it->second, std::move(*partial));
+  }
+  state.streams.erase(it);
+
+  Message msg;
+  msg.kind = static_cast<int>(MsgKind::kLocationPut);
+  msg.payload = std::make_shared<const LocationPutPayload>(
+      LocationPutPayload{stream, kInvalidNode});  // tombstone
+  routing_.send(node, mapper_.key_for_stream(stream), std::move(msg));
+}
+
+void MiddlewareSystem::post_stream_value(NodeIndex node, StreamId stream,
+                                         Sample value) {
+  MiddlewareNode& state = state_of(node);
+  const auto it = state.streams.find(stream);
+  SDSI_CHECK(it != state.streams.end());
+  LocalStream& local = it->second;
+  local.summarizer.push(value);
+  const std::optional<dsp::FeatureVector> features =
+      local.summarizer.features();
+  if (!features.has_value()) {
+    return;  // window not full yet, or degenerate (constant) window
+  }
+  std::optional<dsp::Mbr> closed = local.batcher.push(*features);
+  if (local.precision.has_value()) {
+    local.batcher.set_max_extent(
+        local.precision->observe(closed.has_value()));
+  }
+  if (closed.has_value()) {
+    route_mbr(node, local, std::move(*closed));
+  }
+}
+
+void MiddlewareSystem::route_mbr(NodeIndex source, LocalStream& stream,
+                                 dsp::Mbr mbr) {
+  const sim::SimTime now = routing_.simulator().now();
+  const auto [lo, hi] = mapper_.mbr_range(mbr);
+  const auto payload = std::make_shared<const MbrPayload>(
+      MbrPayload{stream.id, source, std::move(mbr), stream.batch_seq++});
+
+  if (config_.store_local_summaries) {
+    nodes_[source].store.add_mbr(IndexStore::StoredMbr{
+        payload->stream, source, payload->mbr, payload->batch_seq, now,
+        now + config_.mbr_lifespan});
+  }
+
+  Message msg;
+  msg.kind = static_cast<int>(MsgKind::kMbrUpdate);
+  msg.payload = payload;
+  routing_.send_range(source, lo, hi, std::move(msg), config_.multicast);
+  ++mbrs_routed_;
+}
+
+QueryId MiddlewareSystem::subscribe_similarity(NodeIndex client,
+                                               dsp::FeatureVector features,
+                                               double radius,
+                                               sim::Duration lifespan) {
+  (void)state_of(client);
+  SDSI_CHECK(radius >= 0.0);
+  const sim::SimTime now = routing_.simulator().now();
+  const QueryId id = next_query_id_++;
+
+  auto query = std::make_shared<const SimilarityQuery>(SimilarityQuery{
+      id, client, std::move(features), radius, lifespan, now});
+  const auto [lo, hi] = mapper_.query_range(query->features, radius);
+  const Key middle = routing_.id_space().midpoint(lo, hi);
+
+  ClientQueryRecord record;
+  record.id = id;
+  record.client = client;
+  record.issued_at = now;
+  record.expires = now + lifespan;
+  client_records_.emplace(id, std::move(record));
+
+  const auto payload = std::make_shared<const SimilarityQueryPayload>(
+      SimilarityQueryPayload{std::move(query), middle});
+  Message msg;
+  msg.kind = static_cast<int>(MsgKind::kSimilarityQuery);
+  msg.payload = payload;
+  routing_.send_range(client, lo, hi, std::move(msg), config_.multicast);
+
+  if (config_.query_refresh_period > sim::Duration()) {
+    // Soft state: periodically reinstall the subscription across the range
+    // until the lifespan runs out.
+    sim::Simulator& sim = routing_.simulator();
+    const sim::SimTime expires = now + lifespan;
+    auto handle = std::make_shared<sim::TaskHandle>();
+    *handle = sim.schedule_periodic(
+        sim.now() + config_.query_refresh_period,
+        config_.query_refresh_period,
+        [this, client, lo, hi, payload, expires, handle] {
+          if (routing_.simulator().now() >= expires ||
+              !routing_.is_alive(client)) {
+            handle->cancel();
+            return;
+          }
+          Message refresh;
+          refresh.kind = static_cast<int>(MsgKind::kSimilarityQuery);
+          refresh.payload = payload;
+          routing_.send_range(client, lo, hi, std::move(refresh),
+                              config_.multicast);
+        });
+  }
+  return id;
+}
+
+QueryId MiddlewareSystem::subscribe_similarity_window(
+    NodeIndex client, std::span<const Sample> window, double radius,
+    sim::Duration lifespan) {
+  return subscribe_similarity(
+      client, dsp::extract_features(window, config_.features), radius,
+      lifespan);
+}
+
+QueryId MiddlewareSystem::subscribe_inner_product(
+    NodeIndex client, StreamId stream, std::vector<double> index,
+    std::vector<double> weights, sim::Duration lifespan) {
+  (void)state_of(client);
+  SDSI_CHECK(index.size() == weights.size());
+  SDSI_CHECK(index.size() <= config_.features.window_size);
+  const sim::SimTime now = routing_.simulator().now();
+  const QueryId id = next_query_id_++;
+  auto query = std::make_shared<const InnerProductQuery>(
+      InnerProductQuery{id, client, stream, std::move(index),
+                        std::move(weights), lifespan, now});
+
+  ClientQueryRecord record;
+  record.id = id;
+  record.client = client;
+  record.inner_product = true;
+  record.issued_at = now;
+  record.expires = now + lifespan;
+  client_records_.emplace(id, std::move(record));
+
+  MiddlewareNode& state = state_of(client);
+  const auto cached = state.location_cache.find(stream);
+  if (cached != state.location_cache.end()) {
+    dispatch_inner_query(client, std::move(query), cached->second);
+    return id;
+  }
+  const bool resolution_in_flight =
+      state.pending_inner_queries.contains(stream);
+  state.pending_inner_queries[stream].push_back(std::move(query));
+  if (!resolution_in_flight) {
+    Message msg;
+    msg.kind = static_cast<int>(MsgKind::kLocationGet);
+    msg.payload = std::make_shared<const LocationGetPayload>(
+        LocationGetPayload{stream, client});
+    routing_.send(client, mapper_.key_for_stream(stream), std::move(msg));
+  }
+  return id;
+}
+
+void MiddlewareSystem::dispatch_inner_query(
+    NodeIndex client, std::shared_ptr<const InnerProductQuery> query,
+    NodeIndex source) {
+  Message msg;
+  msg.kind = static_cast<int>(MsgKind::kInnerProductQuery);
+  msg.payload = std::make_shared<const InnerProductQueryPayload>(
+      InnerProductQueryPayload{std::move(query)});
+  routing_.send(client, routing_.node_id(source), std::move(msg));
+}
+
+// --- Delivery dispatch --------------------------------------------------------
+
+void MiddlewareSystem::on_deliver(NodeIndex at, const Message& msg) {
+  switch (static_cast<MsgKind>(msg.kind)) {
+    case MsgKind::kMbrUpdate:
+      handle_mbr(at, msg);
+      return;
+    case MsgKind::kSimilarityQuery:
+      handle_similarity_query(at, msg);
+      return;
+    case MsgKind::kInnerProductQuery:
+      handle_inner_query(at, msg);
+      return;
+    case MsgKind::kResponse:
+      handle_response(at, msg);
+      return;
+    case MsgKind::kNeighborExchange:
+      handle_neighbor_digest(at, msg);
+      return;
+    case MsgKind::kLocationPut:
+      handle_location_put(at, msg);
+      return;
+    case MsgKind::kLocationGet:
+      handle_location_get(at, msg);
+      return;
+    case MsgKind::kLocationReply:
+      handle_location_reply(at, msg);
+      return;
+  }
+  SDSI_CHECK(false);
+}
+
+void MiddlewareSystem::handle_mbr(NodeIndex at, const Message& msg) {
+  const auto payload = payload_of<MbrPayload>(msg);
+  if (config_.store_local_summaries && at == payload->source) {
+    return;  // the source already stored this batch when it routed it
+  }
+  const sim::SimTime now = routing_.simulator().now();
+  state_of(at).store.add_mbr(IndexStore::StoredMbr{
+      payload->stream, payload->source, payload->mbr, payload->batch_seq, now,
+      now + config_.mbr_lifespan});
+}
+
+void MiddlewareSystem::handle_similarity_query(NodeIndex at,
+                                               const Message& msg) {
+  const auto payload = payload_of<SimilarityQueryPayload>(msg);
+  const SimilarityQuery& query = *payload->query;
+  state_of(at).store.add_subscription(payload->query, payload->middle_key,
+                                      query.issued_at + query.lifespan);
+}
+
+void MiddlewareSystem::handle_inner_query(NodeIndex at, const Message& msg) {
+  const auto payload = payload_of<InnerProductQueryPayload>(msg);
+  const InnerProductQuery& query = *payload->query;
+  MiddlewareNode& state = state_of(at);
+  const auto it = state.streams.find(query.stream);
+  if (it == state.streams.end()) {
+    return;  // stale location mapping (stream moved or was dropped)
+  }
+  it->second.inner_subscriptions.push_back(InnerProductSubscription{
+      payload->query, query.issued_at + query.lifespan});
+}
+
+void MiddlewareSystem::handle_response(NodeIndex at, const Message& msg) {
+  const auto payload = payload_of<ResponsePayload>(msg);
+  if (payload->client != at) {
+    // The client crashed and its arc changed hands: the response routed to
+    // the new owner of the client's ring id. Nothing to do but drop it.
+    return;
+  }
+  const auto it = client_records_.find(payload->query);
+  if (it == client_records_.end()) {
+    return;
+  }
+  ClientQueryRecord& record = it->second;
+  ++record.responses_received;
+  if (!record.first_response_at.has_value()) {
+    record.first_response_at = routing_.simulator().now();
+  }
+  for (const SimilarityMatch& match : payload->matches) {
+    ++record.match_events;
+    record.matched_streams.insert(match.stream);
+  }
+  if (payload->inner_product) {
+    record.last_inner_value = payload->inner_product_value;
+    ++record.inner_updates;
+  }
+}
+
+void MiddlewareSystem::handle_neighbor_digest(NodeIndex at,
+                                              const Message& msg) {
+  const auto payload = payload_of<NeighborDigestPayload>(msg);
+  for (const MatchReport& report : payload->reports) {
+    file_match_report(at, report);
+  }
+}
+
+void MiddlewareSystem::handle_location_put(NodeIndex at, const Message& msg) {
+  const auto payload = payload_of<LocationPutPayload>(msg);
+  if (payload->source == kInvalidNode) {
+    state_of(at).location_directory.erase(payload->stream);  // tombstone
+  } else {
+    state_of(at).location_directory[payload->stream] = payload->source;
+  }
+}
+
+void MiddlewareSystem::handle_location_get(NodeIndex at, const Message& msg) {
+  const auto payload = payload_of<LocationGetPayload>(msg);
+  const auto& directory = state_of(at).location_directory;
+  const auto entry = directory.find(payload->stream);
+  const NodeIndex source =
+      entry == directory.end() ? kInvalidNode : entry->second;
+
+  Message reply;
+  reply.kind = static_cast<int>(MsgKind::kLocationReply);
+  reply.payload = std::make_shared<const LocationReplyPayload>(
+      LocationReplyPayload{payload->stream, source});
+  routing_.send(at, routing_.node_id(payload->requester), std::move(reply));
+}
+
+void MiddlewareSystem::retry_location_get(NodeIndex client, StreamId stream) {
+  if (!routing_.is_alive(client)) {
+    return;  // the querying data center is gone; let its state expire
+  }
+  MiddlewareNode& state = state_of(client);
+  const auto pending = state.pending_inner_queries.find(stream);
+  if (pending == state.pending_inner_queries.end()) {
+    return;  // resolved or expired in the meantime
+  }
+  const auto cached = state.location_cache.find(stream);
+  if (cached != state.location_cache.end()) {
+    std::vector<std::shared_ptr<const InnerProductQuery>> queries =
+        std::move(pending->second);
+    state.pending_inner_queries.erase(pending);
+    for (auto& query : queries) {
+      dispatch_inner_query(client, std::move(query), cached->second);
+    }
+    return;
+  }
+  Message msg;
+  msg.kind = static_cast<int>(MsgKind::kLocationGet);
+  msg.payload = std::make_shared<const LocationGetPayload>(
+      LocationGetPayload{stream, client});
+  routing_.send(client, mapper_.key_for_stream(stream), std::move(msg));
+}
+
+void MiddlewareSystem::handle_location_reply(NodeIndex at,
+                                             const Message& msg) {
+  const auto payload = payload_of<LocationReplyPayload>(msg);
+  MiddlewareNode& state = state_of(at);
+  auto pending = state.pending_inner_queries.find(payload->stream);
+  if (payload->source == kInvalidNode) {
+    // The directory does not know the stream (yet): its registration may
+    // still be in flight through the overlay, or the stream is truly gone.
+    // Keep the unexpired queries and retry after a notification period; the
+    // pending set drains naturally once every query's lifespan passes.
+    if (pending == state.pending_inner_queries.end()) {
+      return;
+    }
+    const sim::SimTime now = routing_.simulator().now();
+    std::erase_if(pending->second,
+                  [now](const std::shared_ptr<const InnerProductQuery>& q) {
+                    return q->issued_at + q->lifespan <= now;
+                  });
+    if (pending->second.empty()) {
+      state.pending_inner_queries.erase(pending);
+      return;
+    }
+    const StreamId stream = payload->stream;
+    routing_.simulator().schedule_after(
+        config_.notify_period,
+        [this, at, stream] { retry_location_get(at, stream); });
+    return;
+  }
+  state.location_cache[payload->stream] = payload->source;
+  if (pending == state.pending_inner_queries.end()) {
+    return;
+  }
+  std::vector<std::shared_ptr<const InnerProductQuery>> queries =
+      std::move(pending->second);
+  state.pending_inner_queries.erase(pending);
+  for (auto& query : queries) {
+    dispatch_inner_query(at, std::move(query), payload->source);
+  }
+}
+
+// --- Periodic machinery --------------------------------------------------------
+
+bool MiddlewareSystem::covers_key(NodeIndex node, Key key) const {
+  const NodeIndex pred = routing_.predecessor_index(node);
+  return routing_.id_space().in_half_open(key, routing_.node_id(pred),
+                                          routing_.node_id(node));
+}
+
+void MiddlewareSystem::file_match_report(NodeIndex at, MatchReport report) {
+  MiddlewareNode& state = state_of(at);
+  if (covers_key(at, report.middle_key)) {
+    AggregatorRecord& record = state.aggregations[report.match.query];
+    record.client = report.client;
+    record.expires = report.query_expires;
+    if (record.seen.insert(report.match.stream).second) {
+      record.pending.push_back(report.match);
+    }
+    return;
+  }
+  state.outgoing_reports.push_back(std::move(report));
+}
+
+void MiddlewareSystem::periodic_tick(NodeIndex index) {
+  if (!routing_.is_alive(index)) {
+    return;  // the data center crashed; its soft state dies with it
+  }
+  MiddlewareNode& state = nodes_[index];
+  const sim::SimTime now = routing_.simulator().now();
+  state.store.expire(now);
+
+  // 1. Detect new candidates against the local index (Eq. 8 / MBR bound).
+  for (SimilarityMatch& match : state.store.match(now)) {
+    const IndexStore::Subscription* sub =
+        state.store.find_subscription(match.query);
+    SDSI_CHECK(sub != nullptr);
+    file_match_report(index,
+                      MatchReport{std::move(match), sub->query->client,
+                                  sub->middle_key, sub->expires});
+  }
+
+  // 2. Relay buffered reports one ring hop toward their middle nodes, as a
+  //    single aggregated digest per direction (the paper's constant
+  //    per-node neighbor-exchange component).
+  if (!state.outgoing_reports.empty()) {
+    std::vector<MatchReport> up;
+    std::vector<MatchReport> down;
+    const Key self_id = routing_.node_id(index);
+    for (MatchReport& report : state.outgoing_reports) {
+      if (report.query_expires <= now) {
+        continue;  // stale: the query is gone, stop circulating it
+      }
+      const Key middle = report.middle_key;
+      const bool shorter_up = routing_.id_space().distance(self_id, middle) <=
+                              routing_.id_space().distance(middle, self_id);
+      (shorter_up ? up : down).push_back(std::move(report));
+    }
+    state.outgoing_reports.clear();
+    if (!up.empty()) {
+      Message msg;
+      msg.kind = static_cast<int>(MsgKind::kNeighborExchange);
+      msg.payload = std::make_shared<const NeighborDigestPayload>(
+          NeighborDigestPayload{std::move(up)});
+      routing_.send_direct(index, routing_.successor_index(index),
+                           std::move(msg));
+    }
+    if (!down.empty()) {
+      Message msg;
+      msg.kind = static_cast<int>(MsgKind::kNeighborExchange);
+      msg.payload = std::make_shared<const NeighborDigestPayload>(
+          NeighborDigestPayload{std::move(down)});
+      routing_.send_direct(index, routing_.predecessor_index(index),
+                           std::move(msg));
+    }
+  }
+
+  // 3. Aggregators push periodic responses to their clients (Sec IV-F).
+  for (auto it = state.aggregations.begin(); it != state.aggregations.end();) {
+    AggregatorRecord& record = it->second;
+    if (record.expires <= now) {
+      it = state.aggregations.erase(it);
+      continue;
+    }
+    Message msg;
+    msg.kind = static_cast<int>(MsgKind::kResponse);
+    msg.payload = std::make_shared<const ResponsePayload>(ResponsePayload{
+        it->first, record.client, false, std::move(record.pending), 0.0});
+    record.pending.clear();
+    ++record.pushes;
+    routing_.send(index, routing_.node_id(record.client), std::move(msg));
+    ++it;
+  }
+
+  // 4. Answer inner-product subscriptions from the local synopses
+  //    (Eq. 7 reconstruction + weighted product, Sec IV-D).
+  for (auto& [stream_id, local] : state.streams) {
+    std::erase_if(local.inner_subscriptions,
+                  [now](const InnerProductSubscription& sub) {
+                    return sub.expires <= now;
+                  });
+    if (local.inner_subscriptions.empty()) {
+      continue;
+    }
+    const std::optional<dsp::FeatureVector> features =
+        local.summarizer.features();
+    if (!features.has_value()) {
+      continue;
+    }
+    // Undo the normalization so the product is on the raw data scale: the
+    // synopsis-owning node knows the window mean and norm.
+    std::vector<Sample> approx = dsp::reconstruct(*features, config_.features);
+    const double denom = local.summarizer.normalization_denominator();
+    const double mu =
+        config_.features.normalization == dsp::Normalization::kZNormalize
+            ? local.summarizer.window_mean()
+            : 0.0;
+    for (Sample& x : approx) {
+      x = x * denom + mu;
+    }
+    for (const InnerProductSubscription& sub : local.inner_subscriptions) {
+      const double value = dsp::weighted_inner_product(
+          approx, sub.query->index, sub.query->weights);
+      Message msg;
+      msg.kind = static_cast<int>(MsgKind::kResponse);
+      msg.payload = std::make_shared<const ResponsePayload>(ResponsePayload{
+          sub.query->id, sub.query->client, true, {}, value});
+      routing_.send(index, routing_.node_id(sub.query->client),
+                    std::move(msg));
+    }
+  }
+}
+
+void MiddlewareSystem::tick_all_nodes() {
+  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+    periodic_tick(i);
+  }
+}
+
+const ClientQueryRecord* MiddlewareSystem::client_record(QueryId id) const {
+  const auto it = client_records_.find(id);
+  return it == client_records_.end() ? nullptr : &it->second;
+}
+
+}  // namespace sdsi::core

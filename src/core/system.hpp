@@ -1,0 +1,225 @@
+// The distributed stream-indexing middleware (the paper's contribution).
+//
+// MiddlewareSystem wires one MiddlewareNode per data center on top of any
+// RoutingSystem and exposes the application-view primitives of Figure 5:
+//
+//   update(summary, stream)      -> post_stream_value / register_stream
+//   subscribe(pattern)           -> subscribe_similarity
+//   subscribe(inner_product)     -> subscribe_inner_product
+//   periodic push_similarity_info / push_inner_product_info  (automatic)
+//
+// Internally it implements Sec IV end to end: Eq. 6 content keys, MBR
+// batching and range replication, similarity matching with no false
+// dismissals, middle-node aggregation, the h2 location service, and the
+// periodic notification machinery of Table I.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/mapper.hpp"
+#include "core/metrics.hpp"
+#include "core/node.hpp"
+#include "routing/api.hpp"
+
+namespace sdsi::core {
+
+struct MiddlewareConfig {
+  /// Window/coefficient/normalization scheme (Sec III-C).
+  dsp::FeatureConfig features;
+
+  /// MBR batching (Sec IV-G / VI-A).
+  MbrBatcher::Options batching;
+
+  /// Range multicast flavor (Sec IV-C sequential vs Sec VI-B bidirectional).
+  routing::MulticastStrategy multicast =
+      routing::MulticastStrategy::kSequential;
+
+  /// BSPAN: lifespan of a stored MBR.
+  sim::Duration mbr_lifespan = sim::Duration::millis(5000);
+
+  /// NPER: period of matching, neighbor digests, and response pushes.
+  sim::Duration notify_period = sim::Duration::millis(2000);
+
+  /// Also keep each summary in the source node's local store ("each stream
+  /// summary is stored locally, and also routed").
+  bool store_local_summaries = true;
+
+  /// Soft-state refresh of similarity subscriptions: the client re-routes
+  /// each live query over its key range at this period, so nodes that
+  /// joined (or recovered) inside the range pick the subscription up and
+  /// lost query copies heal. Zero disables (the paper's one-shot install).
+  sim::Duration query_refresh_period = sim::Duration();
+
+  /// When set, every stream runs the Sec VI-A closed loop: its batcher is
+  /// forced to adaptive mode and a per-stream AdaptivePrecisionController
+  /// retunes the extent budget against the observed emission rate.
+  std::optional<AdaptivePrecisionController::Options> adaptive_precision;
+};
+
+/// What a client has observed for one of its continuous queries.
+struct ClientQueryRecord {
+  QueryId id = 0;
+  NodeIndex client = kInvalidNode;
+  bool inner_product = false;
+  sim::SimTime issued_at;
+  sim::SimTime expires;
+  std::uint64_t responses_received = 0;
+  /// Total SimilarityMatch entries received across all responses; equals
+  /// matched_streams.size() exactly when aggregation deduplicated perfectly.
+  std::uint64_t match_events = 0;
+  std::unordered_set<StreamId> matched_streams;
+  double last_inner_value = 0.0;
+  std::uint64_t inner_updates = 0;
+  std::optional<sim::SimTime> first_response_at;
+};
+
+class MiddlewareSystem {
+ public:
+  /// Creates one middleware node per routing node and registers the deliver
+  /// upcall and metrics hook on `routing`.
+  MiddlewareSystem(routing::RoutingSystem& routing, MiddlewareConfig config);
+
+  const MiddlewareConfig& config() const noexcept { return config_; }
+  const SummaryMapper& mapper() const noexcept { return mapper_; }
+  MetricsCollector& metrics() noexcept { return metrics_; }
+  const MetricsCollector& metrics() const noexcept { return metrics_; }
+  routing::RoutingSystem& routing() noexcept { return routing_; }
+
+  /// Starts the periodic per-node machinery (expiry, matching, digests,
+  /// response pushes). Node ticks are staggered across one period so the
+  /// event load spreads out as it would with unsynchronized clocks.
+  void start();
+
+  // --- Application-view primitives (Fig 5) --------------------------------
+
+  /// Declares `stream` to originate at `node` and registers it with the h2
+  /// location service.
+  void register_stream(NodeIndex node, StreamId stream);
+
+  /// Retires a stream: flushes and routes the final partial MBR, drops the
+  /// local state, and tombstones the h2 directory entry so future location
+  /// lookups report the stream unknown.
+  void unregister_stream(NodeIndex node, StreamId stream);
+
+  /// Feeds one new data value of `stream` into its source node. Emits and
+  /// routes an MBR whenever the batcher closes one.
+  void post_stream_value(NodeIndex node, StreamId stream, Sample value);
+
+  /// Poses a continuous similarity query (Sec IV-E). Returns its id.
+  QueryId subscribe_similarity(NodeIndex client, dsp::FeatureVector features,
+                               double radius, sim::Duration lifespan);
+
+  /// Convenience: extracts features from a raw query sequence first.
+  QueryId subscribe_similarity_window(NodeIndex client,
+                                      std::span<const Sample> window,
+                                      double radius, sim::Duration lifespan);
+
+  /// Poses a continuous inner-product query (Sec IV-D). Returns its id.
+  QueryId subscribe_inner_product(NodeIndex client, StreamId stream,
+                                  std::vector<double> index,
+                                  std::vector<double> weights,
+                                  sim::Duration lifespan);
+
+  /// Point query: the stream's most recent value ("simple point and range
+  /// queries can be expressed as inner product queries").
+  QueryId subscribe_latest_value(NodeIndex client, StreamId stream,
+                                 sim::Duration lifespan) {
+    return subscribe_inner_product(client, stream, {1.0}, {1.0}, lifespan);
+  }
+
+  /// Moving average of the last `n` values (the paper's "average closing
+  /// price over the last month" / "weighted average of the last 20 body
+  /// temperature measurements" examples).
+  QueryId subscribe_moving_average(NodeIndex client, StreamId stream,
+                                   std::size_t n, sim::Duration lifespan) {
+    SDSI_CHECK(n >= 1);
+    return subscribe_inner_product(
+        client, stream, std::vector<double>(n, 1.0),
+        std::vector<double>(n, 1.0 / static_cast<double>(n)), lifespan);
+  }
+
+  // --- Observability -------------------------------------------------------
+
+  /// Attaches middleware state (and the periodic tick, once started) to a
+  /// data center that joined the ring after construction. Idempotent; the
+  /// paper's "seamless addition of new data centers".
+  void attach_node(NodeIndex index);
+
+  const MiddlewareNode& node(NodeIndex index) const {
+    SDSI_CHECK(index < nodes_.size());
+    return nodes_[index];
+  }
+  MiddlewareNode& node_mutable(NodeIndex index) {
+    SDSI_CHECK(index < nodes_.size());
+    return nodes_[index];
+  }
+  std::size_t num_nodes() const noexcept { return nodes_.size(); }
+
+  const ClientQueryRecord* client_record(QueryId id) const;
+  const std::unordered_map<QueryId, ClientQueryRecord>& client_records()
+      const noexcept {
+    return client_records_;
+  }
+
+  /// Total MBRs routed since construction.
+  std::uint64_t mbrs_routed() const noexcept { return mbrs_routed_; }
+
+  /// Runs one synchronous tick on every node (tests drive time manually).
+  void tick_all_nodes();
+
+ private:
+  using Message = routing::Message;
+
+  void on_deliver(NodeIndex at, const Message& msg);
+  void handle_mbr(NodeIndex at, const Message& msg);
+  void handle_similarity_query(NodeIndex at, const Message& msg);
+  void handle_inner_query(NodeIndex at, const Message& msg);
+  void handle_response(NodeIndex at, const Message& msg);
+  void handle_neighbor_digest(NodeIndex at, const Message& msg);
+  void handle_location_put(NodeIndex at, const Message& msg);
+  void handle_location_get(NodeIndex at, const Message& msg);
+  void handle_location_reply(NodeIndex at, const Message& msg);
+
+  /// The NPER periodic body for one node.
+  void periodic_tick(NodeIndex index);
+
+  /// nodes_[index], growing the table for late joiners.
+  MiddlewareNode& state_of(NodeIndex index);
+
+  void schedule_tick(NodeIndex index, sim::Duration offset);
+
+  /// Routes the MBR just closed for (node, stream).
+  void route_mbr(NodeIndex source, LocalStream& stream, dsp::Mbr mbr);
+
+  /// Files a detected match either into the local aggregator (if this node
+  /// covers the middle key) or into the outgoing digest buffer.
+  void file_match_report(NodeIndex at, MatchReport report);
+
+  /// Whether `node` covers `key` (key in (pred, node]).
+  bool covers_key(NodeIndex node, Key key) const;
+
+  /// Sends the inner-product query to its (resolved) source node.
+  void dispatch_inner_query(NodeIndex client,
+                            std::shared_ptr<const InnerProductQuery> query,
+                            NodeIndex source);
+
+  /// Re-asks the location service about a stream whose first resolution
+  /// came back unknown (registration racing through the overlay).
+  void retry_location_get(NodeIndex client, StreamId stream);
+
+  routing::RoutingSystem& routing_;
+  MiddlewareConfig config_;
+  SummaryMapper mapper_;
+  MetricsCollector metrics_;
+  std::vector<MiddlewareNode> nodes_;
+  std::unordered_map<QueryId, ClientQueryRecord> client_records_;
+  QueryId next_query_id_ = 1;
+  std::uint64_t mbrs_routed_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace sdsi::core

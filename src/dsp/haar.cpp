@@ -1,0 +1,70 @@
+#include "dsp/haar.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace sdsi::dsp {
+
+namespace {
+
+constexpr double kInvSqrt2 = 0.7071067811865475244;
+
+}  // namespace
+
+std::vector<double> haar_transform(std::span<const Sample> signal) {
+  const std::size_t n = signal.size();
+  SDSI_CHECK(n > 0 && std::has_single_bit(n));
+  std::vector<double> work(signal.begin(), signal.end());
+  std::vector<double> out(n);
+  // Repeated averaging/differencing; details of level l land at
+  // [len, 2*len) as the window halves, producing coarse-to-fine order.
+  std::size_t len = n;
+  while (len > 1) {
+    len /= 2;
+    for (std::size_t i = 0; i < len; ++i) {
+      const double a = work[2 * i];
+      const double b = work[2 * i + 1];
+      out[i] = (a + b) * kInvSqrt2;        // approximations
+      out[len + i] = (a - b) * kInvSqrt2;  // details of this level
+    }
+    for (std::size_t i = 0; i < 2 * len; ++i) {
+      work[i] = out[i];
+    }
+  }
+  return work;
+}
+
+std::vector<Sample> inverse_haar(std::span<const double> coefficients) {
+  const std::size_t n = coefficients.size();
+  SDSI_CHECK(n > 0 && std::has_single_bit(n));
+  std::vector<double> work(coefficients.begin(), coefficients.end());
+  std::vector<double> out(n);
+  std::size_t len = 1;
+  while (len < n) {
+    for (std::size_t i = 0; i < len; ++i) {
+      const double approx = work[i];
+      const double detail = work[len + i];
+      out[2 * i] = (approx + detail) * kInvSqrt2;
+      out[2 * i + 1] = (approx - detail) * kInvSqrt2;
+    }
+    for (std::size_t i = 0; i < 2 * len; ++i) {
+      work[i] = out[i];
+    }
+    len *= 2;
+  }
+  return work;
+}
+
+std::vector<Sample> inverse_haar_prefix(std::span<const double> prefix,
+                                        std::size_t size) {
+  SDSI_CHECK(prefix.size() <= size);
+  std::vector<double> padded(size, 0.0);
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    padded[i] = prefix[i];
+  }
+  return inverse_haar(padded);
+}
+
+}  // namespace sdsi::dsp

@@ -1,0 +1,34 @@
+// Orthonormal Haar wavelet transform — the alternative synopsis family.
+//
+// The paper's feature extraction uses DFT coefficients, but the indexing
+// machinery only needs two properties of the transform: orthonormality
+// (energy preservation, hence the Eq. 9 lower bound) and energy compaction
+// in the first few coefficients. The Haar DWT has both — it is what the
+// authors' own SWAT system (cited as [5]) summarizes with — so the library
+// supports it as a drop-in synopsis (dsp::Synopsis::kHaar).
+//
+// Coefficient ordering: index 0 is the overall scaling coefficient
+// (mean * sqrt(N)), index 1 the coarsest detail, then ever finer details —
+// i.e. coarse-to-fine, so "first k coefficients" keeps the coarse shape,
+// mirroring the DFT convention of keeping low frequencies.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sdsi::dsp {
+
+/// Forward orthonormal Haar DWT. Size must be a power of two.
+std::vector<double> haar_transform(std::span<const Sample> signal);
+
+/// Inverse orthonormal Haar DWT. Size must be a power of two.
+std::vector<Sample> inverse_haar(std::span<const double> coefficients);
+
+/// Inverse from a truncated coarse prefix: coefficients [0, k) are taken
+/// from `prefix`, the rest are zero. `size` is the signal length.
+std::vector<Sample> inverse_haar_prefix(std::span<const double> prefix,
+                                        std::size_t size);
+
+}  // namespace sdsi::dsp

@@ -1,0 +1,106 @@
+#include "dsp/normalize.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace sdsi::dsp {
+
+namespace {
+
+// Norms below this are treated as zero (constant / silent windows).
+constexpr double kTinyNorm = 1e-12;
+
+}  // namespace
+
+double mean(std::span<const Sample> window) noexcept {
+  SDSI_DCHECK(!window.empty());
+  double total = 0.0;
+  for (const Sample x : window) {
+    total += x;
+  }
+  return total / static_cast<double>(window.size());
+}
+
+double l2_norm(std::span<const Sample> window) noexcept {
+  double total = 0.0;
+  for (const Sample x : window) {
+    total += x * x;
+  }
+  return std::sqrt(total);
+}
+
+double pearson_correlation(std::span<const Sample> a,
+                           std::span<const Sample> b) noexcept {
+  SDSI_DCHECK(a.size() == b.size() && !a.empty());
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double cov = 0.0;
+  double va = 0.0;
+  double vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  const double denom = std::sqrt(va * vb);
+  return denom < kTinyNorm ? 0.0 : cov / denom;
+}
+
+std::vector<Sample> z_normalize(std::span<const Sample> window) {
+  SDSI_CHECK(!window.empty());
+  const double mu = mean(window);
+  std::vector<Sample> out(window.size());
+  double norm_sq = 0.0;
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    out[i] = window[i] - mu;
+    norm_sq += out[i] * out[i];
+  }
+  const double norm = std::sqrt(norm_sq);
+  if (norm < kTinyNorm) {
+    return std::vector<Sample>(window.size(), 0.0);
+  }
+  for (Sample& x : out) {
+    x /= norm;
+  }
+  return out;
+}
+
+std::vector<Sample> unit_normalize(std::span<const Sample> window) {
+  SDSI_CHECK(!window.empty());
+  const double norm = l2_norm(window);
+  if (norm < kTinyNorm) {
+    return std::vector<Sample>(window.size(), 0.0);
+  }
+  std::vector<Sample> out(window.size());
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    out[i] = window[i] / norm;
+  }
+  return out;
+}
+
+std::vector<Sample> normalize(std::span<const Sample> window,
+                              Normalization mode) {
+  switch (mode) {
+    case Normalization::kZNormalize:
+      return z_normalize(window);
+    case Normalization::kUnitNormalize:
+      return unit_normalize(window);
+  }
+  SDSI_CHECK(false);
+}
+
+double euclidean_distance(std::span<const Sample> a,
+                          std::span<const Sample> b) noexcept {
+  SDSI_DCHECK(a.size() == b.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    total += d * d;
+  }
+  return std::sqrt(total);
+}
+
+}  // namespace sdsi::dsp

@@ -1,0 +1,51 @@
+// Stream-window normalizations (paper Eqs. 1-2).
+//
+// Both map a window onto the unit hyper-sphere, which is what bounds the
+// feature coordinates to [-1, 1] and makes the content-based key mapping
+// (Eq. 6) well defined:
+//  - z-normalization (Eq. 1) removes the mean first, so correlation between
+//    streams reduces to Euclidean distance between normalized windows
+//    (correlation queries, after Zhu & Shasha's StatStream);
+//  - unit normalization (Eq. 2) only divides by the L2 norm (subsequence /
+//    pattern queries).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sdsi::dsp {
+
+enum class Normalization {
+  kZNormalize,     // (x_i - mean) / ||x - mean||  (Eq. 1)
+  kUnitNormalize,  // x_i / ||x||                  (Eq. 2)
+};
+
+/// Arithmetic mean of the window.
+double mean(std::span<const Sample> window) noexcept;
+
+/// L2 norm of the window.
+double l2_norm(std::span<const Sample> window) noexcept;
+
+/// Pearson correlation of two equal-length windows (tests use it to verify
+/// the correlation <-> distance reduction).
+double pearson_correlation(std::span<const Sample> a,
+                           std::span<const Sample> b) noexcept;
+
+/// Applies Eq. 1. A constant window (zero variance) maps to the all-zero
+/// vector, which matches every stream trivially and is flagged by callers.
+std::vector<Sample> z_normalize(std::span<const Sample> window);
+
+/// Applies Eq. 2. A zero window maps to the all-zero vector.
+std::vector<Sample> unit_normalize(std::span<const Sample> window);
+
+/// Dispatch over Normalization.
+std::vector<Sample> normalize(std::span<const Sample> window,
+                              Normalization mode);
+
+/// Euclidean distance between two equal-length windows.
+double euclidean_distance(std::span<const Sample> a,
+                          std::span<const Sample> b) noexcept;
+
+}  // namespace sdsi::dsp

@@ -1,0 +1,21 @@
+#include "ext/adaptive_precision.hpp"
+
+namespace sdsi::ext {
+
+PrecisionAdaptiveBatcher::PrecisionAdaptiveBatcher(
+    core::MbrBatcher::Options batcher_options,
+    AdaptivePrecisionController::Options controller_options)
+    : batcher_((batcher_options.mode = core::MbrBatcher::Mode::kAdaptive,
+                batcher_options.max_extent =
+                    AdaptivePrecisionController(controller_options).extent(),
+                batcher_options)),
+      controller_(controller_options) {}
+
+std::optional<dsp::Mbr> PrecisionAdaptiveBatcher::push(
+    const dsp::FeatureVector& features) {
+  std::optional<dsp::Mbr> closed = batcher_.push(features);
+  batcher_.set_max_extent(controller_.observe(closed.has_value()));
+  return closed;
+}
+
+}  // namespace sdsi::ext

@@ -1,0 +1,38 @@
+// Standalone closed-loop batcher built from the Sec VI-A precision
+// controller (core/precision.hpp) and the adaptive MbrBatcher — for use
+// outside the middleware (analysis tools, the ablation benches). Inside the
+// middleware, enable MiddlewareConfig::adaptive_precision instead; each
+// LocalStream then runs its own controller.
+#pragma once
+
+#include <optional>
+
+#include "core/batcher.hpp"
+#include "core/precision.hpp"
+
+namespace sdsi::ext {
+
+using AdaptivePrecisionController = core::AdaptivePrecisionController;
+
+/// MbrBatcher in adaptive mode + the precision controller, as one unit.
+class PrecisionAdaptiveBatcher {
+ public:
+  PrecisionAdaptiveBatcher() : PrecisionAdaptiveBatcher({}, {}) {}
+  PrecisionAdaptiveBatcher(core::MbrBatcher::Options batcher_options,
+                           AdaptivePrecisionController::Options controller);
+
+  std::optional<dsp::Mbr> push(const dsp::FeatureVector& features);
+  std::optional<dsp::Mbr> flush() { return batcher_.flush(); }
+
+  double current_extent() const noexcept { return controller_.extent(); }
+  const core::MbrBatcher& batcher() const noexcept { return batcher_; }
+  const AdaptivePrecisionController& controller() const noexcept {
+    return controller_;
+  }
+
+ private:
+  core::MbrBatcher batcher_;
+  AdaptivePrecisionController controller_;
+};
+
+}  // namespace sdsi::ext

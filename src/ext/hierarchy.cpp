@@ -1,0 +1,167 @@
+#include "ext/hierarchy.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace sdsi::ext {
+
+HierarchicalIndex::HierarchicalIndex(std::size_t num_nodes,
+                                     HierarchyConfig config)
+    : leaf_boxes_(num_nodes),
+      leaf_has_data_(num_nodes, false),
+      num_nodes_(num_nodes),
+      config_(config) {
+  SDSI_CHECK(num_nodes >= 1);
+  SDSI_CHECK(config_.cluster_size >= 2);
+  SDSI_CHECK(config_.slack >= 0.0);
+
+  // Build bottom-up: cluster `width` adjacent units into one tree node.
+  std::size_t below = num_nodes;
+  while (below > 1) {
+    const std::size_t clusters =
+        (below + config_.cluster_size - 1) / config_.cluster_size;
+    std::vector<TreeNode> level(clusters);
+    for (std::size_t child = 0; child < below; ++child) {
+      const std::size_t parent = child / config_.cluster_size;
+      level[parent].children.push_back(child);
+      if (!levels_.empty()) {
+        levels_.back()[child].parent = parent;
+      }
+    }
+    levels_.push_back(std::move(level));
+    below = clusters;
+  }
+  if (levels_.empty()) {
+    // Single-node system: one root with the sole leaf as child.
+    levels_.push_back(std::vector<TreeNode>(1));
+    levels_[0][0].children.push_back(0);
+  }
+}
+
+NodeIndex HierarchicalIndex::leader_of(NodeIndex leaf, unsigned level) const {
+  SDSI_CHECK(leaf < num_nodes_);
+  SDSI_CHECK(level < levels_.size());
+  std::size_t position = leaf;
+  for (unsigned l = 0; l <= level; ++l) {
+    position /= config_.cluster_size;
+  }
+  // The leader of a cluster is its first (lowest ring position) member.
+  std::size_t representative = position;
+  for (unsigned l = level + 1; l-- > 0;) {
+    representative *= config_.cluster_size;
+    (void)l;
+  }
+  return static_cast<NodeIndex>(
+      std::min(representative, num_nodes_ - 1));
+}
+
+std::uint64_t HierarchicalIndex::update(NodeIndex leaf,
+                                        const dsp::FeatureVector& features) {
+  SDSI_CHECK(leaf < num_nodes_);
+  ++total_updates_;
+
+  leaf_boxes_[leaf].extend(features);
+  leaf_has_data_[leaf] = true;
+
+  // Climb: a level absorbs the update silently if its inflated box already
+  // contains the child's new box; otherwise it re-advertises and climbs on.
+  std::uint64_t messages = 1;  // leaf -> bottom leader
+  ++total_update_messages_;
+  dsp::Mbr child_box = leaf_boxes_[leaf];
+  std::size_t position = leaf;
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    position /= config_.cluster_size;
+    TreeNode& node = levels_[level][position];
+    bool contained = node.has_data && !node.box.empty();
+    if (contained) {
+      // Box containment: every corner of child_box inside node.box.
+      const auto lo = child_box.low();
+      const auto hi = child_box.high();
+      const auto nlo = node.box.low();
+      const auto nhi = node.box.high();
+      for (std::size_t d = 0; d < lo.size() && contained; ++d) {
+        contained = nlo[d] <= lo[d] && hi[d] <= nhi[d];
+      }
+    }
+    if (contained) {
+      break;  // the advertised box still covers reality: stop climbing
+    }
+    dsp::Mbr inflated = child_box;
+    inflated.inflate(config_.slack);
+    if (node.has_data) {
+      node.box.extend(inflated);
+    } else {
+      node.box = std::move(inflated);
+      node.has_data = true;
+    }
+    child_box = node.box;
+    if (level + 1 < levels_.size()) {
+      ++messages;  // leader -> next-level leader
+      ++total_update_messages_;
+    }
+  }
+  return messages;
+}
+
+HierarchicalQueryResult HierarchicalIndex::query(
+    NodeIndex origin, const dsp::FeatureVector& center, double radius) const {
+  SDSI_CHECK(origin < num_nodes_);
+  HierarchicalQueryResult result;
+
+  // Climb from the origin to the root. The paper's sketch stops climbing
+  // once the reached leader's coverage "is large enough", but cluster boxes
+  // overlap in feature space, so a sibling subtree outside the walked path
+  // can still hold matches — stopping early can dismiss them. Consulting
+  // the root costs only O(log N) up-hops and preserves the no-false-
+  // dismissal guarantee; all pruning happens on the way down.
+  std::size_t level = 0;
+  std::size_t position = origin / config_.cluster_size;
+  result.messages = 1;  // origin -> its bottom-level leader
+  while (level + 1 < levels_.size()) {
+    position /= config_.cluster_size;
+    ++level;
+    ++result.levels_climbed;
+    ++result.messages;  // leader -> higher leader
+  }
+
+  // Descend into children whose advertised boxes intersect the ball.
+  std::vector<std::pair<std::size_t, std::size_t>> frontier{{level, position}};
+  while (!frontier.empty()) {
+    const auto [l, p] = frontier.back();
+    frontier.pop_back();
+    const TreeNode& node = levels_[l][p];
+    for (const std::size_t child : node.children) {
+      if (l == 0) {
+        const NodeIndex leaf = static_cast<NodeIndex>(child);
+        if (leaf_has_data_[leaf] && !leaf_boxes_[leaf].empty() &&
+            leaf_boxes_[leaf].min_distance(center) <= radius) {
+          result.candidate_leaves.push_back(leaf);
+          ++result.messages;  // leader -> leaf evaluation request
+        }
+      } else {
+        const TreeNode& child_node = levels_[l - 1][child];
+        if (child_node.has_data && !child_node.box.empty() &&
+            child_node.box.min_distance(center) <= radius) {
+          frontier.emplace_back(l - 1, child);
+          ++result.messages;  // leader -> sub-leader
+        }
+      }
+    }
+  }
+  std::sort(result.candidate_leaves.begin(), result.candidate_leaves.end());
+  return result;
+}
+
+std::optional<dsp::Mbr> HierarchicalIndex::advertised_box(
+    unsigned level, std::size_t position) const {
+  SDSI_CHECK(level < levels_.size());
+  SDSI_CHECK(position < levels_[level].size());
+  const TreeNode& node = levels_[level][position];
+  if (!node.has_data) {
+    return std::nullopt;
+  }
+  return node.box;
+}
+
+}  // namespace sdsi::ext

@@ -1,0 +1,96 @@
+// Hierarchical feature-space partitioning for variable-selectivity queries
+// (paper Sec VI-B, future work).
+//
+// Data centers are organized into a hierarchy of constant-size clusters of
+// ring-adjacent nodes (after the application-layer-multicast construction the
+// paper cites). Each cluster leader keeps, per child, a slack-inflated union
+// MBR of everything stored below that child:
+//  - summary updates climb the leader chain, but a level only propagates
+//    upward when the child's new box escapes the inflated box the parent
+//    already holds ("nodes at upper levels are updated less frequently at
+//    the expense of less precise information");
+//  - a similarity query climbs from its origin until the reached leader's
+//    subtree spans the query ball, then descends only into children whose
+//    boxes intersect the ball.
+//
+// For wide queries this replaces the O(N * radius) flat range multicast with
+// an O(log N + relevant-subtrees) walk; bench_ext_hierarchy quantifies it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dsp/mbr.hpp"
+
+namespace sdsi::ext {
+
+struct HierarchyConfig {
+  std::size_t cluster_size = 4;  // constant cluster arity
+  /// Slack added to each side of a child box when the parent stores it; the
+  /// update-damping knob of Sec VI-B (0 = always propagate).
+  double slack = 0.02;
+};
+
+/// Result of one hierarchical query evaluation.
+struct HierarchicalQueryResult {
+  std::vector<NodeIndex> candidate_leaves;  // data centers that must evaluate
+  std::uint64_t messages = 0;               // up-walk + down-walk messages
+  unsigned levels_climbed = 0;
+};
+
+class HierarchicalIndex {
+ public:
+  /// Builds the cluster tree over `num_nodes` leaves in ring order.
+  HierarchicalIndex(std::size_t num_nodes, HierarchyConfig config);
+
+  std::size_t num_nodes() const noexcept { return num_nodes_; }
+  unsigned num_levels() const noexcept {
+    return static_cast<unsigned>(levels_.size());
+  }
+
+  /// Leader (tree ancestor) of `leaf` at `level` (level 0 = the bottom
+  /// cluster leaders).
+  NodeIndex leader_of(NodeIndex leaf, unsigned level) const;
+
+  /// Ingests a new summary at `leaf`. Returns the number of messages the
+  /// update caused (0 when the leaf's box already absorbed the point, up to
+  /// num_levels when it escaped every inflated ancestor box).
+  std::uint64_t update(NodeIndex leaf, const dsp::FeatureVector& features);
+
+  /// Evaluates a similarity ball query posed at `origin`.
+  HierarchicalQueryResult query(NodeIndex origin,
+                                const dsp::FeatureVector& center,
+                                double radius) const;
+
+  /// The box a given tree node currently advertises (empty optional when it
+  /// has seen no data). Level `level` == num_levels() means leaves.
+  std::optional<dsp::Mbr> advertised_box(unsigned level,
+                                         std::size_t position) const;
+
+  std::uint64_t total_updates() const noexcept { return total_updates_; }
+  std::uint64_t total_update_messages() const noexcept {
+    return total_update_messages_;
+  }
+
+ private:
+  struct TreeNode {
+    dsp::Mbr box;            // slack-inflated union advertised to the parent
+    bool has_data = false;
+    std::size_t parent = 0;  // position within the next level up
+    std::vector<std::size_t> children;  // positions within the level below
+  };
+
+  /// levels_[0] = bottom clusters ... levels_.back() = root (size 1).
+  /// leaves are implicit (leaf i belongs to bottom cluster i / cluster_size).
+  std::vector<std::vector<TreeNode>> levels_;
+  std::vector<dsp::Mbr> leaf_boxes_;
+  std::vector<bool> leaf_has_data_;
+  std::size_t num_nodes_;
+  HierarchyConfig config_;
+  std::uint64_t total_updates_ = 0;
+  std::uint64_t total_update_messages_ = 0;
+};
+
+}  // namespace sdsi::ext

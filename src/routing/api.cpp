@@ -1,0 +1,135 @@
+#include "routing/api.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace sdsi::routing {
+
+RoutingSystem::RoutingSystem(sim::Simulator& simulator, common::IdSpace space,
+                             sim::Duration hop_latency)
+    : sim_(simulator), space_(space), hop_latency_(hop_latency) {
+  SDSI_CHECK(hop_latency >= sim::Duration());
+}
+
+void RoutingSystem::set_message_loss(double probability, common::Pcg32 rng) {
+  SDSI_CHECK(probability >= 0.0 && probability < 1.0);
+  loss_probability_ = probability;
+  loss_rng_ = rng;
+}
+
+bool RoutingSystem::message_lost() {
+  if (loss_probability_ <= 0.0 || !loss_rng_.has_value()) {
+    return false;
+  }
+  if (loss_rng_->uniform01() >= loss_probability_) {
+    return false;
+  }
+  ++dropped_;
+  return true;
+}
+
+void RoutingSystem::send(NodeIndex from, Key key, Message msg) {
+  SDSI_CHECK(is_alive(from));
+  msg.target_key = space_.wrap(key);
+  msg.origin = from;
+  msg.hops = 0;
+  msg.sent_at = sim_.now();
+  notify_send(from, msg);
+  if (message_lost()) {
+    return;
+  }
+  route_to_key(from, msg.target_key, std::move(msg));
+}
+
+void RoutingSystem::send_direct(NodeIndex from, NodeIndex to, Message msg) {
+  SDSI_CHECK(is_alive(from));
+  msg.target_key = node_id(to);
+  msg.origin = from;
+  msg.hops = 0;
+  msg.sent_at = sim_.now();
+  notify_send(from, msg);
+  if (message_lost()) {
+    return;
+  }
+  route_direct(from, to, std::move(msg));
+}
+
+void RoutingSystem::send_range(NodeIndex from, Key lo, Key hi, Message msg,
+                               MulticastStrategy strategy) {
+  msg.has_range = true;
+  msg.range_lo = space_.wrap(lo);
+  msg.range_hi = space_.wrap(hi);
+  switch (strategy) {
+    case MulticastStrategy::kSequential:
+      // Route to the lowest key; covered nodes walk the range upward.
+      msg.range_dir = RangeDir::kUp;
+      send(from, msg.range_lo, std::move(msg));
+      break;
+    case MulticastStrategy::kBidirectional:
+      // Route to the middle of the range; the landing node fans out in both
+      // directions (Sec VI-B), halving the sequential propagation delay.
+      msg.range_dir = RangeDir::kBoth;
+      send(from, space_.midpoint(msg.range_lo, msg.range_hi),
+           std::move(msg));
+      break;
+  }
+}
+
+void RoutingSystem::deliver_at(NodeIndex at, Message msg) {
+  if (metrics_ != nullptr) {
+    metrics_->on_deliver(at, msg);
+  }
+  if (deliver_) {
+    deliver_(at, msg);
+  }
+  if (msg.has_range) {
+    forward_range_copies(at, msg);
+  }
+}
+
+void RoutingSystem::forward_range_copies(NodeIndex at, const Message& msg) {
+  const Key self = node_id(at);
+  const Key pred = node_id(predecessor_index(at));
+  // This node covers the keys in (pred, self]; it is the last hop in a
+  // direction exactly when it covers that direction's range endpoint.
+  const bool covers_lo = space_.in_half_open(msg.range_lo, pred, self);
+  const bool covers_hi = space_.in_half_open(msg.range_hi, pred, self);
+
+  const bool go_up = (msg.range_dir == RangeDir::kUp ||
+                      msg.range_dir == RangeDir::kBoth) &&
+                     !covers_hi;
+  const bool go_down = (msg.range_dir == RangeDir::kDown ||
+                        msg.range_dir == RangeDir::kBoth) &&
+                       !covers_lo;
+
+  // Forwarded copies keep the original sent_at: a copy's delivery latency
+  // then measures how long the range walk took to reach that node, which is
+  // exactly the sequential-propagation delay Sec IV-C worries about.
+  if (go_up) {
+    Message copy = msg;
+    copy.range_internal = true;
+    copy.range_dir = RangeDir::kUp;
+    copy.origin = at;
+    copy.hops = 0;
+    copy.target_key = node_id(successor_index(at));
+    notify_send(at, copy);
+    if (!message_lost()) {
+      route_direct(at, successor_index(at), std::move(copy));
+    }
+  }
+  if (go_down) {
+    Message copy = msg;
+    copy.range_internal = true;
+    copy.range_dir = RangeDir::kDown;
+    copy.origin = at;
+    copy.hops = 0;
+    copy.target_key = node_id(predecessor_index(at));
+    notify_send(at, copy);
+    if (!message_lost()) {
+      route_direct(at, predecessor_index(at), std::move(copy));
+    }
+  }
+}
+
+}  // namespace sdsi::routing

@@ -1,0 +1,151 @@
+// The content-based routing abstraction (paper Sec II-B and IV-C).
+//
+// "Virtually all content-based routing schemes provide the same interface:
+// send to a key, join/leave, and a deliver upcall." The middleware is written
+// against exactly this surface, so it runs unchanged over full Chord
+// (chord/ChordNetwork) or the idealized one-hop ring used for unit tests
+// (routing/StaticRing) — reproducing the paper's portability claim.
+//
+// One extension the paper needs but DHTs lack natively (Sec IV-C): multicast
+// to a *range* of keys. RoutingSystem implements it on top of successor /
+// predecessor forwarding, in both variants the paper discusses:
+//  - kSequential: route to the low end, then walk successors (cheap in
+//    messages, O(range) sequential delay);
+//  - kBidirectional: route to the middle, then fan out both ways
+//    (Sec VI-B; same message count, roughly half the delay).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+
+#include "common/ring_math.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "routing/message.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace sdsi::routing {
+
+/// How a range-of-keys multicast propagates.
+enum class MulticastStrategy : std::uint8_t {
+  kSequential,
+  kBidirectional,
+};
+
+/// Observation points for the instrumentation layer (Figures 6-8).
+class MetricsHook {
+ public:
+  virtual ~MetricsHook() = default;
+
+  /// A node originated a message (application send, or a range-forward copy
+  /// it created).
+  virtual void on_send(NodeIndex from, const Message& msg) = 0;
+
+  /// A message passed through `via` on its overlay route (neither origin nor
+  /// destination).
+  virtual void on_transit(NodeIndex via, const Message& msg) = 0;
+
+  /// A message reached the node responsible for it.
+  virtual void on_deliver(NodeIndex at, const Message& msg) = 0;
+};
+
+/// Application upcall invoked when a message is delivered at a node.
+using DeliverFn = std::function<void(NodeIndex at, const Message& msg)>;
+
+/// Base of every routing substrate. Owns the shared mechanics: delivery
+/// upcalls, metrics fan-out, and range multicast built from neighbor
+/// forwarding. Concrete subclasses provide ring membership and key routing.
+class RoutingSystem {
+ public:
+  RoutingSystem(sim::Simulator& simulator, common::IdSpace space,
+                sim::Duration hop_latency);
+  virtual ~RoutingSystem() = default;
+
+  RoutingSystem(const RoutingSystem&) = delete;
+  RoutingSystem& operator=(const RoutingSystem&) = delete;
+
+  const common::IdSpace& id_space() const noexcept { return space_; }
+  sim::Simulator& simulator() noexcept { return sim_; }
+  sim::Duration hop_latency() const noexcept { return hop_latency_; }
+
+  /// Number of node slots ever created (dead nodes keep their index).
+  virtual std::size_t num_nodes() const = 0;
+  virtual bool is_alive(NodeIndex node) const = 0;
+  virtual Key node_id(NodeIndex node) const = 0;
+
+  /// Live ring neighbors of `node`.
+  virtual NodeIndex successor_index(NodeIndex node) const = 0;
+  virtual NodeIndex predecessor_index(NodeIndex node) const = 0;
+
+  /// Ground-truth successor(key) computed instantaneously (tests and
+  /// diagnostics; never used on the simulated message path).
+  virtual NodeIndex find_successor_oracle(Key key) const = 0;
+
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+  void set_metrics_hook(MetricsHook* hook) noexcept { metrics_ = hook; }
+
+  /// Failure injection: every transmission is independently lost with
+  /// `probability`. The middleware's soft state (periodic MBRs, periodic
+  /// responses, refreshes) must tolerate this; tests and benches exercise
+  /// it. Pass 0 to disable.
+  void set_message_loss(double probability, common::Pcg32 rng);
+
+  /// Transmissions dropped by the loss model so far.
+  std::uint64_t dropped_messages() const noexcept { return dropped_; }
+
+  /// Routes `msg` to successor(key) through the overlay ("put"/"get").
+  void send(NodeIndex from, Key key, Message msg);
+
+  /// Point-to-point send to a node whose address is already known (the
+  /// paper's response path: the notifying node replies to the client
+  /// directly, but the reply still transits the overlay's hop distance in
+  /// our model — see route_direct in subclasses).
+  void send_direct(NodeIndex from, NodeIndex to, Message msg);
+
+  /// Multicast to every node covering a key in the clockwise range
+  /// [lo, hi] (Sec IV-C).
+  void send_range(NodeIndex from, Key lo, Key hi, Message msg,
+                  MulticastStrategy strategy);
+
+ protected:
+  /// Deliver `msg` at `at` after any overlay routing; shared post-delivery
+  /// logic (upcall + range forwarding) lives in deliver_at().
+  virtual void route_to_key(NodeIndex from, Key key, Message msg) = 0;
+
+  /// Direct (address-known) transmission; implementations simulate the
+  /// appropriate latency and transit accounting.
+  virtual void route_direct(NodeIndex from, NodeIndex to, Message msg) = 0;
+
+  /// Called by subclasses when a message arrives at its responsible node.
+  void deliver_at(NodeIndex at, Message msg);
+
+  void notify_send(NodeIndex from, const Message& msg) {
+    if (metrics_ != nullptr) {
+      metrics_->on_send(from, msg);
+    }
+  }
+
+  /// Loss-model sample: true when this transmission should vanish.
+  bool message_lost();
+  void notify_transit(NodeIndex via, const Message& msg) {
+    if (metrics_ != nullptr) {
+      metrics_->on_transit(via, msg);
+    }
+  }
+
+ private:
+  void forward_range_copies(NodeIndex at, const Message& msg);
+
+  sim::Simulator& sim_;
+  common::IdSpace space_;
+  sim::Duration hop_latency_;
+  DeliverFn deliver_;
+  MetricsHook* metrics_ = nullptr;
+  double loss_probability_ = 0.0;
+  std::optional<common::Pcg32> loss_rng_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace sdsi::routing

@@ -1,0 +1,61 @@
+// The message envelope carried by every content-routed communication.
+//
+// The routing layer is payload-agnostic (the middleware stores its typed
+// payloads in `payload`), but the envelope carries everything the paper's
+// instrumentation needs: origin, overlay hop count, and whether the copy is
+// a range-multicast replica ("internal" messages in Figures 6-8).
+#pragma once
+
+#include <any>
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "sim/time.hpp"
+
+namespace sdsi::routing {
+
+/// Direction a range-multicast copy is traveling (Sec IV-C: successor walk;
+/// Sec VI-B: bidirectional from the middle node).
+enum class RangeDir : std::uint8_t {
+  kNone,  // not a range message
+  kUp,    // cover toward the high end (successor direction)
+  kDown,  // cover toward the low end (predecessor direction)
+  kBoth,  // initial copy of a bidirectional multicast: fan out both ways
+};
+
+struct Message {
+  /// The key the message was routed to (successor(target_key) delivers).
+  Key target_key = 0;
+
+  /// Node that originated the message.
+  NodeIndex origin = kInvalidNode;
+
+  /// Application-defined message tag (core/metrics.hpp names them).
+  int kind = 0;
+
+  /// True for copies created by range-multicast forwarding — the paper's
+  /// "additional messages in the case of a key range that spans multiple
+  /// nodes".
+  bool range_internal = false;
+
+  RangeDir range_dir = RangeDir::kNone;
+
+  /// Inclusive clockwise key range [range_lo, range_hi] this message must
+  /// cover; meaningful only when has_range.
+  bool has_range = false;
+  Key range_lo = 0;
+  Key range_hi = 0;
+
+  /// Overlay hops traversed by THIS copy so far (range-forwarded copies
+  /// restart at 0; the metrics layer accumulates per-copy hop counts).
+  int hops = 0;
+
+  /// Simulation time the originating send() happened (end-to-end latency).
+  sim::SimTime sent_at;
+
+  /// Typed application payload; cheap to copy (middleware payloads are
+  /// small structs or shared_ptrs).
+  std::any payload;
+};
+
+}  // namespace sdsi::routing

@@ -1,0 +1,222 @@
+#include "routing/prefix_ring.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace sdsi::routing {
+
+PrefixRing::PrefixRing(sim::Simulator& simulator, PrefixRingConfig config)
+    : RoutingSystem(simulator, common::IdSpace(config.id_bits),
+                    config.hop_latency),
+      config_(config),
+      digits_per_id_(config.id_bits / config.digit_bits),
+      columns_(1u << config.digit_bits) {
+  SDSI_CHECK(config.digit_bits >= 1 && config.digit_bits <= 8);
+  SDSI_CHECK(config.id_bits % config.digit_bits == 0);
+}
+
+unsigned PrefixRing::digit_of(Key id, unsigned position) const noexcept {
+  SDSI_DCHECK(position < digits_per_id_);
+  const unsigned shift =
+      config_.id_bits - (position + 1) * config_.digit_bits;
+  return static_cast<unsigned>((id >> shift) & (columns_ - 1));
+}
+
+unsigned PrefixRing::shared_prefix_digits(Key a, Key b) const noexcept {
+  for (unsigned p = 0; p < digits_per_id_; ++p) {
+    if (digit_of(a, p) != digit_of(b, p)) {
+      return p;
+    }
+  }
+  return digits_per_id_;
+}
+
+void PrefixRing::bootstrap(std::span<const Key> ids) {
+  SDSI_CHECK(nodes_.empty());
+  SDSI_CHECK(!ids.empty());
+  std::unordered_set<Key> seen;
+  nodes_.reserve(ids.size());
+  for (const Key id : ids) {
+    SDSI_CHECK(id == id_space().wrap(id));
+    SDSI_CHECK(seen.insert(id).second);
+    NodeRecord record;
+    record.id = id;
+    nodes_.push_back(std::move(record));
+  }
+  sorted_.reserve(ids.size());
+  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+    sorted_.emplace_back(nodes_[i].id, i);
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+  for (std::size_t p = 0; p < sorted_.size(); ++p) {
+    nodes_[sorted_[p].second].ring_position = p;
+  }
+
+  // Routing tables: for every (row, digit), the candidate sharing `row`
+  // digits with us, with `digit` next, closest clockwise (deterministic).
+  for (NodeIndex n = 0; n < nodes_.size(); ++n) {
+    NodeRecord& node = nodes_[n];
+    node.table.assign(static_cast<std::size_t>(digits_per_id_) * columns_,
+                      kInvalidNode);
+    for (NodeIndex m = 0; m < nodes_.size(); ++m) {
+      if (m == n) {
+        continue;
+      }
+      const unsigned row = shared_prefix_digits(node.id, nodes_[m].id);
+      if (row >= digits_per_id_) {
+        continue;  // identical id cannot happen (distinct check above)
+      }
+      const unsigned digit = digit_of(nodes_[m].id, row);
+      const std::size_t slot =
+          static_cast<std::size_t>(row) * columns_ + digit;
+      const NodeIndex incumbent = node.table[slot];
+      if (incumbent == kInvalidNode ||
+          id_space().distance(node.id, nodes_[m].id) <
+              id_space().distance(node.id, nodes_[incumbent].id)) {
+        node.table[slot] = m;
+      }
+    }
+  }
+}
+
+Key PrefixRing::node_id(NodeIndex node) const {
+  SDSI_CHECK(node < nodes_.size());
+  return nodes_[node].id;
+}
+
+NodeIndex PrefixRing::successor_index(NodeIndex node) const {
+  SDSI_CHECK(node < nodes_.size());
+  const std::size_t p = nodes_[node].ring_position;
+  return sorted_[(p + 1) % sorted_.size()].second;
+}
+
+NodeIndex PrefixRing::predecessor_index(NodeIndex node) const {
+  SDSI_CHECK(node < nodes_.size());
+  const std::size_t p = nodes_[node].ring_position;
+  return sorted_[(p + sorted_.size() - 1) % sorted_.size()].second;
+}
+
+NodeIndex PrefixRing::find_successor_oracle(Key key) const {
+  SDSI_CHECK(!sorted_.empty());
+  const auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), key,
+      [](const std::pair<Key, NodeIndex>& entry, Key k) {
+        return entry.first < k;
+      });
+  return it == sorted_.end() ? sorted_.front().second : it->second;
+}
+
+NodeIndex PrefixRing::table_entry(NodeIndex node, unsigned row,
+                                  unsigned digit) const {
+  SDSI_CHECK(node < nodes_.size());
+  SDSI_CHECK(row < digits_per_id_ && digit < columns_);
+  return nodes_[node].table[static_cast<std::size_t>(row) * columns_ + digit];
+}
+
+NodeIndex PrefixRing::next_hop(NodeIndex current, Key key,
+                               bool& final_here) const {
+  final_here = false;
+  const NodeRecord& node = nodes_[current];
+  const Key pred_id = nodes_[predecessor_index(current)].id;
+  if (sorted_.size() == 1 ||
+      id_space().in_half_open(key, pred_id, node.id)) {
+    final_here = true;
+    return current;
+  }
+  const NodeIndex succ = successor_index(current);
+  if (id_space().in_half_open(key, node.id, nodes_[succ].id)) {
+    return succ;  // leaf-set finish: the successor covers the key
+  }
+  const unsigned row = shared_prefix_digits(node.id, key);
+  if (row < digits_per_id_) {
+    const unsigned key_digit = digit_of(key, row);
+    const NodeIndex entry = table_entry(current, row, key_digit);
+    if (entry != kInvalidNode && entry != current) {
+      return entry;  // one digit closer in prefix space
+    }
+    // No node carries the key's exact digit at this position, so
+    // successor(key) lives under the next-higher digit that IS populated
+    // within this block (an empty row cell is global knowledge: the
+    // bootstrap table indexes every node). Jump straight to that sub-block
+    // instead of crawling the ring toward it.
+    const unsigned own_digit = digit_of(node.id, row);
+    for (unsigned digit = key_digit + 1; digit < columns_; ++digit) {
+      if (digit == own_digit) {
+        break;  // we are in the first populated sub-block after the key
+      }
+      const NodeIndex candidate = table_entry(current, row, digit);
+      if (candidate != kInvalidNode) {
+        return candidate;
+      }
+    }
+  }
+  // Finish with the leaf set, walking whichever ring direction is shorter.
+  // (A prefix jump can land past successor(key) inside the final sub-block;
+  // walking predecessors back is O(sub-block) instead of O(ring).)
+  if (id_space().distance(node.id, key) <= id_space().distance(key, node.id)) {
+    return succ;
+  }
+  return predecessor_index(current);
+}
+
+PrefixRing::LookupTrace PrefixRing::trace_lookup(NodeIndex from,
+                                                 Key key) const {
+  SDSI_CHECK(from < nodes_.size());
+  LookupTrace trace;
+  trace.path.push_back(from);
+  NodeIndex current = from;
+  for (int hop = 0; hop <= config_.max_route_hops; ++hop) {
+    bool final_here = false;
+    const NodeIndex next = next_hop(current, key, final_here);
+    if (final_here) {
+      trace.result = current;
+      return trace;
+    }
+    trace.path.push_back(next);
+    ++trace.hops;
+    current = next;
+  }
+  trace.result = kInvalidNode;
+  return trace;
+}
+
+void PrefixRing::route_to_key(NodeIndex from, Key key, Message msg) {
+  simulator().schedule_after(sim::Duration(),
+                             [this, from, key, m = std::move(msg)]() mutable {
+                               route_step(from, key, std::move(m));
+                             });
+}
+
+void PrefixRing::route_step(NodeIndex current, Key key, Message msg) {
+  if (msg.hops > config_.max_route_hops) {
+    ++lost_messages_;
+    return;
+  }
+  bool final_here = false;
+  const NodeIndex next = next_hop(current, key, final_here);
+  if (final_here) {
+    deliver_at(current, std::move(msg));
+    return;
+  }
+  if (msg.hops > 0) {
+    notify_transit(current, msg);
+  }
+  msg.hops += 1;
+  simulator().schedule_after(hop_latency(),
+                             [this, next, key, m = std::move(msg)]() mutable {
+                               route_step(next, key, std::move(m));
+                             });
+}
+
+void PrefixRing::route_direct(NodeIndex from, NodeIndex to, Message msg) {
+  SDSI_CHECK(to < nodes_.size());
+  msg.hops = from == to ? 0 : 1;
+  const sim::Duration delay = from == to ? sim::Duration() : hop_latency();
+  simulator().schedule_after(delay, [this, to, m = std::move(msg)]() mutable {
+    deliver_at(to, std::move(m));
+  });
+}
+
+}  // namespace sdsi::routing

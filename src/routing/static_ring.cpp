@@ -1,0 +1,110 @@
+#include "routing/static_ring.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "common/sha1.hpp"
+
+namespace sdsi::routing {
+
+StaticRing::StaticRing(sim::Simulator& simulator, common::IdSpace space,
+                       std::vector<Key> node_ids, sim::Duration hop_latency)
+    : RoutingSystem(simulator, space, hop_latency), ids_(std::move(node_ids)) {
+  SDSI_CHECK(!ids_.empty());
+  sorted_.reserve(ids_.size());
+  for (NodeIndex i = 0; i < ids_.size(); ++i) {
+    SDSI_CHECK(ids_[i] == space.wrap(ids_[i]));
+    sorted_.emplace_back(ids_[i], i);
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+  for (std::size_t p = 1; p < sorted_.size(); ++p) {
+    SDSI_CHECK(sorted_[p - 1].first != sorted_[p].first);  // distinct ids
+  }
+  ring_position_.resize(ids_.size());
+  for (std::size_t p = 0; p < sorted_.size(); ++p) {
+    ring_position_[sorted_[p].second] = p;
+  }
+}
+
+bool StaticRing::is_alive(NodeIndex node) const {
+  return node < ids_.size();
+}
+
+Key StaticRing::node_id(NodeIndex node) const {
+  SDSI_CHECK(node < ids_.size());
+  return ids_[node];
+}
+
+NodeIndex StaticRing::successor_index(NodeIndex node) const {
+  SDSI_CHECK(node < ids_.size());
+  const std::size_t p = ring_position_[node];
+  return sorted_[(p + 1) % sorted_.size()].second;
+}
+
+NodeIndex StaticRing::predecessor_index(NodeIndex node) const {
+  SDSI_CHECK(node < ids_.size());
+  const std::size_t p = ring_position_[node];
+  return sorted_[(p + sorted_.size() - 1) % sorted_.size()].second;
+}
+
+NodeIndex StaticRing::find_successor_oracle(Key key) const {
+  // First ring id >= key, wrapping to the smallest id.
+  const auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), key,
+      [](const std::pair<Key, NodeIndex>& entry, Key k) {
+        return entry.first < k;
+      });
+  return it == sorted_.end() ? sorted_.front().second : it->second;
+}
+
+void StaticRing::route_to_key(NodeIndex from, Key key, Message msg) {
+  const NodeIndex dst = find_successor_oracle(key);
+  if (dst == from) {
+    // Local responsibility: deliver without network latency.
+    simulator().schedule_after(sim::Duration(),
+                               [this, dst, m = std::move(msg)]() mutable {
+                                 deliver_at(dst, std::move(m));
+                               });
+    return;
+  }
+  msg.hops = 1;
+  simulator().schedule_after(hop_latency(),
+                             [this, dst, m = std::move(msg)]() mutable {
+                               deliver_at(dst, std::move(m));
+                             });
+}
+
+void StaticRing::route_direct(NodeIndex from, NodeIndex to, Message msg) {
+  SDSI_CHECK(to < ids_.size());
+  msg.hops = from == to ? 0 : 1;
+  const sim::Duration delay =
+      from == to ? sim::Duration() : hop_latency();
+  simulator().schedule_after(delay, [this, to, m = std::move(msg)]() mutable {
+    deliver_at(to, std::move(m));
+  });
+}
+
+std::vector<Key> hash_node_ids(std::size_t count, const common::IdSpace& space,
+                               std::uint64_t salt) {
+  std::vector<Key> ids;
+  ids.reserve(count);
+  std::unordered_set<Key> used;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t attempt = 0;
+    Key id;
+    do {
+      const std::string address = "node:" + std::to_string(salt) + ":" +
+                                  std::to_string(i) + ":" +
+                                  std::to_string(attempt);
+      id = space.wrap(common::sha1_prefix64(address));
+      ++attempt;
+    } while (used.contains(id));
+    used.insert(id);
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace sdsi::routing

@@ -1,0 +1,48 @@
+// Idealized one-hop routing substrate.
+//
+// Implements the RoutingSystem interface with perfect global knowledge:
+// every key-routed message reaches successor(key) in exactly one hop. It
+// exists to (a) unit-test the middleware in isolation from Chord's routing
+// behavior, and (b) serve as the "ideal DHT" lower bound in ablation benches
+// (how much of the system cost is overlay transit vs. inherent).
+#pragma once
+
+#include <vector>
+
+#include "routing/api.hpp"
+
+namespace sdsi::routing {
+
+class StaticRing final : public RoutingSystem {
+ public:
+  /// `node_ids` are distinct ring identifiers; the node with index i gets
+  /// node_ids[i]. Indices are the simulator-level handles the application
+  /// uses.
+  StaticRing(sim::Simulator& simulator, common::IdSpace space,
+             std::vector<Key> node_ids,
+             sim::Duration hop_latency = sim::Duration::millis(50));
+
+  std::size_t num_nodes() const override { return ids_.size(); }
+  bool is_alive(NodeIndex node) const override;
+  Key node_id(NodeIndex node) const override;
+  NodeIndex successor_index(NodeIndex node) const override;
+  NodeIndex predecessor_index(NodeIndex node) const override;
+  NodeIndex find_successor_oracle(Key key) const override;
+
+ protected:
+  void route_to_key(NodeIndex from, Key key, Message msg) override;
+  void route_direct(NodeIndex from, NodeIndex to, Message msg) override;
+
+ private:
+  std::vector<Key> ids_;                      // by node index
+  std::vector<std::pair<Key, NodeIndex>> sorted_;  // ring order
+  std::vector<std::size_t> ring_position_;    // node index -> position in sorted_
+};
+
+/// Derives `count` distinct node identifiers the way Chord does: SHA-1 of the
+/// node's address ("node:<i>:<attempt>") truncated to the ring width,
+/// re-hashing on collision.
+std::vector<Key> hash_node_ids(std::size_t count, const common::IdSpace& space,
+                               std::uint64_t salt = 0);
+
+}  // namespace sdsi::routing

@@ -1,0 +1,95 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace sdsi::sim {
+
+TaskHandle Simulator::schedule_at(SimTime when, EventFn fn) {
+  SDSI_CHECK(when >= now_);
+  SDSI_CHECK(fn != nullptr);
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Entry{when, next_seq_++, alive, std::move(fn)});
+  return TaskHandle(std::move(alive));
+}
+
+TaskHandle Simulator::schedule_periodic(SimTime first, Duration period,
+                                        EventFn fn) {
+  SDSI_CHECK(period > Duration());
+  auto alive = std::make_shared<bool>(true);
+  // The wrapper reschedules itself while the shared flag stays true.
+  auto tick = std::make_shared<std::function<void(SimTime)>>();
+  *tick = [this, period, alive, fn = std::move(fn),
+           tick_weak = std::weak_ptr<std::function<void(SimTime)>>(tick)](
+              SimTime scheduled) {
+    if (!*alive) {
+      return;
+    }
+    fn();
+    if (!*alive) {  // fn may cancel its own task
+      return;
+    }
+    if (auto self = tick_weak.lock()) {
+      const SimTime next = scheduled + period;
+      queue_.push(Entry{next, next_seq_++, alive,
+                        [self, next] { (*self)(next); }});
+    }
+  };
+  queue_.push(Entry{first, next_seq_++, alive,
+                    [tick, first] { (*tick)(first); }});
+  return TaskHandle(std::move(alive));
+}
+
+void Simulator::execute(Entry& entry) {
+  now_ = entry.when;
+  if (entry.alive && !*entry.alive) {
+    return;  // cancelled; consumed without counting as executed
+  }
+  ++executed_;
+  entry.fn();
+}
+
+// Moving out of priority_queue::top() before pop() is safe here: the
+// comparator orders only by (when, seq), which the move leaves intact, and
+// the entry is popped before any other queue operation can observe it.
+
+std::uint64_t Simulator::run_until(SimTime horizon) {
+  std::uint64_t ran = 0;
+  while (!queue_.empty() && queue_.top().when <= horizon) {
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    const std::uint64_t before = executed_;
+    execute(entry);
+    ran += executed_ - before;
+  }
+  if (now_ < horizon) {
+    now_ = horizon;
+  }
+  return ran;
+}
+
+std::uint64_t Simulator::run_all() {
+  std::uint64_t ran = 0;
+  while (!queue_.empty()) {
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    const std::uint64_t before = executed_;
+    execute(entry);
+    ran += executed_ - before;
+  }
+  return ran;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    const std::uint64_t before = executed_;
+    execute(entry);
+    if (executed_ != before) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace sdsi::sim

@@ -1,0 +1,100 @@
+// Deterministic single-threaded discrete-event simulator.
+//
+// This is our stand-in for the MIT Chord simulator's replay loop: it executes
+// timed events on all nodes in the system. Events scheduled for the same
+// instant run in scheduling order (a monotone sequence number breaks ties),
+// which makes whole simulations bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "sim/time.hpp"
+
+namespace sdsi::sim {
+
+using EventFn = std::function<void()>;
+
+/// Cancellation handle for periodic tasks (and one-shot events). Destroying
+/// the handle does NOT cancel; call cancel().
+class TaskHandle {
+ public:
+  TaskHandle() = default;
+
+  void cancel() noexcept {
+    if (alive_) {
+      *alive_ = false;
+    }
+  }
+  bool active() const noexcept { return alive_ && *alive_; }
+
+ private:
+  friend class Simulator;
+  explicit TaskHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute time `when` (>= now).
+  TaskHandle schedule_at(SimTime when, EventFn fn);
+
+  /// Schedules `fn` after `delay` from now.
+  TaskHandle schedule_after(Duration delay, EventFn fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs `fn` every `period`, first at `first`, until the handle is
+  /// cancelled or the simulation ends.
+  TaskHandle schedule_periodic(SimTime first, Duration period, EventFn fn);
+
+  /// Executes events until the queue is empty or `horizon` is passed. Events
+  /// stamped exactly at `horizon` still run. Returns the number executed.
+  std::uint64_t run_until(SimTime horizon);
+
+  /// Drains the queue completely (use only with workloads that terminate).
+  std::uint64_t run_all();
+
+  /// Executes the single next event. Returns false if the queue is empty.
+  bool step();
+
+  std::uint64_t executed_events() const noexcept { return executed_; }
+  std::size_t pending_events() const noexcept { return queue_.size(); }
+
+ private:
+  struct Entry {
+    SimTime when;
+    SeqNo seq;
+    std::shared_ptr<bool> alive;  // null => unconditional
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void execute(Entry& entry);
+
+  SimTime now_;
+  SeqNo next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace sdsi::sim

@@ -1,0 +1,101 @@
+#include "streams/generators.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace sdsi::streams {
+
+RandomWalkGenerator::RandomWalkGenerator(common::Pcg32 rng, Sample start,
+                                         Sample step_low, Sample step_high)
+    : rng_(rng), value_(start), step_low_(step_low), step_high_(step_high) {
+  SDSI_CHECK(step_low <= step_high);
+}
+
+Sample RandomWalkGenerator::next() {
+  value_ += rng_.uniform(step_low_, step_high_);
+  return value_;
+}
+
+HostLoadGenerator::HostLoadGenerator(common::Pcg32 rng, Params params)
+    : rng_(rng), params_(params) {
+  SDSI_CHECK(params_.ar_coefficient >= 0.0 && params_.ar_coefficient < 1.0);
+  SDSI_CHECK(params_.diurnal_period > 0.0);
+}
+
+Sample HostLoadGenerator::next() {
+  ++tick_;
+  deviation_ = params_.ar_coefficient * deviation_ +
+               params_.noise_std * rng_.normal();
+  if (rng_.uniform01() < params_.burst_probability) {
+    burst_ += params_.burst_magnitude * (0.5 + rng_.uniform01());
+  }
+  burst_ *= params_.burst_decay;
+  const double diurnal =
+      params_.diurnal_amplitude *
+      std::sin(2.0 * std::numbers::pi * static_cast<double>(tick_) /
+               params_.diurnal_period);
+  const double load = params_.base_load + diurnal + deviation_ + burst_;
+  return std::max(load, 0.0);
+}
+
+StockMarketModel::StockMarketModel(common::Pcg32 rng, Params params)
+    : rng_(rng), params_(params) {
+  SDSI_CHECK(params_.num_tickers > 0);
+  SDSI_CHECK(params_.num_sectors > 0);
+  prices_.assign(params_.num_tickers, params_.initial_price);
+  previous_prices_ = prices_;
+  betas_.reserve(params_.num_tickers);
+  gammas_.reserve(params_.num_tickers);
+  symbols_.reserve(params_.num_tickers);
+  for (std::size_t i = 0; i < params_.num_tickers; ++i) {
+    betas_.push_back(0.6 + 0.8 * rng_.uniform01());   // beta in [0.6, 1.4]
+    gammas_.push_back(0.5 + 1.0 * rng_.uniform01());  // gamma in [0.5, 1.5]
+    // Synthetic ticker symbols: TK000, TK001, ...
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "TK%03u",
+                  static_cast<unsigned>(i % 1000));
+    symbols_.emplace_back(buf);
+  }
+}
+
+void StockMarketModel::step() {
+  previous_prices_ = prices_;
+  const double market = params_.market_vol * rng_.normal();
+  std::vector<double> sector_moves(params_.num_sectors);
+  for (double& move : sector_moves) {
+    move = params_.sector_vol * rng_.normal();
+  }
+  for (std::size_t i = 0; i < prices_.size(); ++i) {
+    const double log_return = params_.drift + betas_[i] * market +
+                              gammas_[i] * sector_moves[sector_of(i)] +
+                              params_.idiosyncratic_vol * rng_.normal();
+    prices_[i] *= std::exp(log_return);
+  }
+}
+
+DailyBar StockMarketModel::bar(std::size_t ticker) const {
+  SDSI_CHECK(ticker < prices_.size());
+  DailyBar out;
+  out.open = previous_prices_[ticker];
+  out.close = prices_[ticker];
+  // Intraday extremes synthesized as a fixed-width envelope around the move;
+  // only the close feeds the index, the rest rounds out the record format
+  // of the S&P500 files the paper describes (date/ticker/OHLCV).
+  const double hi = std::max(out.open, out.close);
+  const double lo = std::min(out.open, out.close);
+  out.high = hi * 1.005;
+  out.low = lo * 0.995;
+  out.volume = 1e6 * (0.5 + std::abs(out.close - out.open) / out.open * 50.0);
+  return out;
+}
+
+PoissonProcess::PoissonProcess(common::Pcg32 rng, double rate_per_second)
+    : rng_(rng), rate_(rate_per_second) {
+  SDSI_CHECK(rate_per_second > 0.0);
+}
+
+double PoissonProcess::next_gap_seconds() { return rng_.exponential(rate_); }
+
+}  // namespace sdsi::streams

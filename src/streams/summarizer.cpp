@@ -1,0 +1,84 @@
+#include "dsp/haar.hpp"
+#include "streams/summarizer.hpp"
+
+#include <cmath>
+
+namespace sdsi::streams {
+
+namespace {
+
+constexpr double kTinyNorm = 1e-12;
+
+}  // namespace
+
+StreamSummarizer::StreamSummarizer(dsp::FeatureConfig config)
+    : config_(config),
+      dft_(config.window_size,
+           config.first_coefficient() + config.num_coefficients) {
+  config_.validate();
+}
+
+void StreamSummarizer::push(Sample value) {
+  const Sample evicted = dft_.push(value);
+  window_sum_ += value - evicted;
+  window_sum_sq_ += value * value - evicted * evicted;
+  if (reanchor_interval_ != 0 && dft_.samples_seen() % reanchor_interval_ == 0) {
+    reanchor();
+  }
+}
+
+void StreamSummarizer::reanchor() {
+  dft_.recompute_exact();
+  window_sum_ = 0.0;
+  window_sum_sq_ = 0.0;
+  for (const Sample x : dft_.window()) {
+    window_sum_ += x;
+    window_sum_sq_ += x * x;
+  }
+}
+
+double StreamSummarizer::window_mean() const noexcept {
+  return window_sum_ / static_cast<double>(config_.window_size);
+}
+
+double StreamSummarizer::normalization_denominator() const noexcept {
+  const auto n = static_cast<double>(config_.window_size);
+  if (config_.normalization == dsp::Normalization::kZNormalize) {
+    // ||x - mean||^2 = sum(x^2) - N * mean^2; clamp against cancellation.
+    const double mu = window_sum_ / n;
+    return std::sqrt(std::max(window_sum_sq_ - n * mu * mu, 0.0));
+  }
+  return std::sqrt(std::max(window_sum_sq_, 0.0));
+}
+
+std::optional<dsp::FeatureVector> StreamSummarizer::features() const {
+  if (!ready()) {
+    return std::nullopt;
+  }
+  const double denom = normalization_denominator();
+  if (denom < kTinyNorm) {
+    return std::nullopt;
+  }
+  const std::size_t first = config_.first_coefficient();
+  if (config_.synopsis == dsp::Synopsis::kHaar) {
+    // No O(k) incremental update exists for a sliding Haar transform, so
+    // this mode recomputes from the raw window: O(W) per call. The same
+    // normalization identity applies — only coefficient 0 carries the mean,
+    // so dividing the retained raw coefficients by the denominator yields
+    // the normalized synopsis.
+    const std::vector<double> raw = dsp::haar_transform(dft_.window());
+    std::vector<dsp::Complex> coeffs(config_.num_coefficients);
+    for (std::size_t i = 0; i < coeffs.size(); ++i) {
+      coeffs[i] = dsp::Complex{raw[first + i] / denom, 0.0};
+    }
+    return dsp::FeatureVector(std::move(coeffs));
+  }
+  std::vector<dsp::Complex> coeffs(config_.num_coefficients);
+  const auto raw = dft_.coefficients();
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    coeffs[i] = raw[first + i] / denom;
+  }
+  return dsp::FeatureVector(std::move(coeffs));
+}
+
+}  // namespace sdsi::streams

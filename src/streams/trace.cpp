@@ -1,0 +1,133 @@
+#include "streams/trace.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <istream>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace sdsi::streams {
+
+namespace {
+
+// Parses one CSV field with std::from_chars semantics; trims spaces.
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t' ||
+                           text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+template <typename T>
+T parse_number(std::string_view field, std::size_t line, const char* what) {
+  field = trim(field);
+  T value{};
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    throw TraceParseError(line, std::string("bad ") + what + " '" +
+                                    std::string(field) + "'");
+  }
+  return value;
+}
+
+// Shortest representation that round-trips exactly through from_chars.
+std::string format_double(double value) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  SDSI_CHECK(ec == std::errc{});
+  return std::string(buf, ptr);
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, std::span<const TraceRecord> records) {
+  out << "# sdsi stream trace v1: stream_id,timestamp_seconds,value\n";
+  for (const TraceRecord& record : records) {
+    out << record.stream << ',' << format_double(record.timestamp) << ','
+        << format_double(record.value) << '\n';
+  }
+}
+
+std::vector<TraceRecord> read_trace(std::istream& in) {
+  std::vector<TraceRecord> records;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view text = trim(line);
+    if (text.empty() || text.front() == '#') {
+      continue;
+    }
+    const std::size_t first_comma = text.find(',');
+    const std::size_t second_comma =
+        first_comma == std::string_view::npos
+            ? std::string_view::npos
+            : text.find(',', first_comma + 1);
+    if (first_comma == std::string_view::npos ||
+        second_comma == std::string_view::npos ||
+        text.find(',', second_comma + 1) != std::string_view::npos) {
+      throw TraceParseError(line_number,
+                            "expected exactly 3 comma-separated fields");
+    }
+    TraceRecord record;
+    record.stream = parse_number<StreamId>(text.substr(0, first_comma),
+                                           line_number, "stream id");
+    record.timestamp = parse_number<double>(
+        text.substr(first_comma + 1, second_comma - first_comma - 1),
+        line_number, "timestamp");
+    record.value =
+        parse_number<double>(text.substr(second_comma + 1), line_number,
+                             "value");
+    records.push_back(record);
+  }
+  return records;
+}
+
+std::vector<TraceRecord> record_generator(StreamGenerator& generator,
+                                          StreamId stream, std::size_t count,
+                                          double period_seconds) {
+  SDSI_CHECK(period_seconds > 0.0);
+  std::vector<TraceRecord> records;
+  records.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    records.push_back(TraceRecord{stream,
+                                  static_cast<double>(i) * period_seconds,
+                                  generator.next()});
+  }
+  return records;
+}
+
+TraceReplayGenerator::TraceReplayGenerator(
+    std::span<const TraceRecord> records, StreamId stream)
+    : stream_(stream) {
+  std::vector<std::pair<double, Sample>> mine;
+  for (const TraceRecord& record : records) {
+    if (record.stream == stream) {
+      mine.emplace_back(record.timestamp, record.value);
+    }
+  }
+  std::stable_sort(mine.begin(), mine.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  values_.reserve(mine.size());
+  for (const auto& [timestamp, value] : mine) {
+    values_.push_back(value);
+  }
+}
+
+Sample TraceReplayGenerator::next() {
+  if (exhausted()) {
+    throw std::out_of_range("trace replay for stream " +
+                            std::to_string(stream_) + " is exhausted");
+  }
+  return values_[position_++];
+}
+
+}  // namespace sdsi::streams

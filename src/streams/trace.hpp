@@ -1,0 +1,79 @@
+// Stream trace I/O: persist and replay workloads.
+//
+// The paper's evaluation mixes synthetic streams with file-based datasets
+// (S&P500 records, CMU host-load traces). This module gives the library the
+// same capability: dump any generator to a CSV trace, load traces back, and
+// replay them through the standard StreamGenerator interface — so recorded
+// real-world data slots into every example, test, and bench unchanged.
+//
+// Format: one record per line, `stream_id,timestamp,value`, '#' comments and
+// blank lines ignored.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "streams/generators.hpp"
+
+namespace sdsi::streams {
+
+struct TraceRecord {
+  StreamId stream = 0;
+  double timestamp = 0.0;  // seconds; monotone non-decreasing per stream
+  Sample value = 0.0;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+/// Thrown on malformed trace input, with the 1-based line number.
+class TraceParseError : public std::runtime_error {
+ public:
+  TraceParseError(std::size_t line, const std::string& what)
+      : std::runtime_error("trace line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Writes records as CSV (with a header comment).
+void write_trace(std::ostream& out, std::span<const TraceRecord> records);
+
+/// Parses a CSV trace; throws TraceParseError on malformed lines.
+std::vector<TraceRecord> read_trace(std::istream& in);
+
+/// Captures `count` values of `generator` as a trace for `stream`, spacing
+/// timestamps by `period_seconds`.
+std::vector<TraceRecord> record_generator(StreamGenerator& generator,
+                                          StreamId stream, std::size_t count,
+                                          double period_seconds);
+
+/// Replays one stream's values from a trace, in timestamp order, through the
+/// StreamGenerator interface. next() past the end throws std::out_of_range
+/// (exhausted() tells you first).
+class TraceReplayGenerator final : public StreamGenerator {
+ public:
+  TraceReplayGenerator(std::span<const TraceRecord> records, StreamId stream);
+
+  bool exhausted() const noexcept { return position_ >= values_.size(); }
+  std::size_t remaining() const noexcept {
+    return values_.size() - position_;
+  }
+
+  Sample next() override;
+  std::string name() const override {
+    return "trace:" + std::to_string(stream_);
+  }
+
+ private:
+  std::vector<Sample> values_;
+  std::size_t position_ = 0;
+  StreamId stream_;
+};
+
+}  // namespace sdsi::streams

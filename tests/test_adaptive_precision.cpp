@@ -1,0 +1,145 @@
+// The Sec VI-A adaptive precision controller: rate targeting, bounds, and
+// the closed-loop batcher.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ext/adaptive_precision.hpp"
+
+namespace sdsi::ext {
+namespace {
+
+dsp::FeatureVector fv(double re) {
+  return dsp::FeatureVector({dsp::Complex{re, 0.0}});
+}
+
+AdaptivePrecisionController::Options options(double target = 1.0) {
+  AdaptivePrecisionController::Options opts;
+  opts.target_rate = target;
+  opts.window = 8;
+  return opts;
+}
+
+TEST(AdaptiveController, GrowsWhenEmittingTooOften) {
+  AdaptivePrecisionController controller(options(1.0));
+  const double before = controller.extent();
+  // Every vector closes a batch: way over target.
+  for (int i = 0; i < 8; ++i) {
+    controller.observe(/*emitted=*/true);
+  }
+  EXPECT_GT(controller.extent(), before);
+  EXPECT_EQ(controller.adaptations(), 1u);
+}
+
+TEST(AdaptiveController, ShrinksWhenIdle) {
+  AdaptivePrecisionController controller(options(1.0));
+  const double before = controller.extent();
+  for (int i = 0; i < 8; ++i) {
+    controller.observe(/*emitted=*/false);
+  }
+  EXPECT_LT(controller.extent(), before);
+}
+
+TEST(AdaptiveController, HoldsNearTarget) {
+  AdaptivePrecisionController controller(options(1.0));
+  const double before = controller.extent();
+  // Exactly one emission per window: inside the dead band.
+  for (int i = 0; i < 8; ++i) {
+    controller.observe(i == 3);
+  }
+  EXPECT_DOUBLE_EQ(controller.extent(), before);
+}
+
+TEST(AdaptiveController, RespectsBounds) {
+  AdaptivePrecisionController::Options opts = options(1.0);
+  opts.min_extent = 0.01;
+  opts.max_extent = 0.2;
+  AdaptivePrecisionController controller(opts);
+  for (int i = 0; i < 800; ++i) {
+    controller.observe(true);
+  }
+  EXPECT_DOUBLE_EQ(controller.extent(), 0.2);
+  for (int i = 0; i < 8000; ++i) {
+    controller.observe(false);
+  }
+  EXPECT_DOUBLE_EQ(controller.extent(), 0.01);
+}
+
+TEST(AdaptiveController, AdaptsOnlyAtWindowBoundaries) {
+  AdaptivePrecisionController controller(options(1.0));
+  for (int i = 0; i < 7; ++i) {
+    controller.observe(true);
+    EXPECT_EQ(controller.adaptations(), 0u);
+  }
+  controller.observe(true);
+  EXPECT_EQ(controller.adaptations(), 1u);
+}
+
+TEST(PrecisionAdaptiveBatcher, ConvergesToTargetRateOnFastStream) {
+  // A fast-drifting stream: the fixed-extent batcher would emit constantly;
+  // the controller widens boxes until the rate lands near target.
+  PrecisionAdaptiveBatcher batcher({}, options(1.0));
+  common::Pcg32 rng(5, 5);
+  double walk = 0.0;
+  int emissions_late = 0;
+  constexpr int kTotal = 4000;
+  constexpr int kTail = 1600;  // measure after convergence
+  for (int i = 0; i < kTotal; ++i) {
+    walk += rng.uniform(-0.02, 0.02);
+    walk = std::clamp(walk, -0.95, 0.95);
+    const bool emitted = batcher.push(fv(walk)).has_value();
+    if (i >= kTotal - kTail) {
+      emissions_late += emitted ? 1 : 0;
+    }
+  }
+  // Target: 1 emission per 8 vectors = 200 over the tail. Allow 2x band.
+  EXPECT_GT(emissions_late, 100);
+  EXPECT_LT(emissions_late, 420);
+}
+
+TEST(PrecisionAdaptiveBatcher, FlatStreamGainsPrecision) {
+  PrecisionAdaptiveBatcher batcher({}, options(1.0));
+  for (int i = 0; i < 2000; ++i) {
+    (void)batcher.push(fv(0.3));  // never moves: never emits
+  }
+  // Extent shrinks toward the minimum: maximal precision for free.
+  EXPECT_LT(batcher.current_extent(),
+            AdaptivePrecisionController(options(1.0)).extent());
+}
+
+TEST(PrecisionAdaptiveBatcher, EmittedBoxesRespectCurrentBudget) {
+  PrecisionAdaptiveBatcher batcher({}, options(1.0));
+  common::Pcg32 rng(9, 9);
+  double walk = 0.0;
+  double max_budget_seen = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    walk += rng.uniform(-0.01, 0.01);
+    max_budget_seen = std::max(max_budget_seen, batcher.current_extent());
+    if (const auto box = batcher.push(fv(walk))) {
+      // A closed box never exceeds the largest budget that was in force.
+      EXPECT_LE(box->routing_high() - box->routing_low(),
+                max_budget_seen + 1e-12);
+    }
+  }
+}
+
+TEST(PrecisionAdaptiveBatcher, FasterStreamsGetWiderBoxes) {
+  // The Sec VI-A promise: precision adapts per stream automatically.
+  PrecisionAdaptiveBatcher slow({}, options(1.0));
+  PrecisionAdaptiveBatcher fast({}, options(1.0));
+  common::Pcg32 rng(11, 11);
+  double w_slow = 0.0;
+  double w_fast = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    w_slow += rng.uniform(-0.001, 0.001);
+    w_fast += rng.uniform(-0.05, 0.05);
+    w_fast = std::clamp(w_fast, -0.95, 0.95);
+    (void)slow.push(fv(w_slow));
+    (void)fast.push(fv(w_fast));
+  }
+  EXPECT_GT(fast.current_extent(), 2.0 * slow.current_extent());
+}
+
+}  // namespace
+}  // namespace sdsi::ext

@@ -1,0 +1,175 @@
+// The Sec IV-A strawmen: centralized single data center and query flooding.
+// They must (a) be functionally correct, and (b) exhibit exactly the
+// pathologies the paper argues against.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "baseline/centralized.hpp"
+#include "baseline/flooding.hpp"
+#include "routing/static_ring.hpp"
+
+namespace sdsi::baseline {
+namespace {
+
+constexpr std::size_t kWindow = 16;
+
+core::MiddlewareConfig small_config() {
+  core::MiddlewareConfig config;
+  config.features.window_size = kWindow;
+  config.features.num_coefficients = 2;
+  config.batching.batch_size = 3;
+  config.mbr_lifespan = sim::Duration::seconds(30);
+  config.notify_period = sim::Duration::millis(500);
+  return config;
+}
+
+template <typename System>
+struct Harness {
+  sim::Simulator sim;
+  routing::StaticRing ring;
+  System system;
+
+  explicit Harness(std::size_t nodes)
+      : ring(sim, common::IdSpace(16),
+             routing::hash_node_ids(nodes, common::IdSpace(16), 55)),
+        system(ring, small_config()) {
+    system.start();
+  }
+
+  void run_for(double seconds) {
+    sim.run_until(sim.now() + sim::Duration::seconds(seconds));
+  }
+
+  void feed_exponential(NodeIndex node, StreamId stream, double gamma,
+                        int samples) {
+    double value = 1.0;
+    for (int i = 0; i < samples; ++i) {
+      value *= gamma;
+      system.post_stream_value(node, stream, value);
+    }
+  }
+
+  dsp::FeatureVector exponential_features(double gamma) const {
+    std::vector<Sample> window(kWindow);
+    double value = 1.0;
+    for (Sample& x : window) {
+      value *= gamma;
+      x = value;
+    }
+    dsp::FeatureConfig cfg = small_config().features;
+    return dsp::extract_features(window, cfg);
+  }
+};
+
+TEST(Centralized, AnswersSimilarityQueriesCorrectly) {
+  Harness<CentralizedSystem> h(8);
+  const double gammas[4] = {1.02, 1.10, 1.11, 1.30};
+  for (NodeIndex i = 0; i < 4; ++i) {
+    h.system.register_stream(i + 1, 100 + i);
+    h.feed_exponential(i + 1, 100 + i, gammas[i], 60);
+  }
+  h.run_for(2.0);
+  const core::QueryId id = h.system.subscribe_similarity(
+      5, h.exponential_features(1.105), 0.05, sim::Duration::seconds(60));
+  h.run_for(5.0);
+  const auto* record = h.system.client_record(id);
+  ASSERT_NE(record, nullptr);
+  // Streams 101 (1.10) and 102 (1.11) sit within the ball; 100 and 103 far.
+  EXPECT_TRUE(record->matched_streams.contains(101));
+  EXPECT_TRUE(record->matched_streams.contains(102));
+  EXPECT_FALSE(record->matched_streams.contains(103));
+}
+
+TEST(Centralized, CenterIsTheHotspot) {
+  Harness<CentralizedSystem> h(12);
+  for (NodeIndex i = 0; i < 12; ++i) {
+    h.system.register_stream(i, 200 + i);
+  }
+  for (int round = 0; round < 80; ++round) {
+    for (NodeIndex i = 0; i < 12; ++i) {
+      h.feed_exponential(i, 200 + i, 1.05 + 0.01 * i, 1);
+    }
+  }
+  h.run_for(5.0);
+  const auto load = h.system.per_node_load(5.0);
+  const NodeIndex center = h.system.center();
+  const double center_load = load[center];
+  double other_max = 0.0;
+  double total = 0.0;
+  for (NodeIndex i = 0; i < load.size(); ++i) {
+    total += load[i];
+    if (i != center) {
+      other_max = std::max(other_max, load[i]);
+    }
+  }
+  // The paper's core argument: the center absorbs a dominant share.
+  EXPECT_GT(center_load, other_max);
+  EXPECT_GT(center_load, 0.3 * total);
+}
+
+TEST(Centralized, QueriesRouteToTheCenterOnly) {
+  Harness<CentralizedSystem> h(8);
+  h.system.register_stream(1, 300);
+  h.feed_exponential(1, 300, 1.1, 40);
+  (void)h.system.subscribe_similarity(6, h.exponential_features(1.1), 0.1,
+                                      sim::Duration::seconds(10));
+  h.run_for(2.0);
+  EXPECT_EQ(h.system.metrics().query().range_internal, 0u);
+}
+
+TEST(Flooding, AnswersSimilarityQueriesCorrectly) {
+  Harness<FloodingSystem> h(8);
+  const double gammas[4] = {1.02, 1.10, 1.11, 1.30};
+  for (NodeIndex i = 0; i < 4; ++i) {
+    h.system.register_stream(i + 1, 100 + i);
+    h.feed_exponential(i + 1, 100 + i, gammas[i], 60);
+  }
+  h.run_for(2.0);
+  const core::QueryId id = h.system.subscribe_similarity(
+      5, h.exponential_features(1.105), 0.05, sim::Duration::seconds(60));
+  h.run_for(5.0);
+  const auto* record = h.system.client_record(id);
+  ASSERT_NE(record, nullptr);
+  EXPECT_TRUE(record->matched_streams.contains(101));
+  EXPECT_TRUE(record->matched_streams.contains(102));
+  EXPECT_FALSE(record->matched_streams.contains(100));
+}
+
+TEST(Flooding, SummariesCostZeroMessages) {
+  Harness<FloodingSystem> h(8);
+  h.system.register_stream(0, 400);
+  h.feed_exponential(0, 400, 1.1, 100);
+  h.run_for(2.0);
+  EXPECT_EQ(h.system.metrics().mbr().originated, 0u);
+  EXPECT_EQ(h.system.metrics().mbr().range_internal, 0u);
+}
+
+TEST(Flooding, EveryQueryTouchesAllNodes) {
+  constexpr std::size_t kNodes = 10;
+  Harness<FloodingSystem> h(kNodes);
+  (void)h.system.subscribe_similarity(3, h.exponential_features(1.1), 0.05,
+                                      sim::Duration::seconds(10));
+  h.run_for(5.0);
+  const auto& query = h.system.metrics().query();
+  // One original copy + N-1 flooded copies.
+  EXPECT_EQ(query.originated, 1u);
+  EXPECT_EQ(query.range_internal, kNodes - 1);
+  EXPECT_EQ(query.delivered, kNodes);
+}
+
+TEST(Flooding, QueryCostScalesLinearlyWithN) {
+  auto flood_cost = [](std::size_t nodes) {
+    Harness<FloodingSystem> h(nodes);
+    (void)h.system.subscribe_similarity(0, h.exponential_features(1.1), 0.05,
+                                        sim::Duration::seconds(5));
+    h.run_for(static_cast<double>(nodes) * 0.06 + 2.0);  // sequential walk needs time
+    return h.system.metrics().query().delivered;
+  };
+  EXPECT_EQ(flood_cost(8), 8u);
+  EXPECT_EQ(flood_cost(24), 24u);
+}
+
+}  // namespace
+}  // namespace sdsi::baseline

@@ -1,0 +1,148 @@
+// MBR batching: the fixed-count scheme of Sec IV-G and the adaptive
+// precision extension of Sec VI-A.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/batcher.hpp"
+
+namespace sdsi::core {
+namespace {
+
+dsp::FeatureVector fv(double re, double im = 0.0) {
+  return dsp::FeatureVector({dsp::Complex{re, im}});
+}
+
+MbrBatcher::Options fixed(std::size_t beta) {
+  MbrBatcher::Options options;
+  options.mode = MbrBatcher::Mode::kFixedCount;
+  options.batch_size = beta;
+  return options;
+}
+
+MbrBatcher::Options adaptive(double extent, std::size_t max_batch = 64) {
+  MbrBatcher::Options options;
+  options.mode = MbrBatcher::Mode::kAdaptive;
+  options.max_extent = extent;
+  options.max_batch = max_batch;
+  return options;
+}
+
+TEST(MbrBatcher, FixedCountEmitsEveryBeta) {
+  MbrBatcher batcher(fixed(3));
+  EXPECT_FALSE(batcher.push(fv(0.1)).has_value());
+  EXPECT_FALSE(batcher.push(fv(0.2)).has_value());
+  const auto box = batcher.push(fv(0.3));
+  ASSERT_TRUE(box.has_value());
+  EXPECT_DOUBLE_EQ(box->routing_low(), 0.1);
+  EXPECT_DOUBLE_EQ(box->routing_high(), 0.3);
+  EXPECT_EQ(batcher.pending(), 0u);
+  EXPECT_EQ(batcher.batches_emitted(), 1u);
+}
+
+TEST(MbrBatcher, BatchOfOneDegenerates) {
+  MbrBatcher batcher(fixed(1));
+  const auto box = batcher.push(fv(0.5));
+  ASSERT_TRUE(box.has_value());
+  EXPECT_DOUBLE_EQ(box->routing_low(), 0.5);
+  EXPECT_DOUBLE_EQ(box->routing_high(), 0.5);
+}
+
+TEST(MbrBatcher, ConsecutiveBatchesAreIndependent) {
+  MbrBatcher batcher(fixed(2));
+  (void)batcher.push(fv(0.0));
+  (void)batcher.push(fv(0.1));
+  (void)batcher.push(fv(0.8));
+  const auto box = batcher.push(fv(0.9));
+  ASSERT_TRUE(box.has_value());
+  EXPECT_DOUBLE_EQ(box->routing_low(), 0.8);  // no bleed from first batch
+}
+
+TEST(MbrBatcher, FlushEmitsPartialBatch) {
+  MbrBatcher batcher(fixed(10));
+  (void)batcher.push(fv(0.3));
+  (void)batcher.push(fv(0.4));
+  const auto box = batcher.flush();
+  ASSERT_TRUE(box.has_value());
+  EXPECT_DOUBLE_EQ(box->routing_high(), 0.4);
+  EXPECT_FALSE(batcher.flush().has_value());  // nothing left
+}
+
+TEST(MbrBatcher, CountsVectorsAndBatches) {
+  MbrBatcher batcher(fixed(2));
+  for (int i = 0; i < 7; ++i) {
+    (void)batcher.push(fv(0.01 * i));
+  }
+  EXPECT_EQ(batcher.vectors_seen(), 7u);
+  EXPECT_EQ(batcher.batches_emitted(), 3u);
+  EXPECT_EQ(batcher.pending(), 1u);
+}
+
+TEST(MbrBatcher, AdaptiveClosesWhenExtentWouldExceed) {
+  MbrBatcher batcher(adaptive(0.1));
+  EXPECT_FALSE(batcher.push(fv(0.00)).has_value());
+  EXPECT_FALSE(batcher.push(fv(0.05)).has_value());
+  EXPECT_FALSE(batcher.push(fv(0.10)).has_value());  // extent exactly 0.1
+  // 0.25 would stretch the box to 0.25 > 0.1: the previous batch closes and
+  // the new point starts a fresh box.
+  const auto box = batcher.push(fv(0.25));
+  ASSERT_TRUE(box.has_value());
+  EXPECT_DOUBLE_EQ(box->routing_low(), 0.00);
+  EXPECT_DOUBLE_EQ(box->routing_high(), 0.10);
+  EXPECT_EQ(batcher.pending(), 1u);
+}
+
+TEST(MbrBatcher, AdaptiveChecksEveryDimension) {
+  MbrBatcher batcher(adaptive(0.1));
+  (void)batcher.push(fv(0.0, 0.0));
+  // First dimension moves little, imaginary part jumps: must still close.
+  const auto box = batcher.push(fv(0.01, 0.5));
+  ASSERT_TRUE(box.has_value());
+  EXPECT_EQ(batcher.pending(), 1u);
+}
+
+TEST(MbrBatcher, AdaptiveRespectsMaxBatch) {
+  MbrBatcher batcher(adaptive(10.0, 4));  // extent never binds
+  int emitted = 0;
+  for (int i = 0; i < 12; ++i) {
+    if (batcher.push(fv(0.0)).has_value()) {
+      ++emitted;
+    }
+  }
+  EXPECT_EQ(emitted, 2);  // closed at pushes 5 and 9
+  EXPECT_EQ(batcher.pending(), 4u);
+}
+
+TEST(MbrBatcher, AdaptiveBoxesNeverExceedExtent) {
+  common::Pcg32 rng(5, 5);
+  MbrBatcher batcher(adaptive(0.08));
+  double walk = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    walk += rng.uniform(-0.02, 0.02);
+    if (const auto box = batcher.push(fv(walk))) {
+      EXPECT_LE(box->routing_high() - box->routing_low(), 0.08 + 1e-12);
+    }
+  }
+}
+
+class AdaptiveRateTradeoff : public ::testing::TestWithParam<double> {};
+
+TEST_P(AdaptiveRateTradeoff, SmallerExtentMeansMoreBatches) {
+  // The Sec VI-A tradeoff: tighter boxes -> higher update rate.
+  const double extent = GetParam();
+  common::Pcg32 rng(9, 9);
+  MbrBatcher tight(adaptive(extent));
+  MbrBatcher loose(adaptive(extent * 4.0));
+  double walk = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    walk += rng.uniform(-0.01, 0.01);
+    (void)tight.push(fv(walk));
+    (void)loose.push(fv(walk));
+  }
+  EXPECT_GT(tight.batches_emitted(), loose.batches_emitted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Extents, AdaptiveRateTradeoff,
+                         ::testing::Values(0.01, 0.02, 0.05));
+
+}  // namespace
+}  // namespace sdsi::core

@@ -1,0 +1,238 @@
+// The Chord protocol: Figure 1's exact scenario, lookup correctness, hop
+// scaling, and message-path routing with the 50 ms per-hop delay.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "chord/network.hpp"
+#include "common/rng.hpp"
+#include "routing/static_ring.hpp"
+
+namespace sdsi::chord {
+namespace {
+
+using routing::Message;
+
+struct Harness {
+  sim::Simulator sim;
+  ChordNetwork net;
+  std::vector<std::pair<NodeIndex, Message>> deliveries;
+  std::vector<double> delivery_times_ms;
+
+  explicit Harness(ChordConfig config) : net(sim, config) {
+    net.set_deliver([this](NodeIndex at, const Message& msg) {
+      deliveries.emplace_back(at, msg);
+      delivery_times_ms.push_back(sim.now().as_millis());
+    });
+  }
+};
+
+ChordConfig figure1_config() {
+  ChordConfig config;
+  config.id_bits = 5;
+  return config;
+}
+
+std::vector<Key> figure1_ids() { return {1, 8, 11, 14, 20, 23}; }
+
+NodeIndex by_id(const ChordNetwork& net, Key id) {
+  for (NodeIndex i = 0; i < net.num_nodes(); ++i) {
+    if (net.node_id(i) == id) {
+      return i;
+    }
+  }
+  return kInvalidNode;
+}
+
+TEST(ChordFigure1, KeyAssignments) {
+  Harness h(figure1_config());
+  h.net.bootstrap(figure1_ids());
+  EXPECT_EQ(h.net.node_id(h.net.find_successor_oracle(13)), 14u);
+  EXPECT_EQ(h.net.node_id(h.net.find_successor_oracle(17)), 20u);
+  EXPECT_EQ(h.net.node_id(h.net.find_successor_oracle(26)), 1u);
+}
+
+TEST(ChordFigure1, FingerTableOfNode8) {
+  // Figure 1(a): N8's fingers are N11, N11, N14, N20, N1.
+  Harness h(figure1_config());
+  h.net.bootstrap(figure1_ids());
+  const NodeIndex n8 = by_id(h.net, 8);
+  const FingerTable& fingers = h.net.state(n8).fingers;
+  EXPECT_EQ(h.net.node_id(fingers.get(0)), 11u);
+  EXPECT_EQ(h.net.node_id(fingers.get(1)), 11u);
+  EXPECT_EQ(h.net.node_id(fingers.get(2)), 14u);
+  EXPECT_EQ(h.net.node_id(fingers.get(3)), 20u);
+  EXPECT_EQ(h.net.node_id(fingers.get(4)), 1u);
+}
+
+TEST(ChordFigure1, FingerTableOfNode20) {
+  // Figure 2: N20's fingers are N23, N23, N1, N1, N8.
+  Harness h(figure1_config());
+  h.net.bootstrap(figure1_ids());
+  const NodeIndex n20 = by_id(h.net, 20);
+  const FingerTable& fingers = h.net.state(n20).fingers;
+  EXPECT_EQ(h.net.node_id(fingers.get(0)), 23u);
+  EXPECT_EQ(h.net.node_id(fingers.get(1)), 23u);
+  EXPECT_EQ(h.net.node_id(fingers.get(2)), 1u);
+  EXPECT_EQ(h.net.node_id(fingers.get(3)), 1u);
+  EXPECT_EQ(h.net.node_id(fingers.get(4)), 8u);
+}
+
+TEST(ChordFigure1, Lookup25FromNode8UsesFingers) {
+  // Figure 1(b): node 8 looking up key 25 forwards through node 20 (its
+  // closest preceding finger) and node 23, which returns successor N1.
+  Harness h(figure1_config());
+  h.net.bootstrap(figure1_ids());
+  const NodeIndex n8 = by_id(h.net, 8);
+  const auto trace = h.net.trace_lookup(n8, 25);
+  EXPECT_EQ(h.net.node_id(trace.result), 1u);
+  ASSERT_GE(trace.path.size(), 3u);
+  EXPECT_EQ(h.net.node_id(trace.path[0]), 8u);
+  EXPECT_EQ(h.net.node_id(trace.path[1]), 20u);
+  EXPECT_EQ(h.net.node_id(trace.path[2]), 23u);
+}
+
+TEST(ChordFigure1, LookupTerminatesViaSuccessorRule) {
+  // "Node 14 finds that key 17 falls between itself and its successor,
+  // node 20; node 20 is returned."
+  Harness h(figure1_config());
+  h.net.bootstrap(figure1_ids());
+  const NodeIndex n14 = by_id(h.net, 14);
+  const auto trace = h.net.trace_lookup(n14, 17);
+  EXPECT_EQ(h.net.node_id(trace.result), 20u);
+  EXPECT_EQ(trace.hops, 1);
+}
+
+TEST(ChordFigure1, SelfCoverageResolvesLocally) {
+  Harness h(figure1_config());
+  h.net.bootstrap(figure1_ids());
+  const NodeIndex n14 = by_id(h.net, 14);
+  const auto trace = h.net.trace_lookup(n14, 13);  // 13 in (11, 14]
+  EXPECT_EQ(trace.result, n14);
+  EXPECT_EQ(trace.hops, 0);
+}
+
+TEST(ChordLookup, AgreesWithOracleEverywhere) {
+  Harness h(figure1_config());
+  h.net.bootstrap(figure1_ids());
+  for (Key key = 0; key < 32; ++key) {
+    for (NodeIndex from = 0; from < h.net.num_nodes(); ++from) {
+      const auto trace = h.net.trace_lookup(from, key);
+      EXPECT_EQ(trace.result, h.net.find_successor_oracle(key))
+          << "from=" << h.net.node_id(from) << " key=" << key;
+    }
+  }
+}
+
+TEST(ChordRouting, MessageArrivesAtSuccessorWithHopDelay) {
+  Harness h(figure1_config());
+  h.net.bootstrap(figure1_ids());
+  const NodeIndex n8 = by_id(h.net, 8);
+  Message msg;
+  msg.kind = 1;
+  h.net.send(n8, 25, std::move(msg));
+  h.sim.run_all();
+  ASSERT_EQ(h.deliveries.size(), 1u);
+  EXPECT_EQ(h.net.node_id(h.deliveries[0].first), 1u);
+  // Path 8 -> 20 -> 23 -> 1: three transmissions at 50 ms each.
+  EXPECT_EQ(h.deliveries[0].second.hops, 3);
+  EXPECT_DOUBLE_EQ(h.delivery_times_ms[0], 150.0);
+}
+
+TEST(ChordRouting, LocalKeyDeliversWithZeroHops) {
+  Harness h(figure1_config());
+  h.net.bootstrap(figure1_ids());
+  const NodeIndex n14 = by_id(h.net, 14);
+  Message msg;
+  msg.kind = 1;
+  h.net.send(n14, 12, std::move(msg));
+  h.sim.run_all();
+  ASSERT_EQ(h.deliveries.size(), 1u);
+  EXPECT_EQ(h.deliveries[0].first, n14);
+  EXPECT_EQ(h.deliveries[0].second.hops, 0);
+}
+
+TEST(ChordRouting, RangeMulticastMatchesFigure3a) {
+  Harness h(figure1_config());
+  h.net.bootstrap(figure1_ids());
+  const NodeIndex n1 = by_id(h.net, 1);
+  Message msg;
+  msg.kind = 1;
+  h.net.send_range(n1, 10, 19, std::move(msg),
+                   routing::MulticastStrategy::kSequential);
+  h.sim.run_all();
+  std::set<Key> ids;
+  for (const auto& [at, m] : h.deliveries) {
+    ids.insert(h.net.node_id(at));
+  }
+  EXPECT_EQ(ids, (std::set<Key>{11, 14, 20}));
+}
+
+class ChordHopScaling : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChordHopScaling, AverageHopsAreLogarithmic) {
+  const std::size_t n = GetParam();
+  ChordConfig config;
+  config.id_bits = 24;
+  Harness h(config);
+  const auto ids = routing::hash_node_ids(n, common::IdSpace(24), 3);
+  h.net.bootstrap(ids);
+  common::Pcg32 rng(n, 2);
+  double total_hops = 0.0;
+  constexpr int kLookups = 400;
+  for (int i = 0; i < kLookups; ++i) {
+    const auto from =
+        static_cast<NodeIndex>(rng.bounded(static_cast<std::uint32_t>(n)));
+    const Key key = h.net.id_space().wrap(rng.next64());
+    const auto trace = h.net.trace_lookup(from, key);
+    EXPECT_EQ(trace.result, h.net.find_successor_oracle(key));
+    total_hops += trace.hops;
+  }
+  const double mean_hops = total_hops / kLookups;
+  const double log2n = std::log2(static_cast<double>(n));
+  // The classical bound: mean ~ 0.5 log2 N; allow generous slack.
+  EXPECT_LT(mean_hops, log2n + 1.0);
+  EXPECT_GT(mean_hops, 0.25 * log2n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChordHopScaling,
+                         ::testing::Values(16, 50, 100, 200, 500));
+
+TEST(ChordBootstrap, SuccessorListsAreNextRClockwise) {
+  ChordConfig config;
+  config.id_bits = 8;
+  config.successor_list_length = 3;
+  Harness h(config);
+  h.net.bootstrap(std::vector<Key>{10, 20, 30, 40, 50});
+  const NodeIndex n30 = by_id(h.net, 30);
+  const auto& list = h.net.state(n30).successor_list;
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(h.net.node_id(list[0]), 40u);
+  EXPECT_EQ(h.net.node_id(list[1]), 50u);
+  EXPECT_EQ(h.net.node_id(list[2]), 10u);
+}
+
+TEST(ChordRouting, DeterministicAcrossRuns) {
+  auto run = [] {
+    ChordConfig config;
+    config.id_bits = 16;
+    Harness h(config);
+    h.net.bootstrap(routing::hash_node_ids(30, common::IdSpace(16), 9));
+    for (Key key = 0; key < 20000; key += 997) {
+      Message msg;
+      msg.kind = 1;
+      h.net.send(0, key, std::move(msg));
+    }
+    h.sim.run_all();
+    std::vector<int> hops;
+    for (const auto& [at, msg] : h.deliveries) {
+      hops.push_back(msg.hops);
+    }
+    return hops;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace sdsi::chord

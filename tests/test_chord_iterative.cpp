@@ -1,0 +1,161 @@
+// Chord's iterative lookup style: same destinations as recursive routing,
+// roughly double the transmissions and latency, origin-driven.
+#include <gtest/gtest.h>
+
+#include "chord/network.hpp"
+#include "common/rng.hpp"
+#include "core/metrics.hpp"
+#include "routing/static_ring.hpp"
+
+namespace sdsi::chord {
+namespace {
+
+using routing::Message;
+
+struct Harness {
+  sim::Simulator sim;
+  ChordNetwork net;
+  core::MetricsCollector metrics;
+  std::vector<std::pair<NodeIndex, Message>> deliveries;
+  std::vector<double> delivery_times_ms;
+
+  Harness(LookupStyle style, std::size_t nodes, unsigned bits = 16)
+      : net(sim,
+            [&] {
+              ChordConfig config;
+              config.id_bits = bits;
+              config.lookup_style = style;
+              return config;
+            }()),
+        metrics(nodes) {
+    net.bootstrap(routing::hash_node_ids(nodes, common::IdSpace(bits), 3));
+    net.set_metrics_hook(&metrics);
+    net.set_deliver([this](NodeIndex at, const Message& msg) {
+      deliveries.emplace_back(at, msg);
+      delivery_times_ms.push_back(sim.now().as_millis());
+    });
+  }
+};
+
+TEST(IterativeLookup, DeliversToTheSameNodesAsRecursive) {
+  Harness recursive(LookupStyle::kRecursive, 20);
+  Harness iterative(LookupStyle::kIterative, 20);
+  common::Pcg32 rng(1, 1);
+  for (int i = 0; i < 200; ++i) {
+    const Key key = recursive.net.id_space().wrap(rng.next64());
+    Message a;
+    a.kind = 1;
+    recursive.net.send(0, key, std::move(a));
+    Message b;
+    b.kind = 1;
+    iterative.net.send(0, key, std::move(b));
+  }
+  recursive.sim.run_all();
+  iterative.sim.run_all();
+  ASSERT_EQ(recursive.deliveries.size(), iterative.deliveries.size());
+  for (std::size_t i = 0; i < recursive.deliveries.size(); ++i) {
+    EXPECT_EQ(recursive.deliveries[i].first, iterative.deliveries[i].first);
+  }
+}
+
+TEST(IterativeLookup, CostsRoughlyTwiceTheTransmissions) {
+  Harness recursive(LookupStyle::kRecursive, 50);
+  Harness iterative(LookupStyle::kIterative, 50);
+  common::Pcg32 rng(2, 2);
+  double recursive_hops = 0.0;
+  double iterative_hops = 0.0;
+  constexpr int kSends = 300;
+  for (int i = 0; i < kSends; ++i) {
+    const Key key = recursive.net.id_space().wrap(rng.next64());
+    Message a;
+    a.kind = 1;
+    recursive.net.send(0, key, std::move(a));
+    Message b;
+    b.kind = 1;
+    iterative.net.send(0, key, std::move(b));
+  }
+  recursive.sim.run_all();
+  iterative.sim.run_all();
+  for (const auto& [at, msg] : recursive.deliveries) {
+    recursive_hops += msg.hops;
+  }
+  for (const auto& [at, msg] : iterative.deliveries) {
+    iterative_hops += msg.hops;
+  }
+  // Iterative: 2 per resolved hop + 1 delivery vs recursive: 1 per hop.
+  EXPECT_GT(iterative_hops, 1.5 * recursive_hops);
+  EXPECT_LT(iterative_hops, 2.5 * recursive_hops + kSends);
+}
+
+TEST(IterativeLookup, LatencyDoublesToo) {
+  Harness recursive(LookupStyle::kRecursive, 50);
+  Harness iterative(LookupStyle::kIterative, 50);
+  common::Pcg32 rng(3, 3);
+  double recursive_total = 0.0;
+  double iterative_total = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const Key key = recursive.net.id_space().wrap(rng.next64());
+    Message a;
+    a.kind = 1;
+    recursive.net.send(5, key, std::move(a));
+    recursive.sim.run_all();
+    recursive_total += recursive.delivery_times_ms.back();
+    Message b;
+    b.kind = 1;
+    iterative.net.send(5, key, std::move(b));
+    iterative.sim.run_all();
+    iterative_total += iterative.delivery_times_ms.back();
+  }
+  EXPECT_GT(iterative_total, 1.5 * recursive_total);
+}
+
+TEST(IterativeLookup, LocalKeyIsFree) {
+  Harness h(LookupStyle::kIterative, 10);
+  // Find a node and a key it covers.
+  const NodeIndex node = 3;
+  const Key key = h.net.node_id(node);  // a node covers its own id
+  Message msg;
+  msg.kind = 1;
+  h.net.send(node, key, std::move(msg));
+  h.sim.run_all();
+  ASSERT_EQ(h.deliveries.size(), 1u);
+  EXPECT_EQ(h.deliveries[0].first, node);
+  EXPECT_EQ(h.deliveries[0].second.hops, 0);
+  EXPECT_DOUBLE_EQ(h.delivery_times_ms[0], 0.0);
+}
+
+TEST(IterativeLookup, TransitChargedAtProbedNodes) {
+  Harness h(LookupStyle::kIterative, 30);
+  common::Pcg32 rng(4, 4);
+  for (int i = 0; i < 100; ++i) {
+    Message msg;
+    msg.kind = static_cast<int>(core::MsgKind::kMbrUpdate);
+    h.net.send(0, h.net.id_space().wrap(rng.next64()), std::move(msg));
+  }
+  h.sim.run_all();
+  EXPECT_GT(h.metrics.mbr().transit, 0u);
+  EXPECT_EQ(h.metrics.mbr().delivered, 100u);
+}
+
+TEST(IterativeLookup, WorksWithRangeMulticast) {
+  Harness h(LookupStyle::kIterative, 12);
+  Message msg;
+  msg.kind = 1;
+  const Key lo = 1000;
+  const Key hi = 20000;
+  h.net.send_range(0, lo, hi, std::move(msg),
+                   routing::MulticastStrategy::kSequential);
+  h.sim.run_all();
+  // Every node covering a key in [lo, hi] must have been delivered once.
+  std::size_t expected = 1;
+  NodeIndex current = h.net.find_successor_oracle(lo);
+  const NodeIndex last = h.net.find_successor_oracle(hi);
+  while (current != last) {
+    current = h.net.successor_index(current);
+    ++expected;
+  }
+  EXPECT_EQ(h.deliveries.size(), expected);
+}
+
+}  // namespace
+}  // namespace sdsi::chord

@@ -1,0 +1,146 @@
+// DFT kernels: known transforms, Parseval, FFT/naive agreement, roundtrips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dsp/dft.hpp"
+
+namespace sdsi::dsp {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+std::vector<Sample> random_signal(std::size_t n, std::uint64_t seed) {
+  common::Pcg32 rng(seed, 1);
+  std::vector<Sample> signal(n);
+  for (Sample& x : signal) {
+    x = rng.uniform(-2.0, 2.0);
+  }
+  return signal;
+}
+
+TEST(NaiveDft, ConstantSignalIsPureDc) {
+  const std::vector<Sample> signal(8, 3.0);
+  const auto spectrum = naive_dft(signal);
+  // Unitary convention: X_0 = sqrt(N) * mean = 3 * sqrt(8).
+  EXPECT_NEAR(spectrum[0].real(), 3.0 * std::sqrt(8.0), kTol);
+  EXPECT_NEAR(spectrum[0].imag(), 0.0, kTol);
+  for (std::size_t f = 1; f < spectrum.size(); ++f) {
+    EXPECT_NEAR(std::abs(spectrum[f]), 0.0, kTol) << "f=" << f;
+  }
+}
+
+TEST(NaiveDft, PureCosineConcentratesAtItsFrequency) {
+  constexpr std::size_t kN = 16;
+  std::vector<Sample> signal(kN);
+  for (std::size_t j = 0; j < kN; ++j) {
+    signal[j] = std::cos(2.0 * std::numbers::pi * 3.0 *
+                         static_cast<double>(j) / kN);
+  }
+  const auto spectrum = naive_dft(signal);
+  // Energy sits at F = 3 and its mirror F = 13.
+  EXPECT_NEAR(std::abs(spectrum[3]), std::sqrt(kN) / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(spectrum[13]), std::sqrt(kN) / 2.0, 1e-9);
+  for (std::size_t f = 0; f < kN; ++f) {
+    if (f != 3 && f != 13) {
+      EXPECT_NEAR(std::abs(spectrum[f]), 0.0, 1e-9) << "f=" << f;
+    }
+  }
+}
+
+TEST(NaiveDft, UnitImpulseSpreadsFlat) {
+  std::vector<Sample> signal(8, 0.0);
+  signal[0] = 1.0;
+  const auto spectrum = naive_dft(signal);
+  for (const Complex& c : spectrum) {
+    EXPECT_NEAR(std::abs(c), 1.0 / std::sqrt(8.0), kTol);
+  }
+}
+
+TEST(NaiveDft, ParsevalEnergyPreserved) {
+  const auto signal = random_signal(13, 7);  // non power of two on purpose
+  const auto spectrum = naive_dft(signal);
+  EXPECT_NEAR(energy(std::span<const Sample>(signal)),
+              energy(std::span<const Complex>(spectrum)), 1e-9);
+}
+
+TEST(NaiveDft, Linearity) {
+  const auto a = random_signal(10, 1);
+  const auto b = random_signal(10, 2);
+  std::vector<Sample> sum(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  }
+  const auto sa = naive_dft(a);
+  const auto sb = naive_dft(b);
+  const auto ssum = naive_dft(sum);
+  for (std::size_t f = 0; f < 10; ++f) {
+    EXPECT_NEAR(std::abs(ssum[f] - (2.0 * sa[f] + 3.0 * sb[f])), 0.0, 1e-9);
+  }
+}
+
+TEST(NaiveDft, RealSignalHasConjugateSymmetry) {
+  const auto signal = random_signal(12, 3);
+  const auto spectrum = naive_dft(signal);
+  for (std::size_t f = 1; f < 12; ++f) {
+    EXPECT_NEAR(std::abs(spectrum[f] - std::conj(spectrum[12 - f])), 0.0,
+                1e-9)
+        << "f=" << f;
+  }
+}
+
+TEST(NaiveInverse, RoundTripsRandomSignal) {
+  const auto signal = random_signal(9, 11);
+  const auto spectrum = naive_dft(signal);
+  const auto back = naive_inverse_dft(spectrum);
+  for (std::size_t j = 0; j < signal.size(); ++j) {
+    EXPECT_NEAR(back[j].real(), signal[j], 1e-9);
+    EXPECT_NEAR(back[j].imag(), 0.0, 1e-9);
+  }
+}
+
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  const auto signal = random_signal(n, n);
+  const auto fast = fft(signal);
+  const auto slow = naive_dft(signal);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t f = 0; f < n; ++f) {
+    EXPECT_NEAR(std::abs(fast[f] - slow[f]), 0.0, 1e-8) << "f=" << f;
+  }
+}
+
+TEST_P(FftSizes, InverseRoundTrips) {
+  const std::size_t n = GetParam();
+  const auto signal = random_signal(n, n + 100);
+  const auto back = inverse_fft(fft(signal));
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(back[j].real(), signal[j], 1e-8);
+    EXPECT_NEAR(back[j].imag(), 0.0, 1e-8);
+  }
+}
+
+TEST_P(FftSizes, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  const auto signal = random_signal(n, n + 200);
+  const auto spectrum = fft(signal);
+  EXPECT_NEAR(energy(std::span<const Sample>(signal)),
+              energy(std::span<const Complex>(spectrum)), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftSizes,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128, 256,
+                                           1024));
+
+TEST(Energy, SumsSquares) {
+  const std::vector<Sample> signal{1.0, -2.0, 3.0};
+  EXPECT_DOUBLE_EQ(energy(std::span<const Sample>(signal)), 14.0);
+}
+
+}  // namespace
+}  // namespace sdsi::dsp

@@ -1,0 +1,219 @@
+// Workload generators: the paper's random-walk model and the synthetic
+// stand-ins for the S&P500 and CMU host-load datasets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "streams/generators.hpp"
+
+namespace sdsi::streams {
+namespace {
+
+common::Pcg32 rng(std::uint64_t seed) { return common::Pcg32(seed, 1); }
+
+TEST(RandomWalk, StepsStayInBounds) {
+  RandomWalkGenerator walk(rng(1), 10.0, -0.5, 0.5);
+  Sample prev = 10.0;
+  for (int i = 0; i < 1000; ++i) {
+    const Sample next = walk.next();
+    EXPECT_LE(std::abs(next - prev), 0.5 + 1e-12);
+    prev = next;
+  }
+}
+
+TEST(RandomWalk, StartsFromGivenValue) {
+  RandomWalkGenerator walk(rng(2), 100.0, -1.0, 1.0);
+  const Sample first = walk.next();
+  EXPECT_NEAR(first, 100.0, 1.0);
+}
+
+TEST(RandomWalk, DeterministicForSameRng) {
+  RandomWalkGenerator a(rng(3));
+  RandomWalkGenerator b(rng(3));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RandomWalk, DiffusesOverTime) {
+  // Variance across independent walks grows with t (sanity of the model).
+  common::OnlineStats at_10;
+  common::OnlineStats at_1000;
+  for (std::uint64_t s = 0; s < 200; ++s) {
+    RandomWalkGenerator walk(rng(s + 100));
+    Sample v = 0.0;
+    for (int t = 0; t < 1000; ++t) {
+      v = walk.next();
+      if (t == 9) {
+        at_10.add(v);
+      }
+    }
+    at_1000.add(v);
+  }
+  EXPECT_GT(at_1000.variance(), 10.0 * at_10.variance());
+}
+
+TEST(HostLoad, NonNegative) {
+  HostLoadGenerator load(rng(4));
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_GE(load.next(), 0.0);
+  }
+}
+
+TEST(HostLoad, HoversAroundBaseLoad) {
+  HostLoadGenerator::Params params;
+  params.burst_probability = 0.0;  // isolate the AR + diurnal component
+  HostLoadGenerator load(rng(5), params);
+  common::OnlineStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.add(load.next());
+  }
+  EXPECT_NEAR(stats.mean(), params.base_load, 0.15);
+}
+
+TEST(HostLoad, StronglyAutocorrelated) {
+  // The Fourier-locality premise (Fig 3b): consecutive values are close.
+  HostLoadGenerator load(rng(6));
+  common::OnlineStats step_change;
+  common::OnlineStats level;
+  Sample prev = load.next();
+  for (int i = 0; i < 20000; ++i) {
+    const Sample next = load.next();
+    step_change.add(std::abs(next - prev));
+    level.add(next);
+    prev = next;
+  }
+  // Per-step movement is a small fraction of the overall spread.
+  EXPECT_LT(step_change.mean(), 0.3 * level.stddev() + 0.05);
+}
+
+TEST(HostLoad, BurstsRaiseTheTail) {
+  HostLoadGenerator::Params calm;
+  calm.burst_probability = 0.0;
+  HostLoadGenerator::Params bursty;
+  bursty.burst_probability = 0.01;
+  HostLoadGenerator a(rng(7), calm);
+  HostLoadGenerator b(rng(7), bursty);
+  double max_calm = 0.0;
+  double max_bursty = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    max_calm = std::max(max_calm, a.next());
+    max_bursty = std::max(max_bursty, b.next());
+  }
+  EXPECT_GT(max_bursty, max_calm);
+}
+
+TEST(StockMarket, PricesStayPositive) {
+  StockMarketModel market(rng(8));
+  for (int day = 0; day < 500; ++day) {
+    market.step();
+  }
+  for (std::size_t t = 0; t < market.num_tickers(); ++t) {
+    EXPECT_GT(market.close(t), 0.0);
+  }
+}
+
+TEST(StockMarket, TickerSymbolsAreDistinct) {
+  StockMarketModel::Params params;
+  params.num_tickers = 20;
+  StockMarketModel market(rng(9), params);
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = i + 1; j < 20; ++j) {
+      EXPECT_NE(market.ticker_symbol(i), market.ticker_symbol(j));
+    }
+  }
+}
+
+TEST(StockMarket, SameSectorCorrelatesMoreThanCrossSector) {
+  // The property correlation queries exploit: sector mates co-move.
+  StockMarketModel::Params params;
+  params.num_tickers = 40;
+  params.num_sectors = 4;
+  StockMarketModel market(rng(10), params);
+  constexpr int kDays = 2000;
+  std::vector<std::vector<double>> returns(4);
+  std::vector<double> last(4);
+  for (std::size_t t = 0; t < 4; ++t) {
+    last[t] = market.close(t);
+  }
+  // Tickers 0 and 4 share sector 0; tickers 1, 2 are sectors 1, 2.
+  const std::size_t picks[4] = {0, 4, 1, 2};
+  for (int day = 0; day < kDays; ++day) {
+    market.step();
+    for (int p = 0; p < 4; ++p) {
+      const double price = market.close(picks[p]);
+      returns[static_cast<std::size_t>(p)].push_back(
+          std::log(price / last[static_cast<std::size_t>(p)]));
+      last[static_cast<std::size_t>(p)] = price;
+    }
+  }
+  auto corr = [&](std::size_t a, std::size_t b) {
+    double ma = 0;
+    double mb = 0;
+    for (int i = 0; i < kDays; ++i) {
+      ma += returns[a][static_cast<std::size_t>(i)];
+      mb += returns[b][static_cast<std::size_t>(i)];
+    }
+    ma /= kDays;
+    mb /= kDays;
+    double cov = 0;
+    double va = 0;
+    double vb = 0;
+    for (int i = 0; i < kDays; ++i) {
+      const double da = returns[a][static_cast<std::size_t>(i)] - ma;
+      const double db = returns[b][static_cast<std::size_t>(i)] - mb;
+      cov += da * db;
+      va += da * da;
+      vb += db * db;
+    }
+    return cov / std::sqrt(va * vb);
+  };
+  const double same_sector = corr(0, 1);   // tickers 0 and 4
+  const double cross_sector = corr(2, 3);  // tickers 1 and 2
+  EXPECT_GT(same_sector, cross_sector + 0.05);
+  EXPECT_GT(same_sector, 0.5);  // market + sector factors dominate
+}
+
+TEST(StockMarket, BarsAreConsistent) {
+  StockMarketModel market(rng(11));
+  market.step();
+  const DailyBar bar = market.bar(0);
+  EXPECT_GE(bar.high, std::max(bar.open, bar.close));
+  EXPECT_LE(bar.low, std::min(bar.open, bar.close));
+  EXPECT_GT(bar.volume, 0.0);
+}
+
+TEST(StockTickerStream, AdvancesMarketOncePerRound) {
+  auto market = std::make_shared<StockMarketModel>(rng(12));
+  StockTickerStream s0(market, 0);
+  StockTickerStream s1(market, 1);
+  const Sample a0 = s0.next();  // steps the market
+  const Sample a1 = s1.next();  // same day
+  EXPECT_EQ(a1, market->close(1));
+  const Sample b0 = s0.next();  // next day
+  EXPECT_NE(a0, b0);            // prices moved (almost surely)
+}
+
+TEST(PoissonProcess, MeanGapMatchesRate) {
+  PoissonProcess arrivals(rng(13), 2.0);
+  common::OnlineStats gaps;
+  for (int i = 0; i < 50000; ++i) {
+    gaps.add(arrivals.next_gap_seconds());
+  }
+  EXPECT_NEAR(gaps.mean(), 0.5, 0.01);
+  // Exponential: std == mean.
+  EXPECT_NEAR(gaps.stddev(), 0.5, 0.02);
+}
+
+TEST(GeneratorNames, AreDescriptive) {
+  EXPECT_EQ(RandomWalkGenerator(rng(1)).name(), "random-walk");
+  EXPECT_EQ(HostLoadGenerator(rng(1)).name(), "host-load");
+  auto market = std::make_shared<StockMarketModel>(rng(1));
+  EXPECT_EQ(StockTickerStream(market, 0).name(), "stock:TK000");
+}
+
+}  // namespace
+}  // namespace sdsi::streams

@@ -1,0 +1,256 @@
+// The Haar wavelet synopsis: transform correctness, orthonormality, the
+// lower-bounding property, and end-to-end use as a drop-in replacement for
+// the DFT features.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/system.hpp"
+#include "dsp/features.hpp"
+#include "dsp/haar.hpp"
+#include "routing/static_ring.hpp"
+#include "streams/summarizer.hpp"
+
+namespace sdsi::dsp {
+namespace {
+
+std::vector<Sample> random_window(std::size_t n, std::uint64_t seed) {
+  common::Pcg32 rng(seed, 21);
+  std::vector<Sample> window(n);
+  for (Sample& x : window) {
+    x = rng.uniform(-2.0, 2.0);
+  }
+  return window;
+}
+
+FeatureConfig haar_config(std::size_t w, std::size_t k,
+                          Normalization norm = Normalization::kZNormalize) {
+  FeatureConfig cfg;
+  cfg.window_size = w;
+  cfg.num_coefficients = k;
+  cfg.normalization = norm;
+  cfg.synopsis = Synopsis::kHaar;
+  return cfg;
+}
+
+TEST(Haar, TwoPointTransform) {
+  const std::vector<Sample> signal{3.0, 1.0};
+  const auto coeffs = haar_transform(signal);
+  const double s = std::sqrt(2.0);
+  EXPECT_NEAR(coeffs[0], 4.0 / s, 1e-12);  // (a+b)/sqrt(2)
+  EXPECT_NEAR(coeffs[1], 2.0 / s, 1e-12);  // (a-b)/sqrt(2)
+}
+
+TEST(Haar, ConstantSignalIsPureScaling) {
+  const std::vector<Sample> signal(16, 2.5);
+  const auto coeffs = haar_transform(signal);
+  EXPECT_NEAR(coeffs[0], 2.5 * 4.0, 1e-12);  // mean * sqrt(N)
+  for (std::size_t i = 1; i < coeffs.size(); ++i) {
+    EXPECT_NEAR(coeffs[i], 0.0, 1e-12) << "i=" << i;
+  }
+}
+
+TEST(Haar, StepFunctionIsCompact) {
+  // A half-window step concentrates all detail energy in the coarsest
+  // detail coefficient (index 1) — Haar's sweet spot.
+  std::vector<Sample> signal(8, 1.0);
+  for (std::size_t i = 4; i < 8; ++i) {
+    signal[i] = -1.0;
+  }
+  const auto coeffs = haar_transform(signal);
+  EXPECT_NEAR(coeffs[0], 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(coeffs[1]), std::sqrt(8.0), 1e-12);
+  for (std::size_t i = 2; i < 8; ++i) {
+    EXPECT_NEAR(coeffs[i], 0.0, 1e-12);
+  }
+}
+
+class HaarSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HaarSizes, EnergyPreserved) {
+  const auto signal = random_window(GetParam(), GetParam());
+  const auto coeffs = haar_transform(signal);
+  double signal_energy = 0.0;
+  double coeff_energy = 0.0;
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    signal_energy += signal[i] * signal[i];
+    coeff_energy += coeffs[i] * coeffs[i];
+  }
+  EXPECT_NEAR(signal_energy, coeff_energy, 1e-9);
+}
+
+TEST_P(HaarSizes, RoundTrips) {
+  const auto signal = random_window(GetParam(), GetParam() + 7);
+  const auto back = inverse_haar(haar_transform(signal));
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    EXPECT_NEAR(back[i], signal[i], 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, HaarSizes,
+                         ::testing::Values(2, 4, 8, 16, 64, 256));
+
+TEST(Haar, PrefixReconstructionErrorIsDiscardedEnergy) {
+  const auto signal = random_window(32, 9);
+  const auto coeffs = haar_transform(signal);
+  const auto approx = inverse_haar_prefix(
+      std::span<const double>(coeffs).subspan(0, 8), 32);
+  double err = 0.0;
+  for (std::size_t i = 0; i < 32; ++i) {
+    err += (approx[i] - signal[i]) * (approx[i] - signal[i]);
+  }
+  double discarded = 0.0;
+  for (std::size_t i = 8; i < 32; ++i) {
+    discarded += coeffs[i] * coeffs[i];
+  }
+  EXPECT_NEAR(err, discarded, 1e-9);
+}
+
+TEST(HaarFeatures, ConfigValidationRequiresPowerOfTwo) {
+  FeatureConfig cfg = haar_config(32, 2);
+  cfg.validate();  // fine
+  cfg.window_size = 48;
+  EXPECT_DEATH(cfg.validate(), "");
+}
+
+TEST(HaarFeatures, CoordinatesBounded) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto fv =
+        extract_features(random_window(32, seed), haar_config(32, 3));
+    EXPECT_LE(std::abs(fv.routing_coordinate()), 1.0 + 1e-12);
+  }
+}
+
+class HaarLowerBound : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HaarLowerBound, FeatureDistanceLowerBoundsWindowDistance) {
+  const FeatureConfig cfg = haar_config(32, 4);
+  const auto wa = random_window(32, GetParam());
+  const auto wb = random_window(32, GetParam() + 900);
+  const double true_distance =
+      euclidean_distance(z_normalize(wa), z_normalize(wb));
+  const auto fa = extract_features(wa, cfg);
+  const auto fb = extract_features(wb, cfg);
+  EXPECT_LE(fa.distance(fb), true_distance + 1e-9);
+  EXPECT_LE(symmetric_lower_bound(fa, fb, cfg), true_distance + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HaarLowerBound,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+TEST(HaarFeatures, ReconstructMatchesPrefixInverse) {
+  const auto window = random_window(16, 3);
+  const FeatureConfig cfg = haar_config(16, 3);
+  const auto fv = extract_features(window, cfg);
+  const auto approx = reconstruct(fv, cfg);
+  // Compare against the manual pipeline.
+  const auto normalized = z_normalize(window);
+  auto coeffs = haar_transform(normalized);
+  for (std::size_t i = 4; i < coeffs.size(); ++i) {
+    coeffs[i] = 0.0;  // first = 1, k = 3 -> keep [1, 4); index 0 is 0 anyway
+  }
+  const auto expected = inverse_haar(coeffs);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(approx[i], expected[i], 1e-10);
+  }
+}
+
+TEST(HaarSummarizer, MatchesBatchExtraction) {
+  const FeatureConfig cfg = haar_config(32, 3);
+  streams::StreamSummarizer summarizer(cfg);
+  common::Pcg32 rng(4, 4);
+  Sample value = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    value += rng.uniform(-1.0, 1.0);
+    summarizer.push(value);
+  }
+  const auto incremental = summarizer.features();
+  ASSERT_TRUE(incremental.has_value());
+  const auto batch = extract_features(summarizer.raw_window(), cfg);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_NEAR(std::abs((*incremental)[i] - batch[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(HaarSummarizer, UnitNormalizationMode) {
+  const FeatureConfig cfg =
+      haar_config(16, 2, Normalization::kUnitNormalize);
+  streams::StreamSummarizer summarizer(cfg);
+  common::Pcg32 rng(5, 5);
+  for (int i = 0; i < 40; ++i) {
+    summarizer.push(1.0 + rng.uniform(0.0, 1.0));
+  }
+  const auto incremental = summarizer.features();
+  ASSERT_TRUE(incremental.has_value());
+  const auto batch = extract_features(summarizer.raw_window(), cfg);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_NEAR(std::abs((*incremental)[i] - batch[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(HaarEnergyCompaction, LevelShiftsFavorHaarOverFourier) {
+  // A piecewise-constant (level-shift) signal: Haar captures nearly all
+  // energy in a few coefficients where Fourier smears it — the reason to
+  // offer both synopses.
+  std::vector<Sample> signal(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    signal[i] = i < 16 ? 1.0 : (i < 24 ? 3.0 : -1.0);
+  }
+  const auto z = z_normalize(signal);
+  const auto haar = haar_transform(z);
+  const auto fourier = naive_dft(z);
+  double haar_energy = 0.0;
+  for (std::size_t i = 1; i <= 3; ++i) {
+    haar_energy += haar[i] * haar[i];
+  }
+  double fourier_energy = 0.0;
+  for (std::size_t i = 1; i <= 3; ++i) {
+    fourier_energy += 2.0 * std::norm(fourier[i]);  // conjugate mirror
+  }
+  EXPECT_GT(haar_energy, 0.95);          // near-total (window has norm 1)
+  EXPECT_GT(haar_energy, fourier_energy);
+}
+
+TEST(HaarEndToEnd, MiddlewareRunsOnHaarSynopsis) {
+  // The distributed index is synopsis-agnostic: the whole middleware stack
+  // works unchanged with Haar features.
+  sim::Simulator sim;
+  routing::StaticRing ring(
+      sim, common::IdSpace(16),
+      routing::hash_node_ids(6, common::IdSpace(16), 61));
+  core::MiddlewareConfig config;
+  config.features = haar_config(16, 3);
+  config.batching.batch_size = 3;
+  config.notify_period = sim::Duration::millis(500);
+  core::MiddlewareSystem middleware(ring, config);
+  middleware.start();
+
+  auto feed = [&](NodeIndex node, StreamId stream, double gamma) {
+    middleware.register_stream(node, stream);
+    double value = 1.0;
+    for (int i = 0; i < 50; ++i) {
+      value *= gamma;
+      middleware.post_stream_value(node, stream, value);
+    }
+  };
+  feed(0, 1, 1.10);
+  feed(1, 2, 1.60);
+  sim.run_until(sim.now() + sim::Duration::seconds(2));
+
+  std::vector<Sample> probe(16);
+  double value = 1.0;
+  for (Sample& x : probe) {
+    value *= 1.10;
+    x = value;
+  }
+  const core::QueryId id = middleware.subscribe_similarity_window(
+      3, probe, 0.10, sim::Duration::seconds(30));
+  sim.run_until(sim.now() + sim::Duration::seconds(5));
+  const core::ClientQueryRecord* record = middleware.client_record(id);
+  EXPECT_TRUE(record->matched_streams.contains(1));
+  EXPECT_FALSE(record->matched_streams.contains(2));
+}
+
+}  // namespace
+}  // namespace sdsi::dsp

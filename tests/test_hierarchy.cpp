@@ -1,0 +1,175 @@
+// The Sec VI-B hierarchical feature-space partitioning extension.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "ext/hierarchy.hpp"
+
+namespace sdsi::ext {
+namespace {
+
+dsp::FeatureVector fv(double re, double im = 0.0) {
+  return dsp::FeatureVector({dsp::Complex{re, im}});
+}
+
+HierarchyConfig config(std::size_t cluster, double slack) {
+  HierarchyConfig cfg;
+  cfg.cluster_size = cluster;
+  cfg.slack = slack;
+  return cfg;
+}
+
+TEST(Hierarchy, LevelCountIsLogarithmic) {
+  EXPECT_EQ(HierarchicalIndex(4, config(4, 0.0)).num_levels(), 1u);
+  EXPECT_EQ(HierarchicalIndex(16, config(4, 0.0)).num_levels(), 2u);
+  EXPECT_EQ(HierarchicalIndex(64, config(4, 0.0)).num_levels(), 3u);
+  EXPECT_EQ(HierarchicalIndex(17, config(4, 0.0)).num_levels(), 3u);
+  EXPECT_EQ(HierarchicalIndex(1, config(4, 0.0)).num_levels(), 1u);
+}
+
+TEST(Hierarchy, LeaderOfBottomLevelIsClusterHead) {
+  HierarchicalIndex index(16, config(4, 0.0));
+  EXPECT_EQ(index.leader_of(0, 0), 0u);
+  EXPECT_EQ(index.leader_of(3, 0), 0u);
+  EXPECT_EQ(index.leader_of(4, 0), 4u);
+  EXPECT_EQ(index.leader_of(15, 0), 12u);
+  // Top level: a single leader for everyone.
+  EXPECT_EQ(index.leader_of(15, 1), 0u);
+  EXPECT_EQ(index.leader_of(2, 1), 0u);
+}
+
+TEST(Hierarchy, FirstUpdateClimbsToRoot) {
+  HierarchicalIndex index(16, config(4, 0.1));
+  // Nothing is advertised yet: the first update must inform every level.
+  EXPECT_EQ(index.update(5, fv(0.2)), index.num_levels());
+}
+
+TEST(Hierarchy, ContainedUpdatesStopClimbing) {
+  HierarchicalIndex index(16, config(4, 0.1));
+  (void)index.update(5, fv(0.2));
+  // A point inside the slack-inflated advertised box is absorbed at the
+  // bottom: exactly one message (leaf -> bottom leader).
+  EXPECT_EQ(index.update(5, fv(0.21)), 1u);
+  // A far jump escapes every box again.
+  EXPECT_EQ(index.update(5, fv(0.9)), index.num_levels());
+}
+
+TEST(Hierarchy, SlackDampensUpdatePropagation) {
+  // Same drifting workload, two slack settings: larger slack must send
+  // fewer upward messages (the Sec VI-A/VI-B precision-vs-rate tradeoff).
+  common::Pcg32 rng(3, 3);
+  HierarchicalIndex tight(64, config(4, 0.001));
+  HierarchicalIndex loose(64, config(4, 0.1));
+  double walk = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    walk += rng.uniform(-0.01, 0.01);
+    walk = std::clamp(walk, -0.9, 0.9);
+    (void)tight.update(static_cast<NodeIndex>(i % 64), fv(walk));
+    (void)loose.update(static_cast<NodeIndex>(i % 64), fv(walk));
+  }
+  EXPECT_LT(loose.total_update_messages(), tight.total_update_messages());
+}
+
+TEST(Hierarchy, AdvertisedBoxesCoverDescendants) {
+  common::Pcg32 rng(4, 4);
+  HierarchicalIndex index(16, config(4, 0.02));
+  std::vector<dsp::FeatureVector> points;
+  for (int i = 0; i < 200; ++i) {
+    points.push_back(fv(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)));
+    (void)index.update(static_cast<NodeIndex>(i % 16), points.back());
+  }
+  // Root box contains every ingested point.
+  const auto root = index.advertised_box(index.num_levels() - 1, 0);
+  ASSERT_TRUE(root.has_value());
+  for (const auto& p : points) {
+    EXPECT_TRUE(root->contains(p));
+  }
+}
+
+TEST(HierarchyQuery, FindsExactlyTheMatchingLeaves) {
+  // No false dismissals: every leaf whose box intersects the ball must be a
+  // candidate. (False positives are allowed in principle but with point
+  // boxes there are none.)
+  HierarchicalIndex index(16, config(4, 0.0));
+  for (NodeIndex leaf = 0; leaf < 16; ++leaf) {
+    (void)index.update(leaf, fv(-1.0 + 2.0 * leaf / 15.0));
+  }
+  const auto result = index.query(0, fv(0.0), 0.15);
+  // Leaves at coordinates within 0.15 of 0.0: leaves 7 (-0.066) and 8 (0.066)
+  // and 6 (-0.2)? -1 + 12/15 = -0.2 exactly, outside. So {7, 8}.
+  EXPECT_EQ(result.candidate_leaves, (std::vector<NodeIndex>{7, 8}));
+}
+
+TEST(HierarchyQuery, NoFalseDismissalsUnderRandomWorkload) {
+  common::Pcg32 rng(9, 9);
+  HierarchicalIndex index(32, config(4, 0.05));
+  std::vector<std::vector<dsp::FeatureVector>> per_leaf(32);
+  for (int i = 0; i < 500; ++i) {
+    const auto leaf = static_cast<NodeIndex>(rng.bounded(32));
+    const auto point = fv(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    per_leaf[leaf].push_back(point);
+    (void)index.update(leaf, point);
+  }
+  for (int q = 0; q < 50; ++q) {
+    const auto center = fv(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    const double radius = rng.uniform(0.05, 0.5);
+    const auto result = index.query(
+        static_cast<NodeIndex>(rng.bounded(32)), center, radius);
+    const std::set<NodeIndex> candidates(result.candidate_leaves.begin(),
+                                         result.candidate_leaves.end());
+    for (NodeIndex leaf = 0; leaf < 32; ++leaf) {
+      const bool truly_matches =
+          std::any_of(per_leaf[leaf].begin(), per_leaf[leaf].end(),
+                      [&](const dsp::FeatureVector& p) {
+                        return p.distance(center) <= radius;
+                      });
+      if (truly_matches) {
+        EXPECT_TRUE(candidates.contains(leaf))
+            << "false dismissal at leaf " << leaf << " query " << q;
+      }
+    }
+  }
+}
+
+TEST(HierarchyQuery, WideQueryCheaperThanContactingAllNodes) {
+  // The whole point of Sec VI-B: a wide query should not need N messages.
+  constexpr std::size_t kNodes = 256;
+  HierarchicalIndex index(kNodes, config(4, 0.01));
+  common::Pcg32 rng(11, 11);
+  // Clustered data: most leaves sit far from the probe.
+  for (NodeIndex leaf = 0; leaf < kNodes; ++leaf) {
+    const double center = leaf < 16 ? 0.0 : 0.7;
+    for (int i = 0; i < 5; ++i) {
+      (void)index.update(leaf, fv(center + rng.uniform(-0.02, 0.02),
+                                  rng.uniform(-0.02, 0.02)));
+    }
+  }
+  const auto result = index.query(3, fv(0.0), 0.3);
+  // All 16 near-zero leaves found...
+  EXPECT_GE(result.candidate_leaves.size(), 16u);
+  // ...without touching anything near the other 240.
+  EXPECT_LT(result.messages, kNodes / 2);
+}
+
+TEST(HierarchyQuery, NarrowQueryStaysLow) {
+  HierarchicalIndex index(64, config(4, 0.0));
+  for (NodeIndex leaf = 0; leaf < 64; ++leaf) {
+    (void)index.update(leaf, fv(-1.0 + 2.0 * leaf / 63.0));
+  }
+  const auto narrow = index.query(0, fv(0.5), 0.01);
+  const auto wide = index.query(0, fv(0.5), 0.8);
+  EXPECT_LT(narrow.messages, wide.messages);
+  EXPECT_LT(narrow.candidate_leaves.size(), wide.candidate_leaves.size());
+}
+
+TEST(Hierarchy, SingleNodeDegenerateCase) {
+  HierarchicalIndex index(1, config(4, 0.0));
+  (void)index.update(0, fv(0.3));
+  const auto result = index.query(0, fv(0.3), 0.1);
+  EXPECT_EQ(result.candidate_leaves, (std::vector<NodeIndex>{0}));
+}
+
+}  // namespace
+}  // namespace sdsi::ext

@@ -1,0 +1,112 @@
+// Eq. 6 content-to-key mapping and the h2 stream-id hash.
+#include <gtest/gtest.h>
+
+#include "core/mapper.hpp"
+
+namespace sdsi::core {
+namespace {
+
+dsp::FeatureVector fv(double re, double im = 0.0) {
+  return dsp::FeatureVector({dsp::Complex{re, im}});
+}
+
+TEST(SummaryMapper, PaperAnchorsAtM5) {
+  // "X1 = -1, 0 and +1 map to 0, 2^(m-1), and 2^m - 1 respectively."
+  const SummaryMapper mapper{common::IdSpace(5)};
+  EXPECT_EQ(mapper.key_for_coordinate(-1.0), 0u);
+  EXPECT_EQ(mapper.key_for_coordinate(0.0), 16u);
+  EXPECT_EQ(mapper.key_for_coordinate(1.0), 31u);
+}
+
+TEST(SummaryMapper, PaperWorkedExample) {
+  // "The feature vector X = [0.40 0.09] maps to key 22 on the m=5 ring."
+  const SummaryMapper mapper{common::IdSpace(5)};
+  EXPECT_EQ(mapper.key_for_coordinate(0.40), 22u);
+  EXPECT_EQ(mapper.key_for(fv(0.40, 0.09)), 22u);
+}
+
+TEST(SummaryMapper, Figure3aQueryRange) {
+  // Query X = [-0.08, 0.12], r = 0.29: high boundary 0.21 -> K19, low
+  // boundary -0.37 -> K10 (m = 5).
+  const SummaryMapper mapper{common::IdSpace(5)};
+  const auto [lo, hi] = mapper.query_range(fv(-0.08, 0.12), 0.29);
+  EXPECT_EQ(lo, 10u);
+  EXPECT_EQ(hi, 19u);
+}
+
+TEST(SummaryMapper, Figure4MbrRange) {
+  // MBR low (0.09, 0.12), high (0.21, 0.40): keys K19 and K22 wait — in the
+  // figure the low corner 0.09 maps to K17 region and high 0.21 to K19; the
+  // figure's annotations place the range across N20's arc. We check the
+  // mapping is monotone and matches Eq. 6 arithmetic exactly.
+  const SummaryMapper mapper{common::IdSpace(5)};
+  const dsp::Mbr box({0.09, 0.12}, {0.21, 0.40});
+  const auto [lo, hi] = mapper.mbr_range(box);
+  EXPECT_EQ(lo, mapper.key_for_coordinate(0.09));
+  EXPECT_EQ(hi, mapper.key_for_coordinate(0.21));
+  EXPECT_LE(lo, hi);
+}
+
+TEST(SummaryMapper, ClampsOutOfRangeCoordinates) {
+  const SummaryMapper mapper{common::IdSpace(5)};
+  EXPECT_EQ(mapper.key_for_coordinate(-5.0), 0u);
+  EXPECT_EQ(mapper.key_for_coordinate(5.0), 31u);
+}
+
+class MapperMonotonicity : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MapperMonotonicity, Eq6IsMonotoneAndOnto) {
+  const SummaryMapper mapper{common::IdSpace(GetParam())};
+  Key prev = 0;
+  for (int i = 0; i <= 1000; ++i) {
+    const double x = -1.0 + 2.0 * i / 1000.0;
+    const Key key = mapper.key_for_coordinate(x);
+    EXPECT_GE(key, prev) << "x=" << x;
+    EXPECT_LE(key, mapper.space().mask());
+    prev = key;
+  }
+  EXPECT_EQ(mapper.key_for_coordinate(-1.0), 0u);
+  EXPECT_EQ(mapper.key_for_coordinate(1.0), mapper.space().mask());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MapperMonotonicity,
+                         ::testing::Values(1, 5, 8, 16, 32, 52));
+
+TEST(SummaryMapper, KeyRangeOrdersEndpoints) {
+  const SummaryMapper mapper{common::IdSpace(32)};
+  const auto [lo, hi] = mapper.key_range(-0.3, 0.3);
+  EXPECT_LT(lo, hi);
+  const auto [same_lo, same_hi] = mapper.key_range(0.1, 0.1);
+  EXPECT_EQ(same_lo, same_hi);
+}
+
+TEST(SummaryMapper, SimilarValuesMapToSameOrNeighborKeys) {
+  // The core locality claim of Sec IV-B.
+  const SummaryMapper mapper{common::IdSpace(5)};
+  const Key a = mapper.key_for(fv(0.40));
+  const Key b = mapper.key_for(fv(0.42));
+  EXPECT_LE(b - a, 1u);
+}
+
+TEST(SummaryMapper, StreamKeyIsDeterministicAndSpread) {
+  const SummaryMapper mapper{common::IdSpace(32)};
+  EXPECT_EQ(mapper.key_for_stream(42), mapper.key_for_stream(42));
+  // Different streams hash apart (location load spreads).
+  int collisions = 0;
+  for (StreamId s = 0; s < 200; ++s) {
+    if (mapper.key_for_stream(s) == mapper.key_for_stream(s + 1)) {
+      ++collisions;
+    }
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(SummaryMapper, QueryRangeClampsAtSphereEdge) {
+  const SummaryMapper mapper{common::IdSpace(8)};
+  const auto [lo, hi] = mapper.query_range(fv(0.95), 0.2);
+  EXPECT_EQ(hi, mapper.space().mask());  // clamped at +1
+  EXPECT_LT(lo, hi);
+}
+
+}  // namespace
+}  // namespace sdsi::core

@@ -1,0 +1,153 @@
+// Minimum bounding rectangles over the feature space.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "dsp/mbr.hpp"
+
+namespace sdsi::dsp {
+namespace {
+
+FeatureVector fv(double re0, double im0, double re1 = 0.0, double im1 = 0.0) {
+  return FeatureVector({Complex{re0, im0}, Complex{re1, im1}});
+}
+
+TEST(Mbr, DefaultIsEmpty) {
+  Mbr box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_EQ(box.dimensions(), 0u);
+  EXPECT_EQ(box.volume(), 0.0);
+}
+
+TEST(Mbr, PointBoxIsDegenerate) {
+  const Mbr box(fv(0.3, -0.2));
+  EXPECT_FALSE(box.empty());
+  EXPECT_EQ(box.dimensions(), 4u);
+  EXPECT_DOUBLE_EQ(box.routing_low(), 0.3);
+  EXPECT_DOUBLE_EQ(box.routing_high(), 0.3);
+  EXPECT_EQ(box.volume(), 0.0);
+  EXPECT_TRUE(box.contains(fv(0.3, -0.2)));
+}
+
+TEST(Mbr, ExtendGrowsToCover) {
+  Mbr box(fv(0.0, 0.0));
+  box.extend(fv(0.5, -0.5));
+  box.extend(fv(-0.2, 0.1));
+  EXPECT_DOUBLE_EQ(box.routing_low(), -0.2);
+  EXPECT_DOUBLE_EQ(box.routing_high(), 0.5);
+  EXPECT_TRUE(box.contains(fv(0.1, -0.3)));
+  EXPECT_FALSE(box.contains(fv(0.6, 0.0)));
+}
+
+TEST(Mbr, ExtendMbrUnionsBoxes) {
+  Mbr a(fv(0.0, 0.0));
+  a.extend(fv(0.2, 0.2));
+  Mbr b(fv(0.5, 0.5));
+  a.extend(b);
+  EXPECT_DOUBLE_EQ(a.routing_high(), 0.5);
+  Mbr empty;
+  a.extend(empty);  // no-op
+  EXPECT_DOUBLE_EQ(a.routing_high(), 0.5);
+  empty.extend(a);  // adopts
+  EXPECT_EQ(empty, a);
+}
+
+TEST(Mbr, CornersConstructorValidates) {
+  const Mbr box({0.0, 0.0}, {1.0, 2.0});
+  EXPECT_EQ(box.dimensions(), 2u);
+  EXPECT_DOUBLE_EQ(box.volume(), 2.0);
+  EXPECT_DOUBLE_EQ(box.margin(), 3.0);
+}
+
+TEST(Mbr, PaperFigure4Coordinates) {
+  // Figure 4's example MBR: low (0.09, 0.12), high (0.21, 0.40) in the first
+  // two feature dimensions.
+  const Mbr box({0.09, 0.12}, {0.21, 0.40});
+  EXPECT_DOUBLE_EQ(box.routing_low(), 0.09);
+  EXPECT_DOUBLE_EQ(box.routing_high(), 0.21);
+}
+
+TEST(Mbr, MinDistanceZeroInside) {
+  Mbr box(fv(-0.5, -0.5));
+  box.extend(fv(0.5, 0.5));
+  EXPECT_DOUBLE_EQ(box.min_distance(fv(0.0, 0.0)), 0.0);
+  EXPECT_DOUBLE_EQ(box.min_distance(fv(0.5, 0.5)), 0.0);  // boundary
+}
+
+TEST(Mbr, MinDistanceToFaceAndCorner) {
+  Mbr box(fv(0.0, 0.0));
+  box.extend(fv(1.0, 1.0));
+  // Face: straight out along one axis.
+  EXPECT_DOUBLE_EQ(box.min_distance(fv(2.0, 0.5)), 1.0);
+  // Corner: diagonal.
+  EXPECT_NEAR(box.min_distance(fv(2.0, 2.0)), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Mbr, IntersectsBall) {
+  Mbr box(fv(0.0, 0.0));
+  box.extend(fv(1.0, 0.0));
+  EXPECT_TRUE(box.intersects_ball(fv(1.5, 0.0), 0.5));
+  EXPECT_FALSE(box.intersects_ball(fv(1.6, 0.0), 0.5));
+}
+
+TEST(Mbr, InflateGrowsEveryDimension) {
+  Mbr box(fv(0.0, 0.0));
+  box.inflate(0.1);
+  EXPECT_DOUBLE_EQ(box.routing_low(), -0.1);
+  EXPECT_DOUBLE_EQ(box.routing_high(), 0.1);
+  EXPECT_TRUE(box.contains(fv(0.05, -0.05, 0.1, 0.1)));
+}
+
+TEST(Mbr, CenterIsMidpoint) {
+  const Mbr box({0.0, -2.0}, {1.0, 2.0});
+  EXPECT_EQ(box.center(), (std::vector<double>{0.5, 0.0}));
+}
+
+TEST(BoundingBox, CoversAllInputs) {
+  common::Pcg32 rng(2, 2);
+  std::vector<FeatureVector> points;
+  for (int i = 0; i < 50; ++i) {
+    points.push_back(
+        fv(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0),
+           rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)));
+  }
+  const Mbr box = bounding_box(points);
+  for (const FeatureVector& p : points) {
+    EXPECT_TRUE(box.contains(p));
+    EXPECT_DOUBLE_EQ(box.min_distance(p), 0.0);
+  }
+}
+
+TEST(BoundingBox, EmptyInputGivesEmptyBox) {
+  EXPECT_TRUE(bounding_box({}).empty());
+}
+
+class MbrPruningProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MbrPruningProperty, MinDistanceLowerBoundsMemberDistance) {
+  // If min_distance(query) > r, NO member point can be within r: the pruning
+  // the similarity engine relies on.
+  common::Pcg32 rng(GetParam(), 8);
+  std::vector<FeatureVector> members;
+  Mbr box;
+  for (int i = 0; i < 20; ++i) {
+    members.push_back(
+        fv(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0),
+           rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)));
+    box.extend(members.back());
+  }
+  const FeatureVector query =
+      fv(rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0),
+         rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0));
+  const double bound = box.min_distance(query);
+  for (const FeatureVector& member : members) {
+    EXPECT_GE(member.distance(query), bound - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MbrPruningProperty,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace sdsi::dsp

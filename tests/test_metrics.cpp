@@ -1,0 +1,114 @@
+// The metrics collector: category classification, load attribution, and the
+// enable/reset semantics the warm-up protocol depends on.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+
+namespace sdsi::core {
+namespace {
+
+routing::Message make(MsgKind kind, bool internal = false, int hops = 0) {
+  routing::Message msg;
+  msg.kind = static_cast<int>(kind);
+  msg.range_internal = internal;
+  msg.hops = hops;
+  return msg;
+}
+
+TEST(Metrics, SendCountsOriginatedVsInternal) {
+  MetricsCollector metrics(4);
+  metrics.on_send(0, make(MsgKind::kMbrUpdate));
+  metrics.on_send(0, make(MsgKind::kMbrUpdate, /*internal=*/true));
+  EXPECT_EQ(metrics.mbr().originated, 1u);
+  EXPECT_EQ(metrics.mbr().range_internal, 1u);
+}
+
+TEST(Metrics, LoadComponentsRouteByKindAndRole) {
+  MetricsCollector metrics(4);
+  metrics.on_send(0, make(MsgKind::kMbrUpdate));
+  metrics.on_send(1, make(MsgKind::kMbrUpdate, true));
+  metrics.on_transit(2, make(MsgKind::kMbrUpdate));
+  metrics.on_deliver(3, make(MsgKind::kMbrUpdate));
+  EXPECT_EQ(metrics.node_load(0, LoadComponent::kMbrSource), 1u);
+  EXPECT_EQ(metrics.node_load(1, LoadComponent::kMbrInternal), 1u);
+  EXPECT_EQ(metrics.node_load(2, LoadComponent::kMbrTransit), 1u);
+  EXPECT_EQ(metrics.node_load(3, LoadComponent::kMbrSource), 1u);
+}
+
+TEST(Metrics, QueriesAggregateAllQueryKinds) {
+  MetricsCollector metrics(2);
+  metrics.on_send(0, make(MsgKind::kSimilarityQuery));
+  metrics.on_send(0, make(MsgKind::kInnerProductQuery));
+  metrics.on_send(0, make(MsgKind::kLocationGet));
+  metrics.on_send(0, make(MsgKind::kLocationPut));
+  metrics.on_send(0, make(MsgKind::kLocationReply));
+  EXPECT_EQ(metrics.node_load(0, LoadComponent::kQueries), 5u);
+  EXPECT_EQ(metrics.query().originated, 2u);
+  EXPECT_EQ(metrics.location().originated, 3u);
+}
+
+TEST(Metrics, ResponsesSplitByRole) {
+  MetricsCollector metrics(3);
+  metrics.on_send(0, make(MsgKind::kResponse));
+  metrics.on_transit(1, make(MsgKind::kResponse));
+  metrics.on_send(2, make(MsgKind::kNeighborExchange));
+  EXPECT_EQ(metrics.node_load(0, LoadComponent::kResponses), 1u);
+  EXPECT_EQ(metrics.node_load(1, LoadComponent::kResponsesTransit), 1u);
+  EXPECT_EQ(metrics.node_load(2, LoadComponent::kResponsesInternal), 1u);
+}
+
+TEST(Metrics, HopStatsSplitInternalFromRouted) {
+  MetricsCollector metrics(2);
+  metrics.on_deliver(0, make(MsgKind::kSimilarityQuery, false, 4));
+  metrics.on_deliver(0, make(MsgKind::kSimilarityQuery, false, 6));
+  metrics.on_deliver(1, make(MsgKind::kSimilarityQuery, true, 1));
+  EXPECT_DOUBLE_EQ(metrics.query().hops_routed.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(metrics.query().hops_internal.mean(), 1.0);
+  EXPECT_EQ(metrics.query().delivered, 3u);
+}
+
+TEST(Metrics, DisabledRecordsNothing) {
+  MetricsCollector metrics(2);
+  metrics.set_enabled(false);
+  metrics.on_send(0, make(MsgKind::kMbrUpdate));
+  metrics.on_transit(1, make(MsgKind::kMbrUpdate));
+  metrics.on_deliver(1, make(MsgKind::kMbrUpdate));
+  EXPECT_EQ(metrics.mbr().originated, 0u);
+  EXPECT_EQ(metrics.node_load_total(0), 0u);
+  EXPECT_EQ(metrics.node_load_total(1), 0u);
+}
+
+TEST(Metrics, ResetClearsEverything) {
+  MetricsCollector metrics(2);
+  metrics.on_send(0, make(MsgKind::kResponse));
+  metrics.on_deliver(1, make(MsgKind::kResponse, false, 3));
+  metrics.reset();
+  EXPECT_EQ(metrics.response().originated, 0u);
+  EXPECT_EQ(metrics.response().delivered, 0u);
+  EXPECT_EQ(metrics.response().hops_routed.count(), 0u);
+  EXPECT_EQ(metrics.node_load_total(0), 0u);
+}
+
+TEST(Metrics, NodeLoadTotalSumsComponents) {
+  MetricsCollector metrics(1);
+  metrics.on_send(0, make(MsgKind::kMbrUpdate));
+  metrics.on_send(0, make(MsgKind::kResponse));
+  metrics.on_transit(0, make(MsgKind::kSimilarityQuery));
+  EXPECT_EQ(metrics.node_load_total(0), 3u);
+}
+
+TEST(Metrics, OutOfRangeNodeIsIgnoredSafely) {
+  MetricsCollector metrics(1);
+  metrics.on_send(kInvalidNode, make(MsgKind::kMbrUpdate));
+  EXPECT_EQ(metrics.mbr().originated, 1u);  // category still counted
+  EXPECT_EQ(metrics.node_load_total(0), 0u);
+}
+
+TEST(Metrics, ComponentNamesAreStable) {
+  EXPECT_STREQ(load_component_name(LoadComponent::kMbrSource), "MBRs");
+  EXPECT_STREQ(load_component_name(LoadComponent::kResponsesTransit),
+               "Responses in transit");
+}
+
+}  // namespace
+}  // namespace sdsi::core

@@ -1,0 +1,121 @@
+// Window normalizations (Eqs. 1-2) and the correlation <-> distance
+// reduction they enable.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dsp/normalize.hpp"
+
+namespace sdsi::dsp {
+namespace {
+
+std::vector<Sample> random_window(std::size_t n, std::uint64_t seed) {
+  common::Pcg32 rng(seed, 3);
+  std::vector<Sample> window(n);
+  for (Sample& x : window) {
+    x = rng.uniform(-10.0, 10.0);
+  }
+  return window;
+}
+
+TEST(Mean, SimpleAverage) {
+  const std::vector<Sample> w{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(w), 2.5);
+}
+
+TEST(L2Norm, Pythagorean) {
+  const std::vector<Sample> w{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(l2_norm(w), 5.0);
+}
+
+TEST(ZNormalize, ResultHasZeroMeanUnitNorm) {
+  const auto w = random_window(32, 1);
+  const auto z = z_normalize(w);
+  EXPECT_NEAR(mean(z), 0.0, 1e-12);
+  EXPECT_NEAR(l2_norm(z), 1.0, 1e-12);
+}
+
+TEST(ZNormalize, InvariantToAffineTransform) {
+  // z-normalization removes offset and positive scale: that is exactly why
+  // correlation queries reduce to distance on z-normalized windows.
+  const auto w = random_window(16, 2);
+  std::vector<Sample> scaled(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    scaled[i] = 3.5 * w[i] + 42.0;
+  }
+  const auto za = z_normalize(w);
+  const auto zb = z_normalize(scaled);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(za[i], zb[i], 1e-12);
+  }
+}
+
+TEST(ZNormalize, ConstantWindowMapsToZero) {
+  const std::vector<Sample> w(8, 5.0);
+  const auto z = z_normalize(w);
+  for (const Sample x : z) {
+    EXPECT_EQ(x, 0.0);
+  }
+}
+
+TEST(UnitNormalize, ResultOnUnitSphere) {
+  const auto w = random_window(20, 3);
+  const auto u = unit_normalize(w);
+  EXPECT_NEAR(l2_norm(u), 1.0, 1e-12);
+}
+
+TEST(UnitNormalize, PreservesDirection) {
+  const std::vector<Sample> w{2.0, 0.0, 0.0};
+  const auto u = unit_normalize(w);
+  EXPECT_DOUBLE_EQ(u[0], 1.0);
+  EXPECT_DOUBLE_EQ(u[1], 0.0);
+}
+
+TEST(UnitNormalize, ZeroWindowMapsToZero) {
+  const std::vector<Sample> w(5, 0.0);
+  const auto u = unit_normalize(w);
+  for (const Sample x : u) {
+    EXPECT_EQ(x, 0.0);
+  }
+}
+
+TEST(Normalize, DispatchMatchesDirectCalls) {
+  const auto w = random_window(12, 4);
+  EXPECT_EQ(normalize(w, Normalization::kZNormalize), z_normalize(w));
+  EXPECT_EQ(normalize(w, Normalization::kUnitNormalize), unit_normalize(w));
+}
+
+TEST(EuclideanDistance, KnownValue) {
+  const std::vector<Sample> a{0.0, 0.0};
+  const std::vector<Sample> b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(euclidean_distance(a, b), 5.0);
+}
+
+TEST(PearsonCorrelation, PerfectAndAnti) {
+  const std::vector<Sample> a{1.0, 2.0, 3.0, 4.0};
+  std::vector<Sample> b{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson_correlation(a, b), 1.0, 1e-12);
+  for (Sample& x : b) {
+    x = -x;
+  }
+  EXPECT_NEAR(pearson_correlation(a, b), -1.0, 1e-12);
+}
+
+class CorrelationDistance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CorrelationDistance, IdentityHolds) {
+  // StatStream identity: ||za - zb||^2 = 2 (1 - corr(a, b)).
+  const auto a = random_window(64, GetParam());
+  const auto b = random_window(64, GetParam() + 1000);
+  const double corr = pearson_correlation(a, b);
+  const double dist = euclidean_distance(z_normalize(a), z_normalize(b));
+  EXPECT_NEAR(dist * dist, 2.0 * (1.0 - corr), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorrelationDistance,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace sdsi::dsp

@@ -1,0 +1,72 @@
+// The bench harness runs independent simulations on parallel threads
+// (bench_common.hpp run_sweep). Simulations share no mutable globals, so
+// parallel results must be bit-identical to serial ones — this test guards
+// against anyone introducing hidden global state (a static cache, a shared
+// RNG) into the libraries.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/experiment.hpp"
+
+namespace sdsi::core {
+namespace {
+
+ExperimentConfig quick(std::uint64_t seed) {
+  ExperimentConfig config;
+  config.num_nodes = 20;
+  config.seed = seed;
+  config.warmup = sim::Duration::seconds(60);
+  config.measure = sim::Duration::seconds(10);
+  return config;
+}
+
+struct Snapshot {
+  std::uint64_t events;
+  std::vector<double> per_node;
+  std::uint64_t responses;
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
+};
+
+Snapshot run_one(std::uint64_t seed) {
+  Experiment experiment(quick(seed));
+  experiment.run();
+  return Snapshot{experiment.simulator().executed_events(),
+                  experiment.load_report().per_node_total,
+                  experiment.quality_report().responses_received};
+}
+
+TEST(ParallelExperiments, ConcurrentRunsMatchSerialRuns) {
+  constexpr int kRuns = 4;
+  Snapshot serial[kRuns];
+  for (int i = 0; i < kRuns; ++i) {
+    serial[i] = run_one(100 + static_cast<std::uint64_t>(i));
+  }
+
+  Snapshot parallel[kRuns];
+  {
+    std::vector<std::jthread> workers;
+    for (int i = 0; i < kRuns; ++i) {
+      workers.emplace_back([i, &parallel] {
+        parallel[i] = run_one(100 + static_cast<std::uint64_t>(i));
+      });
+    }
+  }
+  for (int i = 0; i < kRuns; ++i) {
+    EXPECT_EQ(parallel[i], serial[i]) << "run " << i;
+  }
+}
+
+TEST(ParallelExperiments, DistinctSeedsStayIndependentUnderConcurrency) {
+  Snapshot a;
+  Snapshot b;
+  {
+    std::jthread ta([&a] { a = run_one(1); });
+    std::jthread tb([&b] { b = run_one(2); });
+  }
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace sdsi::core

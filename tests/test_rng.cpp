@@ -1,0 +1,185 @@
+// Deterministic RNG infrastructure: reproducibility, distribution sanity,
+// and stream independence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace sdsi::common {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(1234);
+  SplitMix64 b(1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Pcg32, Reproducible) {
+  Pcg32 a(42, 7);
+  Pcg32 b(42, 7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Pcg32, StreamsAreIndependent) {
+  Pcg32 a(42, 1);
+  Pcg32 b(42, 2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Pcg32, BoundedStaysInBound) {
+  Pcg32 rng(7, 7);
+  for (std::uint32_t bound : {1u, 2u, 3u, 10u, 1000u, 1u << 30}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.bounded(bound), bound);
+    }
+  }
+}
+
+TEST(Pcg32, BoundedIsRoughlyUniform) {
+  Pcg32 rng(11, 3);
+  constexpr std::uint32_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.bounded(kBound)];
+  }
+  for (const int count : counts) {
+    EXPECT_NEAR(count, kDraws / static_cast<int>(kBound), 800);
+  }
+}
+
+TEST(Pcg32, Uniform01InHalfOpenInterval) {
+  Pcg32 rng(3, 9);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Pcg32, UniformIntCoversInclusiveRange) {
+  Pcg32 rng(5, 5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Pcg32, UniformIntWideRange) {
+  Pcg32 rng(5, 6);
+  const std::int64_t lo = -(1ll << 40);
+  const std::int64_t hi = 1ll << 40;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(lo, hi);
+    ASSERT_GE(v, lo);
+    ASSERT_LE(v, hi);
+  }
+}
+
+TEST(Pcg32, NormalMoments) {
+  Pcg32 rng(17, 1);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(Pcg32, ExponentialMeanMatchesRate) {
+  Pcg32 rng(23, 2);
+  for (const double rate : {0.5, 2.0, 10.0}) {
+    double sum = 0.0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) {
+      const double x = rng.exponential(rate);
+      ASSERT_GE(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum / kDraws, 1.0 / rate, 0.05 / rate);
+  }
+}
+
+TEST(RngFactory, SameNameSameStream) {
+  RngFactory factory(99);
+  Pcg32 a = factory.make("streams", 3);
+  Pcg32 b = factory.make("streams", 3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngFactory, DifferentNamesDiffer) {
+  RngFactory factory(99);
+  Pcg32 a = factory.make("alpha");
+  Pcg32 b = factory.make("beta");
+  EXPECT_NE(a.next64(), b.next64());
+}
+
+TEST(RngFactory, DifferentIndicesDiffer) {
+  RngFactory factory(99);
+  Pcg32 a = factory.make("alpha", 0);
+  Pcg32 b = factory.make("alpha", 1);
+  EXPECT_NE(a.next64(), b.next64());
+}
+
+TEST(RngFactory, DifferentMasterSeedsDiffer) {
+  Pcg32 a = RngFactory(1).make("alpha");
+  Pcg32 b = RngFactory(2).make("alpha");
+  EXPECT_NE(a.next64(), b.next64());
+}
+
+class RngFactoryIndependence : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RngFactoryIndependence, ChildStreamsPairwiseDecorrelated) {
+  RngFactory factory(GetParam());
+  Pcg32 a = factory.make("worker", 1);
+  Pcg32 b = factory.make("worker", 2);
+  // Crude correlation check over uniform draws.
+  double dot = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    dot += (a.uniform01() - 0.5) * (b.uniform01() - 0.5);
+  }
+  EXPECT_NEAR(dot / kDraws, 0.0, 0.005);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngFactoryIndependence,
+                         ::testing::Values(0, 1, 42, 0xDEADBEEF,
+                                           0xFFFFFFFFFFFFFFFFull));
+
+}  // namespace
+}  // namespace sdsi::common

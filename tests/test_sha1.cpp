@@ -1,0 +1,122 @@
+// SHA-1 against the FIPS 180-1 test vectors and structural properties.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sha1.hpp"
+
+namespace sdsi::common {
+namespace {
+
+TEST(Sha1, FipsVectorAbc) {
+  EXPECT_EQ(to_hex(sha1("abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, FipsVectorTwoBlocks) {
+  EXPECT_EQ(
+      to_hex(sha1("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(to_hex(sha1("")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, MillionAs) {
+  // FIPS 180-1 long vector: one million repetitions of 'a'.
+  Sha1 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    hasher.update(chunk);
+  }
+  EXPECT_EQ(to_hex(hasher.finish()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, ExactBlockBoundary) {
+  // 64-byte message exercises the padding-into-second-block path.
+  const std::string block(64, 'x');
+  const Sha1Digest expected = sha1(block);
+  Sha1 hasher;
+  hasher.update(block);
+  EXPECT_EQ(hasher.finish(), expected);
+}
+
+TEST(Sha1, FiftyFiveAndFiftySixBytes) {
+  // 55 bytes: length fits in the same block as the terminator; 56 does not.
+  const std::string m55(55, 'y');
+  const std::string m56(56, 'y');
+  EXPECT_NE(to_hex(sha1(m55)), to_hex(sha1(m56)));
+  EXPECT_EQ(sha1(m55), sha1(m55));
+}
+
+TEST(Sha1, ResetReusesHasher) {
+  Sha1 hasher;
+  hasher.update("first");
+  (void)hasher.finish();
+  hasher.reset();
+  hasher.update("abc");
+  EXPECT_EQ(to_hex(hasher.finish()),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, Prefix64IsBigEndianPrefix) {
+  const Sha1Digest digest = sha1("abc");
+  // First 8 bytes a9 99 3e 36 47 06 81 6a.
+  EXPECT_EQ(digest_prefix64(digest), 0xa9993e364706816aull);
+}
+
+class Sha1Incremental : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha1Incremental, ChunkedUpdatesMatchOneShot) {
+  const std::size_t chunk = GetParam();
+  std::string message;
+  for (int i = 0; i < 300; ++i) {
+    message.push_back(static_cast<char>('A' + i % 57));
+  }
+  Sha1 hasher;
+  for (std::size_t off = 0; off < message.size(); off += chunk) {
+    hasher.update(std::string_view(message).substr(off, chunk));
+  }
+  EXPECT_EQ(hasher.finish(), sha1(message)) << "chunk=" << chunk;
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, Sha1Incremental,
+                         ::testing::Values(1, 3, 7, 13, 63, 64, 65, 127, 128,
+                                           300));
+
+TEST(Sha1, AvalancheOnSingleBitFlip) {
+  std::string a = "the quick brown fox jumps over the lazy dog";
+  std::string b = a;
+  b[0] = static_cast<char>(b[0] ^ 1);
+  const Sha1Digest da = sha1(a);
+  const Sha1Digest db = sha1(b);
+  int differing_bits = 0;
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    differing_bits += std::popcount(static_cast<unsigned>(da[i] ^ db[i]));
+  }
+  // 160 bits, expect ~80 to flip; anything in [40, 120] is clearly avalanched.
+  EXPECT_GT(differing_bits, 40);
+  EXPECT_LT(differing_bits, 120);
+}
+
+TEST(Sha1, Prefix64SpreadsUniformly) {
+  // Bucket the prefix of sequential keys; no bucket should be empty or
+  // grossly overweight (consistent hashing's load-balance premise).
+  constexpr int kBuckets = 16;
+  constexpr int kKeys = 4096;
+  std::vector<int> buckets(kBuckets, 0);
+  for (int i = 0; i < kKeys; ++i) {
+    const std::uint64_t h = sha1_prefix64("node:" + std::to_string(i));
+    ++buckets[static_cast<std::size_t>(h % kBuckets)];
+  }
+  for (const int count : buckets) {
+    EXPECT_GT(count, kKeys / kBuckets / 2);
+    EXPECT_LT(count, kKeys / kBuckets * 2);
+  }
+}
+
+}  // namespace
+}  // namespace sdsi::common

@@ -1,0 +1,185 @@
+// Discrete-event simulator kernel: ordering, ties, periodics, cancellation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace sdsi::sim {
+namespace {
+
+Duration ms(std::int64_t v) { return Duration::millis(v); }
+
+TEST(Duration, ConversionsAndArithmetic) {
+  EXPECT_EQ(Duration::millis(5).count_micros(), 5000);
+  EXPECT_EQ(Duration::seconds(1.5).count_micros(), 1500000);
+  EXPECT_DOUBLE_EQ(Duration::micros(2500).as_millis(), 2.5);
+  EXPECT_EQ((ms(3) + ms(4)).count_micros(), 7000);
+  EXPECT_EQ((ms(10) - ms(4)).count_micros(), 6000);
+  EXPECT_EQ((ms(3) * 4).count_micros(), 12000);
+  EXPECT_LT(ms(1), ms(2));
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime t = SimTime::zero() + ms(100);
+  EXPECT_DOUBLE_EQ(t.as_millis(), 100.0);
+  EXPECT_EQ((t - SimTime::zero()).count_micros(), 100000);
+  EXPECT_EQ((t - ms(40)).count_micros(), 60000);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::zero() + ms(30), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime::zero() + ms(10), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::zero() + ms(20), [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, TiesBreakInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  const SimTime when = SimTime::zero() + ms(5);
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(when, [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen;
+  sim.schedule_after(ms(42), [&] { seen = sim.now(); });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(seen.as_millis(), 42.0);
+  EXPECT_DOUBLE_EQ(sim.now().as_millis(), 42.0);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizonInclusive) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule_after(ms(10), [&] { ++ran; });
+  sim.schedule_after(ms(20), [&] { ++ran; });
+  sim.schedule_after(ms(21), [&] { ++ran; });
+  const std::uint64_t executed = sim.run_until(SimTime::zero() + ms(20));
+  EXPECT_EQ(executed, 2u);
+  EXPECT_EQ(ran, 2);
+  // Clock lands exactly on the horizon even if no event sits there.
+  EXPECT_DOUBLE_EQ(sim.now().as_millis(), 20.0);
+  sim.run_all();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  sim.schedule_after(ms(1), [&] {
+    ++depth;
+    sim.schedule_after(ms(1), [&] {
+      ++depth;
+      sim.schedule_after(ms(1), [&] { ++depth; });
+    });
+  });
+  sim.run_all();
+  EXPECT_EQ(depth, 3);
+}
+
+TEST(Simulator, CancelledEventDoesNotRun) {
+  Simulator sim;
+  int ran = 0;
+  TaskHandle handle = sim.schedule_after(ms(10), [&] { ++ran; });
+  handle.cancel();
+  sim.run_all();
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
+TEST(Simulator, PeriodicFiresAtFixedPeriod) {
+  Simulator sim;
+  std::vector<double> fire_times;
+  TaskHandle handle = sim.schedule_periodic(
+      SimTime::zero() + ms(10), ms(10),
+      [&] { fire_times.push_back(sim.now().as_millis()); });
+  sim.run_until(SimTime::zero() + ms(45));
+  EXPECT_EQ(fire_times, (std::vector<double>{10, 20, 30, 40}));
+  handle.cancel();
+  sim.run_until(SimTime::zero() + ms(100));
+  EXPECT_EQ(fire_times.size(), 4u);
+}
+
+TEST(Simulator, PeriodicCanCancelItself) {
+  Simulator sim;
+  int fires = 0;
+  TaskHandle handle;
+  handle = sim.schedule_periodic(SimTime::zero() + ms(1), ms(1), [&] {
+    ++fires;
+    if (fires == 3) {
+      handle.cancel();
+    }
+  });
+  sim.run_until(SimTime::zero() + ms(100));
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(Simulator, PeriodicHasNoDrift) {
+  Simulator sim;
+  // Fire every 7ms, 1000 times: last firing must be exactly 7000ms.
+  int fires = 0;
+  double last = 0;
+  TaskHandle handle =
+      sim.schedule_periodic(SimTime::zero() + ms(7), ms(7), [&] {
+        ++fires;
+        last = sim.now().as_millis();
+      });
+  sim.run_until(SimTime::zero() + ms(7000));
+  EXPECT_EQ(fires, 1000);
+  EXPECT_DOUBLE_EQ(last, 7000.0);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule_after(ms(1), [&] { ++ran; });
+  sim.schedule_after(ms(2), [&] { ++ran; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(ran, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, StepSkipsCancelled) {
+  Simulator sim;
+  int ran = 0;
+  TaskHandle a = sim.schedule_after(ms(1), [&] { ran += 1; });
+  sim.schedule_after(ms(2), [&] { ran += 10; });
+  a.cancel();
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(ran, 10);
+}
+
+TEST(Simulator, PendingEventsCount) {
+  Simulator sim;
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.schedule_after(ms(1), [] {});
+  sim.schedule_after(ms(2), [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.run_all();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, HandleActiveReflectsState) {
+  Simulator sim;
+  TaskHandle handle = sim.schedule_after(ms(1), [] {});
+  EXPECT_TRUE(handle.active());
+  handle.cancel();
+  EXPECT_FALSE(handle.active());
+  EXPECT_FALSE(TaskHandle().active());
+}
+
+}  // namespace
+}  // namespace sdsi::sim

@@ -1,0 +1,153 @@
+// Streaming statistics used by the experiment reports.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace sdsi::common {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 0.0);
+  EXPECT_EQ(stats.max(), 0.0);
+}
+
+TEST(OnlineStats, MatchesDirectComputation) {
+  const std::vector<double> data{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  OnlineStats stats;
+  double sum = 0.0;
+  for (const double x : data) {
+    stats.add(x);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(data.size());
+  double ss = 0.0;
+  for (const double x : data) {
+    ss += (x - mean) * (x - mean);
+  }
+  EXPECT_EQ(stats.count(), data.size());
+  EXPECT_DOUBLE_EQ(stats.mean(), mean);
+  EXPECT_NEAR(stats.variance(), ss / (static_cast<double>(data.size()) - 1),
+              1e-12);
+  EXPECT_EQ(stats.min(), 1.0);
+  EXPECT_EQ(stats.max(), 9.0);
+  EXPECT_NEAR(stats.sum(), sum, 1e-12);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats stats;
+  stats.add(7.5);
+  EXPECT_EQ(stats.mean(), 7.5);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 7.5);
+  EXPECT_EQ(stats.max(), 7.5);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  Pcg32 rng(1, 1);
+  OnlineStats whole;
+  OnlineStats left;
+  OnlineStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal() * 3.0 + 1.0;
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  a.add(2.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // clamps to bucket 0
+  h.add(0.5);    // bucket 0
+  h.add(3.0);    // bucket 1
+  h.add(9.9);    // bucket 4
+  h.add(100.0);  // clamps to bucket 4
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 0u);
+  EXPECT_EQ(h.bucket(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bucket_low(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_high(1), 4.0);
+}
+
+TEST(Histogram, FractionAbove) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) {
+    h.add(i + 0.5);
+  }
+  EXPECT_DOUBLE_EQ(h.fraction_above(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction_above(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction_above(10.0), 0.0);
+}
+
+TEST(Percentiles, MedianAndExtremes) {
+  Percentiles p;
+  for (const double x : {5.0, 1.0, 3.0, 2.0, 4.0}) {
+    p.add(x);
+  }
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.median(), 3.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 5.0);
+}
+
+TEST(Percentiles, AddAfterQueryResorts) {
+  Percentiles p;
+  p.add(10.0);
+  p.add(20.0);
+  // Nearest-rank with two samples: rank 0.5*(2-1)+0.5 rounds to index 1.
+  EXPECT_DOUBLE_EQ(p.median(), 20.0);
+  p.add(1.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);
+}
+
+class HistogramWidths
+    : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(HistogramWidths, TotalAlwaysMatchesAdds) {
+  const auto [lo, hi, buckets] = GetParam();
+  Histogram h(lo, hi, static_cast<std::size_t>(buckets));
+  Pcg32 rng(9, 9);
+  for (int i = 0; i < 500; ++i) {
+    h.add(rng.uniform(lo - 1.0, hi + 1.0));
+  }
+  std::uint64_t sum = 0;
+  for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+    sum += h.bucket(b);
+  }
+  EXPECT_EQ(sum, 500u);
+  EXPECT_EQ(h.total(), 500u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, HistogramWidths,
+    ::testing::Values(std::tuple{0.0, 1.0, 1}, std::tuple{0.0, 10.0, 7},
+                      std::tuple{-5.0, 5.0, 20}, std::tuple{100.0, 200.0, 3}));
+
+}  // namespace
+}  // namespace sdsi::common

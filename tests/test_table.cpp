@@ -1,0 +1,48 @@
+// Text table rendering used by every bench binary.
+#include <gtest/gtest.h>
+
+#include "common/table.hpp"
+
+namespace sdsi::common {
+namespace {
+
+TEST(FormatFixed, Precision) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(3.0, 0), "3");
+  EXPECT_EQ(format_fixed(-0.5, 3), "-0.500");
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"N", "load"});
+  table.begin_row().add_int(50).add_num(1.5, 2);
+  table.begin_row().add_int(500).add_num(10.25, 2);
+  const std::string out = table.render();
+  // Header, rule, two rows.
+  EXPECT_NE(out.find("N    load"), std::string::npos);
+  EXPECT_NE(out.find("50   1.50"), std::string::npos);
+  EXPECT_NE(out.find("500  10.25"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, WideCellsStretchColumn) {
+  TextTable table({"x"});
+  table.begin_row().add_cell("very-long-cell-content");
+  const std::string out = table.render();
+  EXPECT_NE(out.find("very-long-cell-content"), std::string::npos);
+}
+
+TEST(TextTable, HeaderOnly) {
+  TextTable table({"a", "b"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("a  b"), std::string::npos);
+}
+
+TEST(TextTable, RowsEndWithNewline) {
+  TextTable table({"a"});
+  table.begin_row().add_cell("1");
+  const std::string out = table.render();
+  EXPECT_EQ(out.back(), '\n');
+}
+
+}  // namespace
+}  // namespace sdsi::common

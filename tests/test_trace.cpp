@@ -1,0 +1,118 @@
+// Stream trace I/O: roundtrip fidelity, malformed-input errors, replay.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "streams/trace.hpp"
+
+namespace sdsi::streams {
+namespace {
+
+TEST(TraceIo, RoundTripsRecords) {
+  const std::vector<TraceRecord> records{
+      {1, 0.0, 3.25}, {2, 0.0, -1.5}, {1, 0.2, 4.0}, {2, 0.2, 0.0}};
+  std::stringstream buffer;
+  write_trace(buffer, records);
+  EXPECT_EQ(read_trace(buffer), records);
+}
+
+TEST(TraceIo, EmptyTrace) {
+  std::stringstream buffer;
+  write_trace(buffer, {});
+  EXPECT_TRUE(read_trace(buffer).empty());
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines) {
+  std::stringstream in(
+      "# header comment\n"
+      "\n"
+      "7,1.5,42.0\n"
+      "   # indented comment\n"
+      "7,2.0,43.0\n");
+  const auto records = read_trace(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].stream, 7u);
+  EXPECT_DOUBLE_EQ(records[0].timestamp, 1.5);
+  EXPECT_DOUBLE_EQ(records[1].value, 43.0);
+}
+
+TEST(TraceIo, ToleratesSpacesAndCrlf) {
+  std::stringstream in("5 , 0.5 , 1.25\r\n");
+  const auto records = read_trace(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].stream, 5u);
+  EXPECT_DOUBLE_EQ(records[0].value, 1.25);
+}
+
+TEST(TraceIo, RejectsWrongFieldCount) {
+  std::stringstream too_few("1,2.0\n");
+  EXPECT_THROW(read_trace(too_few), TraceParseError);
+  std::stringstream too_many("1,2.0,3.0,4.0\n");
+  EXPECT_THROW(read_trace(too_many), TraceParseError);
+}
+
+TEST(TraceIo, RejectsGarbageNumbersWithLineInfo) {
+  std::stringstream in("1,0.0,1.0\nx,0.0,1.0\n");
+  try {
+    read_trace(in);
+    FAIL() << "expected TraceParseError";
+  } catch (const TraceParseError& error) {
+    EXPECT_EQ(error.line(), 2u);
+    EXPECT_NE(std::string(error.what()).find("stream id"),
+              std::string::npos);
+  }
+}
+
+TEST(TraceIo, RejectsPartialNumber) {
+  std::stringstream in("1,0.0,1.0abc\n");
+  EXPECT_THROW(read_trace(in), TraceParseError);
+}
+
+TEST(RecordGenerator, CapturesWithTimestamps) {
+  common::Pcg32 rng(1, 1);
+  RandomWalkGenerator walk(rng);
+  const auto records = record_generator(walk, 9, 5, 0.25);
+  ASSERT_EQ(records.size(), 5u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].stream, 9u);
+    EXPECT_DOUBLE_EQ(records[i].timestamp, 0.25 * static_cast<double>(i));
+  }
+}
+
+TEST(TraceReplay, ReplaysOneStreamInOrder) {
+  const std::vector<TraceRecord> records{
+      {1, 0.2, 20.0}, {2, 0.0, 99.0}, {1, 0.0, 10.0}, {1, 0.4, 30.0}};
+  TraceReplayGenerator replay(records, 1);
+  EXPECT_EQ(replay.remaining(), 3u);
+  EXPECT_DOUBLE_EQ(replay.next(), 10.0);  // timestamp order, not file order
+  EXPECT_DOUBLE_EQ(replay.next(), 20.0);
+  EXPECT_DOUBLE_EQ(replay.next(), 30.0);
+  EXPECT_TRUE(replay.exhausted());
+  EXPECT_THROW(replay.next(), std::out_of_range);
+}
+
+TEST(TraceReplay, UnknownStreamIsEmpty) {
+  const std::vector<TraceRecord> records{{1, 0.0, 1.0}};
+  TraceReplayGenerator replay(records, 42);
+  EXPECT_TRUE(replay.exhausted());
+}
+
+TEST(TraceReplay, EndToEndCaptureReplayMatchesGenerator) {
+  common::Pcg32 rng(3, 3);
+  RandomWalkGenerator original(rng);
+  common::Pcg32 rng_copy(3, 3);
+  RandomWalkGenerator reference(rng_copy);
+
+  const auto records = record_generator(original, 5, 100, 0.1);
+  std::stringstream buffer;
+  write_trace(buffer, records);
+  const auto loaded = read_trace(buffer);
+  TraceReplayGenerator replay(loaded, 5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(replay.next(), reference.next());
+  }
+}
+
+}  // namespace
+}  // namespace sdsi::streams

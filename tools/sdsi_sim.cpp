@@ -1,0 +1,194 @@
+// sdsi_sim — command-line driver for the Section V experiment harness.
+//
+// Runs one full simulation with the Table I workload and prints the
+// Fig 6(a) load decomposition, Fig 7 overheads, Fig 8 hops, and the quality
+// summary, so a configuration can be explored without writing C++.
+//
+//   sdsi_sim [--nodes N] [--radius R] [--seed S] [--substrate chord|prefix|ideal]
+//            [--multicast seq|bidir] [--beta B] [--window W] [--coeffs K]
+//            [--warmup SECONDS] [--measure SECONDS] [--query-rate Q]
+//            [--adaptive-precision] [--loss P]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace sdsi;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --nodes N            data centers (default 100)\n"
+      "  --radius R           similarity query radius (default 0.1)\n"
+      "  --seed S             master seed (default 42)\n"
+      "  --substrate KIND     chord | prefix | ideal (default chord)\n"
+      "  --multicast KIND     seq | bidir (default seq)\n"
+      "  --beta B             MBR batch size (default 5)\n"
+      "  --window W           sliding window length (default 256)\n"
+      "  --coeffs K           retained coefficients (default 2)\n"
+      "  --synopsis KIND      dft | haar (default dft)\n"
+      "  --warmup SECONDS     warm-up before measuring (default 80)\n"
+      "  --measure SECONDS    measurement window (default 60)\n"
+      "  --query-rate Q       queries per second (default 2)\n"
+      "  --family KIND        walk | stock | hostload (default walk)\n"
+      "  --adaptive-precision enable the Sec VI-A closed loop\n"
+      "  --loss P             message loss probability (default 0)\n",
+      argv0);
+  std::exit(2);
+}
+
+double parse_double(const char* text, const char* argv0) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    usage(argv0);
+  }
+  return value;
+}
+
+long parse_long(const char* text, const char* argv0) {
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value < 0) {
+    usage(argv0);
+  }
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::ExperimentConfig config = bench::paper_experiment(100);
+
+  for (int i = 1; i < argc; ++i) {
+    const auto is = [&](const char* flag) {
+      return std::strcmp(argv[i], flag) == 0;
+    };
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (is("--nodes")) {
+      config.num_nodes = static_cast<std::size_t>(parse_long(value(), argv[0]));
+    } else if (is("--radius")) {
+      config.workload.query_radius = parse_double(value(), argv[0]);
+    } else if (is("--seed")) {
+      config.seed = static_cast<std::uint64_t>(parse_long(value(), argv[0]));
+    } else if (is("--substrate")) {
+      const std::string kind = value();
+      if (kind == "chord") {
+        config.substrate = core::SubstrateKind::kChord;
+      } else if (kind == "prefix") {
+        config.substrate = core::SubstrateKind::kPrefixRing;
+      } else if (kind == "ideal") {
+        config.substrate = core::SubstrateKind::kStaticRing;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (is("--multicast")) {
+      const std::string kind = value();
+      if (kind == "seq") {
+        config.multicast = routing::MulticastStrategy::kSequential;
+      } else if (kind == "bidir") {
+        config.multicast = routing::MulticastStrategy::kBidirectional;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (is("--beta")) {
+      config.batching.batch_size =
+          static_cast<std::size_t>(parse_long(value(), argv[0]));
+    } else if (is("--window")) {
+      config.features.window_size =
+          static_cast<std::size_t>(parse_long(value(), argv[0]));
+    } else if (is("--coeffs")) {
+      config.features.num_coefficients =
+          static_cast<std::size_t>(parse_long(value(), argv[0]));
+    } else if (is("--synopsis")) {
+      const std::string kind = value();
+      if (kind == "dft") {
+        config.features.synopsis = dsp::Synopsis::kFourier;
+      } else if (kind == "haar") {
+        config.features.synopsis = dsp::Synopsis::kHaar;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (is("--warmup")) {
+      config.warmup = sim::Duration::seconds(parse_double(value(), argv[0]));
+    } else if (is("--measure")) {
+      config.measure = sim::Duration::seconds(parse_double(value(), argv[0]));
+    } else if (is("--query-rate")) {
+      config.workload.query_rate_per_sec = parse_double(value(), argv[0]);
+    } else if (is("--adaptive-precision")) {
+      config.adaptive_precision = core::AdaptivePrecisionController::Options{};
+    } else if (is("--family")) {
+      const std::string kind = value();
+      if (kind == "walk") {
+        config.stream_family = core::StreamFamily::kRandomWalk;
+      } else if (kind == "stock") {
+        config.stream_family = core::StreamFamily::kStockMarket;
+      } else if (kind == "hostload") {
+        config.stream_family = core::StreamFamily::kHostLoad;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (is("--loss")) {
+      config.message_loss = parse_double(value(), argv[0]);
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  std::printf("sdsi_sim: %zu nodes, radius %.2f, seed %llu\n",
+              config.num_nodes, config.workload.query_radius,
+              static_cast<unsigned long long>(config.seed));
+  bench::print_workload_banner(config.workload);
+
+  if (config.message_loss > 0.0) {
+    std::printf("message loss: %.1f%% of transmissions dropped\n",
+                config.message_loss * 100.0);
+  }
+  core::Experiment experiment(config);
+  experiment.run();
+
+  const core::LoadReport load = experiment.load_report();
+  std::printf("\n-- Fig 6(a) load decomposition (msgs/node/s) --\n");
+  for (std::size_t c = 0;
+       c < static_cast<std::size_t>(core::LoadComponent::kCount); ++c) {
+    std::printf("  %-20s %8.3f\n",
+                core::load_component_name(static_cast<core::LoadComponent>(c)),
+                load.per_component[c]);
+  }
+  std::printf("  %-20s %8.3f\n", "TOTAL", load.total);
+
+  const core::OverheadReport overhead = experiment.overhead_report();
+  std::printf("\n-- Fig 7 overhead per event --\n");
+  std::printf("  MBR internal %.3f  MBR transit %.3f\n", overhead.mbr_internal,
+              overhead.mbr_transit);
+  std::printf("  query internal %.3f  query transit %.3f\n",
+              overhead.query_internal, overhead.query_transit);
+  std::printf("  neighbor/resp %.3f  resp transit %.3f\n",
+              overhead.neighbor_exchange, overhead.response_transit);
+
+  const core::HopsReport hops = experiment.hops_report();
+  std::printf("\n-- Fig 8 hops --\n");
+  std::printf("  MBR %.2f  query %.2f  response %.2f\n", hops.mbr, hops.query,
+              hops.response);
+
+  const core::QualityReport quality = experiment.quality_report();
+  std::printf("\n-- quality --\n");
+  std::printf(
+      "  queries posed %llu, responses %llu, matched streams %llu,\n"
+      "  mean first response %.0f ms\n",
+      static_cast<unsigned long long>(quality.queries_posed),
+      static_cast<unsigned long long>(quality.responses_received),
+      static_cast<unsigned long long>(quality.matches_reported),
+      quality.mean_first_response_ms);
+  return 0;
+}
