@@ -1,8 +1,10 @@
 // Shared plumbing for the figure-reproduction benches: Table I banner,
-// parallel parameter sweeps, and uniform table output.
+// parallel parameter sweeps, uniform table output, and the machine-readable
+// BENCH_*.json emission layer every perf bench reports through.
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
@@ -13,6 +15,125 @@
 #include "core/experiment.hpp"
 
 namespace sdsi::bench {
+
+// --- Machine-readable results (BENCH_*.json) --------------------------------
+//
+// Every perf bench can emit its results as JSON so successive PRs are
+// measured against a recorded baseline instead of prose. Schema (v1):
+//
+//   {
+//     "schema_version": 1,
+//     "suite": "<bench family>",
+//     "benchmarks": [
+//       {"name": "...", "config": "...", "ops_per_sec": 1.0, "wall_ms": 1.0},
+//       ...
+//     ]
+//   }
+//
+// `name` identifies the code path, `config` the workload point (sizes,
+// radii, window lengths), `ops_per_sec` the headline throughput, and
+// `wall_ms` the total measured wall time backing it.
+
+struct BenchResult {
+  std::string name;
+  std::string config;
+  double ops_per_sec = 0.0;
+  double wall_ms = 0.0;
+};
+
+inline std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Collects BenchResult rows and writes the schema-v1 JSON document.
+class JsonBenchReporter {
+ public:
+  explicit JsonBenchReporter(std::string suite) : suite_(std::move(suite)) {}
+
+  void add(BenchResult result) { results_.push_back(std::move(result)); }
+
+  bool empty() const noexcept { return results_.empty(); }
+
+  /// Writes the document; returns false (and prints to stderr) on I/O error.
+  bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return false;
+    }
+    out << "{\n  \"schema_version\": 1,\n  \"suite\": \""
+        << json_escape(suite_) << "\",\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      const BenchResult& r = results_[i];
+      char numbers[128];
+      std::snprintf(numbers, sizeof(numbers),
+                    "\"ops_per_sec\": %.6g, \"wall_ms\": %.6g",
+                    r.ops_per_sec, r.wall_ms);
+      out << "    {\"name\": \"" << json_escape(r.name) << "\", \"config\": \""
+          << json_escape(r.config) << "\", " << numbers << "}"
+          << (i + 1 < results_.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::string suite_;
+  std::vector<BenchResult> results_;
+};
+
+/// Extracts `--json <path>` from argv (removing both tokens); returns the
+/// path or "" when the flag is absent. Leaves every other argument intact so
+/// harness-specific flags (google-benchmark's, a bench's own) still parse.
+inline std::string consume_json_flag(int& argc, char** argv) {
+  std::string path;
+  int write_at = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      path = argv[++i];
+      continue;
+    }
+    argv[write_at++] = argv[i];
+  }
+  argc = write_at;
+  return path;
+}
+
+/// Extracts a boolean flag such as `--smoke` from argv; true if present.
+inline bool consume_flag(int& argc, char** argv, const std::string& flag) {
+  bool found = false;
+  int write_at = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) {
+      found = true;
+      continue;
+    }
+    argv[write_at++] = argv[i];
+  }
+  argc = write_at;
+  return found;
+}
 
 /// The node counts of Section V ("the number of nodes varied from 50 to
 /// 500").

@@ -1,10 +1,16 @@
 // Micro-benchmarks (google-benchmark) for the stream-processing substrate —
 // ablation A5: the paper's Sec III-C claim that incremental coefficient
-// maintenance (Eq. 5) beats recomputing the transform per arriving item.
+// maintenance (Eq. 5) beats recomputing the transform per arriving item,
+// plus the batched push_span ingestion path.
+//
+// Usage: bench_dsp [--smoke] [--json <path>] [google-benchmark flags]
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/rng.hpp"
 #include "core/index_store.hpp"
 #include "dsp/dft.hpp"
@@ -62,6 +68,20 @@ void BM_SlidingDftPerItem(benchmark::State& state) {
 }
 BENCHMARK(BM_SlidingDftPerItem)->Arg(32)->Arg(128)->Arg(512);
 
+void BM_SlidingDftPushSpan(benchmark::State& state) {
+  // Batched Eq. 5 maintenance: identical coefficients, amortized overhead.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dsp::SlidingDft dft(n, 3);
+  const auto batch = random_signal(1024);
+  for (auto _ : state) {
+    dft.push_span(batch);
+    benchmark::DoNotOptimize(dft.coefficients());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_SlidingDftPushSpan)->Arg(32)->Arg(128)->Arg(512);
+
 void BM_SummarizerPerItem(benchmark::State& state) {
   // Full production path: raw sample -> normalized k-coefficient features.
   dsp::FeatureConfig config;
@@ -78,6 +98,23 @@ void BM_SummarizerPerItem(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_SummarizerPerItem)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_SummarizerPushSpan(benchmark::State& state) {
+  // Batched production path: push_span through the sliding DFT plus the
+  // running normalization sums.
+  dsp::FeatureConfig config;
+  config.window_size = static_cast<std::size_t>(state.range(0));
+  config.num_coefficients = 2;
+  streams::StreamSummarizer summarizer(config);
+  const auto batch = random_signal(1024);
+  for (auto _ : state) {
+    summarizer.push_span(batch);
+    benchmark::DoNotOptimize(summarizer.features());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_SummarizerPushSpan)->Arg(32)->Arg(128)->Arg(512);
 
 void BM_ExtractFeaturesBatch(benchmark::State& state) {
   // One-shot extraction (query path).
@@ -114,10 +151,11 @@ void BM_MbrMatch(benchmark::State& state) {
 BENCHMARK(BM_MbrMatch);
 
 void BM_IndexStoreMatch(benchmark::State& state) {
-  // Per-tick matching cost at one node: `subs` live subscriptions scanned
-  // against `mbrs` stored boxes (the intentionally simple linear pass;
-  // Table I workloads put both in the tens). Match sets are consumed by the
-  // dedup logic, so rebuild the store each iteration, but time only match().
+  // Per-tick matching cost at one node: `subs` live subscriptions against
+  // `mbrs` stored boxes through the key-interval pruned engine (see
+  // bench_matching for the pruned-vs-brute comparison). Match sets are
+  // consumed by the dedup logic, so rebuild the store each iteration, but
+  // time only match().
   const auto mbrs = static_cast<std::size_t>(state.range(0));
   const auto subs = static_cast<std::size_t>(state.range(1));
   common::Pcg32 rng(9, 9);
@@ -175,6 +213,62 @@ void BM_ZNormalize(benchmark::State& state) {
 }
 BENCHMARK(BM_ZNormalize)->Arg(128);
 
+// Captures every finished run for the BENCH_dsp.json emission layer while
+// still printing the normal console table.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(sdsi::bench::JsonBenchReporter* sink)
+      : sink_(sink) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) {
+        continue;
+      }
+      sdsi::bench::BenchResult result;
+      const std::string full = run.benchmark_name();
+      const std::size_t slash = full.find('/');
+      result.name = full.substr(0, slash);
+      result.config =
+          slash == std::string::npos ? "" : "n=" + full.substr(slash + 1);
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        result.ops_per_sec = items->second;
+      } else if (run.real_accumulated_time > 0.0) {
+        result.ops_per_sec = static_cast<double>(run.iterations) /
+                             run.real_accumulated_time;
+      }
+      result.wall_ms = run.real_accumulated_time * 1e3;
+      sink_->add(std::move(result));
+    }
+  }
+
+ private:
+  sdsi::bench::JsonBenchReporter* sink_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = sdsi::bench::consume_json_flag(argc, argv);
+  const bool smoke = sdsi::bench::consume_flag(argc, argv, "--smoke");
+
+  // Rebuild argv so --smoke maps onto a short google-benchmark min time.
+  std::vector<char*> args(argv, argv + argc);
+  std::string min_time = "--benchmark_min_time=0.02";
+  if (smoke) {
+    args.push_back(min_time.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+
+  sdsi::bench::JsonBenchReporter reporter("dsp");
+  JsonCaptureReporter console(&reporter);
+  benchmark::RunSpecifiedBenchmarks(&console);
+  benchmark::Shutdown();
+  if (!json_path.empty() && !reporter.write(json_path)) {
+    return 1;
+  }
+  return 0;
+}

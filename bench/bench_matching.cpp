@@ -1,0 +1,146 @@
+// Matching-engine microbench: the key-interval pruned IndexStore::match
+// against the brute-force O(subscriptions x MBRs) reference, at and beyond
+// the paper's Table-I operating points (query radius 0.1 / 0.2).
+//
+// Usage: bench_matching [--smoke] [--json <path>]
+//   --smoke   one quick configuration (CI smoke label)
+//   --json    also emit BENCH_matching.json-style results (schema v1,
+//             see bench_common.hpp)
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "core/index_store.hpp"
+
+namespace {
+
+using namespace sdsi;
+
+struct MatchConfig {
+  std::size_t mbrs = 0;
+  std::size_t subs = 0;
+  double radius = 0.1;
+  int repetitions = 5;
+};
+
+std::string describe(const MatchConfig& config) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "mbrs=%zu subs=%zu radius=%.2f",
+                config.mbrs, config.subs, config.radius);
+  return buf;
+}
+
+/// Populates one store with Table-I-like content: 4-real-dimensional MBRs
+/// (two retained complex coefficients) whose routing intervals are narrow —
+/// batches of consecutive windows are strongly correlated (Fig 3b) — and
+/// subscriptions whose balls use the paper's radii.
+core::IndexStore build_store(const MatchConfig& config, std::uint64_t seed) {
+  common::Pcg32 rng(seed, 17);
+  core::IndexStore store;
+  const auto expires = sim::SimTime::zero() + sim::Duration::seconds(3600);
+  for (std::size_t i = 0; i < config.mbrs; ++i) {
+    std::vector<double> low(4);
+    std::vector<double> high(4);
+    for (std::size_t d = 0; d < low.size(); ++d) {
+      low[d] = rng.uniform(-1.0, 0.92);
+      high[d] = low[d] + rng.uniform(0.01, 0.06);
+    }
+    core::IndexStore::StoredMbr entry;
+    entry.stream = i;
+    entry.mbr = dsp::Mbr(std::move(low), std::move(high));
+    entry.expires = expires;
+    store.add_mbr(std::move(entry));
+  }
+  for (std::size_t q = 0; q < config.subs; ++q) {
+    core::SimilarityQuery query;
+    query.id = q;
+    query.features = dsp::FeatureVector(
+        {dsp::Complex{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)},
+         dsp::Complex{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)}});
+    query.radius = config.radius;
+    store.add_subscription(
+        std::make_shared<const core::SimilarityQuery>(std::move(query)), 0,
+        expires);
+  }
+  return store;
+}
+
+struct EngineTiming {
+  double wall_ms = 0.0;
+  double pairs_per_sec = 0.0;
+  std::size_t matches = 0;
+};
+
+EngineTiming time_engine(const MatchConfig& config, bool pruned) {
+  using Clock = std::chrono::steady_clock;
+  EngineTiming timing;
+  double total_seconds = 0.0;
+  for (int rep = 0; rep < config.repetitions; ++rep) {
+    core::IndexStore store =
+        build_store(config, static_cast<std::uint64_t>(rep) + 1);
+    const auto start = Clock::now();
+    const auto matches = pruned ? store.match(sim::SimTime::zero())
+                                : store.match_brute_force(sim::SimTime::zero());
+    const auto stop = Clock::now();
+    total_seconds += std::chrono::duration<double>(stop - start).count();
+    timing.matches += matches.size();
+  }
+  timing.wall_ms = total_seconds * 1e3;
+  const double pairs = static_cast<double>(config.mbrs) *
+                       static_cast<double>(config.subs) *
+                       static_cast<double>(config.repetitions);
+  timing.pairs_per_sec = total_seconds > 0.0 ? pairs / total_seconds : 0.0;
+  return timing;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = sdsi::bench::consume_json_flag(argc, argv);
+  const bool smoke = sdsi::bench::consume_flag(argc, argv, "--smoke");
+
+  std::vector<MatchConfig> configs;
+  if (smoke) {
+    configs.push_back(MatchConfig{500, 50, 0.1, 3});
+  } else {
+    configs.push_back(MatchConfig{100, 20, 0.1, 40});
+    configs.push_back(MatchConfig{1000, 100, 0.1, 10});
+    configs.push_back(MatchConfig{5000, 500, 0.1, 5});
+    configs.push_back(MatchConfig{5000, 500, 0.2, 5});
+  }
+
+  sdsi::bench::JsonBenchReporter reporter("matching");
+  std::printf("%-38s %14s %12s %10s\n", "configuration", "pairs/s", "wall ms",
+              "matches");
+  for (const MatchConfig& config : configs) {
+    const EngineTiming brute = time_engine(config, /*pruned=*/false);
+    const EngineTiming pruned = time_engine(config, /*pruned=*/true);
+    if (brute.matches != pruned.matches) {
+      std::fprintf(stderr,
+                   "FATAL: engines disagree (%zu vs %zu matches) at %s\n",
+                   brute.matches, pruned.matches,
+                   describe(config).c_str());
+      return 1;
+    }
+    const std::string label = describe(config);
+    std::printf("%-38s %14.3g %12.3f %10zu  brute\n", label.c_str(),
+                brute.pairs_per_sec, brute.wall_ms, brute.matches);
+    std::printf("%-38s %14.3g %12.3f %10zu  pruned (%.1fx)\n", label.c_str(),
+                pruned.pairs_per_sec, pruned.wall_ms, pruned.matches,
+                pruned.wall_ms > 0.0 ? brute.wall_ms / pruned.wall_ms : 0.0);
+    reporter.add(sdsi::bench::BenchResult{"match_brute_force", label,
+                                          brute.pairs_per_sec,
+                                          brute.wall_ms});
+    reporter.add(sdsi::bench::BenchResult{"match_pruned", label,
+                                          pruned.pairs_per_sec,
+                                          pruned.wall_ms});
+  }
+  if (!json_path.empty() && !reporter.write(json_path)) {
+    return 1;
+  }
+  return 0;
+}

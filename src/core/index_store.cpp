@@ -1,8 +1,21 @@
 #include "core/index_store.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace sdsi::core {
+
+void IndexStore::add_mbr(StoredMbr entry) {
+  SDSI_CHECK(!entry.mbr.empty());
+  if (dead(entry)) {
+    return;  // arrived past its own lifespan: never observable
+  }
+  SDSI_CHECK(mbrs_.size() < std::numeric_limits<std::uint32_t>::max());
+  const auto pos = static_cast<std::uint32_t>(mbrs_.size());
+  mbr_expiry_.push(MbrExpiry{entry.expires, pos});
+  mbrs_.push_back(std::move(entry));
+  ++alive_mbrs_;
+}
 
 void IndexStore::add_subscription(
     std::shared_ptr<const SimilarityQuery> query, Key middle_key,
@@ -15,17 +28,127 @@ void IndexStore::add_subscription(
     it->second.middle_key = middle_key;
   }
   it->second.expires = expires;
+  // A refresh leaves the earlier heap entry behind; expire() recognizes it
+  // as stale because the live expires moved past it.
+  sub_expiry_.push(SubExpiry{expires, id});
 }
 
 void IndexStore::expire(sim::SimTime now) {
-  std::erase_if(mbrs_,
-                [now](const StoredMbr& entry) { return entry.expires <= now; });
-  std::erase_if(subscriptions_, [now](const auto& pair) {
-    return pair.second.expires <= now;
-  });
+  if (now > horizon_) {
+    horizon_ = now;
+  }
+  while (!mbr_expiry_.empty() && mbr_expiry_.top().expires <= now) {
+    mbr_expiry_.pop();
+    --alive_mbrs_;
+  }
+  // Compact once tombstones dominate the slab: amortized O(1) per entry.
+  const std::size_t tombstones = mbrs_.size() - alive_mbrs_;
+  if (tombstones > 64 && tombstones * 2 > mbrs_.size()) {
+    compact();
+  }
+  while (!sub_expiry_.empty() && sub_expiry_.top().expires <= now) {
+    const SubExpiry lane = sub_expiry_.top();
+    sub_expiry_.pop();
+    const auto it = subscriptions_.find(lane.id);
+    if (it != subscriptions_.end() && it->second.expires <= now) {
+      subscriptions_.erase(it);
+    }
+  }
+}
+
+void IndexStore::merge_pending() {
+  const auto old_size = static_cast<std::ptrdiff_t>(sorted_.size());
+  sorted_.reserve(mbrs_.size());
+  for (std::size_t pos = indexed_limit_; pos < mbrs_.size(); ++pos) {
+    const StoredMbr& entry = mbrs_[pos];
+    if (dead(entry)) {
+      continue;
+    }
+    const double low = entry.mbr.routing_low();
+    const double high = entry.mbr.routing_high();
+    sorted_.push_back(IntervalRef{low, high, static_cast<std::uint32_t>(pos)});
+    max_extent_ = std::max(max_extent_, high - low);
+  }
+  indexed_limit_ = mbrs_.size();
+  const auto by_low = [](const IntervalRef& a, const IntervalRef& b) {
+    return a.low < b.low;
+  };
+  std::sort(sorted_.begin() + old_size, sorted_.end(), by_low);
+  std::inplace_merge(sorted_.begin(), sorted_.begin() + old_size,
+                     sorted_.end(), by_low);
+}
+
+void IndexStore::compact() {
+  std::erase_if(mbrs_, [this](const StoredMbr& entry) { return dead(entry); });
+  alive_mbrs_ = mbrs_.size();
+
+  std::vector<MbrExpiry> lanes;
+  lanes.reserve(mbrs_.size());
+  std::vector<IntervalRef> refs;
+  refs.reserve(mbrs_.size());
+  max_extent_ = 0.0;
+  for (std::size_t pos = 0; pos < mbrs_.size(); ++pos) {
+    const StoredMbr& entry = mbrs_[pos];
+    lanes.push_back(MbrExpiry{entry.expires, static_cast<std::uint32_t>(pos)});
+    const double low = entry.mbr.routing_low();
+    const double high = entry.mbr.routing_high();
+    refs.push_back(IntervalRef{low, high, static_cast<std::uint32_t>(pos)});
+    max_extent_ = std::max(max_extent_, high - low);
+  }
+  mbr_expiry_ = MinHeap<MbrExpiry>(std::greater<MbrExpiry>{},
+                                   std::move(lanes));
+  std::sort(refs.begin(), refs.end(),
+            [](const IntervalRef& a, const IntervalRef& b) {
+              return a.low < b.low;
+            });
+  sorted_ = std::move(refs);
+  indexed_limit_ = mbrs_.size();
 }
 
 std::vector<SimilarityMatch> IndexStore::match(sim::SimTime now) {
+  expire(now);
+  if (indexed_limit_ < mbrs_.size()) {
+    merge_pending();
+  }
+  std::vector<SimilarityMatch> fresh;
+  for (auto& [id, sub] : subscriptions_) {
+    // expire(now) already dropped lapsed subscriptions, so the per-pair
+    // expiry re-checks of the brute-force scan are gone; assert the lane
+    // invariant instead.
+    SDSI_DCHECK(sub.expires > now);
+    const SimilarityQuery& query = *sub.query;
+    const double center = query.features.routing_coordinate();
+    const double query_low = center - query.radius;
+    const double query_high = center + query.radius;
+    // Candidates must satisfy low <= query_high and high >= query_low; with
+    // high <= low + max_extent_ the second condition bounds the search to
+    // low >= query_low - max_extent_, so both ends binary-search.
+    const double scan_from = query_low - max_extent_;
+    auto it = std::lower_bound(
+        sorted_.begin(), sorted_.end(), scan_from,
+        [](const IntervalRef& ref, double value) { return ref.low < value; });
+    for (; it != sorted_.end() && it->low <= query_high; ++it) {
+      if (it->high < query_low) {
+        continue;  // first-dim gap alone already exceeds the radius
+      }
+      const StoredMbr& entry = mbrs_[it->pos];
+      if (dead(entry)) {
+        continue;  // lazily-deleted slot awaiting compaction
+      }
+      if (sub.reported.contains(entry.stream)) {
+        continue;
+      }
+      const double bound = entry.mbr.min_distance(query.features);
+      if (bound <= query.radius) {
+        sub.reported.insert(entry.stream);
+        fresh.push_back(SimilarityMatch{id, entry.stream, bound, now});
+      }
+    }
+  }
+  return fresh;
+}
+
+std::vector<SimilarityMatch> IndexStore::match_brute_force(sim::SimTime now) {
   std::vector<SimilarityMatch> fresh;
   for (auto& [id, sub] : subscriptions_) {
     if (sub.expires <= now) {
@@ -44,6 +167,17 @@ std::vector<SimilarityMatch> IndexStore::match(sim::SimTime now) {
     }
   }
   return fresh;
+}
+
+std::vector<IndexStore::StoredMbr> IndexStore::mbrs() const {
+  std::vector<StoredMbr> out;
+  out.reserve(alive_mbrs_);
+  for (const StoredMbr& entry : mbrs_) {
+    if (!dead(entry)) {
+      out.push_back(entry);
+    }
+  }
+  return out;
 }
 
 const IndexStore::Subscription* IndexStore::find_subscription(

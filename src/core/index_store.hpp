@@ -6,9 +6,27 @@
 // query is stored at nodes only for a certain life span after which it is
 // removed, to prevent cluttering of storage space and to eliminate query
 // responses that contain stale information."
+//
+// Matching engine (key-interval pruning). A stored MBR projects onto the
+// routing dimension as the interval [low_1re, high_1re] — exactly the Eq. 6
+// key range it was replicated over. A similarity ball projects onto
+// [x1 - r, x1 + r]. If those two intervals do not overlap, the first-dim gap
+// alone already exceeds r, so min_distance > r and the full MBR bound could
+// never admit the candidate. The store therefore keeps an interval index
+// sorted by `low` and evaluates min_distance only against MBRs whose
+// first-coefficient interval overlaps the query interval — the surviving
+// candidates still get the full multi-dimensional MBR lower bound, so the
+// Sec IV-E no-false-dismissal guarantee is untouched.
+//
+// Expiry is incremental ("expiry lanes"): a min-expiry heap per container
+// pops lapsed entries in O(log n) each instead of erase_if-scanning both
+// containers every NPER tick. MBR slots are deleted lazily (an entry is dead
+// iff expires <= the latest expiry horizon) and the slab compacts once dead
+// slots dominate.
 #pragma once
 
 #include <memory>
+#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -37,26 +55,38 @@ class IndexStore {
     std::unordered_set<StreamId> reported;
   };
 
-  void add_mbr(StoredMbr entry) { mbrs_.push_back(std::move(entry)); }
+  /// Stores one MBR (no-op if it is already past the expiry horizon).
+  void add_mbr(StoredMbr entry);
 
   /// Inserts or refreshes a subscription (range re-replication of the same
   /// query id keeps the original state).
   void add_subscription(std::shared_ptr<const SimilarityQuery> query,
                         Key middle_key, sim::SimTime expires);
 
-  /// Drops every MBR and subscription whose lifespan passed.
+  /// Advances the expiry horizon to `now`, dropping every MBR and
+  /// subscription whose lifespan passed. Incremental: O(log n) per lapsed
+  /// entry, O(1) when nothing expired.
   void expire(sim::SimTime now);
 
   /// One matching pass (Eq. 8 + MBR lower bound): returns the NEW
   /// (query, stream) candidate pairs detected at `now`, recording them so
-  /// they are never reported twice by this node.
+  /// they are never reported twice by this node. Runs expire(now) first, so
+  /// callers need no separate sweep.
   std::vector<SimilarityMatch> match(sim::SimTime now);
 
-  std::size_t mbr_count() const noexcept { return mbrs_.size(); }
+  /// Reference oracle: the original O(subscriptions x MBRs) scan over the
+  /// same state. Kept for the equivalence tests and the matching microbench;
+  /// production ticks use match().
+  std::vector<SimilarityMatch> match_brute_force(sim::SimTime now);
+
+  std::size_t mbr_count() const noexcept { return alive_mbrs_; }
   std::size_t subscription_count() const noexcept {
     return subscriptions_.size();
   }
-  const std::vector<StoredMbr>& mbrs() const noexcept { return mbrs_; }
+
+  /// Snapshot of the live MBR entries (insertion order preserved).
+  std::vector<StoredMbr> mbrs() const;
+
   const std::unordered_map<QueryId, Subscription>& subscriptions()
       const noexcept {
     return subscriptions_;
@@ -64,8 +94,56 @@ class IndexStore {
   const Subscription* find_subscription(QueryId id) const;
 
  private:
-  std::vector<StoredMbr> mbrs_;
+  /// One entry of the interval index: the routing-dimension interval of
+  /// mbrs_[pos], kept hot and contiguous so candidate scans touch the (cold)
+  /// slab only on interval overlap.
+  struct IntervalRef {
+    double low = 0.0;
+    double high = 0.0;
+    std::uint32_t pos = 0;
+  };
+
+  struct MbrExpiry {
+    sim::SimTime expires;
+    std::uint32_t pos = 0;
+    friend bool operator>(const MbrExpiry& a, const MbrExpiry& b) noexcept {
+      return a.expires > b.expires;
+    }
+  };
+
+  struct SubExpiry {
+    sim::SimTime expires;
+    QueryId id = 0;
+    friend bool operator>(const SubExpiry& a, const SubExpiry& b) noexcept {
+      return a.expires > b.expires;
+    }
+  };
+
+  template <typename T>
+  using MinHeap = std::priority_queue<T, std::vector<T>, std::greater<T>>;
+
+  bool dead(const StoredMbr& entry) const noexcept {
+    return entry.expires <= horizon_;
+  }
+
+  /// Folds slab entries added since the last merge into the sorted index.
+  void merge_pending();
+
+  /// Physically drops dead slab entries and rebuilds index + heap.
+  void compact();
+
+  // --- MBR side ---------------------------------------------------------
+  std::vector<StoredMbr> mbrs_;      // slab: live entries + lazy tombstones
+  std::vector<IntervalRef> sorted_;  // interval index, ascending by low
+  std::size_t indexed_limit_ = 0;    // slab positions >= this are unindexed
+  double max_extent_ = 0.0;  // widest routing interval in the index
+  MinHeap<MbrExpiry> mbr_expiry_;
+  std::size_t alive_mbrs_ = 0;
+  sim::SimTime horizon_;  // latest time passed to expire()
+
+  // --- Subscription side ------------------------------------------------
   std::unordered_map<QueryId, Subscription> subscriptions_;
+  MinHeap<SubExpiry> sub_expiry_;
 };
 
 }  // namespace sdsi::core

@@ -478,9 +478,10 @@ void MiddlewareSystem::periodic_tick(NodeIndex index) {
   }
   MiddlewareNode& state = nodes_[index];
   const sim::SimTime now = routing_.simulator().now();
-  state.store.expire(now);
 
   // 1. Detect new candidates against the local index (Eq. 8 / MBR bound).
+  //    match() advances the store's expiry lanes itself, so no separate
+  //    expire() sweep is needed here.
   for (SimilarityMatch& match : state.store.match(now)) {
     const IndexStore::Subscription* sub =
         state.store.find_subscription(match.query);

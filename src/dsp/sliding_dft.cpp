@@ -1,12 +1,22 @@
 #include "dsp/sliding_dft.hpp"
 
+#include <array>
 #include <cmath>
 #include <numbers>
 
 namespace sdsi::dsp {
 
+namespace {
+
+/// Batch deltas are staged through a fixed stack buffer so push_span never
+/// allocates, whatever the span length.
+constexpr std::size_t kSpanChunk = 256;
+
+}  // namespace
+
 SlidingDft::SlidingDft(std::size_t window_size, std::size_t num_coefficients)
     : window_size_(window_size),
+      inv_sqrt_n_(1.0 / std::sqrt(static_cast<double>(window_size))),
       coeffs_(num_coefficients, Complex{0.0, 0.0}),
       ring_(window_size, 0.0) {
   SDSI_CHECK(window_size > 0);
@@ -22,42 +32,102 @@ SlidingDft::SlidingDft(std::size_t window_size, std::size_t num_coefficients)
 Sample SlidingDft::push(Sample value) {
   const Sample evicted = ring_[head_];
   ring_[head_] = value;
-  head_ = (head_ + 1) % window_size_;
+  if (++head_ == window_size_) {  // branch-wrap beats the % of the old path
+    head_ = 0;
+  }
   ++seen_;
 
   // Treating the pre-fill window as zero-padded makes the same update rule
   // valid from the first sample: evicted is 0 until the buffer wraps.
-  const double scale =
-      1.0 / std::sqrt(static_cast<double>(window_size_));
-  const Complex delta{(value - evicted) * scale, 0.0};
+  const Complex delta{(value - evicted) * inv_sqrt_n_, 0.0};
   for (std::size_t f = 0; f < coeffs_.size(); ++f) {
     coeffs_[f] = twiddles_[f] * (coeffs_[f] + delta);
   }
   return evicted;
 }
 
-std::vector<Sample> SlidingDft::window() const {
-  std::vector<Sample> out(window_size_);
-  for (std::size_t i = 0; i < window_size_; ++i) {
-    out[i] = ring_[(head_ + i) % window_size_];
+void SlidingDft::push_chunk(std::span<const Sample> values,
+                            Sample* evicted_out) {
+  SDSI_DCHECK(values.size() <= kSpanChunk);
+  std::array<double, kSpanChunk> deltas;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const Sample evicted = ring_[head_];
+    ring_[head_] = values[i];
+    if (++head_ == window_size_) {
+      head_ = 0;
+    }
+    deltas[i] = (values[i] - evicted) * inv_sqrt_n_;
+    if (evicted_out != nullptr) {
+      evicted_out[i] = evicted;
+    }
   }
+  seen_ += values.size();
+  // Per coefficient, the exact operation sequence of repeated push():
+  // c = tw * (c + delta_t) in arrival order — hence bit-identical results,
+  // but c and tw live in registers for the whole chunk.
+  for (std::size_t f = 0; f < coeffs_.size(); ++f) {
+    Complex c = coeffs_[f];
+    const Complex tw = twiddles_[f];
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      c = tw * (c + Complex{deltas[i], 0.0});
+    }
+    coeffs_[f] = c;
+  }
+}
+
+void SlidingDft::push_span(std::span<const Sample> values) {
+  while (!values.empty()) {
+    const std::size_t n = std::min(values.size(), kSpanChunk);
+    push_chunk(values.first(n), nullptr);
+    values = values.subspan(n);
+  }
+}
+
+void SlidingDft::push_span(std::span<const Sample> values,
+                           std::span<Sample> evicted) {
+  SDSI_CHECK(evicted.size() >= values.size());
+  std::size_t done = 0;
+  while (done < values.size()) {
+    const std::size_t n = std::min(values.size() - done, kSpanChunk);
+    push_chunk(values.subspan(done, n), evicted.data() + done);
+    done += n;
+  }
+}
+
+std::vector<Sample> SlidingDft::window() const {
+  std::vector<Sample> out;
+  out.reserve(window_size_);
+  // Two contiguous copies instead of a %-indexed loop.
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(head_));
   return out;
 }
 
 void SlidingDft::recompute_exact() {
   // Only the tracked coefficients are rebuilt: O(N k), not a full O(N^2)
   // transform — re-anchoring is on the hot path (amortized per push).
+  if (exact_table_.empty()) {
+    exact_table_.reserve(window_size_);
+    for (std::size_t j = 0; j < window_size_; ++j) {
+      const double angle = -2.0 * std::numbers::pi * static_cast<double>(j) /
+                           static_cast<double>(window_size_);
+      exact_table_.emplace_back(std::cos(angle), std::sin(angle));
+    }
+  }
   const std::vector<Sample> win = window();
-  const double scale = 1.0 / std::sqrt(static_cast<double>(window_size_));
   for (std::size_t f = 0; f < coeffs_.size(); ++f) {
     Complex acc{0.0, 0.0};
+    std::size_t idx = 0;  // (f * j) mod N, advanced incrementally
     for (std::size_t j = 0; j < window_size_; ++j) {
-      const double angle = -2.0 * std::numbers::pi * static_cast<double>(f) *
-                           static_cast<double>(j) /
-                           static_cast<double>(window_size_);
-      acc += win[j] * Complex(std::cos(angle), std::sin(angle));
+      acc += win[j] * exact_table_[idx];
+      idx += f;
+      if (idx >= window_size_) {
+        idx -= window_size_;
+      }
     }
-    coeffs_[f] = acc * scale;
+    coeffs_[f] = acc * inv_sqrt_n_;
   }
 }
 

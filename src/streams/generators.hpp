@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,15 @@ class StreamGenerator {
 
   /// Produces the next data point.
   virtual Sample next() = 0;
+
+  /// Fills `out` with the next out.size() data points. The default loops
+  /// next(); generators with a cheaper bulk path (trace replay) override it.
+  /// Pairs with StreamSummarizer::push_span for batched ingestion.
+  virtual void next_span(std::span<Sample> out) {
+    for (Sample& x : out) {
+      x = next();
+    }
+  }
 
   /// Human-readable model name (appears in workload descriptions).
   virtual std::string name() const = 0;

@@ -93,12 +93,13 @@ std::vector<TraceRecord> record_generator(StreamGenerator& generator,
                                           StreamId stream, std::size_t count,
                                           double period_seconds) {
   SDSI_CHECK(period_seconds > 0.0);
+  std::vector<Sample> values(count);
+  generator.next_span(values);
   std::vector<TraceRecord> records;
   records.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    records.push_back(TraceRecord{stream,
-                                  static_cast<double>(i) * period_seconds,
-                                  generator.next()});
+    records.push_back(TraceRecord{
+        stream, static_cast<double>(i) * period_seconds, values[i]});
   }
   return records;
 }
@@ -128,6 +129,16 @@ Sample TraceReplayGenerator::next() {
                             std::to_string(stream_) + " is exhausted");
   }
   return values_[position_++];
+}
+
+void TraceReplayGenerator::next_span(std::span<Sample> out) {
+  if (out.size() > remaining()) {
+    throw std::out_of_range("trace replay for stream " +
+                            std::to_string(stream_) + " is exhausted");
+  }
+  std::copy_n(values_.begin() + static_cast<std::ptrdiff_t>(position_),
+              out.size(), out.begin());
+  position_ += out.size();
 }
 
 }  // namespace sdsi::streams

@@ -66,6 +66,11 @@ class TraceReplayGenerator final : public StreamGenerator {
   }
 
   Sample next() override;
+
+  /// Bulk replay: one bounds check + contiguous copy instead of a virtual
+  /// call per sample.
+  void next_span(std::span<Sample> out) override;
+
   std::string name() const override {
     return "trace:" + std::to_string(stream_);
   }

@@ -1,0 +1,190 @@
+// The key-interval pruned matching engine must return exactly the
+// brute-force match set — the Sec IV-E no-false-dismissal property has to
+// survive the optimization, and interval pruning may not add false misses
+// or false hits on top of the MBR lower bound.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/index_store.hpp"
+
+namespace sdsi::core {
+namespace {
+
+sim::SimTime at_ms(std::int64_t ms) {
+  return sim::SimTime::zero() + sim::Duration::millis(ms);
+}
+
+using MatchSet = std::vector<std::pair<QueryId, StreamId>>;
+
+MatchSet to_set(const std::vector<SimilarityMatch>& matches) {
+  MatchSet out;
+  out.reserve(matches.size());
+  for (const SimilarityMatch& m : matches) {
+    out.emplace_back(m.query, m.stream);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+IndexStore::StoredMbr random_mbr(common::Pcg32& rng, StreamId stream,
+                                 std::size_t dims, sim::SimTime expires) {
+  std::vector<double> low(dims);
+  std::vector<double> high(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    low[d] = rng.uniform(-1.0, 0.95);
+    high[d] = low[d] + rng.uniform(0.0, 0.2);
+  }
+  IndexStore::StoredMbr entry;
+  entry.stream = stream;
+  entry.mbr = dsp::Mbr(std::move(low), std::move(high));
+  entry.expires = expires;
+  return entry;
+}
+
+std::shared_ptr<const SimilarityQuery> random_query(common::Pcg32& rng,
+                                                    QueryId id,
+                                                    std::size_t dims) {
+  std::vector<dsp::Complex> coeffs(dims / 2);
+  for (dsp::Complex& c : coeffs) {
+    c = dsp::Complex{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  }
+  SimilarityQuery query;
+  query.id = id;
+  query.features = dsp::FeatureVector(std::move(coeffs));
+  query.radius = rng.uniform(0.01, 0.3);
+  return std::make_shared<const SimilarityQuery>(std::move(query));
+}
+
+TEST(MatchPruning, EquivalentToBruteForceRandomized) {
+  // >1k random MBR/subscription mixes across trials and rounds, with
+  // incremental adds, lifespan churn, and repeated matching passes (the
+  // per-node dedup state evolves identically in both engines).
+  common::Pcg32 rng(2024, 7);
+  std::size_t total_mbrs = 0;
+  std::size_t total_subs = 0;
+  std::size_t total_matches = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t dims = (trial % 2 == 0) ? 2 : 4;
+    IndexStore pruned;
+    IndexStore brute;
+    std::int64_t now_ms = 0;
+    StreamId next_stream = 1;
+    QueryId next_query = 1;
+    for (int round = 0; round < 5; ++round) {
+      const int mbr_batch = static_cast<int>(rng.bounded(40)) + 5;
+      for (int i = 0; i < mbr_batch; ++i) {
+        const auto expires =
+            at_ms(now_ms + 1 + static_cast<std::int64_t>(rng.bounded(4000)));
+        const IndexStore::StoredMbr entry =
+            random_mbr(rng, next_stream++, dims, expires);
+        pruned.add_mbr(entry);
+        brute.add_mbr(entry);
+        ++total_mbrs;
+      }
+      const int sub_batch = static_cast<int>(rng.bounded(8)) + 2;
+      for (int i = 0; i < sub_batch; ++i) {
+        const auto query = random_query(rng, next_query++, dims);
+        const auto expires =
+            at_ms(now_ms + 1 + static_cast<std::int64_t>(rng.bounded(6000)));
+        pruned.add_subscription(query, 0, expires);
+        brute.add_subscription(query, 0, expires);
+        ++total_subs;
+      }
+      now_ms += static_cast<std::int64_t>(rng.bounded(1500));
+      const auto now = at_ms(now_ms);
+      const MatchSet from_pruned = to_set(pruned.match(now));
+      const MatchSet from_brute = to_set(brute.match_brute_force(now));
+      ASSERT_EQ(from_pruned, from_brute)
+          << "trial " << trial << " round " << round << " at " << now_ms
+          << "ms";
+      total_matches += from_pruned.size();
+    }
+  }
+  EXPECT_GE(total_mbrs + total_subs, 1000u);
+  EXPECT_GT(total_matches, 0u);  // the workload must actually exercise hits
+}
+
+TEST(MatchPruning, BoundaryOverlapStillMatches) {
+  // bound == radius is a match (<=, not <); the interval prune must keep
+  // the exact-boundary candidate.
+  IndexStore store;
+  IndexStore::StoredMbr entry;
+  entry.stream = 7;
+  entry.mbr = dsp::Mbr({0.60, 0.0}, {0.70, 0.0});
+  entry.expires = at_ms(10000);
+  store.add_mbr(entry);
+  SimilarityQuery query;
+  query.id = 1;
+  query.features = dsp::FeatureVector({dsp::Complex{0.50, 0.0}});
+  query.radius = 0.1;
+  store.add_subscription(
+      std::make_shared<const SimilarityQuery>(std::move(query)), 0,
+      at_ms(10000));
+  const auto matches = store.match(at_ms(1));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_NEAR(matches[0].bound_distance, 0.1, 1e-12);
+}
+
+TEST(MatchPruning, WideBoxAmongNarrowOnesIsFound) {
+  // The scan window is widened by the largest indexed extent; one wide box
+  // among many narrow ones must still be reachable from a far-away query.
+  common::Pcg32 rng(5, 5);
+  IndexStore store;
+  for (StreamId s = 1; s <= 200; ++s) {
+    IndexStore::StoredMbr entry;
+    const double lo = rng.uniform(-1.0, -0.2);
+    entry.stream = s;
+    entry.mbr = dsp::Mbr({lo, 0.0}, {lo + 0.02, 0.0});
+    entry.expires = at_ms(10000);
+    store.add_mbr(entry);
+  }
+  IndexStore::StoredMbr wide;
+  wide.stream = 999;
+  wide.mbr = dsp::Mbr({-0.9, 0.0}, {0.9, 0.0});
+  wide.expires = at_ms(10000);
+  store.add_mbr(wide);
+
+  SimilarityQuery query;
+  query.id = 1;
+  query.features = dsp::FeatureVector({dsp::Complex{0.905, 0.0}});
+  query.radius = 0.01;
+  store.add_subscription(
+      std::make_shared<const SimilarityQuery>(std::move(query)), 0,
+      at_ms(10000));
+  const auto matches = store.match(at_ms(1));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].stream, 999u);
+}
+
+TEST(MatchPruning, EquivalenceAcrossCompaction) {
+  // Compaction (triggered by heavy expiry churn) must not change results.
+  common::Pcg32 rng(11, 3);
+  IndexStore pruned;
+  IndexStore brute;
+  for (int wave = 0; wave < 4; ++wave) {
+    const std::int64_t base = wave * 1000;
+    for (int i = 0; i < 150; ++i) {
+      const IndexStore::StoredMbr entry = random_mbr(
+          rng, static_cast<StreamId>(wave * 1000 + i), 2,
+          at_ms(base + 500 + static_cast<std::int64_t>(rng.bounded(400))));
+      pruned.add_mbr(entry);
+      brute.add_mbr(entry);
+    }
+    const auto query = random_query(rng, static_cast<QueryId>(wave) + 1, 2);
+    pruned.add_subscription(query, 0, at_ms(base + 2000));
+    brute.add_subscription(query, 0, at_ms(base + 2000));
+    const auto now = at_ms(base + 600);
+    ASSERT_EQ(to_set(pruned.match(now)), to_set(brute.match_brute_force(now)))
+        << "wave " << wave;
+    // Everything from this wave dies before the next one arrives.
+  }
+  pruned.expire(at_ms(10000));
+  EXPECT_EQ(pruned.mbr_count(), 0u);
+}
+
+}  // namespace
+}  // namespace sdsi::core
