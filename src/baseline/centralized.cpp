@@ -63,8 +63,10 @@ void CentralizedSystem::post_stream_value(NodeIndex node, StreamId stream,
   // Everything goes to the center, point-routed at its ring id.
   routing::Message msg;
   msg.kind = static_cast<int>(core::MsgKind::kMbrUpdate);
-  msg.payload = std::make_shared<const core::MbrPayload>(core::MbrPayload{
-      stream, node, std::move(*closed), local.batch_seq++});
+  const sim::SimTime now = routing_.simulator().now();
+  msg.payload = std::make_shared<const core::MbrPayload>(
+      core::MbrPayload{stream, node, std::move(*closed), local.batch_seq++,
+                       now + config_.mbr_lifespan});
   routing_.send(node, routing_.node_id(center_), std::move(msg));
 }
 
@@ -101,7 +103,7 @@ void CentralizedSystem::on_deliver(NodeIndex at, const routing::Message& msg) {
       const auto payload = payload_of<core::MbrPayload>(msg);
       store_.add_mbr(core::IndexStore::StoredMbr{
           payload->stream, payload->source, payload->mbr, payload->batch_seq,
-          now, now + config_.mbr_lifespan});
+          now, payload->expires});
       return;
     }
     case core::MsgKind::kSimilarityQuery: {

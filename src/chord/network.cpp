@@ -120,6 +120,23 @@ void ChordNetwork::crash(NodeIndex node) {
   rebuild_oracle();  // only the oracle learns instantly; peers must stabilize
 }
 
+void ChordNetwork::recover(NodeIndex node, NodeIndex via) {
+  SDSI_CHECK(node < nodes_.size() && !nodes_[node].alive);
+  SDSI_CHECK(is_alive(via) && via != node);
+  NodeState& state = nodes_[node];
+  state.alive = true;
+  ++alive_count_;
+  const LookupTrace trace = trace_lookup(via, state.id);
+  SDSI_CHECK(trace.result != kInvalidNode);
+  state.successor = trace.result;
+  state.predecessor = kInvalidNode;
+  state.successor_list.assign(1, trace.result);
+  for (unsigned i = 0; i < config_.id_bits; ++i) {
+    state.fingers.set(i, trace.result);  // refined by fix_finger over time
+  }
+  rebuild_oracle();
+}
+
 NodeIndex ChordNetwork::live_successor(NodeIndex node) const {
   const NodeState& state = nodes_[node];
   if (state.successor != kInvalidNode && nodes_[state.successor].alive) {
@@ -329,10 +346,12 @@ void ChordNetwork::iterate_step(NodeIndex origin, NodeIndex current, Key key,
                                 Message msg) {
   if (!is_alive(origin) || !is_alive(current)) {
     ++lost_messages_;
+    record_drop(fault::DropCause::kDeadNode, msg);
     return;
   }
   if (msg.hops > config_.max_route_hops) {
     ++lost_messages_;
+    record_drop(fault::DropCause::kHopLimit, msg);
     return;
   }
   bool final_here = false;
@@ -340,7 +359,7 @@ void ChordNetwork::iterate_step(NodeIndex origin, NodeIndex current, Key key,
   if (final_here) {
     // The responsible node is known: one direct transmission delivers.
     const sim::Duration delay =
-        current == origin ? sim::Duration() : hop_latency();
+        current == origin ? sim::Duration() : transmission_latency();
     msg.hops += current == origin ? 0 : 1;
     simulator().schedule_after(delay,
                                [this, current, m = std::move(msg)]() mutable {
@@ -348,6 +367,7 @@ void ChordNetwork::iterate_step(NodeIndex origin, NodeIndex current, Key key,
                                    deliver_at(current, std::move(m));
                                  } else {
                                    ++lost_messages_;
+                                   record_drop(fault::DropCause::kDeadNode, m);
                                  }
                                });
     return;
@@ -357,7 +377,8 @@ void ChordNetwork::iterate_step(NodeIndex origin, NodeIndex current, Key key,
   // probed node; then the origin interrogates `next`. The origin's own
   // first lookup step is local and free.
   const sim::Duration round_trip =
-      current == origin ? sim::Duration() : hop_latency() * 2;
+      current == origin ? sim::Duration()
+                        : transmission_latency() + transmission_latency();
   if (current != origin) {
     notify_transit(current, msg);
     msg.hops += 2;
@@ -371,10 +392,12 @@ void ChordNetwork::iterate_step(NodeIndex origin, NodeIndex current, Key key,
 void ChordNetwork::route_step(NodeIndex current, Key key, Message msg) {
   if (!is_alive(current)) {
     ++lost_messages_;
+    record_drop(fault::DropCause::kDeadNode, msg);
     return;
   }
   if (msg.hops > config_.max_route_hops) {
     ++lost_messages_;
+    record_drop(fault::DropCause::kHopLimit, msg);
     return;
   }
   bool final_here = false;
@@ -394,10 +417,11 @@ void ChordNetwork::route_step(NodeIndex current, Key key, Message msg) {
   }
   msg.hops += 1;
   simulator().schedule_after(
-      hop_latency(),
+      transmission_latency(),
       [this, next, key, next_final, m = std::move(msg)]() mutable {
         if (!is_alive(next)) {
           ++lost_messages_;
+          record_drop(fault::DropCause::kDeadNode, m);
           return;
         }
         if (next_final) {
@@ -411,10 +435,12 @@ void ChordNetwork::route_step(NodeIndex current, Key key, Message msg) {
 void ChordNetwork::route_direct(NodeIndex from, NodeIndex to, Message msg) {
   SDSI_CHECK(to < nodes_.size());
   msg.hops = from == to ? 0 : 1;
-  const sim::Duration delay = from == to ? sim::Duration() : hop_latency();
+  const sim::Duration delay =
+      from == to ? sim::Duration() : transmission_latency();
   simulator().schedule_after(delay, [this, to, m = std::move(msg)]() mutable {
     if (!is_alive(to)) {
       ++lost_messages_;
+      record_drop(fault::DropCause::kDeadNode, m);
       return;
     }
     deliver_at(to, std::move(m));

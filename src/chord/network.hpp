@@ -86,6 +86,14 @@ class ChordNetwork final : public routing::RoutingSystem {
   /// stabilization and successor lists.
   void crash(NodeIndex node);
 
+  /// Restart of a crashed node under its old identifier: it re-enters the
+  /// ring the way join() does (asks `via` to look up its own id, adopts the
+  /// result as successor) and lets stabilization re-integrate it. Its
+  /// routing state is rebuilt from scratch — and the middleware above must
+  /// treat its soft state as lost (see MiddlewareSystem::
+  /// reset_node_soft_state).
+  void recover(NodeIndex node, NodeIndex via);
+
   /// One stabilization round at `node`: verify successor, adopt a closer
   /// one, notify it, refresh the successor list.
   void stabilize(NodeIndex node);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <memory>
 
 namespace sdsi::core {
 
@@ -62,8 +64,78 @@ void Experiment::build() {
   middleware.mbr_lifespan = config_.workload.mbr_lifespan;
   middleware.notify_period = config_.workload.notify_period;
   middleware.adaptive_precision = config_.adaptive_precision;
+  middleware.mbr_ack.enabled = config_.mbr_acks;
+  middleware.response_ack.enabled = config_.response_acks;
+  middleware.mbr_refresh_period = config_.mbr_refresh_period;
+  middleware.query_refresh_period = config_.query_refresh_period;
+  middleware.rng_seed = rng_factory_.make("middleware-seed").next64();
   system_ = std::make_unique<MiddlewareSystem>(*routing_, middleware);
   system_->metrics().set_enabled(false);
+
+  wire_faults();
+
+  if (config_.oracle_sample_period > sim::Duration()) {
+    oracle_ = std::make_unique<RecallOracle>();
+    RecallOracle* oracle = oracle_.get();
+    system_->set_publish_hook([oracle, this](const MbrPayload& payload) {
+      oracle->on_publish(payload, sim_.now());
+    });
+    system_->set_query_hook(
+        [oracle](std::shared_ptr<const SimilarityQuery> query) {
+          oracle->on_subscribe(std::move(query));
+        });
+    oracle_task_ = sim_.schedule_periodic(
+        sim_.now() + config_.oracle_sample_period,
+        config_.oracle_sample_period, [this] { oracle_->sample(sim_.now()); });
+  }
+}
+
+void Experiment::wire_faults() {
+  if (config_.faults.empty()) {
+    return;
+  }
+  if (config_.faults.has_link_faults()) {
+    routing_->set_fault_model(std::make_shared<fault::LinkFaultModel>(
+        config_.faults, routing_->id_space(),
+        rng_factory_.make("fault-links")));
+  }
+  if (config_.faults.crash_waves.empty()) {
+    return;
+  }
+  // Crash waves need a substrate with a membership protocol.
+  auto* chord = dynamic_cast<chord::ChordNetwork*>(routing_.get());
+  SDSI_CHECK(chord != nullptr);
+  fault::MembershipHooks hooks;
+  hooks.alive_nodes = [chord] {
+    std::vector<NodeIndex> alive;
+    for (NodeIndex node = 0; node < chord->num_nodes(); ++node) {
+      if (chord->is_alive(node)) {
+        alive.push_back(node);
+      }
+    }
+    return alive;
+  };
+  hooks.crash = [chord](NodeIndex node) { chord->crash(node); };
+  hooks.recover = [chord, this](NodeIndex node) {
+    NodeIndex via = kInvalidNode;
+    for (NodeIndex i = 0; i < chord->num_nodes(); ++i) {
+      if (i != node && chord->is_alive(i)) {
+        via = i;
+        break;
+      }
+    }
+    SDSI_CHECK(via != kInvalidNode);
+    chord->recover(node, via);
+    // A restarted data center comes back with empty soft state.
+    system_->reset_node_soft_state(node);
+  };
+  hooks.maintenance = [chord](int rounds) {
+    chord->run_maintenance_rounds(rounds);
+  };
+  injector_ = std::make_unique<fault::FaultInjector>(
+      sim_, config_.faults, std::move(hooks),
+      rng_factory_.make("fault-injector"));
+  injector_->arm();
 }
 
 std::unique_ptr<streams::StreamGenerator> Experiment::make_generator(
@@ -120,6 +192,9 @@ void Experiment::schedule_streams() {
     streams::StreamGenerator* generator = generators_.back().get();
     sim_.schedule_periodic(sim_.now() + offset + period, period,
                            [this, node, sid, generator] {
+                             if (!routing_->is_alive(node)) {
+                               return;  // crashed source emits nothing
+                             }
                              system_->post_stream_value(node, sid,
                                                         generator->next());
                            });
@@ -166,20 +241,28 @@ void Experiment::schedule_queries() {
   // Poisson arrivals at QRATE; every query is issued by a random node
   // ("queries are generated synthetically using a uniform distribution").
   auto arrival = std::make_shared<std::function<void()>>();
-  *arrival = [this, arrival] {
+  // The closure must not own itself (shared_ptr cycle): each scheduled
+  // event holds the strong reference, the closure only a weak one.
+  *arrival = [this, weak = std::weak_ptr<std::function<void()>>(arrival)] {
     const NodeIndex client = static_cast<NodeIndex>(
         query_rng_.bounded(static_cast<std::uint32_t>(config_.num_nodes)));
     const auto lifespan = sim::Duration::micros(query_rng_.uniform_int(
         config_.workload.query_lifespan_min.count_micros(),
         config_.workload.query_lifespan_max.count_micros()));
-    system_->subscribe_similarity(client, random_query_features(),
-                                  config_.workload.query_radius, lifespan);
-    ++queries_posed_;
+    // Draw the pattern unconditionally so the query workload stays
+    // identical across runs that differ only in their fault plan.
+    dsp::FeatureVector features = random_query_features();
+    if (routing_->is_alive(client)) {
+      system_->subscribe_similarity(client, std::move(features),
+                                    config_.workload.query_radius, lifespan);
+      ++queries_posed_;
+    }
     const double gap =
         query_rng_.exponential(config_.workload.query_rate_per_sec);
-    sim_.schedule_after(sim::Duration::seconds(gap), [arrival] {
-      (*arrival)();
-    });
+    if (auto self = weak.lock()) {
+      sim_.schedule_after(sim::Duration::seconds(gap),
+                          [self] { (*self)(); });
+    }
   };
   const double first_gap =
       query_rng_.exponential(config_.workload.query_rate_per_sec);
@@ -199,6 +282,14 @@ void Experiment::run() {
   system_->metrics().reset();
   system_->metrics().set_enabled(true);
   sim_.run_until(sim::SimTime::zero() + config_.warmup + config_.measure);
+  // Oracle sampling ends with the measurement window; the drain below lets
+  // the real system's in-flight detections, pushes, retries, and refreshes
+  // settle so recall is read after healing, not mid-flight.
+  oracle_task_.cancel();
+  if (config_.drain > sim::Duration()) {
+    sim_.run_until(sim::SimTime::zero() + config_.warmup + config_.measure +
+                   config_.drain);
+  }
   system_->metrics().set_enabled(false);
 }
 
@@ -272,6 +363,64 @@ QualityReport Experiment::quality_report() const {
     }
   }
   report.mean_first_response_ms = first_response.mean();
+  return report;
+}
+
+RobustnessReport Experiment::robustness_report() const {
+  SDSI_CHECK(ran_);
+  const MetricsCollector& metrics = system_->metrics();
+  const RobustnessCounters& counters = metrics.robustness();
+  RobustnessReport report;
+
+  if (oracle_ != nullptr) {
+    const auto* crashed =
+        injector_ != nullptr ? &injector_->ever_crashed() : nullptr;
+    for (const auto& [query_id, stream] : oracle_->pairs()) {
+      const ClientQueryRecord* record = system_->client_record(query_id);
+      SDSI_CHECK(record != nullptr);
+      if (crashed != nullptr && crashed->contains(record->client)) {
+        continue;  // a dead client's losses are its own, not the index's
+      }
+      ++report.oracle_pairs;
+      if (record->matched_streams.contains(stream)) {
+        ++report.delivered_pairs;
+      }
+    }
+    if (report.oracle_pairs > 0) {
+      report.recall = static_cast<double>(report.delivered_pairs) /
+                      static_cast<double>(report.oracle_pairs);
+    }
+  }
+
+  std::uint64_t unique_events = 0;
+  std::uint64_t duplicate_events = 0;
+  for (const auto& [id, record] : system_->client_records()) {
+    unique_events += record.match_events;
+    duplicate_events += record.duplicate_match_events;
+  }
+  if (unique_events + duplicate_events > 0) {
+    report.duplicate_delivery_rate =
+        static_cast<double>(duplicate_events) /
+        static_cast<double>(unique_events + duplicate_events);
+  }
+
+  report.duplicate_stores = counters.duplicate_stores;
+  report.mbr_retries = counters.mbr_retries;
+  report.mbr_retry_exhausted = counters.mbr_retry_exhausted;
+  report.mbr_refreshes = counters.mbr_refreshes;
+  report.mbr_acks = counters.mbr_acks;
+  report.response_retries = counters.response_retries;
+  report.location_retries = counters.location_retries;
+  report.heals = counters.heal_latency_stats.count();
+  report.mean_heal_latency_ms = counters.heal_latency_stats.mean();
+  report.max_heal_latency_ms = counters.heal_latency_stats.max();
+  for (std::size_t c = 0; c < report.drops_by_cause.size(); ++c) {
+    report.drops_by_cause[c] = metrics.drops(static_cast<fault::DropCause>(c));
+  }
+  if (injector_ != nullptr) {
+    report.crashes = injector_->crashes_executed();
+    report.recoveries = injector_->recoveries_executed();
+  }
   return report;
 }
 

@@ -9,8 +9,10 @@
 #include <vector>
 
 #include "chord/network.hpp"
-#include "routing/prefix_ring.hpp"
+#include "core/robustness.hpp"
 #include "core/system.hpp"
+#include "fault/injector.hpp"
+#include "routing/prefix_ring.hpp"
 #include "routing/static_ring.hpp"
 #include "streams/generators.hpp"
 
@@ -79,6 +81,25 @@ struct ExperimentConfig {
   /// needs query_rate * mean lifespan ~ 120 queries to stabilize).
   sim::Duration warmup = sim::Duration::seconds(60);
   sim::Duration measure = sim::Duration::seconds(60);
+
+  // --- Robustness (chaos) extensions --------------------------------------
+
+  /// Structured fault injection: bursty loss, latency jitter, key-range
+  /// partitions, crash/recover waves. Times in the plan are absolute
+  /// simulation times (warmup starts at 0). Empty injects nothing.
+  fault::FaultPlan faults;
+  /// Self-healing knobs forwarded into MiddlewareConfig.
+  bool mbr_acks = false;
+  bool response_acks = false;
+  sim::Duration mbr_refresh_period = sim::Duration();
+  sim::Duration query_refresh_period = sim::Duration();
+  /// Recall-oracle sampling period (zero disables the oracle entirely).
+  /// Sampling stops at the end of `measure`.
+  sim::Duration oracle_sample_period = sim::Duration();
+  /// Extra settling time after `measure` (faults cleared, deliveries and
+  /// refreshes draining) before the reports are read. Robustness runs use
+  /// ~2 refresh periods; load/overhead figure runs keep it zero.
+  sim::Duration drain = sim::Duration();
 };
 
 /// Fig 6(a): average per-node message load per second, seven components.
@@ -118,6 +139,34 @@ struct QualityReport {
   double mean_first_response_ms = 0.0;
 };
 
+/// Degradation + self-healing numbers of a (chaos) run.
+struct RobustnessReport {
+  /// Recall vs the fault-free oracle over queries from never-crashed
+  /// clients; 0 when the oracle was disabled or detected nothing.
+  double recall = 0.0;
+  std::uint64_t oracle_pairs = 0;     // oracle (query, stream) pairs
+  std::uint64_t delivered_pairs = 0;  // of those, reaching their client
+  /// Duplicate match entries per delivered match entry (client side).
+  double duplicate_delivery_rate = 0.0;
+  std::uint64_t duplicate_stores = 0;  // store-level redelivery suppressions
+  std::uint64_t mbr_retries = 0;
+  std::uint64_t mbr_retry_exhausted = 0;
+  std::uint64_t mbr_refreshes = 0;
+  std::uint64_t mbr_acks = 0;
+  std::uint64_t response_retries = 0;
+  std::uint64_t location_retries = 0;
+  /// Heal latency (first send -> confirming ack, retried batches only).
+  std::uint64_t heals = 0;
+  double mean_heal_latency_ms = 0.0;
+  double max_heal_latency_ms = 0.0;
+  /// Drops by cause label (fault::DropCause order), unified across the link
+  /// loss models and routing-level losses, measurement window only.
+  std::array<std::uint64_t, static_cast<std::size_t>(fault::DropCause::kCount)>
+      drops_by_cause{};
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+};
+
 class Experiment {
  public:
   explicit Experiment(ExperimentConfig config);
@@ -139,6 +188,12 @@ class Experiment {
   OverheadReport overhead_report() const;
   HopsReport hops_report() const;
   QualityReport quality_report() const;
+  RobustnessReport robustness_report() const;
+
+  const fault::FaultInjector* injector() const noexcept {
+    return injector_.get();
+  }
+  const RecallOracle* oracle() const noexcept { return oracle_.get(); }
 
   MiddlewareSystem& system() { return *system_; }
   const MetricsCollector& metrics() const { return system_->metrics(); }
@@ -152,11 +207,16 @@ class Experiment {
   dsp::FeatureVector random_query_features();
   std::unique_ptr<streams::StreamGenerator> make_generator(NodeIndex node);
 
+  void wire_faults();
+
   ExperimentConfig config_;
   common::RngFactory rng_factory_;
   sim::Simulator sim_;
   std::unique_ptr<routing::RoutingSystem> routing_;
   std::unique_ptr<MiddlewareSystem> system_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<RecallOracle> oracle_;
+  sim::TaskHandle oracle_task_;
   std::vector<std::unique_ptr<streams::StreamGenerator>> generators_;
   std::shared_ptr<streams::StockMarketModel> market_;  // stock family only
   common::Pcg32 query_rng_;

@@ -5,16 +5,25 @@
 
 namespace sdsi::core {
 
-void IndexStore::add_mbr(StoredMbr entry) {
+bool IndexStore::add_mbr(StoredMbr entry) {
   SDSI_CHECK(!entry.mbr.empty());
   if (dead(entry)) {
-    return;  // arrived past its own lifespan: never observable
+    return false;  // arrived past its own lifespan: never observable
   }
   SDSI_CHECK(mbrs_.size() < std::numeric_limits<std::uint32_t>::max());
   const auto pos = static_cast<std::uint32_t>(mbrs_.size());
+  const MbrKey key{entry.stream, entry.batch_seq};
+  const auto [it, inserted] = by_key_.try_emplace(key, pos);
+  if (!inserted) {
+    if (!dead(mbrs_[it->second])) {
+      return false;  // duplicate delivery of a live batch: idempotent
+    }
+    it->second = pos;  // prior copy lapsed; this one supersedes it
+  }
   mbr_expiry_.push(MbrExpiry{entry.expires, pos});
   mbrs_.push_back(std::move(entry));
   ++alive_mbrs_;
+  return true;
 }
 
 void IndexStore::add_subscription(
@@ -81,6 +90,12 @@ void IndexStore::merge_pending() {
 void IndexStore::compact() {
   std::erase_if(mbrs_, [this](const StoredMbr& entry) { return dead(entry); });
   alive_mbrs_ = mbrs_.size();
+
+  by_key_.clear();
+  for (std::size_t pos = 0; pos < mbrs_.size(); ++pos) {
+    by_key_.emplace(MbrKey{mbrs_[pos].stream, mbrs_[pos].batch_seq},
+                    static_cast<std::uint32_t>(pos));
+  }
 
   std::vector<MbrExpiry> lanes;
   lanes.reserve(mbrs_.size());

@@ -55,8 +55,12 @@ class IndexStore {
     std::unordered_set<StreamId> reported;
   };
 
-  /// Stores one MBR (no-op if it is already past the expiry horizon).
-  void add_mbr(StoredMbr entry);
+  /// Stores one MBR. Returns false without storing when the entry is already
+  /// past the expiry horizon, or when a live entry with the same
+  /// (stream, batch_seq) is present — duplicate deliveries from ack-driven
+  /// retransmission or soft-state refresh are idempotent, so self-healing
+  /// can never inflate match counts.
+  bool add_mbr(StoredMbr entry);
 
   /// Inserts or refreshes a subscription (range re-replication of the same
   /// query id keeps the original state).
@@ -122,6 +126,20 @@ class IndexStore {
   template <typename T>
   using MinHeap = std::priority_queue<T, std::vector<T>, std::greater<T>>;
 
+  /// Identity of an MBR batch for duplicate suppression.
+  struct MbrKey {
+    StreamId stream = 0;
+    std::uint64_t batch_seq = 0;
+    bool operator==(const MbrKey&) const = default;
+  };
+  struct MbrKeyHash {
+    std::size_t operator()(const MbrKey& k) const noexcept {
+      std::uint64_t h = k.stream * 0x9E3779B97F4A7C15ull;
+      h ^= k.batch_seq + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
   bool dead(const StoredMbr& entry) const noexcept {
     return entry.expires <= horizon_;
   }
@@ -138,6 +156,9 @@ class IndexStore {
   std::size_t indexed_limit_ = 0;    // slab positions >= this are unindexed
   double max_extent_ = 0.0;  // widest routing interval in the index
   MinHeap<MbrExpiry> mbr_expiry_;
+  // (stream, batch_seq) -> slab position; an entry whose slot is dead (lazy
+  // tombstone) counts as absent. Rebuilt by compact().
+  std::unordered_map<MbrKey, std::uint32_t, MbrKeyHash> by_key_;
   std::size_t alive_mbrs_ = 0;
   sim::SimTime horizon_;  // latest time passed to expire()
 

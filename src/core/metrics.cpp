@@ -16,6 +16,9 @@ void MetricsCollector::reset() {
   response_ = CategoryCounters{};
   neighbor_ = CategoryCounters{};
   location_ = CategoryCounters{};
+  control_ = CategoryCounters{};
+  drops_by_cause_.fill(0);
+  robustness_ = RobustnessCounters{};
 }
 
 CategoryCounters& MetricsCollector::category(const routing::Message& msg) {
@@ -33,6 +36,9 @@ CategoryCounters& MetricsCollector::category(const routing::Message& msg) {
     case MsgKind::kLocationGet:
     case MsgKind::kLocationReply:
       return location_;
+    case MsgKind::kMbrAck:
+    case MsgKind::kResponseAck:
+      return control_;
   }
   SDSI_CHECK(false);
 }
@@ -63,6 +69,10 @@ void MetricsCollector::add_node_load(NodeIndex node,
       break;
     case MsgKind::kNeighborExchange:
       component = LoadComponent::kResponsesInternal;
+      break;
+    case MsgKind::kMbrAck:
+    case MsgKind::kResponseAck:
+      component = LoadComponent::kControl;
       break;
   }
   ++per_node_[node][static_cast<std::size_t>(component)];
@@ -109,6 +119,23 @@ void MetricsCollector::on_deliver(NodeIndex at, const routing::Message& msg) {
     }
   }
   add_node_load(at, msg, /*transit=*/false);
+}
+
+void MetricsCollector::on_drop(fault::DropCause cause,
+                               const routing::Message& msg) {
+  (void)msg;
+  if (!enabled_) {
+    return;
+  }
+  ++drops_by_cause_[static_cast<std::size_t>(cause)];
+}
+
+std::uint64_t MetricsCollector::total_drops() const noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : drops_by_cause_) {
+    total += count;
+  }
+  return total;
 }
 
 std::uint64_t MetricsCollector::node_load(NodeIndex node,

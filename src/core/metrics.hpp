@@ -26,9 +26,13 @@ enum class MsgKind : int {
   kLocationPut = 6,       // stream-id -> source registration (h2 service)
   kLocationGet = 7,       // stream-id resolution request
   kLocationReply = 8,     // stream-id resolution reply
+  kMbrAck = 9,            // storage confirmation for an MBR batch
+  kResponseAck = 10,      // client confirmation of a match-bearing push
 };
 
-/// The seven per-node load components of Fig 6(a).
+/// The seven per-node load components of Fig 6(a), plus the reliability
+/// control traffic (acks) our self-healing extension adds on top of the
+/// paper's protocol.
 enum class LoadComponent : std::size_t {
   kMbrSource = 0,        // (a) MBRs originated by the node as a stream source
   kMbrInternal = 1,      // (b) extra copies when an MBR range spans nodes
@@ -37,7 +41,8 @@ enum class LoadComponent : std::size_t {
   kResponses = 4,        // (e) responses from the notifying node to clients
   kResponsesInternal = 5,// (f) neighbor-to-neighbor similarity digests
   kResponsesTransit = 6, // (g) responses relayed by intermediate nodes
-  kCount = 7,
+  kControl = 7,          // (h) acks: MBR storage + response delivery
+  kCount = 8,
 };
 
 inline const char* load_component_name(LoadComponent c) {
@@ -49,6 +54,7 @@ inline const char* load_component_name(LoadComponent c) {
     case LoadComponent::kResponses: return "Responses";
     case LoadComponent::kResponsesInternal: return "Responses internal";
     case LoadComponent::kResponsesTransit: return "Responses in transit";
+    case LoadComponent::kControl: return "Control (acks)";
     case LoadComponent::kCount: break;
   }
   return "?";
@@ -65,6 +71,22 @@ struct CategoryCounters {
   common::OnlineStats latency_ms;        // send->deliver, first-class copies
   common::OnlineStats range_latency_ms;  // original send->deliver, range
                                          // copies (cumulative walk delay)
+};
+
+/// Self-healing bookkeeping: what the fault-tolerance machinery did and how
+/// long repairs took (heal latency = first send of an MBR batch to the ack
+/// that finally confirmed it, counted only when retries were needed).
+struct RobustnessCounters {
+  std::uint64_t mbr_retries = 0;        // ack-timeout retransmissions
+  std::uint64_t mbr_retry_exhausted = 0;// batches that ran out of budget
+  std::uint64_t mbr_refreshes = 0;      // soft-state re-publications
+  std::uint64_t mbr_acks = 0;           // storage confirmations received
+  std::uint64_t duplicate_stores = 0;   // redeliveries the store suppressed
+  std::uint64_t response_retries = 0;   // re-queued unacked match pushes
+  std::uint64_t duplicate_matches = 0;  // client-side duplicate suppressions
+  std::uint64_t location_retries = 0;   // location-get backoff retries
+  common::OnlineStats heal_latency_stats;  // ms, one sample per healed batch
+  common::Histogram heal_latency_ms{0.0, 10'000.0, 50};  // 200 ms buckets
 };
 
 class MetricsCollector final : public routing::MetricsHook {
@@ -86,6 +108,7 @@ class MetricsCollector final : public routing::MetricsHook {
   void on_send(NodeIndex from, const routing::Message& msg) override;
   void on_transit(NodeIndex via, const routing::Message& msg) override;
   void on_deliver(NodeIndex at, const routing::Message& msg) override;
+  void on_drop(fault::DropCause cause, const routing::Message& msg) override;
 
   /// Attach the simulator clock so latency can be measured.
   void set_clock(const sim::Simulator* clock) noexcept { clock_ = clock; }
@@ -104,6 +127,22 @@ class MetricsCollector final : public routing::MetricsHook {
   const CategoryCounters& response() const noexcept { return response_; }
   const CategoryCounters& neighbor() const noexcept { return neighbor_; }
   const CategoryCounters& location() const noexcept { return location_; }
+  const CategoryCounters& control() const noexcept { return control_; }
+
+  /// Drops observed through the routing hook, by cause label (unified view
+  /// over link-loss models and routing-level losses).
+  std::uint64_t drops(fault::DropCause cause) const noexcept {
+    return drops_by_cause_[static_cast<std::size_t>(cause)];
+  }
+  std::uint64_t total_drops() const noexcept;
+
+  /// Self-healing counters; the middleware increments them directly.
+  RobustnessCounters& robustness() noexcept { return robustness_; }
+  const RobustnessCounters& robustness() const noexcept { return robustness_; }
+
+  /// Middleware-side increment that respects the warm-up gate (the
+  /// collector swallows events while disabled).
+  bool recording() const noexcept { return enabled_; }
 
  private:
   CategoryCounters& category(const routing::Message& msg);
@@ -120,6 +159,10 @@ class MetricsCollector final : public routing::MetricsHook {
   CategoryCounters response_;
   CategoryCounters neighbor_;
   CategoryCounters location_;
+  CategoryCounters control_;
+  std::array<std::uint64_t, static_cast<std::size_t>(fault::DropCause::kCount)>
+      drops_by_cause_{};
+  RobustnessCounters robustness_;
 };
 
 }  // namespace sdsi::core

@@ -12,6 +12,7 @@
 #include "core/index_store.hpp"
 #include "core/precision.hpp"
 #include "core/query.hpp"
+#include "sim/simulator.hpp"
 #include "streams/summarizer.hpp"
 
 namespace sdsi::core {
@@ -47,6 +48,30 @@ struct AggregatorRecord {
   std::vector<SimilarityMatch> pending;     // to include in the next push
   std::unordered_set<StreamId> seen;        // cross-node deduplication
   std::uint64_t pushes = 0;
+
+  /// One match-bearing push awaiting its client ack (self-healing response
+  /// path): kept so a lost push can be retransmitted verbatim.
+  struct InflightPush {
+    std::vector<SimilarityMatch> matches;
+    sim::SimTime sent_at;
+    int attempts = 0;  // retransmissions so far
+  };
+  std::uint64_t next_push_seq = 1;
+  std::map<std::uint64_t, InflightPush> inflight;  // push_seq -> unacked
+};
+
+/// One acked MBR publication (self-healing data path): the batch was routed
+/// over [lo, hi] but the landing node has not confirmed storage yet, or it
+/// has and the record is retained so soft-state refresh can re-route it
+/// until the batch expires.
+struct PublishedMbr {
+  std::shared_ptr<const MbrPayload> payload;
+  Key lo = 0;
+  Key hi = 0;
+  sim::SimTime first_sent;
+  int attempts = 0;  // retransmissions so far
+  bool acked = false;
+  sim::TaskHandle retry_timer;
 };
 
 struct MiddlewareNode {
@@ -77,6 +102,14 @@ struct MiddlewareNode {
   std::unordered_map<StreamId,
                      std::vector<std::shared_ptr<const InnerProductQuery>>>
       pending_inner_queries;
+
+  /// Acked MBR publications originated here, keyed (stream, batch_seq).
+  /// Ordered so soft-state refresh walks batches deterministically.
+  std::map<std::pair<StreamId, std::uint64_t>, PublishedMbr> published_mbrs;
+
+  /// Location-get retries already spent per unresolved stream (drives the
+  /// capped exponential backoff); erased once the stream resolves.
+  std::unordered_map<StreamId, int> location_retry_attempts;
 };
 
 }  // namespace sdsi::core

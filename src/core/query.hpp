@@ -51,11 +51,25 @@ struct SimilarityMatch {
 // --- Routing payloads -------------------------------------------------------
 
 /// Payload of kMbrUpdate messages: one batch of summaries from one stream.
+///
+/// `expires` is the ABSOLUTE expiry instant, fixed once when the batch
+/// closes at the source. Retransmissions and soft-state refreshes re-send
+/// the same payload verbatim, so every replica — however late it lands —
+/// stores an identical entry and the store's (stream, batch_seq) dedup makes
+/// redelivery a no-op (self-healing never inflates match counts).
 struct MbrPayload {
   StreamId stream = 0;
   NodeIndex source = kInvalidNode;
   dsp::Mbr mbr;
   std::uint64_t batch_seq = 0;  // per-stream batch counter
+  sim::SimTime expires;         // born + mbr_lifespan, absolute
+};
+
+/// Payload of kMbrAck messages: the landing node of an MBR range multicast
+/// confirms storage back to the source (self-healing data path).
+struct MbrAckPayload {
+  StreamId stream = 0;
+  std::uint64_t batch_seq = 0;
 };
 
 /// Payload of kSimilarityQuery messages (shared across all range replicas).
@@ -91,6 +105,16 @@ struct ResponsePayload {
   bool inner_product = false;
   std::vector<SimilarityMatch> matches;  // new matches since last push
   double inner_product_value = 0.0;      // for inner-product subscriptions
+  NodeIndex aggregator = kInvalidNode;   // who to ack (kInvalidNode: no ack)
+  std::uint64_t push_seq = 0;            // per-(aggregator, query) push id
+};
+
+/// Payload of kResponseAck messages: the client confirms receipt of a
+/// match-bearing push so the aggregator can retire it from its in-flight
+/// window (otherwise the matches are re-queued after a timeout).
+struct ResponseAckPayload {
+  QueryId query = 0;
+  std::uint64_t push_seq = 0;
 };
 
 /// Location service payloads (Sec IV-D).

@@ -1,0 +1,49 @@
+// Degradation measurement: recall against a fault-free oracle.
+//
+// The oracle is a shadow IndexStore fed OUT OF BAND (no routing, no loss, no
+// crashes) with every MBR batch the sources publish and every similarity
+// query the clients pose. Sampling it with the brute-force matcher yields
+// the set of (query, stream) pairs an ideal fault-free system would report.
+// Recall of a real (possibly chaotic) run is then
+//
+//   |pairs the clients actually received  ∩  oracle pairs|
+//   ----------------------------------------------------- ,
+//                     |oracle pairs|
+//
+// restricted to queries whose client never crashed (a dead client's losses
+// are its own, not the index's). Because the shadow store sees publications
+// instantly, the oracle strictly upper-bounds any real run — the fault-free
+// run's recall is the fair reference ceiling, reported alongside.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "core/index_store.hpp"
+
+namespace sdsi::core {
+
+class RecallOracle {
+ public:
+  /// Mirrors one published MBR batch into the shadow store (idempotent via
+  /// the store's (stream, batch_seq) dedup, so refreshes are free to call).
+  void on_publish(const MbrPayload& payload, sim::SimTime now);
+
+  /// Mirrors one similarity subscription.
+  void on_subscribe(std::shared_ptr<const SimilarityQuery> query);
+
+  /// Runs the brute-force matcher at `now`, accumulating every fresh
+  /// (query, stream) pair into the oracle set.
+  void sample(sim::SimTime now);
+
+  const std::set<std::pair<QueryId, StreamId>>& pairs() const noexcept {
+    return pairs_;
+  }
+
+ private:
+  IndexStore shadow_;
+  std::set<std::pair<QueryId, StreamId>> pairs_;
+};
+
+}  // namespace sdsi::core

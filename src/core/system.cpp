@@ -24,7 +24,8 @@ MiddlewareSystem::MiddlewareSystem(routing::RoutingSystem& routing,
       config_(config),
       mapper_(routing.id_space()),
       metrics_(routing.num_nodes()),
-      nodes_(routing.num_nodes()) {
+      nodes_(routing.num_nodes()),
+      rng_(common::RngFactory(config.rng_seed).make("middleware.jitter")) {
   config_.features.validate();
   for (NodeIndex i = 0; i < nodes_.size(); ++i) {
     nodes_[i].index = i;
@@ -46,11 +47,17 @@ void MiddlewareSystem::start() {
   SDSI_CHECK(!started_);
   started_ = true;
   const std::int64_t period_us = config_.notify_period.count_micros();
+  const std::int64_t refresh_us = config_.mbr_refresh_period.count_micros();
   for (NodeIndex i = 0; i < nodes_.size(); ++i) {
     // Stagger ticks across one period: data centers do not share a clock.
     schedule_tick(i, sim::Duration::micros(
                          period_us * static_cast<std::int64_t>(i) /
                          static_cast<std::int64_t>(nodes_.size())));
+    if (refresh_us > 0) {
+      schedule_mbr_refresh(
+          i, sim::Duration::micros(refresh_us * static_cast<std::int64_t>(i) /
+                                   static_cast<std::int64_t>(nodes_.size())));
+    }
   }
 }
 
@@ -68,9 +75,27 @@ void MiddlewareSystem::attach_node(NodeIndex index) {
     nodes_.back().index = fresh;
     if (started_) {
       schedule_tick(fresh, sim::Duration());
+      if (config_.mbr_refresh_period > sim::Duration()) {
+        schedule_mbr_refresh(fresh, sim::Duration());
+      }
     }
   }
   metrics_.ensure_nodes(nodes_.size());
+}
+
+void MiddlewareSystem::reset_node_soft_state(NodeIndex index) {
+  MiddlewareNode& state = state_of(index);
+  state.store = IndexStore{};
+  state.aggregations.clear();
+  state.outgoing_reports.clear();
+  state.location_directory.clear();
+  state.location_cache.clear();
+  state.pending_inner_queries.clear();
+  for (auto& [key, pub] : state.published_mbrs) {
+    pub.retry_timer.cancel();
+  }
+  state.published_mbrs.clear();
+  state.location_retry_attempts.clear();
 }
 
 // --- Application primitives --------------------------------------------------
@@ -138,13 +163,20 @@ void MiddlewareSystem::route_mbr(NodeIndex source, LocalStream& stream,
                                  dsp::Mbr mbr) {
   const sim::SimTime now = routing_.simulator().now();
   const auto [lo, hi] = mapper_.mbr_range(mbr);
-  const auto payload = std::make_shared<const MbrPayload>(
-      MbrPayload{stream.id, source, std::move(mbr), stream.batch_seq++});
+  // The expiry instant is fixed HERE, once: retransmissions and refreshes
+  // re-send the identical payload, so every replica stores the same entry
+  // and redelivery stays idempotent.
+  const sim::SimTime expires = now + config_.mbr_lifespan;
+  const auto payload = std::make_shared<const MbrPayload>(MbrPayload{
+      stream.id, source, std::move(mbr), stream.batch_seq++, expires});
+  if (publish_hook_) {
+    publish_hook_(*payload);
+  }
 
   if (config_.store_local_summaries) {
     nodes_[source].store.add_mbr(IndexStore::StoredMbr{
         payload->stream, source, payload->mbr, payload->batch_seq, now,
-        now + config_.mbr_lifespan});
+        expires});
   }
 
   Message msg;
@@ -152,6 +184,148 @@ void MiddlewareSystem::route_mbr(NodeIndex source, LocalStream& stream,
   msg.payload = payload;
   routing_.send_range(source, lo, hi, std::move(msg), config_.multicast);
   ++mbrs_routed_;
+
+  if (config_.mbr_ack.enabled ||
+      config_.mbr_refresh_period > sim::Duration()) {
+    PublishedMbr pub;
+    pub.payload = payload;
+    pub.lo = lo;
+    pub.hi = hi;
+    pub.first_sent = now;
+    nodes_[source].published_mbrs.insert_or_assign(
+        std::make_pair(payload->stream, payload->batch_seq), std::move(pub));
+    if (config_.mbr_ack.enabled) {
+      arm_mbr_retry(source, payload->stream, payload->batch_seq);
+    }
+  }
+}
+
+sim::Duration MiddlewareSystem::backoff_delay(const RetryPolicy& policy,
+                                              int attempts) {
+  const std::int64_t cap = policy.max_backoff.count_micros();
+  std::int64_t delay = policy.timeout.count_micros();
+  for (int i = 0; i < attempts && delay < cap; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, cap);
+  const std::int64_t jitter_span = policy.jitter.count_micros();
+  if (jitter_span > 0) {
+    delay += rng_.uniform_int(0, jitter_span - 1);
+  }
+  return sim::Duration::micros(delay);
+}
+
+void MiddlewareSystem::note_mbr_ack(NodeIndex source, StreamId stream,
+                                    std::uint64_t seq) {
+  if (source >= nodes_.size()) {
+    return;
+  }
+  MiddlewareNode& state = nodes_[source];
+  const auto it = state.published_mbrs.find({stream, seq});
+  if (it == state.published_mbrs.end() || it->second.acked) {
+    return;
+  }
+  PublishedMbr& pub = it->second;
+  pub.acked = true;
+  pub.retry_timer.cancel();
+  if (metrics_.recording()) {
+    ++metrics_.robustness().mbr_acks;
+    if (pub.attempts > 0) {
+      const double ms =
+          (routing_.simulator().now() - pub.first_sent).as_millis();
+      metrics_.robustness().heal_latency_stats.add(ms);
+      metrics_.robustness().heal_latency_ms.add(ms);
+    }
+  }
+}
+
+void MiddlewareSystem::arm_mbr_retry(NodeIndex source, StreamId stream,
+                                     std::uint64_t seq) {
+  MiddlewareNode& state = nodes_[source];
+  const auto it = state.published_mbrs.find({stream, seq});
+  SDSI_CHECK(it != state.published_mbrs.end());
+  PublishedMbr& pub = it->second;
+  pub.retry_timer = routing_.simulator().schedule_after(
+      backoff_delay(config_.mbr_ack, pub.attempts),
+      [this, source, stream, seq] { on_mbr_ack_timeout(source, stream, seq); });
+}
+
+void MiddlewareSystem::on_mbr_ack_timeout(NodeIndex source, StreamId stream,
+                                          std::uint64_t seq) {
+  if (!routing_.is_alive(source)) {
+    return;  // a recovered source starts over via reset_node_soft_state
+  }
+  MiddlewareNode& state = nodes_[source];
+  const auto it = state.published_mbrs.find({stream, seq});
+  if (it == state.published_mbrs.end() || it->second.acked) {
+    return;
+  }
+  PublishedMbr& pub = it->second;
+  const sim::SimTime now = routing_.simulator().now();
+  if (pub.payload->expires <= now) {
+    state.published_mbrs.erase(it);  // batch lapsed; nothing left to heal
+    return;
+  }
+  if (pub.attempts >= config_.mbr_ack.max_attempts) {
+    if (metrics_.recording()) {
+      ++metrics_.robustness().mbr_retry_exhausted;
+    }
+    return;  // budget spent; the soft-state refresh is the backstop now
+  }
+  ++pub.attempts;
+  if (metrics_.recording()) {
+    ++metrics_.robustness().mbr_retries;
+  }
+  Message retry;
+  retry.kind = static_cast<int>(MsgKind::kMbrUpdate);
+  retry.payload = pub.payload;
+  routing_.send_range(source, pub.lo, pub.hi, std::move(retry),
+                      config_.multicast);
+  arm_mbr_retry(source, stream, seq);
+}
+
+void MiddlewareSystem::schedule_mbr_refresh(NodeIndex index,
+                                            sim::Duration offset) {
+  sim::Simulator& sim = routing_.simulator();
+  sim.schedule_periodic(sim.now() + offset + config_.mbr_refresh_period,
+                        config_.mbr_refresh_period,
+                        [this, index] { refresh_node_mbrs(index); });
+}
+
+void MiddlewareSystem::refresh_node_mbrs(NodeIndex index) {
+  if (!routing_.is_alive(index)) {
+    return;
+  }
+  MiddlewareNode& state = nodes_[index];
+  const sim::SimTime now = routing_.simulator().now();
+  for (auto it = state.published_mbrs.begin();
+       it != state.published_mbrs.end();) {
+    PublishedMbr& pub = it->second;
+    if (pub.payload->expires <= now) {
+      pub.retry_timer.cancel();
+      it = state.published_mbrs.erase(it);
+      continue;
+    }
+    Message msg;
+    msg.kind = static_cast<int>(MsgKind::kMbrUpdate);
+    msg.payload = pub.payload;
+    routing_.send_range(index, pub.lo, pub.hi, std::move(msg),
+                        config_.multicast);
+    if (metrics_.recording()) {
+      ++metrics_.robustness().mbr_refreshes;
+    }
+    ++it;
+  }
+  // Heal the h2 directory too: the fragment holding one of our streams'
+  // mappings may itself have crashed and lost the registration.
+  for (const auto& [stream_id, local] : state.streams) {
+    (void)local;
+    Message msg;
+    msg.kind = static_cast<int>(MsgKind::kLocationPut);
+    msg.payload = std::make_shared<const LocationPutPayload>(
+        LocationPutPayload{stream_id, index});
+    routing_.send(index, mapper_.key_for_stream(stream_id), std::move(msg));
+  }
 }
 
 QueryId MiddlewareSystem::subscribe_similarity(NodeIndex client,
@@ -165,6 +339,9 @@ QueryId MiddlewareSystem::subscribe_similarity(NodeIndex client,
 
   auto query = std::make_shared<const SimilarityQuery>(SimilarityQuery{
       id, client, std::move(features), radius, lifespan, now});
+  if (query_hook_) {
+    query_hook_(query);
+  }
   const auto [lo, hi] = mapper_.query_range(query->features, radius);
   const Key middle = routing_.id_space().midpoint(lo, hi);
 
@@ -292,19 +469,56 @@ void MiddlewareSystem::on_deliver(NodeIndex at, const Message& msg) {
     case MsgKind::kLocationReply:
       handle_location_reply(at, msg);
       return;
+    case MsgKind::kMbrAck:
+      handle_mbr_ack(at, msg);
+      return;
+    case MsgKind::kResponseAck:
+      handle_response_ack(at, msg);
+      return;
   }
   SDSI_CHECK(false);
 }
 
 void MiddlewareSystem::handle_mbr(NodeIndex at, const Message& msg) {
   const auto payload = payload_of<MbrPayload>(msg);
-  if (config_.store_local_summaries && at == payload->source) {
-    return;  // the source already stored this batch when it routed it
-  }
   const sim::SimTime now = routing_.simulator().now();
-  state_of(at).store.add_mbr(IndexStore::StoredMbr{
-      payload->stream, payload->source, payload->mbr, payload->batch_seq, now,
-      now + config_.mbr_lifespan});
+  if (!(config_.store_local_summaries && at == payload->source)) {
+    // The payload carries its absolute expiry, so a retransmitted or
+    // refreshed copy stores exactly what the first delivery would have.
+    const bool added = state_of(at).store.add_mbr(IndexStore::StoredMbr{
+        payload->stream, payload->source, payload->mbr, payload->batch_seq,
+        now, payload->expires});
+    if (!added && payload->expires > now && metrics_.recording()) {
+      ++metrics_.robustness().duplicate_stores;
+    }
+  }
+  if (!config_.mbr_ack.enabled || msg.range_internal) {
+    return;  // only the landing copy of a multicast acknowledges
+  }
+  if (at == payload->source) {
+    note_mbr_ack(at, payload->stream, payload->batch_seq);
+    return;
+  }
+  Message ack;
+  ack.kind = static_cast<int>(MsgKind::kMbrAck);
+  ack.payload = std::make_shared<const MbrAckPayload>(
+      MbrAckPayload{payload->stream, payload->batch_seq});
+  routing_.send_direct(at, payload->source, std::move(ack));
+}
+
+void MiddlewareSystem::handle_mbr_ack(NodeIndex at, const Message& msg) {
+  const auto payload = payload_of<MbrAckPayload>(msg);
+  note_mbr_ack(at, payload->stream, payload->batch_seq);
+}
+
+void MiddlewareSystem::handle_response_ack(NodeIndex at, const Message& msg) {
+  const auto payload = payload_of<ResponseAckPayload>(msg);
+  MiddlewareNode& state = state_of(at);
+  const auto it = state.aggregations.find(payload->query);
+  if (it == state.aggregations.end()) {
+    return;
+  }
+  it->second.inflight.erase(payload->push_seq);
 }
 
 void MiddlewareSystem::handle_similarity_query(NodeIndex at,
@@ -334,6 +548,15 @@ void MiddlewareSystem::handle_response(NodeIndex at, const Message& msg) {
     // the new owner of the client's ring id. Nothing to do but drop it.
     return;
   }
+  if (payload->aggregator != kInvalidNode && !payload->matches.empty()) {
+    // Confirm match-bearing pushes even when the query record is gone: the
+    // aggregator must stop retransmitting either way.
+    Message ack;
+    ack.kind = static_cast<int>(MsgKind::kResponseAck);
+    ack.payload = std::make_shared<const ResponseAckPayload>(
+        ResponseAckPayload{payload->query, payload->push_seq});
+    routing_.send_direct(at, payload->aggregator, std::move(ack));
+  }
   const auto it = client_records_.find(payload->query);
   if (it == client_records_.end()) {
     return;
@@ -344,8 +567,16 @@ void MiddlewareSystem::handle_response(NodeIndex at, const Message& msg) {
     record.first_response_at = routing_.simulator().now();
   }
   for (const SimilarityMatch& match : payload->matches) {
-    ++record.match_events;
-    record.matched_streams.insert(match.stream);
+    // Content-level dedup: retransmitted pushes and doubly-aggregated
+    // reports never inflate the match count.
+    if (record.matched_streams.insert(match.stream).second) {
+      ++record.match_events;
+    } else {
+      ++record.duplicate_match_events;
+      if (metrics_.recording()) {
+        ++metrics_.robustness().duplicate_matches;
+      }
+    }
   }
   if (payload->inner_product) {
     record.last_inner_value = payload->inner_product_value;
@@ -395,6 +626,7 @@ void MiddlewareSystem::retry_location_get(NodeIndex client, StreamId stream) {
   }
   const auto cached = state.location_cache.find(stream);
   if (cached != state.location_cache.end()) {
+    state.location_retry_attempts.erase(stream);
     std::vector<std::shared_ptr<const InnerProductQuery>> queries =
         std::move(pending->second);
     state.pending_inner_queries.erase(pending);
@@ -402,6 +634,9 @@ void MiddlewareSystem::retry_location_get(NodeIndex client, StreamId stream) {
       dispatch_inner_query(client, std::move(query), cached->second);
     }
     return;
+  }
+  if (metrics_.recording()) {
+    ++metrics_.robustness().location_retries;
   }
   Message msg;
   msg.kind = static_cast<int>(MsgKind::kLocationGet);
@@ -432,12 +667,24 @@ void MiddlewareSystem::handle_location_reply(NodeIndex at,
       state.pending_inner_queries.erase(pending);
       return;
     }
+    // Capped exponential backoff with jitter, not a flat notify_period:
+    // repeated unknowns mean the registration is slow or its directory
+    // fragment is down, so hammering the same key every period only adds
+    // load where the failure is.
     const StreamId stream = payload->stream;
+    const int attempts = state.location_retry_attempts[stream]++;
+    RetryPolicy policy;
+    policy.timeout = config_.notify_period;
+    policy.max_backoff =
+        sim::Duration::micros(config_.notify_period.count_micros() * 8);
+    policy.jitter =
+        sim::Duration::micros(config_.notify_period.count_micros() / 8);
     routing_.simulator().schedule_after(
-        config_.notify_period,
+        backoff_delay(policy, attempts),
         [this, at, stream] { retry_location_get(at, stream); });
     return;
   }
+  state.location_retry_attempts.erase(payload->stream);
   state.location_cache[payload->stream] = payload->source;
   if (pending == state.pending_inner_queries.end()) {
     return;
@@ -478,6 +725,18 @@ void MiddlewareSystem::periodic_tick(NodeIndex index) {
   }
   MiddlewareNode& state = nodes_[index];
   const sim::SimTime now = routing_.simulator().now();
+
+  // 0. Drop publication records whose batch lapsed (acked entries have no
+  //    timer left to prune them otherwise).
+  for (auto it = state.published_mbrs.begin();
+       it != state.published_mbrs.end();) {
+    if (it->second.payload->expires <= now) {
+      it->second.retry_timer.cancel();
+      it = state.published_mbrs.erase(it);
+    } else {
+      ++it;
+    }
+  }
 
   // 1. Detect new candidates against the local index (Eq. 8 / MBR bound).
   //    match() advances the store's expiry lanes itself, so no separate
@@ -527,17 +786,57 @@ void MiddlewareSystem::periodic_tick(NodeIndex index) {
   }
 
   // 3. Aggregators push periodic responses to their clients (Sec IV-F).
+  //    With response acks enabled, match-bearing pushes stay in an in-flight
+  //    window until the client confirms them; unacked pushes retransmit
+  //    verbatim (same push_seq — the client's content dedup makes
+  //    redelivery harmless) under the response_ack policy.
   for (auto it = state.aggregations.begin(); it != state.aggregations.end();) {
     AggregatorRecord& record = it->second;
     if (record.expires <= now) {
       it = state.aggregations.erase(it);
       continue;
     }
+    const QueryId query_id = it->first;
+    if (config_.response_ack.enabled) {
+      for (auto push = record.inflight.begin();
+           push != record.inflight.end();) {
+        AggregatorRecord::InflightPush& inflight = push->second;
+        if (now - inflight.sent_at < config_.response_ack.timeout) {
+          ++push;
+          continue;
+        }
+        if (inflight.attempts >= config_.response_ack.max_attempts) {
+          push = record.inflight.erase(push);  // budget spent
+          continue;
+        }
+        ++inflight.attempts;
+        inflight.sent_at = now;
+        if (metrics_.recording()) {
+          ++metrics_.robustness().response_retries;
+        }
+        Message resend;
+        resend.kind = static_cast<int>(MsgKind::kResponse);
+        resend.payload = std::make_shared<const ResponsePayload>(
+            ResponsePayload{query_id, record.client, false, inflight.matches,
+                            0.0, index, push->first});
+        routing_.send(index, routing_.node_id(record.client),
+                      std::move(resend));
+        ++push;
+      }
+    }
+    const bool track = config_.response_ack.enabled && !record.pending.empty();
+    const std::uint64_t seq = track ? record.next_push_seq++ : 0;
+    std::vector<SimilarityMatch> matches = std::move(record.pending);
+    record.pending.clear();
+    if (track) {
+      record.inflight.emplace(
+          seq, AggregatorRecord::InflightPush{matches, now, 0});
+    }
     Message msg;
     msg.kind = static_cast<int>(MsgKind::kResponse);
     msg.payload = std::make_shared<const ResponsePayload>(ResponsePayload{
-        it->first, record.client, false, std::move(record.pending), 0.0});
-    record.pending.clear();
+        query_id, record.client, false, std::move(matches), 0.0,
+        config_.response_ack.enabled ? index : kInvalidNode, seq});
     ++record.pushes;
     routing_.send(index, routing_.node_id(record.client), std::move(msg));
     ++it;

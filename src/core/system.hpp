@@ -27,6 +27,18 @@
 
 namespace sdsi::core {
 
+/// Capped exponential backoff with seeded jitter, shared by the acked MBR
+/// publication and acked response paths. Retry n (0-based) waits
+/// min(timeout * 2^n, max_backoff) + uniform[0, jitter) before giving the
+/// transmission up for lost.
+struct RetryPolicy {
+  bool enabled = false;
+  sim::Duration timeout = sim::Duration::millis(1500);
+  sim::Duration max_backoff = sim::Duration::millis(12'000);
+  sim::Duration jitter = sim::Duration::millis(250);
+  int max_attempts = 4;  // retransmission budget beyond the first send
+};
+
 struct MiddlewareConfig {
   /// Window/coefficient/normalization scheme (Sec III-C).
   dsp::FeatureConfig features;
@@ -58,6 +70,27 @@ struct MiddlewareConfig {
   /// forced to adaptive mode and a per-stream AdaptivePrecisionController
   /// retunes the extent budget against the observed emission rate.
   std::optional<AdaptivePrecisionController::Options> adaptive_precision;
+
+  // --- Self-healing data path (fault-tolerance extension) -----------------
+
+  /// Acked MBR publication: the landing node of each range multicast
+  /// confirms storage; unacked batches are retransmitted under this policy.
+  RetryPolicy mbr_ack;
+
+  /// Acked match-bearing response pushes: unacked pushes are retransmitted
+  /// verbatim on later ticks under this policy (timeout + max_attempts; the
+  /// notify period is the effective backoff base).
+  RetryPolicy response_ack;
+
+  /// Soft-state refresh of published MBRs: each source re-routes its live
+  /// unexpired batches (and re-registers its streams with the location
+  /// service) at this period, healing state lost to drops or node crashes —
+  /// the MBR-side mirror of query_refresh_period. Zero disables.
+  sim::Duration mbr_refresh_period = sim::Duration();
+
+  /// Seed of the middleware's own randomness (retry jitter); fixed default
+  /// keeps runs reproducible.
+  std::uint64_t rng_seed = 0x5d51c0de;
 };
 
 /// What a client has observed for one of its continuous queries.
@@ -68,9 +101,12 @@ struct ClientQueryRecord {
   sim::SimTime issued_at;
   sim::SimTime expires;
   std::uint64_t responses_received = 0;
-  /// Total SimilarityMatch entries received across all responses; equals
-  /// matched_streams.size() exactly when aggregation deduplicated perfectly.
+  /// Distinct matched streams reported across all responses (content-level
+  /// dedup: a retransmitted or doubly-aggregated match never counts twice,
+  /// so self-healing cannot inflate this).
   std::uint64_t match_events = 0;
+  /// Match entries suppressed because their stream was already counted.
+  std::uint64_t duplicate_match_events = 0;
   std::unordered_set<StreamId> matched_streams;
   double last_inner_value = 0.0;
   std::uint64_t inner_updates = 0;
@@ -149,6 +185,14 @@ class MiddlewareSystem {
   /// paper's "seamless addition of new data centers".
   void attach_node(NodeIndex index);
 
+  /// Models the state loss of a crash: wipes everything the node held as
+  /// soft state (stored MBRs and subscriptions, aggregations, buffered
+  /// reports, location directory/cache, pending resolutions, publication
+  /// records). Local streams survive — a restarted data center still owns
+  /// its data sources (warm restart) and re-registers them on the next
+  /// refresh. Call when a crashed node recovers into the ring.
+  void reset_node_soft_state(NodeIndex index);
+
   const MiddlewareNode& node(NodeIndex index) const {
     SDSI_CHECK(index < nodes_.size());
     return nodes_[index];
@@ -171,6 +215,19 @@ class MiddlewareSystem {
   /// Runs one synchronous tick on every node (tests drive time manually).
   void tick_all_nodes();
 
+  // --- Observation hooks (recall-oracle feeding) --------------------------
+
+  /// Called synchronously whenever a source closes and routes an MBR batch
+  /// (first publication only — not retries or refreshes).
+  using MbrPublishHook = std::function<void(const MbrPayload&)>;
+  /// Called synchronously whenever a similarity query is posed.
+  using QueryPoseHook =
+      std::function<void(std::shared_ptr<const SimilarityQuery>)>;
+  void set_publish_hook(MbrPublishHook hook) {
+    publish_hook_ = std::move(hook);
+  }
+  void set_query_hook(QueryPoseHook hook) { query_hook_ = std::move(hook); }
+
  private:
   using Message = routing::Message;
 
@@ -179,6 +236,8 @@ class MiddlewareSystem {
   void handle_similarity_query(NodeIndex at, const Message& msg);
   void handle_inner_query(NodeIndex at, const Message& msg);
   void handle_response(NodeIndex at, const Message& msg);
+  void handle_mbr_ack(NodeIndex at, const Message& msg);
+  void handle_response_ack(NodeIndex at, const Message& msg);
   void handle_neighbor_digest(NodeIndex at, const Message& msg);
   void handle_location_put(NodeIndex at, const Message& msg);
   void handle_location_get(NodeIndex at, const Message& msg);
@@ -211,6 +270,25 @@ class MiddlewareSystem {
   /// came back unknown (registration racing through the overlay).
   void retry_location_get(NodeIndex client, StreamId stream);
 
+  /// Delay before retry number `attempts` (0-based) under `policy`:
+  /// min(timeout * 2^attempts, max_backoff) + uniform[0, jitter).
+  sim::Duration backoff_delay(const RetryPolicy& policy, int attempts);
+
+  /// Marks (stream, batch_seq) as confirmed stored at `source`; records the
+  /// heal latency when retransmissions were needed. No-op if the record is
+  /// gone or already confirmed.
+  void note_mbr_ack(NodeIndex source, StreamId stream, std::uint64_t seq);
+
+  /// (Re)arms the ack timeout of a tracked publication.
+  void arm_mbr_retry(NodeIndex source, StreamId stream, std::uint64_t seq);
+  void on_mbr_ack_timeout(NodeIndex source, StreamId stream,
+                          std::uint64_t seq);
+
+  /// Soft-state refresh body for one node: re-route every live published
+  /// batch and re-register local streams with the location service.
+  void refresh_node_mbrs(NodeIndex index);
+  void schedule_mbr_refresh(NodeIndex index, sim::Duration offset);
+
   routing::RoutingSystem& routing_;
   MiddlewareConfig config_;
   SummaryMapper mapper_;
@@ -220,6 +298,9 @@ class MiddlewareSystem {
   QueryId next_query_id_ = 1;
   std::uint64_t mbrs_routed_ = 0;
   bool started_ = false;
+  common::Pcg32 rng_;  // retry jitter (seeded from config; reproducible)
+  MbrPublishHook publish_hook_;
+  QueryPoseHook query_hook_;
 };
 
 }  // namespace sdsi::core

@@ -1,0 +1,82 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace sdsi::fault {
+
+FaultInjector::FaultInjector(sim::Simulator& simulator, FaultPlan plan,
+                             MembershipHooks hooks, common::Pcg32 rng)
+    : sim_(simulator),
+      plan_(std::move(plan)),
+      hooks_(std::move(hooks)),
+      rng_(rng) {
+  if (!plan_.crash_waves.empty()) {
+    SDSI_CHECK(hooks_.alive_nodes && hooks_.crash && hooks_.recover &&
+               hooks_.maintenance);
+  }
+  for (const CrashWave& wave : plan_.crash_waves) {
+    SDSI_CHECK(wave.fraction >= 0.0 && wave.fraction < 1.0);
+    const sim::SimTime wave_clear =
+        wave.down_for > sim::Duration() ? wave.at + wave.down_for : wave.at;
+    clear_at_ = std::max(clear_at_, wave_clear);
+  }
+  for (const KeyRangePartition& partition : plan_.partitions) {
+    clear_at_ = std::max(clear_at_, partition.until);
+  }
+}
+
+void FaultInjector::arm() {
+  SDSI_CHECK(!armed_);
+  armed_ = true;
+  for (const CrashWave& wave : plan_.crash_waves) {
+    sim_.schedule_at(wave.at, [this, wave] { execute_wave(wave); });
+  }
+}
+
+void FaultInjector::execute_wave(const CrashWave& wave) {
+  std::vector<NodeIndex> alive = hooks_.alive_nodes();
+  // Never take the ring below two nodes: the scenario is degraded service,
+  // not total annihilation.
+  const auto target = static_cast<std::size_t>(
+      wave.fraction * static_cast<double>(alive.size()));
+  const std::size_t count =
+      std::min(target, alive.size() >= 2 ? alive.size() - 2 : 0);
+
+  // Seeded partial Fisher-Yates: pick `count` victims uniformly.
+  std::vector<NodeIndex> victims;
+  victims.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto remaining = static_cast<std::uint32_t>(alive.size() - i);
+    const std::size_t pick = i + rng_.bounded(remaining);
+    std::swap(alive[i], alive[pick]);
+    victims.push_back(alive[i]);
+  }
+
+  for (const NodeIndex victim : victims) {
+    hooks_.crash(victim);
+    ever_crashed_.insert(victim);
+    down_.insert(victim);
+    ++crashes_;
+  }
+  if (!victims.empty()) {
+    hooks_.maintenance(wave.maintenance_rounds);
+  }
+
+  if (wave.down_for > sim::Duration()) {
+    sim_.schedule_after(wave.down_for, [this, victims, wave] {
+      for (const NodeIndex victim : victims) {
+        hooks_.recover(victim);
+        down_.erase(victim);
+        ++recoveries_;
+      }
+      if (!victims.empty()) {
+        hooks_.maintenance(wave.maintenance_rounds);
+      }
+    });
+  }
+}
+
+}  // namespace sdsi::fault

@@ -1,0 +1,75 @@
+// Drives the scheduled (time-based) fault processes of a FaultPlan against
+// the simulator: crash/recover waves interleaved with substrate maintenance
+// rounds. Link-level faults (loss, jitter, partitions) live in the
+// LinkFaultModel the plan also configures; the Experiment installs that on
+// the RoutingSystem and arms this injector for the membership side.
+//
+// The injector is substrate-agnostic: membership operations are injected as
+// callbacks so the fault library never depends on chord:: (the Experiment
+// wires ChordNetwork::crash / recover / run_maintenance_rounds in).
+#pragma once
+
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "fault/model.hpp"
+#include "sim/simulator.hpp"
+
+namespace sdsi::fault {
+
+/// Membership operations a crash wave needs from the substrate.
+struct MembershipHooks {
+  /// Indices of currently alive nodes, in a deterministic order.
+  std::function<std::vector<NodeIndex>()> alive_nodes;
+  std::function<void(NodeIndex)> crash;
+  std::function<void(NodeIndex)> recover;
+  /// Runs `rounds` of substrate self-maintenance (e.g. Chord stabilize +
+  /// fix-fingers sweeps) so the ring heals around the membership change.
+  std::function<void(int rounds)> maintenance;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulator& simulator, FaultPlan plan,
+                MembershipHooks hooks, common::Pcg32 rng);
+
+  /// Schedules every crash wave of the plan (idempotent; call once).
+  void arm();
+
+  /// Nodes crashed by any wave so far (recovered or not). Recall metrics
+  /// exclude queries posed by these clients: a crashed client's losses are
+  /// its own, not the index's.
+  const std::unordered_set<NodeIndex>& ever_crashed() const noexcept {
+    return ever_crashed_;
+  }
+
+  /// Nodes currently down.
+  const std::unordered_set<NodeIndex>& currently_down() const noexcept {
+    return down_;
+  }
+
+  std::uint64_t crashes_executed() const noexcept { return crashes_; }
+  std::uint64_t recoveries_executed() const noexcept { return recoveries_; }
+
+  /// Latest instant at which any scheduled fault process is still active
+  /// (last recovery, last partition end, last permanent-crash wave time).
+  /// Measurement of "recovered recall" should start after this.
+  sim::SimTime faults_clear_at() const noexcept { return clear_at_; }
+
+ private:
+  void execute_wave(const CrashWave& wave);
+
+  sim::Simulator& sim_;
+  FaultPlan plan_;
+  MembershipHooks hooks_;
+  common::Pcg32 rng_;
+  bool armed_ = false;
+  std::unordered_set<NodeIndex> ever_crashed_;
+  std::unordered_set<NodeIndex> down_;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t recoveries_ = 0;
+  sim::SimTime clear_at_;
+};
+
+}  // namespace sdsi::fault

@@ -1,0 +1,140 @@
+// Structured fault injection (robustness layer).
+//
+// The paper's middleware is soft-state by design (Sec IV: MBRs expire after
+// BSPAN, subscriptions refresh, Chord heals via stabilization), so graceful
+// degradation under faults is a property worth *measuring*, not assuming.
+// This module provides the fault processes a chaos scenario composes:
+//
+//  - uniform i.i.d. link loss (the legacy model, kept for comparability);
+//  - bursty Gilbert-Elliott link loss: a two-state Markov chain (good/bad)
+//    sampled per transmission, producing the correlated loss runs real WANs
+//    exhibit — a burst can swallow an entire range multicast;
+//  - per-transmission latency jitter, uniform in [0, max];
+//  - key-range partitions: during a time window, every transmission routed
+//    toward a key inside the clockwise range [lo, hi] is dropped (a blackout
+//    of one arc of the ring);
+//  - scheduled crash/recover waves, executed by the FaultInjector
+//    (fault/injector.hpp) against the substrate's membership API.
+//
+// All processes draw from one seeded Pcg32, so a chaos run is exactly as
+// bit-reproducible as a fault-free one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/ring_math.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/time.hpp"
+
+namespace sdsi::fault {
+
+/// Why a transmission (or routed message) was dropped. The first three are
+/// link-level faults injected by the LinkFaultModel; the last two are
+/// routing-level losses (messages that died inside the overlay) which the
+/// substrates report so every loss is accounted for under one label set.
+enum class DropCause : std::size_t {
+  kUniformLoss = 0,  // i.i.d. loss model
+  kBurstLoss = 1,    // Gilbert-Elliott bad-state loss
+  kPartition = 2,    // key-range blackout window
+  kDeadNode = 3,     // next hop / destination crashed mid-route
+  kHopLimit = 4,     // routing-loop safety valve (mid-churn only)
+  kCount = 5,
+};
+
+inline const char* drop_cause_name(DropCause cause) {
+  switch (cause) {
+    case DropCause::kUniformLoss: return "uniform loss";
+    case DropCause::kBurstLoss: return "burst loss";
+    case DropCause::kPartition: return "partition";
+    case DropCause::kDeadNode: return "dead node";
+    case DropCause::kHopLimit: return "hop limit";
+    case DropCause::kCount: break;
+  }
+  return "?";
+}
+
+/// Two-state Markov loss (Gilbert-Elliott). State transitions are sampled
+/// once per transmission; mean burst length = 1 / p_bad_to_good, stationary
+/// loss rate = loss_bad * p_good_to_bad / (p_good_to_bad + p_bad_to_good)
+/// (+ the loss_good floor).
+struct GilbertElliottParams {
+  double p_good_to_bad = 0.01;
+  double p_bad_to_good = 0.25;
+  double loss_good = 0.0;  // residual loss in the good state
+  double loss_bad = 1.0;   // loss probability inside a burst
+};
+
+/// Blackout of the clockwise key range [lo, hi] during [from, until):
+/// transmissions *toward* a key in the range are dropped at the sender.
+struct KeyRangePartition {
+  Key lo = 0;
+  Key hi = 0;
+  sim::SimTime from;
+  sim::SimTime until;
+};
+
+/// At time `at`, crash floor(fraction * alive) nodes (chosen seeded-uniform
+/// among the alive set); if down_for > 0, recover them that much later.
+/// After every membership change the injector runs `maintenance_rounds` of
+/// substrate stabilization, modeling a ring that keeps healing itself.
+struct CrashWave {
+  sim::SimTime at;
+  double fraction = 0.0;
+  sim::Duration down_for;  // zero = the nodes stay down
+  int maintenance_rounds = 4;
+};
+
+/// Per-transmission extra latency, uniform in [0, max].
+struct LatencyJitter {
+  sim::Duration max;
+};
+
+/// A composed chaos scenario. Empty (the default) injects nothing.
+struct FaultPlan {
+  double uniform_loss = 0.0;
+  std::optional<GilbertElliottParams> burst_loss;
+  std::optional<LatencyJitter> jitter;
+  std::vector<KeyRangePartition> partitions;
+  std::vector<CrashWave> crash_waves;
+
+  bool has_link_faults() const noexcept {
+    return uniform_loss > 0.0 || burst_loss.has_value() ||
+           jitter.has_value() || !partitions.empty();
+  }
+  bool empty() const noexcept {
+    return !has_link_faults() && crash_waves.empty();
+  }
+};
+
+/// The seeded link-level sampler a RoutingSystem consults on every
+/// transmission. Owns the Markov chain state and the jitter stream.
+class LinkFaultModel {
+ public:
+  LinkFaultModel(FaultPlan plan, common::IdSpace space, common::Pcg32 rng);
+
+  /// Samples whether the transmission toward `target_key` at `now` is lost;
+  /// returns the cause, or nullopt when it goes through. Partition checks
+  /// run first (deterministic), then uniform, then the burst chain — the
+  /// chain advances on every non-partitioned transmission so burst structure
+  /// is independent of the other processes.
+  std::optional<DropCause> sample_drop(Key target_key, sim::SimTime now);
+
+  /// Extra latency for this transmission (zero without a jitter process).
+  sim::Duration sample_jitter();
+
+  /// Whether the burst chain currently sits in the bad state (tests).
+  bool in_burst() const noexcept { return in_bad_state_; }
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  common::IdSpace space_;
+  common::Pcg32 rng_;
+  bool in_bad_state_ = false;
+};
+
+}  // namespace sdsi::fault

@@ -13,20 +13,30 @@ RoutingSystem::RoutingSystem(sim::Simulator& simulator, common::IdSpace space,
 }
 
 void RoutingSystem::set_message_loss(double probability, common::Pcg32 rng) {
-  SDSI_CHECK(probability >= 0.0 && probability < 1.0);
+  // probability == 1.0 is a deliberate total blackout (partition tests):
+  // uniform01() < 1.0 always holds, so every transmission drops.
+  SDSI_CHECK(probability >= 0.0 && probability <= 1.0);
   loss_probability_ = probability;
   loss_rng_ = rng;
 }
 
-bool RoutingSystem::message_lost() {
-  if (loss_probability_ <= 0.0 || !loss_rng_.has_value()) {
-    return false;
+bool RoutingSystem::message_lost(const Message& msg) {
+  if (loss_probability_ > 0.0 && loss_rng_.has_value() &&
+      loss_rng_->uniform01() < loss_probability_) {
+    ++dropped_;
+    record_drop(fault::DropCause::kUniformLoss, msg);
+    return true;
   }
-  if (loss_rng_->uniform01() >= loss_probability_) {
-    return false;
+  if (fault_model_ != nullptr) {
+    const std::optional<fault::DropCause> cause =
+        fault_model_->sample_drop(msg.target_key, sim_.now());
+    if (cause.has_value()) {
+      ++dropped_;
+      record_drop(*cause, msg);
+      return true;
+    }
   }
-  ++dropped_;
-  return true;
+  return false;
 }
 
 void RoutingSystem::send(NodeIndex from, Key key, Message msg) {
@@ -36,7 +46,7 @@ void RoutingSystem::send(NodeIndex from, Key key, Message msg) {
   msg.hops = 0;
   msg.sent_at = sim_.now();
   notify_send(from, msg);
-  if (message_lost()) {
+  if (message_lost(msg)) {
     return;
   }
   route_to_key(from, msg.target_key, std::move(msg));
@@ -49,7 +59,7 @@ void RoutingSystem::send_direct(NodeIndex from, NodeIndex to, Message msg) {
   msg.hops = 0;
   msg.sent_at = sim_.now();
   notify_send(from, msg);
-  if (message_lost()) {
+  if (message_lost(msg)) {
     return;
   }
   route_direct(from, to, std::move(msg));
@@ -57,6 +67,7 @@ void RoutingSystem::send_direct(NodeIndex from, NodeIndex to, Message msg) {
 
 void RoutingSystem::send_range(NodeIndex from, Key lo, Key hi, Message msg,
                                MulticastStrategy strategy) {
+  SDSI_CHECK(is_alive(from));
   msg.has_range = true;
   msg.range_lo = space_.wrap(lo);
   msg.range_hi = space_.wrap(hi);
@@ -114,7 +125,7 @@ void RoutingSystem::forward_range_copies(NodeIndex at, const Message& msg) {
     copy.hops = 0;
     copy.target_key = node_id(successor_index(at));
     notify_send(at, copy);
-    if (!message_lost()) {
+    if (!message_lost(copy)) {
       route_direct(at, successor_index(at), std::move(copy));
     }
   }
@@ -126,7 +137,7 @@ void RoutingSystem::forward_range_copies(NodeIndex at, const Message& msg) {
     copy.hops = 0;
     copy.target_key = node_id(predecessor_index(at));
     notify_send(at, copy);
-    if (!message_lost()) {
+    if (!message_lost(copy)) {
       route_direct(at, predecessor_index(at), std::move(copy));
     }
   }

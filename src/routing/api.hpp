@@ -15,13 +15,16 @@
 //    (Sec VI-B; same message count, roughly half the delay).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <optional>
 
 #include "common/ring_math.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "fault/model.hpp"
 #include "routing/message.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
@@ -49,6 +52,13 @@ class MetricsHook {
 
   /// A message reached the node responsible for it.
   virtual void on_deliver(NodeIndex at, const Message& msg) = 0;
+
+  /// A transmission or routed message was dropped, with its cause. Default
+  /// no-op so existing hooks keep compiling.
+  virtual void on_drop(fault::DropCause cause, const Message& msg) {
+    (void)cause;
+    (void)msg;
+  }
 };
 
 /// Application upcall invoked when a message is delivered at a node.
@@ -89,11 +99,38 @@ class RoutingSystem {
   /// Failure injection: every transmission is independently lost with
   /// `probability`. The middleware's soft state (periodic MBRs, periodic
   /// responses, refreshes) must tolerate this; tests and benches exercise
-  /// it. Pass 0 to disable.
+  /// it. Pass 0 to disable, 1.0 for a total blackout (partition tests).
   void set_message_loss(double probability, common::Pcg32 rng);
 
-  /// Transmissions dropped by the loss model so far.
+  /// Structured fault injection (fault/model.hpp): bursty loss, key-range
+  /// partitions, latency jitter. Composes with the legacy uniform model
+  /// (both are sampled; either can drop). Pass nullptr to remove.
+  void set_fault_model(std::shared_ptr<fault::LinkFaultModel> model) {
+    fault_model_ = std::move(model);
+  }
+  const fault::LinkFaultModel* fault_model() const noexcept {
+    return fault_model_.get();
+  }
+
+  /// Transmissions dropped by the link-level loss models so far (uniform +
+  /// burst + partition; routing-level losses are counted per cause below).
   std::uint64_t dropped_messages() const noexcept { return dropped_; }
+
+  /// Drops recorded under one cause label — unified accounting across the
+  /// link loss models (kUniformLoss/kBurstLoss/kPartition) and the
+  /// routing-level losses substrates report (kDeadNode/kHopLimit).
+  std::uint64_t drop_count(fault::DropCause cause) const noexcept {
+    return drops_by_cause_[static_cast<std::size_t>(cause)];
+  }
+
+  /// Sum over every cause label.
+  std::uint64_t total_drops() const noexcept {
+    std::uint64_t total = 0;
+    for (const std::uint64_t count : drops_by_cause_) {
+      total += count;
+    }
+    return total;
+  }
 
   /// Routes `msg` to successor(key) through the overlay ("put"/"get").
   void send(NodeIndex from, Key key, Message msg);
@@ -127,8 +164,29 @@ class RoutingSystem {
     }
   }
 
-  /// Loss-model sample: true when this transmission should vanish.
-  bool message_lost();
+  /// Loss-model sample: true when this transmission should vanish. Consults
+  /// the legacy uniform model, then the structured fault model; records the
+  /// drop (counter + cause + metrics hook) itself.
+  bool message_lost(const Message& msg);
+
+  /// Routing-level loss accounting for substrates (dead next hop, hop-limit
+  /// safety valve): counts under the cause label and tells the hook.
+  void record_drop(fault::DropCause cause, const Message& msg) {
+    ++drops_by_cause_[static_cast<std::size_t>(cause)];
+    if (metrics_ != nullptr) {
+      metrics_->on_drop(cause, msg);
+    }
+  }
+
+  /// Per-transmission latency: the constant hop latency plus any jitter the
+  /// fault model injects. Substrates use this wherever they simulate a hop.
+  sim::Duration transmission_latency() {
+    if (fault_model_ != nullptr) {
+      return hop_latency_ + fault_model_->sample_jitter();
+    }
+    return hop_latency_;
+  }
+
   void notify_transit(NodeIndex via, const Message& msg) {
     if (metrics_ != nullptr) {
       metrics_->on_transit(via, msg);
@@ -145,7 +203,10 @@ class RoutingSystem {
   MetricsHook* metrics_ = nullptr;
   double loss_probability_ = 0.0;
   std::optional<common::Pcg32> loss_rng_;
+  std::shared_ptr<fault::LinkFaultModel> fault_model_;
   std::uint64_t dropped_ = 0;
+  std::array<std::uint64_t, static_cast<std::size_t>(fault::DropCause::kCount)>
+      drops_by_cause_{};
 };
 
 }  // namespace sdsi::routing

@@ -192,6 +192,7 @@ void PrefixRing::route_to_key(NodeIndex from, Key key, Message msg) {
 void PrefixRing::route_step(NodeIndex current, Key key, Message msg) {
   if (msg.hops > config_.max_route_hops) {
     ++lost_messages_;
+    record_drop(fault::DropCause::kHopLimit, msg);
     return;
   }
   bool final_here = false;
@@ -204,7 +205,7 @@ void PrefixRing::route_step(NodeIndex current, Key key, Message msg) {
     notify_transit(current, msg);
   }
   msg.hops += 1;
-  simulator().schedule_after(hop_latency(),
+  simulator().schedule_after(transmission_latency(),
                              [this, next, key, m = std::move(msg)]() mutable {
                                route_step(next, key, std::move(m));
                              });
@@ -213,7 +214,7 @@ void PrefixRing::route_step(NodeIndex current, Key key, Message msg) {
 void PrefixRing::route_direct(NodeIndex from, NodeIndex to, Message msg) {
   SDSI_CHECK(to < nodes_.size());
   msg.hops = from == to ? 0 : 1;
-  const sim::Duration delay = from == to ? sim::Duration() : hop_latency();
+  const sim::Duration delay = from == to ? sim::Duration() : transmission_latency();
   simulator().schedule_after(delay, [this, to, m = std::move(msg)]() mutable {
     deliver_at(to, std::move(m));
   });

@@ -70,7 +70,7 @@ void StaticRing::route_to_key(NodeIndex from, Key key, Message msg) {
     return;
   }
   msg.hops = 1;
-  simulator().schedule_after(hop_latency(),
+  simulator().schedule_after(transmission_latency(),
                              [this, dst, m = std::move(msg)]() mutable {
                                deliver_at(dst, std::move(m));
                              });
@@ -80,7 +80,7 @@ void StaticRing::route_direct(NodeIndex from, NodeIndex to, Message msg) {
   SDSI_CHECK(to < ids_.size());
   msg.hops = from == to ? 0 : 1;
   const sim::Duration delay =
-      from == to ? sim::Duration() : hop_latency();
+      from == to ? sim::Duration() : transmission_latency();
   simulator().schedule_after(delay, [this, to, m = std::move(msg)]() mutable {
     deliver_at(to, std::move(m));
   });

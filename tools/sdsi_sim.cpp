@@ -8,6 +8,9 @@
 //            [--multicast seq|bidir] [--beta B] [--window W] [--coeffs K]
 //            [--warmup SECONDS] [--measure SECONDS] [--query-rate Q]
 //            [--adaptive-precision] [--loss P]
+//            [--burst-loss P] [--crash-wave F] [--jitter MS]
+//            [--mbr-acks] [--response-acks] [--mbr-refresh S]
+//            [--query-refresh S] [--oracle S] [--drain S]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,7 +40,16 @@ using namespace sdsi;
       "  --query-rate Q       queries per second (default 2)\n"
       "  --family KIND        walk | stock | hostload (default walk)\n"
       "  --adaptive-precision enable the Sec VI-A closed loop\n"
-      "  --loss P             message loss probability (default 0)\n",
+      "  --loss P             message loss probability (default 0)\n"
+      "  --burst-loss P       Gilbert-Elliott bursty loss, stationary rate P\n"
+      "  --crash-wave F       crash fraction F at warmup+10s, recover 20s later\n"
+      "  --jitter MS          per-transmission latency jitter, uniform [0,MS]\n"
+      "  --mbr-acks           acked MBR publication with retry/backoff\n"
+      "  --response-acks      acked match pushes with retransmission\n"
+      "  --mbr-refresh S      soft-state MBR re-routing period (0 = off)\n"
+      "  --query-refresh S    subscription refresh period (0 = off)\n"
+      "  --oracle S           recall-oracle sampling period (enables recall)\n"
+      "  --drain S            settling time after measure before reports\n",
       argv0);
   std::exit(2);
 }
@@ -64,6 +76,7 @@ long parse_long(const char* text, const char* argv0) {
 
 int main(int argc, char** argv) {
   core::ExperimentConfig config = bench::paper_experiment(100);
+  double crash_fraction = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const auto is = [&](const char* flag) {
@@ -140,9 +153,48 @@ int main(int argc, char** argv) {
       }
     } else if (is("--loss")) {
       config.message_loss = parse_double(value(), argv[0]);
+    } else if (is("--burst-loss")) {
+      const double rate = parse_double(value(), argv[0]);
+      if (rate > 0.0) {
+        // Mean burst length 4 transmissions; solve p_g2b for the requested
+        // stationary loss rate (see fault::GilbertElliottParams).
+        fault::GilbertElliottParams burst;
+        burst.p_bad_to_good = 0.25;
+        burst.p_good_to_bad = 0.25 * rate / (1.0 - rate);
+        config.faults.burst_loss = burst;
+      }
+    } else if (is("--crash-wave")) {
+      crash_fraction = parse_double(value(), argv[0]);
+    } else if (is("--jitter")) {
+      config.faults.jitter = fault::LatencyJitter{
+          sim::Duration::seconds(parse_double(value(), argv[0]) / 1000.0)};
+    } else if (is("--mbr-acks")) {
+      config.mbr_acks = true;
+    } else if (is("--response-acks")) {
+      config.response_acks = true;
+    } else if (is("--mbr-refresh")) {
+      config.mbr_refresh_period =
+          sim::Duration::seconds(parse_double(value(), argv[0]));
+    } else if (is("--query-refresh")) {
+      config.query_refresh_period =
+          sim::Duration::seconds(parse_double(value(), argv[0]));
+    } else if (is("--oracle")) {
+      config.oracle_sample_period =
+          sim::Duration::seconds(parse_double(value(), argv[0]));
+    } else if (is("--drain")) {
+      config.drain = sim::Duration::seconds(parse_double(value(), argv[0]));
     } else {
       usage(argv[0]);
     }
+  }
+  if (crash_fraction > 0.0) {
+    // The canonical chaos wave: hits 10s into the measurement ramp,
+    // recovers 20s later, Chord maintenance heals the ring around it.
+    fault::CrashWave wave;
+    wave.at = sim::SimTime::zero() + config.warmup + sim::Duration::seconds(10);
+    wave.fraction = crash_fraction;
+    wave.down_for = sim::Duration::seconds(20);
+    config.faults.crash_waves.push_back(wave);
   }
 
   std::printf("sdsi_sim: %zu nodes, radius %.2f, seed %llu\n",
@@ -190,5 +242,48 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(quality.responses_received),
       static_cast<unsigned long long>(quality.matches_reported),
       quality.mean_first_response_ms);
+
+  const bool chaos_run = !config.faults.empty() || config.mbr_acks ||
+                         config.mbr_refresh_period > sim::Duration() ||
+                         config.oracle_sample_period > sim::Duration();
+  if (chaos_run) {
+    const core::RobustnessReport robustness = experiment.robustness_report();
+    std::printf("\n-- robustness --\n");
+    if (config.oracle_sample_period > sim::Duration()) {
+      std::printf("  recall vs oracle %.4f (%llu of %llu pairs delivered)\n",
+                  robustness.recall,
+                  static_cast<unsigned long long>(robustness.delivered_pairs),
+                  static_cast<unsigned long long>(robustness.oracle_pairs));
+    }
+    std::printf(
+        "  duplicate delivery rate %.4f, duplicate stores %llu\n"
+        "  MBR acks %llu, retries %llu (exhausted %llu), refreshes %llu\n"
+        "  response retries %llu, location retries %llu\n"
+        "  heals %llu, heal latency mean %.0f ms max %.0f ms\n"
+        "  crashes %llu, recoveries %llu\n",
+        robustness.duplicate_delivery_rate,
+        static_cast<unsigned long long>(robustness.duplicate_stores),
+        static_cast<unsigned long long>(robustness.mbr_acks),
+        static_cast<unsigned long long>(robustness.mbr_retries),
+        static_cast<unsigned long long>(robustness.mbr_retry_exhausted),
+        static_cast<unsigned long long>(robustness.mbr_refreshes),
+        static_cast<unsigned long long>(robustness.response_retries),
+        static_cast<unsigned long long>(robustness.location_retries),
+        static_cast<unsigned long long>(robustness.heals),
+        robustness.mean_heal_latency_ms, robustness.max_heal_latency_ms,
+        static_cast<unsigned long long>(robustness.crashes),
+        static_cast<unsigned long long>(robustness.recoveries));
+    common::TextTable drops({"Drop cause", "Messages"});
+    std::uint64_t total_drops = 0;
+    for (std::size_t c = 0; c < robustness.drops_by_cause.size(); ++c) {
+      drops.begin_row()
+          .add_cell(fault::drop_cause_name(static_cast<fault::DropCause>(c)))
+          .add_int(static_cast<long long>(robustness.drops_by_cause[c]));
+      total_drops += robustness.drops_by_cause[c];
+    }
+    drops.begin_row().add_cell("TOTAL").add_int(
+        static_cast<long long>(total_drops));
+    std::printf("%s", drops.render().c_str());
+  }
   return 0;
 }
