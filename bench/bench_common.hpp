@@ -102,22 +102,28 @@ class JsonBenchReporter {
   std::vector<BenchResult> results_;
 };
 
-/// Extracts `--json <path>` from argv (removing both tokens); returns the
-/// path or "" when the flag is absent. Leaves every other argument intact so
-/// harness-specific flags (google-benchmark's, a bench's own) still parse.
-inline std::string consume_json_flag(int& argc, char** argv) {
-  std::string path;
+/// Extracts `<flag> <value>` from argv (removing both tokens); returns the
+/// value or "" when the flag is absent. Leaves every other argument intact
+/// so harness-specific flags (google-benchmark's, a bench's own) still
+/// parse.
+inline std::string consume_value_flag(int& argc, char** argv,
+                                      const std::string& flag) {
+  std::string value;
   int write_at = 1;
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--json" && i + 1 < argc) {
-      path = argv[++i];
+    if (flag == argv[i] && i + 1 < argc) {
+      value = argv[++i];
       continue;
     }
     argv[write_at++] = argv[i];
   }
   argc = write_at;
-  return path;
+  return value;
+}
+
+/// Extracts `--json <path>`: the BENCH_*.json output location.
+inline std::string consume_json_flag(int& argc, char** argv) {
+  return consume_value_flag(argc, argv, "--json");
 }
 
 /// Extracts a boolean flag such as `--smoke` from argv; true if present.

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "bench/bench_common.hpp"
+#include "core/report_render.hpp"
 
 namespace {
 
@@ -82,6 +83,7 @@ std::string scenario_label(const Scenario& scenario, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   const std::string json_path = bench::consume_json_flag(argc, argv);
+  const std::string obs_dir = bench::consume_value_flag(argc, argv, "--obs-dir");
   const bool smoke = bench::consume_flag(argc, argv, "--smoke");
 
   std::printf(
@@ -97,7 +99,13 @@ int main(int argc, char** argv) {
 
   std::vector<core::ExperimentConfig> configs;
   for (const Scenario& scenario : scenarios) {
-    configs.push_back(chaos_config(scenario, kSeed, smoke));
+    core::ExperimentConfig config = chaos_config(scenario, kSeed, smoke);
+    if (!obs_dir.empty()) {
+      // One run directory per scenario; the chaos runs then carry their
+      // heal-latency histogram and drop/load series over time.
+      config.obs.dir = obs_dir + "/" + scenario.name;
+    }
+    configs.push_back(std::move(config));
   }
   bench::print_workload_banner(configs.front().workload);
   const auto experiments = bench::run_sweep(configs);
@@ -105,9 +113,10 @@ int main(int argc, char** argv) {
   bench::JsonBenchReporter reporter("robustness");
   common::TextTable table({"Scenario", "Recall", "Oracle pairs", "Delivered",
                            "Dup rate", "MBR retries", "Refreshes", "Heals",
-                           "Heal ms (mean)", "Crash/Recover"});
-  common::TextTable drops({"Scenario", "Uniform", "Burst", "Partition",
-                           "Dead node", "Hop limit", "Total"});
+                           "Heal ms (mean)", "Heal ms (p90)",
+                           "Crash/Recover"});
+  // Columns derive from drop_cause_name, so new causes appear automatically.
+  common::TextTable drops(core::drop_cause_columns("Scenario"));
   for (std::size_t i = 0; i < experiments.size(); ++i) {
     const Scenario& scenario = scenarios[i];
     const auto& experiment = experiments[i];
@@ -126,6 +135,7 @@ int main(int argc, char** argv) {
         .add_int(static_cast<long long>(report.mbr_refreshes))
         .add_int(static_cast<long long>(report.heals))
         .add_num(report.mean_heal_latency_ms, 2)
+        .add_num(report.p90_heal_latency_ms, 2)
         .add_cell(std::to_string(report.crashes) + "/" +
                   std::to_string(report.recoveries));
 
@@ -152,6 +162,8 @@ int main(int argc, char** argv) {
                     simulated_ms});
       reporter.add({"mean_heal_latency_ms", config_label,
                     report.mean_heal_latency_ms, simulated_ms});
+      reporter.add({"p90_heal_latency_ms", config_label,
+                    report.p90_heal_latency_ms, simulated_ms});
     }
   }
   std::printf("%s", table.render().c_str());

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <functional>
 #include <memory>
+
+#include "core/obs_export.hpp"
 
 namespace sdsi::core {
 
@@ -72,6 +75,7 @@ void Experiment::build() {
   system_ = std::make_unique<MiddlewareSystem>(*routing_, middleware);
   system_->metrics().set_enabled(false);
 
+  wire_observability();
   wire_faults();
 
   if (config_.oracle_sample_period > sim::Duration()) {
@@ -87,6 +91,49 @@ void Experiment::build() {
     oracle_task_ = sim_.schedule_periodic(
         sim_.now() + config_.oracle_sample_period,
         config_.oracle_sample_period, [this] { oracle_->sample(sim_.now()); });
+  }
+}
+
+void Experiment::wire_observability() {
+  if (!config_.obs.enabled()) {
+    return;
+  }
+  std::filesystem::create_directories(config_.obs.dir);
+  obs::MetricsRegistry::Options options;
+  options.window = config_.obs.window;
+  options.ring_capacity = config_.obs.ring_capacity;
+  registry_ = std::make_unique<obs::MetricsRegistry>(&sim_, options);
+  system_->metrics().set_registry(registry_.get());
+  if (config_.obs.trace) {
+    const std::string path = config_.obs.dir + "/trace.jsonl";
+    trace_sink_ = std::make_unique<obs::JsonlTraceSink>(path);
+    SDSI_CHECK(trace_sink_->ok());
+    routing_->set_trace_sink(trace_sink_.get());
+  }
+  // Membership over time: sample the alive-node count once per window.
+  sim_.schedule_periodic(sim_.now() + config_.obs.window, config_.obs.window,
+                         [this] {
+                           std::size_t alive = 0;
+                           for (NodeIndex node = 0;
+                                node < routing_->num_nodes(); ++node) {
+                             if (routing_->is_alive(node)) {
+                               ++alive;
+                             }
+                           }
+                           registry_->gauge("nodes.alive")
+                               .set(static_cast<double>(alive));
+                         });
+}
+
+void Experiment::write_obs_exports() {
+  if (registry_ == nullptr) {
+    return;
+  }
+  registry_->flush();
+  const std::string path = config_.obs.dir + "/metrics.json";
+  SDSI_CHECK(write_metrics_json(*this, path));
+  if (trace_sink_ != nullptr) {
+    trace_sink_->flush();
   }
 }
 
@@ -291,6 +338,7 @@ void Experiment::run() {
                    config_.drain);
   }
   system_->metrics().set_enabled(false);
+  write_obs_exports();
 }
 
 LoadReport Experiment::load_report() const {
@@ -411,9 +459,12 @@ RobustnessReport Experiment::robustness_report() const {
   report.mbr_acks = counters.mbr_acks;
   report.response_retries = counters.response_retries;
   report.location_retries = counters.location_retries;
-  report.heals = counters.heal_latency_stats.count();
-  report.mean_heal_latency_ms = counters.heal_latency_stats.mean();
-  report.max_heal_latency_ms = counters.heal_latency_stats.max();
+  report.heals = counters.heal_latency_ms.count();
+  report.mean_heal_latency_ms = counters.heal_latency_ms.mean();
+  report.max_heal_latency_ms = counters.heal_latency_ms.max();
+  report.p50_heal_latency_ms = counters.heal_latency_ms.p50();
+  report.p90_heal_latency_ms = counters.heal_latency_ms.p90();
+  report.p99_heal_latency_ms = counters.heal_latency_ms.p99();
   for (std::size_t c = 0; c < report.drops_by_cause.size(); ++c) {
     report.drops_by_cause[c] = metrics.drops(static_cast<fault::DropCause>(c));
   }

@@ -6,6 +6,7 @@
 #include <array>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "chord/network.hpp"
@@ -60,6 +61,21 @@ inline dsp::FeatureConfig experiment_feature_config() {
   return config;
 }
 
+/// Observability exports. When `dir` is non-empty the run attaches a
+/// time-series MetricsRegistry and writes `<dir>/metrics.json` (schema v1)
+/// when it finishes; with `trace` also set it streams `<dir>/trace.jsonl`
+/// span events as the run executes. The directory is created if missing.
+/// docs/OBSERVABILITY.md documents both schemas.
+struct ObsOptions {
+  std::string dir;
+  bool trace = false;
+  /// Simulated-time window the series fold into.
+  sim::Duration window = sim::Duration::seconds(1);
+  std::size_t ring_capacity = 1024;
+
+  bool enabled() const noexcept { return !dir.empty(); }
+};
+
 struct ExperimentConfig {
   std::size_t num_nodes = 50;
   unsigned id_bits = 32;
@@ -100,6 +116,9 @@ struct ExperimentConfig {
   /// refreshes draining) before the reports are read. Robustness runs use
   /// ~2 refresh periods; load/overhead figure runs keep it zero.
   sim::Duration drain = sim::Duration();
+
+  /// Observability exports (metrics.json / trace.jsonl); off by default.
+  ObsOptions obs;
 };
 
 /// Fig 6(a): average per-node message load per second, seven components.
@@ -156,9 +175,14 @@ struct RobustnessReport {
   std::uint64_t response_retries = 0;
   std::uint64_t location_retries = 0;
   /// Heal latency (first send -> confirming ack, retried batches only).
+  /// Quantiles are log-bucket estimates (obs/log_histogram.hpp); mean and
+  /// max are exact.
   std::uint64_t heals = 0;
   double mean_heal_latency_ms = 0.0;
   double max_heal_latency_ms = 0.0;
+  double p50_heal_latency_ms = 0.0;
+  double p90_heal_latency_ms = 0.0;
+  double p99_heal_latency_ms = 0.0;
   /// Drops by cause label (fault::DropCause order), unified across the link
   /// loss models and routing-level losses, measurement window only.
   std::array<std::uint64_t, static_cast<std::size_t>(fault::DropCause::kCount)>
@@ -200,6 +224,11 @@ class Experiment {
   sim::Simulator& simulator() { return sim_; }
   routing::RoutingSystem& routing_system() { return *routing_; }
 
+  /// Time-series registry; nullptr unless config.obs.dir was set.
+  const obs::MetricsRegistry* registry() const noexcept {
+    return registry_.get();
+  }
+
  private:
   void build();
   void schedule_streams();
@@ -208,10 +237,16 @@ class Experiment {
   std::unique_ptr<streams::StreamGenerator> make_generator(NodeIndex node);
 
   void wire_faults();
+  void wire_observability();
+  void write_obs_exports();
 
   ExperimentConfig config_;
   common::RngFactory rng_factory_;
   sim::Simulator sim_;
+  // Declared before routing_/system_, which hold raw pointers into them, so
+  // destruction runs in the safe order.
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  std::unique_ptr<obs::JsonlTraceSink> trace_sink_;
   std::unique_ptr<routing::RoutingSystem> routing_;
   std::unique_ptr<MiddlewareSystem> system_;
   std::unique_ptr<fault::FaultInjector> injector_;

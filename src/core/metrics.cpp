@@ -1,11 +1,62 @@
 #include "core/metrics.hpp"
 
+#include <string>
+
 #include "common/check.hpp"
 
 namespace sdsi::core {
 
+LoadComponent component_of(const routing::Message& msg, bool transit) {
+  switch (static_cast<MsgKind>(msg.kind)) {
+    case MsgKind::kMbrUpdate:
+      return transit ? LoadComponent::kMbrTransit
+                     : (msg.range_internal ? LoadComponent::kMbrInternal
+                                           : LoadComponent::kMbrSource);
+    case MsgKind::kSimilarityQuery:
+    case MsgKind::kInnerProductQuery:
+    case MsgKind::kLocationPut:
+    case MsgKind::kLocationGet:
+    case MsgKind::kLocationReply:
+      return LoadComponent::kQueries;  // "all query messages" (Fig 6a d)
+    case MsgKind::kResponse:
+      return transit ? LoadComponent::kResponsesTransit
+                     : LoadComponent::kResponses;
+    case MsgKind::kNeighborExchange:
+      return LoadComponent::kResponsesInternal;
+    case MsgKind::kMbrAck:
+    case MsgKind::kResponseAck:
+      return LoadComponent::kControl;
+  }
+  SDSI_CHECK(false && "unknown MsgKind");
+  return LoadComponent::kQueries;
+}
+
 MetricsCollector::MetricsCollector(std::size_t num_nodes)
     : per_node_(num_nodes) {}
+
+void MetricsCollector::set_registry(obs::MetricsRegistry* registry) {
+  registry_ = registry;
+  series_ = RegistrySeries{};
+  if (registry == nullptr) {
+    return;
+  }
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(LoadComponent::kCount); ++i) {
+    const auto component = static_cast<LoadComponent>(i);
+    series_.load[i] = &registry->counter(std::string("load.") +
+                                         load_component_slug(component));
+  }
+  series_.load_total = &registry->counter("load.total");
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(fault::DropCause::kCount); ++i) {
+    const auto cause = static_cast<fault::DropCause>(i);
+    series_.drops[i] =
+        &registry->counter(std::string("drops.") + fault::drop_cause_slug(cause));
+  }
+  series_.drops_total = &registry->counter("drops.total");
+  series_.deliver_latency = &registry->histogram("latency.deliver_ms");
+  series_.range_walk_latency = &registry->histogram("latency.range_walk_ms");
+}
 
 void MetricsCollector::reset() {
   for (auto& counters : per_node_) {
@@ -49,36 +100,18 @@ void MetricsCollector::add_node_load(NodeIndex node,
   if (node >= per_node_.size()) {
     return;
   }
-  LoadComponent component = LoadComponent::kQueries;
-  switch (static_cast<MsgKind>(msg.kind)) {
-    case MsgKind::kMbrUpdate:
-      component = transit ? LoadComponent::kMbrTransit
-                          : (msg.range_internal ? LoadComponent::kMbrInternal
-                                                : LoadComponent::kMbrSource);
-      break;
-    case MsgKind::kSimilarityQuery:
-    case MsgKind::kInnerProductQuery:
-    case MsgKind::kLocationPut:
-    case MsgKind::kLocationGet:
-    case MsgKind::kLocationReply:
-      component = LoadComponent::kQueries;  // "all query messages" (Fig 6a d)
-      break;
-    case MsgKind::kResponse:
-      component = transit ? LoadComponent::kResponsesTransit
-                          : LoadComponent::kResponses;
-      break;
-    case MsgKind::kNeighborExchange:
-      component = LoadComponent::kResponsesInternal;
-      break;
-    case MsgKind::kMbrAck:
-    case MsgKind::kResponseAck:
-      component = LoadComponent::kControl;
-      break;
-  }
+  const LoadComponent component = component_of(msg, transit);
   ++per_node_[node][static_cast<std::size_t>(component)];
 }
 
 void MetricsCollector::on_send(NodeIndex from, const routing::Message& msg) {
+  // Registry series deliberately run ahead of the warm-up gate: the
+  // time-series view covers the whole run (set_registry has the rationale).
+  if (registry_ != nullptr) {
+    const auto c = static_cast<std::size_t>(component_of(msg, false));
+    series_.load[c]->add();
+    series_.load_total->add();
+  }
   if (!enabled_) {
     return;
   }
@@ -92,6 +125,11 @@ void MetricsCollector::on_send(NodeIndex from, const routing::Message& msg) {
 }
 
 void MetricsCollector::on_transit(NodeIndex via, const routing::Message& msg) {
+  if (registry_ != nullptr) {
+    const auto c = static_cast<std::size_t>(component_of(msg, true));
+    series_.load[c]->add();
+    series_.load_total->add();
+  }
   if (!enabled_) {
     return;
   }
@@ -100,6 +138,19 @@ void MetricsCollector::on_transit(NodeIndex via, const routing::Message& msg) {
 }
 
 void MetricsCollector::on_deliver(NodeIndex at, const routing::Message& msg) {
+  if (registry_ != nullptr) {
+    const auto c = static_cast<std::size_t>(component_of(msg, false));
+    series_.load[c]->add();
+    series_.load_total->add();
+    if (clock_ != nullptr) {
+      const double elapsed = (clock_->now() - msg.sent_at).as_millis();
+      if (msg.range_internal) {
+        series_.range_walk_latency->add(elapsed);
+      } else {
+        series_.deliver_latency->add(elapsed);
+      }
+    }
+  }
   if (!enabled_) {
     return;
   }
@@ -124,6 +175,10 @@ void MetricsCollector::on_deliver(NodeIndex at, const routing::Message& msg) {
 void MetricsCollector::on_drop(fault::DropCause cause,
                                const routing::Message& msg) {
   (void)msg;
+  if (registry_ != nullptr) {
+    series_.drops[static_cast<std::size_t>(cause)]->add();
+    series_.drops_total->add();
+  }
   if (!enabled_) {
     return;
   }

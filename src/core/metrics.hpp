@@ -11,7 +11,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/stats.hpp"
+#include "obs/log_histogram.hpp"
+#include "obs/timeseries.hpp"
 #include "routing/api.hpp"
 
 namespace sdsi::core {
@@ -45,6 +48,9 @@ enum class LoadComponent : std::size_t {
   kCount = 8,
 };
 
+/// Human label for the Fig 6(a) table rows. Out-of-range values abort (every
+/// load event must belong to a named component) instead of rendering a
+/// silent placeholder row.
 inline const char* load_component_name(LoadComponent c) {
   switch (c) {
     case LoadComponent::kMbrSource: return "MBRs";
@@ -57,8 +63,32 @@ inline const char* load_component_name(LoadComponent c) {
     case LoadComponent::kControl: return "Control (acks)";
     case LoadComponent::kCount: break;
   }
-  return "?";
+  SDSI_CHECK(false && "unknown LoadComponent");
+  return "";
 }
+
+/// Machine identifier used in metric names (`load.<slug>`) and in the JSON
+/// exports; stable across releases (docs/OBSERVABILITY.md is the registry).
+inline const char* load_component_slug(LoadComponent c) {
+  switch (c) {
+    case LoadComponent::kMbrSource: return "mbr_source";
+    case LoadComponent::kMbrInternal: return "mbr_internal";
+    case LoadComponent::kMbrTransit: return "mbr_transit";
+    case LoadComponent::kQueries: return "queries";
+    case LoadComponent::kResponses: return "responses";
+    case LoadComponent::kResponsesInternal: return "responses_internal";
+    case LoadComponent::kResponsesTransit: return "responses_transit";
+    case LoadComponent::kControl: return "control";
+    case LoadComponent::kCount: break;
+  }
+  SDSI_CHECK(false && "unknown LoadComponent");
+  return "";
+}
+
+/// The Fig 6(a) component a message event belongs to — the single
+/// classification shared by the per-node load table, the time-series
+/// registry, and the report renderers.
+LoadComponent component_of(const routing::Message& msg, bool transit);
 
 /// Aggregate counters for one message category (Fig 7 / Fig 8 views).
 struct CategoryCounters {
@@ -68,9 +98,11 @@ struct CategoryCounters {
   std::uint64_t delivered = 0;       // deliveries (all copies)
   common::OnlineStats hops_routed;   // hops of delivered first-class copies
   common::OnlineStats hops_internal; // hops of delivered range copies
-  common::OnlineStats latency_ms;        // send->deliver, first-class copies
-  common::OnlineStats range_latency_ms;  // original send->deliver, range
-                                         // copies (cumulative walk delay)
+  // Full latency distributions (log-bucketed: count/sum/min/max exact,
+  // p50/p90/p99 interpolated — obs/log_histogram.hpp).
+  obs::LogHistogram latency_ms;        // send->deliver, first-class copies
+  obs::LogHistogram range_latency_ms;  // original send->deliver, range
+                                       // copies (cumulative walk delay)
 };
 
 /// Self-healing bookkeeping: what the fault-tolerance machinery did and how
@@ -85,8 +117,9 @@ struct RobustnessCounters {
   std::uint64_t response_retries = 0;   // re-queued unacked match pushes
   std::uint64_t duplicate_matches = 0;  // client-side duplicate suppressions
   std::uint64_t location_retries = 0;   // location-get backoff retries
-  common::OnlineStats heal_latency_stats;  // ms, one sample per healed batch
-  common::Histogram heal_latency_ms{0.0, 10'000.0, 50};  // 200 ms buckets
+  /// One sample per healed batch, in ms. A single log-bucketed histogram
+  /// carries the whole story: count/mean/max exactly, p50/p90/p99 estimated.
+  obs::LogHistogram heal_latency_ms;
 };
 
 class MetricsCollector final : public routing::MetricsHook {
@@ -112,6 +145,15 @@ class MetricsCollector final : public routing::MetricsHook {
 
   /// Attach the simulator clock so latency can be measured.
   void set_clock(const sim::Simulator* clock) noexcept { clock_ = clock; }
+
+  /// Attach a time-series registry (obs/timeseries.hpp). When set, every
+  /// event additionally updates windowed series (`load.<slug>`,
+  /// `drops.<slug>`, `latency.*`). Registry updates deliberately bypass the
+  /// warm-up gate: the series describe the whole run over time — including
+  /// warm-up and drain — while the aggregate counters stay
+  /// measurement-window-only. Pass nullptr to detach.
+  void set_registry(obs::MetricsRegistry* registry);
+  obs::MetricsRegistry* registry() const noexcept { return registry_; }
 
   std::size_t num_nodes() const noexcept { return per_node_.size(); }
 
@@ -149,8 +191,23 @@ class MetricsCollector final : public routing::MetricsHook {
   void add_node_load(NodeIndex node, const routing::Message& msg,
                      bool transit);
 
+  /// Registry series resolved once at attach time so per-event updates do no
+  /// name lookups (metric references stay stable inside the registry).
+  struct RegistrySeries {
+    std::array<obs::Counter*, static_cast<std::size_t>(LoadComponent::kCount)>
+        load{};
+    obs::Counter* load_total = nullptr;
+    std::array<obs::Counter*, static_cast<std::size_t>(fault::DropCause::kCount)>
+        drops{};
+    obs::Counter* drops_total = nullptr;
+    obs::HistogramMetric* deliver_latency = nullptr;
+    obs::HistogramMetric* range_walk_latency = nullptr;
+  };
+  RegistrySeries series_;
+
   bool enabled_ = true;
   const sim::Simulator* clock_ = nullptr;
+  obs::MetricsRegistry* registry_ = nullptr;
   std::vector<std::array<std::uint64_t,
                          static_cast<std::size_t>(LoadComponent::kCount)>>
       per_node_;

@@ -72,6 +72,10 @@ struct PublishedMbr {
   int attempts = 0;  // retransmissions so far
   bool acked = false;
   sim::TaskHandle retry_timer;
+  /// One trace id for the publication's whole life: the original send,
+  /// every retry and refresh re-use it, so the trace stream tells the
+  /// batch's full story under a single correlation id (obs/trace.hpp).
+  std::uint64_t trace_id = 0;
 };
 
 struct MiddlewareNode {

@@ -1,0 +1,26 @@
+// metrics.json export (observability layer).
+//
+// Serializes one finished Experiment — run parameters, the Fig 6/7/8 report
+// reductions, drop accounting, robustness counters, quality summary, and the
+// attached registry's windowed time series — into the versioned
+// `sdsi.metrics` v1 document that tools/make_figures consumes.
+// docs/OBSERVABILITY.md is the schema reference.
+#pragma once
+
+#include <string>
+
+#include "core/experiment.hpp"
+#include "obs/json.hpp"
+
+namespace sdsi::core {
+
+/// Builds the full schema-v1 document.
+obs::Json metrics_to_json(const Experiment& experiment);
+
+/// Histogram sub-document used for every LogHistogram in the export.
+obs::Json histogram_to_json(const obs::LogHistogram& histogram);
+
+/// Writes metrics_to_json pretty-printed; false on I/O failure.
+bool write_metrics_json(const Experiment& experiment, const std::string& path);
+
+}  // namespace sdsi::core

@@ -1,0 +1,48 @@
+#include "core/report_render.hpp"
+
+#include "core/metrics.hpp"
+#include "fault/model.hpp"
+
+namespace sdsi::core {
+
+common::TextTable render_load_table(const LoadReport& load) {
+  common::TextTable table({"Load component", "msgs/node/s"});
+  for (std::size_t c = 0;
+       c < static_cast<std::size_t>(LoadComponent::kCount); ++c) {
+    table.begin_row()
+        .add_cell(load_component_name(static_cast<LoadComponent>(c)))
+        .add_num(load.per_component[c], 3);
+  }
+  table.begin_row().add_cell("TOTAL").add_num(load.total, 3);
+  return table;
+}
+
+common::TextTable render_drops_table(
+    const std::array<std::uint64_t,
+                     static_cast<std::size_t>(fault::DropCause::kCount)>&
+        drops_by_cause) {
+  common::TextTable table({"Drop cause", "Messages"});
+  std::uint64_t total = 0;
+  for (std::size_t c = 0; c < drops_by_cause.size(); ++c) {
+    table.begin_row()
+        .add_cell(fault::drop_cause_name(static_cast<fault::DropCause>(c)))
+        .add_int(static_cast<long long>(drops_by_cause[c]));
+    total += drops_by_cause[c];
+  }
+  table.begin_row().add_cell("TOTAL").add_int(static_cast<long long>(total));
+  return table;
+}
+
+std::vector<std::string> drop_cause_columns(const std::string& label) {
+  std::vector<std::string> columns;
+  columns.push_back(label);
+  for (std::size_t c = 0;
+       c < static_cast<std::size_t>(fault::DropCause::kCount); ++c) {
+    columns.emplace_back(
+        fault::drop_cause_name(static_cast<fault::DropCause>(c)));
+  }
+  columns.emplace_back("Total");
+  return columns;
+}
+
+}  // namespace sdsi::core

@@ -1,0 +1,33 @@
+// Shared text renderers for the experiment reports.
+//
+// Every surface that prints a load decomposition or a drops-by-cause table
+// (tools/sdsi_sim, bench/bench_robustness, ...) derives its labels from the
+// same two enum->name functions (load_component_name, drop_cause_name), so
+// a renamed or added component shows up everywhere at once instead of
+// drifting apart in hand-maintained header lists.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+
+namespace sdsi::core {
+
+/// Fig 6(a): one row per load component plus a TOTAL row.
+common::TextTable render_load_table(const LoadReport& load);
+
+/// One run's drops: one row per cause plus a TOTAL row.
+common::TextTable render_drops_table(
+    const std::array<std::uint64_t,
+                     static_cast<std::size_t>(fault::DropCause::kCount)>&
+        drops_by_cause);
+
+/// Column headers for a scenario-per-row drops table:
+/// {label, <cause names in DropCause order>, "Total"}.
+std::vector<std::string> drop_cause_columns(const std::string& label);
+
+}  // namespace sdsi::core

@@ -182,6 +182,10 @@ void MiddlewareSystem::route_mbr(NodeIndex source, LocalStream& stream,
   Message msg;
   msg.kind = static_cast<int>(MsgKind::kMbrUpdate);
   msg.payload = payload;
+  // Allocate the publication's trace id up front so retries and refreshes
+  // can re-use it (routing would otherwise mint a fresh one per send).
+  const std::uint64_t trace_id = routing_.allocate_trace_id();
+  msg.trace_id = trace_id;
   routing_.send_range(source, lo, hi, std::move(msg), config_.multicast);
   ++mbrs_routed_;
 
@@ -192,6 +196,7 @@ void MiddlewareSystem::route_mbr(NodeIndex source, LocalStream& stream,
     pub.lo = lo;
     pub.hi = hi;
     pub.first_sent = now;
+    pub.trace_id = trace_id;
     nodes_[source].published_mbrs.insert_or_assign(
         std::make_pair(payload->stream, payload->batch_seq), std::move(pub));
     if (config_.mbr_ack.enabled) {
@@ -215,6 +220,25 @@ sim::Duration MiddlewareSystem::backoff_delay(const RetryPolicy& policy,
   return sim::Duration::micros(delay);
 }
 
+void MiddlewareSystem::emit_heal_trace(obs::TraceEventKind event,
+                                       NodeIndex node, StreamId stream,
+                                       std::uint64_t seq,
+                                       std::uint64_t trace_id) {
+  obs::TraceSink* sink = routing_.trace_sink();
+  if (sink == nullptr) {
+    return;
+  }
+  obs::TraceRecord record;
+  record.trace_id = trace_id;
+  record.event = event;
+  record.at_us = routing_.simulator().now().count_micros();
+  record.node = node;
+  record.kind = static_cast<int>(MsgKind::kMbrUpdate);
+  record.stream = stream;
+  record.batch_seq = seq;
+  sink->record(record);
+}
+
 void MiddlewareSystem::note_mbr_ack(NodeIndex source, StreamId stream,
                                     std::uint64_t seq) {
   if (source >= nodes_.size()) {
@@ -228,14 +252,22 @@ void MiddlewareSystem::note_mbr_ack(NodeIndex source, StreamId stream,
   PublishedMbr& pub = it->second;
   pub.acked = true;
   pub.retry_timer.cancel();
-  if (metrics_.recording()) {
-    ++metrics_.robustness().mbr_acks;
-    if (pub.attempts > 0) {
-      const double ms =
-          (routing_.simulator().now() - pub.first_sent).as_millis();
-      metrics_.robustness().heal_latency_stats.add(ms);
+  if (pub.attempts > 0) {
+    const double ms =
+        (routing_.simulator().now() - pub.first_sent).as_millis();
+    emit_heal_trace(obs::TraceEventKind::kHeal, source, stream, seq,
+                    pub.trace_id);
+    // The registry series cover the whole run (warm-up included), like the
+    // routing-side series in MetricsCollector.
+    if (metrics_.registry() != nullptr) {
+      metrics_.registry()->histogram("heal.latency_ms").add(ms);
+    }
+    if (metrics_.recording()) {
       metrics_.robustness().heal_latency_ms.add(ms);
     }
+  }
+  if (metrics_.recording()) {
+    ++metrics_.robustness().mbr_acks;
   }
 }
 
@@ -276,9 +308,15 @@ void MiddlewareSystem::on_mbr_ack_timeout(NodeIndex source, StreamId stream,
   if (metrics_.recording()) {
     ++metrics_.robustness().mbr_retries;
   }
+  if (metrics_.registry() != nullptr) {
+    metrics_.registry()->counter("heal.retries").add();
+  }
+  emit_heal_trace(obs::TraceEventKind::kRetry, source, stream, seq,
+                  pub.trace_id);
   Message retry;
   retry.kind = static_cast<int>(MsgKind::kMbrUpdate);
   retry.payload = pub.payload;
+  retry.trace_id = pub.trace_id;
   routing_.send_range(source, pub.lo, pub.hi, std::move(retry),
                       config_.multicast);
   arm_mbr_retry(source, stream, seq);
@@ -309,10 +347,17 @@ void MiddlewareSystem::refresh_node_mbrs(NodeIndex index) {
     Message msg;
     msg.kind = static_cast<int>(MsgKind::kMbrUpdate);
     msg.payload = pub.payload;
+    msg.trace_id = pub.trace_id;
+    emit_heal_trace(obs::TraceEventKind::kRefresh, index,
+                    pub.payload->stream, pub.payload->batch_seq,
+                    pub.trace_id);
     routing_.send_range(index, pub.lo, pub.hi, std::move(msg),
                         config_.multicast);
     if (metrics_.recording()) {
       ++metrics_.robustness().mbr_refreshes;
+    }
+    if (metrics_.registry() != nullptr) {
+      metrics_.registry()->counter("heal.refreshes").add();
     }
     ++it;
   }

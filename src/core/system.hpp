@@ -284,6 +284,12 @@ class MiddlewareSystem {
   void on_mbr_ack_timeout(NodeIndex source, StreamId stream,
                           std::uint64_t seq);
 
+  /// Emits a self-healing trace event (retry/heal/refresh) under the
+  /// publication's trace id when a trace sink is attached.
+  void emit_heal_trace(obs::TraceEventKind event, NodeIndex node,
+                       StreamId stream, std::uint64_t seq,
+                       std::uint64_t trace_id);
+
   /// Soft-state refresh body for one node: re-route every live published
   /// batch and re-register local streams with the location service.
   void refresh_node_mbrs(NodeIndex index);

@@ -24,6 +24,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/ring_math.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -44,6 +45,9 @@ enum class DropCause : std::size_t {
   kCount = 5,
 };
 
+/// Human label for report tables. Out-of-range values are a program error
+/// (every loss must be attributed), so this aborts instead of returning a
+/// silent placeholder.
 inline const char* drop_cause_name(DropCause cause) {
   switch (cause) {
     case DropCause::kUniformLoss: return "uniform loss";
@@ -53,7 +57,23 @@ inline const char* drop_cause_name(DropCause cause) {
     case DropCause::kHopLimit: return "hop limit";
     case DropCause::kCount: break;
   }
-  return "?";
+  SDSI_CHECK(false && "unknown DropCause");
+  return "";
+}
+
+/// Machine identifier used in metric names (`drops.<slug>`) and in the JSON
+/// exports; stable across releases (docs/OBSERVABILITY.md is the registry).
+inline const char* drop_cause_slug(DropCause cause) {
+  switch (cause) {
+    case DropCause::kUniformLoss: return "uniform_loss";
+    case DropCause::kBurstLoss: return "burst_loss";
+    case DropCause::kPartition: return "partition";
+    case DropCause::kDeadNode: return "dead_node";
+    case DropCause::kHopLimit: return "hop_limit";
+    case DropCause::kCount: break;
+  }
+  SDSI_CHECK(false && "unknown DropCause");
+  return "";
 }
 
 /// Two-state Markov loss (Gilbert-Elliott). State transitions are sampled

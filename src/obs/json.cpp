@@ -1,0 +1,428 @@
+#include "obs/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace sdsi::obs {
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";  // JSON has no Inf/NaN; exports never produce them
+    return;
+  }
+  // Integral values print without an exponent or trailing ".0" so window
+  // indices and counts stay human-readable; everything else uses the
+  // shortest form that round-trips exactly.
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    const auto as_int = static_cast<std::int64_t>(value);
+    char buf[32];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), as_int);
+    out.append(buf, ptr);
+    return;
+  }
+  char buf[40];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  out.append(buf, ptr);
+}
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<Json> run() {
+    skip_ws();
+    auto value = parse_value();
+    if (!value) {
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after document");
+    }
+    return value;
+  }
+
+ private:
+  std::optional<Json> fail(const char* message) {
+    if (error_ != nullptr) {
+      *error_ = std::string(message) + " at offset " + std::to_string(pos_);
+    }
+    return std::nullopt;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(const char* literal) {
+    std::size_t n = 0;
+    while (literal[n] != '\0') {
+      ++n;
+    }
+    if (text_.compare(pos_, n, literal) != 0) {
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  std::optional<Json> parse_value() {
+    if (pos_ >= text_.size()) {
+      return fail("unexpected end of input");
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) {
+          return std::nullopt;
+        }
+        return Json(std::move(s));
+      }
+      case 't':
+        if (consume_literal("true")) {
+          return Json(true);
+        }
+        return fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) {
+          return Json(false);
+        }
+        return fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) {
+          return Json();
+        }
+        return fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  std::optional<Json> parse_object() {
+    ++pos_;  // '{'
+    Json obj = Json::object();
+    skip_ws();
+    if (consume('}')) {
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) {
+        return std::nullopt;
+      }
+      skip_ws();
+      if (!consume(':')) {
+        return fail("expected ':' in object");
+      }
+      skip_ws();
+      auto value = parse_value();
+      if (!value) {
+        return std::nullopt;
+      }
+      obj[key] = std::move(*value);
+      skip_ws();
+      if (consume(',')) {
+        continue;
+      }
+      if (consume('}')) {
+        return obj;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::optional<Json> parse_array() {
+    ++pos_;  // '['
+    Json arr = Json::array();
+    skip_ws();
+    if (consume(']')) {
+      return arr;
+    }
+    while (true) {
+      skip_ws();
+      auto value = parse_value();
+      if (!value) {
+        return std::nullopt;
+      }
+      arr.push_back(std::move(*value));
+      skip_ws();
+      if (consume(',')) {
+        continue;
+      }
+      if (consume(']')) {
+        return arr;
+      }
+      fail("expected ',' or ']' in array");
+      return std::nullopt;
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) {
+      fail("expected string");
+      return false;
+    }
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return false;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4U;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid \\u escape");
+              return false;
+            }
+          }
+          // Exports only emit ASCII; decode BMP code points as UTF-8.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0U | (code >> 6U)));
+            out.push_back(static_cast<char>(0x80U | (code & 0x3FU)));
+          } else {
+            out.push_back(static_cast<char>(0xE0U | (code >> 12U)));
+            out.push_back(static_cast<char>(0x80U | ((code >> 6U) & 0x3FU)));
+            out.push_back(static_cast<char>(0x80U | (code & 0x3FU)));
+          }
+          break;
+        }
+        default:
+          fail("invalid escape");
+          return false;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  std::optional<Json> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return fail("expected value");
+    }
+    // std::from_chars accepts leading zeros ("01"); RFC 8259 does not.
+    const std::size_t digits = start + (text_[start] == '-' ? 1u : 0u);
+    if (digits + 1 < pos_ && text_[digits] == '0' &&
+        text_[digits + 1] >= '0' && text_[digits + 1] <= '9') {
+      pos_ = start;
+      return fail("leading zero");
+    }
+    double value = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || ptr != last) {
+      pos_ = start;
+      return fail("malformed number");
+    }
+    return Json(value);
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json& Json::operator[](const std::string& key) {
+  if (type_ == Type::kNull) {
+    type_ = Type::kObject;  // auto-vivify, like most JSON value types
+  }
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      return v;
+    }
+  }
+  object_.emplace_back(key, Json());
+  return object_.back().second;
+}
+
+const Json* Json::find(const std::string& key) const noexcept {
+  for (const auto& [k, v] : object_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const auto pad = [&](int level) {
+    if (pretty) {
+      out.push_back('\n');
+      out.append(static_cast<std::size_t>(indent * level), ' ');
+    }
+  };
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      append_number(out, number_);
+      break;
+    case Type::kString:
+      append_escaped(out, string_);
+      break;
+    case Type::kArray: {
+      out.push_back('[');
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) {
+          out.push_back(',');
+        }
+        pad(depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!array_.empty()) {
+        pad(depth);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out.push_back('{');
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) {
+          out.push_back(',');
+        }
+        pad(depth + 1);
+        append_escaped(out, object_[i].first);
+        out.push_back(':');
+        if (pretty) {
+          out.push_back(' ');
+        }
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!object_.empty()) {
+        pad(depth);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+std::optional<Json> Json::parse(const std::string& text, std::string* error) {
+  return Parser(text, error).run();
+}
+
+}  // namespace sdsi::obs

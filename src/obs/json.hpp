@@ -1,0 +1,103 @@
+// Minimal JSON document model (observability layer).
+//
+// The repo deliberately takes no external dependencies, yet the observability
+// exports need to be both written (metrics.json, core/obs_export) and read
+// back (tools/make_figures, schema validation, the round-trip test). This is
+// a small order-preserving JSON value with a recursive-descent parser and a
+// serializer whose number formatting round-trips exactly (shortest form via
+// std::to_chars). It is not a general-purpose library: documents are trusted
+// (our own exports), sizes are small, and performance is irrelevant.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sdsi::obs {
+
+class Json {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool value) : type_(Type::kBool), bool_(value) {}          // NOLINT
+  Json(double value) : type_(Type::kNumber), number_(value) {}    // NOLINT
+  Json(int value)                                                 // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  Json(std::int64_t value)                                        // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  Json(std::uint64_t value)                                       // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  Json(const char* value) : type_(Type::kString), string_(value) {}  // NOLINT
+  Json(std::string value)                                            // NOLINT
+      : type_(Type::kString), string_(std::move(value)) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  bool as_bool() const noexcept { return bool_; }
+  double as_number() const noexcept { return number_; }
+  std::int64_t as_int() const noexcept {
+    return static_cast<std::int64_t>(number_);
+  }
+  const std::string& as_string() const noexcept { return string_; }
+
+  /// Array access.
+  void push_back(Json value) { array_.push_back(std::move(value)); }
+  std::size_t size() const noexcept { return array_.size(); }
+  const Json& operator[](std::size_t i) const noexcept { return array_[i]; }
+
+  /// Object access: insert-or-get, preserving insertion order.
+  Json& operator[](const std::string& key);
+  /// Lookup without insertion; nullptr when absent (or not an object).
+  const Json* find(const std::string& key) const noexcept;
+  const std::vector<std::pair<std::string, Json>>& members() const noexcept {
+    return object_;
+  }
+
+  /// Serialize. indent < 0 means compact single-line output; indent >= 0
+  /// pretty-prints with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+  /// Parse a complete document. Returns nullopt on malformed input and, when
+  /// `error` is non-null, stores a short description with the byte offset.
+  static std::optional<Json> parse(const std::string& text,
+                                   std::string* error = nullptr);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace sdsi::obs

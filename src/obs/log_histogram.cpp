@@ -1,0 +1,119 @@
+#include "obs/log_histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace sdsi::obs {
+
+LogHistogram::LogHistogram(double min_value, double growth,
+                           std::size_t buckets)
+    : min_value_(min_value),
+      growth_(growth),
+      inv_log_growth_(1.0 / std::log(growth)),
+      counts_(buckets, 0) {
+  SDSI_CHECK(min_value > 0.0);
+  SDSI_CHECK(growth > 1.0);
+  SDSI_CHECK(buckets >= 2);
+}
+
+std::size_t LogHistogram::bucket_index(double x) const noexcept {
+  if (!(x >= min_value_)) {  // also catches NaN: land it in the underflow
+    return 0;
+  }
+  const double position = std::log(x / min_value_) * inv_log_growth_;
+  // floor(position) can round to the boundary bucket's lower neighbor when
+  // x sits exactly on a power; nudge forward if so.
+  auto i = static_cast<std::size_t>(1.0 + std::max(position, 0.0));
+  i = std::min(i, counts_.size() - 1);
+  // log() is inexact at the boundaries: settle exactly against the bucket
+  // edges so values on a power of `growth` land in the upper bucket.
+  if (i + 1 < counts_.size() && x >= bucket_high(i)) {
+    ++i;
+  } else if (i > 1 && x < bucket_low(i)) {
+    --i;
+  }
+  return i;
+}
+
+double LogHistogram::bucket_low(std::size_t i) const noexcept {
+  if (i == 0) {
+    return 0.0;
+  }
+  return min_value_ * std::pow(growth_, static_cast<double>(i - 1));
+}
+
+double LogHistogram::bucket_high(std::size_t i) const noexcept {
+  return min_value_ * std::pow(growth_, static_cast<double>(i));
+}
+
+void LogHistogram::add(double x) noexcept {
+  ++counts_[bucket_index(x)];
+  ++count_;
+  sum_ += x;
+  if (count_ == 1) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+}
+
+void LogHistogram::merge(const LogHistogram& other) noexcept {
+  SDSI_DCHECK(counts_.size() == other.counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LogHistogram::reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+double LogHistogram::quantile(double q) const noexcept {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the smallest value with at least ceil(q * count) samples
+  // at or below it.
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) {
+      continue;
+    }
+    if (cumulative + counts_[i] >= rank) {
+      // Interpolate linearly within the bucket, then clamp to the exact
+      // envelope so the estimate never leaves [min, max].
+      const double fraction = static_cast<double>(rank - cumulative) /
+                              static_cast<double>(counts_[i]);
+      const double low = bucket_low(i);
+      const double high =
+          i + 1 == counts_.size() ? max_ : bucket_high(i);  // overflow cap
+      const double value = low + (high - low) * fraction;
+      return std::clamp(value, min_, max_);
+    }
+    cumulative += counts_[i];
+  }
+  return max_;
+}
+
+}  // namespace sdsi::obs

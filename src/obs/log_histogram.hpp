@@ -1,0 +1,70 @@
+// Log-bucketed latency histogram (observability layer).
+//
+// OnlineStats answers "what was the mean"; figures like heal latency and
+// end-to-end delivery latency need the *distribution* — p50/p90/p99/max —
+// without storing every sample. Buckets grow geometrically, so relative
+// resolution is constant across decades (1 ms and 1 s latencies are resolved
+// equally well), which is the standard shape for latency telemetry
+// (HdrHistogram-style). Count, sum, min and max are tracked exactly; only
+// quantiles are bucket-interpolated estimates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sdsi::obs {
+
+class LogHistogram {
+ public:
+  /// Bucket 0 is [0, min_value); bucket i >= 1 is
+  /// [min_value * growth^(i-1), min_value * growth^i); the last bucket
+  /// absorbs everything above the top boundary (overflow). With the defaults
+  /// (1 ms floor, 1.35 growth, 48 buckets) the top boundary sits above
+  /// 10^6 ms, enough for any simulated latency this repo produces.
+  LogHistogram() : LogHistogram(1.0, 1.35, 48) {}
+  explicit LogHistogram(double min_value, double growth, std::size_t buckets);
+
+  void add(double x) noexcept;
+  void merge(const LogHistogram& other) noexcept;
+  void reset() noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  double min() const noexcept { return count_ > 0 ? min_ : 0.0; }
+  double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+
+  /// Nearest-rank quantile estimate, linearly interpolated inside the
+  /// containing bucket and clamped to the exact [min, max] envelope.
+  /// q in [0, 1]; returns 0 when empty.
+  double quantile(double q) const noexcept;
+  double p50() const noexcept { return quantile(0.50); }
+  double p90() const noexcept { return quantile(0.90); }
+  double p99() const noexcept { return quantile(0.99); }
+
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const noexcept { return counts_[i]; }
+  /// Inclusive-exclusive value range [low, high) covered by bucket `i`.
+  double bucket_low(std::size_t i) const noexcept;
+  double bucket_high(std::size_t i) const noexcept;
+  /// Bucket a value lands in (exposed so tests can pin the boundaries).
+  std::size_t bucket_index(double x) const noexcept;
+
+  double min_value() const noexcept { return min_value_; }
+  double growth() const noexcept { return growth_; }
+
+ private:
+  double min_value_;
+  double growth_;
+  double inv_log_growth_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace sdsi::obs

@@ -1,0 +1,159 @@
+#include "obs/timeseries.hpp"
+
+#include "common/check.hpp"
+
+namespace sdsi::obs {
+
+TimeSeries::TimeSeries(std::size_t capacity) : ring_(capacity) {
+  SDSI_CHECK(capacity >= 1);
+}
+
+void TimeSeries::append(Point point) {
+  if (size_ < ring_.size()) {
+    ring_[(head_ + size_) % ring_.size()] = point;
+    ++size_;
+    return;
+  }
+  ring_[head_] = point;  // overwrite the oldest
+  head_ = (head_ + 1) % ring_.size();
+  ++evicted_;
+}
+
+const TimeSeries::Point& TimeSeries::at(std::size_t i) const noexcept {
+  SDSI_DCHECK(i < size_);
+  return ring_[(head_ + i) % ring_.size()];
+}
+
+void Counter::roll_to(std::int64_t window) {
+  if (open_ && window != open_window_) {
+    series_.append({open_window_, open_value_});
+    open_value_ = 0.0;
+  }
+  open_window_ = window;
+  open_ = true;
+}
+
+void Counter::add(double delta) {
+  roll_to(owner_->current_window());
+  open_value_ += delta;
+  total_ += delta;
+}
+
+void Counter::flush() {
+  if (open_) {
+    series_.append({open_window_, open_value_});
+    open_value_ = 0.0;
+    open_ = false;
+  }
+}
+
+void Gauge::roll_to(std::int64_t window) {
+  if (open_ && window != open_window_) {
+    series_.append({open_window_, value_});
+  }
+  open_window_ = window;
+  open_ = true;
+}
+
+void Gauge::set(double value) {
+  roll_to(owner_->current_window());
+  value_ = value;
+}
+
+void Gauge::flush() {
+  if (open_) {
+    series_.append({open_window_, value_});
+    open_ = false;
+  }
+}
+
+void HistogramMetric::roll_to(std::int64_t window) {
+  if (open_ && window != open_window_) {
+    counts_.append({open_window_, open_count_});
+    sums_.append({open_window_, open_sum_});
+    open_count_ = 0.0;
+    open_sum_ = 0.0;
+  }
+  open_window_ = window;
+  open_ = true;
+}
+
+void HistogramMetric::add(double x) {
+  roll_to(owner_->current_window());
+  histogram_.add(x);
+  open_count_ += 1.0;
+  open_sum_ += x;
+}
+
+void HistogramMetric::flush() {
+  if (open_) {
+    counts_.append({open_window_, open_count_});
+    sums_.append({open_window_, open_sum_});
+    open_count_ = 0.0;
+    open_sum_ = 0.0;
+    open_ = false;
+  }
+}
+
+MetricsRegistry::MetricsRegistry(const sim::Simulator* clock, Options options)
+    : clock_(clock), options_(options) {
+  SDSI_CHECK(clock != nullptr);
+  SDSI_CHECK(options.window > sim::Duration());
+  SDSI_CHECK(options.ring_capacity >= 1);
+}
+
+std::int64_t MetricsRegistry::current_window() const noexcept {
+  return clock_->now().count_micros() / options_.window.count_micros();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(name, std::unique_ptr<Counter>(new Counter(
+                                this, options_.ring_capacity)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(name, std::unique_ptr<Gauge>(
+                                new Gauge(this, options_.ring_capacity)))
+             .first;
+  }
+  return *it->second;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name,
+                                            double min_value, double growth,
+                                            std::size_t buckets) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::unique_ptr<HistogramMetric>(
+                                new HistogramMetric(this,
+                                                    options_.ring_capacity,
+                                                    min_value, growth,
+                                                    buckets)))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::flush() {
+  for (auto& [name, counter] : counters_) {
+    counter->flush();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->flush();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->flush();
+  }
+}
+
+}  // namespace sdsi::obs

@@ -1,0 +1,177 @@
+// Time-series metrics registry (observability layer).
+//
+// The end-of-run aggregates in core::MetricsCollector answer "how much";
+// the paper's evaluation story (load components, overheads, heal behavior)
+// also needs "when". This registry keeps named counters, gauges and
+// log-bucketed histograms whose updates are folded into fixed simulated-time
+// windows; each metric stores its completed windows as sparse points in a
+// bounded ring buffer (oldest points are evicted first, and the eviction
+// count is reported so truncation is never silent).
+//
+// Windows are closed lazily: the first update that lands past the open
+// window's end flushes it. `flush()` closes every open window at end of run,
+// before export. All indices derive from the simulation clock, so a seeded
+// run produces byte-identical series.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/log_histogram.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace sdsi::obs {
+
+/// Sparse (window index, value) points in a bounded ring buffer.
+class TimeSeries {
+ public:
+  struct Point {
+    std::int64_t window = 0;  // window index (window start = index * width)
+    double value = 0.0;
+  };
+
+  explicit TimeSeries(std::size_t capacity);
+
+  void append(Point point);
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return ring_.size(); }
+  /// Points evicted because the ring was full (rollover is not silent).
+  std::uint64_t evicted() const noexcept { return evicted_; }
+  /// i = 0 is the oldest retained point.
+  const Point& at(std::size_t i) const noexcept;
+
+ private:
+  std::vector<Point> ring_;
+  std::size_t head_ = 0;  // index of the oldest point
+  std::size_t size_ = 0;
+  std::uint64_t evicted_ = 0;
+};
+
+class MetricsRegistry;
+
+/// Monotone event count. The series holds per-window deltas; `total()` is
+/// the exact cumulative sum including the open window.
+class Counter {
+ public:
+  void add(double delta = 1.0);
+  double total() const noexcept { return total_; }
+  const TimeSeries& series() const noexcept { return series_; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* owner, std::size_t capacity)
+      : owner_(owner), series_(capacity) {}
+  void roll_to(std::int64_t window);
+  void flush();
+
+  MetricsRegistry* owner_;
+  TimeSeries series_;
+  double total_ = 0.0;
+  double open_value_ = 0.0;
+  std::int64_t open_window_ = 0;
+  bool open_ = false;
+};
+
+/// Last-write-wins level. The series holds each window's final value.
+class Gauge {
+ public:
+  void set(double value);
+  double value() const noexcept { return value_; }
+  const TimeSeries& series() const noexcept { return series_; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(MetricsRegistry* owner, std::size_t capacity)
+      : owner_(owner), series_(capacity) {}
+  void roll_to(std::int64_t window);
+  void flush();
+
+  MetricsRegistry* owner_;
+  TimeSeries series_;
+  double value_ = 0.0;
+  std::int64_t open_window_ = 0;
+  bool open_ = false;
+};
+
+/// Sample distribution: a cumulative LogHistogram for quantiles plus
+/// per-window sample counts and sums (rate and mean over time).
+class HistogramMetric {
+ public:
+  void add(double x);
+  const LogHistogram& histogram() const noexcept { return histogram_; }
+  const TimeSeries& count_series() const noexcept { return counts_; }
+  const TimeSeries& sum_series() const noexcept { return sums_; }
+
+ private:
+  friend class MetricsRegistry;
+  HistogramMetric(MetricsRegistry* owner, std::size_t capacity,
+                  double min_value, double growth, std::size_t buckets)
+      : owner_(owner),
+        histogram_(min_value, growth, buckets),
+        counts_(capacity),
+        sums_(capacity) {}
+  void roll_to(std::int64_t window);
+  void flush();
+
+  MetricsRegistry* owner_;
+  LogHistogram histogram_;
+  TimeSeries counts_;
+  TimeSeries sums_;
+  double open_count_ = 0.0;
+  double open_sum_ = 0.0;
+  std::int64_t open_window_ = 0;
+  bool open_ = false;
+};
+
+class MetricsRegistry {
+ public:
+  struct Options {
+    sim::Duration window = sim::Duration::seconds(1);
+    std::size_t ring_capacity = 1024;
+  };
+
+  MetricsRegistry(const sim::Simulator* clock, Options options);
+
+  /// Named accessors create on first use and return the same instance after
+  /// (names are the schema — see docs/OBSERVABILITY.md).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  HistogramMetric& histogram(const std::string& name, double min_value = 1.0,
+                             double growth = 1.35, std::size_t buckets = 48);
+
+  /// Closes every open window (call once, before export).
+  void flush();
+
+  sim::Duration window() const noexcept { return options_.window; }
+  std::size_t ring_capacity() const noexcept {
+    return options_.ring_capacity;
+  }
+  /// Window index the clock currently sits in.
+  std::int64_t current_window() const noexcept;
+
+  /// Deterministic (name-sorted) iteration for export.
+  const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Gauge>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, std::unique_ptr<HistogramMetric>>& histograms()
+      const {
+    return histograms_;
+  }
+
+ private:
+  const sim::Simulator* clock_;
+  Options options_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+}  // namespace sdsi::obs

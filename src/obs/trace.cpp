@@ -1,0 +1,63 @@
+#include "obs/trace.hpp"
+
+#include "common/check.hpp"
+
+namespace sdsi::obs {
+
+const char* trace_event_name(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kOriginate:
+      return "originate";
+    case TraceEventKind::kRangeCopy:
+      return "range_copy";
+    case TraceEventKind::kTransit:
+      return "transit";
+    case TraceEventKind::kDeliver:
+      return "deliver";
+    case TraceEventKind::kDrop:
+      return "drop";
+    case TraceEventKind::kRetry:
+      return "retry";
+    case TraceEventKind::kHeal:
+      return "heal";
+    case TraceEventKind::kRefresh:
+      return "refresh";
+    case TraceEventKind::kCount:
+      break;
+  }
+  SDSI_CHECK(false && "unknown TraceEventKind");
+  return "";
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path)
+    : out_(path, std::ios::out | std::ios::trunc) {
+  if (out_) {
+    out_ << "{\"schema\":\"sdsi.trace.v1\"}\n";
+  }
+}
+
+void JsonlTraceSink::record(const TraceRecord& record) {
+  if (!out_) {
+    return;
+  }
+  // All strings in the stream are fixed identifiers (event names, drop-cause
+  // labels), so no JSON string escaping is needed.
+  out_ << "{\"tid\":" << record.trace_id << ",\"ev\":\""
+       << trace_event_name(record.event) << "\",\"t_us\":" << record.at_us
+       << ",\"node\":" << record.node << ",\"kind\":" << record.kind
+       << ",\"hops\":" << record.hops << ",\"key\":" << record.target_key
+       << ",\"ri\":" << (record.range_internal ? "true" : "false");
+  if (record.event == TraceEventKind::kDrop && record.drop_cause != nullptr) {
+    out_ << ",\"cause\":\"" << record.drop_cause << "\"";
+  }
+  if (record.event == TraceEventKind::kRetry ||
+      record.event == TraceEventKind::kHeal ||
+      record.event == TraceEventKind::kRefresh) {
+    out_ << ",\"stream\":" << record.stream
+         << ",\"seq\":" << record.batch_seq;
+  }
+  out_ << "}\n";
+  ++events_;
+}
+
+}  // namespace sdsi::obs

@@ -1,0 +1,96 @@
+// Structured trace events (observability layer).
+//
+// Every routed message carries a trace id (routing::Message::trace_id); the
+// routing layer reports each observable step of a message's life — origin,
+// range-multicast copies, overlay transits, delivery, loss — and the
+// middleware adds the self-healing verbs (retry, heal, refresh) under the
+// same id. A sink receiving the stream can therefore reconstruct one MBR
+// batch's (or query's) complete hop path, including every retransmission
+// that healed it.
+//
+// JsonlTraceSink writes one JSON object per line (trace.jsonl schema v1,
+// documented in docs/OBSERVABILITY.md); VectorTraceSink retains the records
+// in memory for tests.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sdsi::obs {
+
+/// The span-event verbs. Routing emits the first five; the middleware's
+/// self-healing machinery emits the last three.
+enum class TraceEventKind : std::uint8_t {
+  kOriginate = 0,  // application send entered the overlay
+  kRangeCopy = 1,  // a range-multicast forward copy was created
+  kTransit = 2,    // passed through an intermediate overlay node
+  kDeliver = 3,    // reached a responsible node
+  kDrop = 4,       // lost (cause carries the fault::DropCause label)
+  kRetry = 5,      // ack timeout: the batch was retransmitted
+  kHeal = 6,       // a retried batch was finally confirmed stored
+  kRefresh = 7,    // soft-state refresh re-routed the batch
+  kCount = 8,
+};
+
+/// Name used in the JSONL `ev` field. Out-of-range values are a program
+/// error (asserted), never a silent "?".
+const char* trace_event_name(TraceEventKind kind);
+
+struct TraceRecord {
+  std::uint64_t trace_id = 0;
+  TraceEventKind event = TraceEventKind::kOriginate;
+  std::int64_t at_us = 0;            // simulation time of the observation
+  NodeIndex node = kInvalidNode;     // node where the event was observed
+  int kind = 0;                      // application tag (core::MsgKind)
+  int hops = 0;                      // overlay hops of this copy so far
+  Key target_key = 0;                // key the copy is routed toward
+  bool range_internal = false;       // true for range-multicast copies
+  const char* drop_cause = nullptr;  // kDrop only: fault::drop_cause_name
+  StreamId stream = 0;               // kRetry/kHeal/kRefresh: batch identity
+  std::uint64_t batch_seq = 0;       //   "
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const TraceRecord& record) = 0;
+};
+
+/// Appends records as JSONL. The first line is a header object stating the
+/// schema version; every later line is one event.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  explicit JsonlTraceSink(const std::string& path);
+
+  /// False when the file could not be opened (callers should report it).
+  bool ok() const { return static_cast<bool>(out_); }
+
+  void record(const TraceRecord& record) override;
+  void flush() { out_.flush(); }
+  std::uint64_t events_written() const noexcept { return events_; }
+
+ private:
+  std::ofstream out_;
+  std::uint64_t events_ = 0;
+};
+
+/// In-memory sink for tests.
+class VectorTraceSink final : public TraceSink {
+ public:
+  void record(const TraceRecord& record) override {
+    records_.push_back(record);
+  }
+  const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace sdsi::obs

@@ -45,6 +45,9 @@ void RoutingSystem::send(NodeIndex from, Key key, Message msg) {
   msg.origin = from;
   msg.hops = 0;
   msg.sent_at = sim_.now();
+  if (msg.trace_id == 0) {
+    msg.trace_id = allocate_trace_id();
+  }
   notify_send(from, msg);
   if (message_lost(msg)) {
     return;
@@ -58,6 +61,9 @@ void RoutingSystem::send_direct(NodeIndex from, NodeIndex to, Message msg) {
   msg.origin = from;
   msg.hops = 0;
   msg.sent_at = sim_.now();
+  if (msg.trace_id == 0) {
+    msg.trace_id = allocate_trace_id();
+  }
   notify_send(from, msg);
   if (message_lost(msg)) {
     return;
@@ -91,12 +97,30 @@ void RoutingSystem::deliver_at(NodeIndex at, Message msg) {
   if (metrics_ != nullptr) {
     metrics_->on_deliver(at, msg);
   }
+  if (trace_ != nullptr) {
+    emit_trace(obs::TraceEventKind::kDeliver, at, msg, nullptr);
+  }
   if (deliver_) {
     deliver_(at, msg);
   }
   if (msg.has_range) {
     forward_range_copies(at, msg);
   }
+}
+
+void RoutingSystem::emit_trace(obs::TraceEventKind event, NodeIndex node,
+                               const Message& msg, const char* drop_cause) {
+  obs::TraceRecord record;
+  record.trace_id = msg.trace_id;
+  record.event = event;
+  record.at_us = sim_.now().count_micros();
+  record.node = node;
+  record.kind = msg.kind;
+  record.hops = msg.hops;
+  record.target_key = msg.target_key;
+  record.range_internal = msg.range_internal;
+  record.drop_cause = drop_cause;
+  trace_->record(record);
 }
 
 void RoutingSystem::forward_range_copies(NodeIndex at, const Message& msg) {

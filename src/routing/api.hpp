@@ -25,6 +25,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "fault/model.hpp"
+#include "obs/trace.hpp"
 #include "routing/message.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
@@ -96,6 +97,17 @@ class RoutingSystem {
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
   void set_metrics_hook(MetricsHook* hook) noexcept { metrics_ = hook; }
 
+  /// Structured trace stream (obs/trace.hpp). When set, every observable
+  /// step of every message — originate, range-copy, transit, deliver, drop —
+  /// is reported under the message's trace id. Pass nullptr to disable.
+  void set_trace_sink(obs::TraceSink* sink) noexcept { trace_ = sink; }
+  obs::TraceSink* trace_sink() const noexcept { return trace_; }
+
+  /// Next correlation id. send()/send_direct() call this automatically for
+  /// messages without one; callers that span several sends (retries,
+  /// refreshes) allocate once and stamp each Message themselves.
+  std::uint64_t allocate_trace_id() noexcept { return ++last_trace_id_; }
+
   /// Failure injection: every transmission is independently lost with
   /// `probability`. The middleware's soft state (periodic MBRs, periodic
   /// responses, refreshes) must tolerate this; tests and benches exercise
@@ -162,6 +174,11 @@ class RoutingSystem {
     if (metrics_ != nullptr) {
       metrics_->on_send(from, msg);
     }
+    if (trace_ != nullptr) {
+      emit_trace(msg.range_internal ? obs::TraceEventKind::kRangeCopy
+                                    : obs::TraceEventKind::kOriginate,
+                 from, msg, nullptr);
+    }
   }
 
   /// Loss-model sample: true when this transmission should vanish. Consults
@@ -175,6 +192,12 @@ class RoutingSystem {
     ++drops_by_cause_[static_cast<std::size_t>(cause)];
     if (metrics_ != nullptr) {
       metrics_->on_drop(cause, msg);
+    }
+    if (trace_ != nullptr) {
+      // Link location is not tracked at this layer; the drop is attributed
+      // to the copy's origin node.
+      emit_trace(obs::TraceEventKind::kDrop, msg.origin, msg,
+                 fault::drop_cause_name(cause));
     }
   }
 
@@ -191,16 +214,23 @@ class RoutingSystem {
     if (metrics_ != nullptr) {
       metrics_->on_transit(via, msg);
     }
+    if (trace_ != nullptr) {
+      emit_trace(obs::TraceEventKind::kTransit, via, msg, nullptr);
+    }
   }
 
  private:
   void forward_range_copies(NodeIndex at, const Message& msg);
+  void emit_trace(obs::TraceEventKind event, NodeIndex node,
+                  const Message& msg, const char* drop_cause);
 
   sim::Simulator& sim_;
   common::IdSpace space_;
   sim::Duration hop_latency_;
   DeliverFn deliver_;
   MetricsHook* metrics_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
+  std::uint64_t last_trace_id_ = 0;
   double loss_probability_ = 0.0;
   std::optional<common::Pcg32> loss_rng_;
   std::shared_ptr<fault::LinkFaultModel> fault_model_;

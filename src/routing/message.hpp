@@ -53,6 +53,12 @@ struct Message {
   /// Simulation time the originating send() happened (end-to-end latency).
   sim::SimTime sent_at;
 
+  /// Observability correlation id. Assigned by RoutingSystem::send() when
+  /// still 0; range-multicast copies inherit it, and the middleware reuses
+  /// one id across a publication's retries/refreshes, so every trace event
+  /// of one logical operation shares the id (obs/trace.hpp).
+  std::uint64_t trace_id = 0;
+
   /// Typed application payload; cheap to copy (middleware payloads are
   /// small structs or shared_ptrs).
   std::any payload;

@@ -1,0 +1,134 @@
+// LogHistogram: exact bucket boundaries, overflow behavior, and quantile
+// estimates (the distribution backbone of the observability layer).
+#include <gtest/gtest.h>
+
+#include "obs/log_histogram.hpp"
+
+namespace sdsi::obs {
+namespace {
+
+// Power-of-two geometry keeps every boundary exact in floating point, so
+// boundary assertions are strict equalities, not tolerances.
+LogHistogram pow2_hist() { return LogHistogram(1.0, 2.0, 8); }
+
+TEST(LogHistogram, BucketBoundariesArePinned) {
+  const LogHistogram h = pow2_hist();
+  // Bucket 0 is [0, min); bucket i >= 1 is [min * g^(i-1), min * g^i).
+  EXPECT_DOUBLE_EQ(h.bucket_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_high(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_low(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_high(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_low(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bucket_high(4), 16.0);
+
+  // A boundary value belongs to the bucket it opens (ranges are [low, high)).
+  EXPECT_EQ(h.bucket_index(0.0), 0u);
+  EXPECT_EQ(h.bucket_index(0.999), 0u);
+  EXPECT_EQ(h.bucket_index(1.0), 1u);
+  EXPECT_EQ(h.bucket_index(2.0), 2u);
+  EXPECT_EQ(h.bucket_index(3.999), 2u);
+  EXPECT_EQ(h.bucket_index(4.0), 3u);
+}
+
+TEST(LogHistogram, ValuesLandInTheirBucket) {
+  LogHistogram h = pow2_hist();
+  h.add(0.5);   // bucket 0
+  h.add(1.5);   // bucket 1
+  h.add(3.0);   // bucket 2
+  h.add(3.0);   // bucket 2
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 0u);
+}
+
+TEST(LogHistogram, OverflowGoesToTheLastBucket) {
+  LogHistogram h = pow2_hist();
+  // Top boundary is 2^7 = 128; anything at or above lands in bucket 7.
+  h.add(128.0);
+  h.add(1e9);
+  EXPECT_EQ(h.bucket_index(1e9), h.bucket_count() - 1);
+  EXPECT_EQ(h.bucket(h.bucket_count() - 1), 2u);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);  // exact extremes survive overflow
+}
+
+TEST(LogHistogram, CountSumMinMaxAreExact) {
+  LogHistogram h = pow2_hist();
+  for (const double x : {7.0, 0.25, 42.0, 3.5}) {
+    h.add(x);
+  }
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 52.75);
+  EXPECT_DOUBLE_EQ(h.mean(), 52.75 / 4.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.25);
+  EXPECT_DOUBLE_EQ(h.max(), 42.0);
+}
+
+TEST(LogHistogram, EmptyHistogramReportsZeros) {
+  const LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(LogHistogram, SingleSampleQuantilesCollapseToIt) {
+  LogHistogram h = pow2_hist();
+  h.add(13.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 13.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 13.0);
+}
+
+TEST(LogHistogram, QuantilesTrackAUniformRamp) {
+  // 1..1000 with the default telemetry geometry: bucket-interpolated
+  // quantiles must sit within one bucket's relative width (growth 1.35 →
+  // under 35% relative error, typically far less) of the exact answer.
+  LogHistogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.add(static_cast<double>(i));
+  }
+  EXPECT_NEAR(h.p50(), 500.0, 0.35 * 500.0);
+  EXPECT_NEAR(h.p90(), 900.0, 0.35 * 900.0);
+  EXPECT_NEAR(h.p99(), 990.0, 0.35 * 990.0);
+  // Quantiles are clamped to the exact envelope and are monotone.
+  EXPECT_GE(h.quantile(0.0), h.min());
+  EXPECT_LE(h.quantile(1.0), h.max());
+  EXPECT_LE(h.p50(), h.p90());
+  EXPECT_LE(h.p90(), h.p99());
+}
+
+TEST(LogHistogram, MergeEqualsInterleavedAdds) {
+  LogHistogram a = pow2_hist();
+  LogHistogram b = pow2_hist();
+  LogHistogram both = pow2_hist();
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.5 + static_cast<double>(i);
+    ((i % 2 == 0) ? a : b).add(x);
+    both.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_DOUBLE_EQ(a.sum(), both.sum());
+  EXPECT_DOUBLE_EQ(a.min(), both.min());
+  EXPECT_DOUBLE_EQ(a.max(), both.max());
+  for (std::size_t i = 0; i < a.bucket_count(); ++i) {
+    EXPECT_EQ(a.bucket(i), both.bucket(i)) << "bucket " << i;
+  }
+}
+
+TEST(LogHistogram, ResetClearsEverything) {
+  LogHistogram h = pow2_hist();
+  h.add(3.0);
+  h.add(900.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+    EXPECT_EQ(h.bucket(i), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sdsi::obs

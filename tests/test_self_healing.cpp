@@ -95,8 +95,8 @@ TEST(AckedPublication, RetriesHealLostBatchesAndRecordLatency) {
   const RobustnessCounters& counters = h.system.metrics().robustness();
   EXPECT_GT(counters.mbr_acks, 0u);
   EXPECT_GT(counters.mbr_retries, 0u) << "35% loss must trigger ack timeouts";
-  EXPECT_GT(counters.heal_latency_stats.count(), 0u);
-  EXPECT_GT(counters.heal_latency_stats.mean(), 0.0);
+  EXPECT_GT(counters.heal_latency_ms.count(), 0u);
+  EXPECT_GT(counters.heal_latency_ms.mean(), 0.0);
 
   // The retried batches actually arrived: a tight matching query sees the
   // stream despite the loss.
@@ -116,7 +116,7 @@ TEST(AckedPublication, CleanNetworkNeedsNoRetries) {
   EXPECT_GT(counters.mbr_acks, 0u);
   EXPECT_EQ(counters.mbr_retries, 0u);
   EXPECT_EQ(counters.mbr_retry_exhausted, 0u);
-  EXPECT_EQ(counters.heal_latency_stats.count(), 0u)
+  EXPECT_EQ(counters.heal_latency_ms.count(), 0u)
       << "heal latency samples only retried batches";
 }
 

@@ -1,0 +1,142 @@
+// MetricsRegistry: lazy window rollover for counters/gauges/histograms and
+// the bounded ring buffer's non-silent eviction.
+#include <gtest/gtest.h>
+
+#include "obs/timeseries.hpp"
+#include "sim/simulator.hpp"
+
+namespace sdsi::obs {
+namespace {
+
+sim::SimTime at_ms(long long ms) {
+  return sim::SimTime::zero() + sim::Duration::millis(ms);
+}
+
+struct Harness {
+  sim::Simulator sim;
+  MetricsRegistry registry;
+
+  Harness()
+      : registry(&sim, {.window = sim::Duration::millis(100),
+                        .ring_capacity = 8}) {}
+
+  void at(long long ms, std::function<void()> fn) {
+    sim.schedule_at(at_ms(ms), std::move(fn));
+  }
+};
+
+TEST(TimeSeries, RingEvictsOldestAndCountsIt) {
+  TimeSeries series(4);
+  for (std::int64_t w = 0; w < 6; ++w) {
+    series.append({w, static_cast<double>(w) * 10.0});
+  }
+  EXPECT_EQ(series.size(), 4u);
+  EXPECT_EQ(series.evicted(), 2u);
+  // at(0) is the oldest retained point: windows 2..5 survive.
+  EXPECT_EQ(series.at(0).window, 2);
+  EXPECT_EQ(series.at(3).window, 5);
+  EXPECT_DOUBLE_EQ(series.at(0).value, 20.0);
+}
+
+TEST(Registry, CounterRollsWindowsLazily) {
+  Harness h;
+  Counter& c = h.registry.counter("x");
+  h.at(10, [&] { c.add(1.0); });
+  h.at(50, [&] { c.add(1.0); });   // still window 0
+  h.at(150, [&] { c.add(1.0); });  // first update in window 1 closes window 0
+  h.at(310, [&] { c.add(2.0); });  // window 3 — window 2 had no activity
+  h.sim.run_all();
+
+  // The open window (3) is not in the series until flushed.
+  EXPECT_EQ(c.series().size(), 2u);
+  h.registry.flush();
+  ASSERT_EQ(c.series().size(), 3u);
+  EXPECT_EQ(c.series().at(0).window, 0);
+  EXPECT_DOUBLE_EQ(c.series().at(0).value, 2.0);
+  EXPECT_EQ(c.series().at(1).window, 1);
+  EXPECT_DOUBLE_EQ(c.series().at(1).value, 1.0);
+  // Quiet windows produce no point (series are sparse): window 2 is absent.
+  EXPECT_EQ(c.series().at(2).window, 3);
+  EXPECT_DOUBLE_EQ(c.series().at(2).value, 2.0);
+  // total() is the exact cumulative sum regardless of windowing.
+  EXPECT_DOUBLE_EQ(c.total(), 5.0);
+}
+
+TEST(Registry, GaugeKeepsEachWindowsFinalValue) {
+  Harness h;
+  Gauge& g = h.registry.gauge("level");
+  h.at(10, [&] { g.set(5.0); });
+  h.at(90, [&] { g.set(7.0); });   // last write in window 0 wins
+  h.at(250, [&] { g.set(9.0); });  // window 2
+  h.sim.run_all();
+  h.registry.flush();
+
+  ASSERT_EQ(g.series().size(), 2u);
+  EXPECT_EQ(g.series().at(0).window, 0);
+  EXPECT_DOUBLE_EQ(g.series().at(0).value, 7.0);
+  EXPECT_EQ(g.series().at(1).window, 2);
+  EXPECT_DOUBLE_EQ(g.series().at(1).value, 9.0);
+  EXPECT_DOUBLE_EQ(g.value(), 9.0);
+}
+
+TEST(Registry, HistogramSplitsCountAndSumPerWindow) {
+  Harness h;
+  HistogramMetric& m = h.registry.histogram("lat");
+  h.at(20, [&] { m.add(4.0); });
+  h.at(30, [&] { m.add(6.0); });
+  h.at(120, [&] { m.add(10.0); });
+  h.sim.run_all();
+  h.registry.flush();
+
+  ASSERT_EQ(m.count_series().size(), 2u);
+  EXPECT_EQ(m.count_series().at(0).window, 0);
+  EXPECT_DOUBLE_EQ(m.count_series().at(0).value, 2.0);
+  EXPECT_DOUBLE_EQ(m.sum_series().at(0).value, 10.0);
+  EXPECT_DOUBLE_EQ(m.count_series().at(1).value, 1.0);
+  EXPECT_DOUBLE_EQ(m.sum_series().at(1).value, 10.0);
+  // The cumulative histogram sees every sample, across all windows.
+  EXPECT_EQ(m.histogram().count(), 3u);
+  EXPECT_DOUBLE_EQ(m.histogram().sum(), 20.0);
+}
+
+TEST(Registry, LongRunsEvictButKeepExactTotals) {
+  Harness h;
+  Counter& c = h.registry.counter("busy");
+  // 20 active windows into a ring of 8: 12 evictions, exact total survives.
+  for (long long w = 0; w < 20; ++w) {
+    h.at(w * 100 + 1, [&] { c.add(1.0); });
+  }
+  h.sim.run_all();
+  h.registry.flush();
+  EXPECT_EQ(c.series().size(), 8u);
+  EXPECT_EQ(c.series().evicted(), 12u);
+  EXPECT_EQ(c.series().at(0).window, 12);  // oldest retained
+  EXPECT_DOUBLE_EQ(c.total(), 20.0);
+}
+
+TEST(Registry, NamedAccessorsReturnTheSameInstance) {
+  Harness h;
+  Counter& a = h.registry.counter("same");
+  Counter& b = h.registry.counter("same");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(h.registry.counters().size(), 1u);
+  // flush() is idempotent: no activity means no extra points.
+  h.registry.flush();
+  h.registry.flush();
+  EXPECT_EQ(a.series().size(), 0u);
+}
+
+TEST(Registry, CurrentWindowTracksTheClock) {
+  Harness h;
+  EXPECT_EQ(h.registry.current_window(), 0);
+  bool checked = false;
+  h.at(730, [&] {
+    EXPECT_EQ(h.registry.current_window(), 7);
+    checked = true;
+  });
+  h.sim.run_all();
+  EXPECT_TRUE(checked);
+}
+
+}  // namespace
+}  // namespace sdsi::obs

@@ -1,0 +1,426 @@
+// make_figures — paper-figure reproduction tooling.
+//
+// Takes one observability run directory (produced by `sdsi_sim --obs-dir`
+// or `bench_robustness --obs-dir`), validates the emitted documents against
+// the published schemas (metrics.json `sdsi.metrics` v1; trace.jsonl
+// `sdsi.trace` v1 when present), and renders the figure data tables:
+//
+//   figures/fig6a_load.csv        Fig 6(a) load decomposition
+//   figures/fig6b_distribution.csv Fig 6(b) per-node load rates
+//   figures/fig7_overhead.csv     Fig 7 overhead per input event
+//   figures/fig8_hops.csv         Fig 8 hops per message type
+//   figures/heal_latency_hist.csv heal-latency distribution (chaos runs)
+//   figures/timeseries.csv        every windowed series, long format
+//
+// Validation failures exit nonzero with a list of violations, so this
+// binary doubles as the schema checker wired into `ctest -L obs-smoke`.
+//
+//   make_figures <run-dir> [--out DIR]
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.hpp"
+
+namespace {
+
+using sdsi::obs::Json;
+
+std::vector<std::string> g_errors;
+
+void require(bool ok, const std::string& message) {
+  if (!ok) {
+    g_errors.push_back(message);
+  }
+}
+
+/// Object member of the expected type, nullptr (plus a recorded violation)
+/// otherwise.
+const Json* field(const Json& parent, const std::string& key, Json::Type type,
+                  const std::string& where) {
+  const Json* value = parent.find(key);
+  if (value == nullptr) {
+    g_errors.push_back(where + ": missing \"" + key + "\"");
+    return nullptr;
+  }
+  if (value->type() != type) {
+    g_errors.push_back(where + ": \"" + key + "\" has the wrong type");
+    return nullptr;
+  }
+  return value;
+}
+
+void check_histogram(const Json& histogram, const std::string& where) {
+  for (const char* key : {"count", "sum", "min", "max", "mean", "p50", "p90",
+                          "p99"}) {
+    field(histogram, key, Json::Type::kNumber, where);
+  }
+  const Json* buckets = field(histogram, "buckets", Json::Type::kArray, where);
+  if (buckets != nullptr) {
+    for (std::size_t i = 0; i < buckets->size(); ++i) {
+      require((*buckets)[i].is_array() && (*buckets)[i].size() == 3,
+              where + ": bucket entries must be [low, high, count]");
+    }
+  }
+}
+
+void check_metrics_schema(const Json& doc) {
+  const Json* version =
+      field(doc, "schema_version", Json::Type::kNumber, "metrics.json");
+  if (version != nullptr) {
+    require(version->as_int() == 1,
+            "metrics.json: schema_version must be 1");
+  }
+  const Json* kind = field(doc, "kind", Json::Type::kString, "metrics.json");
+  if (kind != nullptr) {
+    require(kind->as_string() == "sdsi.metrics",
+            "metrics.json: kind must be \"sdsi.metrics\"");
+  }
+
+  const Json* run = field(doc, "run", Json::Type::kObject, "metrics.json");
+  if (run != nullptr) {
+    for (const char* key : {"nodes", "seed", "warmup_s", "measure_s"}) {
+      field(*run, key, Json::Type::kNumber, "run");
+    }
+    field(*run, "substrate", Json::Type::kString, "run");
+    field(*run, "multicast", Json::Type::kString, "run");
+  }
+
+  const Json* load = field(doc, "load", Json::Type::kObject, "metrics.json");
+  if (load != nullptr) {
+    const Json* per_component =
+        field(*load, "per_component", Json::Type::kObject, "load");
+    if (per_component != nullptr) {
+      require(per_component->members().size() == 8,
+              "load.per_component: expected the 8 Fig 6(a) components");
+      for (const auto& [name, rate] : per_component->members()) {
+        require(rate.is_number(),
+                "load.per_component." + name + ": must be a number");
+      }
+    }
+    field(*load, "total", Json::Type::kNumber, "load");
+    field(*load, "per_node_total", Json::Type::kArray, "load");
+  }
+
+  const Json* overhead =
+      field(doc, "overhead", Json::Type::kObject, "metrics.json");
+  if (overhead != nullptr) {
+    for (const char* key : {"mbr_internal", "mbr_transit", "query_internal",
+                            "query_transit", "neighbor_exchange",
+                            "response_transit"}) {
+      field(*overhead, key, Json::Type::kNumber, "overhead");
+    }
+  }
+
+  const Json* hops = field(doc, "hops", Json::Type::kObject, "metrics.json");
+  if (hops != nullptr) {
+    for (const char* key : {"mbr", "mbr_internal", "query", "query_internal",
+                            "response"}) {
+      field(*hops, key, Json::Type::kNumber, "hops");
+    }
+  }
+
+  const Json* categories =
+      field(doc, "categories", Json::Type::kObject, "metrics.json");
+  if (categories != nullptr) {
+    for (const char* name : {"mbr", "query", "response", "neighbor",
+                             "location", "control"}) {
+      const Json* category =
+          field(*categories, name, Json::Type::kObject, "categories");
+      if (category == nullptr) {
+        continue;
+      }
+      for (const char* key :
+           {"originated", "range_internal", "transit", "delivered"}) {
+        field(*category, key, Json::Type::kNumber,
+              std::string("categories.") + name);
+      }
+      const Json* latency =
+          field(*category, "latency_ms", Json::Type::kObject,
+                std::string("categories.") + name);
+      if (latency != nullptr) {
+        check_histogram(*latency,
+                        std::string("categories.") + name + ".latency_ms");
+      }
+    }
+  }
+
+  const Json* drops = field(doc, "drops", Json::Type::kObject, "metrics.json");
+  if (drops != nullptr) {
+    field(*drops, "total", Json::Type::kNumber, "drops");
+  }
+
+  field(doc, "quality", Json::Type::kObject, "metrics.json");
+
+  const Json* robustness =
+      field(doc, "robustness", Json::Type::kObject, "metrics.json");
+  if (robustness != nullptr) {
+    const Json* heal = field(*robustness, "heal_latency_ms",
+                             Json::Type::kObject, "robustness");
+    if (heal != nullptr) {
+      check_histogram(*heal, "robustness.heal_latency_ms");
+    }
+  }
+
+  const Json* timeseries = doc.find("timeseries");  // optional section
+  if (timeseries != nullptr) {
+    require(timeseries->is_object(), "timeseries: must be an object");
+    const Json* window =
+        field(*timeseries, "window_ms", Json::Type::kNumber, "timeseries");
+    (void)window;
+    const Json* series =
+        field(*timeseries, "series", Json::Type::kArray, "timeseries");
+    if (series != nullptr) {
+      for (std::size_t i = 0; i < series->size(); ++i) {
+        const Json& entry = (*series)[i];
+        require(entry.is_object(), "timeseries.series: entries are objects");
+        if (!entry.is_object()) {
+          continue;
+        }
+        field(entry, "name", Json::Type::kString, "timeseries.series");
+        const Json* series_kind =
+            field(entry, "kind", Json::Type::kString, "timeseries.series");
+        if (series_kind != nullptr) {
+          const std::string& k = series_kind->as_string();
+          require(k == "counter" || k == "gauge" || k == "histogram",
+                  "timeseries.series: kind must be counter|gauge|histogram");
+        }
+      }
+    }
+  }
+}
+
+int check_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    g_errors.push_back("trace.jsonl: empty file");
+    return 0;
+  }
+  std::string error;
+  auto header = Json::parse(line, &error);
+  require(header.has_value(), "trace.jsonl header: " + error);
+  if (header.has_value()) {
+    const Json* schema = field(*header, "schema", Json::Type::kString,
+                               "trace.jsonl header");
+    if (schema != nullptr) {
+      require(schema->as_string() == "sdsi.trace.v1",
+              "trace.jsonl: schema must be \"sdsi.trace.v1\"");
+    }
+  }
+  int events = 0;
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    auto event = Json::parse(line, &error);
+    if (!event.has_value()) {
+      g_errors.push_back("trace.jsonl line " + std::to_string(line_no) +
+                         ": " + error);
+      continue;
+    }
+    const std::string where = "trace.jsonl line " + std::to_string(line_no);
+    field(*event, "tid", Json::Type::kNumber, where);
+    field(*event, "ev", Json::Type::kString, where);
+    field(*event, "t_us", Json::Type::kNumber, where);
+    field(*event, "node", Json::Type::kNumber, where);
+    ++events;
+    if (g_errors.size() > 20) {
+      break;  // the report is already damning; stop scanning
+    }
+  }
+  return events;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "make_figures: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return static_cast<bool>(out);
+}
+
+std::string csv_number(const Json& value) {
+  return value.dump();  // numbers dump in shortest round-trip form
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string run_dir;
+  std::string out_dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (run_dir.empty() && !arg.empty() && arg[0] != '-') {
+      run_dir = arg;
+    } else {
+      std::fprintf(stderr, "usage: %s <run-dir> [--out DIR]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (run_dir.empty()) {
+    std::fprintf(stderr, "usage: %s <run-dir> [--out DIR]\n", argv[0]);
+    return 2;
+  }
+  if (out_dir.empty()) {
+    out_dir = run_dir + "/figures";
+  }
+
+  const std::string metrics_path = run_dir + "/metrics.json";
+  std::ifstream in(metrics_path);
+  if (!in) {
+    std::fprintf(stderr, "make_figures: cannot read %s\n",
+                 metrics_path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string parse_error;
+  auto doc = Json::parse(buffer.str(), &parse_error);
+  if (!doc.has_value()) {
+    std::fprintf(stderr, "make_figures: %s: %s\n", metrics_path.c_str(),
+                 parse_error.c_str());
+    return 1;
+  }
+
+  check_metrics_schema(*doc);
+
+  int trace_events = 0;
+  const std::string trace_path = run_dir + "/trace.jsonl";
+  const bool have_trace = std::filesystem::exists(trace_path);
+  if (have_trace) {
+    trace_events = check_trace_file(trace_path);
+  }
+
+  if (!g_errors.empty()) {
+    std::fprintf(stderr,
+                 "make_figures: %zu schema violation(s) in %s:\n",
+                 g_errors.size(), run_dir.c_str());
+    for (const std::string& error : g_errors) {
+      std::fprintf(stderr, "  - %s\n", error.c_str());
+    }
+    return 1;
+  }
+
+  std::filesystem::create_directories(out_dir);
+
+  // Fig 6(a): load decomposition.
+  {
+    std::string csv = "component,msgs_per_node_per_sec\n";
+    const Json& per_component = *doc->find("load")->find("per_component");
+    for (const auto& [name, rate] : per_component.members()) {
+      csv += name + "," + csv_number(rate) + "\n";
+    }
+    csv += "total," + csv_number(*doc->find("load")->find("total")) + "\n";
+    if (!write_file(out_dir + "/fig6a_load.csv", csv)) {
+      return 1;
+    }
+  }
+
+  // Fig 6(b): per-node load rates.
+  {
+    std::string csv = "node,msgs_per_sec\n";
+    const Json& per_node = *doc->find("load")->find("per_node_total");
+    for (std::size_t i = 0; i < per_node.size(); ++i) {
+      csv += std::to_string(i) + "," + csv_number(per_node[i]) + "\n";
+    }
+    if (!write_file(out_dir + "/fig6b_distribution.csv", csv)) {
+      return 1;
+    }
+  }
+
+  // Fig 7: overhead per input event.
+  {
+    std::string csv = "component,messages_per_event\n";
+    for (const auto& [name, value] : doc->find("overhead")->members()) {
+      csv += name + "," + csv_number(value) + "\n";
+    }
+    if (!write_file(out_dir + "/fig7_overhead.csv", csv)) {
+      return 1;
+    }
+  }
+
+  // Fig 8: hops per message type.
+  {
+    std::string csv = "type,hops\n";
+    for (const auto& [name, value] : doc->find("hops")->members()) {
+      csv += name + "," + csv_number(value) + "\n";
+    }
+    if (!write_file(out_dir + "/fig8_hops.csv", csv)) {
+      return 1;
+    }
+  }
+
+  // Heal-latency distribution (meaningful for chaos runs; header-only
+  // otherwise so downstream plotting never special-cases the file away).
+  {
+    std::string csv = "bucket_low_ms,bucket_high_ms,count\n";
+    const Json& buckets =
+        *doc->find("robustness")->find("heal_latency_ms")->find("buckets");
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      csv += csv_number(buckets[i][0]) + "," + csv_number(buckets[i][1]) +
+             "," + csv_number(buckets[i][2]) + "\n";
+    }
+    if (!write_file(out_dir + "/heal_latency_hist.csv", csv)) {
+      return 1;
+    }
+  }
+
+  // Every windowed series, long format (window start in ms so plotting
+  // needs no knowledge of the window width).
+  int series_count = 0;
+  {
+    std::string csv = "window_start_ms,series,value\n";
+    const Json* timeseries = doc->find("timeseries");
+    if (timeseries != nullptr) {
+      const double window_ms = timeseries->find("window_ms")->as_number();
+      const Json& series = *timeseries->find("series");
+      for (std::size_t i = 0; i < series.size(); ++i) {
+        const Json& entry = series[i];
+        const std::string& name = entry.find("name")->as_string();
+        const std::string& kind = entry.find("kind")->as_string();
+        const auto emit_points = [&](const Json* points,
+                                     const std::string& label) {
+          if (points == nullptr) {
+            return;
+          }
+          for (std::size_t p = 0; p < points->size(); ++p) {
+            const double start = (*points)[p][0].as_number() * window_ms;
+            csv += csv_number(Json(start)) + "," + label + "," +
+                   csv_number((*points)[p][1]) + "\n";
+          }
+        };
+        if (kind == "histogram") {
+          emit_points(entry.find("count_points"), name + ".count");
+          emit_points(entry.find("sum_points"), name + ".sum");
+        } else {
+          emit_points(entry.find("points"), name);
+        }
+        ++series_count;
+      }
+    }
+    if (!write_file(out_dir + "/timeseries.csv", csv)) {
+      return 1;
+    }
+  }
+
+  std::printf(
+      "make_figures: %s valid (schema v1); wrote 6 tables to %s "
+      "(%d series%s)\n",
+      metrics_path.c_str(), out_dir.c_str(), series_count,
+      have_trace
+          ? (", trace.jsonl valid, " + std::to_string(trace_events) +
+             " events")
+                .c_str()
+          : "");
+  return 0;
+}

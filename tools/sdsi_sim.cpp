@@ -17,6 +17,7 @@
 #include <string>
 
 #include "bench/bench_common.hpp"
+#include "core/report_render.hpp"
 
 namespace {
 
@@ -49,7 +50,10 @@ using namespace sdsi;
       "  --mbr-refresh S      soft-state MBR re-routing period (0 = off)\n"
       "  --query-refresh S    subscription refresh period (0 = off)\n"
       "  --oracle S           recall-oracle sampling period (enables recall)\n"
-      "  --drain S            settling time after measure before reports\n",
+      "  --drain S            settling time after measure before reports\n"
+      "  --obs-dir DIR        write DIR/metrics.json (time series + reports)\n"
+      "  --trace              with --obs-dir: also stream DIR/trace.jsonl\n"
+      "  --obs-window MS      time-series window in ms (default 1000)\n",
       argv0);
   std::exit(2);
 }
@@ -183,9 +187,20 @@ int main(int argc, char** argv) {
           sim::Duration::seconds(parse_double(value(), argv[0]));
     } else if (is("--drain")) {
       config.drain = sim::Duration::seconds(parse_double(value(), argv[0]));
+    } else if (is("--obs-dir")) {
+      config.obs.dir = value();
+    } else if (is("--trace")) {
+      config.obs.trace = true;
+    } else if (is("--obs-window")) {
+      config.obs.window =
+          sim::Duration::millis(parse_long(value(), argv[0]));
     } else {
       usage(argv[0]);
     }
+  }
+  if (config.obs.trace && !config.obs.enabled()) {
+    std::fprintf(stderr, "%s: --trace requires --obs-dir\n", argv[0]);
+    return 2;
   }
   if (crash_fraction > 0.0) {
     // The canonical chaos wave: hits 10s into the measurement ramp,
@@ -208,16 +223,15 @@ int main(int argc, char** argv) {
   }
   core::Experiment experiment(config);
   experiment.run();
+  if (config.obs.enabled()) {
+    std::printf("observability: wrote %s/metrics.json%s\n",
+                config.obs.dir.c_str(),
+                config.obs.trace ? " and trace.jsonl" : "");
+  }
 
   const core::LoadReport load = experiment.load_report();
-  std::printf("\n-- Fig 6(a) load decomposition (msgs/node/s) --\n");
-  for (std::size_t c = 0;
-       c < static_cast<std::size_t>(core::LoadComponent::kCount); ++c) {
-    std::printf("  %-20s %8.3f\n",
-                core::load_component_name(static_cast<core::LoadComponent>(c)),
-                load.per_component[c]);
-  }
-  std::printf("  %-20s %8.3f\n", "TOTAL", load.total);
+  std::printf("\n-- Fig 6(a) load decomposition (msgs/node/s) --\n%s",
+              core::render_load_table(load).render().c_str());
 
   const core::OverheadReport overhead = experiment.overhead_report();
   std::printf("\n-- Fig 7 overhead per event --\n");
@@ -260,6 +274,7 @@ int main(int argc, char** argv) {
         "  MBR acks %llu, retries %llu (exhausted %llu), refreshes %llu\n"
         "  response retries %llu, location retries %llu\n"
         "  heals %llu, heal latency mean %.0f ms max %.0f ms\n"
+        "  heal latency p50 %.0f ms p90 %.0f ms p99 %.0f ms\n"
         "  crashes %llu, recoveries %llu\n",
         robustness.duplicate_delivery_rate,
         static_cast<unsigned long long>(robustness.duplicate_stores),
@@ -271,19 +286,13 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(robustness.location_retries),
         static_cast<unsigned long long>(robustness.heals),
         robustness.mean_heal_latency_ms, robustness.max_heal_latency_ms,
+        robustness.p50_heal_latency_ms, robustness.p90_heal_latency_ms,
+        robustness.p99_heal_latency_ms,
         static_cast<unsigned long long>(robustness.crashes),
         static_cast<unsigned long long>(robustness.recoveries));
-    common::TextTable drops({"Drop cause", "Messages"});
-    std::uint64_t total_drops = 0;
-    for (std::size_t c = 0; c < robustness.drops_by_cause.size(); ++c) {
-      drops.begin_row()
-          .add_cell(fault::drop_cause_name(static_cast<fault::DropCause>(c)))
-          .add_int(static_cast<long long>(robustness.drops_by_cause[c]));
-      total_drops += robustness.drops_by_cause[c];
-    }
-    drops.begin_row().add_cell("TOTAL").add_int(
-        static_cast<long long>(total_drops));
-    std::printf("%s", drops.render().c_str());
+    std::printf(
+        "%s", core::render_drops_table(robustness.drops_by_cause).render()
+                  .c_str());
   }
   return 0;
 }
