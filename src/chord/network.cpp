@@ -244,7 +244,10 @@ NodeIndex ChordNetwork::predecessor_index(NodeIndex node) const {
     return pred;
   }
   // Fall back to ground truth (a real node would wait for stabilization;
-  // the range walk must not stall on a transiently missing pointer).
+  // the range walk must not stall on a transiently missing pointer). The
+  // bypass is accounted for — counter, hook, trace event — so churn
+  // experiments report how often routing cheated.
+  record_oracle_fallback(node);
   const auto it = std::lower_bound(
       oracle_.begin(), oracle_.end(), nodes_[node].id,
       [](const std::pair<Key, NodeIndex>& entry, Key k) {
@@ -254,6 +257,27 @@ NodeIndex ChordNetwork::predecessor_index(NodeIndex node) const {
     return oracle_.back().second;
   }
   return std::prev(it)->second;
+}
+
+std::vector<NodeIndex> ChordNetwork::successors(NodeIndex node,
+                                                std::size_t count) const {
+  SDSI_CHECK(is_alive(node));
+  std::vector<NodeIndex> result;
+  result.reserve(count);
+  const NodeIndex head = live_successor(node);
+  if (head != node) {
+    result.push_back(head);
+  }
+  for (const NodeIndex entry : nodes_[node].successor_list) {
+    if (result.size() >= count) {
+      break;
+    }
+    if (entry != kInvalidNode && entry != node && nodes_[entry].alive &&
+        std::find(result.begin(), result.end(), entry) == result.end()) {
+      result.push_back(entry);
+    }
+  }
+  return result;
 }
 
 NodeIndex ChordNetwork::closest_preceding_node(NodeIndex node, Key key) const {
@@ -365,6 +389,8 @@ void ChordNetwork::iterate_step(NodeIndex origin, NodeIndex current, Key key,
                                [this, current, m = std::move(msg)]() mutable {
                                  if (is_alive(current)) {
                                    deliver_at(current, std::move(m));
+                                 } else if (m.reroute_on_dead) {
+                                   detour_around_dead(current, std::move(m));
                                  } else {
                                    ++lost_messages_;
                                    record_drop(fault::DropCause::kDeadNode, m);
@@ -420,6 +446,12 @@ void ChordNetwork::route_step(NodeIndex current, Key key, Message msg) {
       transmission_latency(),
       [this, next, key, next_final, m = std::move(msg)]() mutable {
         if (!is_alive(next)) {
+          // A terminal hop that died in flight can still detour: the state
+          // belongs to whoever inherits the dead node's arc.
+          if (next_final && m.reroute_on_dead) {
+            detour_around_dead(next, std::move(m));
+            return;
+          }
           ++lost_messages_;
           record_drop(fault::DropCause::kDeadNode, m);
           return;
@@ -439,12 +471,53 @@ void ChordNetwork::route_direct(NodeIndex from, NodeIndex to, Message msg) {
       from == to ? sim::Duration() : transmission_latency();
   simulator().schedule_after(delay, [this, to, m = std::move(msg)]() mutable {
     if (!is_alive(to)) {
+      if (m.reroute_on_dead) {
+        detour_around_dead(to, std::move(m));
+        return;
+      }
       ++lost_messages_;
       record_drop(fault::DropCause::kDeadNode, m);
       return;
     }
     deliver_at(to, std::move(m));
   });
+}
+
+void ChordNetwork::detour_around_dead(NodeIndex dead, Message msg) {
+  if (msg.hops > config_.max_route_hops) {
+    ++lost_messages_;
+    record_drop(fault::DropCause::kHopLimit, msg);
+    return;
+  }
+  // The dead node's successor list is the replica set of the arc it covered;
+  // its first live entry is the node stabilization will promote, so the
+  // message is worth one more transmission there. (Operationally: the sender
+  // times out on the dead neighbor and retries the next list entry — we
+  // charge it as one extra hop.)
+  NodeIndex next = kInvalidNode;
+  for (const NodeIndex candidate : nodes_[dead].successor_list) {
+    if (candidate != kInvalidNode && candidate != dead &&
+        nodes_[candidate].alive) {
+      next = candidate;
+      break;
+    }
+  }
+  if (next == kInvalidNode) {
+    // The whole replica set is gone; nothing can inherit the state.
+    ++lost_messages_;
+    record_drop(fault::DropCause::kDeadAggregator, msg);
+    return;
+  }
+  record_detour(dead, msg);
+  msg.hops += 1;
+  simulator().schedule_after(
+      transmission_latency(), [this, next, m = std::move(msg)]() mutable {
+        if (!is_alive(next)) {
+          detour_around_dead(next, std::move(m));
+          return;
+        }
+        deliver_at(next, std::move(m));
+      });
 }
 
 }  // namespace sdsi::chord

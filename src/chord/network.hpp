@@ -139,6 +139,12 @@ class ChordNetwork final : public routing::RoutingSystem {
   NodeIndex predecessor_index(NodeIndex node) const override;
   NodeIndex find_successor_oracle(Key key) const override;
 
+  /// The node's protocol successor list, filtered to live entries — the
+  /// replica set the replication layer mirrors onto. Unlike the base
+  /// chain-walk this reflects what the node actually knows mid-churn.
+  std::vector<NodeIndex> successors(NodeIndex node,
+                                    std::size_t count) const override;
+
  protected:
   void route_to_key(NodeIndex from, Key key, Message msg) override;
   void route_direct(NodeIndex from, NodeIndex to, Message msg) override;
@@ -166,6 +172,12 @@ class ChordNetwork final : public routing::RoutingSystem {
   /// Iterative flavor: the origin probes `current` for the next hop; each
   /// probe round costs two transmissions (request + reply).
   void iterate_step(NodeIndex origin, NodeIndex current, Key key, Message msg);
+
+  /// A transmission with reroute_on_dead found `dead` down on arrival:
+  /// forward to the first live entry of the dead node's successor list (the
+  /// node that inherits its arc) instead of dropping. Drops with
+  /// kDeadAggregator only when the whole list is gone.
+  void detour_around_dead(NodeIndex dead, Message msg);
 
   void refresh_successor_list(NodeIndex node);
   void rebuild_oracle();

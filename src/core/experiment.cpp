@@ -71,6 +71,8 @@ void Experiment::build() {
   middleware.response_ack.enabled = config_.response_acks;
   middleware.mbr_refresh_period = config_.mbr_refresh_period;
   middleware.query_refresh_period = config_.query_refresh_period;
+  middleware.replication_factor = config_.replication_factor;
+  middleware.anti_entropy_period = config_.anti_entropy_period;
   middleware.rng_seed = rng_factory_.make("middleware-seed").next64();
   system_ = std::make_unique<MiddlewareSystem>(*routing_, middleware);
   system_->metrics().set_enabled(false);
@@ -175,6 +177,9 @@ void Experiment::wire_faults() {
     chord->recover(node, via);
     // A restarted data center comes back with empty soft state.
     system_->reset_node_soft_state(node);
+    // With replication on, the rejoined node immediately pulls its key-range
+    // slice from its successor instead of waiting for the refresh period.
+    system_->handle_node_join(node);
   };
   hooks.maintenance = [chord](int rounds) {
     chord->run_maintenance_rounds(rounds);
@@ -472,6 +477,16 @@ RobustnessReport Experiment::robustness_report() const {
     report.crashes = injector_->crashes_executed();
     report.recoveries = injector_->recoveries_executed();
   }
+  report.replica_puts = counters.replica_puts;
+  report.replica_repairs = counters.replica_repairs;
+  report.handoff_entries = counters.handoff_entries;
+  report.handoff_bytes = counters.handoff_bytes;
+  report.aggregator_failovers = counters.aggregator_failovers;
+  report.report_detours = counters.report_detours;
+  report.oracle_fallbacks = counters.oracle_fallbacks;
+  report.mean_failover_latency_ms = counters.failover_latency_ms.mean();
+  report.p90_failover_latency_ms = counters.failover_latency_ms.p90();
+  report.max_failover_latency_ms = counters.failover_latency_ms.max();
   return report;
 }
 

@@ -109,6 +109,13 @@ struct ExperimentConfig {
   bool response_acks = false;
   sim::Duration mbr_refresh_period = sim::Duration();
   sim::Duration query_refresh_period = sim::Duration();
+  /// Successor-list replication degree (0 disables the replication layer);
+  /// forwarded into MiddlewareConfig. Recovered nodes additionally pull
+  /// their key-range slice from their successor (ownership handoff).
+  std::size_t replication_factor = 0;
+  /// Anti-entropy digest period (0 disables); forwarded into
+  /// MiddlewareConfig.
+  sim::Duration anti_entropy_period = sim::Duration();
   /// Recall-oracle sampling period (zero disables the oracle entirely).
   /// Sampling stops at the end of `measure`.
   sim::Duration oracle_sample_period = sim::Duration();
@@ -189,6 +196,19 @@ struct RobustnessReport {
       drops_by_cause{};
   std::uint64_t crashes = 0;
   std::uint64_t recoveries = 0;
+
+  // --- Replication & failover layer ---------------------------------------
+  std::uint64_t replica_puts = 0;       // store entries mirrored to replicas
+  std::uint64_t replica_repairs = 0;    // anti-entropy backfills applied
+  std::uint64_t handoff_entries = 0;    // entries moved by join/leave handoff
+  std::uint64_t handoff_bytes = 0;      // approximate handoff payload bytes
+  std::uint64_t aggregator_failovers = 0;  // replica-to-aggregator promotions
+  std::uint64_t report_detours = 0;     // sends saved by dead-hop detours
+  std::uint64_t oracle_fallbacks = 0;   // routing bypassed protocol state
+  /// Aggregator dark time per failover (last mirror -> promotion), ms.
+  double mean_failover_latency_ms = 0.0;
+  double p90_failover_latency_ms = 0.0;
+  double max_failover_latency_ms = 0.0;
 };
 
 class Experiment {

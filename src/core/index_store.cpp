@@ -201,4 +201,19 @@ const IndexStore::Subscription* IndexStore::find_subscription(
   return it == subscriptions_.end() ? nullptr : &it->second;
 }
 
+bool IndexStore::contains_mbr(StreamId stream,
+                              std::uint64_t batch_seq) const {
+  return find_mbr(stream, batch_seq) != nullptr;
+}
+
+const IndexStore::StoredMbr* IndexStore::find_mbr(
+    StreamId stream, std::uint64_t batch_seq) const {
+  const auto it = by_key_.find(MbrKey{stream, batch_seq});
+  if (it == by_key_.end()) {
+    return nullptr;
+  }
+  const StoredMbr& entry = mbrs_[it->second];
+  return dead(entry) ? nullptr : &entry;
+}
+
 }  // namespace sdsi::core

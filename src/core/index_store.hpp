@@ -97,6 +97,15 @@ class IndexStore {
   }
   const Subscription* find_subscription(QueryId id) const;
 
+  /// Whether a live entry with this (stream, batch_seq) identity is stored.
+  /// Lazily-deleted slots count as absent (replication digests must never
+  /// claim expired state).
+  bool contains_mbr(StreamId stream, std::uint64_t batch_seq) const;
+
+  /// The live entry with this identity, or nullptr. The pointer is
+  /// invalidated by any mutating call.
+  const StoredMbr* find_mbr(StreamId stream, std::uint64_t batch_seq) const;
+
  private:
   /// One entry of the interval index: the routing-dimension interval of
   /// mbrs_[pos], kept hot and contiguous so candidate scans touch the (cold)

@@ -26,6 +26,12 @@ LoadComponent component_of(const routing::Message& msg, bool transit) {
     case MsgKind::kMbrAck:
     case MsgKind::kResponseAck:
       return LoadComponent::kControl;
+    case MsgKind::kReplicaPut:
+    case MsgKind::kHandoffRequest:
+    case MsgKind::kAntiEntropyDigest:
+    case MsgKind::kAntiEntropyRequest:
+    case MsgKind::kAggregatorReplica:
+      return LoadComponent::kReplication;
   }
   SDSI_CHECK(false && "unknown MsgKind");
   return LoadComponent::kQueries;
@@ -68,6 +74,7 @@ void MetricsCollector::reset() {
   neighbor_ = CategoryCounters{};
   location_ = CategoryCounters{};
   control_ = CategoryCounters{};
+  replication_ = CategoryCounters{};
   drops_by_cause_.fill(0);
   robustness_ = RobustnessCounters{};
 }
@@ -90,6 +97,12 @@ CategoryCounters& MetricsCollector::category(const routing::Message& msg) {
     case MsgKind::kMbrAck:
     case MsgKind::kResponseAck:
       return control_;
+    case MsgKind::kReplicaPut:
+    case MsgKind::kHandoffRequest:
+    case MsgKind::kAntiEntropyDigest:
+    case MsgKind::kAntiEntropyRequest:
+    case MsgKind::kAggregatorReplica:
+      return replication_;
   }
   SDSI_CHECK(false);
 }
@@ -183,6 +196,30 @@ void MetricsCollector::on_drop(fault::DropCause cause,
     return;
   }
   ++drops_by_cause_[static_cast<std::size_t>(cause)];
+}
+
+void MetricsCollector::on_detour(NodeIndex around,
+                                 const routing::Message& msg) {
+  (void)around;
+  (void)msg;
+  if (registry_ != nullptr) {
+    registry_->counter("failover.detours").add();
+  }
+  if (!enabled_) {
+    return;
+  }
+  ++robustness_.report_detours;
+}
+
+void MetricsCollector::on_oracle_fallback(NodeIndex node) {
+  (void)node;
+  if (registry_ != nullptr) {
+    registry_->counter("chord.oracle_fallbacks").add();
+  }
+  if (!enabled_) {
+    return;
+  }
+  ++robustness_.oracle_fallbacks;
 }
 
 std::uint64_t MetricsCollector::total_drops() const noexcept {

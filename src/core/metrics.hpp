@@ -31,11 +31,17 @@ enum class MsgKind : int {
   kLocationReply = 8,     // stream-id resolution reply
   kMbrAck = 9,            // storage confirmation for an MBR batch
   kResponseAck = 10,      // client confirmation of a match-bearing push
+  kReplicaPut = 11,       // mirrored store entries (mirror/handoff/repair)
+  kHandoffRequest = 12,   // joining node pulls its key-range slice
+  kAntiEntropyDigest = 13,   // compact content digest between replica peers
+  kAntiEntropyRequest = 14,  // backfill request for digest gaps
+  kAggregatorReplica = 15,   // partial-aggregation mirror to the replica set
 };
 
 /// The seven per-node load components of Fig 6(a), plus the reliability
 /// control traffic (acks) our self-healing extension adds on top of the
-/// paper's protocol.
+/// paper's protocol, plus the replication layer's traffic (mirrors,
+/// handoffs, anti-entropy, aggregator-state mirrors).
 enum class LoadComponent : std::size_t {
   kMbrSource = 0,        // (a) MBRs originated by the node as a stream source
   kMbrInternal = 1,      // (b) extra copies when an MBR range spans nodes
@@ -45,7 +51,8 @@ enum class LoadComponent : std::size_t {
   kResponsesInternal = 5,// (f) neighbor-to-neighbor similarity digests
   kResponsesTransit = 6, // (g) responses relayed by intermediate nodes
   kControl = 7,          // (h) acks: MBR storage + response delivery
-  kCount = 8,
+  kReplication = 8,      // (i) replication layer traffic
+  kCount = 9,
 };
 
 /// Human label for the Fig 6(a) table rows. Out-of-range values abort (every
@@ -61,6 +68,7 @@ inline const char* load_component_name(LoadComponent c) {
     case LoadComponent::kResponsesInternal: return "Responses internal";
     case LoadComponent::kResponsesTransit: return "Responses in transit";
     case LoadComponent::kControl: return "Control (acks)";
+    case LoadComponent::kReplication: return "Replication";
     case LoadComponent::kCount: break;
   }
   SDSI_CHECK(false && "unknown LoadComponent");
@@ -79,6 +87,7 @@ inline const char* load_component_slug(LoadComponent c) {
     case LoadComponent::kResponsesInternal: return "responses_internal";
     case LoadComponent::kResponsesTransit: return "responses_transit";
     case LoadComponent::kControl: return "control";
+    case LoadComponent::kReplication: return "replication";
     case LoadComponent::kCount: break;
   }
   SDSI_CHECK(false && "unknown LoadComponent");
@@ -120,6 +129,18 @@ struct RobustnessCounters {
   /// One sample per healed batch, in ms. A single log-bucketed histogram
   /// carries the whole story: count/mean/max exactly, p50/p90/p99 estimated.
   obs::LogHistogram heal_latency_ms;
+
+  // --- Replication & failover layer --------------------------------------
+  std::uint64_t replica_puts = 0;       // store entries mirrored to replicas
+  std::uint64_t replica_repairs = 0;    // anti-entropy backfills applied
+  std::uint64_t handoff_entries = 0;    // entries moved by join/leave handoff
+  std::uint64_t handoff_bytes = 0;      // approximate handoff payload bytes
+  std::uint64_t aggregator_failovers = 0;  // replica-to-aggregator promotions
+  std::uint64_t report_detours = 0;     // sends saved by dead-hop detours
+  std::uint64_t oracle_fallbacks = 0;   // routing bypassed protocol state
+  /// Aggregator dark time per failover: replica's last mirror update to its
+  /// promotion instant (how long partial aggregations sat unserved).
+  obs::LogHistogram failover_latency_ms;
 };
 
 class MetricsCollector final : public routing::MetricsHook {
@@ -142,6 +163,8 @@ class MetricsCollector final : public routing::MetricsHook {
   void on_transit(NodeIndex via, const routing::Message& msg) override;
   void on_deliver(NodeIndex at, const routing::Message& msg) override;
   void on_drop(fault::DropCause cause, const routing::Message& msg) override;
+  void on_detour(NodeIndex around, const routing::Message& msg) override;
+  void on_oracle_fallback(NodeIndex node) override;
 
   /// Attach the simulator clock so latency can be measured.
   void set_clock(const sim::Simulator* clock) noexcept { clock_ = clock; }
@@ -170,6 +193,7 @@ class MetricsCollector final : public routing::MetricsHook {
   const CategoryCounters& neighbor() const noexcept { return neighbor_; }
   const CategoryCounters& location() const noexcept { return location_; }
   const CategoryCounters& control() const noexcept { return control_; }
+  const CategoryCounters& replication() const noexcept { return replication_; }
 
   /// Drops observed through the routing hook, by cause label (unified view
   /// over link-loss models and routing-level losses).
@@ -217,6 +241,7 @@ class MetricsCollector final : public routing::MetricsHook {
   CategoryCounters neighbor_;
   CategoryCounters location_;
   CategoryCounters control_;
+  CategoryCounters replication_;
   std::array<std::uint64_t, static_cast<std::size_t>(fault::DropCause::kCount)>
       drops_by_cause_{};
   RobustnessCounters robustness_;

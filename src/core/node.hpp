@@ -44,6 +44,7 @@ struct LocalStream {
 /// which periodically pushes responses to the client).
 struct AggregatorRecord {
   NodeIndex client = kInvalidNode;
+  Key middle_key = 0;  // the range midpoint this aggregation is keyed on
   sim::SimTime expires;
   std::vector<SimilarityMatch> pending;     // to include in the next push
   std::unordered_set<StreamId> seen;        // cross-node deduplication
@@ -76,6 +77,19 @@ struct PublishedMbr {
   /// every retry and refresh re-use it, so the trace stream tells the
   /// batch's full story under a single correlation id (obs/trace.hpp).
   std::uint64_t trace_id = 0;
+};
+
+/// Passive mirror of one query's partial aggregation (replication layer):
+/// this node is in the middle key's replica set; if the aggregator dies the
+/// node promotes the mirror into a live AggregatorRecord and re-pushes every
+/// mirrored match (client-side distinct-stream dedup keeps counts exact).
+struct AggregationReplica {
+  NodeIndex client = kInvalidNode;
+  Key middle_key = 0;
+  sim::SimTime expires;
+  std::unordered_set<StreamId> seen;     // streams mirrored so far
+  std::vector<SimilarityMatch> matches;  // everything mirrored, in order
+  sim::SimTime last_update;              // failover dark-time measurement
 };
 
 struct MiddlewareNode {
@@ -114,6 +128,11 @@ struct MiddlewareNode {
   /// Location-get retries already spent per unresolved stream (drives the
   /// capped exponential backoff); erased once the stream resolves.
   std::unordered_map<StreamId, int> location_retry_attempts;
+
+  /// Partial-aggregation mirrors held for other nodes' queries (this node is
+  /// in the middle key's replica set). Promoted into `aggregations` when the
+  /// aggregator's arc falls to this node.
+  std::unordered_map<QueryId, AggregationReplica> aggregation_replicas;
 };
 
 }  // namespace sdsi::core

@@ -128,7 +128,9 @@ obs::Json metrics_to_json(const Experiment& experiment) {
   const MetricsCollector& metrics = experiment.metrics();
 
   obs::Json doc = obs::Json::object();
-  doc["schema_version"] = obs::Json(1);
+  // v2: ninth load component ("replication"), replication/failover
+  // robustness fields, and the replication category.
+  doc["schema_version"] = obs::Json(2);
   doc["kind"] = obs::Json("sdsi.metrics");
 
   obs::Json run = obs::Json::object();
@@ -142,6 +144,9 @@ obs::Json metrics_to_json(const Experiment& experiment) {
   run["drain_s"] = obs::Json(config.drain.as_seconds());
   run["mbr_acks"] = obs::Json(config.mbr_acks);
   run["mbr_refresh_s"] = obs::Json(config.mbr_refresh_period.as_seconds());
+  run["replication_factor"] =
+      obs::Json(static_cast<std::uint64_t>(config.replication_factor));
+  run["anti_entropy_s"] = obs::Json(config.anti_entropy_period.as_seconds());
   doc["run"] = std::move(run);
 
   const LoadReport load_report = experiment.load_report();
@@ -187,6 +192,7 @@ obs::Json metrics_to_json(const Experiment& experiment) {
   categories["neighbor"] = category_to_json(metrics.neighbor());
   categories["location"] = category_to_json(metrics.location());
   categories["control"] = category_to_json(metrics.control());
+  categories["replication"] = category_to_json(metrics.replication());
   doc["categories"] = std::move(categories);
 
   obs::Json drops = obs::Json::object();
@@ -232,6 +238,19 @@ obs::Json metrics_to_json(const Experiment& experiment) {
       histogram_to_json(metrics.robustness().heal_latency_ms);
   robustness["crashes"] = obs::Json(robustness_report.crashes);
   robustness["recoveries"] = obs::Json(robustness_report.recoveries);
+  robustness["replica_puts"] = obs::Json(robustness_report.replica_puts);
+  robustness["replica_repairs"] =
+      obs::Json(robustness_report.replica_repairs);
+  robustness["handoff_entries"] =
+      obs::Json(robustness_report.handoff_entries);
+  robustness["handoff_bytes"] = obs::Json(robustness_report.handoff_bytes);
+  robustness["aggregator_failovers"] =
+      obs::Json(robustness_report.aggregator_failovers);
+  robustness["report_detours"] = obs::Json(robustness_report.report_detours);
+  robustness["oracle_fallbacks"] =
+      obs::Json(robustness_report.oracle_fallbacks);
+  robustness["failover_latency_ms"] =
+      histogram_to_json(metrics.robustness().failover_latency_ms);
   doc["robustness"] = std::move(robustness);
 
   if (experiment.registry() != nullptr) {

@@ -117,6 +117,85 @@ struct ResponseAckPayload {
   std::uint64_t push_seq = 0;
 };
 
+// --- Replication & failover payloads ----------------------------------------
+
+/// Identity of one MBR batch in digests and backfill requests.
+struct MbrBatchId {
+  StreamId stream = 0;
+  std::uint64_t batch_seq = 0;
+};
+
+/// One mirrored MBR store entry — the stored fields verbatim (absolute
+/// `expires`), so a replica stores exactly what the owner holds and the
+/// (stream, batch_seq) dedup keeps redelivery idempotent.
+struct ReplicaMbrEntry {
+  StreamId stream = 0;
+  NodeIndex source = kInvalidNode;
+  dsp::Mbr mbr;
+  std::uint64_t batch_seq = 0;
+  sim::SimTime expires;
+};
+
+/// One mirrored similarity-subscription entry.
+struct ReplicaSubscriptionEntry {
+  std::shared_ptr<const SimilarityQuery> query;
+  Key middle_key = 0;
+  sim::SimTime expires;
+};
+
+/// Payload of kReplicaPut messages: store entries pushed to a replica peer.
+/// Serves three flows under one kind — the synchronous mirror at store
+/// time, the handoff slice on join/leave, and anti-entropy backfill.
+struct ReplicaPutPayload {
+  NodeIndex from = kInvalidNode;
+  std::vector<ReplicaMbrEntry> mbrs;
+  std::vector<ReplicaSubscriptionEntry> subscriptions;
+  bool handoff = false;  // part of an ownership-transfer slice
+  bool repair = false;   // anti-entropy gap backfill
+};
+
+/// Payload of kHandoffRequest messages: a node that (re)joined asks its
+/// successor for every entry whose key range intersects the arc (lo, hi]
+/// it now owns.
+struct HandoffRequestPayload {
+  NodeIndex requester = kInvalidNode;
+  Key lo = 0;  // exclusive: the requester's predecessor id
+  Key hi = 0;  // inclusive: the requester's own id
+};
+
+/// Payload of kAntiEntropyDigest messages: a compact listing of the store
+/// entries the sender holds for its own arc (lo, hi], sent to its replica
+/// set. The receiver requests what it misses and pushes back what the
+/// sender misses.
+struct AntiEntropyDigestPayload {
+  NodeIndex from = kInvalidNode;
+  Key lo = 0;  // exclusive low end of the sender's owned arc
+  Key hi = 0;  // inclusive high end (the sender's id)
+  std::vector<MbrBatchId> mbr_keys;
+  std::vector<QueryId> query_ids;
+};
+
+/// Payload of kAntiEntropyRequest messages: the digest entries the
+/// requester is missing and wants backfilled.
+struct AntiEntropyRequestPayload {
+  NodeIndex requester = kInvalidNode;
+  std::vector<MbrBatchId> mbr_keys;
+  std::vector<QueryId> query_ids;
+};
+
+/// Payload of kAggregatorReplica messages: an incremental mirror of one
+/// query's partial aggregation to the middle key's replica set, so a
+/// replica can promote itself to aggregator when the middle node dies
+/// without losing any client-visible match.
+struct AggregatorReplicaPayload {
+  QueryId query = 0;
+  NodeIndex client = kInvalidNode;
+  Key middle_key = 0;
+  sim::SimTime expires;
+  NodeIndex owner = kInvalidNode;  // the aggregator that mirrored
+  std::vector<SimilarityMatch> matches;  // newly filed since the last mirror
+};
+
 /// Location service payloads (Sec IV-D).
 struct LocationPutPayload {
   StreamId stream = 0;

@@ -1,6 +1,8 @@
 #include "core/system.hpp"
 
 #include <algorithm>
+#include <set>
+#include <unordered_set>
 #include <utility>
 
 #include "dsp/normalize.hpp"
@@ -48,6 +50,8 @@ void MiddlewareSystem::start() {
   started_ = true;
   const std::int64_t period_us = config_.notify_period.count_micros();
   const std::int64_t refresh_us = config_.mbr_refresh_period.count_micros();
+  const std::int64_t entropy_us =
+      replication_on() ? config_.anti_entropy_period.count_micros() : 0;
   for (NodeIndex i = 0; i < nodes_.size(); ++i) {
     // Stagger ticks across one period: data centers do not share a clock.
     schedule_tick(i, sim::Duration::micros(
@@ -56,6 +60,11 @@ void MiddlewareSystem::start() {
     if (refresh_us > 0) {
       schedule_mbr_refresh(
           i, sim::Duration::micros(refresh_us * static_cast<std::int64_t>(i) /
+                                   static_cast<std::int64_t>(nodes_.size())));
+    }
+    if (entropy_us > 0) {
+      schedule_anti_entropy(
+          i, sim::Duration::micros(entropy_us * static_cast<std::int64_t>(i) /
                                    static_cast<std::int64_t>(nodes_.size())));
     }
   }
@@ -78,6 +87,10 @@ void MiddlewareSystem::attach_node(NodeIndex index) {
       if (config_.mbr_refresh_period > sim::Duration()) {
         schedule_mbr_refresh(fresh, sim::Duration());
       }
+      if (replication_on() &&
+          config_.anti_entropy_period > sim::Duration()) {
+        schedule_anti_entropy(fresh, sim::Duration());
+      }
     }
   }
   metrics_.ensure_nodes(nodes_.size());
@@ -96,6 +109,7 @@ void MiddlewareSystem::reset_node_soft_state(NodeIndex index) {
   }
   state.published_mbrs.clear();
   state.location_retry_attempts.clear();
+  state.aggregation_replicas.clear();
 }
 
 // --- Application primitives --------------------------------------------------
@@ -174,14 +188,24 @@ void MiddlewareSystem::route_mbr(NodeIndex source, LocalStream& stream,
   }
 
   if (config_.store_local_summaries) {
-    nodes_[source].store.add_mbr(IndexStore::StoredMbr{
-        payload->stream, source, payload->mbr, payload->batch_seq, now,
-        expires});
+    const IndexStore::StoredMbr entry{payload->stream, source, payload->mbr,
+                                      payload->batch_seq, now, expires};
+    const bool added = nodes_[source].store.add_mbr(entry);
+    // When the source itself owns the range's hi end, the routed copy will
+    // dedup against this local store and handle_mbr never sees a first
+    // store — mirror from here so the batch still reaches the replica set.
+    if (added && replication_on() && covers_key(source, hi)) {
+      mirror_mbr(source, entry);
+    }
   }
 
   Message msg;
   msg.kind = static_cast<int>(MsgKind::kMbrUpdate);
   msg.payload = payload;
+  // With replication on, a landing copy whose terminal hop died in flight
+  // detours to the successor-list replica, which stores and acks — cutting
+  // the retry tail short.
+  msg.reroute_on_dead = replication_on();
   // Allocate the publication's trace id up front so retries and refreshes
   // can re-use it (routing would otherwise mint a fresh one per send).
   const std::uint64_t trace_id = routing_.allocate_trace_id();
@@ -317,8 +341,41 @@ void MiddlewareSystem::on_mbr_ack_timeout(NodeIndex source, StreamId stream,
   retry.kind = static_cast<int>(MsgKind::kMbrUpdate);
   retry.payload = pub.payload;
   retry.trace_id = pub.trace_id;
+  retry.reroute_on_dead = replication_on();
   routing_.send_range(source, pub.lo, pub.hi, std::move(retry),
                       config_.multicast);
+  if (replication_on()) {
+    // Hedged retry: a second multicast staggered past the mean burst
+    // length, so a loss burst that swallows the retry no longer doubles the
+    // heal time to another full timeout. Store dedup and idempotent acks
+    // make the extra copy side-effect free (replicas mirror only on first
+    // store), and hedges run only on the rare already-failed publications.
+    routing_.simulator().schedule_after(
+        sim::Duration::millis(150), [this, source, stream, seq] {
+          if (!routing_.is_alive(source)) {
+            return;
+          }
+          MiddlewareNode& src_state = nodes_[source];
+          const auto hedge_it = src_state.published_mbrs.find({stream, seq});
+          if (hedge_it == src_state.published_mbrs.end() ||
+              hedge_it->second.acked ||
+              hedge_it->second.payload->expires <=
+                  routing_.simulator().now()) {
+            return;
+          }
+          PublishedMbr& pending = hedge_it->second;
+          if (metrics_.registry() != nullptr) {
+            metrics_.registry()->counter("heal.retry_hedges").add();
+          }
+          Message hedge;
+          hedge.kind = static_cast<int>(MsgKind::kMbrUpdate);
+          hedge.payload = pending.payload;
+          hedge.trace_id = pending.trace_id;
+          hedge.reroute_on_dead = true;
+          routing_.send_range(source, pending.lo, pending.hi,
+                              std::move(hedge), config_.multicast);
+        });
+  }
   arm_mbr_retry(source, stream, seq);
 }
 
@@ -348,6 +405,7 @@ void MiddlewareSystem::refresh_node_mbrs(NodeIndex index) {
     msg.kind = static_cast<int>(MsgKind::kMbrUpdate);
     msg.payload = pub.payload;
     msg.trace_id = pub.trace_id;
+    msg.reroute_on_dead = replication_on();
     emit_heal_trace(obs::TraceEventKind::kRefresh, index,
                     pub.payload->stream, pub.payload->batch_seq,
                     pub.trace_id);
@@ -402,6 +460,7 @@ QueryId MiddlewareSystem::subscribe_similarity(NodeIndex client,
   Message msg;
   msg.kind = static_cast<int>(MsgKind::kSimilarityQuery);
   msg.payload = payload;
+  msg.reroute_on_dead = replication_on();
   routing_.send_range(client, lo, hi, std::move(msg), config_.multicast);
 
   if (config_.query_refresh_period > sim::Duration()) {
@@ -422,6 +481,7 @@ QueryId MiddlewareSystem::subscribe_similarity(NodeIndex client,
           Message refresh;
           refresh.kind = static_cast<int>(MsgKind::kSimilarityQuery);
           refresh.payload = payload;
+          refresh.reroute_on_dead = replication_on();
           routing_.send_range(client, lo, hi, std::move(refresh),
                               config_.multicast);
         });
@@ -520,6 +580,21 @@ void MiddlewareSystem::on_deliver(NodeIndex at, const Message& msg) {
     case MsgKind::kResponseAck:
       handle_response_ack(at, msg);
       return;
+    case MsgKind::kReplicaPut:
+      handle_replica_put(at, msg);
+      return;
+    case MsgKind::kHandoffRequest:
+      handle_handoff_request(at, msg);
+      return;
+    case MsgKind::kAntiEntropyDigest:
+      handle_anti_entropy_digest(at, msg);
+      return;
+    case MsgKind::kAntiEntropyRequest:
+      handle_anti_entropy_request(at, msg);
+      return;
+    case MsgKind::kAggregatorReplica:
+      handle_aggregator_replica(at, msg);
+      return;
   }
   SDSI_CHECK(false);
 }
@@ -530,11 +605,19 @@ void MiddlewareSystem::handle_mbr(NodeIndex at, const Message& msg) {
   if (!(config_.store_local_summaries && at == payload->source)) {
     // The payload carries its absolute expiry, so a retransmitted or
     // refreshed copy stores exactly what the first delivery would have.
-    const bool added = state_of(at).store.add_mbr(IndexStore::StoredMbr{
-        payload->stream, payload->source, payload->mbr, payload->batch_seq,
-        now, payload->expires});
+    const IndexStore::StoredMbr entry{payload->stream, payload->source,
+                                      payload->mbr, payload->batch_seq, now,
+                                      payload->expires};
+    const bool added = state_of(at).store.add_mbr(entry);
     if (!added && payload->expires > now && metrics_.recording()) {
       ++metrics_.robustness().duplicate_stores;
+    }
+    // Synchronous mirror: the key-range owner (the node covering the hi end)
+    // pushes the freshly stored batch to its replica set. First store only —
+    // refresh and retry redeliveries dedup above and never re-mirror.
+    if (added && replication_on() && msg.has_range &&
+        covers_key(at, msg.range_hi)) {
+      mirror_mbr(at, entry);
     }
   }
   if (!config_.mbr_ack.enabled || msg.range_internal) {
@@ -570,8 +653,21 @@ void MiddlewareSystem::handle_similarity_query(NodeIndex at,
                                                const Message& msg) {
   const auto payload = payload_of<SimilarityQueryPayload>(msg);
   const SimilarityQuery& query = *payload->query;
-  state_of(at).store.add_subscription(payload->query, payload->middle_key,
-                                      query.issued_at + query.lifespan);
+  MiddlewareNode& state = state_of(at);
+  const bool fresh = state.store.find_subscription(query.id) == nullptr;
+  state.store.add_subscription(payload->query, payload->middle_key,
+                               query.issued_at + query.lifespan);
+  // Mirror the subscription to the range owner's replica set on first
+  // install (refresh redeliveries keep the original state and don't
+  // re-mirror).
+  if (fresh && replication_on() && msg.has_range &&
+      covers_key(at, msg.range_hi)) {
+    const IndexStore::Subscription* sub =
+        state.store.find_subscription(query.id);
+    if (sub != nullptr) {
+      mirror_subscription(at, *sub);
+    }
+  }
 }
 
 void MiddlewareSystem::handle_inner_query(NodeIndex at, const Message& msg) {
@@ -755,9 +851,17 @@ void MiddlewareSystem::file_match_report(NodeIndex at, MatchReport report) {
   if (covers_key(at, report.middle_key)) {
     AggregatorRecord& record = state.aggregations[report.match.query];
     record.client = report.client;
+    record.middle_key = report.middle_key;
     record.expires = report.query_expires;
     if (record.seen.insert(report.match.stream).second) {
       record.pending.push_back(report.match);
+      // Incremental aggregator replication: every freshly filed match is
+      // mirrored to the middle key's replica set, so a replica can promote
+      // itself without losing any client-visible match.
+      if (replication_on()) {
+        mirror_aggregation(at, report.match.query, record, report.middle_key,
+                           report.match);
+      }
     }
     return;
   }
@@ -770,6 +874,12 @@ void MiddlewareSystem::periodic_tick(NodeIndex index) {
   }
   MiddlewareNode& state = nodes_[index];
   const sim::SimTime now = routing_.simulator().now();
+
+  // -1. Aggregator failover: mirrors whose middle key now falls on this
+  //     node's arc (the owner died) become live aggregations.
+  if (!state.aggregation_replicas.empty()) {
+    promote_aggregation_replicas(index, now);
+  }
 
   // 0. Drop publication records whose batch lapsed (acked entries have no
   //    timer left to prune them otherwise).
@@ -817,6 +927,10 @@ void MiddlewareSystem::periodic_tick(NodeIndex index) {
       msg.kind = static_cast<int>(MsgKind::kNeighborExchange);
       msg.payload = std::make_shared<const NeighborDigestPayload>(
           NeighborDigestPayload{std::move(up)});
+      // A neighbor that died since the last stabilization round must not
+      // swallow the digest: detour around it via the successor list instead
+      // of dropping the reports on the floor.
+      msg.reroute_on_dead = true;
       routing_.send_direct(index, routing_.successor_index(index),
                            std::move(msg));
     }
@@ -825,6 +939,7 @@ void MiddlewareSystem::periodic_tick(NodeIndex index) {
       msg.kind = static_cast<int>(MsgKind::kNeighborExchange);
       msg.payload = std::make_shared<const NeighborDigestPayload>(
           NeighborDigestPayload{std::move(down)});
+      msg.reroute_on_dead = true;
       routing_.send_direct(index, routing_.predecessor_index(index),
                            std::move(msg));
     }
@@ -923,6 +1038,572 @@ void MiddlewareSystem::periodic_tick(NodeIndex index) {
       routing_.send(index, routing_.node_id(sub.query->client),
                     std::move(msg));
     }
+  }
+}
+
+// --- Replication & failover ---------------------------------------------------
+
+namespace {
+
+/// Whether the closed key interval [mlo, mhi] intersects the half-open ring
+/// arc (lo, hi]: an interval endpoint falls inside the arc, or the interval
+/// swallows the arc whole (then it contains hi).
+bool range_intersects_arc(const common::IdSpace& space, Key mlo, Key mhi,
+                          Key lo, Key hi) {
+  return space.in_half_open(mlo, lo, hi) || space.in_half_open(mhi, lo, hi) ||
+         space.in_closed(hi, mlo, mhi);
+}
+
+}  // namespace
+
+std::size_t MiddlewareSystem::mbr_entry_bytes(
+    const IndexStore::StoredMbr& entry) {
+  // Identity + expiry header, plus two doubles per MBR dimension.
+  return 40 + entry.mbr.dimensions() * 16;
+}
+
+std::size_t MiddlewareSystem::subscription_entry_bytes(
+    const IndexStore::Subscription& sub) {
+  // Query header, plus one complex coefficient per feature dimension.
+  return 48 + sub.query->features.size() * 16;
+}
+
+void MiddlewareSystem::emit_replication_trace(obs::TraceEventKind event,
+                                              NodeIndex node, StreamId stream,
+                                              std::uint64_t seq) {
+  obs::TraceSink* sink = routing_.trace_sink();
+  if (sink == nullptr) {
+    return;
+  }
+  obs::TraceRecord record;
+  record.event = event;
+  record.at_us = routing_.simulator().now().count_micros();
+  record.node = node;
+  record.stream = stream;
+  record.batch_seq = seq;
+  sink->record(record);
+}
+
+void MiddlewareSystem::mirror_mbr(NodeIndex at,
+                                  const IndexStore::StoredMbr& entry) {
+  const std::vector<NodeIndex> replicas =
+      routing_.successors(at, config_.replication_factor);
+  if (replicas.empty()) {
+    return;
+  }
+  const auto payload = std::make_shared<const ReplicaPutPayload>(
+      ReplicaPutPayload{at,
+                        {ReplicaMbrEntry{entry.stream, entry.source, entry.mbr,
+                                         entry.batch_seq, entry.expires}},
+                        {},
+                        false,
+                        false});
+  for (const NodeIndex replica : replicas) {
+    Message msg;
+    msg.kind = static_cast<int>(MsgKind::kReplicaPut);
+    msg.payload = payload;
+    msg.reroute_on_dead = true;
+    routing_.send_direct(at, replica, std::move(msg));
+    if (metrics_.recording()) {
+      ++metrics_.robustness().replica_puts;
+    }
+    if (metrics_.registry() != nullptr) {
+      metrics_.registry()->counter("replication.puts").add();
+    }
+  }
+  emit_replication_trace(obs::TraceEventKind::kReplicate, at, entry.stream,
+                         entry.batch_seq);
+}
+
+void MiddlewareSystem::mirror_subscription(
+    NodeIndex at, const IndexStore::Subscription& sub) {
+  const std::vector<NodeIndex> replicas =
+      routing_.successors(at, config_.replication_factor);
+  if (replicas.empty()) {
+    return;
+  }
+  const auto payload = std::make_shared<const ReplicaPutPayload>(
+      ReplicaPutPayload{
+          at,
+          {},
+          {ReplicaSubscriptionEntry{sub.query, sub.middle_key, sub.expires}},
+          false,
+          false});
+  for (const NodeIndex replica : replicas) {
+    Message msg;
+    msg.kind = static_cast<int>(MsgKind::kReplicaPut);
+    msg.payload = payload;
+    msg.reroute_on_dead = true;
+    routing_.send_direct(at, replica, std::move(msg));
+    if (metrics_.recording()) {
+      ++metrics_.robustness().replica_puts;
+    }
+    if (metrics_.registry() != nullptr) {
+      metrics_.registry()->counter("replication.puts").add();
+    }
+  }
+  emit_replication_trace(obs::TraceEventKind::kReplicate, at, 0,
+                         sub.query->id);
+}
+
+void MiddlewareSystem::mirror_aggregation(NodeIndex at, QueryId query,
+                                          const AggregatorRecord& record,
+                                          Key middle_key,
+                                          const SimilarityMatch& match) {
+  const std::vector<NodeIndex> replicas =
+      routing_.successors(at, config_.replication_factor);
+  if (replicas.empty()) {
+    return;
+  }
+  const auto payload = std::make_shared<const AggregatorReplicaPayload>(
+      AggregatorReplicaPayload{query, record.client, middle_key,
+                               record.expires, at, {match}});
+  for (const NodeIndex replica : replicas) {
+    Message msg;
+    msg.kind = static_cast<int>(MsgKind::kAggregatorReplica);
+    msg.payload = payload;
+    msg.reroute_on_dead = true;
+    routing_.send_direct(at, replica, std::move(msg));
+  }
+}
+
+void MiddlewareSystem::handle_replica_put(NodeIndex at, const Message& msg) {
+  const auto payload = payload_of<ReplicaPutPayload>(msg);
+  const sim::SimTime now = routing_.simulator().now();
+  MiddlewareNode& state = state_of(at);
+  std::size_t added = 0;
+  StreamId first_stream = 0;
+  std::uint64_t first_seq = 0;
+  for (const ReplicaMbrEntry& entry : payload->mbrs) {
+    if (state.store.add_mbr(IndexStore::StoredMbr{entry.stream, entry.source,
+                                                  entry.mbr, entry.batch_seq,
+                                                  now, entry.expires})) {
+      if (added == 0) {
+        first_stream = entry.stream;
+        first_seq = entry.batch_seq;
+      }
+      ++added;
+    }
+  }
+  for (const ReplicaSubscriptionEntry& entry : payload->subscriptions) {
+    if (entry.query == nullptr || entry.expires <= now) {
+      continue;
+    }
+    if (state.store.find_subscription(entry.query->id) == nullptr) {
+      ++added;
+    }
+    state.store.add_subscription(entry.query, entry.middle_key,
+                                 entry.expires);
+  }
+  if (added == 0) {
+    return;  // everything deduplicated: redelivery is a no-op by design
+  }
+  if (payload->repair) {
+    if (metrics_.recording()) {
+      metrics_.robustness().replica_repairs += added;
+    }
+    if (metrics_.registry() != nullptr) {
+      metrics_.registry()->counter("replication.repairs").add(
+          static_cast<double>(added));
+    }
+    emit_replication_trace(obs::TraceEventKind::kRepair, at, first_stream,
+                           first_seq);
+  } else if (payload->handoff) {
+    emit_replication_trace(obs::TraceEventKind::kHandoff, at, first_stream,
+                           first_seq);
+  }
+}
+
+void MiddlewareSystem::handle_handoff_request(NodeIndex at,
+                                              const Message& msg) {
+  const auto payload = payload_of<HandoffRequestPayload>(msg);
+  if (!routing_.is_alive(payload->requester)) {
+    return;
+  }
+  const sim::SimTime now = routing_.simulator().now();
+  MiddlewareNode& state = state_of(at);
+  state.store.expire(now);
+  const common::IdSpace& space = routing_.id_space();
+
+  std::vector<ReplicaMbrEntry> mbrs;
+  std::size_t bytes = 0;
+  for (const IndexStore::StoredMbr& entry : state.store.mbrs()) {
+    const auto [mlo, mhi] = mapper_.mbr_range(entry.mbr);
+    if (!range_intersects_arc(space, mlo, mhi, payload->lo, payload->hi)) {
+      continue;
+    }
+    mbrs.push_back(ReplicaMbrEntry{entry.stream, entry.source, entry.mbr,
+                                   entry.batch_seq, entry.expires});
+    bytes += mbr_entry_bytes(entry);
+  }
+  std::vector<ReplicaSubscriptionEntry> subs;
+  for (const auto& [id, sub] : state.store.subscriptions()) {
+    (void)id;
+    if (sub.expires <= now) {
+      continue;
+    }
+    const auto [qlo, qhi] =
+        mapper_.query_range(sub.query->features, sub.query->radius);
+    if (!range_intersects_arc(space, qlo, qhi, payload->lo, payload->hi)) {
+      continue;
+    }
+    subs.push_back(
+        ReplicaSubscriptionEntry{sub.query, sub.middle_key, sub.expires});
+    bytes += subscription_entry_bytes(sub);
+  }
+  if (mbrs.empty() && subs.empty()) {
+    return;
+  }
+  const std::size_t entries = mbrs.size() + subs.size();
+  Message reply;
+  reply.kind = static_cast<int>(MsgKind::kReplicaPut);
+  reply.payload = std::make_shared<const ReplicaPutPayload>(ReplicaPutPayload{
+      at, std::move(mbrs), std::move(subs), true, false});
+  reply.reroute_on_dead = true;
+  routing_.send_direct(at, payload->requester, std::move(reply));
+  if (metrics_.recording()) {
+    metrics_.robustness().handoff_entries += entries;
+    metrics_.robustness().handoff_bytes += bytes;
+  }
+  if (metrics_.registry() != nullptr) {
+    metrics_.registry()
+        ->counter("replication.handoff_entries")
+        .add(static_cast<double>(entries));
+    metrics_.registry()
+        ->counter("replication.handoff_bytes")
+        .add(static_cast<double>(bytes));
+  }
+  emit_replication_trace(obs::TraceEventKind::kHandoff, at, 0, entries);
+}
+
+void MiddlewareSystem::schedule_anti_entropy(NodeIndex index,
+                                             sim::Duration offset) {
+  sim::Simulator& sim = routing_.simulator();
+  sim.schedule_periodic(sim.now() + offset + config_.anti_entropy_period,
+                        config_.anti_entropy_period,
+                        [this, index] { anti_entropy_tick(index); });
+}
+
+void MiddlewareSystem::anti_entropy_tick(NodeIndex index) {
+  if (!routing_.is_alive(index)) {
+    return;
+  }
+  const std::vector<NodeIndex> replicas =
+      routing_.successors(index, config_.replication_factor);
+  if (replicas.empty()) {
+    return;
+  }
+  const sim::SimTime now = routing_.simulator().now();
+  MiddlewareNode& state = nodes_[index];
+  state.store.expire(now);
+  const common::IdSpace& space = routing_.id_space();
+  const Key self_id = routing_.node_id(index);
+  const Key pred_id = routing_.node_id(routing_.predecessor_index(index));
+
+  // Digest of the OWNED arc only: replicas answer for what they mirror, the
+  // owner answers for what it owns. An empty digest is still sent — it is
+  // exactly how a recovered-empty owner learns what it lost (the peers push
+  // the gap back as repair).
+  std::vector<MbrBatchId> mbr_keys;
+  for (const IndexStore::StoredMbr& entry : state.store.mbrs()) {
+    const auto [mlo, mhi] = mapper_.mbr_range(entry.mbr);
+    if (range_intersects_arc(space, mlo, mhi, pred_id, self_id)) {
+      mbr_keys.push_back(MbrBatchId{entry.stream, entry.batch_seq});
+    }
+  }
+  std::vector<QueryId> query_ids;
+  for (const auto& [id, sub] : state.store.subscriptions()) {
+    if (sub.expires <= now) {
+      continue;
+    }
+    const auto [qlo, qhi] =
+        mapper_.query_range(sub.query->features, sub.query->radius);
+    if (range_intersects_arc(space, qlo, qhi, pred_id, self_id)) {
+      query_ids.push_back(id);
+    }
+  }
+  const auto payload = std::make_shared<const AntiEntropyDigestPayload>(
+      AntiEntropyDigestPayload{index, pred_id, self_id, std::move(mbr_keys),
+                               std::move(query_ids)});
+  for (const NodeIndex replica : replicas) {
+    Message msg;
+    msg.kind = static_cast<int>(MsgKind::kAntiEntropyDigest);
+    msg.payload = payload;
+    msg.reroute_on_dead = true;
+    routing_.send_direct(index, replica, std::move(msg));
+  }
+}
+
+void MiddlewareSystem::handle_anti_entropy_digest(NodeIndex at,
+                                                  const Message& msg) {
+  const auto payload = payload_of<AntiEntropyDigestPayload>(msg);
+  if (!routing_.is_alive(payload->from)) {
+    return;
+  }
+  const sim::SimTime now = routing_.simulator().now();
+  MiddlewareNode& state = state_of(at);
+  state.store.expire(now);
+
+  // 1. What the owner holds that this replica misses: request backfill.
+  std::vector<MbrBatchId> want_mbrs;
+  for (const MbrBatchId& key : payload->mbr_keys) {
+    if (!state.store.contains_mbr(key.stream, key.batch_seq)) {
+      want_mbrs.push_back(key);
+    }
+  }
+  std::vector<QueryId> want_queries;
+  for (const QueryId id : payload->query_ids) {
+    if (state.store.find_subscription(id) == nullptr) {
+      want_queries.push_back(id);
+    }
+  }
+  if (!want_mbrs.empty() || !want_queries.empty()) {
+    Message req;
+    req.kind = static_cast<int>(MsgKind::kAntiEntropyRequest);
+    req.payload = std::make_shared<const AntiEntropyRequestPayload>(
+        AntiEntropyRequestPayload{at, std::move(want_mbrs),
+                                  std::move(want_queries)});
+    req.reroute_on_dead = true;
+    routing_.send_direct(at, payload->from, std::move(req));
+  }
+
+  // 2. What this replica holds on the owner's arc that the digest lacks:
+  //    push it back as repair (heals an owner that recovered empty).
+  std::set<std::pair<StreamId, std::uint64_t>> digest_mbrs;
+  for (const MbrBatchId& key : payload->mbr_keys) {
+    digest_mbrs.emplace(key.stream, key.batch_seq);
+  }
+  std::unordered_set<QueryId> digest_queries(payload->query_ids.begin(),
+                                             payload->query_ids.end());
+  const common::IdSpace& space = routing_.id_space();
+  std::vector<ReplicaMbrEntry> push_mbrs;
+  for (const IndexStore::StoredMbr& entry : state.store.mbrs()) {
+    if (digest_mbrs.contains({entry.stream, entry.batch_seq})) {
+      continue;
+    }
+    const auto [mlo, mhi] = mapper_.mbr_range(entry.mbr);
+    if (!range_intersects_arc(space, mlo, mhi, payload->lo, payload->hi)) {
+      continue;
+    }
+    push_mbrs.push_back(ReplicaMbrEntry{entry.stream, entry.source, entry.mbr,
+                                        entry.batch_seq, entry.expires});
+  }
+  std::vector<ReplicaSubscriptionEntry> push_subs;
+  for (const auto& [id, sub] : state.store.subscriptions()) {
+    if (digest_queries.contains(id) || sub.expires <= now) {
+      continue;
+    }
+    const auto [qlo, qhi] =
+        mapper_.query_range(sub.query->features, sub.query->radius);
+    if (!range_intersects_arc(space, qlo, qhi, payload->lo, payload->hi)) {
+      continue;
+    }
+    push_subs.push_back(
+        ReplicaSubscriptionEntry{sub.query, sub.middle_key, sub.expires});
+  }
+  if (push_mbrs.empty() && push_subs.empty()) {
+    return;
+  }
+  Message back;
+  back.kind = static_cast<int>(MsgKind::kReplicaPut);
+  back.payload = std::make_shared<const ReplicaPutPayload>(ReplicaPutPayload{
+      at, std::move(push_mbrs), std::move(push_subs), false, true});
+  back.reroute_on_dead = true;
+  routing_.send_direct(at, payload->from, std::move(back));
+}
+
+void MiddlewareSystem::handle_anti_entropy_request(NodeIndex at,
+                                                   const Message& msg) {
+  const auto payload = payload_of<AntiEntropyRequestPayload>(msg);
+  if (!routing_.is_alive(payload->requester)) {
+    return;
+  }
+  const sim::SimTime now = routing_.simulator().now();
+  MiddlewareNode& state = state_of(at);
+  std::vector<ReplicaMbrEntry> mbrs;
+  for (const MbrBatchId& key : payload->mbr_keys) {
+    const IndexStore::StoredMbr* entry =
+        state.store.find_mbr(key.stream, key.batch_seq);
+    if (entry != nullptr) {
+      mbrs.push_back(ReplicaMbrEntry{entry->stream, entry->source, entry->mbr,
+                                     entry->batch_seq, entry->expires});
+    }
+  }
+  std::vector<ReplicaSubscriptionEntry> subs;
+  for (const QueryId id : payload->query_ids) {
+    const IndexStore::Subscription* sub = state.store.find_subscription(id);
+    if (sub != nullptr && sub->expires > now) {
+      subs.push_back(
+          ReplicaSubscriptionEntry{sub->query, sub->middle_key, sub->expires});
+    }
+  }
+  if (mbrs.empty() && subs.empty()) {
+    return;
+  }
+  Message reply;
+  reply.kind = static_cast<int>(MsgKind::kReplicaPut);
+  reply.payload = std::make_shared<const ReplicaPutPayload>(ReplicaPutPayload{
+      at, std::move(mbrs), std::move(subs), false, true});
+  reply.reroute_on_dead = true;
+  routing_.send_direct(at, payload->requester, std::move(reply));
+}
+
+void MiddlewareSystem::handle_aggregator_replica(NodeIndex at,
+                                                 const Message& msg) {
+  const auto payload = payload_of<AggregatorReplicaPayload>(msg);
+  const sim::SimTime now = routing_.simulator().now();
+  if (payload->expires <= now) {
+    return;
+  }
+  MiddlewareNode& state = state_of(at);
+  AggregationReplica& rep = state.aggregation_replicas[payload->query];
+  rep.client = payload->client;
+  rep.middle_key = payload->middle_key;
+  rep.expires = payload->expires;
+  for (const SimilarityMatch& match : payload->matches) {
+    if (rep.seen.insert(match.stream).second) {
+      rep.matches.push_back(match);
+    }
+  }
+  rep.last_update = now;
+}
+
+void MiddlewareSystem::promote_aggregation_replicas(NodeIndex index,
+                                                    sim::SimTime now) {
+  MiddlewareNode& state = nodes_[index];
+  for (auto it = state.aggregation_replicas.begin();
+       it != state.aggregation_replicas.end();) {
+    AggregationReplica& rep = it->second;
+    if (rep.expires <= now) {
+      it = state.aggregation_replicas.erase(it);
+      continue;
+    }
+    // While the aggregator lives it covers its own middle key, so this is
+    // false; once it dies and stabilization hands its arc to this node, the
+    // mirror promotes.
+    if (!covers_key(index, rep.middle_key)) {
+      ++it;
+      continue;
+    }
+    const QueryId query = it->first;
+    AggregatorRecord& record = state.aggregations[query];
+    record.client = rep.client;
+    record.middle_key = rep.middle_key;
+    record.expires = rep.expires;
+    for (const SimilarityMatch& match : rep.matches) {
+      if (record.seen.insert(match.stream).second) {
+        record.pending.push_back(match);
+      }
+    }
+    const double dark_ms = (now - rep.last_update).as_millis();
+    if (metrics_.recording()) {
+      ++metrics_.robustness().aggregator_failovers;
+      metrics_.robustness().failover_latency_ms.add(dark_ms);
+    }
+    if (metrics_.registry() != nullptr) {
+      metrics_.registry()->counter("failover.promotions").add();
+      metrics_.registry()->histogram("failover.latency_ms").add(dark_ms);
+    }
+    emit_replication_trace(obs::TraceEventKind::kFailover, index, 0, query);
+    it = state.aggregation_replicas.erase(it);
+  }
+}
+
+void MiddlewareSystem::handle_node_join(NodeIndex index) {
+  if (!replication_on()) {
+    return;
+  }
+  (void)state_of(index);
+  if (!routing_.is_alive(index)) {
+    return;
+  }
+  const NodeIndex succ = routing_.successor_index(index);
+  if (succ == index) {
+    return;  // alone on the ring: nothing to pull
+  }
+  Message msg;
+  msg.kind = static_cast<int>(MsgKind::kHandoffRequest);
+  msg.payload = std::make_shared<const HandoffRequestPayload>(
+      HandoffRequestPayload{
+          index, routing_.node_id(routing_.predecessor_index(index)),
+          routing_.node_id(index)});
+  msg.reroute_on_dead = true;
+  routing_.send_direct(index, succ, std::move(msg));
+  emit_replication_trace(obs::TraceEventKind::kHandoff, index, 0, 0);
+}
+
+void MiddlewareSystem::handle_node_leave(NodeIndex index) {
+  if (!replication_on() || index >= nodes_.size() ||
+      !routing_.is_alive(index)) {
+    return;
+  }
+  const NodeIndex succ = routing_.successor_index(index);
+  if (succ == index) {
+    return;
+  }
+  const sim::SimTime now = routing_.simulator().now();
+  MiddlewareNode& state = nodes_[index];
+  state.store.expire(now);
+
+  std::vector<ReplicaMbrEntry> mbrs;
+  std::size_t bytes = 0;
+  for (const IndexStore::StoredMbr& entry : state.store.mbrs()) {
+    mbrs.push_back(ReplicaMbrEntry{entry.stream, entry.source, entry.mbr,
+                                   entry.batch_seq, entry.expires});
+    bytes += mbr_entry_bytes(entry);
+  }
+  std::vector<ReplicaSubscriptionEntry> subs;
+  for (const auto& [id, sub] : state.store.subscriptions()) {
+    (void)id;
+    if (sub.expires <= now) {
+      continue;
+    }
+    subs.push_back(
+        ReplicaSubscriptionEntry{sub.query, sub.middle_key, sub.expires});
+    bytes += subscription_entry_bytes(sub);
+  }
+  if (!mbrs.empty() || !subs.empty()) {
+    const std::size_t entries = mbrs.size() + subs.size();
+    Message push;
+    push.kind = static_cast<int>(MsgKind::kReplicaPut);
+    push.payload = std::make_shared<const ReplicaPutPayload>(ReplicaPutPayload{
+        index, std::move(mbrs), std::move(subs), true, false});
+    push.reroute_on_dead = true;
+    routing_.send_direct(index, succ, std::move(push));
+    if (metrics_.recording()) {
+      metrics_.robustness().handoff_entries += entries;
+      metrics_.robustness().handoff_bytes += bytes;
+    }
+    if (metrics_.registry() != nullptr) {
+      metrics_.registry()
+          ->counter("replication.handoff_entries")
+          .add(static_cast<double>(entries));
+      metrics_.registry()
+          ->counter("replication.handoff_bytes")
+          .add(static_cast<double>(bytes));
+    }
+    emit_replication_trace(obs::TraceEventKind::kHandoff, index, 0, entries);
+  }
+
+  // Partial aggregations travel as aggregator mirrors: the successor holds
+  // them as replicas and promotes once the arc changes hands. Acked matches
+  // are already client-visible; pending + unacked in-flight cover the rest.
+  for (const auto& [query, record] : state.aggregations) {
+    if (record.expires <= now) {
+      continue;
+    }
+    std::vector<SimilarityMatch> matches = record.pending;
+    for (const auto& [seq, push] : record.inflight) {
+      (void)seq;
+      matches.insert(matches.end(), push.matches.begin(), push.matches.end());
+    }
+    Message msg;
+    msg.kind = static_cast<int>(MsgKind::kAggregatorReplica);
+    msg.payload = std::make_shared<const AggregatorReplicaPayload>(
+        AggregatorReplicaPayload{query, record.client, record.middle_key,
+                                 record.expires, index, std::move(matches)});
+    msg.reroute_on_dead = true;
+    routing_.send_direct(index, succ, std::move(msg));
   }
 }
 

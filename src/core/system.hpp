@@ -91,6 +91,20 @@ struct MiddlewareConfig {
   /// Seed of the middleware's own randomness (retry jitter); fixed default
   /// keeps runs reproducible.
   std::uint64_t rng_seed = 0x5d51c0de;
+
+  // --- Replication & failover (churn-tolerance extension) -----------------
+
+  /// Successor-list replication degree r: every stored MBR batch, similarity
+  /// subscription, and partial aggregation is mirrored to the key owner's r
+  /// next live successors, so a crash promotes a replica instead of waiting
+  /// for the soft-state refresh period. Zero disables the whole layer.
+  std::size_t replication_factor = 0;
+
+  /// Anti-entropy period: each node periodically sends a compact
+  /// (stream, batch_seq) / query-id digest of its owned arc to its replica
+  /// set; peers backfill gaps in both directions (idempotent via store
+  /// dedup). Zero disables. Only active when replication_factor > 0.
+  sim::Duration anti_entropy_period = sim::Duration();
 };
 
 /// What a client has observed for one of its continuous queries.
@@ -185,6 +199,17 @@ class MiddlewareSystem {
   /// paper's "seamless addition of new data centers".
   void attach_node(NodeIndex index);
 
+  /// Ownership handoff for a node that just (re)joined the ring: asks its
+  /// successor for every entry whose key range intersects the arc the node
+  /// now owns. No-op when replication is disabled. Call after the routing
+  /// substrate has integrated the node (join/recover).
+  void handle_node_join(NodeIndex index);
+
+  /// Graceful-leave handoff: pushes the node's stored entries and partial
+  /// aggregations to its successor before the substrate removes it. No-op
+  /// when replication is disabled. Call before the routing leave().
+  void handle_node_leave(NodeIndex index);
+
   /// Models the state loss of a crash: wipes everything the node held as
   /// soft state (stored MBRs and subscriptions, aggregations, buffered
   /// reports, location directory/cache, pending resolutions, publication
@@ -242,6 +267,11 @@ class MiddlewareSystem {
   void handle_location_put(NodeIndex at, const Message& msg);
   void handle_location_get(NodeIndex at, const Message& msg);
   void handle_location_reply(NodeIndex at, const Message& msg);
+  void handle_replica_put(NodeIndex at, const Message& msg);
+  void handle_handoff_request(NodeIndex at, const Message& msg);
+  void handle_anti_entropy_digest(NodeIndex at, const Message& msg);
+  void handle_anti_entropy_request(NodeIndex at, const Message& msg);
+  void handle_aggregator_replica(NodeIndex at, const Message& msg);
 
   /// The NPER periodic body for one node.
   void periodic_tick(NodeIndex index);
@@ -294,6 +324,48 @@ class MiddlewareSystem {
   /// batch and re-register local streams with the location service.
   void refresh_node_mbrs(NodeIndex index);
   void schedule_mbr_refresh(NodeIndex index, sim::Duration offset);
+
+  // --- Replication & failover helpers -------------------------------------
+
+  /// Whether the replication layer is on.
+  bool replication_on() const noexcept {
+    return config_.replication_factor > 0;
+  }
+
+  /// Mirrors one just-stored MBR batch to `at`'s replica set. Called by the
+  /// key-range owner only (the node covering the range's hi end), so each
+  /// batch is mirrored once per publication.
+  void mirror_mbr(NodeIndex at, const IndexStore::StoredMbr& entry);
+
+  /// Mirrors one just-installed subscription to `at`'s replica set.
+  void mirror_subscription(NodeIndex at, const IndexStore::Subscription& sub);
+
+  /// Mirrors one freshly filed match of a locally aggregated query to the
+  /// middle key's replica set (incremental AggregatorRecord replication).
+  void mirror_aggregation(NodeIndex at, QueryId query,
+                          const AggregatorRecord& record, Key middle_key,
+                          const SimilarityMatch& match);
+
+  /// Promotes expired-owner mirrors: any AggregationReplica whose middle key
+  /// now falls on this node's arc becomes a live AggregatorRecord. Runs at
+  /// the head of each periodic tick.
+  void promote_aggregation_replicas(NodeIndex index, sim::SimTime now);
+
+  /// Anti-entropy body for one node: digest of its owned arc to its replica
+  /// set.
+  void anti_entropy_tick(NodeIndex index);
+  void schedule_anti_entropy(NodeIndex index, sim::Duration offset);
+
+  /// Emits a replication-layer trace event (replicate/handoff/repair/
+  /// failover) when a trace sink is attached.
+  void emit_replication_trace(obs::TraceEventKind event, NodeIndex node,
+                              StreamId stream, std::uint64_t seq);
+
+  /// Approximate wire size of handoff payload entries (handoff_bytes
+  /// accounting).
+  static std::size_t mbr_entry_bytes(const IndexStore::StoredMbr& entry);
+  static std::size_t subscription_entry_bytes(
+      const IndexStore::Subscription& sub);
 
   routing::RoutingSystem& routing_;
   MiddlewareConfig config_;

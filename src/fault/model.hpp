@@ -42,7 +42,8 @@ enum class DropCause : std::size_t {
   kPartition = 2,    // key-range blackout window
   kDeadNode = 3,     // next hop / destination crashed mid-route
   kHopLimit = 4,     // routing-loop safety valve (mid-churn only)
-  kCount = 5,
+  kDeadAggregator = 5,  // report/response path: whole replica set gone
+  kCount = 6,
 };
 
 /// Human label for report tables. Out-of-range values are a program error
@@ -55,6 +56,7 @@ inline const char* drop_cause_name(DropCause cause) {
     case DropCause::kPartition: return "partition";
     case DropCause::kDeadNode: return "dead node";
     case DropCause::kHopLimit: return "hop limit";
+    case DropCause::kDeadAggregator: return "dead aggregator";
     case DropCause::kCount: break;
   }
   SDSI_CHECK(false && "unknown DropCause");
@@ -70,6 +72,7 @@ inline const char* drop_cause_slug(DropCause cause) {
     case DropCause::kPartition: return "partition";
     case DropCause::kDeadNode: return "dead_node";
     case DropCause::kHopLimit: return "hop_limit";
+    case DropCause::kDeadAggregator: return "dead_aggregator";
     case DropCause::kCount: break;
   }
   SDSI_CHECK(false && "unknown DropCause");

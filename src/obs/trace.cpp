@@ -22,6 +22,16 @@ const char* trace_event_name(TraceEventKind kind) {
       return "heal";
     case TraceEventKind::kRefresh:
       return "refresh";
+    case TraceEventKind::kReplicate:
+      return "replicate";
+    case TraceEventKind::kHandoff:
+      return "handoff";
+    case TraceEventKind::kRepair:
+      return "repair";
+    case TraceEventKind::kFailover:
+      return "failover";
+    case TraceEventKind::kOracleFallback:
+      return "oracle_fallback";
     case TraceEventKind::kCount:
       break;
   }
@@ -52,7 +62,9 @@ void JsonlTraceSink::record(const TraceRecord& record) {
   }
   if (record.event == TraceEventKind::kRetry ||
       record.event == TraceEventKind::kHeal ||
-      record.event == TraceEventKind::kRefresh) {
+      record.event == TraceEventKind::kRefresh ||
+      record.event == TraceEventKind::kReplicate ||
+      record.event == TraceEventKind::kRepair) {
     out_ << ",\"stream\":" << record.stream
          << ",\"seq\":" << record.batch_seq;
   }

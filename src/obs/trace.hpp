@@ -23,7 +23,9 @@
 namespace sdsi::obs {
 
 /// The span-event verbs. Routing emits the first five; the middleware's
-/// self-healing machinery emits the last three.
+/// self-healing machinery emits retry/heal/refresh; the replication layer
+/// emits the last five (replicate/handoff/repair/failover, plus the
+/// routing-cheat accounting event oracle_fallback).
 enum class TraceEventKind : std::uint8_t {
   kOriginate = 0,  // application send entered the overlay
   kRangeCopy = 1,  // a range-multicast forward copy was created
@@ -33,7 +35,12 @@ enum class TraceEventKind : std::uint8_t {
   kRetry = 5,      // ack timeout: the batch was retransmitted
   kHeal = 6,       // a retried batch was finally confirmed stored
   kRefresh = 7,    // soft-state refresh re-routed the batch
-  kCount = 8,
+  kReplicate = 8,  // stored state mirrored to a successor replica
+  kHandoff = 9,    // ownership slice pulled/pushed on join/leave
+  kRepair = 10,    // anti-entropy backfilled a missing entry
+  kFailover = 11,  // a replica promoted itself to aggregator
+  kOracleFallback = 12,  // routing bypassed the protocol (ground truth)
+  kCount = 13,
 };
 
 /// Name used in the JSONL `ev` field. Out-of-range values are a program

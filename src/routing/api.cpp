@@ -12,6 +12,22 @@ RoutingSystem::RoutingSystem(sim::Simulator& simulator, common::IdSpace space,
   SDSI_CHECK(hop_latency >= sim::Duration());
 }
 
+std::vector<NodeIndex> RoutingSystem::successors(NodeIndex node,
+                                                 std::size_t count) const {
+  std::vector<NodeIndex> result;
+  result.reserve(count);
+  NodeIndex current = node;
+  while (result.size() < count) {
+    const NodeIndex next = successor_index(current);
+    if (next == node || next == current) {
+      break;  // wrapped around the ring, or the node stands alone
+    }
+    result.push_back(next);
+    current = next;
+  }
+  return result;
+}
+
 void RoutingSystem::set_message_loss(double probability, common::Pcg32 rng) {
   // probability == 1.0 is a deliberate total blackout (partition tests):
   // uniform01() < 1.0 always holds, so every transmission drops.

@@ -20,6 +20,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "common/ring_math.hpp"
 #include "common/rng.hpp"
@@ -60,6 +61,18 @@ class MetricsHook {
     (void)cause;
     (void)msg;
   }
+
+  /// A direct transmission found its destination dead and was detoured to a
+  /// successor-list replica instead of dropping. Default no-op.
+  virtual void on_detour(NodeIndex around, const Message& msg) {
+    (void)around;
+    (void)msg;
+  }
+
+  /// The substrate fell back to ground-truth (oracle) state because its
+  /// protocol state was transiently broken mid-churn — the routing "cheat"
+  /// churn experiments must account for. Default no-op.
+  virtual void on_oracle_fallback(NodeIndex node) { (void)node; }
 };
 
 /// Application upcall invoked when a message is delivered at a node.
@@ -89,6 +102,16 @@ class RoutingSystem {
   /// Live ring neighbors of `node`.
   virtual NodeIndex successor_index(NodeIndex node) const = 0;
   virtual NodeIndex predecessor_index(NodeIndex node) const = 0;
+
+  /// Up to `count` distinct live nodes following `node` clockwise — the
+  /// replica set of the keys `node` covers (successor-list replication).
+  /// The base implementation chain-walks successor_index, which is exact
+  /// for substrates with global knowledge (StaticRing, PrefixRing); Chord
+  /// overrides it with the node's protocol successor list, so the replica
+  /// set degrades with protocol state exactly as real churn would degrade
+  /// it.
+  virtual std::vector<NodeIndex> successors(NodeIndex node,
+                                            std::size_t count) const;
 
   /// Ground-truth successor(key) computed instantaneously (tests and
   /// diagnostics; never used on the simulated message path).
@@ -143,6 +166,14 @@ class RoutingSystem {
     }
     return total;
   }
+
+  /// Times the substrate bypassed its protocol state with ground truth
+  /// (see MetricsHook::on_oracle_fallback).
+  std::uint64_t oracle_fallbacks() const noexcept { return oracle_fallbacks_; }
+
+  /// Direct transmissions saved by detouring around a dead destination via
+  /// its successor list (Message::reroute_on_dead).
+  std::uint64_t detours() const noexcept { return detours_; }
 
   /// Routes `msg` to successor(key) through the overlay ("put"/"get").
   void send(NodeIndex from, Key key, Message msg);
@@ -201,6 +232,32 @@ class RoutingSystem {
     }
   }
 
+  /// Accounting for a substrate's ground-truth fallback (the routing cheat
+  /// satellite): counter + hook + a trace event so churn runs report how
+  /// often routing bypassed the protocol. Const because the lookup paths
+  /// that need it are const; the counter is mutable bookkeeping.
+  void record_oracle_fallback(NodeIndex node) const {
+    ++oracle_fallbacks_;
+    if (metrics_ != nullptr) {
+      metrics_->on_oracle_fallback(node);
+    }
+    if (trace_ != nullptr) {
+      obs::TraceRecord record;
+      record.event = obs::TraceEventKind::kOracleFallback;
+      record.at_us = sim_.now().count_micros();
+      record.node = node;
+      trace_->record(record);
+    }
+  }
+
+  /// Accounting for a successful dead-destination detour.
+  void record_detour(NodeIndex around, const Message& msg) {
+    ++detours_;
+    if (metrics_ != nullptr) {
+      metrics_->on_detour(around, msg);
+    }
+  }
+
   /// Per-transmission latency: the constant hop latency plus any jitter the
   /// fault model injects. Substrates use this wherever they simulate a hop.
   sim::Duration transmission_latency() {
@@ -235,6 +292,8 @@ class RoutingSystem {
   std::optional<common::Pcg32> loss_rng_;
   std::shared_ptr<fault::LinkFaultModel> fault_model_;
   std::uint64_t dropped_ = 0;
+  mutable std::uint64_t oracle_fallbacks_ = 0;
+  std::uint64_t detours_ = 0;
   std::array<std::uint64_t, static_cast<std::size_t>(fault::DropCause::kCount)>
       drops_by_cause_{};
 };

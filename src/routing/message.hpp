@@ -46,6 +46,14 @@ struct Message {
   Key range_lo = 0;
   Key range_hi = 0;
 
+  /// When the destination of a neighbor/direct transmission turns out to be
+  /// dead, detour the message to the dead node's first live successor-list
+  /// entry instead of dropping it (the successor is the node that will
+  /// inherit the dead node's arc once stabilization promotes it). Set by the
+  /// report path and the replication layer; only when the entire successor
+  /// list is gone does the message drop (fault::DropCause::kDeadAggregator).
+  bool reroute_on_dead = false;
+
   /// Overlay hops traversed by THIS copy so far (range-forwarded copies
   /// restart at 0; the metrics layer accumulates per-copy hop counts).
   int hops = 0;

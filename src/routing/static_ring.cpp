@@ -49,6 +49,19 @@ NodeIndex StaticRing::predecessor_index(NodeIndex node) const {
   return sorted_[(p + sorted_.size() - 1) % sorted_.size()].second;
 }
 
+std::vector<NodeIndex> StaticRing::successors(NodeIndex node,
+                                              std::size_t count) const {
+  SDSI_CHECK(node < ids_.size());
+  const std::size_t n = sorted_.size();
+  std::vector<NodeIndex> result;
+  result.reserve(std::min(count, n - 1));
+  const std::size_t p = ring_position_[node];
+  for (std::size_t s = 1; s <= count && s < n; ++s) {
+    result.push_back(sorted_[(p + s) % n].second);
+  }
+  return result;
+}
+
 NodeIndex StaticRing::find_successor_oracle(Key key) const {
   // First ring id >= key, wrapping to the smallest id.
   const auto it = std::lower_bound(

@@ -29,6 +29,12 @@ class StaticRing final : public RoutingSystem {
   NodeIndex predecessor_index(NodeIndex node) const override;
   NodeIndex find_successor_oracle(Key key) const override;
 
+  /// Ring-order successor list (the static-ring equivalent of Chord's
+  /// protocol successor list), read straight off the sorted ring so the
+  /// replication layer stays substrate-agnostic.
+  std::vector<NodeIndex> successors(NodeIndex node,
+                                    std::size_t count) const override;
+
  protected:
   void route_to_key(NodeIndex from, Key key, Message msg) override;
   void route_direct(NodeIndex from, NodeIndex to, Message msg) override;

@@ -1,5 +1,5 @@
 // metrics.json export: the Json value model round-trips, the emitted
-// document carries the sdsi.metrics v1 shape, and the on-disk file written
+// document carries the sdsi.metrics v2 shape, and the on-disk file written
 // by an --obs-dir run parses back to the in-memory document.
 #include <gtest/gtest.h>
 
@@ -70,24 +70,27 @@ TEST(Json, MalformedInputIsRejectedWithAnError) {
   }
 }
 
-TEST(MetricsExport, DocumentCarriesTheV1Shape) {
+TEST(MetricsExport, DocumentCarriesTheV2Shape) {
   const std::string dir =
       ::testing::TempDir() + "sdsi_metrics_export_shape";
   Experiment exp(tiny_obs_config(dir));
   exp.run();
 
   const obs::Json doc = metrics_to_json(exp);
-  EXPECT_EQ(doc.find("schema_version")->as_int(), 1);
+  EXPECT_EQ(doc.find("schema_version")->as_int(), 2);
   EXPECT_EQ(doc.find("kind")->as_string(), "sdsi.metrics");
   EXPECT_EQ(doc.find("run")->find("nodes")->as_int(), 10);
   EXPECT_EQ(doc.find("run")->find("substrate")->as_string(), "chord");
-  EXPECT_EQ(doc.find("load")->find("per_component")->members().size(), 8u);
+  EXPECT_EQ(doc.find("run")->find("replication_factor")->as_int(), 0);
+  EXPECT_EQ(doc.find("load")->find("per_component")->members().size(), 9u);
   EXPECT_EQ(doc.find("load")->find("per_node_total")->size(), 10u);
-  for (const char* category :
-       {"mbr", "query", "response", "neighbor", "location", "control"}) {
+  for (const char* category : {"mbr", "query", "response", "neighbor",
+                               "location", "control", "replication"}) {
     EXPECT_NE(doc.find("categories")->find(category), nullptr) << category;
   }
   EXPECT_NE(doc.find("robustness")->find("heal_latency_ms"), nullptr);
+  EXPECT_NE(doc.find("robustness")->find("failover_latency_ms"), nullptr);
+  EXPECT_NE(doc.find("robustness")->find("replica_puts"), nullptr);
   // The registry was attached, so the windowed series section is present
   // and every series name is well-formed.
   const obs::Json* timeseries = doc.find("timeseries");

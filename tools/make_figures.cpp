@@ -70,9 +70,13 @@ void check_histogram(const Json& histogram, const std::string& where) {
 void check_metrics_schema(const Json& doc) {
   const Json* version =
       field(doc, "schema_version", Json::Type::kNumber, "metrics.json");
+  // v1: the original 8-component export. v2 adds the "replication" load
+  // component, the replication category, and the failover robustness fields.
+  std::int64_t schema = 0;
   if (version != nullptr) {
-    require(version->as_int() == 1,
-            "metrics.json: schema_version must be 1");
+    schema = version->as_int();
+    require(schema == 1 || schema == 2,
+            "metrics.json: schema_version must be 1 or 2");
   }
   const Json* kind = field(doc, "kind", Json::Type::kString, "metrics.json");
   if (kind != nullptr) {
@@ -94,8 +98,11 @@ void check_metrics_schema(const Json& doc) {
     const Json* per_component =
         field(*load, "per_component", Json::Type::kObject, "load");
     if (per_component != nullptr) {
-      require(per_component->members().size() == 8,
-              "load.per_component: expected the 8 Fig 6(a) components");
+      const std::size_t expected = schema >= 2 ? 9 : 8;
+      require(per_component->members().size() == expected,
+              schema >= 2
+                  ? "load.per_component: expected 9 components (v2)"
+                  : "load.per_component: expected the 8 Fig 6(a) components");
       for (const auto& [name, rate] : per_component->members()) {
         require(rate.is_number(),
                 "load.per_component." + name + ": must be a number");
@@ -126,8 +133,12 @@ void check_metrics_schema(const Json& doc) {
   const Json* categories =
       field(doc, "categories", Json::Type::kObject, "metrics.json");
   if (categories != nullptr) {
-    for (const char* name : {"mbr", "query", "response", "neighbor",
-                             "location", "control"}) {
+    std::vector<const char*> names = {"mbr",      "query",    "response",
+                                      "neighbor", "location", "control"};
+    if (schema >= 2) {
+      names.push_back("replication");
+    }
+    for (const char* name : names) {
       const Json* category =
           field(*categories, name, Json::Type::kObject, "categories");
       if (category == nullptr) {
@@ -162,6 +173,19 @@ void check_metrics_schema(const Json& doc) {
                              Json::Type::kObject, "robustness");
     if (heal != nullptr) {
       check_histogram(*heal, "robustness.heal_latency_ms");
+    }
+    if (schema >= 2) {
+      for (const char* key :
+           {"replica_puts", "replica_repairs", "handoff_entries",
+            "handoff_bytes", "aggregator_failovers", "report_detours",
+            "oracle_fallbacks"}) {
+        field(*robustness, key, Json::Type::kNumber, "robustness");
+      }
+      const Json* failover = field(*robustness, "failover_latency_ms",
+                                   Json::Type::kObject, "robustness");
+      if (failover != nullptr) {
+        check_histogram(*failover, "robustness.failover_latency_ms");
+      }
     }
   }
 
@@ -414,9 +438,11 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "make_figures: %s valid (schema v1); wrote 6 tables to %s "
+      "make_figures: %s valid (schema v%lld); wrote 6 tables to %s "
       "(%d series%s)\n",
-      metrics_path.c_str(), out_dir.c_str(), series_count,
+      metrics_path.c_str(),
+      static_cast<long long>(doc->find("schema_version")->as_int()),
+      out_dir.c_str(), series_count,
       have_trace
           ? (", trace.jsonl valid, " + std::to_string(trace_events) +
              " events")

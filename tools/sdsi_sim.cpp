@@ -10,7 +10,8 @@
 //            [--adaptive-precision] [--loss P]
 //            [--burst-loss P] [--crash-wave F] [--jitter MS]
 //            [--mbr-acks] [--response-acks] [--mbr-refresh S]
-//            [--query-refresh S] [--oracle S] [--drain S]
+//            [--query-refresh S] [--replication-factor R]
+//            [--anti-entropy-period S] [--oracle S] [--drain S]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,6 +50,8 @@ using namespace sdsi;
       "  --response-acks      acked match pushes with retransmission\n"
       "  --mbr-refresh S      soft-state MBR re-routing period (0 = off)\n"
       "  --query-refresh S    subscription refresh period (0 = off)\n"
+      "  --replication-factor R  mirror stores to R successors (0 = off)\n"
+      "  --anti-entropy-period S digest exchange period (0 = off)\n"
       "  --oracle S           recall-oracle sampling period (enables recall)\n"
       "  --drain S            settling time after measure before reports\n"
       "  --obs-dir DIR        write DIR/metrics.json (time series + reports)\n"
@@ -182,6 +185,12 @@ int main(int argc, char** argv) {
     } else if (is("--query-refresh")) {
       config.query_refresh_period =
           sim::Duration::seconds(parse_double(value(), argv[0]));
+    } else if (is("--replication-factor")) {
+      config.replication_factor =
+          static_cast<std::size_t>(parse_long(value(), argv[0]));
+    } else if (is("--anti-entropy-period")) {
+      config.anti_entropy_period =
+          sim::Duration::seconds(parse_double(value(), argv[0]));
     } else if (is("--oracle")) {
       config.oracle_sample_period =
           sim::Duration::seconds(parse_double(value(), argv[0]));
@@ -290,6 +299,21 @@ int main(int argc, char** argv) {
         robustness.p99_heal_latency_ms,
         static_cast<unsigned long long>(robustness.crashes),
         static_cast<unsigned long long>(robustness.recoveries));
+    if (config.replication_factor > 0) {
+      std::printf(
+          "  replica puts %llu, repairs %llu, handoff entries %llu"
+          " (%llu bytes)\n"
+          "  aggregator failovers %llu (mean %.0f ms, p90 %.0f ms),"
+          " detours %llu\n",
+          static_cast<unsigned long long>(robustness.replica_puts),
+          static_cast<unsigned long long>(robustness.replica_repairs),
+          static_cast<unsigned long long>(robustness.handoff_entries),
+          static_cast<unsigned long long>(robustness.handoff_bytes),
+          static_cast<unsigned long long>(robustness.aggregator_failovers),
+          robustness.mean_failover_latency_ms,
+          robustness.p90_failover_latency_ms,
+          static_cast<unsigned long long>(robustness.report_detours));
+    }
     std::printf(
         "%s", core::render_drops_table(robustness.drops_by_cause).render()
                   .c_str());
