@@ -25,20 +25,25 @@ namespace sdsi::bench {
 //     "schema_version": 1,
 //     "suite": "<bench family>",
 //     "benchmarks": [
-//       {"name": "...", "config": "...", "ops_per_sec": 1.0, "wall_ms": 1.0},
+//       {"name": "...", "config": "...", "threads": 1,
+//        "ops_per_sec": 1.0, "wall_ms": 1.0},
 //       ...
 //     ]
 //   }
 //
 // `name` identifies the code path, `config` the workload point (sizes,
-// radii, window lengths), `ops_per_sec` the headline throughput, and
-// `wall_ms` the total measured wall time backing it.
+// radii, window lengths), `threads` the worker-lane count the row was
+// measured at (1 = serial; additive key, schema stays v1), `ops_per_sec`
+// the headline throughput, and `wall_ms` the total measured wall time
+// backing it.
 
 struct BenchResult {
   std::string name;
   std::string config;
   double ops_per_sec = 0.0;
   double wall_ms = 0.0;
+  std::size_t threads = 1;  // last so positional {name, config, ops, wall}
+                            // initializers keep their serial default
 };
 
 inline std::string json_escape(const std::string& text) {
@@ -85,10 +90,11 @@ class JsonBenchReporter {
         << json_escape(suite_) << "\",\n  \"benchmarks\": [\n";
     for (std::size_t i = 0; i < results_.size(); ++i) {
       const BenchResult& r = results_[i];
-      char numbers[128];
+      char numbers[160];
       std::snprintf(numbers, sizeof(numbers),
-                    "\"ops_per_sec\": %.6g, \"wall_ms\": %.6g",
-                    r.ops_per_sec, r.wall_ms);
+                    "\"threads\": %zu, \"ops_per_sec\": %.6g, "
+                    "\"wall_ms\": %.6g",
+                    r.threads, r.ops_per_sec, r.wall_ms);
       out << "    {\"name\": \"" << json_escape(r.name) << "\", \"config\": \""
           << json_escape(r.config) << "\", " << numbers << "}"
           << (i + 1 < results_.size() ? ",\n" : "\n");

@@ -73,6 +73,7 @@ void Experiment::build() {
   middleware.query_refresh_period = config_.query_refresh_period;
   middleware.replication_factor = config_.replication_factor;
   middleware.anti_entropy_period = config_.anti_entropy_period;
+  middleware.threads = config_.threads;
   middleware.rng_seed = rng_factory_.make("middleware-seed").next64();
   system_ = std::make_unique<MiddlewareSystem>(*routing_, middleware);
   system_->metrics().set_enabled(false);

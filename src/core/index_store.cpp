@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
+
+#include "core/worker_pool.hpp"
 
 namespace sdsi::core {
 
@@ -120,45 +123,81 @@ void IndexStore::compact() {
   indexed_limit_ = mbrs_.size();
 }
 
-std::vector<SimilarityMatch> IndexStore::match(sim::SimTime now) {
+void IndexStore::match_subscription(QueryId id, Subscription& sub,
+                                    sim::SimTime now,
+                                    std::vector<SimilarityMatch>& out) const {
+  // expire(now) already dropped lapsed subscriptions, so the per-pair
+  // expiry re-checks of the brute-force scan are gone; assert the lane
+  // invariant instead.
+  SDSI_DCHECK(sub.expires > now);
+  const SimilarityQuery& query = *sub.query;
+  const double center = query.features.routing_coordinate();
+  const double query_low = center - query.radius;
+  const double query_high = center + query.radius;
+  // Candidates must satisfy low <= query_high and high >= query_low; with
+  // high <= low + max_extent_ the second condition bounds the search to
+  // low >= query_low - max_extent_, so both ends binary-search.
+  const double scan_from = query_low - max_extent_;
+  auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), scan_from,
+      [](const IntervalRef& ref, double value) { return ref.low < value; });
+  for (; it != sorted_.end() && it->low <= query_high; ++it) {
+    if (it->high < query_low) {
+      continue;  // first-dim gap alone already exceeds the radius
+    }
+    const StoredMbr& entry = mbrs_[it->pos];
+    if (dead(entry)) {
+      continue;  // lazily-deleted slot awaiting compaction
+    }
+    if (sub.reported.contains(entry.stream)) {
+      continue;
+    }
+    const double bound = entry.mbr.min_distance(query.features);
+    if (bound <= query.radius) {
+      sub.reported.insert(entry.stream);
+      out.push_back(SimilarityMatch{id, entry.stream, bound, now});
+    }
+  }
+}
+
+std::vector<SimilarityMatch> IndexStore::match(sim::SimTime now,
+                                               WorkerPool* pool) {
   expire(now);
   if (indexed_limit_ < mbrs_.size()) {
     merge_pending();
   }
   std::vector<SimilarityMatch> fresh;
-  for (auto& [id, sub] : subscriptions_) {
-    // expire(now) already dropped lapsed subscriptions, so the per-pair
-    // expiry re-checks of the brute-force scan are gone; assert the lane
-    // invariant instead.
-    SDSI_DCHECK(sub.expires > now);
-    const SimilarityQuery& query = *sub.query;
-    const double center = query.features.routing_coordinate();
-    const double query_low = center - query.radius;
-    const double query_high = center + query.radius;
-    // Candidates must satisfy low <= query_high and high >= query_low; with
-    // high <= low + max_extent_ the second condition bounds the search to
-    // low >= query_low - max_extent_, so both ends binary-search.
-    const double scan_from = query_low - max_extent_;
-    auto it = std::lower_bound(
-        sorted_.begin(), sorted_.end(), scan_from,
-        [](const IntervalRef& ref, double value) { return ref.low < value; });
-    for (; it != sorted_.end() && it->low <= query_high; ++it) {
-      if (it->high < query_low) {
-        continue;  // first-dim gap alone already exceeds the radius
-      }
-      const StoredMbr& entry = mbrs_[it->pos];
-      if (dead(entry)) {
-        continue;  // lazily-deleted slot awaiting compaction
-      }
-      if (sub.reported.contains(entry.stream)) {
-        continue;
-      }
-      const double bound = entry.mbr.min_distance(query.features);
-      if (bound <= query.radius) {
-        sub.reported.insert(entry.stream);
-        fresh.push_back(SimilarityMatch{id, entry.stream, bound, now});
-      }
+  // Below this many subscriptions a fan-out costs more than it saves; the
+  // serial path is also the reference the sharded one must reproduce.
+  constexpr std::size_t kParallelThreshold = 4;
+  if (pool == nullptr || pool->thread_count() <= 1 ||
+      subscriptions_.size() < kParallelThreshold) {
+    for (auto& [id, sub] : subscriptions_) {
+      match_subscription(id, sub, now, fresh);
     }
+    return fresh;
+  }
+  // Sharded pass. Snapshot the subscriptions in serial iteration order;
+  // every task owns its subscription (and its `reported` set) exclusively,
+  // while the slab and interval index stay frozen, so the only coordination
+  // is the pool's end-of-pass barrier. Concatenating the shard outputs in
+  // snapshot order makes the result identical to the serial loop.
+  std::vector<std::pair<const QueryId, Subscription>*> subs;
+  subs.reserve(subscriptions_.size());
+  for (auto& entry : subscriptions_) {
+    subs.push_back(&entry);
+  }
+  std::vector<std::vector<SimilarityMatch>> shards(subs.size());
+  pool->parallel_for(subs.size(), [&](std::size_t i) {
+    match_subscription(subs[i]->first, subs[i]->second, now, shards[i]);
+  });
+  std::size_t total = 0;
+  for (const auto& shard : shards) {
+    total += shard.size();
+  }
+  fresh.reserve(total);
+  for (auto& shard : shards) {
+    fresh.insert(fresh.end(), shard.begin(), shard.end());
   }
   return fresh;
 }

@@ -35,6 +35,8 @@
 
 namespace sdsi::core {
 
+class WorkerPool;
+
 class IndexStore {
  public:
   struct StoredMbr {
@@ -76,7 +78,14 @@ class IndexStore {
   /// (query, stream) candidate pairs detected at `now`, recording them so
   /// they are never reported twice by this node. Runs expire(now) first, so
   /// callers need no separate sweep.
-  std::vector<SimilarityMatch> match(sim::SimTime now);
+  ///
+  /// With a WorkerPool the per-subscription candidate scans are sharded
+  /// across its threads (each subscription is owned by exactly one task;
+  /// the MBR slab and interval index are frozen for the duration of the
+  /// pass) and the shard results are concatenated in the serial iteration
+  /// order — the returned vector is byte-identical to the pool-less call.
+  std::vector<SimilarityMatch> match(sim::SimTime now,
+                                     WorkerPool* pool = nullptr);
 
   /// Reference oracle: the original O(subscriptions x MBRs) scan over the
   /// same state. Kept for the equivalence tests and the matching microbench;
@@ -152,6 +161,14 @@ class IndexStore {
   bool dead(const StoredMbr& entry) const noexcept {
     return entry.expires <= horizon_;
   }
+
+  /// One subscription's candidate scan (the shared body of the serial and
+  /// sharded match paths). Appends fresh matches to `out` and records them
+  /// in sub.reported. Reads only the frozen slab/index state; writes only
+  /// `sub` and `out`, so concurrent calls on distinct subscriptions are
+  /// race-free.
+  void match_subscription(QueryId id, Subscription& sub, sim::SimTime now,
+                          std::vector<SimilarityMatch>& out) const;
 
   /// Folds slab entries added since the last merge into the sorted index.
   void merge_pending();

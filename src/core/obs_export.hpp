@@ -3,7 +3,7 @@
 // Serializes one finished Experiment — run parameters, the Fig 6/7/8 report
 // reductions, drop accounting, robustness counters, quality summary, and the
 // attached registry's windowed time series — into the versioned
-// `sdsi.metrics` v1 document that tools/make_figures consumes.
+// `sdsi.metrics` v2 document that tools/make_figures consumes.
 // docs/OBSERVABILITY.md is the schema reference.
 #pragma once
 
@@ -14,7 +14,7 @@
 
 namespace sdsi::core {
 
-/// Builds the full schema-v1 document.
+/// Builds the full schema-v2 document.
 obs::Json metrics_to_json(const Experiment& experiment);
 
 /// Histogram sub-document used for every LogHistogram in the export.

@@ -26,6 +26,9 @@ MiddlewareSystem::MiddlewareSystem(routing::RoutingSystem& routing,
       config_(config),
       mapper_(routing.id_space()),
       metrics_(routing.num_nodes()),
+      pool_(WorkerPool::resolve(config.threads) > 1
+                ? std::make_unique<WorkerPool>(config.threads)
+                : nullptr),
       nodes_(routing.num_nodes()),
       rng_(common::RngFactory(config.rng_seed).make("middleware.jitter")) {
   config_.features.validate();
@@ -151,25 +154,95 @@ void MiddlewareSystem::unregister_stream(NodeIndex node, StreamId stream) {
   routing_.send(node, mapper_.key_for_stream(stream), std::move(msg));
 }
 
-void MiddlewareSystem::post_stream_value(NodeIndex node, StreamId stream,
-                                         Sample value) {
-  MiddlewareNode& state = state_of(node);
-  const auto it = state.streams.find(stream);
-  SDSI_CHECK(it != state.streams.end());
-  LocalStream& local = it->second;
+namespace {
+
+/// The pure (routing-free) part of ingesting one value: summarizer push,
+/// feature extraction, batcher update, adaptive-precision observation.
+/// Closed MBRs are appended to `closed` for the caller to route. Shared by
+/// the per-value and burst ingest paths so they cannot diverge.
+void summarize_value(LocalStream& local, Sample value,
+                     std::vector<dsp::Mbr>& closed) {
   local.summarizer.push(value);
   const std::optional<dsp::FeatureVector> features =
       local.summarizer.features();
   if (!features.has_value()) {
     return;  // window not full yet, or degenerate (constant) window
   }
-  std::optional<dsp::Mbr> closed = local.batcher.push(*features);
+  std::optional<dsp::Mbr> mbr = local.batcher.push(*features);
   if (local.precision.has_value()) {
-    local.batcher.set_max_extent(
-        local.precision->observe(closed.has_value()));
+    local.batcher.set_max_extent(local.precision->observe(mbr.has_value()));
   }
-  if (closed.has_value()) {
-    route_mbr(node, local, std::move(*closed));
+  if (mbr.has_value()) {
+    closed.push_back(std::move(*mbr));
+  }
+}
+
+}  // namespace
+
+void MiddlewareSystem::post_stream_value(NodeIndex node, StreamId stream,
+                                         Sample value) {
+  MiddlewareNode& state = state_of(node);
+  const auto it = state.streams.find(stream);
+  SDSI_CHECK(it != state.streams.end());
+  LocalStream& local = it->second;
+  std::vector<dsp::Mbr> closed;
+  summarize_value(local, value, closed);
+  for (dsp::Mbr& mbr : closed) {
+    route_mbr(node, local, std::move(mbr));
+  }
+}
+
+void MiddlewareSystem::post_stream_burst(
+    const std::vector<StreamBurst>& bursts) {
+  struct Task {
+    LocalStream* local = nullptr;
+    const StreamBurst* burst = nullptr;
+    std::vector<dsp::Mbr> closed;
+  };
+  std::vector<Task> tasks;
+  tasks.reserve(bursts.size());
+  std::set<std::pair<NodeIndex, StreamId>> targets;
+  for (const StreamBurst& burst : bursts) {
+    MiddlewareNode& state = state_of(burst.node);
+    const auto it = state.streams.find(burst.stream);
+    SDSI_CHECK(it != state.streams.end());
+    SDSI_CHECK(targets.emplace(burst.node, burst.stream).second &&
+               "bursts must target distinct (node, stream) pairs");
+    tasks.push_back(Task{&it->second, &burst, {}});
+  }
+  // Phase 1 — summarize, sharded across the pool. Each task owns its
+  // stream's summarizer/batcher exclusively (distinct targets, checked
+  // above) and touches nothing else, so the only coordination is the
+  // barrier. While the window cannot fill yet the serial path consults no
+  // features, so that cold prefix takes the batched push_span lane.
+  const auto summarize_burst = [](Task& task) {
+    LocalStream& local = *task.local;
+    std::span<const Sample> values(task.burst->values);
+    const std::size_t until_ready = local.summarizer.samples_until_ready();
+    if (until_ready > 1) {
+      const std::size_t cold = std::min(values.size(), until_ready - 1);
+      local.summarizer.push_span(values.first(cold));
+      values = values.subspan(cold);
+    }
+    for (const Sample value : values) {
+      summarize_value(local, value, task.closed);
+    }
+  };
+  if (pool_ != nullptr && tasks.size() > 1) {
+    pool_->parallel_for(tasks.size(),
+                        [&](std::size_t i) { summarize_burst(tasks[i]); });
+  } else {
+    for (Task& task : tasks) {
+      summarize_burst(task);
+    }
+  }
+  // Phase 2 — route the closed MBRs serially in burst order. Routing never
+  // feeds back into summarization, so this sequence (messages, batch_seq,
+  // retry-jitter rng draws) is exactly the per-value loop's.
+  for (Task& task : tasks) {
+    for (dsp::Mbr& mbr : task.closed) {
+      route_mbr(task.burst->node, *task.local, std::move(mbr));
+    }
   }
 }
 
@@ -872,8 +945,18 @@ void MiddlewareSystem::periodic_tick(NodeIndex index) {
   if (!routing_.is_alive(index)) {
     return;  // the data center crashed; its soft state dies with it
   }
-  MiddlewareNode& state = nodes_[index];
   const sim::SimTime now = routing_.simulator().now();
+  // The match pass touches only this node's store, so it commutes with the
+  // bookkeeping steps of dispatch_tick — running it first lets
+  // tick_all_nodes hoist all the passes into one sharded pre-pass while
+  // this (simulator-driven, one node per event) path shards the pass
+  // internally across subscriptions.
+  dispatch_tick(index, now, nodes_[index].store.match(now, pool_.get()));
+}
+
+void MiddlewareSystem::dispatch_tick(NodeIndex index, sim::SimTime now,
+                                     std::vector<SimilarityMatch> fresh) {
+  MiddlewareNode& state = nodes_[index];
 
   // -1. Aggregator failover: mirrors whose middle key now falls on this
   //     node's arc (the owner died) become live aggregations.
@@ -893,10 +976,10 @@ void MiddlewareSystem::periodic_tick(NodeIndex index) {
     }
   }
 
-  // 1. Detect new candidates against the local index (Eq. 8 / MBR bound).
-  //    match() advances the store's expiry lanes itself, so no separate
-  //    expire() sweep is needed here.
-  for (SimilarityMatch& match : state.store.match(now)) {
+  // 1. File the candidates the match pass detected against the local index
+  //    (Eq. 8 / MBR bound). match() advanced the store's expiry lanes
+  //    itself, so no separate expire() sweep is needed here.
+  for (SimilarityMatch& match : fresh) {
     const IndexStore::Subscription* sub =
         state.store.find_subscription(match.query);
     SDSI_CHECK(sub != nullptr);
@@ -1608,6 +1691,29 @@ void MiddlewareSystem::handle_node_leave(NodeIndex index) {
 }
 
 void MiddlewareSystem::tick_all_nodes() {
+  if (pool_ != nullptr && nodes_.size() > 1) {
+    // Sharded pre-pass: every alive node's match pass is independent (it
+    // reads and writes only that node's store; cross-node effects travel
+    // exclusively through simulator-queued messages, which cannot fire
+    // mid-pass). The barrier at the end of the pre-pass, plus the serial
+    // node-ordered dispatch phase, keeps the message sequence — and thus
+    // the whole simulation — byte-identical to the serial loop. The pool
+    // must not be re-entered from inside a task, so each node's pass runs
+    // serially here; node-level parallelism already uses every lane.
+    const sim::SimTime now = routing_.simulator().now();
+    std::vector<std::vector<SimilarityMatch>> fresh(nodes_.size());
+    pool_->parallel_for(nodes_.size(), [&](std::size_t i) {
+      if (routing_.is_alive(static_cast<NodeIndex>(i))) {
+        fresh[i] = nodes_[i].store.match(now);
+      }
+    });
+    for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+      if (routing_.is_alive(i)) {
+        dispatch_tick(i, now, std::move(fresh[i]));
+      }
+    }
+    return;
+  }
   for (NodeIndex i = 0; i < nodes_.size(); ++i) {
     periodic_tick(i);
   }

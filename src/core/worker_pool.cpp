@@ -1,0 +1,122 @@
+#include "core/worker_pool.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace sdsi::core {
+
+std::size_t WorkerPool::resolve(std::size_t threads) noexcept {
+  if (threads != 0) {
+    return threads;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+WorkerPool::WorkerPool(std::size_t threads) {
+  const std::size_t lanes = resolve(threads);
+  // lanes - 1 workers: the caller is always the last lane, so one lane
+  // means inline mode with no thread ever spawned.
+  workers_.reserve(lanes - 1);
+  for (std::size_t i = 0; i + 1 < lanes; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void WorkerPool::run_chunks(Job& job) {
+  for (;;) {
+    const std::size_t begin =
+        job.next.fetch_add(job.grain, std::memory_order_relaxed);
+    if (begin >= job.count) {
+      return;
+    }
+    const std::size_t end = std::min(begin + job.grain, job.count);
+    (*job.body)(begin, end);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (++job.completed == job.chunks) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) {
+        return;
+      }
+      seen_generation = generation_;
+      job = job_;
+    }
+    // The shared_ptr keeps the Job alive even if the caller's barrier
+    // releases before this worker's last (empty) claim attempt; the body
+    // pointer is only dereferenced for successfully claimed chunks, which
+    // the barrier by definition waits for.
+    run_chunks(*job);
+  }
+}
+
+void WorkerPool::parallel_chunks(std::size_t count, std::size_t grain,
+                                 const ChunkFn& fn) {
+  if (count == 0) {
+    return;
+  }
+  if (grain == 0) {
+    // ~4 chunks per lane: enough slack for skewed per-item cost, few enough
+    // that the per-chunk mutex tap stays invisible.
+    grain = std::max<std::size_t>(1, count / (thread_count() * 4));
+  }
+  if (inline_mode() || count <= grain) {
+    fn(0, count);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->body = &fn;
+  job->count = count;
+  job->grain = grain;
+  job->chunks = (count + grain - 1) / grain;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // Reentrant use would deadlock on the barrier; fail loudly instead.
+    SDSI_CHECK(job_ == nullptr && "WorkerPool jobs must not nest");
+    job_ = job;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  run_chunks(*job);  // the caller is a lane too
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return job->completed == job->chunks; });
+    job_ = nullptr;
+  }
+}
+
+void WorkerPool::parallel_for(std::size_t count, const IndexFn& fn) {
+  parallel_chunks(count, 0, [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      fn(i);
+    }
+  });
+}
+
+}  // namespace sdsi::core

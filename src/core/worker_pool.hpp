@@ -1,0 +1,98 @@
+// Fixed-size worker pool for the embarrassingly parallel phases of the
+// simulation: per-node IndexStore::match passes (nodes are independent
+// between message deliveries) and per-stream summarization during ingest
+// bursts.
+//
+// Design goals, in order:
+//
+//   1. Determinism. parallel_for / parallel_chunks are pure fan-out/join
+//      primitives: the caller supplies a body indexed by item, every result
+//      lands in a caller-owned slot keyed by that index, and the join is a
+//      full barrier. Which thread ran which chunk is unobservable, so a run
+//      at --threads N is byte-identical to --threads 1 by construction.
+//   2. Graceful degradation. With one thread (explicitly, or because
+//      hardware_concurrency() is unknown) no worker is ever spawned and
+//      every body runs inline on the caller's stack — zero overhead over
+//      the serial path (inline_mode()).
+//   3. TSAN-cleanliness. All cross-thread edges are a mutex/condvar pair
+//      plus one atomic chunk cursor; job completion is published under the
+//      mutex, so the caller's post-barrier reads are happens-after every
+//      worker write.
+//
+// The pool is NOT reentrant: a body must never call back into the same
+// pool (checked). Scheduling is chunked self-claiming (a degenerate
+// work-stealing deque: one shared tail, no per-thread deques), which keeps
+// load balanced when per-item cost is skewed without any unsafely shared
+// state.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sdsi::core {
+
+class WorkerPool {
+ public:
+  /// Body of a chunked job: processes items [begin, end).
+  using ChunkFn = std::function<void(std::size_t begin, std::size_t end)>;
+  /// Body of an indexed job: processes one item.
+  using IndexFn = std::function<void(std::size_t index)>;
+
+  /// `threads` == 0 resolves to hardware_concurrency() (1 when unknown).
+  /// `threads` == 1 never spawns an OS thread (inline mode).
+  explicit WorkerPool(std::size_t threads = 0);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Total execution lanes, including the calling thread. >= 1.
+  std::size_t thread_count() const noexcept { return workers_.size() + 1; }
+
+  /// True when no OS thread was spawned and every job runs on the caller.
+  bool inline_mode() const noexcept { return workers_.empty(); }
+
+  /// What `threads == 0` resolves to on this host (>= 1; 1 when the
+  /// hardware concurrency is unknown).
+  static std::size_t resolve(std::size_t threads) noexcept;
+
+  /// Runs fn(begin, end) over disjoint chunks covering [0, count), about
+  /// `grain` items each, across the pool + the calling thread. Blocks until
+  /// every chunk completed (barrier: all body writes happen-before return).
+  /// grain == 0 picks a chunk size that yields ~4 chunks per lane.
+  void parallel_chunks(std::size_t count, std::size_t grain,
+                       const ChunkFn& fn);
+
+  /// Runs fn(i) for every i in [0, count); same barrier semantics.
+  void parallel_for(std::size_t count, const IndexFn& fn);
+
+ private:
+  struct Job {
+    const ChunkFn* body = nullptr;
+    std::size_t count = 0;
+    std::size_t grain = 1;
+    std::size_t chunks = 0;
+    std::atomic<std::size_t> next{0};  // first unclaimed item
+    std::size_t completed = 0;         // chunks done (guarded by mutex_)
+  };
+
+  void worker_loop();
+  /// Claims and runs chunks of `job` until none remain.
+  void run_chunks(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers wait here for a job
+  std::condition_variable done_cv_;  // the caller waits here for the barrier
+  std::shared_ptr<Job> job_;         // current job; null when idle
+  std::uint64_t generation_ = 0;     // bumped per job so workers never rerun
+  bool stop_ = false;
+};
+
+}  // namespace sdsi::core

@@ -64,6 +64,9 @@ class Simulator {
   /// stamped exactly at `horizon` still run. Returns the number executed.
   std::uint64_t run_until(SimTime horizon);
 
+  /// Convenience: run_until(now() + span).
+  std::uint64_t run_for(Duration span) { return run_until(now_ + span); }
+
   /// Drains the queue completely (use only with workloads that terminate).
   std::uint64_t run_all();
 

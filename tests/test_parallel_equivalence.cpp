@@ -1,0 +1,117 @@
+// Experiment-level determinism gate of the parallel engine (the PR's
+// acceptance test): the same seeded Table-I-style run at --threads 1, 2, and
+// 8 must produce the identical per-query matched stream sets, identical
+// recall, and a byte-identical metrics.json (the export schema carries no
+// wall-clock fields, and `threads` is deliberately not exported).
+//
+// Runs under both the chaos-smoke and tsan-smoke labels: the asan preset
+// executes it via `ctest -L chaos-smoke`, the tsan preset via
+// `ctest -L tsan-smoke`.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace sdsi::core {
+namespace {
+
+ExperimentConfig equivalence_config(std::size_t threads,
+                                    const std::string& obs_dir) {
+  ExperimentConfig config;
+  config.num_nodes = 10;
+  config.seed = 4242;
+  config.substrate = SubstrateKind::kStaticRing;  // cheap: TSAN runs this too
+  config.features.window_size = 32;
+  config.features.num_coefficients = 2;
+  config.workload.stream_period_min = sim::Duration::millis(40);
+  config.workload.stream_period_max = sim::Duration::millis(60);
+  config.workload.query_rate_per_sec = 3.0;
+  config.workload.notify_period = sim::Duration::millis(500);
+  config.warmup = sim::Duration::seconds(4);
+  config.measure = sim::Duration::seconds(4);
+  config.oracle_sample_period = sim::Duration::millis(500);
+  config.threads = threads;
+  config.obs.dir = obs_dir;
+  return config;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Everything the run observed, reduced to comparable form.
+struct RunDigest {
+  std::map<QueryId, std::set<StreamId>> matched;
+  std::uint64_t responses = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t queries = 0;
+  double recall = 0.0;
+  std::uint64_t oracle_pairs = 0;
+  std::string metrics_json;
+};
+
+RunDigest run_once(std::size_t threads, const std::string& obs_dir) {
+  Experiment experiment(equivalence_config(threads, obs_dir));
+  experiment.run();
+  if (threads > 1) {
+    EXPECT_NE(experiment.system().worker_pool(), nullptr);
+  } else {
+    EXPECT_EQ(experiment.system().worker_pool(), nullptr);
+  }
+  RunDigest digest;
+  for (const auto& [id, record] : experiment.system().client_records()) {
+    digest.matched[id] = std::set<StreamId>(record.matched_streams.begin(),
+                                            record.matched_streams.end());
+  }
+  const QualityReport quality = experiment.quality_report();
+  digest.responses = quality.responses_received;
+  digest.matches = quality.matches_reported;
+  digest.queries = quality.queries_posed;
+  const RobustnessReport robustness = experiment.robustness_report();
+  digest.recall = robustness.recall;
+  digest.oracle_pairs = robustness.oracle_pairs;
+  digest.metrics_json = slurp(obs_dir + "/metrics.json");
+  return digest;
+}
+
+TEST(ParallelEquivalence, ThreadCountIsUnobservable) {
+  const std::string base = ::testing::TempDir() + "sdsi_parallel_eq";
+  const RunDigest serial = run_once(1, base + "_t1");
+
+  // The workload must actually exercise the matching pipeline, or the test
+  // proves nothing.
+  ASSERT_GT(serial.queries, 0u);
+  ASSERT_GT(serial.matches, 0u);
+  ASSERT_GT(serial.oracle_pairs, 0u);
+  ASSERT_FALSE(serial.metrics_json.empty());
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const RunDigest parallel =
+        run_once(threads, base + "_t" + std::to_string(threads));
+    EXPECT_EQ(parallel.queries, serial.queries) << threads << " lanes";
+    EXPECT_EQ(parallel.responses, serial.responses) << threads << " lanes";
+    EXPECT_EQ(parallel.matches, serial.matches) << threads << " lanes";
+    EXPECT_EQ(parallel.matched, serial.matched) << threads << " lanes";
+    EXPECT_EQ(parallel.recall, serial.recall) << threads << " lanes";
+    EXPECT_EQ(parallel.oracle_pairs, serial.oracle_pairs) << threads
+                                                          << " lanes";
+    // Byte equality of the whole export document: nothing about the run —
+    // series values, windows, run parameters — may depend on the lane count.
+    EXPECT_EQ(parallel.metrics_json, serial.metrics_json) << threads
+                                                          << " lanes";
+  }
+}
+
+}  // namespace
+}  // namespace sdsi::core

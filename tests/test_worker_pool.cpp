@@ -1,0 +1,151 @@
+// WorkerPool unit tests: inline-mode degradation, exact coverage, chunk
+// partitioning, job reuse, and barrier visibility. test_worker_pool and
+// test_parallel_match carry the tsan-smoke label: `ctest -L tsan-smoke`
+// under the tsan preset is the data-race gate of the parallel engine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/worker_pool.hpp"
+
+namespace sdsi::core {
+namespace {
+
+TEST(WorkerPool, ResolveSemantics) {
+  // 0 -> hardware concurrency (>= 1 even when unknown); N -> N.
+  EXPECT_GE(WorkerPool::resolve(0), 1u);
+  EXPECT_EQ(WorkerPool::resolve(1), 1u);
+  EXPECT_EQ(WorkerPool::resolve(7), 7u);
+}
+
+TEST(WorkerPool, OneLaneNeverSpawnsAndRunsInline) {
+  WorkerPool pool(1);
+  EXPECT_TRUE(pool.inline_mode());
+  EXPECT_EQ(pool.thread_count(), 1u);
+
+  // Every body runs on the calling thread's stack.
+  const std::thread::id caller = std::this_thread::get_id();
+  std::size_t calls = 0;
+  pool.parallel_for(64, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;  // safe: single-threaded by construction
+  });
+  EXPECT_EQ(calls, 64u);
+}
+
+TEST(WorkerPool, EveryIndexRunsExactlyOnce) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  constexpr std::size_t kCount = 10'000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(WorkerPool, ChunksPartitionTheRange) {
+  WorkerPool pool(3);
+  constexpr std::size_t kCount = 1237;  // prime: uneven tail chunk
+  constexpr std::size_t kGrain = 100;
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_chunks(kCount, kGrain, [&](std::size_t begin, std::size_t end) {
+    ASSERT_LT(begin, end);
+    ASSERT_LE(end, kCount);
+    ASSERT_LE(end - begin, kGrain);
+    const std::lock_guard<std::mutex> lock(mutex);
+    chunks.emplace_back(begin, end);
+  });
+  // Sorted by begin, the chunks must tile [0, kCount) exactly.
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t cursor = 0;
+  for (const auto& [begin, end] : chunks) {
+    ASSERT_EQ(begin, cursor);
+    cursor = end;
+  }
+  EXPECT_EQ(cursor, kCount);
+}
+
+TEST(WorkerPool, GrainZeroPicksADefaultAndStillCovers) {
+  WorkerPool pool(4);
+  constexpr std::size_t kCount = 4096;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_chunks(kCount, 0, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(WorkerPool, EmptyJobReturnsWithoutCallingBody) {
+  WorkerPool pool(2);
+  pool.parallel_for(0, [&](std::size_t) { FAIL() << "body ran on count 0"; });
+  pool.parallel_chunks(0, 16, [&](std::size_t, std::size_t) {
+    FAIL() << "body ran on count 0";
+  });
+}
+
+TEST(WorkerPool, ConsecutiveJobsReuseTheSamePool) {
+  // The generation counter must isolate jobs: no chunk of job k may run
+  // under job k+1, and every job's barrier holds individually.
+  WorkerPool pool(4);
+  for (std::size_t round = 0; round < 200; ++round) {
+    const std::size_t count = 1 + (round * 37) % 257;
+    std::vector<std::atomic<int>> hits(count);
+    pool.parallel_for(count, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "round " << round << " index " << i;
+    }
+  }
+}
+
+TEST(WorkerPool, BarrierPublishesPlainWrites) {
+  // Bodies write to distinct plain (non-atomic) slots; the barrier must make
+  // every write visible to the caller. Under the tsan preset this is the
+  // happens-before proof for the match-shard and burst-ingest paths, which
+  // write results into caller-owned vectors exactly like this.
+  WorkerPool pool(4);
+  constexpr std::size_t kCount = 50'000;
+  std::vector<std::size_t> out(kCount, 0);
+  pool.parallel_for(kCount, [&](std::size_t i) { out[i] = i + 1; });
+  std::size_t sum = std::accumulate(out.begin(), out.end(), std::size_t{0});
+  EXPECT_EQ(sum, kCount * (kCount + 1) / 2);
+}
+
+TEST(WorkerPool, SkewedChunkCostsStillCover) {
+  // Self-claiming must rebalance when early chunks are much cheaper than
+  // late ones (the match pass has exactly this skew across subscriptions).
+  WorkerPool pool(4);
+  constexpr std::size_t kCount = 512;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_chunks(kCount, 8, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      volatile std::size_t spin = 0;
+      for (std::size_t k = 0; k < i * 10; ++k) {
+        spin = spin + 1;
+      }
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sdsi::core

@@ -2,7 +2,7 @@
 //
 // Takes one observability run directory (produced by `sdsi_sim --obs-dir`
 // or `bench_robustness --obs-dir`), validates the emitted documents against
-// the published schemas (metrics.json `sdsi.metrics` v1; trace.jsonl
+// the published schemas (metrics.json `sdsi.metrics` v2, v1 accepted; trace.jsonl
 // `sdsi.trace` v1 when present), and renders the figure data tables:
 //
 //   figures/fig6a_load.csv        Fig 6(a) load decomposition

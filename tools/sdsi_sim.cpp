@@ -11,7 +11,7 @@
 //            [--burst-loss P] [--crash-wave F] [--jitter MS]
 //            [--mbr-acks] [--response-acks] [--mbr-refresh S]
 //            [--query-refresh S] [--replication-factor R]
-//            [--anti-entropy-period S] [--oracle S] [--drain S]
+//            [--anti-entropy-period S] [--threads N] [--oracle S] [--drain S]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,6 +52,8 @@ using namespace sdsi;
       "  --query-refresh S    subscription refresh period (0 = off)\n"
       "  --replication-factor R  mirror stores to R successors (0 = off)\n"
       "  --anti-entropy-period S digest exchange period (0 = off)\n"
+      "  --threads N          worker lanes for match/ingest (1 = serial,\n"
+      "                       0 = hardware concurrency; results identical)\n"
       "  --oracle S           recall-oracle sampling period (enables recall)\n"
       "  --drain S            settling time after measure before reports\n"
       "  --obs-dir DIR        write DIR/metrics.json (time series + reports)\n"
@@ -191,6 +193,8 @@ int main(int argc, char** argv) {
     } else if (is("--anti-entropy-period")) {
       config.anti_entropy_period =
           sim::Duration::seconds(parse_double(value(), argv[0]));
+    } else if (is("--threads")) {
+      config.threads = static_cast<std::size_t>(parse_long(value(), argv[0]));
     } else if (is("--oracle")) {
       config.oracle_sample_period =
           sim::Duration::seconds(parse_double(value(), argv[0]));
