@@ -5,6 +5,9 @@
 
 #include <cstdio>
 #include <fstream>
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 #include <functional>
 #include <memory>
 #include <string>
@@ -35,7 +38,9 @@ namespace sdsi::bench {
 // radii, window lengths), `threads` the worker-lane count the row was
 // measured at (1 = serial; additive key, schema stays v1), `ops_per_sec`
 // the headline throughput, and `wall_ms` the total measured wall time
-// backing it.
+// backing it. Rows that track memory additionally carry `peak_rss_kb`
+// (process high-water resident set, additive trailing key — absent when a
+// bench does not measure it, so existing documents keep their shape).
 
 struct BenchResult {
   std::string name;
@@ -44,7 +49,29 @@ struct BenchResult {
   double wall_ms = 0.0;
   std::size_t threads = 1;  // last so positional {name, config, ops, wall}
                             // initializers keep their serial default
+  std::size_t peak_rss_kb = 0;  // 0 = not measured; emitted only when set
 };
+
+/// Process high-water resident set size in KiB (getrusage), or 0 where the
+/// platform offers no cheap reading. The counter is process-wide and
+/// monotone: in a sweep, sample it after each run and run ascending sizes
+/// so every sample is dominated by its own run.
+inline std::size_t current_peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0;
+  }
+  // ru_maxrss is KiB on Linux, bytes on macOS.
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss / 1024);
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss);
+#endif
+#else
+  return 0;
+#endif
+}
 
 inline std::string json_escape(const std::string& text) {
   std::string out;
@@ -90,11 +117,18 @@ class JsonBenchReporter {
         << json_escape(suite_) << "\",\n  \"benchmarks\": [\n";
     for (std::size_t i = 0; i < results_.size(); ++i) {
       const BenchResult& r = results_[i];
-      char numbers[160];
-      std::snprintf(numbers, sizeof(numbers),
-                    "\"threads\": %zu, \"ops_per_sec\": %.6g, "
-                    "\"wall_ms\": %.6g",
-                    r.threads, r.ops_per_sec, r.wall_ms);
+      char numbers[200];
+      if (r.peak_rss_kb > 0) {
+        std::snprintf(numbers, sizeof(numbers),
+                      "\"threads\": %zu, \"ops_per_sec\": %.6g, "
+                      "\"wall_ms\": %.6g, \"peak_rss_kb\": %zu",
+                      r.threads, r.ops_per_sec, r.wall_ms, r.peak_rss_kb);
+      } else {
+        std::snprintf(numbers, sizeof(numbers),
+                      "\"threads\": %zu, \"ops_per_sec\": %.6g, "
+                      "\"wall_ms\": %.6g",
+                      r.threads, r.ops_per_sec, r.wall_ms);
+      }
       out << "    {\"name\": \"" << json_escape(r.name) << "\", \"config\": \""
           << json_escape(r.config) << "\", " << numbers << "}"
           << (i + 1 < results_.size() ? ",\n" : "\n");

@@ -354,16 +354,15 @@ void ChordNetwork::route_to_key(NodeIndex from, Key key, Message msg) {
   // Even a locally-covered key goes through the event queue, so the deliver
   // upcall never reenters the sender's call stack.
   if (config_.lookup_style == LookupStyle::kIterative) {
-    simulator().schedule_after(
-        sim::Duration(), [this, from, key, m = std::move(msg)]() mutable {
-          iterate_step(from, from, key, std::move(m));
-        });
+    schedule_msg(sim::Duration(), std::move(msg),
+                 [this, from, key](Message m) {
+                   iterate_step(from, from, key, std::move(m));
+                 });
     return;
   }
-  simulator().schedule_after(sim::Duration(),
-                             [this, from, key, m = std::move(msg)]() mutable {
-                               route_step(from, key, std::move(m));
-                             });
+  schedule_msg(sim::Duration(), std::move(msg), [this, from, key](Message m) {
+    route_step(from, key, std::move(m));
+  });
 }
 
 void ChordNetwork::iterate_step(NodeIndex origin, NodeIndex current, Key key,
@@ -385,17 +384,16 @@ void ChordNetwork::iterate_step(NodeIndex origin, NodeIndex current, Key key,
     const sim::Duration delay =
         current == origin ? sim::Duration() : transmission_latency();
     msg.hops += current == origin ? 0 : 1;
-    simulator().schedule_after(delay,
-                               [this, current, m = std::move(msg)]() mutable {
-                                 if (is_alive(current)) {
-                                   deliver_at(current, std::move(m));
-                                 } else if (m.reroute_on_dead) {
-                                   detour_around_dead(current, std::move(m));
-                                 } else {
-                                   ++lost_messages_;
-                                   record_drop(fault::DropCause::kDeadNode, m);
-                                 }
-                               });
+    schedule_msg(delay, std::move(msg), [this, current](Message m) {
+      if (is_alive(current)) {
+        deliver_at(current, std::move(m));
+      } else if (m.reroute_on_dead) {
+        detour_around_dead(current, std::move(m));
+      } else {
+        ++lost_messages_;
+        record_drop(fault::DropCause::kDeadNode, m);
+      }
+    });
     return;
   }
   // One probe round: origin -> current (request), current -> origin
@@ -409,10 +407,10 @@ void ChordNetwork::iterate_step(NodeIndex origin, NodeIndex current, Key key,
     notify_transit(current, msg);
     msg.hops += 2;
   }
-  simulator().schedule_after(
-      round_trip, [this, origin, next, key, m = std::move(msg)]() mutable {
-        iterate_step(origin, next, key, std::move(m));
-      });
+  schedule_msg(round_trip, std::move(msg),
+               [this, origin, next, key](Message m) {
+                 iterate_step(origin, next, key, std::move(m));
+               });
 }
 
 void ChordNetwork::route_step(NodeIndex current, Key key, Message msg) {
@@ -442,26 +440,25 @@ void ChordNetwork::route_step(NodeIndex current, Key key, Message msg) {
     notify_transit(current, msg);
   }
   msg.hops += 1;
-  simulator().schedule_after(
-      transmission_latency(),
-      [this, next, key, next_final, m = std::move(msg)]() mutable {
-        if (!is_alive(next)) {
-          // A terminal hop that died in flight can still detour: the state
-          // belongs to whoever inherits the dead node's arc.
-          if (next_final && m.reroute_on_dead) {
-            detour_around_dead(next, std::move(m));
-            return;
-          }
-          ++lost_messages_;
-          record_drop(fault::DropCause::kDeadNode, m);
-          return;
-        }
-        if (next_final) {
-          deliver_at(next, std::move(m));
-        } else {
-          route_step(next, key, std::move(m));
-        }
-      });
+  schedule_msg(transmission_latency(), std::move(msg),
+               [this, next, key, next_final](Message m) {
+                 if (!is_alive(next)) {
+                   // A terminal hop that died in flight can still detour:
+                   // the state belongs to whoever inherits the dead arc.
+                   if (next_final && m.reroute_on_dead) {
+                     detour_around_dead(next, std::move(m));
+                     return;
+                   }
+                   ++lost_messages_;
+                   record_drop(fault::DropCause::kDeadNode, m);
+                   return;
+                 }
+                 if (next_final) {
+                   deliver_at(next, std::move(m));
+                 } else {
+                   route_step(next, key, std::move(m));
+                 }
+               });
 }
 
 void ChordNetwork::route_direct(NodeIndex from, NodeIndex to, Message msg) {
@@ -469,7 +466,7 @@ void ChordNetwork::route_direct(NodeIndex from, NodeIndex to, Message msg) {
   msg.hops = from == to ? 0 : 1;
   const sim::Duration delay =
       from == to ? sim::Duration() : transmission_latency();
-  simulator().schedule_after(delay, [this, to, m = std::move(msg)]() mutable {
+  schedule_msg(delay, std::move(msg), [this, to](Message m) {
     if (!is_alive(to)) {
       if (m.reroute_on_dead) {
         detour_around_dead(to, std::move(m));
@@ -510,14 +507,14 @@ void ChordNetwork::detour_around_dead(NodeIndex dead, Message msg) {
   }
   record_detour(dead, msg);
   msg.hops += 1;
-  simulator().schedule_after(
-      transmission_latency(), [this, next, m = std::move(msg)]() mutable {
-        if (!is_alive(next)) {
-          detour_around_dead(next, std::move(m));
-          return;
-        }
-        deliver_at(next, std::move(m));
-      });
+  schedule_msg(transmission_latency(), std::move(msg),
+               [this, next](Message m) {
+                 if (!is_alive(next)) {
+                   detour_around_dead(next, std::move(m));
+                   return;
+                 }
+                 deliver_at(next, std::move(m));
+               });
 }
 
 }  // namespace sdsi::chord

@@ -1,0 +1,333 @@
+// Flat-hash containers for per-node hot paths.
+//
+// DenseMap / DenseSet replace std::unordered_map / std::unordered_set in
+// the middleware's per-node and per-stream tables. Entries live contiguously
+// in a dense vector (cache-friendly scans, cheap iteration at 50k+ nodes);
+// an open-addressed power-of-two index of 4-byte slots maps hashes to entry
+// positions (one allocation, no per-node bucket lists, ~20 bytes of empty
+// footprint instead of unordered_map's ~56+buckets).
+//
+// Iteration order is insertion order, modulo swap-with-last on erase — a
+// pure function of the operation history, which is what the simulator's
+// bit-reproducibility needs (and unlike unordered_map, it cannot vary with
+// library implementation or pointer values).
+//
+// Contract differences from unordered_map callers must respect:
+//  - references/iterators are invalidated by insert (vector growth) and by
+//    erase (swap-with-last);
+//  - erase(it) returns the iterator at the same dense position, so the
+//    standard `it = map.erase(it)` sweep visits every remaining entry.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace sdsi {
+
+namespace detail {
+
+/// Open-addressed, linear-probed index over a dense entry array. Slot value
+/// 0 means empty; otherwise (entry index + 1). Deletion backward-shifts the
+/// probe chain, so there are no tombstones and lookups stay O(probe).
+class DenseIndex {
+ public:
+  bool empty() const noexcept { return slots_.empty(); }
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  bool needs_grow(std::size_t size) const noexcept {
+    return (size + 1) * 4 > slots_.size() * 3;  // max load factor 0.75
+  }
+
+  /// Probes for `hash`, calling eq(entry_index) on occupied slots. Returns
+  /// the slot holding the match, or the first empty slot of the chain.
+  template <typename EqFn>
+  std::size_t find_slot(std::size_t hash, EqFn&& eq) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t slot = hash & mask;
+    while (slots_[slot] != 0 && !eq(slots_[slot] - 1)) {
+      slot = (slot + 1) & mask;
+    }
+    return slot;
+  }
+
+  std::uint32_t entry_at(std::size_t slot) const noexcept {
+    return slots_[slot];
+  }
+  void set(std::size_t slot, std::size_t entry_index) noexcept {
+    slots_[slot] = static_cast<std::uint32_t>(entry_index + 1);
+  }
+
+  /// Empties `slot` and backward-shifts the rest of its probe chain.
+  /// home_of(entry_index) must return the entry's hash.
+  template <typename HomeFn>
+  void erase_slot(std::size_t slot, HomeFn&& home_of) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t hole = slot;
+    std::size_t i = (slot + 1) & mask;
+    while (slots_[i] != 0) {
+      const std::size_t home = home_of(slots_[i] - 1) & mask;
+      // The entry at i may fill the hole iff its probe chain passes through
+      // it: cyclic distance home->i must be at least hole->i.
+      if (((i - home) & mask) >= ((i - hole) & mask)) {
+        slots_[hole] = slots_[i];
+        slots_[i] = 0;
+        hole = i;
+      }
+      i = (i + 1) & mask;
+    }
+    slots_[hole] = 0;
+  }
+
+  template <typename HomeFn>
+  void rebuild(std::size_t min_capacity, std::size_t count, HomeFn&& home_of) {
+    std::size_t capacity = 16;
+    while (capacity * 3 < min_capacity * 4) {  // rebuild below 0.75 load
+      capacity *= 2;
+    }
+    slots_.assign(capacity, 0);
+    const std::size_t mask = capacity - 1;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::size_t slot = home_of(i) & mask;
+      while (slots_[slot] != 0) {
+        slot = (slot + 1) & mask;
+      }
+      slots_[slot] = static_cast<std::uint32_t>(i + 1);
+    }
+  }
+
+ private:
+  std::vector<std::uint32_t> slots_;
+};
+
+}  // namespace detail
+
+template <typename Key, typename T, typename Hash = std::hash<Key>,
+          typename Eq = std::equal_to<Key>>
+class DenseMap {
+ public:
+  using value_type = std::pair<Key, T>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  iterator begin() noexcept { return entries_.begin(); }
+  iterator end() noexcept { return entries_.end(); }
+  const_iterator begin() const noexcept { return entries_.begin(); }
+  const_iterator end() const noexcept { return entries_.end(); }
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+
+  void clear() noexcept {
+    entries_.clear();
+    index_ = detail::DenseIndex();
+  }
+
+  void reserve(std::size_t n) {
+    entries_.reserve(n);
+    if (n > 0 && index_.needs_grow(n - 1)) {
+      rebuild(n);
+    }
+  }
+
+  template <typename... Args>
+  std::pair<iterator, bool> try_emplace(const Key& key, Args&&... args) {
+    grow_if_needed();
+    const std::size_t slot = index_.find_slot(
+        Hash{}(key), [&](std::size_t i) { return Eq{}(entries_[i].first, key); });
+    if (index_.entry_at(slot) != 0) {
+      return {entries_.begin() + static_cast<std::ptrdiff_t>(index_.entry_at(slot) - 1), false};
+    }
+    entries_.emplace_back(std::piecewise_construct, std::forward_as_tuple(key),
+                          std::forward_as_tuple(std::forward<Args>(args)...));
+    index_.set(slot, entries_.size() - 1);
+    return {entries_.end() - 1, true};
+  }
+
+  template <typename V>
+  std::pair<iterator, bool> insert_or_assign(const Key& key, V&& value) {
+    auto [it, inserted] = try_emplace(key, std::forward<V>(value));
+    if (!inserted) {
+      it->second = std::forward<V>(value);
+    }
+    return {it, inserted};
+  }
+
+  std::pair<iterator, bool> insert(value_type value) {
+    return try_emplace(value.first, std::move(value.second));
+  }
+
+  T& operator[](const Key& key) { return try_emplace(key).first->second; }
+
+  iterator find(const Key& key) noexcept {
+    return entries_.begin() + static_cast<std::ptrdiff_t>(find_index(key));
+  }
+  const_iterator find(const Key& key) const noexcept {
+    return entries_.begin() + static_cast<std::ptrdiff_t>(find_index(key));
+  }
+
+  bool contains(const Key& key) const noexcept {
+    return find_index(key) != entries_.size();
+  }
+  std::size_t count(const Key& key) const noexcept {
+    return contains(key) ? 1 : 0;
+  }
+
+  T& at(const Key& key) {
+    const std::size_t i = find_index(key);
+    SDSI_CHECK(i != entries_.size());
+    return entries_[i].second;
+  }
+  const T& at(const Key& key) const {
+    const std::size_t i = find_index(key);
+    SDSI_CHECK(i != entries_.size());
+    return entries_[i].second;
+  }
+
+  std::size_t erase(const Key& key) {
+    if (index_.empty()) {
+      return 0;
+    }
+    const std::size_t slot = index_.find_slot(
+        Hash{}(key), [&](std::size_t i) { return Eq{}(entries_[i].first, key); });
+    if (index_.entry_at(slot) == 0) {
+      return 0;
+    }
+    erase_slot(slot);
+    return 1;
+  }
+
+  /// Swap-with-last erase; returns the iterator at the same dense position
+  /// (now the previously-last entry), so `it = map.erase(it)` sweeps work.
+  iterator erase(const_iterator pos) {
+    const std::size_t i = static_cast<std::size_t>(pos - entries_.cbegin());
+    const Key& key = entries_[i].first;
+    const std::size_t slot = index_.find_slot(
+        Hash{}(key), [&](std::size_t e) { return Eq{}(entries_[e].first, key); });
+    erase_slot(slot);
+    return entries_.begin() + static_cast<std::ptrdiff_t>(i);
+  }
+
+ private:
+  void grow_if_needed() {
+    if (index_.needs_grow(entries_.size())) {
+      rebuild(entries_.size() + 1);
+    }
+  }
+
+  void rebuild(std::size_t min_capacity) {
+    index_.rebuild(min_capacity, entries_.size(),
+                   [&](std::size_t i) { return Hash{}(entries_[i].first); });
+  }
+
+  std::size_t find_index(const Key& key) const noexcept {
+    if (index_.empty()) {
+      return entries_.size();
+    }
+    const std::size_t slot = index_.find_slot(
+        Hash{}(key), [&](std::size_t i) { return Eq{}(entries_[i].first, key); });
+    const std::uint32_t stored = index_.entry_at(slot);
+    return stored == 0 ? entries_.size() : stored - 1;
+  }
+
+  void erase_slot(std::size_t slot) {
+    const std::size_t i = index_.entry_at(slot) - 1;
+    index_.erase_slot(slot,
+                      [&](std::size_t e) { return Hash{}(entries_[e].first); });
+    const std::size_t last = entries_.size() - 1;
+    if (i != last) {
+      // Locate the last entry's slot before moving it: the probe compares
+      // against the stored key, which a move would leave unspecified.
+      const Key& moved = entries_[last].first;
+      const std::size_t moved_slot = index_.find_slot(
+          Hash{}(moved),
+          [&](std::size_t e) { return Eq{}(entries_[e].first, moved); });
+      entries_[i] = std::move(entries_[last]);
+      index_.set(moved_slot, i);
+    }
+    entries_.pop_back();
+  }
+
+  std::vector<value_type> entries_;
+  detail::DenseIndex index_;
+};
+
+template <typename Key, typename Hash = std::hash<Key>,
+          typename Eq = std::equal_to<Key>>
+class DenseSet {
+ public:
+  using iterator = typename std::vector<Key>::const_iterator;
+  using const_iterator = iterator;
+
+  const_iterator begin() const noexcept { return entries_.begin(); }
+  const_iterator end() const noexcept { return entries_.end(); }
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+
+  void clear() noexcept {
+    entries_.clear();
+    index_ = detail::DenseIndex();
+  }
+
+  std::pair<const_iterator, bool> insert(const Key& key) {
+    if (index_.needs_grow(entries_.size())) {
+      index_.rebuild(entries_.size() + 1, entries_.size(),
+                     [&](std::size_t i) { return Hash{}(entries_[i]); });
+    }
+    const std::size_t slot = index_.find_slot(
+        Hash{}(key), [&](std::size_t i) { return Eq{}(entries_[i], key); });
+    if (index_.entry_at(slot) != 0) {
+      return {entries_.cbegin() + static_cast<std::ptrdiff_t>(index_.entry_at(slot) - 1), false};
+    }
+    entries_.push_back(key);
+    index_.set(slot, entries_.size() - 1);
+    return {entries_.cend() - 1, true};
+  }
+
+  bool contains(const Key& key) const noexcept {
+    if (index_.empty()) {
+      return false;
+    }
+    const std::size_t slot = index_.find_slot(
+        Hash{}(key), [&](std::size_t i) { return Eq{}(entries_[i], key); });
+    return index_.entry_at(slot) != 0;
+  }
+  std::size_t count(const Key& key) const noexcept {
+    return contains(key) ? 1 : 0;
+  }
+
+  std::size_t erase(const Key& key) {
+    if (index_.empty()) {
+      return 0;
+    }
+    const std::size_t slot = index_.find_slot(
+        Hash{}(key), [&](std::size_t i) { return Eq{}(entries_[i], key); });
+    if (index_.entry_at(slot) == 0) {
+      return 0;
+    }
+    const std::size_t i = index_.entry_at(slot) - 1;
+    index_.erase_slot(slot, [&](std::size_t e) { return Hash{}(entries_[e]); });
+    const std::size_t last = entries_.size() - 1;
+    if (i != last) {
+      const Key& moved = entries_[last];
+      const std::size_t moved_slot = index_.find_slot(
+          Hash{}(moved), [&](std::size_t e) { return Eq{}(entries_[e], moved); });
+      entries_[i] = std::move(entries_[last]);
+      index_.set(moved_slot, i);
+    }
+    entries_.pop_back();
+    return 1;
+  }
+
+ private:
+  std::vector<Key> entries_;
+  detail::DenseIndex index_;
+};
+
+}  // namespace sdsi

@@ -19,6 +19,7 @@ StreamId stream_id_for_node(NodeIndex node) { return 1000 + node; }
 Experiment::Experiment(ExperimentConfig config)
     : config_(config),
       rng_factory_(config.seed),
+      sim_(config.queue_backend),
       query_rng_(rng_factory_.make("query-arrivals")),
       query_walk_rng_(rng_factory_.make("query-patterns")) {
   SDSI_CHECK(config_.num_nodes >= 1);
@@ -323,13 +324,22 @@ void Experiment::schedule_queries() {
                       [arrival] { (*arrival)(); });
 }
 
-void Experiment::run() {
+void Experiment::prepare() {
   SDSI_CHECK(!ran_);
-  ran_ = true;
+  SDSI_CHECK(!prepared_);
+  prepared_ = true;
   build();
   schedule_streams();
   schedule_queries();
   system_->start();
+}
+
+void Experiment::run() {
+  SDSI_CHECK(!ran_);
+  if (!prepared_) {
+    prepare();
+  }
+  ran_ = true;
 
   sim_.run_until(sim::SimTime::zero() + config_.warmup);
   system_->metrics().reset();

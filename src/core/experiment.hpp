@@ -134,6 +134,13 @@ struct ExperimentConfig {
   /// so runs differing only in threads produce identical documents (the
   /// serial/parallel equivalence test relies on this).
   std::size_t threads = 1;
+
+  /// Event-queue backend for the simulation kernel. kAuto (default) honors
+  /// the SDSI_SIM_HEAP_QUEUE environment variable; kLegacyHeap forces the
+  /// pre-calendar binary-heap kernel. Like `threads`, the backend is
+  /// unobservable in results: both replay the identical event order, and
+  /// the scheduler-equivalence test asserts byte-identical metrics.json.
+  sim::QueueBackend queue_backend = sim::QueueBackend::kAuto;
 };
 
 /// Fig 6(a): average per-node message load per second, seven components.
@@ -227,8 +234,14 @@ class Experiment {
   Experiment(const Experiment&) = delete;
   Experiment& operator=(const Experiment&) = delete;
 
-  /// Builds the ring + workload, runs warm-up (metrics off), then the
-  /// measurement window (metrics on).
+  /// Builds the ring + workload and schedules the stream/query arrivals,
+  /// without executing any simulated time. run() calls this implicitly;
+  /// benches call it explicitly so wall-clock timing covers only the
+  /// event-execution phase, not substrate bootstrap.
+  void prepare();
+
+  /// Runs warm-up (metrics off), then the measurement window (metrics on).
+  /// Calls prepare() first unless it already ran.
   void run();
 
   const ExperimentConfig& config() const noexcept { return config_; }
@@ -285,6 +298,7 @@ class Experiment {
   common::Pcg32 query_rng_;
   common::Pcg32 query_walk_rng_;
   std::uint64_t queries_posed_ = 0;
+  bool prepared_ = false;
   bool ran_ = false;
 };
 

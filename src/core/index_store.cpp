@@ -78,7 +78,8 @@ void IndexStore::merge_pending() {
     }
     const double low = entry.mbr.routing_low();
     const double high = entry.mbr.routing_high();
-    sorted_.push_back(IntervalRef{low, high, static_cast<std::uint32_t>(pos)});
+    sorted_.push_back(IntervalRef{low, high, static_cast<std::uint32_t>(pos),
+                                  entry.stream, entry.expires});
     max_extent_ = std::max(max_extent_, high - low);
   }
   indexed_limit_ = mbrs_.size();
@@ -95,9 +96,10 @@ void IndexStore::compact() {
   alive_mbrs_ = mbrs_.size();
 
   by_key_.clear();
+  by_key_.reserve(mbrs_.size());
   for (std::size_t pos = 0; pos < mbrs_.size(); ++pos) {
-    by_key_.emplace(MbrKey{mbrs_[pos].stream, mbrs_[pos].batch_seq},
-                    static_cast<std::uint32_t>(pos));
+    by_key_.try_emplace(MbrKey{mbrs_[pos].stream, mbrs_[pos].batch_seq},
+                        static_cast<std::uint32_t>(pos));
   }
 
   std::vector<MbrExpiry> lanes;
@@ -110,7 +112,8 @@ void IndexStore::compact() {
     lanes.push_back(MbrExpiry{entry.expires, static_cast<std::uint32_t>(pos)});
     const double low = entry.mbr.routing_low();
     const double high = entry.mbr.routing_high();
-    refs.push_back(IntervalRef{low, high, static_cast<std::uint32_t>(pos)});
+    refs.push_back(IntervalRef{low, high, static_cast<std::uint32_t>(pos),
+                               entry.stream, entry.expires});
     max_extent_ = std::max(max_extent_, high - low);
   }
   mbr_expiry_ = MinHeap<MbrExpiry>(std::greater<MbrExpiry>{},
@@ -145,13 +148,15 @@ void IndexStore::match_subscription(QueryId id, Subscription& sub,
     if (it->high < query_low) {
       continue;  // first-dim gap alone already exceeds the radius
     }
-    const StoredMbr& entry = mbrs_[it->pos];
-    if (dead(entry)) {
+    if (it->expires <= horizon_) {
       continue;  // lazily-deleted slot awaiting compaction
     }
-    if (sub.reported.contains(entry.stream)) {
+    if (sub.reported.contains(it->stream)) {
       continue;
     }
+    // Only a surviving candidate touches the cold slab, for the full
+    // multi-dimensional lower bound.
+    const StoredMbr& entry = mbrs_[it->pos];
     const double bound = entry.mbr.min_distance(query.features);
     if (bound <= query.radius) {
       sub.reported.insert(entry.stream);
@@ -167,26 +172,32 @@ std::vector<SimilarityMatch> IndexStore::match(sim::SimTime now,
     merge_pending();
   }
   std::vector<SimilarityMatch> fresh;
-  // Below this many subscriptions a fan-out costs more than it saves; the
-  // serial path is also the reference the sharded one must reproduce.
-  constexpr std::size_t kParallelThreshold = 4;
-  if (pool == nullptr || pool->thread_count() <= 1 ||
-      subscriptions_.size() < kParallelThreshold) {
-    for (auto& [id, sub] : subscriptions_) {
-      match_subscription(id, sub, now, fresh);
-    }
-    return fresh;
-  }
-  // Sharded pass. Snapshot the subscriptions in serial iteration order;
-  // every task owns its subscription (and its `reported` set) exclusively,
-  // while the slab and interval index stay frozen, so the only coordination
-  // is the pool's end-of-pass barrier. Concatenating the shard outputs in
-  // snapshot order makes the result identical to the serial loop.
-  std::vector<std::pair<const QueryId, Subscription>*> subs;
+  // Visit subscriptions in canonical ascending-id order: the pass's output
+  // order (and thus the downstream report/ack message sequence) must be a
+  // function of the stored state, not of the container's insert/erase
+  // history.
+  std::vector<std::pair<QueryId, Subscription>*> subs;
   subs.reserve(subscriptions_.size());
   for (auto& entry : subscriptions_) {
     subs.push_back(&entry);
   }
+  std::sort(subs.begin(), subs.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  // Below this many subscriptions a fan-out costs more than it saves; the
+  // serial path is also the reference the sharded one must reproduce.
+  constexpr std::size_t kParallelThreshold = 4;
+  if (pool == nullptr || pool->thread_count() <= 1 ||
+      subs.size() < kParallelThreshold) {
+    for (auto* entry : subs) {
+      match_subscription(entry->first, entry->second, now, fresh);
+    }
+    return fresh;
+  }
+  // Sharded pass: every task owns its subscription (and its `reported` set)
+  // exclusively, while the slab and interval index stay frozen, so the only
+  // coordination is the pool's end-of-pass barrier. Concatenating the shard
+  // outputs in the canonical order makes the result identical to the serial
+  // loop.
   std::vector<std::vector<SimilarityMatch>> shards(subs.size());
   pool->parallel_for(subs.size(), [&](std::size_t i) {
     match_subscription(subs[i]->first, subs[i]->second, now, shards[i]);
@@ -204,7 +215,16 @@ std::vector<SimilarityMatch> IndexStore::match(sim::SimTime now,
 
 std::vector<SimilarityMatch> IndexStore::match_brute_force(sim::SimTime now) {
   std::vector<SimilarityMatch> fresh;
-  for (auto& [id, sub] : subscriptions_) {
+  std::vector<std::pair<QueryId, Subscription>*> order;
+  order.reserve(subscriptions_.size());
+  for (auto& entry : subscriptions_) {
+    order.push_back(&entry);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (auto* item : order) {
+    const QueryId id = item->first;
+    Subscription& sub = item->second;
     if (sub.expires <= now) {
       continue;
     }

@@ -27,10 +27,9 @@
 
 #include <memory>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/dense_map.hpp"
 #include "core/query.hpp"
 
 namespace sdsi::core {
@@ -54,7 +53,7 @@ class IndexStore {
     sim::SimTime expires;
     /// Streams already reported by THIS node for this query; reports are
     /// deduplicated per node, the aggregator dedups across nodes.
-    std::unordered_set<StreamId> reported;
+    DenseSet<StreamId> reported;
   };
 
   /// Stores one MBR. Returns false without storing when the entry is already
@@ -100,8 +99,7 @@ class IndexStore {
   /// Snapshot of the live MBR entries (insertion order preserved).
   std::vector<StoredMbr> mbrs() const;
 
-  const std::unordered_map<QueryId, Subscription>& subscriptions()
-      const noexcept {
+  const DenseMap<QueryId, Subscription>& subscriptions() const noexcept {
     return subscriptions_;
   }
   const Subscription* find_subscription(QueryId id) const;
@@ -117,12 +115,16 @@ class IndexStore {
 
  private:
   /// One entry of the interval index: the routing-dimension interval of
-  /// mbrs_[pos], kept hot and contiguous so candidate scans touch the (cold)
-  /// slab only on interval overlap.
+  /// mbrs_[pos], plus the stream id and expiry mirrored out of the slab so
+  /// the candidate scan (interval overlap, liveness, dedup) runs entirely
+  /// over this hot contiguous array; the cold 100+-byte slab entry is
+  /// touched only for the final multi-dimensional min_distance bound.
   struct IntervalRef {
     double low = 0.0;
     double high = 0.0;
     std::uint32_t pos = 0;
+    StreamId stream = 0;
+    sim::SimTime expires;
   };
 
   struct MbrExpiry {
@@ -184,12 +186,12 @@ class IndexStore {
   MinHeap<MbrExpiry> mbr_expiry_;
   // (stream, batch_seq) -> slab position; an entry whose slot is dead (lazy
   // tombstone) counts as absent. Rebuilt by compact().
-  std::unordered_map<MbrKey, std::uint32_t, MbrKeyHash> by_key_;
+  DenseMap<MbrKey, std::uint32_t, MbrKeyHash> by_key_;
   std::size_t alive_mbrs_ = 0;
   sim::SimTime horizon_;  // latest time passed to expire()
 
   // --- Subscription side ------------------------------------------------
-  std::unordered_map<QueryId, Subscription> subscriptions_;
+  DenseMap<QueryId, Subscription> subscriptions_;
   MinHeap<SubExpiry> sub_expiry_;
 };
 

@@ -4,10 +4,9 @@
 
 #include <map>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/dense_map.hpp"
 #include "core/batcher.hpp"
 #include "core/index_store.hpp"
 #include "core/precision.hpp"
@@ -33,6 +32,9 @@ struct LocalStream {
   std::optional<AdaptivePrecisionController> precision;
   std::uint64_t batch_seq = 0;
   std::vector<InnerProductSubscription> inner_subscriptions;
+  /// Per-tick feature scratch: overwritten in place on every ingested
+  /// sample so the steady-state ingest path allocates nothing.
+  dsp::FeatureVector features_scratch;
 
   LocalStream(StreamId stream, const dsp::FeatureConfig& features,
               const MbrBatcher::Options& batching)
@@ -46,8 +48,8 @@ struct AggregatorRecord {
   NodeIndex client = kInvalidNode;
   Key middle_key = 0;  // the range midpoint this aggregation is keyed on
   sim::SimTime expires;
-  std::vector<SimilarityMatch> pending;     // to include in the next push
-  std::unordered_set<StreamId> seen;        // cross-node deduplication
+  std::vector<SimilarityMatch> pending;  // to include in the next push
+  DenseSet<StreamId> seen;               // cross-node deduplication
   std::uint64_t pushes = 0;
 
   /// One match-bearing push awaiting its client ack (self-healing response
@@ -87,7 +89,7 @@ struct AggregationReplica {
   NodeIndex client = kInvalidNode;
   Key middle_key = 0;
   sim::SimTime expires;
-  std::unordered_set<StreamId> seen;     // streams mirrored so far
+  DenseSet<StreamId> seen;               // streams mirrored so far
   std::vector<SimilarityMatch> matches;  // everything mirrored, in order
   sim::SimTime last_update;              // failover dark-time measurement
 };
@@ -95,30 +97,30 @@ struct AggregationReplica {
 struct MiddlewareNode {
   NodeIndex index = kInvalidNode;
 
-  /// Streams originating here, keyed by stream id.
-  std::map<StreamId, LocalStream> streams;
+  /// Streams originating here, keyed by stream id (iteration follows
+  /// insertion order, which build() makes ascending).
+  DenseMap<StreamId, LocalStream> streams;
 
   /// Content-routed storage (MBRs + similarity subscriptions).
   IndexStore store;
 
   /// Similarity queries aggregated here (this node covers their middle key).
-  std::unordered_map<QueryId, AggregatorRecord> aggregations;
+  DenseMap<QueryId, AggregatorRecord> aggregations;
 
   /// Match reports waiting for the next periodic neighbor digest.
   std::vector<MatchReport> outgoing_reports;
 
   /// Location-service directory fragment: streams whose h2 key this node
   /// covers.
-  std::unordered_map<StreamId, NodeIndex> location_directory;
+  DenseMap<StreamId, NodeIndex> location_directory;
 
   /// Client-side cache of resolved stream locations ("remembers the mapping
   /// so next time it does not need to retrieve it").
-  std::unordered_map<StreamId, NodeIndex> location_cache;
+  DenseMap<StreamId, NodeIndex> location_cache;
 
   /// Inner-product queries posed here and still waiting for a location
   /// reply, keyed by stream id.
-  std::unordered_map<StreamId,
-                     std::vector<std::shared_ptr<const InnerProductQuery>>>
+  DenseMap<StreamId, std::vector<std::shared_ptr<const InnerProductQuery>>>
       pending_inner_queries;
 
   /// Acked MBR publications originated here, keyed (stream, batch_seq).
@@ -127,12 +129,12 @@ struct MiddlewareNode {
 
   /// Location-get retries already spent per unresolved stream (drives the
   /// capped exponential backoff); erased once the stream resolves.
-  std::unordered_map<StreamId, int> location_retry_attempts;
+  DenseMap<StreamId, int> location_retry_attempts;
 
   /// Partial-aggregation mirrors held for other nodes' queries (this node is
   /// in the middle key's replica set). Promoted into `aggregations` when the
   /// aggregator's arc falls to this node.
-  std::unordered_map<QueryId, AggregationReplica> aggregation_replicas;
+  DenseMap<QueryId, AggregationReplica> aggregation_replicas;
 };
 
 }  // namespace sdsi::core

@@ -163,12 +163,10 @@ namespace {
 void summarize_value(LocalStream& local, Sample value,
                      std::vector<dsp::Mbr>& closed) {
   local.summarizer.push(value);
-  const std::optional<dsp::FeatureVector> features =
-      local.summarizer.features();
-  if (!features.has_value()) {
+  if (!local.summarizer.features_into(local.features_scratch)) {
     return;  // window not full yet, or degenerate (constant) window
   }
-  std::optional<dsp::Mbr> mbr = local.batcher.push(*features);
+  std::optional<dsp::Mbr> mbr = local.batcher.push(local.features_scratch);
   if (local.precision.has_value()) {
     local.batcher.set_max_extent(local.precision->observe(mbr.has_value()));
   }
@@ -1334,6 +1332,13 @@ void MiddlewareSystem::handle_handoff_request(NodeIndex at,
         ReplicaSubscriptionEntry{sub.query, sub.middle_key, sub.expires});
     bytes += subscription_entry_bytes(sub);
   }
+  // Canonical ascending-id order: payload contents must not depend on the
+  // store's (history-dependent) iteration order.
+  std::sort(subs.begin(), subs.end(),
+            [](const ReplicaSubscriptionEntry& a,
+               const ReplicaSubscriptionEntry& b) {
+              return a.query->id < b.query->id;
+            });
   if (mbrs.empty() && subs.empty()) {
     return;
   }
@@ -1405,6 +1410,7 @@ void MiddlewareSystem::anti_entropy_tick(NodeIndex index) {
       query_ids.push_back(id);
     }
   }
+  std::sort(query_ids.begin(), query_ids.end());
   const auto payload = std::make_shared<const AntiEntropyDigestPayload>(
       AntiEntropyDigestPayload{index, pred_id, self_id, std::move(mbr_keys),
                                std::move(query_ids)});
@@ -1484,6 +1490,11 @@ void MiddlewareSystem::handle_anti_entropy_digest(NodeIndex at,
     push_subs.push_back(
         ReplicaSubscriptionEntry{sub.query, sub.middle_key, sub.expires});
   }
+  std::sort(push_subs.begin(), push_subs.end(),
+            [](const ReplicaSubscriptionEntry& a,
+               const ReplicaSubscriptionEntry& b) {
+              return a.query->id < b.query->id;
+            });
   if (push_mbrs.empty() && push_subs.empty()) {
     return;
   }
@@ -1645,6 +1656,11 @@ void MiddlewareSystem::handle_node_leave(NodeIndex index) {
         ReplicaSubscriptionEntry{sub.query, sub.middle_key, sub.expires});
     bytes += subscription_entry_bytes(sub);
   }
+  std::sort(subs.begin(), subs.end(),
+            [](const ReplicaSubscriptionEntry& a,
+               const ReplicaSubscriptionEntry& b) {
+              return a.query->id < b.query->id;
+            });
   if (!mbrs.empty() || !subs.empty()) {
     const std::size_t entries = mbrs.size() + subs.size();
     Message push;
@@ -1671,7 +1687,15 @@ void MiddlewareSystem::handle_node_leave(NodeIndex index) {
   // Partial aggregations travel as aggregator mirrors: the successor holds
   // them as replicas and promotes once the arc changes hands. Acked matches
   // are already client-visible; pending + unacked in-flight cover the rest.
+  std::vector<QueryId> mirror_order;
+  mirror_order.reserve(state.aggregations.size());
   for (const auto& [query, record] : state.aggregations) {
+    (void)record;
+    mirror_order.push_back(query);
+  }
+  std::sort(mirror_order.begin(), mirror_order.end());
+  for (const QueryId query : mirror_order) {
+    const AggregatorRecord& record = state.aggregations.at(query);
     if (record.expires <= now) {
       continue;
     }

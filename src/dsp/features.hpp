@@ -83,6 +83,14 @@ class FeatureVector {
     return coeffs_.front().real();
   }
 
+  /// Resizes to `n` coefficients and hands back mutable storage, reusing
+  /// capacity. Lets per-tick producers overwrite a scratch vector in place
+  /// instead of allocating a fresh coefficient array per sample.
+  std::span<Complex> overwrite(std::size_t n) {
+    coeffs_.resize(n);
+    return coeffs_;
+  }
+
   /// Flattened real coordinates [re0, im0, re1, im1, ...], the space MBRs
   /// live in.
   std::vector<double> as_reals() const;

@@ -28,6 +28,7 @@
 #include "fault/model.hpp"
 #include "obs/trace.hpp"
 #include "routing/message.hpp"
+#include "sim/pool.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
@@ -258,6 +259,30 @@ class RoutingSystem {
     }
   }
 
+  /// Schedules `fn(msg)` after `delay` — the hot path of every substrate:
+  /// each overlay hop parks the in-flight envelope inside an event closure.
+  /// With the pooled kernel the Message lives in a free-list slot and the
+  /// closure captures only a 24-byte handle, keeping the whole capture
+  /// inside EventFn's inline buffer, so steady-state hops allocate nothing.
+  /// Under the legacy heap backend (SDSI_SIM_HEAP_QUEUE) the envelope is
+  /// captured by value — the closure outgrows the inline buffer —
+  /// faithfully reproducing the pre-pool allocation profile that
+  /// BENCH_scale.json uses as its baseline.
+  template <typename Fn>
+  void schedule_msg(sim::Duration delay, Message msg, Fn fn) {
+    if (sim_.pooled_events()) {
+      sim_.schedule_after(delay, [fn = std::move(fn),
+                                  p = msg_pool_.make(std::move(msg))]() mutable {
+        fn(std::move(*p));
+      });
+    } else {
+      sim_.schedule_after(delay, [fn = std::move(fn),
+                                  m = std::move(msg)]() mutable {
+        fn(std::move(m));
+      });
+    }
+  }
+
   /// Per-transmission latency: the constant hop latency plus any jitter the
   /// fault model injects. Substrates use this wherever they simulate a hop.
   sim::Duration transmission_latency() {
@@ -296,6 +321,7 @@ class RoutingSystem {
   std::uint64_t detours_ = 0;
   std::array<std::uint64_t, static_cast<std::size_t>(fault::DropCause::kCount)>
       drops_by_cause_{};
+  sim::ObjectPool<Message> msg_pool_;
 };
 
 }  // namespace sdsi::routing

@@ -183,10 +183,9 @@ PrefixRing::LookupTrace PrefixRing::trace_lookup(NodeIndex from,
 }
 
 void PrefixRing::route_to_key(NodeIndex from, Key key, Message msg) {
-  simulator().schedule_after(sim::Duration(),
-                             [this, from, key, m = std::move(msg)]() mutable {
-                               route_step(from, key, std::move(m));
-                             });
+  schedule_msg(sim::Duration(), std::move(msg), [this, from, key](Message m) {
+    route_step(from, key, std::move(m));
+  });
 }
 
 void PrefixRing::route_step(NodeIndex current, Key key, Message msg) {
@@ -205,19 +204,18 @@ void PrefixRing::route_step(NodeIndex current, Key key, Message msg) {
     notify_transit(current, msg);
   }
   msg.hops += 1;
-  simulator().schedule_after(transmission_latency(),
-                             [this, next, key, m = std::move(msg)]() mutable {
-                               route_step(next, key, std::move(m));
-                             });
+  schedule_msg(transmission_latency(), std::move(msg),
+               [this, next, key](Message m) {
+                 route_step(next, key, std::move(m));
+               });
 }
 
 void PrefixRing::route_direct(NodeIndex from, NodeIndex to, Message msg) {
   SDSI_CHECK(to < nodes_.size());
   msg.hops = from == to ? 0 : 1;
   const sim::Duration delay = from == to ? sim::Duration() : transmission_latency();
-  simulator().schedule_after(delay, [this, to, m = std::move(msg)]() mutable {
-    deliver_at(to, std::move(m));
-  });
+  schedule_msg(delay, std::move(msg),
+               [this, to](Message m) { deliver_at(to, std::move(m)); });
 }
 
 }  // namespace sdsi::routing

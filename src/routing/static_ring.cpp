@@ -76,17 +76,13 @@ void StaticRing::route_to_key(NodeIndex from, Key key, Message msg) {
   const NodeIndex dst = find_successor_oracle(key);
   if (dst == from) {
     // Local responsibility: deliver without network latency.
-    simulator().schedule_after(sim::Duration(),
-                               [this, dst, m = std::move(msg)]() mutable {
-                                 deliver_at(dst, std::move(m));
-                               });
+    schedule_msg(sim::Duration(), std::move(msg),
+                 [this, dst](Message m) { deliver_at(dst, std::move(m)); });
     return;
   }
   msg.hops = 1;
-  simulator().schedule_after(transmission_latency(),
-                             [this, dst, m = std::move(msg)]() mutable {
-                               deliver_at(dst, std::move(m));
-                             });
+  schedule_msg(transmission_latency(), std::move(msg),
+               [this, dst](Message m) { deliver_at(dst, std::move(m)); });
 }
 
 void StaticRing::route_direct(NodeIndex from, NodeIndex to, Message msg) {
@@ -94,9 +90,8 @@ void StaticRing::route_direct(NodeIndex from, NodeIndex to, Message msg) {
   msg.hops = from == to ? 0 : 1;
   const sim::Duration delay =
       from == to ? sim::Duration() : transmission_latency();
-  simulator().schedule_after(delay, [this, to, m = std::move(msg)]() mutable {
-    deliver_at(to, std::move(m));
-  });
+  schedule_msg(delay, std::move(msg),
+               [this, to](Message m) { deliver_at(to, std::move(m)); });
 }
 
 std::vector<Key> hash_node_ids(std::size_t count, const common::IdSpace& space,

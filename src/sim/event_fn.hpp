@@ -1,0 +1,137 @@
+// Small-buffer-optimized move-only callable for simulator events.
+//
+// Every scheduled event used to pay one heap allocation for its
+// `std::function<void()>` capture block. The simulator's common closure
+// shapes — a `this` pointer plus a couple of ids, a pooled message handle
+// plus a destination — fit in well under 48 bytes, so EventFn stores
+// captures up to kInlineSize bytes (and alignment up to alignof(max_align_t))
+// inline and only falls back to the heap for oversized captures.
+//
+// EventFn is move-only (captures may themselves be move-only, e.g. pooled
+// message handles), and a moved-from EventFn compares equal to nullptr.
+#ifndef SDSI_SIM_EVENT_FN_HPP
+#define SDSI_SIM_EVENT_FN_HPP
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace sdsi::sim {
+
+class EventFn {
+ public:
+  /// Captures at most this many bytes live inline (no heap allocation).
+  static constexpr std::size_t kInlineSize = 48;
+
+  EventFn() noexcept = default;
+  EventFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_move_constructible_v<Fn>,
+                  "EventFn requires a move-constructible callable");
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(fn));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  EventFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  friend bool operator==(const EventFn& fn, std::nullptr_t) noexcept {
+    return fn.ops_ == nullptr;
+  }
+  friend bool operator!=(const EventFn& fn, std::nullptr_t) noexcept {
+    return fn.ops_ != nullptr;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(unsigned char* storage);
+    void (*relocate)(unsigned char* dst, unsigned char* src) noexcept;
+    void (*destroy)(unsigned char* storage) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](unsigned char* storage) {
+        (*std::launder(reinterpret_cast<Fn*>(storage)))();
+      },
+      [](unsigned char* dst, unsigned char* src) noexcept {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (static_cast<void*>(dst)) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](unsigned char* storage) noexcept {
+        std::launder(reinterpret_cast<Fn*>(storage))->~Fn();
+      },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](unsigned char* storage) {
+        (**std::launder(reinterpret_cast<Fn**>(storage)))();
+      },
+      [](unsigned char* dst, unsigned char* src) noexcept {
+        *reinterpret_cast<Fn**>(dst) =
+            *std::launder(reinterpret_cast<Fn**>(src));
+      },
+      [](unsigned char* storage) noexcept {
+        delete *std::launder(reinterpret_cast<Fn**>(storage));
+      },
+  };
+
+  void move_from(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace sdsi::sim
+
+#endif  // SDSI_SIM_EVENT_FN_HPP

@@ -1,0 +1,141 @@
+// Free-list object pool for hot simulator payloads (routing messages).
+//
+// Steady-state simulation churns through millions of short-lived envelopes;
+// allocating each one individually dominated the per-event constant factor.
+// ObjectPool hands out slots from fixed-size chunks threaded on a free list,
+// so after warm-up an acquire/release pair touches no allocator at all.
+//
+// Lifetime: slots can outlive the ObjectPool handle that created them — a
+// pooled message sits captured inside an event closure that the Simulator
+// may destroy after the owning routing layer is gone (members are destroyed
+// in reverse declaration order, and most call sites declare the Simulator
+// first). The pool core is therefore shared-ownership: every live PoolPtr
+// keeps the chunk storage alive, and returning a slot to a pool whose
+// handle has been destroyed is safe.
+#ifndef SDSI_SIM_POOL_HPP
+#define SDSI_SIM_POOL_HPP
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace sdsi::sim {
+
+template <typename T>
+class PoolPtr;
+
+template <typename T>
+class ObjectPool {
+ public:
+  ObjectPool() : core_(std::make_shared<Core>()) {}
+
+  /// Constructs a pooled T. Allocates a fresh chunk only when the free list
+  /// is empty; steady-state calls reuse released slots.
+  template <typename... Args>
+  PoolPtr<T> make(Args&&... args) {
+    void* slot = core_->acquire();
+    T* obj = ::new (slot) T(std::forward<Args>(args)...);
+    return PoolPtr<T>(obj, core_);
+  }
+
+  /// Slots currently handed out (live PoolPtrs).
+  std::size_t in_use() const noexcept { return core_->in_use; }
+  /// Total slots ever carved out of chunks.
+  std::size_t capacity() const noexcept {
+    return core_->chunks.size() * kChunkSlots;
+  }
+
+ private:
+  friend class PoolPtr<T>;
+
+  static constexpr std::size_t kChunkSlots = 256;
+
+  struct Core {
+    struct Chunk {
+      alignas(T) unsigned char bytes[sizeof(T) * kChunkSlots];
+    };
+
+    std::vector<std::unique_ptr<Chunk>> chunks;
+    std::vector<void*> free_slots;
+    std::size_t in_use = 0;
+
+    void* acquire() {
+      if (free_slots.empty()) {
+        chunks.push_back(std::make_unique<Chunk>());
+        unsigned char* base = chunks.back()->bytes;
+        free_slots.reserve(free_slots.size() + kChunkSlots);
+        for (std::size_t i = kChunkSlots; i > 0; --i) {
+          free_slots.push_back(base + (i - 1) * sizeof(T));
+        }
+      }
+      void* slot = free_slots.back();
+      free_slots.pop_back();
+      ++in_use;
+      return slot;
+    }
+
+    void release(T* obj) noexcept {
+      obj->~T();
+      free_slots.push_back(obj);
+      --in_use;
+    }
+  };
+
+  std::shared_ptr<Core> core_;
+};
+
+/// Move-only owning handle to a pooled object; releasing returns the slot
+/// to the pool's free list (keeping the pool core alive as long as needed).
+template <typename T>
+class PoolPtr {
+ public:
+  PoolPtr() noexcept = default;
+
+  PoolPtr(PoolPtr&& other) noexcept
+      : obj_(other.obj_), core_(std::move(other.core_)) {
+    other.obj_ = nullptr;
+  }
+
+  PoolPtr& operator=(PoolPtr&& other) noexcept {
+    if (this != &other) {
+      reset();
+      obj_ = other.obj_;
+      core_ = std::move(other.core_);
+      other.obj_ = nullptr;
+    }
+    return *this;
+  }
+
+  PoolPtr(const PoolPtr&) = delete;
+  PoolPtr& operator=(const PoolPtr&) = delete;
+
+  ~PoolPtr() { reset(); }
+
+  T& operator*() const noexcept { return *obj_; }
+  T* operator->() const noexcept { return obj_; }
+  T* get() const noexcept { return obj_; }
+  explicit operator bool() const noexcept { return obj_ != nullptr; }
+
+  void reset() noexcept {
+    if (obj_ != nullptr) {
+      core_->release(obj_);
+      obj_ = nullptr;
+      core_.reset();
+    }
+  }
+
+ private:
+  friend class ObjectPool<T>;
+
+  PoolPtr(T* obj, std::shared_ptr<typename ObjectPool<T>::Core> core) noexcept
+      : obj_(obj), core_(std::move(core)) {}
+
+  T* obj_ = nullptr;
+  std::shared_ptr<typename ObjectPool<T>::Core> core_;
+};
+
+}  // namespace sdsi::sim
+
+#endif  // SDSI_SIM_POOL_HPP

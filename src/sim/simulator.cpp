@@ -1,50 +1,374 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
 #include <utility>
 
 namespace sdsi::sim {
+namespace {
+
+bool heap_queue_requested() {
+  const char* env = std::getenv("SDSI_SIM_HEAP_QUEUE");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+constexpr std::int64_t kNoHorizon = std::numeric_limits<std::int64_t>::max();
+
+}  // namespace
+
+Simulator::Simulator(QueueBackend backend) {
+  switch (backend) {
+    case QueueBackend::kAuto:
+      calendar_ = !heap_queue_requested();
+      break;
+    case QueueBackend::kCalendar:
+      calendar_ = true;
+      break;
+    case QueueBackend::kLegacyHeap:
+      calendar_ = false;
+      break;
+  }
+  if (calendar_) {
+    buckets_.resize(kNumBuckets);
+    wheel_end_ = static_cast<std::int64_t>(kNumBuckets);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling (both backends assign sequence numbers identically, so the
+// (when, seq) execution order is the same bit-for-bit).
 
 TaskHandle Simulator::schedule_at(SimTime when, EventFn fn) {
   SDSI_CHECK(when >= now_);
   SDSI_CHECK(fn != nullptr);
-  auto alive = std::make_shared<bool>(true);
-  queue_.push(Entry{when, next_seq_++, alive, std::move(fn)});
-  return TaskHandle(std::move(alive));
+  if (!calendar_) {
+    auto alive = std::make_shared<bool>(true);
+    // EventFn is move-only, std::function requires copyable: park the body
+    // behind a shared_ptr. The wrapper's 16-byte capture fits the
+    // std::function SBO, so the per-event allocation count matches the
+    // pre-change kernel (one heap closure per scheduled event).
+    heap_queue_.push(HeapEntry{
+        when, next_seq_++, alive,
+        [body = std::make_shared<EventFn>(std::move(fn))] { (*body)(); }});
+    return TaskHandle(std::move(alive));
+  }
+  const std::uint32_t slot = acquire_slot(std::move(fn), 0);
+  const std::uint32_t gen = slot_at(slot).gen;
+  insert_ref(Ref{when.count_micros(), next_seq_++, slot, gen});
+  ++live_events_;
+  return TaskHandle(this, slot, gen);
 }
 
 TaskHandle Simulator::schedule_periodic(SimTime first, Duration period,
                                         EventFn fn) {
   SDSI_CHECK(period > Duration());
-  auto alive = std::make_shared<bool>(true);
-  // The wrapper reschedules itself while the shared flag stays true.
-  auto tick = std::make_shared<std::function<void(SimTime)>>();
-  *tick = [this, period, alive, fn = std::move(fn),
-           tick_weak = std::weak_ptr<std::function<void(SimTime)>>(tick)](
-              SimTime scheduled) {
-    if (!*alive) {
-      return;
-    }
-    fn();
-    if (!*alive) {  // fn may cancel its own task
-      return;
-    }
-    if (auto self = tick_weak.lock()) {
-      const SimTime next = scheduled + period;
-      queue_.push(Entry{next, next_seq_++, alive,
-                        [self, next] { (*self)(next); }});
-    }
-  };
-  queue_.push(Entry{first, next_seq_++, alive,
-                    [tick, first] { (*tick)(first); }});
-  return TaskHandle(std::move(alive));
+  if (!calendar_) {
+    auto alive = std::make_shared<bool>(true);
+    // The wrapper reschedules itself while the shared flag stays true.
+    auto body = std::make_shared<EventFn>(std::move(fn));
+    auto tick = std::make_shared<std::function<void(SimTime)>>();
+    *tick = [this, period, alive, body,
+             tick_weak = std::weak_ptr<std::function<void(SimTime)>>(tick)](
+                SimTime scheduled) {
+      if (!*alive) {
+        return;
+      }
+      (*body)();
+      if (!*alive) {  // fn may cancel its own task
+        return;
+      }
+      if (auto self = tick_weak.lock()) {
+        const SimTime next = scheduled + period;
+        heap_queue_.push(HeapEntry{next, next_seq_++, alive,
+                                   [self, next] { (*self)(next); }});
+      }
+    };
+    heap_queue_.push(HeapEntry{first, next_seq_++, alive,
+                               [tick, first] { (*tick)(first); }});
+    return TaskHandle(std::move(alive));
+  }
+  const std::uint32_t slot = acquire_slot(std::move(fn), period.count_micros());
+  const std::uint32_t gen = slot_at(slot).gen;
+  insert_ref(Ref{first.count_micros(), next_seq_++, slot, gen});
+  ++live_events_;
+  return TaskHandle(this, slot, gen);
 }
 
-void Simulator::execute(Entry& entry) {
+// ---------------------------------------------------------------------------
+// Calendar backend.
+
+std::uint32_t Simulator::acquire_slot(EventFn fn, std::int64_t period_us) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = slot_count_++;
+    if ((slot >> kSlotChunkBits) == slot_chunks_.size()) {
+      slot_chunks_.push_back(
+          std::make_unique<Slot[]>(std::size_t{1} << kSlotChunkBits));
+    }
+  }
+  Slot& s = slot_at(slot);
+  s.fn = std::move(fn);
+  s.period_us = period_us;
+  // s.gen persists across reuse: it bumps on cancel/release, so refs and
+  // handles from a slot's previous life never match.
+  return slot;
+}
+
+void Simulator::cancel_slot(std::uint32_t slot, std::uint32_t gen) noexcept {
+  if (slot >= slot_count_ || slot_at(slot).gen != gen) {
+    return;  // already ran, cancelled, or recycled
+  }
+  Slot& s = slot_at(slot);
+  ++s.gen;
+  if (slot == executing_slot_) {
+    // Self-cancel from inside the event body: the run loop owns the slot
+    // right now and will release it when the body returns.
+    return;
+  }
+  // The wheel/overflow still holds a ref to this slot; it is now stale and
+  // gets dropped lazily (or by purge_stale below). The slot itself can be
+  // recycled immediately — the generation bump keeps old refs inert.
+  s.fn = nullptr;
+  free_slots_.push_back(slot);
+  --live_events_;
+  ++stale_refs_;
+  if (stale_refs_ > 64 && stale_refs_ > live_events_) {
+    purge_stale();
+  }
+}
+
+void Simulator::insert_ref(const Ref& ref) {
+  const std::int64_t b = ref.when_us >> kBucketBits;
+  if (b >= wheel_end_) {
+    overflow_.push_back(ref);
+    return;
+  }
+  if (b < cur_bucket_) {
+    // An event landed behind the drain cursor (scheduled for "now" while the
+    // cursor had advanced through empty buckets). Rewind; correctness only
+    // needs the cursor at or before the earliest nonempty bucket.
+    cur_bucket_ = b;
+  }
+  auto& bucket = buckets_[static_cast<std::size_t>(b) & (kNumBuckets - 1)];
+  bucket.push_back(ref);
+  std::push_heap(bucket.begin(), bucket.end(), &ref_after);
+  ++wheel_refs_;
+}
+
+void Simulator::pull_overflow(std::int64_t new_end) {
+  if (new_end <= wheel_end_) {
+    return;
+  }
+  wheel_end_ = new_end;
+  std::size_t keep = 0;
+  for (Ref& ref : overflow_) {
+    if ((ref.when_us >> kBucketBits) < new_end) {
+      insert_ref(ref);
+    } else {
+      overflow_[keep++] = ref;
+    }
+  }
+  overflow_.resize(keep);
+}
+
+bool Simulator::pop_ref(std::int64_t horizon_us, Ref& out) {
+  for (;;) {
+    if (wheel_refs_ == 0) {
+      if (overflow_.empty()) {
+        return false;
+      }
+      // Wheel drained: jump the window straight to the earliest far-future
+      // event instead of scanning empty buckets toward it.
+      std::int64_t min_bucket = std::numeric_limits<std::int64_t>::max();
+      for (const Ref& ref : overflow_) {
+        min_bucket = std::min(min_bucket, ref.when_us >> kBucketBits);
+      }
+      if ((min_bucket << kBucketBits) > horizon_us) {
+        return false;
+      }
+      cur_bucket_ = min_bucket;
+      wheel_end_ = min_bucket;  // window restarts at the jump target
+      pull_overflow(min_bucket + static_cast<std::int64_t>(kNumBuckets));
+      continue;
+    }
+    // Keep at least half the wheel ahead of the cursor so newly pulled
+    // overflow events never alias onto a not-yet-drained physical bucket.
+    if (wheel_end_ - cur_bucket_ <
+        static_cast<std::int64_t>(kNumBuckets / 2)) {
+      pull_overflow(cur_bucket_ + static_cast<std::int64_t>(kNumBuckets));
+    }
+    auto& bucket =
+        buckets_[static_cast<std::size_t>(cur_bucket_) & (kNumBuckets - 1)];
+    if (!bucket.empty()) {
+      if (bucket.front().when_us > horizon_us) {
+        // Everything in this bucket — and every later bucket — is past the
+        // horizon.
+        return false;
+      }
+      std::pop_heap(bucket.begin(), bucket.end(), &ref_after);
+      out = bucket.back();
+      bucket.pop_back();
+      --wheel_refs_;
+      if (!bucket.empty()) {
+        // The likely next event is this bucket's new front; issue its slot
+        // fetch now so it overlaps with executing the popped event.
+        __builtin_prefetch(&slot_at(bucket.front().slot));
+      }
+      return true;
+    }
+    // Empty bucket: advance, unless the next bucket already starts past the
+    // horizon (then nothing <= horizon can exist on the wheel).
+    if (((cur_bucket_ + 1) << kBucketBits) > horizon_us) {
+      return false;
+    }
+    ++cur_bucket_;
+  }
+}
+
+void Simulator::purge_stale() {
+  const auto is_stale = [this](const Ref& ref) {
+    return slot_at(ref.slot).gen != ref.gen;
+  };
+  for (auto& bucket : buckets_) {
+    if (bucket.empty()) {
+      continue;
+    }
+    auto keep_end = std::remove_if(bucket.begin(), bucket.end(), is_stale);
+    if (keep_end != bucket.end()) {
+      wheel_refs_ -= static_cast<std::size_t>(bucket.end() - keep_end);
+      bucket.erase(keep_end, bucket.end());
+      std::make_heap(bucket.begin(), bucket.end(), &ref_after);
+    }
+  }
+  auto keep_end = std::remove_if(overflow_.begin(), overflow_.end(), is_stale);
+  overflow_.erase(keep_end, overflow_.end());
+  stale_refs_ = 0;
+}
+
+std::uint64_t Simulator::execute_ref(const Ref& ref) {
+  Slot& slot = slot_at(ref.slot);  // chunked storage: address is stable
+  if (slot.gen != ref.gen) {
+    --stale_refs_;  // cancelled after scheduling; drop silently
+    return 0;
+  }
+  now_ = SimTime::from_micros(ref.when_us);
+  --live_events_;
+  ++executed_;
+  if (probe_) {
+    probe_(now_, ref.seq);
+  }
+  const std::int64_t period_us = slot.period_us;
+  // The body runs in place: scheduling from inside it appends a chunk at
+  // most, which never relocates existing slots. A self-cancel only bumps
+  // slot.gen (cancel_slot defers the release to us via executing_slot_),
+  // so the closure we are inside is never destroyed mid-call.
+  executing_slot_ = ref.slot;
+  slot.fn();
+  executing_slot_ = kNoSlot;
+  if (period_us > 0 && slot.gen == ref.gen) {
+    // Periodic and still live: reschedule in place — same slot, generation
+    // and closure, fresh sequence number, no drift (next fire is computed
+    // from the scheduled time, not now_).
+    insert_ref(Ref{ref.when_us + period_us, next_seq_++, ref.slot, ref.gen});
+    ++live_events_;
+  } else {
+    // One-shot completion, or a periodic that cancelled itself mid-body.
+    if (slot.gen == ref.gen) {
+      ++slot.gen;  // invalidate outstanding handles
+    }
+    slot.fn = nullptr;
+    free_slots_.push_back(ref.slot);
+  }
+  return 1;
+}
+
+std::uint64_t Simulator::run_calendar(std::int64_t horizon_us) {
+  std::uint64_t ran = 0;
+  for (;;) {
+    if (wheel_refs_ == 0) {
+      if (overflow_.empty()) {
+        return ran;
+      }
+      // Wheel drained: jump the window straight to the earliest far-future
+      // event instead of scanning empty buckets toward it.
+      std::int64_t min_bucket = std::numeric_limits<std::int64_t>::max();
+      for (const Ref& ref : overflow_) {
+        min_bucket = std::min(min_bucket, ref.when_us >> kBucketBits);
+      }
+      if ((min_bucket << kBucketBits) > horizon_us) {
+        return ran;
+      }
+      cur_bucket_ = min_bucket;
+      wheel_end_ = min_bucket;  // window restarts at the jump target
+      pull_overflow(min_bucket + static_cast<std::int64_t>(kNumBuckets));
+      continue;
+    }
+    // Keep at least half the wheel ahead of the cursor so newly pulled
+    // overflow events never alias onto a not-yet-drained physical bucket.
+    // Checking once per bucket (not per event) is enough: insertions made
+    // while this bucket drains fall back to the overflow store if they land
+    // past wheel_end_, and get pulled at the next bucket boundary.
+    if (wheel_end_ - cur_bucket_ <
+        static_cast<std::int64_t>(kNumBuckets / 2)) {
+      pull_overflow(cur_bucket_ + static_cast<std::int64_t>(kNumBuckets));
+    }
+    const std::int64_t cur = cur_bucket_;
+    auto& bucket =
+        buckets_[static_cast<std::size_t>(cur) & (kNumBuckets - 1)];
+    // Tight per-bucket drain: the vector<Ref> object itself never moves
+    // (buckets_ is fixed-size), and an event body that schedules new work
+    // either pushes into this same bucket (push_heap keeps the order), a
+    // later bucket/overflow, or rewinds cur_bucket_ — checked after each
+    // event. Hoisting the wheel/window checks out of the per-event path is
+    // worth a measurable slice of the dispatch budget at 10k+ nodes.
+    while (!bucket.empty() && bucket.front().when_us <= horizon_us) {
+      std::pop_heap(bucket.begin(), bucket.end(), &ref_after);
+      const Ref ref = bucket.back();
+      bucket.pop_back();
+      --wheel_refs_;
+      if (!bucket.empty()) {
+        // The likely next event is this bucket's new front; issue its slot
+        // fetch now so it overlaps with executing the popped event.
+        __builtin_prefetch(&slot_at(bucket.front().slot));
+      }
+      ran += execute_ref(ref);
+      if (cur_bucket_ != cur) {
+        break;  // an insert landed behind the cursor and rewound it
+      }
+    }
+    if (cur_bucket_ != cur) {
+      continue;
+    }
+    if (!bucket.empty()) {
+      // front > horizon, and every later bucket starts even further out.
+      return ran;
+    }
+    // Bucket drained: advance, unless the next bucket already starts past
+    // the horizon (then nothing <= horizon can exist on the wheel).
+    if (((cur + 1) << kBucketBits) > horizon_us) {
+      return ran;
+    }
+    ++cur_bucket_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy heap backend.
+
+void Simulator::execute_legacy(HeapEntry& entry) {
   now_ = entry.when;
   if (entry.alive && !*entry.alive) {
     return;  // cancelled; consumed without counting as executed
   }
   ++executed_;
+  if (probe_) {
+    probe_(now_, entry.seq);
+  }
   entry.fn();
 }
 
@@ -52,15 +376,26 @@ void Simulator::execute(Entry& entry) {
 // comparator orders only by (when, seq), which the move leaves intact, and
 // the entry is popped before any other queue operation can observe it.
 
-std::uint64_t Simulator::run_until(SimTime horizon) {
+std::uint64_t Simulator::run_legacy(SimTime horizon, bool bounded) {
   std::uint64_t ran = 0;
-  while (!queue_.empty() && queue_.top().when <= horizon) {
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
+  while (!heap_queue_.empty() &&
+         (!bounded || heap_queue_.top().when <= horizon)) {
+    HeapEntry entry = std::move(const_cast<HeapEntry&>(heap_queue_.top()));
+    heap_queue_.pop();
     const std::uint64_t before = executed_;
-    execute(entry);
+    execute_legacy(entry);
     ran += executed_ - before;
   }
+  return ran;
+}
+
+// ---------------------------------------------------------------------------
+// Run loops (backend dispatch).
+
+std::uint64_t Simulator::run_until(SimTime horizon) {
+  const std::uint64_t ran =
+      calendar_ ? run_calendar(horizon.count_micros())
+                : run_legacy(horizon, /*bounded=*/true);
   if (now_ < horizon) {
     now_ = horizon;
   }
@@ -68,24 +403,26 @@ std::uint64_t Simulator::run_until(SimTime horizon) {
 }
 
 std::uint64_t Simulator::run_all() {
-  std::uint64_t ran = 0;
-  while (!queue_.empty()) {
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    const std::uint64_t before = executed_;
-    execute(entry);
-    ran += executed_ - before;
-  }
-  return ran;
+  return calendar_ ? run_calendar(kNoHorizon)
+                   : run_legacy(SimTime(), /*bounded=*/false);
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    const std::uint64_t before = executed_;
-    execute(entry);
-    if (executed_ != before) {
+  if (!calendar_) {
+    while (!heap_queue_.empty()) {
+      HeapEntry entry = std::move(const_cast<HeapEntry&>(heap_queue_.top()));
+      heap_queue_.pop();
+      const std::uint64_t before = executed_;
+      execute_legacy(entry);
+      if (executed_ != before) {
+        return true;
+      }
+    }
+    return false;
+  }
+  Ref ref;
+  while (pop_ref(kNoHorizon, ref)) {
+    if (execute_ref(ref) != 0) {
       return true;
     }
   }

@@ -4,8 +4,31 @@
 // timed events on all nodes in the system. Events scheduled for the same
 // instant run in scheduling order (a monotone sequence number breaks ties),
 // which makes whole simulations bit-reproducible.
+//
+// Two interchangeable scheduler backends execute the exact same
+// (when, seq) lexicographic order, so a whole simulation is bit-identical
+// on either:
+//
+//  - kCalendar (the default): a calendar queue. Time is divided into
+//    2^kBucketBits-microsecond buckets on a kNumBuckets-wide wheel; each
+//    bucket is a small binary heap of 24-byte refs ordered by (when, seq),
+//    and events beyond the wheel span sit in an overflow store that is
+//    re-partitioned as the window advances. Event closures live in a
+//    free-list slot pool, periodic tasks reschedule in place (same slot,
+//    fresh sequence number), and cancellation is a generation-counter bump
+//    that is purged lazily — steady-state scheduling performs no heap
+//    allocation and no O(log total-pending) sift over fat entries.
+//
+//  - kLegacyHeap: the pre-calendar kernel (one global std::priority_queue
+//    plus a shared_ptr<bool> liveness flag per event), kept for one release
+//    behind the SDSI_SIM_HEAP_QUEUE environment variable as the measured
+//    baseline of BENCH_scale.json and the scheduler-equivalence test. It
+//    deliberately preserves the pre-change cost profile, including
+//    pending_events() counting cancelled entries until their deadline
+//    (the calendar backend reports live events only).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -14,34 +37,44 @@
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "sim/event_fn.hpp"
 #include "sim/time.hpp"
 
 namespace sdsi::sim {
 
-using EventFn = std::function<void()>;
+class Simulator;
+
+/// Scheduler backend selection. kAuto honors the SDSI_SIM_HEAP_QUEUE
+/// environment variable (non-empty, not "0" => legacy heap), otherwise
+/// picks the calendar queue.
+enum class QueueBackend : std::uint8_t { kAuto, kCalendar, kLegacyHeap };
 
 /// Cancellation handle for periodic tasks (and one-shot events). Destroying
-/// the handle does NOT cancel; call cancel().
+/// the handle does NOT cancel; call cancel(). A handle must not outlive the
+/// Simulator that issued it if cancel()/active() will still be called.
 class TaskHandle {
  public:
   TaskHandle() = default;
 
-  void cancel() noexcept {
-    if (alive_) {
-      *alive_ = false;
-    }
-  }
-  bool active() const noexcept { return alive_ && *alive_; }
+  void cancel() noexcept;
+  bool active() const noexcept;
 
  private:
   friend class Simulator;
   explicit TaskHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
+  TaskHandle(Simulator* sim, std::uint32_t slot, std::uint32_t gen)
+      : sim_(sim), slot_(slot), gen_(gen) {}
+
+  std::shared_ptr<bool> alive_;  // legacy backend
+  Simulator* sim_ = nullptr;     // calendar backend: pooled slot + generation
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator() : Simulator(QueueBackend::kAuto) {}
+  explicit Simulator(QueueBackend backend);
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -74,17 +107,129 @@ class Simulator {
   bool step();
 
   std::uint64_t executed_events() const noexcept { return executed_; }
-  std::size_t pending_events() const noexcept { return queue_.size(); }
+
+  /// Number of scheduled events that will still run. The calendar backend
+  /// counts live events only (cancelled entries are excluded and purged
+  /// lazily); the legacy backend keeps the pre-change behavior of counting
+  /// cancelled entries until their deadline passes.
+  std::size_t pending_events() const noexcept {
+    return calendar_ ? live_events_ : heap_queue_.size();
+  }
+
+  bool using_calendar_queue() const noexcept { return calendar_; }
+
+  /// Whether callers should park bulky event payloads (routing messages) in
+  /// free-list pools. Reported off on the legacy backend so the escape
+  /// hatch reproduces the pre-change per-event heap traffic.
+  bool pooled_events() const noexcept { return calendar_; }
+
+  /// Test hook: invoked as probe(when, seq) immediately before each live
+  /// event executes. Used by the scheduler-equivalence test to assert both
+  /// backends replay the identical event order.
+  void set_execution_probe(std::function<void(SimTime, SeqNo)> probe) {
+    probe_ = std::move(probe);
+  }
 
  private:
-  struct Entry {
+  friend class TaskHandle;
+
+  // ---- calendar backend ----
+
+  // 2^kBucketBits microseconds per bucket; kNumBuckets buckets on the
+  // wheel => a ~2.1-second span before events spill to the overflow store.
+  // Tuned empirically at 10k nodes: narrow buckets keep each per-bucket
+  // heap to a few dozen refs (shallow sifts), and 8192 headers (~192 KB)
+  // stay cache-resident. Longer-dated timers (soft-state refreshes, query
+  // expiries) sit in the overflow store, which is scanned only once per
+  // half-wheel advance (~1 s of simulated time) — measured noise next to
+  // the per-event win.
+  static constexpr unsigned kBucketBits = 8;  // 256 us buckets
+  static constexpr std::size_t kNumBuckets = std::size_t{1} << 13;
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  // Hot fields first: execute_ref reads gen, then period, then the EventFn
+  // ops pointer — keeping them at the front puts the whole dispatch read
+  // on the slot's first cache line.
+  struct Slot {
+    std::uint32_t gen = 0;       // bumps on cancel/release; handles compare
+    std::int64_t period_us = 0;  // 0 => one-shot
+    EventFn fn;
+  };
+
+  struct Ref {
+    std::int64_t when_us;
+    SeqNo seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+
+  static bool ref_after(const Ref& a, const Ref& b) noexcept {
+    if (a.when_us != b.when_us) {
+      return a.when_us > b.when_us;
+    }
+    return a.seq > b.seq;
+  }
+
+  // Slots live in fixed 256-entry chunks, so a slot's address never moves:
+  // the run loop can invoke the stored EventFn in place while the body
+  // schedules new events (appending a chunk does not relocate existing
+  // slots), with no move-out/move-back pair per dispatch.
+  static constexpr unsigned kSlotChunkBits = 8;
+  static constexpr std::uint32_t kSlotChunkMask =
+      (std::uint32_t{1} << kSlotChunkBits) - 1;
+
+  Slot& slot_at(std::uint32_t i) noexcept {
+    return slot_chunks_[i >> kSlotChunkBits][i & kSlotChunkMask];
+  }
+  const Slot& slot_at(std::uint32_t i) const noexcept {
+    return slot_chunks_[i >> kSlotChunkBits][i & kSlotChunkMask];
+  }
+
+  std::uint32_t acquire_slot(EventFn fn, std::int64_t period_us);
+  void cancel_slot(std::uint32_t slot, std::uint32_t gen) noexcept;
+  bool slot_active(std::uint32_t slot, std::uint32_t gen) const noexcept {
+    return slot < slot_count_ && slot_at(slot).gen == gen;
+  }
+
+  void insert_ref(const Ref& ref);
+  /// Moves overflow events whose bucket is now < new_end onto the wheel and
+  /// advances the wheel window. No-op if the window would not grow.
+  void pull_overflow(std::int64_t new_end);
+  /// Pops the earliest ref with when <= horizon_us. Returns false if none.
+  bool pop_ref(std::int64_t horizon_us, Ref& out);
+  /// Drops every cancelled ref still parked in the wheel/overflow.
+  void purge_stale();
+  /// Runs one popped ref: skips it if stale, otherwise executes (and
+  /// reschedules periodics). Returns 1 if an event executed, else 0.
+  std::uint64_t execute_ref(const Ref& ref);
+
+  std::uint64_t run_calendar(std::int64_t horizon_us);
+
+  std::vector<std::vector<Ref>> buckets_;
+  std::vector<Ref> overflow_;
+  std::vector<std::unique_ptr<Slot[]>> slot_chunks_;
+  std::uint32_t slot_count_ = 0;  // slots handed out across all chunks
+  std::vector<std::uint32_t> free_slots_;
+  std::int64_t cur_bucket_ = 0;   // next bucket to drain (absolute index)
+  std::int64_t wheel_end_ = 0;    // refs with bucket >= wheel_end_ overflow
+  std::size_t wheel_refs_ = 0;    // refs currently parked on the wheel
+  std::size_t live_events_ = 0;   // scheduled and not cancelled
+  std::size_t stale_refs_ = 0;    // cancelled refs awaiting lazy purge
+  std::uint32_t executing_slot_ = kNoSlot;
+
+  // ---- legacy heap backend (SDSI_SIM_HEAP_QUEUE) ----
+
+  // The entry layout is the seed kernel's, byte for byte: a 16-byte-SBO
+  // std::function (so the periodic reschedule closure heap-allocates on
+  // every firing, as pre-change) next to the per-event shared_ptr<bool>.
+  struct HeapEntry {
     SimTime when;
     SeqNo seq;
     std::shared_ptr<bool> alive;  // null => unconditional
-    EventFn fn;
+    std::function<void()> fn;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
+  struct HeapLater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
       if (a.when != b.when) {
         return a.when > b.when;
       }
@@ -92,12 +237,36 @@ class Simulator {
     }
   };
 
-  void execute(Entry& entry);
+  void execute_legacy(HeapEntry& entry);
+  std::uint64_t run_legacy(SimTime horizon, bool bounded);
 
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLater>
+      heap_queue_;
+
+  // ---- shared state ----
+
+  bool calendar_ = true;
   SimTime now_;
   SeqNo next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::function<void(SimTime, SeqNo)> probe_;
 };
+
+inline void TaskHandle::cancel() noexcept {
+  if (alive_) {
+    *alive_ = false;
+    return;
+  }
+  if (sim_ != nullptr) {
+    sim_->cancel_slot(slot_, gen_);
+  }
+}
+
+inline bool TaskHandle::active() const noexcept {
+  if (alive_) {
+    return *alive_;
+  }
+  return sim_ != nullptr && sim_->slot_active(slot_, gen_);
+}
 
 }  // namespace sdsi::sim

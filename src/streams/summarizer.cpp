@@ -80,14 +80,24 @@ double StreamSummarizer::normalization_denominator() const noexcept {
 }
 
 std::optional<dsp::FeatureVector> StreamSummarizer::features() const {
-  if (!ready()) {
+  dsp::FeatureVector out;
+  if (!features_into(out)) {
     return std::nullopt;
+  }
+  return out;
+}
+
+bool StreamSummarizer::features_into(dsp::FeatureVector& out) const {
+  if (!ready()) {
+    return false;
   }
   const double denom = normalization_denominator();
   if (denom < kTinyNorm) {
-    return std::nullopt;
+    return false;
   }
   const std::size_t first = config_.first_coefficient();
+  const std::span<dsp::Complex> coeffs =
+      out.overwrite(config_.num_coefficients);
   if (config_.synopsis == dsp::Synopsis::kHaar) {
     // No O(k) incremental update exists for a sliding Haar transform, so
     // this mode recomputes from the raw window: O(W) per call. The same
@@ -95,18 +105,16 @@ std::optional<dsp::FeatureVector> StreamSummarizer::features() const {
     // so dividing the retained raw coefficients by the denominator yields
     // the normalized synopsis.
     const std::vector<double> raw = dsp::haar_transform(dft_.window());
-    std::vector<dsp::Complex> coeffs(config_.num_coefficients);
     for (std::size_t i = 0; i < coeffs.size(); ++i) {
       coeffs[i] = dsp::Complex{raw[first + i] / denom, 0.0};
     }
-    return dsp::FeatureVector(std::move(coeffs));
+    return true;
   }
-  std::vector<dsp::Complex> coeffs(config_.num_coefficients);
   const auto raw = dft_.coefficients();
   for (std::size_t i = 0; i < coeffs.size(); ++i) {
     coeffs[i] = raw[first + i] / denom;
   }
-  return dsp::FeatureVector(std::move(coeffs));
+  return true;
 }
 
 }  // namespace sdsi::streams

@@ -55,6 +55,12 @@ class StreamSummarizer {
   /// in which case it has no well-defined direction on the unit sphere.
   std::optional<dsp::FeatureVector> features() const;
 
+  /// Allocation-free variant for per-tick hot paths: overwrites `out` in
+  /// place (reusing its capacity) and returns true, or returns false in
+  /// exactly the cases features() returns nullopt. `out` is unchanged on
+  /// false.
+  bool features_into(dsp::FeatureVector& out) const;
+
   /// Mean of the current raw window.
   double window_mean() const noexcept;
 

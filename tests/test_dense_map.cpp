@@ -1,0 +1,168 @@
+// Flat-hash DenseMap/DenseSet: contract, erase sweeps, and a randomized
+// model check against the standard containers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/dense_map.hpp"
+
+namespace sdsi {
+namespace {
+
+TEST(DenseMap, InsertFindErase) {
+  DenseMap<std::uint64_t, int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(1), map.end());
+  map[1] = 10;
+  map[2] = 20;
+  auto [it, inserted] = map.try_emplace(1, 99);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(it->second, 10);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_TRUE(map.contains(2));
+  EXPECT_EQ(map.at(2), 20);
+  EXPECT_EQ(map.erase(1), 1u);
+  EXPECT_EQ(map.erase(1), 0u);
+  EXPECT_FALSE(map.contains(1));
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(DenseMap, IterationIsInsertionOrder) {
+  DenseMap<int, int> map;
+  for (int i = 0; i < 100; ++i) {
+    map[i * 7919] = i;
+  }
+  int expected = 0;
+  for (const auto& [key, value] : map) {
+    EXPECT_EQ(key, expected * 7919);
+    EXPECT_EQ(value, expected);
+    ++expected;
+  }
+  EXPECT_EQ(expected, 100);
+}
+
+TEST(DenseMap, EraseSweepVisitsEveryRemainingEntry) {
+  DenseMap<int, int> map;
+  for (int i = 0; i < 200; ++i) {
+    map[i] = i;
+  }
+  // Standard `it = map.erase(it)` sweep dropping odd keys.
+  for (auto it = map.begin(); it != map.end();) {
+    if (it->first % 2 == 1) {
+      it = map.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  EXPECT_EQ(map.size(), 100u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(map.contains(i), i % 2 == 0) << i;
+  }
+}
+
+TEST(DenseMap, InsertOrAssignOverwrites) {
+  DenseMap<int, std::string> map;
+  map.insert_or_assign(5, "a");
+  map.insert_or_assign(5, "b");
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.at(5), "b");
+}
+
+TEST(DenseMap, StringKeysSurviveSwapErase) {
+  // Swap-with-last relocation must re-index by the moved key's value, not
+  // its moved-from shell.
+  DenseMap<std::string, int> map;
+  for (int i = 0; i < 64; ++i) {
+    map["key-" + std::to_string(i)] = i;
+  }
+  for (int i = 0; i < 64; i += 2) {
+    EXPECT_EQ(map.erase("key-" + std::to_string(i)), 1u);
+  }
+  for (int i = 0; i < 64; ++i) {
+    if (i % 2 == 1) {
+      EXPECT_EQ(map.at("key-" + std::to_string(i)), i);
+    } else {
+      EXPECT_FALSE(map.contains("key-" + std::to_string(i)));
+    }
+  }
+}
+
+TEST(DenseMap, RandomizedModelCheck) {
+  DenseMap<std::uint32_t, std::uint32_t> map;
+  std::unordered_map<std::uint32_t, std::uint32_t> model;
+  std::mt19937 rng(1234);
+  std::uniform_int_distribution<std::uint32_t> key_dist(0, 511);
+  for (int step = 0; step < 100000; ++step) {
+    const std::uint32_t key = key_dist(rng);
+    switch (rng() % 4) {
+      case 0:
+      case 1:
+        map.insert_or_assign(key, static_cast<std::uint32_t>(step));
+        model[key] = static_cast<std::uint32_t>(step);
+        break;
+      case 2:
+        EXPECT_EQ(map.erase(key), model.erase(key));
+        break;
+      case 3: {
+        const auto it = map.find(key);
+        const auto model_it = model.find(key);
+        ASSERT_EQ(it == map.end(), model_it == model.end());
+        if (it != map.end()) {
+          EXPECT_EQ(it->second, model_it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(map.size(), model.size());
+  }
+  for (const auto& [key, value] : map) {
+    const auto model_it = model.find(key);
+    ASSERT_NE(model_it, model.end());
+    EXPECT_EQ(value, model_it->second);
+  }
+}
+
+TEST(DenseSet, InsertContainsErase) {
+  DenseSet<std::uint64_t> set;
+  EXPECT_FALSE(set.contains(7));
+  EXPECT_TRUE(set.insert(7).second);
+  EXPECT_FALSE(set.insert(7).second);
+  EXPECT_TRUE(set.contains(7));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.erase(7), 1u);
+  EXPECT_EQ(set.erase(7), 0u);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(DenseSet, RandomizedModelCheck) {
+  DenseSet<std::uint32_t> set;
+  std::unordered_set<std::uint32_t> model;
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<std::uint32_t> key_dist(0, 255);
+  for (int step = 0; step < 50000; ++step) {
+    const std::uint32_t key = key_dist(rng);
+    switch (rng() % 3) {
+      case 0:
+        EXPECT_EQ(set.insert(key).second, model.insert(key).second);
+        break;
+      case 1:
+        EXPECT_EQ(set.erase(key), model.erase(key));
+        break;
+      case 2:
+        EXPECT_EQ(set.contains(key), model.count(key) == 1);
+        break;
+    }
+    ASSERT_EQ(set.size(), model.size());
+  }
+  for (const std::uint32_t key : set) {
+    EXPECT_EQ(model.count(key), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace sdsi

@@ -1,0 +1,142 @@
+// Small-buffer-optimized EventFn: inline storage for common capture shapes,
+// move-only captures, and deterministic destruction order.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/event_fn.hpp"
+
+namespace sdsi::sim {
+namespace {
+
+TEST(EventFn, DefaultIsNull) {
+  EventFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EXPECT_TRUE(fn == nullptr);
+  EXPECT_FALSE(fn != nullptr);
+}
+
+TEST(EventFn, InvokesSmallLambda) {
+  int calls = 0;
+  EventFn fn = [&calls] { ++calls; };
+  EXPECT_TRUE(fn != nullptr);
+  fn();
+  fn();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(EventFn, MoveTransfersOwnershipAndNullsSource) {
+  int calls = 0;
+  EventFn a = [&calls] { ++calls; };
+  EventFn b = std::move(a);
+  EXPECT_TRUE(a == nullptr);  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b != nullptr);
+  b();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(EventFn, MoveOnlyCaptureInline) {
+  // unique_ptr captures are the pooled-message shape: move-only, small.
+  auto value = std::make_unique<int>(41);
+  EventFn fn = [v = std::move(value)]() mutable { ++*v; };
+  static_assert(sizeof(std::unique_ptr<int>) <= EventFn::kInlineSize);
+  EventFn moved = std::move(fn);
+  moved();
+}
+
+TEST(EventFn, MoveOnlyCaptureHeapFallback) {
+  // Captures beyond kInlineSize must still work (heap fallback).
+  struct Big {
+    std::unique_ptr<int> v;
+    unsigned char pad[EventFn::kInlineSize];
+  };
+  int out = 0;
+  EventFn fn = [big = Big{std::make_unique<int>(7), {}}, &out] {
+    out = *big.v;
+  };
+  EventFn moved = std::move(fn);
+  moved();
+  EXPECT_EQ(out, 7);
+}
+
+TEST(EventFn, DestroysCaptureExactlyOnceInline) {
+  auto counter = std::make_shared<int>(0);
+  struct Tracker {
+    std::shared_ptr<int> count;
+    ~Tracker() {
+      if (count) {
+        ++*count;
+      }
+    }
+    Tracker(std::shared_ptr<int> c) : count(std::move(c)) {}
+    Tracker(Tracker&& other) noexcept : count(std::move(other.count)) {}
+    Tracker(const Tracker&) = delete;
+    void operator()() const {}
+  };
+  {
+    EventFn fn = Tracker(counter);
+    EventFn moved = std::move(fn);
+    EventFn assigned;
+    assigned = std::move(moved);
+  }
+  // However many times it was relocated, the live capture is destroyed once
+  // (moved-from shells carry a null count and don't tick the counter).
+  EXPECT_EQ(*counter, 1);
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(EventFn, AssignmentDestroysPreviousTarget) {
+  auto a_alive = std::make_shared<int>(1);
+  auto b_alive = std::make_shared<int>(2);
+  EventFn fn = [keep = a_alive] {};
+  EXPECT_EQ(a_alive.use_count(), 2);
+  fn = EventFn([keep = b_alive] {});
+  EXPECT_EQ(a_alive.use_count(), 1);  // old capture destroyed on assignment
+  EXPECT_EQ(b_alive.use_count(), 2);
+  fn = nullptr;
+  EXPECT_EQ(b_alive.use_count(), 1);
+}
+
+TEST(EventFn, DestructionOrderIsDeclarationReverse) {
+  // Captures inside one closure are destroyed in reverse member order when
+  // the EventFn dies, exactly as for the raw lambda.
+  std::vector<int> order;
+  struct Witness {
+    std::vector<int>* order;
+    int id;
+    ~Witness() {
+      if (order != nullptr) {
+        order->push_back(id);
+      }
+    }
+    Witness(std::vector<int>* o, int i) : order(o), id(i) {}
+    Witness(Witness&& other) noexcept : order(other.order), id(other.id) {
+      other.order = nullptr;
+    }
+    Witness(const Witness&) = delete;
+  };
+  {
+    EventFn fn = [first = Witness(&order, 1), second = Witness(&order, 2)] {};
+  }
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);  // last-declared capture destroyed first
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST(EventFn, SelfCaptureSizeStaysInline) {
+  // The simulator's common closure shapes — a `this` pointer plus a couple
+  // of 64-bit ids — must stay inline.
+  struct Shape {
+    void* self;
+    std::uint64_t a;
+    std::uint64_t b;
+    std::uint64_t c;
+  };
+  static_assert(sizeof(Shape) <= EventFn::kInlineSize);
+}
+
+}  // namespace
+}  // namespace sdsi::sim

@@ -181,5 +181,103 @@ TEST(Simulator, HandleActiveReflectsState) {
   EXPECT_FALSE(TaskHandle().active());
 }
 
+// Regression: cancelled entries used to stay in the queue until their
+// deadline and were counted by pending_events(). The calendar backend now
+// excludes them immediately and purges the stale refs lazily.
+TEST(Simulator, PendingEventsExcludesCancelled) {
+  Simulator sim(QueueBackend::kCalendar);
+  int ran = 0;
+  TaskHandle a = sim.schedule_after(ms(10), [&] { ++ran; });
+  TaskHandle b = sim.schedule_after(ms(20), [&] { ++ran; });
+  sim.schedule_after(ms(30), [&] { ++ran; });
+  EXPECT_EQ(sim.pending_events(), 3u);
+  a.cancel();
+  b.cancel();
+  // Deadlines have not passed, yet the cancelled pair no longer counts.
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_EQ(sim.run_all(), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, CancelledPeriodicStopsCountingImmediately) {
+  Simulator sim(QueueBackend::kCalendar);
+  int fires = 0;
+  TaskHandle handle =
+      sim.schedule_periodic(SimTime::zero() + ms(5), ms(5), [&] { ++fires; });
+  EXPECT_EQ(sim.pending_events(), 1u);
+  handle.cancel();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.run_until(SimTime::zero() + ms(100));
+  EXPECT_EQ(fires, 0);
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
+TEST(Simulator, MassCancellationIsPurgedNotLeaked) {
+  Simulator sim(QueueBackend::kCalendar);
+  int ran = 0;
+  std::vector<TaskHandle> handles;
+  for (int i = 0; i < 1000; ++i) {
+    handles.push_back(sim.schedule_after(ms(10 + i), [&] { ++ran; }));
+  }
+  TaskHandle live = sim.schedule_after(ms(2000), [&] { ran += 100; });
+  for (TaskHandle& handle : handles) {
+    handle.cancel();
+  }
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_EQ(sim.run_all(), 1u);
+  EXPECT_EQ(ran, 100);
+  EXPECT_FALSE(live.active());
+}
+
+TEST(Simulator, StaleHandleCancelDoesNotAffectRecycledSlot) {
+  Simulator sim(QueueBackend::kCalendar);
+  int ran = 0;
+  TaskHandle first = sim.schedule_after(ms(1), [&] { ++ran; });
+  sim.run_all();
+  EXPECT_FALSE(first.active());
+  // The new event reuses the released slot; the stale handle's generation
+  // no longer matches, so cancelling it must not touch the new occupant.
+  TaskHandle second = sim.schedule_after(ms(1), [&] { ran += 10; });
+  first.cancel();
+  EXPECT_TRUE(second.active());
+  sim.run_all();
+  EXPECT_EQ(ran, 11);
+}
+
+TEST(Simulator, LegacyBackendStillExecutesInOrder) {
+  Simulator sim(QueueBackend::kLegacyHeap);
+  EXPECT_FALSE(sim.using_calendar_queue());
+  EXPECT_FALSE(sim.pooled_events());
+  std::vector<int> order;
+  sim.schedule_at(SimTime::zero() + ms(20), [&] { order.push_back(2); });
+  sim.schedule_at(SimTime::zero() + ms(10), [&] { order.push_back(1); });
+  TaskHandle cancelled =
+      sim.schedule_at(SimTime::zero() + ms(15), [&] { order.push_back(9); });
+  cancelled.cancel();
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, FarFutureEventsCrossOverflowWindow) {
+  // Events beyond the wheel span park in the overflow store and must still
+  // execute in exact (when, seq) order as the window advances to them.
+  Simulator sim(QueueBackend::kCalendar);
+  std::vector<int> order;
+  sim.schedule_at(SimTime::zero() + Duration::seconds(300), [&] {
+    order.push_back(3);
+  });
+  sim.schedule_at(SimTime::zero() + Duration::seconds(300), [&] {
+    order.push_back(4);
+  });
+  sim.schedule_at(SimTime::zero() + Duration::seconds(100), [&] {
+    order.push_back(2);
+  });
+  sim.schedule_at(SimTime::zero() + ms(1), [&] { order.push_back(1); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(sim.now().as_seconds(), 300.0);
+}
+
 }  // namespace
 }  // namespace sdsi::sim

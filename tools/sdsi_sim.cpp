@@ -54,6 +54,9 @@ using namespace sdsi;
       "  --anti-entropy-period S digest exchange period (0 = off)\n"
       "  --threads N          worker lanes for match/ingest (1 = serial,\n"
       "                       0 = hardware concurrency; results identical)\n"
+      "  --heap-queue         run on the legacy binary-heap scheduler\n"
+      "                       (same results, pre-calendar performance;\n"
+      "                       equivalent to SDSI_SIM_HEAP_QUEUE=1)\n"
       "  --oracle S           recall-oracle sampling period (enables recall)\n"
       "  --drain S            settling time after measure before reports\n"
       "  --obs-dir DIR        write DIR/metrics.json (time series + reports)\n"
@@ -195,6 +198,8 @@ int main(int argc, char** argv) {
           sim::Duration::seconds(parse_double(value(), argv[0]));
     } else if (is("--threads")) {
       config.threads = static_cast<std::size_t>(parse_long(value(), argv[0]));
+    } else if (is("--heap-queue")) {
+      config.queue_backend = sim::QueueBackend::kLegacyHeap;
     } else if (is("--oracle")) {
       config.oracle_sample_period =
           sim::Duration::seconds(parse_double(value(), argv[0]));
@@ -233,6 +238,9 @@ int main(int argc, char** argv) {
   if (config.message_loss > 0.0) {
     std::printf("message loss: %.1f%% of transmissions dropped\n",
                 config.message_loss * 100.0);
+  }
+  if (config.queue_backend == sim::QueueBackend::kLegacyHeap) {
+    std::printf("scheduler: legacy binary-heap backend (--heap-queue)\n");
   }
   core::Experiment experiment(config);
   experiment.run();
