@@ -65,7 +65,10 @@ class ObjectPool {
       if (free_slots.empty()) {
         chunks.push_back(std::make_unique<Chunk>());
         unsigned char* base = chunks.back()->bytes;
-        free_slots.reserve(free_slots.size() + kChunkSlots);
+        // Reserve for EVERY slot ever carved, not just this chunk: release()
+        // is noexcept (PoolPtr::reset calls it), so its push_back must never
+        // need to grow the vector even if all slots are freed at once.
+        free_slots.reserve(chunks.size() * kChunkSlots);
         for (std::size_t i = kChunkSlots; i > 0; --i) {
           free_slots.push_back(base + (i - 1) * sizeof(T));
         }

@@ -58,7 +58,7 @@ TaskHandle Simulator::schedule_at(SimTime when, EventFn fn) {
   const std::uint32_t gen = slot_at(slot).gen;
   insert_ref(Ref{when.count_micros(), next_seq_++, slot, gen});
   ++live_events_;
-  return TaskHandle(this, slot, gen);
+  return TaskHandle(live_token_, slot, gen);
 }
 
 TaskHandle Simulator::schedule_periodic(SimTime first, Duration period,
@@ -93,7 +93,7 @@ TaskHandle Simulator::schedule_periodic(SimTime first, Duration period,
   const std::uint32_t gen = slot_at(slot).gen;
   insert_ref(Ref{first.count_micros(), next_seq_++, slot, gen});
   ++live_events_;
-  return TaskHandle(this, slot, gen);
+  return TaskHandle(live_token_, slot, gen);
 }
 
 // ---------------------------------------------------------------------------
@@ -109,6 +109,11 @@ std::uint32_t Simulator::acquire_slot(EventFn fn, std::int64_t period_us) {
     if ((slot >> kSlotChunkBits) == slot_chunks_.size()) {
       slot_chunks_.push_back(
           std::make_unique<Slot[]>(std::size_t{1} << kSlotChunkBits));
+      // cancel_slot (noexcept) and execute_ref return slots via push_back;
+      // reserving the free list to full slot capacity whenever a chunk is
+      // carved keeps those release paths allocation-free (and bad_alloc
+      // cannot escape a noexcept frame into std::terminate).
+      free_slots_.reserve(slot_chunks_.size() << kSlotChunkBits);
     }
   }
   Slot& s = slot_at(slot);
@@ -144,20 +149,56 @@ void Simulator::cancel_slot(std::uint32_t slot, std::uint32_t gen) noexcept {
 
 void Simulator::insert_ref(const Ref& ref) {
   const std::int64_t b = ref.when_us >> kBucketBits;
-  if (b >= wheel_end_) {
+  if (wheel_refs_ == 0 && overflow_.empty()) {
+    // Nothing pending anywhere: re-anchor the window at the new event. This
+    // also heals a cursor parked far out by a drained stale ref (stale pops
+    // advance cur_bucket_ without advancing now_), which would otherwise
+    // force the rewind path below on the next schedule-at-now.
+    cur_bucket_ = b;
+    wheel_end_ = b + static_cast<std::int64_t>(kNumBuckets);
+  } else if (b >= wheel_end_) {
     overflow_.push_back(ref);
     return;
-  }
-  if (b < cur_bucket_) {
+  } else if (b < cur_bucket_) {
     // An event landed behind the drain cursor (scheduled for "now" while the
-    // cursor had advanced through empty buckets). Rewind; correctness only
-    // needs the cursor at or before the earliest nonempty bucket.
+    // cursor had advanced through empty buckets). Rewind — and restore the
+    // window invariant wheel_end_ - cur_bucket_ <= kNumBuckets, otherwise
+    // two live logical buckets (b and b + kNumBuckets) alias one physical
+    // bucket and the per-bucket drain runs them out of order.
     cur_bucket_ = b;
+    const std::int64_t max_end = b + static_cast<std::int64_t>(kNumBuckets);
+    if (wheel_end_ > max_end) {
+      shrink_window(max_end);
+    }
   }
   auto& bucket = buckets_[static_cast<std::size_t>(b) & (kNumBuckets - 1)];
   bucket.push_back(ref);
   std::push_heap(bucket.begin(), bucket.end(), &ref_after);
   ++wheel_refs_;
+}
+
+void Simulator::shrink_window(std::int64_t new_end) {
+  // Rare rewind path (never hit by steady-state schedule-at-now traffic):
+  // O(wheel) sweep moving every ref whose logical bucket no longer fits the
+  // clamped window back to the overflow store; pull_overflow re-admits them
+  // as the cursor advances.
+  for (auto& bucket : buckets_) {
+    const std::size_t size = bucket.size();
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < size; ++i) {
+      if ((bucket[i].when_us >> kBucketBits) >= new_end) {
+        overflow_.push_back(bucket[i]);
+      } else {
+        bucket[keep++] = bucket[i];
+      }
+    }
+    if (keep != size) {
+      wheel_refs_ -= size - keep;
+      bucket.resize(keep);
+      std::make_heap(bucket.begin(), bucket.end(), &ref_after);
+    }
+  }
+  wheel_end_ = new_end;
 }
 
 void Simulator::pull_overflow(std::int64_t new_end) {

@@ -50,8 +50,9 @@ class Simulator;
 enum class QueueBackend : std::uint8_t { kAuto, kCalendar, kLegacyHeap };
 
 /// Cancellation handle for periodic tasks (and one-shot events). Destroying
-/// the handle does NOT cancel; call cancel(). A handle must not outlive the
-/// Simulator that issued it if cancel()/active() will still be called.
+/// the handle does NOT cancel; call cancel(). A handle may outlive the
+/// Simulator that issued it: cancel()/active() degrade to no-ops once the
+/// Simulator is gone (the handle watches a per-simulator liveness token).
 class TaskHandle {
  public:
   TaskHandle() = default;
@@ -62,11 +63,15 @@ class TaskHandle {
  private:
   friend class Simulator;
   explicit TaskHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  TaskHandle(Simulator* sim, std::uint32_t slot, std::uint32_t gen)
+  TaskHandle(const std::shared_ptr<Simulator>& sim, std::uint32_t slot,
+             std::uint32_t gen)
       : sim_(sim), slot_(slot), gen_(gen) {}
 
   std::shared_ptr<bool> alive_;  // legacy backend
-  Simulator* sim_ = nullptr;     // calendar backend: pooled slot + generation
+  // Calendar backend: pooled slot + generation. The weak_ptr tracks the
+  // Simulator's non-owning liveness token, so it expires with the Simulator
+  // and a stale handle never dereferences a dangling pointer.
+  std::weak_ptr<Simulator> sim_;
   std::uint32_t slot_ = 0;
   std::uint32_t gen_ = 0;
 };
@@ -195,6 +200,11 @@ class Simulator {
   /// Moves overflow events whose bucket is now < new_end onto the wheel and
   /// advances the wheel window. No-op if the window would not grow.
   void pull_overflow(std::int64_t new_end);
+  /// Evacuates wheel refs with bucket >= new_end into the overflow store and
+  /// clamps the window to new_end. Called on a cursor rewind that would
+  /// otherwise leave the window wider than kNumBuckets, where two live
+  /// logical buckets would alias one physical bucket and drain out of order.
+  void shrink_window(std::int64_t new_end);
   /// Pops the earliest ref with when <= horizon_us. Returns false if none.
   bool pop_ref(std::int64_t horizon_us, Ref& out);
   /// Drops every cancelled ref still parked in the wheel/overflow.
@@ -250,6 +260,12 @@ class Simulator {
   SeqNo next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::function<void(SimTime, SeqNo)> probe_;
+
+  // Non-owning liveness token handed to calendar-backend TaskHandles (one
+  // allocation per Simulator, not per event). Declared last so it is the
+  // first member destroyed: every outstanding handle goes inert before the
+  // slot pool and wheel tear down.
+  std::shared_ptr<Simulator> live_token_{this, [](Simulator*) {}};
 };
 
 inline void TaskHandle::cancel() noexcept {
@@ -257,8 +273,8 @@ inline void TaskHandle::cancel() noexcept {
     *alive_ = false;
     return;
   }
-  if (sim_ != nullptr) {
-    sim_->cancel_slot(slot_, gen_);
+  if (const auto sim = sim_.lock()) {
+    sim->cancel_slot(slot_, gen_);
   }
 }
 
@@ -266,7 +282,8 @@ inline bool TaskHandle::active() const noexcept {
   if (alive_) {
     return *alive_;
   }
-  return sim_ != nullptr && sim_->slot_active(slot_, gen_);
+  const auto sim = sim_.lock();
+  return sim != nullptr && sim->slot_active(slot_, gen_);
 }
 
 }  // namespace sdsi::sim

@@ -245,6 +245,68 @@ TEST(Simulator, StaleHandleCancelDoesNotAffectRecycledSlot) {
   EXPECT_EQ(ran, 11);
 }
 
+TEST(Simulator, RescheduleBehindParkedCursorKeepsOrder) {
+  // Regression: a cancelled far-future one-shot leaves a stale ref that
+  // run_all() drains without advancing now(), parking the drain cursor on a
+  // far-out bucket. Scheduling at now() then rewinds the cursor; the rewind
+  // must also restore the wheel-window invariant, or an event exactly one
+  // wheel span ahead aliases onto the same physical bucket as the "now"
+  // event and runs before the events between them.
+  Simulator sim(QueueBackend::kCalendar);
+  TaskHandle stale = sim.schedule_after(Duration::seconds(100), [] {});
+  stale.cancel();
+  EXPECT_EQ(sim.run_all(), 0u);
+  EXPECT_DOUBLE_EQ(sim.now().as_seconds(), 0.0);
+
+  std::vector<std::int64_t> order;
+  const auto record = [&] { order.push_back(sim.now().count_micros()); };
+  sim.schedule_at(sim.now(), record);
+  sim.schedule_at(sim.now() + Duration::micros(25600), record);
+  // One full wheel span (kNumBuckets << kBucketBits microseconds) ahead:
+  // the bucket that aliases physically with the "now" bucket.
+  sim.schedule_at(sim.now() + Duration::micros(8192 * 256), record);
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<std::int64_t>{0, 25600, 8192 * 256}));
+}
+
+TEST(Simulator, RewindWithLiveWheelRefsEvacuatesAliasedBuckets) {
+  // Same parked-cursor setup, but with a LIVE ref already on the wheel at
+  // the far-out window when the rewind happens. The rewind must evacuate it
+  // (its logical bucket no longer fits the clamped window) so it cannot
+  // alias with near-term events, and it must still run last.
+  Simulator sim(QueueBackend::kCalendar);
+  TaskHandle stale = sim.schedule_after(Duration::seconds(100), [] {});
+  stale.cancel();
+  EXPECT_EQ(sim.run_all(), 0u);
+
+  std::vector<int> order;
+  // Lands on the wheel around the parked cursor (bucket ~390625).
+  sim.schedule_at(SimTime::zero() + Duration::seconds(100),
+                  [&] { order.push_back(4); });
+  // Rewinds the cursor to bucket 0.
+  sim.schedule_at(SimTime::zero(), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::zero() + Duration::micros(25600),
+                  [&] { order.push_back(2); });
+  sim.schedule_at(SimTime::zero() + Duration::micros(8192 * 256),
+                  [&] { order.push_back(3); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(sim.now().as_seconds(), 100.0);
+}
+
+TEST(TaskHandle, OutlivingSimulatorIsInert) {
+  // cancel()/active() on a handle whose Simulator is gone must be safe
+  // no-ops (the handle checks a per-simulator liveness token), not UB.
+  TaskHandle handle;
+  {
+    Simulator sim(QueueBackend::kCalendar);
+    handle = sim.schedule_after(ms(5), [] {});
+    EXPECT_TRUE(handle.active());
+  }
+  EXPECT_FALSE(handle.active());
+  handle.cancel();  // must not touch the destroyed Simulator
+}
+
 TEST(Simulator, LegacyBackendStillExecutesInOrder) {
   Simulator sim(QueueBackend::kLegacyHeap);
   EXPECT_FALSE(sim.using_calendar_queue());
