@@ -6,6 +6,13 @@
 // load follow the summaries' keys, not the sources. So even with heavily
 // skewed ingest, the storage/matching side should stay as balanced as the
 // uniform deployment — only the per-source sending cost concentrates.
+//
+// Scope note: this bench covers the benign half of the skew story — skewed
+// *sources* with uniform keys, which content routing absorbs by itself.
+// The adversarial half (skewed *keys and subscriptions*, where content
+// routing is the problem rather than the cure, plus the hot-arc
+// splitting / shedding / backpressure mitigations) lives in bench_skew.cpp
+// (BENCH_skew.json).
 #include <algorithm>
 #include <cmath>
 

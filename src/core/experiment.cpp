@@ -21,7 +21,8 @@ Experiment::Experiment(ExperimentConfig config)
       rng_factory_(config.seed),
       sim_(config.queue_backend),
       query_rng_(rng_factory_.make("query-arrivals")),
-      query_walk_rng_(rng_factory_.make("query-patterns")) {
+      query_walk_rng_(rng_factory_.make("query-patterns")),
+      current_query_rate_(config.workload.query_rate_per_sec) {
   SDSI_CHECK(config_.num_nodes >= 1);
 }
 
@@ -29,8 +30,13 @@ Experiment::~Experiment() = default;
 
 void Experiment::build() {
   const common::IdSpace space(config_.id_bits);
+  const bool skewed_placement = config_.adversarial.has_value() &&
+                                config_.adversarial->placement_skew > 0.0;
   const std::vector<Key> ids =
-      routing::hash_node_ids(config_.num_nodes, space, config_.seed);
+      skewed_placement
+          ? streams::skewed_node_ids(config_.num_nodes, space, config_.seed,
+                                     config_.adversarial->placement_skew)
+          : routing::hash_node_ids(config_.num_nodes, space, config_.seed);
 
   switch (config_.substrate) {
     case SubstrateKind::kChord: {
@@ -74,6 +80,7 @@ void Experiment::build() {
   middleware.query_refresh_period = config_.query_refresh_period;
   middleware.replication_factor = config_.replication_factor;
   middleware.anti_entropy_period = config_.anti_entropy_period;
+  middleware.overload = config_.overload;
   middleware.threads = config_.threads;
   middleware.rng_seed = rng_factory_.make("middleware-seed").next64();
   system_ = std::make_unique<MiddlewareSystem>(*routing_, middleware);
@@ -244,6 +251,30 @@ void Experiment::schedule_streams() {
                  : sim::Duration::micros(
                        period_rng.uniform_int(0, period.count_micros()));
     streams::StreamGenerator* generator = generators_.back().get();
+    if (config_.overload.has_value()) {
+      // Backpressure-aware emission: the gap to the next sample stretches
+      // with the source's deferral-queue fill (up to 2x at a full queue), so
+      // an overloaded source slows down instead of feeding the drop path.
+      // Self-rescheduling closure with the same weak-ref pattern as
+      // schedule_queries; benign runs keep the plain periodic schedule, so
+      // enabling nothing changes nothing.
+      auto emit = std::make_shared<std::function<void()>>();
+      *emit = [this, node, sid, generator, period,
+               weak = std::weak_ptr<std::function<void()>>(emit)] {
+        if (routing_->is_alive(node)) {
+          system_->post_stream_value(node, sid, generator->next());
+        }
+        const double stretch = 1.0 + system_->ingest_backpressure(node);
+        if (auto self = weak.lock()) {
+          sim_.schedule_after(
+              sim::Duration::micros(static_cast<std::int64_t>(
+                  static_cast<double>(period.count_micros()) * stretch)),
+              [self] { (*self)(); });
+        }
+      };
+      sim_.schedule_after(offset + period, [emit] { (*emit)(); });
+      continue;
+    }
     sim_.schedule_periodic(sim_.now() + offset + period, period,
                            [this, node, sid, generator] {
                              if (!routing_->is_alive(node)) {
@@ -255,14 +286,13 @@ void Experiment::schedule_streams() {
   }
 }
 
-dsp::FeatureVector Experiment::random_query_features() {
+dsp::FeatureVector Experiment::query_features_from(common::Pcg32& rng) {
   // Query patterns are drawn from the same family as the data, so query
   // keys follow the data key distribution.
   std::vector<Sample> window(config_.features.window_size);
   switch (config_.stream_family) {
     case StreamFamily::kRandomWalk: {
-      streams::RandomWalkGenerator walk(query_walk_rng_,
-                                        query_walk_rng_.uniform(-10.0, 10.0));
+      streams::RandomWalkGenerator walk(rng, rng.uniform(-10.0, 10.0));
       for (Sample& x : window) {
         x = walk.next();
       }
@@ -272,23 +302,37 @@ dsp::FeatureVector Experiment::random_query_features() {
       // A GBM price path with market-typical volatility.
       double price = 100.0;
       for (Sample& x : window) {
-        price *= std::exp(0.0002 + 0.012 * query_walk_rng_.normal());
+        price *= std::exp(0.0002 + 0.012 * rng.normal());
         x = price;
       }
       break;
     }
     case StreamFamily::kHostLoad: {
-      streams::HostLoadGenerator load(query_walk_rng_);
+      streams::HostLoadGenerator load(rng);
       for (Sample& x : window) {
         x = load.next();
       }
       break;
     }
   }
+  return dsp::extract_features(window, config_.features);
+}
+
+dsp::FeatureVector Experiment::random_query_features() {
+  if (pattern_pool_ != nullptr) {
+    // Popularity-skewed pattern pool: one Zipf draw picks the rank, and the
+    // pattern is regenerated from a rank-keyed rng stream — every query of
+    // rank k carries the identical pattern (and thus the identical key
+    // range), so popular ranks concentrate subscriptions onto one arc.
+    const std::size_t rank = pattern_pool_->sample(query_walk_rng_);
+    common::Pcg32 pattern_rng = rng_factory_.make("adversarial-pattern", rank);
+    return query_features_from(pattern_rng);
+  }
+  dsp::FeatureVector features = query_features_from(query_walk_rng_);
   // Advance the shared rng so consecutive queries differ.
   query_walk_rng_ = common::Pcg32(query_walk_rng_.next64(),
                                   query_walk_rng_.next64());
-  return dsp::extract_features(window, config_.features);
+  return features;
 }
 
 void Experiment::schedule_queries() {
@@ -298,8 +342,11 @@ void Experiment::schedule_queries() {
   // The closure must not own itself (shared_ptr cycle): each scheduled
   // event holds the strong reference, the closure only a weak one.
   *arrival = [this, weak = std::weak_ptr<std::function<void()>>(arrival)] {
-    const NodeIndex client = static_cast<NodeIndex>(
-        query_rng_.bounded(static_cast<std::uint32_t>(config_.num_nodes)));
+    const NodeIndex client =
+        client_zipf_ != nullptr
+            ? static_cast<NodeIndex>(client_zipf_->sample(query_rng_))
+            : static_cast<NodeIndex>(query_rng_.bounded(
+                  static_cast<std::uint32_t>(config_.num_nodes)));
     const auto lifespan = sim::Duration::micros(query_rng_.uniform_int(
         config_.workload.query_lifespan_min.count_micros(),
         config_.workload.query_lifespan_max.count_micros()));
@@ -311,17 +358,54 @@ void Experiment::schedule_queries() {
                                     config_.workload.query_radius, lifespan);
       ++queries_posed_;
     }
-    const double gap =
-        query_rng_.exponential(config_.workload.query_rate_per_sec);
+    const double gap = query_rng_.exponential(current_query_rate_);
     if (auto self = weak.lock()) {
       sim_.schedule_after(sim::Duration::seconds(gap),
                           [self] { (*self)(); });
     }
   };
-  const double first_gap =
-      query_rng_.exponential(config_.workload.query_rate_per_sec);
+  const double first_gap = query_rng_.exponential(current_query_rate_);
   sim_.schedule_after(sim::Duration::seconds(first_gap),
                       [arrival] { (*arrival)(); });
+}
+
+void Experiment::schedule_adversarial() {
+  if (!config_.adversarial.has_value()) {
+    return;
+  }
+  const streams::AdversarialSpec& spec = *config_.adversarial;
+  if (spec.pattern_pool > 0) {
+    pattern_pool_ = std::make_unique<streams::ZipfSampler>(
+        spec.pattern_pool, spec.zipf_exponent);
+  }
+  if (spec.zipf_clients) {
+    client_zipf_ = std::make_unique<streams::ZipfSampler>(config_.num_nodes,
+                                                          spec.zipf_exponent);
+  }
+  if (spec.flash_crowd.has_value()) {
+    // The shock marches the sector's tickers in lockstep (correlated keys)
+    // while the crowd's queries arrive query_boost times faster — the
+    // combined pile-up the overload layer exists to survive.
+    SDSI_CHECK(config_.stream_family == StreamFamily::kStockMarket &&
+               "flash crowds shock the stock-market sector factor");
+    SDSI_CHECK(market_ != nullptr);
+    const streams::FlashCrowd crowd = *spec.flash_crowd;
+    SDSI_CHECK(crowd.query_boost > 0.0);
+    sim_.schedule_after(sim::Duration::seconds(crowd.at_seconds),
+                        [this, crowd] {
+                          market_->apply_sector_shock(
+                              crowd.sector, crowd.magnitude, crowd.steps);
+                          current_query_rate_ =
+                              config_.workload.query_rate_per_sec *
+                              crowd.query_boost;
+                        });
+    sim_.schedule_after(
+        sim::Duration::seconds(crowd.at_seconds +
+                               crowd.boost_duration_seconds),
+        [this] {
+          current_query_rate_ = config_.workload.query_rate_per_sec;
+        });
+  }
 }
 
 void Experiment::prepare() {
@@ -330,6 +414,10 @@ void Experiment::prepare() {
   prepared_ = true;
   build();
   schedule_streams();
+  // Before schedule_queries: the first arrival draws its pattern from the
+  // pool sampler, and after schedule_streams: the flash crowd needs the
+  // shared market built by the first stock generator.
+  schedule_adversarial();
   schedule_queries();
   system_->start();
 }
@@ -498,6 +586,35 @@ RobustnessReport Experiment::robustness_report() const {
   report.mean_failover_latency_ms = counters.failover_latency_ms.mean();
   report.p90_failover_latency_ms = counters.failover_latency_ms.p90();
   report.max_failover_latency_ms = counters.failover_latency_ms.max();
+
+  report.hot_arc_splits = counters.hot_arc_splits;
+  report.hot_arc_merges = counters.hot_arc_merges;
+  report.split_diverted_stores = counters.split_diverted_stores;
+  report.shed_mbrs = counters.shed_mbrs;
+  report.backpressure_deferrals = counters.backpressure_deferrals;
+  report.backpressure_drops = counters.backpressure_drops;
+  const auto p99_over_median = [](std::vector<std::uint64_t> values) {
+    if (values.empty()) {
+      return 0.0;
+    }
+    std::sort(values.begin(), values.end());
+    const std::uint64_t median = values[(values.size() - 1) / 2];
+    const auto p99_index = static_cast<std::size_t>(
+        std::llround(0.99 * static_cast<double>(values.size() - 1)));
+    const std::uint64_t p99 = values[p99_index];
+    return median == 0 ? 0.0
+                       : static_cast<double>(p99) / static_cast<double>(median);
+  };
+  std::vector<std::uint64_t> message_load;
+  std::vector<std::uint64_t> work;
+  message_load.reserve(config_.num_nodes);
+  work.reserve(config_.num_nodes);
+  for (NodeIndex node = 0; node < config_.num_nodes; ++node) {
+    message_load.push_back(metrics.node_load_total(node));
+    work.push_back(metrics.node_work_total(node));
+  }
+  report.message_load_p99_over_median = p99_over_median(std::move(message_load));
+  report.work_p99_over_median = p99_over_median(std::move(work));
   return report;
 }
 

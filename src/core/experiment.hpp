@@ -15,6 +15,7 @@
 #include "fault/injector.hpp"
 #include "routing/prefix_ring.hpp"
 #include "routing/static_ring.hpp"
+#include "streams/adversarial.hpp"
 #include "streams/generators.hpp"
 
 namespace sdsi::core {
@@ -124,6 +125,19 @@ struct ExperimentConfig {
   /// ~2 refresh periods; load/overhead figure runs keep it zero.
   sim::Duration drain = sim::Duration();
 
+  // --- Adversarial-skew extensions ----------------------------------------
+
+  /// Adversarial workload shaping (streams/adversarial.hpp): Zipf pattern
+  /// pools, Zipf clients, skewed node placement, flash crowds. nullopt (the
+  /// default) keeps the paper's uniform workload byte-identical.
+  std::optional<streams::AdversarialSpec> adversarial;
+  /// Overload-survival layer (hot-arc splitting, load shedding, ingest
+  /// backpressure); forwarded into MiddlewareConfig. When set, stream
+  /// emission additionally honors MiddlewareSystem::ingest_backpressure —
+  /// a source under publish backpressure stretches its emission gaps
+  /// (slows down) instead of having the middleware drop its batches.
+  std::optional<OverloadOptions> overload;
+
   /// Observability exports (metrics.json / trace.jsonl); off by default.
   ObsOptions obs;
 
@@ -224,6 +238,21 @@ struct RobustnessReport {
   double mean_failover_latency_ms = 0.0;
   double p90_failover_latency_ms = 0.0;
   double max_failover_latency_ms = 0.0;
+
+  // --- Overload-survival layer --------------------------------------------
+  std::uint64_t hot_arc_splits = 0;
+  std::uint64_t hot_arc_merges = 0;
+  std::uint64_t split_diverted_stores = 0;
+  std::uint64_t shed_mbrs = 0;
+  std::uint64_t backpressure_deferrals = 0;
+  std::uint64_t backpressure_drops = 0;
+  /// Load-imbalance ratios over the measurement window (nearest-rank p99 /
+  /// median across nodes; 0 when the median is 0). `message_load_*` counts
+  /// delivered messages (which splitting cannot reduce); `work_*` counts
+  /// index work — stores, match scans, subscription installs — the quantity
+  /// hot-arc splitting actually redistributes.
+  double message_load_p99_over_median = 0.0;
+  double work_p99_over_median = 0.0;
 };
 
 class Experiment {
@@ -274,7 +303,9 @@ class Experiment {
   void build();
   void schedule_streams();
   void schedule_queries();
+  void schedule_adversarial();
   dsp::FeatureVector random_query_features();
+  dsp::FeatureVector query_features_from(common::Pcg32& rng);
   std::unique_ptr<streams::StreamGenerator> make_generator(NodeIndex node);
 
   void wire_faults();
@@ -297,6 +328,12 @@ class Experiment {
   std::shared_ptr<streams::StockMarketModel> market_;  // stock family only
   common::Pcg32 query_rng_;
   common::Pcg32 query_walk_rng_;
+  /// Adversarial machinery; null unless config.adversarial asks for it.
+  std::unique_ptr<streams::ZipfSampler> pattern_pool_;
+  std::unique_ptr<streams::ZipfSampler> client_zipf_;
+  /// Live query arrival rate: the flash-crowd boost raises it mid-run and
+  /// restores it afterwards; benign runs never touch it.
+  double current_query_rate_ = 0.0;
   std::uint64_t queries_posed_ = 0;
   bool prepared_ = false;
   bool ran_ = false;

@@ -1,0 +1,62 @@
+#include "core/hot_arc.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace sdsi::core {
+
+HotArcDetector::HotArcDetector(HotArcConfig config, std::size_t num_nodes)
+    : config_(config), hot_(num_nodes, false), streak_(num_nodes, 0) {
+  SDSI_CHECK(config_.enter_ratio > config_.exit_ratio &&
+             "hysteresis requires a dead band between enter and exit");
+  SDSI_CHECK(config_.enter_windows >= 1 && config_.exit_windows >= 1);
+}
+
+HotArcDetector::Transitions HotArcDetector::observe(
+    const std::vector<std::uint64_t>& work) {
+  SDSI_CHECK(work.size() == hot_.size());
+  Transitions out;
+  if (work.empty()) {
+    return out;
+  }
+
+  scratch_ = work;
+  const auto mid = static_cast<std::ptrdiff_t>(scratch_.size() / 2);
+  std::nth_element(scratch_.begin(), scratch_.begin() + mid, scratch_.end());
+  const std::uint64_t median = scratch_[static_cast<std::size_t>(mid)];
+  if (median < config_.min_median_work) {
+    // Idle window: no evidence either way; streaks freeze rather than decay
+    // so a briefly idle ring does not forget an in-progress detection.
+    return out;
+  }
+
+  const double median_d = static_cast<double>(median);
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    const double w = static_cast<double>(work[i]);
+    if (!hot_[i]) {
+      if (w > config_.enter_ratio * median_d) {
+        if (++streak_[i] >= config_.enter_windows) {
+          hot_[i] = true;
+          streak_[i] = 0;
+          out.split.push_back(i);
+        }
+      } else {
+        streak_[i] = 0;
+      }
+    } else {
+      if (w < config_.exit_ratio * median_d) {
+        if (++streak_[i] >= config_.exit_windows) {
+          hot_[i] = false;
+          streak_[i] = 0;
+          out.merge.push_back(i);
+        }
+      } else {
+        streak_[i] = 0;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sdsi::core

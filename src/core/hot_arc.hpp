@@ -1,0 +1,92 @@
+// Hot-arc detection for overload survival (ROADMAP: adversarial skew).
+//
+// The paper's load-uniformity claim (Fig 6a/6b) holds only for friendly
+// synthetic data: content routing maps summaries onto the ring by their DFT
+// keys, so Zipf-correlated streams and subscriptions pile onto one narrow
+// arc and melt its owner while the rest of the ring idles. The detector
+// watches windowed per-node *work* (stores + match scans + aggregation
+// pushes — the cost a split can actually move; delivered messages cannot be
+// un-delivered) and flags nodes that run persistently hot relative to the
+// ring median.
+//
+// Hysteresis: a node must exceed `enter_ratio x median` for
+// `enter_windows` consecutive windows to split, and fall below
+// `exit_ratio x median` (exit_ratio < enter_ratio) for `exit_windows`
+// consecutive windows to merge back. The dead band between the two ratios
+// plus the consecutive-window requirement prevents split/merge flapping on
+// workloads that oscillate around the threshold (unit-tested in
+// tests/test_hot_arc.cpp).
+//
+// Determinism: decisions are a pure function of the windowed work counters,
+// which the middleware accumulates on its serial dispatch path — so the
+// same seed yields the same split schedule at any thread count, keeping
+// metrics.json byte-comparable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sdsi::core {
+
+struct HotArcConfig {
+  /// Split when node work > enter_ratio x ring median...
+  double enter_ratio = 4.0;
+  /// ...for this many consecutive detector windows.
+  int enter_windows = 2;
+  /// Merge when node work < exit_ratio x ring median...
+  double exit_ratio = 2.0;
+  /// ...for this many consecutive detector windows.
+  int exit_windows = 3;
+  /// Ignore windows whose ring median is below this floor (an idle ring has
+  /// no meaningful "hot" node; ratios against ~0 medians are noise).
+  std::uint64_t min_median_work = 8;
+};
+
+/// Per-ring hot-arc state machine. Feed it one vector of windowed per-node
+/// work counters per detector tick; it reports which nodes crossed into or
+/// out of the hot state this tick.
+class HotArcDetector {
+ public:
+  HotArcDetector() = default;
+  HotArcDetector(HotArcConfig config, std::size_t num_nodes);
+
+  struct Transitions {
+    std::vector<std::size_t> split;  // newly hot (ascending node index)
+    std::vector<std::size_t> merge;  // newly cool (ascending node index)
+  };
+
+  /// One detector window: `work[i]` is node i's work count since the last
+  /// call. Returns the state transitions this window produced. Nodes already
+  /// hot stay hot until the exit condition holds; nodes already cool stay
+  /// cool until the enter condition holds.
+  Transitions observe(const std::vector<std::uint64_t>& work);
+
+  /// Grows the state to cover nodes that joined after construction (new
+  /// nodes start cool with no streak); never shrinks.
+  void ensure_nodes(std::size_t count) {
+    if (count > hot_.size()) {
+      hot_.resize(count, false);
+      streak_.resize(count, 0);
+    }
+  }
+
+  bool is_hot(std::size_t node) const { return hot_[node]; }
+  std::size_t hot_count() const noexcept {
+    std::size_t n = 0;
+    for (const bool h : hot_) {
+      n += h ? 1 : 0;
+    }
+    return n;
+  }
+
+  const HotArcConfig& config() const noexcept { return config_; }
+
+ private:
+  HotArcConfig config_;
+  std::vector<bool> hot_;
+  std::vector<int> streak_;  // consecutive windows satisfying the pending
+                             // transition's condition
+  std::vector<std::uint64_t> scratch_;  // median workspace
+};
+
+}  // namespace sdsi::core

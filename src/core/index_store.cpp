@@ -128,7 +128,8 @@ void IndexStore::compact() {
 
 void IndexStore::match_subscription(QueryId id, Subscription& sub,
                                     sim::SimTime now,
-                                    std::vector<SimilarityMatch>& out) const {
+                                    std::vector<SimilarityMatch>& out,
+                                    std::uint64_t& scanned) const {
   // expire(now) already dropped lapsed subscriptions, so the per-pair
   // expiry re-checks of the brute-force scan are gone; assert the lane
   // invariant instead.
@@ -145,6 +146,7 @@ void IndexStore::match_subscription(QueryId id, Subscription& sub,
       sorted_.begin(), sorted_.end(), scan_from,
       [](const IntervalRef& ref, double value) { return ref.low < value; });
   for (; it != sorted_.end() && it->low <= query_high; ++it) {
+    ++scanned;
     if (it->high < query_low) {
       continue;  // first-dim gap alone already exceeds the radius
     }
@@ -186,10 +188,12 @@ std::vector<SimilarityMatch> IndexStore::match(sim::SimTime now,
   // Below this many subscriptions a fan-out costs more than it saves; the
   // serial path is also the reference the sharded one must reproduce.
   constexpr std::size_t kParallelThreshold = 4;
+  last_match_work_ = 0;
   if (pool == nullptr || pool->thread_count() <= 1 ||
       subs.size() < kParallelThreshold) {
     for (auto* entry : subs) {
-      match_subscription(entry->first, entry->second, now, fresh);
+      match_subscription(entry->first, entry->second, now, fresh,
+                         last_match_work_);
     }
     return fresh;
   }
@@ -199,9 +203,14 @@ std::vector<SimilarityMatch> IndexStore::match(sim::SimTime now,
   // outputs in the canonical order makes the result identical to the serial
   // loop.
   std::vector<std::vector<SimilarityMatch>> shards(subs.size());
+  std::vector<std::uint64_t> scanned(subs.size(), 0);
   pool->parallel_for(subs.size(), [&](std::size_t i) {
-    match_subscription(subs[i]->first, subs[i]->second, now, shards[i]);
+    match_subscription(subs[i]->first, subs[i]->second, now, shards[i],
+                       scanned[i]);
   });
+  for (const std::uint64_t n : scanned) {
+    last_match_work_ += n;
+  }
   std::size_t total = 0;
   for (const auto& shard : shards) {
     total += shard.size();

@@ -96,6 +96,12 @@ class IndexStore {
     return subscriptions_.size();
   }
 
+  /// Interval-index entries visited by the most recent match() pass — the
+  /// pass's scan cost, used by the overload layer as the node's "index work".
+  /// A sum over subscriptions, so the serial and pool-sharded passes report
+  /// the identical number (hot-arc decisions stay thread-count-invariant).
+  std::uint64_t last_match_work() const noexcept { return last_match_work_; }
+
   /// Snapshot of the live MBR entries (insertion order preserved).
   std::vector<StoredMbr> mbrs() const;
 
@@ -170,7 +176,8 @@ class IndexStore {
   /// `sub` and `out`, so concurrent calls on distinct subscriptions are
   /// race-free.
   void match_subscription(QueryId id, Subscription& sub, sim::SimTime now,
-                          std::vector<SimilarityMatch>& out) const;
+                          std::vector<SimilarityMatch>& out,
+                          std::uint64_t& scanned) const;
 
   /// Folds slab entries added since the last merge into the sorted index.
   void merge_pending();
@@ -193,6 +200,8 @@ class IndexStore {
   // --- Subscription side ------------------------------------------------
   DenseMap<QueryId, Subscription> subscriptions_;
   MinHeap<SubExpiry> sub_expiry_;
+
+  std::uint64_t last_match_work_ = 0;  // scan cost of the latest match()
 };
 
 }  // namespace sdsi::core

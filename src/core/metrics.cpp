@@ -1,5 +1,6 @@
 #include "core/metrics.hpp"
 
+#include <algorithm>
 #include <string>
 
 #include "common/check.hpp"
@@ -38,7 +39,7 @@ LoadComponent component_of(const routing::Message& msg, bool transit) {
 }
 
 MetricsCollector::MetricsCollector(std::size_t num_nodes)
-    : per_node_(num_nodes) {}
+    : per_node_(num_nodes), work_per_node_(num_nodes, 0) {}
 
 void MetricsCollector::set_registry(obs::MetricsRegistry* registry) {
   registry_ = registry;
@@ -68,6 +69,7 @@ void MetricsCollector::reset() {
   for (auto& counters : per_node_) {
     counters.fill(0);
   }
+  std::fill(work_per_node_.begin(), work_per_node_.end(), 0);
   mbr_ = CategoryCounters{};
   query_ = CategoryCounters{};
   response_ = CategoryCounters{};

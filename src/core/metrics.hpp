@@ -141,6 +141,17 @@ struct RobustnessCounters {
   /// Aggregator dark time per failover: replica's last mirror update to its
   /// promotion instant (how long partial aggregations sat unserved).
   obs::LogHistogram failover_latency_ms;
+
+  // --- Overload-survival layer (hot-arc splitting + shedding) -------------
+  std::uint64_t hot_arc_splits = 0;     // detector enter transitions
+  std::uint64_t hot_arc_merges = 0;     // detector exit transitions
+  std::uint64_t split_diverted_stores = 0;  // MBR stores redirected to
+                                            // split delegates
+  std::uint64_t shed_mbrs = 0;          // MBR batches shed at a full ingest
+                                        // queue (mirrors drops.shed_overload)
+  std::uint64_t backpressure_deferrals = 0;  // publications delayed, not lost
+  std::uint64_t backpressure_drops = 0;      // deferral queue overflowed
+                                             // (mirrors drops.backpressure)
 };
 
 class MetricsCollector final : public routing::MetricsHook {
@@ -155,6 +166,7 @@ class MetricsCollector final : public routing::MetricsHook {
   void ensure_nodes(std::size_t count) {
     if (count > per_node_.size()) {
       per_node_.resize(count);
+      work_per_node_.resize(count, 0);
     }
   }
 
@@ -186,6 +198,24 @@ class MetricsCollector final : public routing::MetricsHook {
 
   /// Total load events at a node across all components.
   std::uint64_t node_load_total(NodeIndex node) const;
+
+  /// Index *work* units performed at a node: MBR stores accepted, match
+  /// candidate scans, and aggregation pushes. Message load measures what the
+  /// overlay delivers; work measures what the node then has to do — the
+  /// quantity hot-arc splitting redistributes (a split cannot un-deliver a
+  /// message, but it can move the store+match cost to a delegate). Increments
+  /// come from the middleware's serial dispatch path, so totals are
+  /// deterministic across thread counts.
+  void add_node_work(NodeIndex node, std::uint64_t units) {
+    if (!enabled_ || node >= work_per_node_.size()) {
+      return;
+    }
+    work_per_node_[node] += units;
+  }
+  std::uint64_t node_work_total(NodeIndex node) const {
+    SDSI_CHECK(node < work_per_node_.size());
+    return work_per_node_[node];
+  }
 
   const CategoryCounters& mbr() const noexcept { return mbr_; }
   const CategoryCounters& query() const noexcept { return query_; }
@@ -235,6 +265,7 @@ class MetricsCollector final : public routing::MetricsHook {
   std::vector<std::array<std::uint64_t,
                          static_cast<std::size_t>(LoadComponent::kCount)>>
       per_node_;
+  std::vector<std::uint64_t> work_per_node_;
   CategoryCounters mbr_;
   CategoryCounters query_;
   CategoryCounters response_;

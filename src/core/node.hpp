@@ -2,6 +2,7 @@
 // logic; this header holds what one node knows.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <vector>
@@ -94,6 +95,15 @@ struct AggregationReplica {
   sim::SimTime last_update;              // failover dark-time measurement
 };
 
+/// One MBR publication the source deferred under ingest backpressure: the
+/// batch closed but the per-window publish budget was spent, so it waits in
+/// the node's deferral queue until the next overload window drains it (its
+/// batch_seq is assigned at actual publication, keeping seqs FIFO).
+struct DeferredPublication {
+  StreamId stream = 0;
+  dsp::Mbr mbr;
+};
+
 struct MiddlewareNode {
   NodeIndex index = kInvalidNode;
 
@@ -135,6 +145,23 @@ struct MiddlewareNode {
   /// in the middle key's replica set). Promoted into `aggregations` when the
   /// aggregator's arc falls to this node.
   DenseMap<QueryId, AggregationReplica> aggregation_replicas;
+
+  /// Overload-control state (touched only when MiddlewareConfig::overload is
+  /// set). All mutations happen on the middleware's serial paths, so the
+  /// same seed yields the same shed/split/defer schedule at any thread
+  /// count.
+  struct OverloadState {
+    std::uint64_t window_work = 0;       // index work this detector window
+    std::uint64_t window_ingest = 0;     // MBR stores accepted this window
+    std::uint64_t window_published = 0;  // publications sent this window
+    double shed_accumulator = 0.0;       // forced-shed fractional counter
+    /// Virtual successor nodes sharing this node's arc while it is hot;
+    /// empty when cool.
+    std::vector<NodeIndex> split_delegates;
+    /// Source-side backpressure queue of closed-but-unpublished batches.
+    std::deque<DeferredPublication> deferred;
+  };
+  OverloadState overload;
 };
 
 }  // namespace sdsi::core

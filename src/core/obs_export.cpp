@@ -130,7 +130,10 @@ obs::Json metrics_to_json(const Experiment& experiment) {
   obs::Json doc = obs::Json::object();
   // v2: ninth load component ("replication"), replication/failover
   // robustness fields, and the replication category.
-  doc["schema_version"] = obs::Json(2);
+  // v3 (additive): load.per_node_work + load.imbalance, overload-survival
+  // robustness counters, drops.shed_overload / drops.backpressure, and the
+  // run.overload flag.
+  doc["schema_version"] = obs::Json(3);
   doc["kind"] = obs::Json("sdsi.metrics");
 
   obs::Json run = obs::Json::object();
@@ -147,6 +150,7 @@ obs::Json metrics_to_json(const Experiment& experiment) {
   run["replication_factor"] =
       obs::Json(static_cast<std::uint64_t>(config.replication_factor));
   run["anti_entropy_s"] = obs::Json(config.anti_entropy_period.as_seconds());
+  run["overload"] = obs::Json(config.overload.has_value());
   doc["run"] = std::move(run);
 
   const LoadReport load_report = experiment.load_report();
@@ -164,6 +168,11 @@ obs::Json metrics_to_json(const Experiment& experiment) {
     per_node.push_back(obs::Json(rate));
   }
   load["per_node_total"] = std::move(per_node);
+  obs::Json per_node_work = obs::Json::array();
+  for (NodeIndex node = 0; node < config.num_nodes; ++node) {
+    per_node_work.push_back(obs::Json(metrics.node_work_total(node)));
+  }
+  load["per_node_work"] = std::move(per_node_work);
   doc["load"] = std::move(load);
 
   const OverheadReport overhead_report = experiment.overhead_report();
@@ -251,6 +260,21 @@ obs::Json metrics_to_json(const Experiment& experiment) {
       obs::Json(robustness_report.oracle_fallbacks);
   robustness["failover_latency_ms"] =
       histogram_to_json(metrics.robustness().failover_latency_ms);
+  robustness["hot_arc_splits"] = obs::Json(robustness_report.hot_arc_splits);
+  robustness["hot_arc_merges"] = obs::Json(robustness_report.hot_arc_merges);
+  robustness["split_diverted_stores"] =
+      obs::Json(robustness_report.split_diverted_stores);
+  robustness["shed_mbrs"] = obs::Json(robustness_report.shed_mbrs);
+  robustness["backpressure_deferrals"] =
+      obs::Json(robustness_report.backpressure_deferrals);
+  robustness["backpressure_drops"] =
+      obs::Json(robustness_report.backpressure_drops);
+  obs::Json imbalance = obs::Json::object();
+  imbalance["message_p99_over_median"] =
+      obs::Json(robustness_report.message_load_p99_over_median);
+  imbalance["work_p99_over_median"] =
+      obs::Json(robustness_report.work_p99_over_median);
+  robustness["imbalance"] = std::move(imbalance);
   doc["robustness"] = std::move(robustness);
 
   if (experiment.registry() != nullptr) {

@@ -32,6 +32,13 @@ MiddlewareSystem::MiddlewareSystem(routing::RoutingSystem& routing,
       nodes_(routing.num_nodes()),
       rng_(common::RngFactory(config.rng_seed).make("middleware.jitter")) {
   config_.features.validate();
+  if (config_.overload.has_value()) {
+    SDSI_CHECK(config_.overload->split_ways >= 1);
+    SDSI_CHECK(config_.overload->forced_shed_rate >= 0.0 &&
+               config_.overload->forced_shed_rate < 1.0);
+    SDSI_CHECK(config_.overload->window > sim::Duration());
+    hot_arc_ = HotArcDetector(config_.overload->detector, nodes_.size());
+  }
   for (NodeIndex i = 0; i < nodes_.size(); ++i) {
     nodes_[i].index = i;
   }
@@ -70,6 +77,15 @@ void MiddlewareSystem::start() {
           i, sim::Duration::micros(entropy_us * static_cast<std::int64_t>(i) /
                                    static_cast<std::int64_t>(nodes_.size())));
     }
+  }
+  if (config_.overload.has_value()) {
+    // One GLOBAL detector window (not per-node, not staggered): split and
+    // merge decisions read every node's counter in one serial pass, so the
+    // schedule is a pure function of the seed at any thread count.
+    sim::Simulator& sim = routing_.simulator();
+    sim.schedule_periodic(sim.now() + config_.overload->window,
+                          config_.overload->window,
+                          [this] { overload_tick(); });
   }
 }
 
@@ -113,6 +129,7 @@ void MiddlewareSystem::reset_node_soft_state(NodeIndex index) {
   state.published_mbrs.clear();
   state.location_retry_attempts.clear();
   state.aggregation_replicas.clear();
+  state.overload = MiddlewareNode::OverloadState{};
 }
 
 // --- Application primitives --------------------------------------------------
@@ -246,6 +263,19 @@ void MiddlewareSystem::post_stream_burst(
 
 void MiddlewareSystem::route_mbr(NodeIndex source, LocalStream& stream,
                                  dsp::Mbr mbr) {
+  if (config_.overload.has_value() && config_.overload->publish_budget > 0) {
+    MiddlewareNode::OverloadState& ov = nodes_[source].overload;
+    if (ov.window_published >= config_.overload->publish_budget) {
+      defer_publication(source, stream.id, std::move(mbr));
+      return;
+    }
+    ++ov.window_published;
+  }
+  publish_mbr(source, stream, std::move(mbr));
+}
+
+void MiddlewareSystem::publish_mbr(NodeIndex source, LocalStream& stream,
+                                   dsp::Mbr mbr) {
   const sim::SimTime now = routing_.simulator().now();
   const auto [lo, hi] = mapper_.mbr_range(mbr);
   // The expiry instant is fixed HERE, once: retransmissions and refreshes
@@ -262,6 +292,9 @@ void MiddlewareSystem::route_mbr(NodeIndex source, LocalStream& stream,
     const IndexStore::StoredMbr entry{payload->stream, source, payload->mbr,
                                       payload->batch_seq, now, expires};
     const bool added = nodes_[source].store.add_mbr(entry);
+    if (added) {
+      note_node_work(source, 1);
+    }
     // When the source itself owns the range's hi end, the routed copy will
     // dedup against this local store and handle_mbr never sees a first
     // store — mirror from here so the batch still reaches the replica set.
@@ -674,21 +707,36 @@ void MiddlewareSystem::handle_mbr(NodeIndex at, const Message& msg) {
   const auto payload = payload_of<MbrPayload>(msg);
   const sim::SimTime now = routing_.simulator().now();
   if (!(config_.store_local_summaries && at == payload->source)) {
-    // The payload carries its absolute expiry, so a retransmitted or
-    // refreshed copy stores exactly what the first delivery would have.
-    const IndexStore::StoredMbr entry{payload->stream, payload->source,
-                                      payload->mbr, payload->batch_seq, now,
-                                      payload->expires};
-    const bool added = state_of(at).store.add_mbr(entry);
-    if (!added && payload->expires > now && metrics_.recording()) {
-      ++metrics_.robustness().duplicate_stores;
+    // Load shedding: a node past its per-window ingest budget (or under a
+    // forced-shed experiment) refuses the store as an ACCOUNTED drop before
+    // paying for dedup, indexing, or matching. Shed copies are not acked,
+    // so an acked source treats them exactly like a lost transmission.
+    if (config_.overload.has_value() && shed_ingest(at, msg)) {
+      return;
     }
-    // Synchronous mirror: the key-range owner (the node covering the hi end)
-    // pushes the freshly stored batch to its replica set. First store only —
-    // refresh and retry redeliveries dedup above and never re-mirror.
-    if (added && replication_on() && msg.has_range &&
-        covers_key(at, msg.range_hi)) {
-      mirror_mbr(at, entry);
+    MiddlewareNode& state = state_of(at);
+    // Hot-arc splitting: while this node is hot, each arriving batch is
+    // deterministically assigned to one member of the split group
+    // (hash(stream, batch_seq) — seed- and thread-count-stable). Batches
+    // owned by a delegate are forwarded via the idempotent kReplicaPut path
+    // instead of being stored and matched here; the delegates hold mirrors
+    // of this node's subscriptions, so the match still happens — elsewhere.
+    if (config_.overload.has_value() &&
+        !state.overload.split_delegates.empty()) {
+      const NodeIndex target =
+          divert_target(state, payload->stream, payload->batch_seq);
+      if (target != kInvalidNode) {
+        // Fall through to the ack below afterwards: the batch is durably on
+        // its way to a split-group member, which is what the ack promises.
+        divert_store(at, target,
+                     IndexStore::StoredMbr{payload->stream, payload->source,
+                                           payload->mbr, payload->batch_seq,
+                                           now, payload->expires});
+      } else {
+        store_mbr_with_work(at, msg, *payload, now);
+      }
+    } else {
+      store_mbr_with_work(at, msg, *payload, now);
     }
   }
   if (!config_.mbr_ack.enabled || msg.range_internal) {
@@ -703,6 +751,31 @@ void MiddlewareSystem::handle_mbr(NodeIndex at, const Message& msg) {
   ack.payload = std::make_shared<const MbrAckPayload>(
       MbrAckPayload{payload->stream, payload->batch_seq});
   routing_.send_direct(at, payload->source, std::move(ack));
+}
+
+bool MiddlewareSystem::store_mbr_with_work(NodeIndex at, const Message& msg,
+                                           const MbrPayload& payload,
+                                           sim::SimTime now) {
+  // The payload carries its absolute expiry, so a retransmitted or
+  // refreshed copy stores exactly what the first delivery would have.
+  const IndexStore::StoredMbr entry{payload.stream, payload.source,
+                                    payload.mbr, payload.batch_seq, now,
+                                    payload.expires};
+  const bool added = state_of(at).store.add_mbr(entry);
+  if (!added && payload.expires > now && metrics_.recording()) {
+    ++metrics_.robustness().duplicate_stores;
+  }
+  if (added) {
+    note_node_work(at, 1);
+  }
+  // Synchronous mirror: the key-range owner (the node covering the hi end)
+  // pushes the freshly stored batch to its replica set. First store only —
+  // refresh and retry redeliveries dedup above and never re-mirror.
+  if (added && replication_on() && msg.has_range &&
+      covers_key(at, msg.range_hi)) {
+    mirror_mbr(at, entry);
+  }
+  return added;
 }
 
 void MiddlewareSystem::handle_mbr_ack(NodeIndex at, const Message& msg) {
@@ -728,6 +801,9 @@ void MiddlewareSystem::handle_similarity_query(NodeIndex at,
   const bool fresh = state.store.find_subscription(query.id) == nullptr;
   state.store.add_subscription(payload->query, payload->middle_key,
                                query.issued_at + query.lifespan);
+  if (fresh) {
+    note_node_work(at, 1);
+  }
   // Mirror the subscription to the range owner's replica set on first
   // install (refresh redeliveries keep the original state and don't
   // re-mirror).
@@ -737,6 +813,17 @@ void MiddlewareSystem::handle_similarity_query(NodeIndex at,
         state.store.find_subscription(query.id);
     if (sub != nullptr) {
       mirror_subscription(at, *sub);
+    }
+  }
+  // While this node's arc is split, every new subscription must also reach
+  // the delegates holding its diverted MBRs, or their stores would match
+  // against a stale subscription set.
+  if (fresh && config_.overload.has_value() &&
+      !state.overload.split_delegates.empty()) {
+    const IndexStore::Subscription* sub =
+        state.store.find_subscription(query.id);
+    if (sub != nullptr) {
+      forward_subscription_to_delegates(at, *sub);
     }
   }
 }
@@ -955,6 +1042,14 @@ void MiddlewareSystem::periodic_tick(NodeIndex index) {
 void MiddlewareSystem::dispatch_tick(NodeIndex index, sim::SimTime now,
                                      std::vector<SimilarityMatch> fresh) {
   MiddlewareNode& state = nodes_[index];
+
+  // Credit the match pass that just ran for this node: its scan cost plus
+  // one unit per fresh candidate. The counter is a sum over subscriptions,
+  // so the sharded and serial passes credit the identical amount — hot-arc
+  // decisions downstream stay thread-count-invariant.
+  note_node_work(index,
+                 state.store.last_match_work() +
+                     static_cast<std::uint64_t>(fresh.size()));
 
   // -1. Aggregator failover: mirrors whose middle key now falls on this
   //     node's arc (the owner died) become live aggregations.
@@ -1279,6 +1374,7 @@ void MiddlewareSystem::handle_replica_put(NodeIndex at, const Message& msg) {
   if (added == 0) {
     return;  // everything deduplicated: redelivery is a no-op by design
   }
+  note_node_work(at, added);
   if (payload->repair) {
     if (metrics_.recording()) {
       metrics_.robustness().replica_repairs += added;
@@ -1746,6 +1842,264 @@ void MiddlewareSystem::tick_all_nodes() {
 const ClientQueryRecord* MiddlewareSystem::client_record(QueryId id) const {
   const auto it = client_records_.find(id);
   return it == client_records_.end() ? nullptr : &it->second;
+}
+
+// --- Overload control --------------------------------------------------------
+
+void MiddlewareSystem::note_node_work(NodeIndex node, std::uint64_t units) {
+  if (units == 0) {
+    return;
+  }
+  // The window counter feeds hot-arc detection and must run whenever the
+  // overload layer is on — including warmup, when metrics are disabled.
+  if (config_.overload.has_value() && node < nodes_.size()) {
+    nodes_[node].overload.window_work += units;
+  }
+  metrics_.add_node_work(node, units);
+}
+
+bool MiddlewareSystem::shed_ingest(NodeIndex at, const Message& msg) {
+  const OverloadOptions& opt = *config_.overload;
+  MiddlewareNode::OverloadState& ov = state_of(at).overload;
+  bool shed = false;
+  if (opt.forced_shed_rate > 0.0) {
+    // Deterministic fractional accumulator (no rng draw: the shed schedule
+    // must be a pure function of the delivery sequence).
+    ov.shed_accumulator += opt.forced_shed_rate;
+    if (ov.shed_accumulator >= 1.0) {
+      ov.shed_accumulator -= 1.0;
+      shed = true;
+    }
+  }
+  if (!shed && opt.ingest_capacity > 0 &&
+      ov.window_ingest >= opt.ingest_capacity) {
+    shed = true;
+  }
+  if (!shed) {
+    ++ov.window_ingest;
+    return false;
+  }
+  routing_.account_app_drop(fault::DropCause::kShedOverload, msg);
+  if (metrics_.recording()) {
+    ++metrics_.robustness().shed_mbrs;
+  }
+  if (metrics_.registry() != nullptr) {
+    metrics_.registry()->counter("overload.shed_mbrs").add();
+  }
+  return true;
+}
+
+NodeIndex MiddlewareSystem::divert_target(const MiddlewareNode& state,
+                                          StreamId stream,
+                                          std::uint64_t batch_seq) const {
+  const std::vector<NodeIndex>& delegates = state.overload.split_delegates;
+  // Same mix as IndexStore::MbrKeyHash: the batch identity picks one owner
+  // out of {self, delegates...} uniformly, and redeliveries (retries,
+  // refreshes) of the same batch always pick the same owner — so the
+  // idempotent dedup still works after a split.
+  std::uint64_t h = stream * 0x9E3779B97F4A7C15ull;
+  h ^= batch_seq + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  const std::uint64_t owner = h % (1 + delegates.size());
+  return owner == 0 ? kInvalidNode : delegates[owner - 1];
+}
+
+void MiddlewareSystem::divert_store(NodeIndex at, NodeIndex target,
+                                    const IndexStore::StoredMbr& entry) {
+  const auto payload = std::make_shared<const ReplicaPutPayload>(
+      ReplicaPutPayload{at,
+                        {ReplicaMbrEntry{entry.stream, entry.source, entry.mbr,
+                                         entry.batch_seq, entry.expires}},
+                        {},
+                        false,
+                        false});
+  Message msg;
+  msg.kind = static_cast<int>(MsgKind::kReplicaPut);
+  msg.payload = payload;
+  msg.reroute_on_dead = true;
+  routing_.send_direct(at, target, std::move(msg));
+  if (metrics_.recording()) {
+    ++metrics_.robustness().split_diverted_stores;
+  }
+  if (metrics_.registry() != nullptr) {
+    metrics_.registry()->counter("overload.diverted_stores").add();
+  }
+}
+
+void MiddlewareSystem::mirror_subscriptions_to_delegates(NodeIndex node) {
+  MiddlewareNode& state = nodes_[node];
+  const std::vector<NodeIndex>& delegates = state.overload.split_delegates;
+  if (delegates.empty() || state.store.subscription_count() == 0) {
+    return;
+  }
+  const sim::SimTime now = routing_.simulator().now();
+  // Canonical ascending-id order (like the handoff path): the delegate's
+  // store contents must not depend on this node's container history.
+  std::vector<std::pair<QueryId, const IndexStore::Subscription*>> order;
+  order.reserve(state.store.subscription_count());
+  for (const auto& entry : state.store.subscriptions()) {
+    if (entry.second.expires > now) {
+      order.emplace_back(entry.first, &entry.second);
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<ReplicaSubscriptionEntry> entries;
+  entries.reserve(order.size());
+  for (const auto& [id, sub] : order) {
+    entries.push_back(
+        ReplicaSubscriptionEntry{sub->query, sub->middle_key, sub->expires});
+  }
+  if (entries.empty()) {
+    return;
+  }
+  const auto payload = std::make_shared<const ReplicaPutPayload>(
+      ReplicaPutPayload{node, {}, std::move(entries), false, false});
+  for (const NodeIndex delegate : delegates) {
+    Message msg;
+    msg.kind = static_cast<int>(MsgKind::kReplicaPut);
+    msg.payload = payload;
+    msg.reroute_on_dead = true;
+    routing_.send_direct(node, delegate, std::move(msg));
+  }
+}
+
+void MiddlewareSystem::forward_subscription_to_delegates(
+    NodeIndex node, const IndexStore::Subscription& sub) {
+  const auto payload = std::make_shared<const ReplicaPutPayload>(
+      ReplicaPutPayload{
+          node,
+          {},
+          {ReplicaSubscriptionEntry{sub.query, sub.middle_key, sub.expires}},
+          false,
+          false});
+  for (const NodeIndex delegate : nodes_[node].overload.split_delegates) {
+    Message msg;
+    msg.kind = static_cast<int>(MsgKind::kReplicaPut);
+    msg.payload = payload;
+    msg.reroute_on_dead = true;
+    routing_.send_direct(node, delegate, std::move(msg));
+  }
+}
+
+void MiddlewareSystem::defer_publication(NodeIndex source, StreamId stream,
+                                         dsp::Mbr mbr) {
+  const OverloadOptions& opt = *config_.overload;
+  MiddlewareNode::OverloadState& ov = nodes_[source].overload;
+  ov.deferred.push_back(DeferredPublication{stream, std::move(mbr)});
+  if (metrics_.recording()) {
+    ++metrics_.robustness().backpressure_deferrals;
+  }
+  if (metrics_.registry() != nullptr) {
+    metrics_.registry()->counter("overload.backpressure_deferrals").add();
+  }
+  if (opt.defer_capacity > 0 && ov.deferred.size() > opt.defer_capacity) {
+    // Queue overflow sheds the OLDEST deferred batch: its summary data is
+    // the stalest, and FIFO draining means it would also be the last to
+    // benefit from a budget refill. Never silent.
+    ov.deferred.pop_front();
+    account_overload_drop(fault::DropCause::kBackpressure, source);
+    if (metrics_.recording()) {
+      ++metrics_.robustness().backpressure_drops;
+    }
+  }
+}
+
+void MiddlewareSystem::overload_tick() {
+  const OverloadOptions& opt = *config_.overload;
+  hot_arc_.ensure_nodes(nodes_.size());
+
+  // Harvest + reset the window counters. Dead nodes report zero: they do no
+  // work, and their stale counters must not distort the ring median.
+  std::vector<std::uint64_t> work(nodes_.size(), 0);
+  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+    MiddlewareNode::OverloadState& ov = nodes_[i].overload;
+    if (routing_.is_alive(i)) {
+      work[i] = ov.window_work;
+    }
+    ov.window_work = 0;
+    ov.window_ingest = 0;
+  }
+
+  const HotArcDetector::Transitions transitions = hot_arc_.observe(work);
+  for (const std::size_t node : transitions.split) {
+    const auto index = static_cast<NodeIndex>(node);
+    MiddlewareNode::OverloadState& ov = nodes_[index].overload;
+    if (opt.split_ways > 1) {
+      ov.split_delegates = routing_.successors(index, opt.split_ways - 1);
+    }
+    if (!ov.split_delegates.empty()) {
+      // Delegates must hold this node's live subscriptions before any
+      // diverted MBR lands, or diverted batches would match nothing there.
+      mirror_subscriptions_to_delegates(index);
+    }
+    if (metrics_.recording()) {
+      ++metrics_.robustness().hot_arc_splits;
+    }
+    if (metrics_.registry() != nullptr) {
+      metrics_.registry()->counter("overload.splits").add();
+    }
+  }
+  for (const std::size_t node : transitions.merge) {
+    nodes_[node].overload.split_delegates.clear();
+    if (metrics_.recording()) {
+      ++metrics_.robustness().hot_arc_merges;
+    }
+    if (metrics_.registry() != nullptr) {
+      metrics_.registry()->counter("overload.merges").add();
+    }
+  }
+
+  // Refill publish budgets and drain the deferral queues FIFO, oldest batch
+  // first (its batch_seq is assigned now, at actual publication).
+  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+    MiddlewareNode::OverloadState& ov = nodes_[i].overload;
+    ov.window_published = 0;
+    if (ov.deferred.empty() || !routing_.is_alive(i)) {
+      continue;
+    }
+    MiddlewareNode& state = nodes_[i];
+    while (!ov.deferred.empty() &&
+           (opt.publish_budget == 0 ||
+            ov.window_published < opt.publish_budget)) {
+      DeferredPublication next = std::move(ov.deferred.front());
+      ov.deferred.pop_front();
+      const auto it = state.streams.find(next.stream);
+      if (it == state.streams.end()) {
+        // The stream unregistered while its batch waited: nothing left to
+        // publish under — account the loss rather than vanish it.
+        account_overload_drop(fault::DropCause::kBackpressure, i);
+        if (metrics_.recording()) {
+          ++metrics_.robustness().backpressure_drops;
+        }
+        continue;
+      }
+      ++ov.window_published;
+      publish_mbr(i, it->second, std::move(next.mbr));
+    }
+  }
+}
+
+void MiddlewareSystem::account_overload_drop(fault::DropCause cause,
+                                             NodeIndex origin) {
+  // Overload-layer drops happen before (backpressure) or instead of (stream
+  // teardown) a concrete Message existing, so a synthetic envelope carries
+  // the attribution into the shared drop path — same counters, registry
+  // series, and trace stream as every in-flight loss.
+  Message synth;
+  synth.kind = static_cast<int>(MsgKind::kMbrUpdate);
+  synth.origin = origin;
+  routing_.account_app_drop(cause, synth);
+}
+
+double MiddlewareSystem::ingest_backpressure(NodeIndex node) const {
+  if (!config_.overload.has_value() || node >= nodes_.size() ||
+      config_.overload->defer_capacity == 0) {
+    return 0.0;
+  }
+  const double fill =
+      static_cast<double>(nodes_[node].overload.deferred.size()) /
+      static_cast<double>(config_.overload->defer_capacity);
+  return std::min(1.0, fill);
 }
 
 }  // namespace sdsi::core

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/hot_arc.hpp"
 #include "core/mapper.hpp"
 #include "core/metrics.hpp"
 #include "core/node.hpp"
@@ -38,6 +39,46 @@ struct RetryPolicy {
   sim::Duration max_backoff = sim::Duration::millis(12'000);
   sim::Duration jitter = sim::Duration::millis(250);
   int max_attempts = 4;  // retransmission budget beyond the first send
+};
+
+/// Overload-control knobs (adversarial-skew extension). Three cooperating
+/// mechanisms, each individually disableable:
+///  - hot-arc splitting: the detector flags nodes running persistently hot
+///    (by index work) and fans their arc out across `split_ways - 1` virtual
+///    successor delegates via the replication machinery;
+///  - load shedding: a bounded per-window ingest budget; overflow stores are
+///    dropped as accounted fault::DropCause::kShedOverload (never silent);
+///  - ingest backpressure: a per-source publish budget defers closed batches
+///    into a bounded FIFO instead of flooding the ring; queue overflow drops
+///    the oldest batch as accounted kBackpressure.
+struct OverloadOptions {
+  /// Hot-arc detector hysteresis (core/hot_arc.hpp).
+  HotArcConfig detector;
+
+  /// Detector window: per-node work counters are read + reset, transitions
+  /// applied, and deferred publications drained at this period.
+  sim::Duration window = sim::Duration::millis(2000);
+
+  /// A hot node's arc is split this many ways: itself plus split_ways - 1
+  /// successor-list delegates. 1 disables splitting (detect-only).
+  std::size_t split_ways = 3;
+
+  /// Max MBR stores a node accepts per detector window; past it, deliveries
+  /// shed as kShedOverload. 0 = unbounded (shedding off).
+  std::uint64_t ingest_capacity = 0;
+
+  /// Deterministic forced shed fraction in [0, 1): every store attempt
+  /// advances a per-node accumulator by this much and sheds on overflow.
+  /// Drives the recall-vs-shed-rate degradation curve without any rng.
+  double forced_shed_rate = 0.0;
+
+  /// Max MBR publications per source per window before deferral; 0 =
+  /// unbounded (backpressure off).
+  std::uint64_t publish_budget = 0;
+
+  /// Bound of the per-source deferral queue; overflow drops the oldest
+  /// deferred batch as kBackpressure.
+  std::size_t defer_capacity = 64;
 };
 
 struct MiddlewareConfig {
@@ -117,6 +158,13 @@ struct MiddlewareConfig {
   /// concurrency (1 when unknown). Results are identical at every setting
   /// (see docs/PERFORMANCE.md, "Determinism").
   std::size_t threads = 1;
+
+  // --- Overload control (adversarial-skew extension) ----------------------
+
+  /// Hot-arc splitting, load shedding, and ingest backpressure; nullopt
+  /// (the default) disables the whole layer with zero overhead and leaves
+  /// every existing run byte-identical.
+  std::optional<OverloadOptions> overload;
 };
 
 /// One node-local ingest burst for post_stream_burst: `values` are fed to
@@ -277,6 +325,19 @@ class MiddlewareSystem {
   /// The parallel engine's pool; nullptr when config.threads resolves to 1.
   WorkerPool* worker_pool() noexcept { return pool_.get(); }
 
+  // --- Overload control ----------------------------------------------------
+
+  /// Whether the overload-control layer is configured.
+  bool overload_on() const noexcept { return config_.overload.has_value(); }
+
+  /// Source-side backpressure level in [0, 1]: how full the node's deferral
+  /// queue is. Generators consult this to stretch their emission gaps
+  /// (slow down) instead of having the middleware drop their batches.
+  double ingest_backpressure(NodeIndex node) const;
+
+  /// The hot-arc detector; meaningful only when overload_on().
+  const HotArcDetector& hot_arc_detector() const noexcept { return hot_arc_; }
+
   // --- Observation hooks (recall-oracle feeding) --------------------------
 
   /// Called synchronously whenever a source closes and routes an MBR batch
@@ -327,8 +388,14 @@ class MiddlewareSystem {
 
   void schedule_tick(NodeIndex index, sim::Duration offset);
 
-  /// Routes the MBR just closed for (node, stream).
+  /// Routes the MBR just closed for (node, stream): the backpressure gate
+  /// (defer when the source's publish budget is spent) in front of
+  /// publish_mbr.
   void route_mbr(NodeIndex source, LocalStream& stream, dsp::Mbr mbr);
+
+  /// The actual publication body: assigns the batch_seq, stores locally,
+  /// range-multicasts, and arms acks/refresh tracking.
+  void publish_mbr(NodeIndex source, LocalStream& stream, dsp::Mbr mbr);
 
   /// Files a detected match either into the local aggregator (if this node
   /// covers the middle key) or into the outgoing digest buffer.
@@ -413,6 +480,59 @@ class MiddlewareSystem {
   static std::size_t subscription_entry_bytes(
       const IndexStore::Subscription& sub);
 
+  // --- Overload-control helpers --------------------------------------------
+
+  /// Credits `units` of index work to `node`: feeds both the per-window
+  /// hot-arc counters and the exported per-node work totals. Serial-path
+  /// call sites only (determinism).
+  void note_node_work(NodeIndex node, std::uint64_t units);
+
+  /// The store body shared by handle_mbr's split and non-split paths:
+  /// add_mbr with duplicate accounting, work credit, and the replica-set
+  /// mirror when this node owns the range's hi end. Returns whether the
+  /// entry was freshly stored.
+  bool store_mbr_with_work(NodeIndex at, const Message& msg,
+                           const MbrPayload& payload, sim::SimTime now);
+
+  /// The load-shedding gate for one delivered MBR store attempt at `at`.
+  /// Returns true when the store must be skipped; the drop is then already
+  /// accounted (kShedOverload via the routing drop path + shed_mbrs).
+  bool shed_ingest(NodeIndex at, const Message& msg);
+
+  /// Where a hot node's store lands within its split group: itself
+  /// (kInvalidNode = keep local) or one of its delegates, chosen by a
+  /// deterministic hash of (stream, batch_seq).
+  NodeIndex divert_target(const MiddlewareNode& state, StreamId stream,
+                          std::uint64_t batch_seq) const;
+
+  /// Forwards one store entry to a split delegate via kReplicaPut
+  /// (idempotent at the receiver).
+  void divert_store(NodeIndex at, NodeIndex target,
+                    const IndexStore::StoredMbr& entry);
+
+  /// Mirrors every live subscription of `node` to its split delegates so
+  /// diverted MBRs still meet the subscriptions they must match.
+  void mirror_subscriptions_to_delegates(NodeIndex node);
+
+  /// Forwards one freshly installed subscription to `node`'s delegates
+  /// (keeps the split group matching while hot).
+  void forward_subscription_to_delegates(
+      NodeIndex node, const IndexStore::Subscription& sub);
+
+  /// Source-side deferral: queues the closed batch; on queue overflow the
+  /// oldest deferred batch is dropped as accounted kBackpressure.
+  void defer_publication(NodeIndex source, StreamId stream, dsp::Mbr mbr);
+
+  /// The global detector window: harvests + resets per-node work counters,
+  /// applies split/merge transitions, and drains deferral queues into the
+  /// fresh publish budgets. Runs serially off the simulator.
+  void overload_tick();
+
+  /// Accounts one overload-layer drop (shed or backpressure) through the
+  /// routing drop path so it lands in drops_by_cause, the registry series,
+  /// and the trace stream like every other loss.
+  void account_overload_drop(fault::DropCause cause, NodeIndex origin);
+
   routing::RoutingSystem& routing_;
   MiddlewareConfig config_;
   SummaryMapper mapper_;
@@ -428,6 +548,7 @@ class MiddlewareSystem {
   common::Pcg32 rng_;  // retry jitter (seeded from config; reproducible)
   MbrPublishHook publish_hook_;
   QueryPoseHook query_hook_;
+  HotArcDetector hot_arc_;  // overload layer; empty unless config.overload
 };
 
 }  // namespace sdsi::core

@@ -33,9 +33,11 @@
 namespace sdsi::fault {
 
 /// Why a transmission (or routed message) was dropped. The first three are
-/// link-level faults injected by the LinkFaultModel; the last two are
+/// link-level faults injected by the LinkFaultModel; the next three are
 /// routing-level losses (messages that died inside the overlay) which the
-/// substrates report so every loss is accounted for under one label set.
+/// substrates report; the last two are deliberate overload-control sheds the
+/// middleware accounts for — so every loss, injected or chosen, is accounted
+/// for under one label set.
 enum class DropCause : std::size_t {
   kUniformLoss = 0,  // i.i.d. loss model
   kBurstLoss = 1,    // Gilbert-Elliott bad-state loss
@@ -43,7 +45,9 @@ enum class DropCause : std::size_t {
   kDeadNode = 3,     // next hop / destination crashed mid-route
   kHopLimit = 4,     // routing-loop safety valve (mid-churn only)
   kDeadAggregator = 5,  // report/response path: whole replica set gone
-  kCount = 6,
+  kShedOverload = 6,    // bounded ingest queue full: MBR shed at the index
+  kBackpressure = 7,    // source-side deferral queue overflowed
+  kCount = 8,
 };
 
 /// Human label for report tables. Out-of-range values are a program error
@@ -57,6 +61,8 @@ inline const char* drop_cause_name(DropCause cause) {
     case DropCause::kDeadNode: return "dead node";
     case DropCause::kHopLimit: return "hop limit";
     case DropCause::kDeadAggregator: return "dead aggregator";
+    case DropCause::kShedOverload: return "shed overload";
+    case DropCause::kBackpressure: return "backpressure";
     case DropCause::kCount: break;
   }
   SDSI_CHECK(false && "unknown DropCause");
@@ -73,6 +79,8 @@ inline const char* drop_cause_slug(DropCause cause) {
     case DropCause::kDeadNode: return "dead_node";
     case DropCause::kHopLimit: return "hop_limit";
     case DropCause::kDeadAggregator: return "dead_aggregator";
+    case DropCause::kShedOverload: return "shed_overload";
+    case DropCause::kBackpressure: return "backpressure";
     case DropCause::kCount: break;
   }
   SDSI_CHECK(false && "unknown DropCause");

@@ -190,6 +190,14 @@ class RoutingSystem {
   void send_range(NodeIndex from, Key lo, Key hi, Message msg,
                   MulticastStrategy strategy);
 
+  /// Application-level loss accounting: the middleware sheds a message it
+  /// chose not to process (overload control — kShedOverload, kBackpressure).
+  /// Runs through the same counter + metrics hook + trace path as link and
+  /// routing drops, so "total drops" covers every loss regardless of layer.
+  void account_app_drop(fault::DropCause cause, const Message& msg) {
+    record_drop(cause, msg);
+  }
+
  protected:
   /// Deliver `msg` at `at` after any overlay routing; shared post-delivery
   /// logic (upcall + range forwarding) lives in deliver_at().

@@ -1,0 +1,58 @@
+#include "streams/adversarial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace sdsi::streams {
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent)
+    : exponent_(exponent) {
+  SDSI_CHECK(n >= 1);
+  SDSI_CHECK(exponent >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) {
+    c /= total;
+  }
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::size_t ZipfSampler::sample(common::Pcg32& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end() ? cdf_.size() - 1
+                          : static_cast<std::size_t>(it - cdf_.begin());
+}
+
+std::vector<Key> skewed_node_ids(std::size_t count, common::IdSpace space,
+                                 std::uint64_t seed, double skew) {
+  SDSI_CHECK(count >= 1);
+  SDSI_CHECK(skew > 0.0);
+  common::Pcg32 rng(seed, 0x5eedu);
+  // 2^m as a double; exact for m <= 53 and close enough above (ids are
+  // wrapped into the space afterwards).
+  const double span = std::ldexp(1.0, static_cast<int>(space.bits()));
+  std::vector<Key> ids;
+  ids.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double u = std::pow(rng.uniform01(), skew);
+    ids.push_back(space.wrap(static_cast<Key>(u * span)));
+  }
+  std::sort(ids.begin(), ids.end());
+  // Substrates require distinct ids: nudge collisions clockwise (count is
+  // always tiny relative to the space, so this terminates immediately).
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    if (ids[i] <= ids[i - 1]) {
+      ids[i] = space.wrap(ids[i - 1] + 1);
+    }
+  }
+  return ids;
+}
+
+}  // namespace sdsi::streams

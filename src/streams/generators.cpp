@@ -60,12 +60,25 @@ StockMarketModel::StockMarketModel(common::Pcg32 rng, Params params)
   }
 }
 
+void StockMarketModel::apply_sector_shock(std::size_t sector,
+                                          double magnitude, int steps) {
+  SDSI_CHECK(sector < params_.num_sectors);
+  SDSI_CHECK(steps > 0);
+  shock_sector_ = sector;
+  shock_magnitude_ = magnitude;
+  shock_steps_remaining_ = steps;
+}
+
 void StockMarketModel::step() {
   previous_prices_ = prices_;
   const double market = params_.market_vol * rng_.normal();
   std::vector<double> sector_moves(params_.num_sectors);
   for (double& move : sector_moves) {
     move = params_.sector_vol * rng_.normal();
+  }
+  if (shock_steps_remaining_ > 0) {
+    sector_moves[shock_sector_] += shock_magnitude_;
+    --shock_steps_remaining_;
   }
   for (std::size_t i = 0; i < prices_.size(); ++i) {
     const double log_return = params_.drift + betas_[i] * market +

@@ -131,6 +131,14 @@ class StockMarketModel {
   /// ticker i's new close.
   void step();
 
+  /// Flash-crowd hook (streams/adversarial.hpp): for the next `steps` calls
+  /// to step(), add `magnitude` to the given sector's factor move — a
+  /// correlated shock that marches every ticker of the sector in lockstep,
+  /// piling their DFT keys onto one narrow ring arc. Additive on top of the
+  /// sampled sector move, so the rng draw sequence (and therefore every
+  /// non-shocked run) is untouched.
+  void apply_sector_shock(std::size_t sector, double magnitude, int steps);
+
   double close(std::size_t ticker) const noexcept { return prices_[ticker]; }
 
   /// Full OHLCV bar for the last step (high/low/volume synthesized around
@@ -145,6 +153,9 @@ class StockMarketModel {
   std::vector<double> betas_;   // per-ticker market loading
   std::vector<double> gammas_;  // per-ticker sector loading
   std::vector<std::string> symbols_;
+  std::size_t shock_sector_ = 0;
+  double shock_magnitude_ = 0.0;
+  int shock_steps_remaining_ = 0;
 };
 
 /// Adapter exposing one ticker of a shared StockMarketModel as a

@@ -1,0 +1,178 @@
+// Hot-arc detector hysteresis: the enter/exit streak state machine, the
+// dead band that prevents split/merge flapping, the idle-window freeze, and
+// the late-joiner growth path.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/hot_arc.hpp"
+
+namespace sdsi::core {
+namespace {
+
+// A 5-node ring whose median work is 10: nodes 1..4 tick along at 8..12
+// while node 0 plays the hot arc.
+std::vector<std::uint64_t> window(std::uint64_t hot) {
+  return {hot, 8, 10, 10, 12};
+}
+
+HotArcConfig test_config() {
+  HotArcConfig config;
+  config.enter_ratio = 4.0;
+  config.enter_windows = 2;
+  config.exit_ratio = 2.0;
+  config.exit_windows = 3;
+  config.min_median_work = 8;
+  return config;
+}
+
+TEST(HotArc, SplitsOnlyAfterTheEnterStreak) {
+  HotArcDetector detector(test_config(), 5);
+
+  // First hot window: streak 1 of 2 — no transition yet.
+  auto t = detector.observe(window(100));
+  EXPECT_TRUE(t.split.empty());
+  EXPECT_FALSE(detector.is_hot(0));
+
+  // Second consecutive hot window completes the streak.
+  t = detector.observe(window(100));
+  ASSERT_EQ(t.split.size(), 1u);
+  EXPECT_EQ(t.split[0], 0u);
+  EXPECT_TRUE(detector.is_hot(0));
+  EXPECT_EQ(detector.hot_count(), 1u);
+}
+
+TEST(HotArc, ASingleSpikeDoesNotSplit) {
+  HotArcDetector detector(test_config(), 5);
+
+  // Hot, then back to normal: the interrupted streak resets to zero, so a
+  // later lone hot window starts over instead of completing the pair.
+  EXPECT_TRUE(detector.observe(window(100)).split.empty());
+  EXPECT_TRUE(detector.observe(window(10)).split.empty());
+  EXPECT_TRUE(detector.observe(window(100)).split.empty());
+  EXPECT_FALSE(detector.is_hot(0));
+}
+
+TEST(HotArc, MergesOnlyAfterTheExitStreak) {
+  HotArcDetector detector(test_config(), 5);
+  detector.observe(window(100));
+  detector.observe(window(100));
+  ASSERT_TRUE(detector.is_hot(0));
+
+  // Two cool windows (streak 1, 2 of 3): still hot.
+  EXPECT_TRUE(detector.observe(window(5)).merge.empty());
+  EXPECT_TRUE(detector.observe(window(5)).merge.empty());
+  EXPECT_TRUE(detector.is_hot(0));
+
+  // Third consecutive cool window merges.
+  const auto t = detector.observe(window(5));
+  ASSERT_EQ(t.merge.size(), 1u);
+  EXPECT_EQ(t.merge[0], 0u);
+  EXPECT_FALSE(detector.is_hot(0));
+  EXPECT_EQ(detector.hot_count(), 0u);
+}
+
+TEST(HotArc, TheDeadBandPreventsFlapping) {
+  HotArcDetector detector(test_config(), 5);
+  detector.observe(window(100));
+  detector.observe(window(100));
+  ASSERT_TRUE(detector.is_hot(0));
+
+  // Oscillate inside the dead band (exit 2x < 30/10 = 3x < enter 4x) and
+  // around it: neither another split nor a merge may ever fire, no matter
+  // how long it goes on.
+  for (int i = 0; i < 20; ++i) {
+    const auto t = detector.observe(window(i % 2 == 0 ? 30 : 100));
+    EXPECT_TRUE(t.split.empty()) << "window " << i;
+    EXPECT_TRUE(t.merge.empty()) << "window " << i;
+    EXPECT_TRUE(detector.is_hot(0)) << "window " << i;
+  }
+
+  // The dead band also interrupts an exit streak: two cool windows, one
+  // in-band window, two more cool windows — still hot (the streak restarted).
+  detector.observe(window(5));
+  detector.observe(window(5));
+  detector.observe(window(30));
+  detector.observe(window(5));
+  detector.observe(window(5));
+  EXPECT_TRUE(detector.is_hot(0));
+}
+
+TEST(HotArc, IdleWindowsFreezeStreaksInsteadOfResettingThem) {
+  HotArcDetector detector(test_config(), 5);
+
+  // One hot window, then an idle ring (median below min_median_work): the
+  // pending enter streak must survive the gap and complete on the next
+  // real window.
+  EXPECT_TRUE(detector.observe(window(100)).split.empty());
+  EXPECT_TRUE(detector.observe({3, 0, 1, 0, 2}).split.empty());
+  const auto t = detector.observe(window(100));
+  ASSERT_EQ(t.split.size(), 1u);
+  EXPECT_EQ(t.split[0], 0u);
+
+  // Same on the way out: an idle window must not count toward (or against)
+  // the exit streak.
+  detector.observe(window(5));
+  detector.observe(window(5));
+  detector.observe({0, 0, 0, 0, 0});
+  EXPECT_TRUE(detector.is_hot(0));
+  const auto merged = detector.observe(window(5));
+  ASSERT_EQ(merged.merge.size(), 1u);
+  EXPECT_FALSE(detector.is_hot(0));
+}
+
+TEST(HotArc, RelativeThresholdTracksTheMedian) {
+  HotArcDetector detector(test_config(), 5);
+
+  // 41 > 4 x 10: hot relative to a median of 10...
+  detector.observe(window(41));
+  detector.observe(window(41));
+  EXPECT_TRUE(detector.is_hot(0));
+
+  HotArcDetector busy(test_config(), 5);
+  // ...but the same absolute load on a uniformly busy ring (median 40) is
+  // nothing special.
+  for (int i = 0; i < 5; ++i) {
+    const auto t = busy.observe({41, 38, 40, 40, 42});
+    EXPECT_TRUE(t.split.empty());
+  }
+  EXPECT_EQ(busy.hot_count(), 0u);
+}
+
+TEST(HotArc, MultipleNodesTransitionInAscendingOrder) {
+  HotArcDetector detector(test_config(), 6);
+  const std::vector<std::uint64_t> two_hot = {100, 8, 90, 10, 10, 12};
+  detector.observe(two_hot);
+  const auto t = detector.observe(two_hot);
+  ASSERT_EQ(t.split.size(), 2u);
+  EXPECT_EQ(t.split[0], 0u);
+  EXPECT_EQ(t.split[1], 2u);
+  EXPECT_EQ(detector.hot_count(), 2u);
+}
+
+TEST(HotArc, EnsureNodesAddsCoolLateJoiners) {
+  HotArcDetector detector(test_config(), 3);
+  detector.observe({100, 10, 10});
+  detector.observe({100, 10, 10});
+  ASSERT_TRUE(detector.is_hot(0));
+
+  detector.ensure_nodes(5);
+  EXPECT_FALSE(detector.is_hot(3));
+  EXPECT_FALSE(detector.is_hot(4));
+  EXPECT_EQ(detector.hot_count(), 1u);
+
+  // The joiners participate in the next window's median and can go hot
+  // through the same streak machinery.
+  detector.observe({10, 10, 10, 90, 10});
+  const auto t = detector.observe({10, 10, 10, 90, 10});
+  ASSERT_EQ(t.split.size(), 1u);
+  EXPECT_EQ(t.split[0], 3u);
+
+  // ensure_nodes never shrinks and never forgets state.
+  detector.ensure_nodes(2);
+  EXPECT_TRUE(detector.is_hot(0));
+  EXPECT_TRUE(detector.is_hot(3));
+}
+
+}  // namespace
+}  // namespace sdsi::core

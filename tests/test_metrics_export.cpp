@@ -70,27 +70,41 @@ TEST(Json, MalformedInputIsRejectedWithAnError) {
   }
 }
 
-TEST(MetricsExport, DocumentCarriesTheV2Shape) {
+TEST(MetricsExport, DocumentCarriesTheV3Shape) {
   const std::string dir =
       ::testing::TempDir() + "sdsi_metrics_export_shape";
   Experiment exp(tiny_obs_config(dir));
   exp.run();
 
   const obs::Json doc = metrics_to_json(exp);
-  EXPECT_EQ(doc.find("schema_version")->as_int(), 2);
+  EXPECT_EQ(doc.find("schema_version")->as_int(), 3);
   EXPECT_EQ(doc.find("kind")->as_string(), "sdsi.metrics");
   EXPECT_EQ(doc.find("run")->find("nodes")->as_int(), 10);
   EXPECT_EQ(doc.find("run")->find("substrate")->as_string(), "chord");
   EXPECT_EQ(doc.find("run")->find("replication_factor")->as_int(), 0);
+  EXPECT_EQ(doc.find("run")->find("overload")->as_bool(), false);
   EXPECT_EQ(doc.find("load")->find("per_component")->members().size(), 9u);
   EXPECT_EQ(doc.find("load")->find("per_node_total")->size(), 10u);
+  EXPECT_EQ(doc.find("load")->find("per_node_work")->size(), 10u);
   for (const char* category : {"mbr", "query", "response", "neighbor",
                                "location", "control", "replication"}) {
     EXPECT_NE(doc.find("categories")->find(category), nullptr) << category;
   }
+  // v3 drop causes are always present (zero in a benign run).
+  EXPECT_EQ(doc.find("drops")->find("shed_overload")->as_int(), 0);
+  EXPECT_EQ(doc.find("drops")->find("backpressure")->as_int(), 0);
   EXPECT_NE(doc.find("robustness")->find("heal_latency_ms"), nullptr);
   EXPECT_NE(doc.find("robustness")->find("failover_latency_ms"), nullptr);
   EXPECT_NE(doc.find("robustness")->find("replica_puts"), nullptr);
+  // v3 overload-survival section (zeros without config.overload, but the
+  // imbalance ratios are measured on every run).
+  EXPECT_EQ(doc.find("robustness")->find("hot_arc_splits")->as_int(), 0);
+  EXPECT_EQ(doc.find("robustness")->find("shed_mbrs")->as_int(), 0);
+  EXPECT_EQ(doc.find("robustness")->find("backpressure_drops")->as_int(), 0);
+  const obs::Json* imbalance = doc.find("robustness")->find("imbalance");
+  ASSERT_NE(imbalance, nullptr);
+  EXPECT_GT(imbalance->find("message_p99_over_median")->as_number(), 0.0);
+  EXPECT_NE(imbalance->find("work_p99_over_median"), nullptr);
   // The registry was attached, so the windowed series section is present
   // and every series name is well-formed.
   const obs::Json* timeseries = doc.find("timeseries");

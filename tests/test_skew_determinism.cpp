@@ -1,0 +1,152 @@
+// Determinism gate of the overload-control layer: the same seeded
+// adversarial run — Zipf pattern pool, skewed placement, hot-arc splitting,
+// forced shedding, and publish backpressure all active — at --threads 1, 2,
+// and 8 must produce identical shed counts, identical split/merge/divert
+// decisions, identical per-query matched stream sets, and a byte-identical
+// metrics.json. Overload decisions live on the serial dispatch path and the
+// shed accumulator is rng-free, so thread count must be unobservable even
+// while the mitigation machinery is rewriting the data path.
+//
+// Runs under both the chaos-smoke and tsan-smoke labels (compound label in
+// tests/CMakeLists.txt), like the other equivalence gates.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace sdsi::core {
+namespace {
+
+ExperimentConfig skew_config(std::size_t threads, const std::string& obs_dir) {
+  ExperimentConfig config;
+  config.num_nodes = 10;
+  config.seed = 7777;
+  config.substrate = SubstrateKind::kStaticRing;  // cheap: TSAN runs this too
+  config.features.window_size = 32;
+  config.features.num_coefficients = 2;
+  config.workload.stream_period_min = sim::Duration::millis(40);
+  config.workload.stream_period_max = sim::Duration::millis(60);
+  config.workload.query_rate_per_sec = 3.0;
+  config.workload.notify_period = sim::Duration::millis(500);
+  config.batching.batch_size = 3;
+  config.warmup = sim::Duration::seconds(4);
+  config.measure = sim::Duration::seconds(6);
+  config.oracle_sample_period = sim::Duration::millis(500);
+  config.threads = threads;
+  config.obs.dir = obs_dir;
+
+  // The full adversarial stack minus the flash crowd (stock-family only):
+  // popular patterns + skewed placement concentrate work onto one arc.
+  streams::AdversarialSpec adversarial;
+  adversarial.pattern_pool = 4;
+  adversarial.zipf_exponent = 1.3;
+  adversarial.zipf_clients = true;
+  adversarial.placement_skew = 2.0;
+  config.adversarial = adversarial;
+
+  // Every overload mechanism on at once, with thresholds low enough that
+  // all of them fire inside the short window: detector splits (fast
+  // hysteresis), forced shedding (deterministic accumulator), and publish
+  // backpressure (tiny budget, bounded deferral queue).
+  OverloadOptions overload;
+  overload.window = sim::Duration::millis(500);
+  overload.detector.enter_ratio = 2.0;
+  overload.detector.enter_windows = 2;
+  overload.detector.exit_ratio = 1.0;
+  overload.detector.exit_windows = 3;
+  overload.detector.min_median_work = 2;
+  overload.split_ways = 3;
+  overload.forced_shed_rate = 0.2;
+  overload.publish_budget = 3;
+  overload.defer_capacity = 8;
+  config.overload = overload;
+  return config;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct RunDigest {
+  std::map<QueryId, std::set<StreamId>> matched;
+  std::uint64_t queries = 0;
+  std::uint64_t matches = 0;
+  double recall = 0.0;
+  std::uint64_t shed = 0;
+  std::uint64_t splits = 0;
+  std::uint64_t merges = 0;
+  std::uint64_t diverted = 0;
+  std::uint64_t deferrals = 0;
+  std::uint64_t backpressure_drops = 0;
+  std::string metrics_json;
+};
+
+RunDigest run_once(std::size_t threads, const std::string& obs_dir) {
+  Experiment experiment(skew_config(threads, obs_dir));
+  experiment.run();
+  RunDigest digest;
+  for (const auto& [id, record] : experiment.system().client_records()) {
+    digest.matched[id] = std::set<StreamId>(record.matched_streams.begin(),
+                                            record.matched_streams.end());
+  }
+  const QualityReport quality = experiment.quality_report();
+  digest.queries = quality.queries_posed;
+  digest.matches = quality.matches_reported;
+  const RobustnessReport robustness = experiment.robustness_report();
+  digest.recall = robustness.recall;
+  digest.shed = robustness.shed_mbrs;
+  digest.splits = robustness.hot_arc_splits;
+  digest.merges = robustness.hot_arc_merges;
+  digest.diverted = robustness.split_diverted_stores;
+  digest.deferrals = robustness.backpressure_deferrals;
+  digest.backpressure_drops = robustness.backpressure_drops;
+  digest.metrics_json = slurp(obs_dir + "/metrics.json");
+  return digest;
+}
+
+TEST(SkewDeterminism, OverloadDecisionsAreThreadCountInvariant) {
+  const std::string base = ::testing::TempDir() + "sdsi_skew_det";
+  const RunDigest serial = run_once(1, base + "_t1");
+
+  // The run must actually exercise every mechanism under test, or the
+  // equivalence proves nothing.
+  ASSERT_GT(serial.queries, 0u);
+  ASSERT_GT(serial.matches, 0u);
+  ASSERT_GT(serial.shed, 0u) << "forced shedding never fired";
+  ASSERT_GT(serial.splits, 0u) << "hot-arc detector never split";
+  ASSERT_GT(serial.diverted, 0u) << "split group diverted nothing";
+  ASSERT_GT(serial.deferrals, 0u) << "publish budget never deferred";
+  ASSERT_FALSE(serial.metrics_json.empty());
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const RunDigest parallel =
+        run_once(threads, base + "_t" + std::to_string(threads));
+    EXPECT_EQ(parallel.queries, serial.queries) << threads << " lanes";
+    EXPECT_EQ(parallel.matches, serial.matches) << threads << " lanes";
+    EXPECT_EQ(parallel.matched, serial.matched) << threads << " lanes";
+    EXPECT_EQ(parallel.recall, serial.recall) << threads << " lanes";
+    EXPECT_EQ(parallel.shed, serial.shed) << threads << " lanes";
+    EXPECT_EQ(parallel.splits, serial.splits) << threads << " lanes";
+    EXPECT_EQ(parallel.merges, serial.merges) << threads << " lanes";
+    EXPECT_EQ(parallel.diverted, serial.diverted) << threads << " lanes";
+    EXPECT_EQ(parallel.deferrals, serial.deferrals) << threads << " lanes";
+    EXPECT_EQ(parallel.backpressure_drops, serial.backpressure_drops)
+        << threads << " lanes";
+    // Byte equality of the export document: per-node work vectors, drop
+    // causes, imbalance ratios — none of it may depend on the lane count.
+    EXPECT_EQ(parallel.metrics_json, serial.metrics_json) << threads
+                                                          << " lanes";
+  }
+}
+
+}  // namespace
+}  // namespace sdsi::core

@@ -2,14 +2,16 @@
 //
 // Takes one observability run directory (produced by `sdsi_sim --obs-dir`
 // or `bench_robustness --obs-dir`), validates the emitted documents against
-// the published schemas (metrics.json `sdsi.metrics` v2, v1 accepted; trace.jsonl
-// `sdsi.trace` v1 when present), and renders the figure data tables:
+// the published schemas (metrics.json `sdsi.metrics` v3, v1/v2 accepted;
+// trace.jsonl `sdsi.trace` v1 when present), and renders the figure data
+// tables:
 //
 //   figures/fig6a_load.csv        Fig 6(a) load decomposition
 //   figures/fig6b_distribution.csv Fig 6(b) per-node load rates
 //   figures/fig7_overhead.csv     Fig 7 overhead per input event
 //   figures/fig8_hops.csv         Fig 8 hops per message type
 //   figures/heal_latency_hist.csv heal-latency distribution (chaos runs)
+//   figures/skew_work.csv         per-node index work + imbalance (v3 runs)
 //   figures/timeseries.csv        every windowed series, long format
 //
 // Validation failures exit nonzero with a list of violations, so this
@@ -72,11 +74,13 @@ void check_metrics_schema(const Json& doc) {
       field(doc, "schema_version", Json::Type::kNumber, "metrics.json");
   // v1: the original 8-component export. v2 adds the "replication" load
   // component, the replication category, and the failover robustness fields.
+  // v3 adds load.per_node_work, robustness.imbalance + the overload-survival
+  // counters, the shed_overload/backpressure drop causes, and run.overload.
   std::int64_t schema = 0;
   if (version != nullptr) {
     schema = version->as_int();
-    require(schema == 1 || schema == 2,
-            "metrics.json: schema_version must be 1 or 2");
+    require(schema == 1 || schema == 2 || schema == 3,
+            "metrics.json: schema_version must be 1, 2, or 3");
   }
   const Json* kind = field(doc, "kind", Json::Type::kString, "metrics.json");
   if (kind != nullptr) {
@@ -110,6 +114,16 @@ void check_metrics_schema(const Json& doc) {
     }
     field(*load, "total", Json::Type::kNumber, "load");
     field(*load, "per_node_total", Json::Type::kArray, "load");
+    if (schema >= 3) {
+      const Json* per_node_work =
+          field(*load, "per_node_work", Json::Type::kArray, "load");
+      const Json* per_node_total = load->find("per_node_total");
+      if (per_node_work != nullptr && per_node_total != nullptr &&
+          per_node_total->is_array()) {
+        require(per_node_work->size() == per_node_total->size(),
+                "load.per_node_work: must have one entry per node");
+      }
+    }
   }
 
   const Json* overhead =
@@ -162,6 +176,10 @@ void check_metrics_schema(const Json& doc) {
   const Json* drops = field(doc, "drops", Json::Type::kObject, "metrics.json");
   if (drops != nullptr) {
     field(*drops, "total", Json::Type::kNumber, "drops");
+    if (schema >= 3) {
+      field(*drops, "shed_overload", Json::Type::kNumber, "drops");
+      field(*drops, "backpressure", Json::Type::kNumber, "drops");
+    }
   }
 
   field(doc, "quality", Json::Type::kObject, "metrics.json");
@@ -185,6 +203,21 @@ void check_metrics_schema(const Json& doc) {
                                    Json::Type::kObject, "robustness");
       if (failover != nullptr) {
         check_histogram(*failover, "robustness.failover_latency_ms");
+      }
+    }
+    if (schema >= 3) {
+      for (const char* key :
+           {"hot_arc_splits", "hot_arc_merges", "split_diverted_stores",
+            "shed_mbrs", "backpressure_deferrals", "backpressure_drops"}) {
+        field(*robustness, key, Json::Type::kNumber, "robustness");
+      }
+      const Json* imbalance = field(*robustness, "imbalance",
+                                    Json::Type::kObject, "robustness");
+      if (imbalance != nullptr) {
+        field(*imbalance, "message_p99_over_median", Json::Type::kNumber,
+              "robustness.imbalance");
+        field(*imbalance, "work_p99_over_median", Json::Type::kNumber,
+              "robustness.imbalance");
       }
     }
   }
@@ -399,6 +432,28 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Adversarial-skew figure (v3 runs): per-node index work next to the
+  // per-node message load, plus the two summary imbalance ratios — the
+  // quantities the hot-arc mitigation is judged on (BENCH_skew.json).
+  int tables = 6;
+  if (doc->find("schema_version")->as_int() >= 3) {
+    std::string csv = "node,msgs_per_sec,work_units\n";
+    const Json& per_node = *doc->find("load")->find("per_node_total");
+    const Json& per_work = *doc->find("load")->find("per_node_work");
+    for (std::size_t i = 0; i < per_node.size(); ++i) {
+      csv += std::to_string(i) + "," + csv_number(per_node[i]) + "," +
+             csv_number(per_work[i]) + "\n";
+    }
+    const Json& imbalance = *doc->find("robustness")->find("imbalance");
+    csv += "p99_over_median," +
+           csv_number(*imbalance.find("message_p99_over_median")) + "," +
+           csv_number(*imbalance.find("work_p99_over_median")) + "\n";
+    if (!write_file(out_dir + "/skew_work.csv", csv)) {
+      return 1;
+    }
+    ++tables;
+  }
+
   // Every windowed series, long format (window start in ms so plotting
   // needs no knowledge of the window width).
   int series_count = 0;
@@ -438,10 +493,10 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "make_figures: %s valid (schema v%lld); wrote 6 tables to %s "
+      "make_figures: %s valid (schema v%lld); wrote %d tables to %s "
       "(%d series%s)\n",
       metrics_path.c_str(),
-      static_cast<long long>(doc->find("schema_version")->as_int()),
+      static_cast<long long>(doc->find("schema_version")->as_int()), tables,
       out_dir.c_str(), series_count,
       have_trace
           ? (", trace.jsonl valid, " + std::to_string(trace_events) +

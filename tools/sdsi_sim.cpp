@@ -12,6 +12,10 @@
 //            [--mbr-acks] [--response-acks] [--mbr-refresh S]
 //            [--query-refresh S] [--replication-factor R]
 //            [--anti-entropy-period S] [--threads N] [--oracle S] [--drain S]
+//            [--adversarial] [--zipf S] [--pattern-pool N] [--zipf-clients]
+//            [--placement-skew S] [--flash-crowd T] [--overload]
+//            [--overload-window MS] [--split-ways N] [--ingest-capacity N]
+//            [--shed-rate P] [--publish-budget N] [--defer-capacity N]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,6 +61,26 @@ using namespace sdsi;
       "  --heap-queue         run on the legacy binary-heap scheduler\n"
       "                       (same results, pre-calendar performance;\n"
       "                       equivalent to SDSI_SIM_HEAP_QUEUE=1)\n"
+      "  --adversarial        skewed workload with defaults (Zipf pattern\n"
+      "                       pool; see --zipf/--pattern-pool)\n"
+      "  --zipf S             Zipf exponent for pattern/client skew\n"
+      "                       (default 1.1; implies --adversarial)\n"
+      "  --pattern-pool N     query patterns drawn from N Zipf-popular bases\n"
+      "                       (0 = fresh pattern per query)\n"
+      "  --zipf-clients       Zipf-skewed query client placement\n"
+      "  --placement-skew S   non-uniform node ids (u^S; 0 = uniform hash)\n"
+      "  --flash-crowd T      sector-correlated flash crowd at T seconds\n"
+      "                       (stock family only; implies --adversarial)\n"
+      "  --overload           overload control with defaults (hot-arc\n"
+      "                       detector + 3-way splitting)\n"
+      "  --overload-window MS detector/drain window (default 2000)\n"
+      "  --split-ways N       fan a hot arc across N nodes (1 = detect only)\n"
+      "  --ingest-capacity N  stores accepted per node per window before\n"
+      "                       shedding (0 = unbounded)\n"
+      "  --shed-rate P        deterministic forced shed fraction in [0,1)\n"
+      "  --publish-budget N   publications per source per window before\n"
+      "                       deferral (0 = unbounded)\n"
+      "  --defer-capacity N   per-source deferral queue bound (default 64)\n"
       "  --oracle S           recall-oracle sampling period (enables recall)\n"
       "  --drain S            settling time after measure before reports\n"
       "  --obs-dir DIR        write DIR/metrics.json (time series + reports)\n"
@@ -89,6 +113,18 @@ long parse_long(const char* text, const char* argv0) {
 int main(int argc, char** argv) {
   core::ExperimentConfig config = bench::paper_experiment(100);
   double crash_fraction = 0.0;
+  const auto adversarial = [&]() -> streams::AdversarialSpec& {
+    if (!config.adversarial.has_value()) {
+      config.adversarial.emplace();
+    }
+    return *config.adversarial;
+  };
+  const auto overload = [&]() -> core::OverloadOptions& {
+    if (!config.overload.has_value()) {
+      config.overload.emplace();
+    }
+    return *config.overload;
+  };
 
   for (int i = 1; i < argc; ++i) {
     const auto is = [&](const char* flag) {
@@ -200,6 +236,39 @@ int main(int argc, char** argv) {
       config.threads = static_cast<std::size_t>(parse_long(value(), argv[0]));
     } else if (is("--heap-queue")) {
       config.queue_backend = sim::QueueBackend::kLegacyHeap;
+    } else if (is("--adversarial")) {
+      adversarial();
+    } else if (is("--zipf")) {
+      adversarial().zipf_exponent = parse_double(value(), argv[0]);
+    } else if (is("--pattern-pool")) {
+      adversarial().pattern_pool =
+          static_cast<std::size_t>(parse_long(value(), argv[0]));
+    } else if (is("--zipf-clients")) {
+      adversarial().zipf_clients = true;
+    } else if (is("--placement-skew")) {
+      adversarial().placement_skew = parse_double(value(), argv[0]);
+    } else if (is("--flash-crowd")) {
+      streams::FlashCrowd crowd;
+      crowd.at_seconds = parse_double(value(), argv[0]);
+      adversarial().flash_crowd = crowd;
+    } else if (is("--overload")) {
+      overload();
+    } else if (is("--overload-window")) {
+      overload().window = sim::Duration::millis(parse_long(value(), argv[0]));
+    } else if (is("--split-ways")) {
+      overload().split_ways =
+          static_cast<std::size_t>(parse_long(value(), argv[0]));
+    } else if (is("--ingest-capacity")) {
+      overload().ingest_capacity =
+          static_cast<std::uint64_t>(parse_long(value(), argv[0]));
+    } else if (is("--shed-rate")) {
+      overload().forced_shed_rate = parse_double(value(), argv[0]);
+    } else if (is("--publish-budget")) {
+      overload().publish_budget =
+          static_cast<std::uint64_t>(parse_long(value(), argv[0]));
+    } else if (is("--defer-capacity")) {
+      overload().defer_capacity =
+          static_cast<std::size_t>(parse_long(value(), argv[0]));
     } else if (is("--oracle")) {
       config.oracle_sample_period =
           sim::Duration::seconds(parse_double(value(), argv[0]));
@@ -218,6 +287,13 @@ int main(int argc, char** argv) {
   }
   if (config.obs.trace && !config.obs.enabled()) {
     std::fprintf(stderr, "%s: --trace requires --obs-dir\n", argv[0]);
+    return 2;
+  }
+  if (config.adversarial.has_value() &&
+      config.adversarial->flash_crowd.has_value() &&
+      config.stream_family != core::StreamFamily::kStockMarket) {
+    std::fprintf(stderr, "%s: --flash-crowd requires --family stock\n",
+                 argv[0]);
     return 2;
   }
   if (crash_fraction > 0.0) {
@@ -241,6 +317,25 @@ int main(int argc, char** argv) {
   }
   if (config.queue_backend == sim::QueueBackend::kLegacyHeap) {
     std::printf("scheduler: legacy binary-heap backend (--heap-queue)\n");
+  }
+  if (config.adversarial.has_value()) {
+    const auto& adv = *config.adversarial;
+    std::printf(
+        "adversarial: pattern pool %zu (zipf %.2f), clients %s, "
+        "placement skew %.2f%s\n",
+        adv.pattern_pool, adv.zipf_exponent,
+        adv.zipf_clients ? "zipf" : "uniform", adv.placement_skew,
+        adv.flash_crowd.has_value() ? ", flash crowd armed" : "");
+  }
+  if (config.overload.has_value()) {
+    const auto& ov = *config.overload;
+    std::printf(
+        "overload control: window %.0f ms, split ways %zu, ingest cap %llu, "
+        "shed rate %.2f, publish budget %llu, defer cap %zu\n",
+        static_cast<double>(ov.window.count_micros()) / 1000.0, ov.split_ways,
+        static_cast<unsigned long long>(ov.ingest_capacity),
+        ov.forced_shed_rate,
+        static_cast<unsigned long long>(ov.publish_budget), ov.defer_capacity);
   }
   core::Experiment experiment(config);
   experiment.run();
@@ -280,7 +375,9 @@ int main(int argc, char** argv) {
 
   const bool chaos_run = !config.faults.empty() || config.mbr_acks ||
                          config.mbr_refresh_period > sim::Duration() ||
-                         config.oracle_sample_period > sim::Duration();
+                         config.oracle_sample_period > sim::Duration() ||
+                         config.overload.has_value() ||
+                         config.adversarial.has_value();
   if (chaos_run) {
     const core::RobustnessReport robustness = experiment.robustness_report();
     std::printf("\n-- robustness --\n");
@@ -325,6 +422,21 @@ int main(int argc, char** argv) {
           robustness.mean_failover_latency_ms,
           robustness.p90_failover_latency_ms,
           static_cast<unsigned long long>(robustness.report_detours));
+    }
+    std::printf(
+        "  load imbalance p99/median: messages %.2f, work %.2f\n",
+        robustness.message_load_p99_over_median,
+        robustness.work_p99_over_median);
+    if (config.overload.has_value()) {
+      std::printf(
+          "  hot-arc splits %llu, merges %llu, diverted stores %llu\n"
+          "  shed MBRs %llu, backpressure deferrals %llu, drops %llu\n",
+          static_cast<unsigned long long>(robustness.hot_arc_splits),
+          static_cast<unsigned long long>(robustness.hot_arc_merges),
+          static_cast<unsigned long long>(robustness.split_diverted_stores),
+          static_cast<unsigned long long>(robustness.shed_mbrs),
+          static_cast<unsigned long long>(robustness.backpressure_deferrals),
+          static_cast<unsigned long long>(robustness.backpressure_drops));
     }
     std::printf(
         "%s", core::render_drops_table(robustness.drops_by_cause).render()
