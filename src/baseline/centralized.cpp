@@ -62,7 +62,7 @@ void CentralizedSystem::post_stream_value(NodeIndex node, StreamId stream,
   }
   // Everything goes to the center, point-routed at its ring id.
   routing::Message msg;
-  msg.kind = static_cast<int>(core::MsgKind::kMbrUpdate);
+  msg.kind = core::MsgKind::kMbrUpdate;
   const sim::SimTime now = routing_.simulator().now();
   msg.payload = std::make_shared<const core::MbrPayload>(
       core::MbrPayload{stream, node, std::move(*closed), local.batch_seq++,
@@ -87,7 +87,7 @@ core::QueryId CentralizedSystem::subscribe_similarity(
   client_records_.emplace(id, std::move(record));
 
   routing::Message msg;
-  msg.kind = static_cast<int>(core::MsgKind::kSimilarityQuery);
+  msg.kind = core::MsgKind::kSimilarityQuery;
   msg.payload = std::make_shared<const core::SimilarityQueryPayload>(
       core::SimilarityQueryPayload{std::move(query),
                                    routing_.node_id(center_)});
@@ -97,7 +97,7 @@ core::QueryId CentralizedSystem::subscribe_similarity(
 
 void CentralizedSystem::on_deliver(NodeIndex at, const routing::Message& msg) {
   const sim::SimTime now = routing_.simulator().now();
-  switch (static_cast<core::MsgKind>(msg.kind)) {
+  switch (msg.kind) {
     case core::MsgKind::kMbrUpdate: {
       SDSI_CHECK(at == center_);
       const auto payload = payload_of<core::MbrPayload>(msg);
@@ -155,7 +155,7 @@ void CentralizedSystem::periodic_tick() {
       continue;
     }
     routing::Message msg;
-    msg.kind = static_cast<int>(core::MsgKind::kResponse);
+    msg.kind = core::MsgKind::kResponse;
     msg.payload = std::make_shared<const core::ResponsePayload>(
         core::ResponsePayload{it->first, record.client, false,
                               std::move(record.pending), 0.0});

@@ -92,7 +92,7 @@ core::QueryId FloodingSystem::subscribe_similarity(NodeIndex client,
   // successor arc and walking the entire ring.
   const Key self = routing_.node_id(client);
   routing::Message msg;
-  msg.kind = static_cast<int>(core::MsgKind::kSimilarityQuery);
+  msg.kind = core::MsgKind::kSimilarityQuery;
   msg.payload = std::make_shared<const core::SimilarityQueryPayload>(
       core::SimilarityQueryPayload{std::move(query), self});
   routing_.send_range(client, routing_.id_space().wrap(self + 1), self,
@@ -102,7 +102,7 @@ core::QueryId FloodingSystem::subscribe_similarity(NodeIndex client,
 
 void FloodingSystem::on_deliver(NodeIndex at, const routing::Message& msg) {
   const sim::SimTime now = routing_.simulator().now();
-  switch (static_cast<core::MsgKind>(msg.kind)) {
+  switch (msg.kind) {
     case core::MsgKind::kSimilarityQuery: {
       const auto payload = payload_of<core::SimilarityQueryPayload>(msg);
       const core::SimilarityQuery& query = *payload->query;
@@ -156,7 +156,7 @@ void FloodingSystem::periodic_tick(NodeIndex index) {
     }
     if (!record.pending.empty()) {
       routing::Message msg;
-      msg.kind = static_cast<int>(core::MsgKind::kResponse);
+      msg.kind = core::MsgKind::kResponse;
       msg.payload = std::make_shared<const core::ResponsePayload>(
           core::ResponsePayload{it->first, record.client, false,
                                 std::move(record.pending), 0.0});

@@ -8,7 +8,9 @@
 namespace sdsi::core {
 
 LoadComponent component_of(const routing::Message& msg, bool transit) {
-  switch (static_cast<MsgKind>(msg.kind)) {
+  switch (msg.kind) {
+    case MsgKind::kInvalid:
+      break;  // falls through to the abort below: never on a live message
     case MsgKind::kMbrUpdate:
       return transit ? LoadComponent::kMbrTransit
                      : (msg.range_internal ? LoadComponent::kMbrInternal
@@ -82,7 +84,9 @@ void MetricsCollector::reset() {
 }
 
 CategoryCounters& MetricsCollector::category(const routing::Message& msg) {
-  switch (static_cast<MsgKind>(msg.kind)) {
+  switch (msg.kind) {
+    case MsgKind::kInvalid:
+      break;
     case MsgKind::kMbrUpdate:
       return mbr_;
     case MsgKind::kSimilarityQuery:

@@ -19,24 +19,11 @@
 
 namespace sdsi::core {
 
-/// Application message tags carried in routing::Message::kind.
-enum class MsgKind : int {
-  kMbrUpdate = 1,         // batched stream summaries (Sec IV-G)
-  kSimilarityQuery = 2,   // continuous similarity subscription (Sec IV-E)
-  kInnerProductQuery = 3, // inner-product subscription (Sec IV-D)
-  kResponse = 4,          // periodic response to a client (Sec IV-F)
-  kNeighborExchange = 5,  // detected-similarity digests between neighbors
-  kLocationPut = 6,       // stream-id -> source registration (h2 service)
-  kLocationGet = 7,       // stream-id resolution request
-  kLocationReply = 8,     // stream-id resolution reply
-  kMbrAck = 9,            // storage confirmation for an MBR batch
-  kResponseAck = 10,      // client confirmation of a match-bearing push
-  kReplicaPut = 11,       // mirrored store entries (mirror/handoff/repair)
-  kHandoffRequest = 12,   // joining node pulls its key-range slice
-  kAntiEntropyDigest = 13,   // compact content digest between replica peers
-  kAntiEntropyRequest = 14,  // backfill request for digest gaps
-  kAggregatorReplica = 15,   // partial-aggregation mirror to the replica set
-};
+/// Application message tags carried in routing::Message::kind. The enum
+/// itself lives with the envelope (routing/message.hpp) so the wire codecs
+/// (src/net/wire.hpp), the metrics labels below, and the frame header can't
+/// drift; this alias keeps the historical core::MsgKind spelling working.
+using MsgKind = routing::MsgKind;
 
 /// The seven per-node load components of Fig 6(a), plus the reliability
 /// control traffic (acks) our self-healing extension adds on top of the

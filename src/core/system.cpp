@@ -149,7 +149,7 @@ void MiddlewareSystem::register_stream(NodeIndex node, StreamId stream) {
   }
 
   Message msg;
-  msg.kind = static_cast<int>(MsgKind::kLocationPut);
+  msg.kind = MsgKind::kLocationPut;
   msg.payload = std::make_shared<const LocationPutPayload>(
       LocationPutPayload{stream, node});
   routing_.send(node, mapper_.key_for_stream(stream), std::move(msg));
@@ -165,7 +165,7 @@ void MiddlewareSystem::unregister_stream(NodeIndex node, StreamId stream) {
   state.streams.erase(it);
 
   Message msg;
-  msg.kind = static_cast<int>(MsgKind::kLocationPut);
+  msg.kind = MsgKind::kLocationPut;
   msg.payload = std::make_shared<const LocationPutPayload>(
       LocationPutPayload{stream, kInvalidNode});  // tombstone
   routing_.send(node, mapper_.key_for_stream(stream), std::move(msg));
@@ -304,7 +304,7 @@ void MiddlewareSystem::publish_mbr(NodeIndex source, LocalStream& stream,
   }
 
   Message msg;
-  msg.kind = static_cast<int>(MsgKind::kMbrUpdate);
+  msg.kind = MsgKind::kMbrUpdate;
   msg.payload = payload;
   // With replication on, a landing copy whose terminal hop died in flight
   // detours to the successor-list replica, which stores and acks — cutting
@@ -442,7 +442,7 @@ void MiddlewareSystem::on_mbr_ack_timeout(NodeIndex source, StreamId stream,
   emit_heal_trace(obs::TraceEventKind::kRetry, source, stream, seq,
                   pub.trace_id);
   Message retry;
-  retry.kind = static_cast<int>(MsgKind::kMbrUpdate);
+  retry.kind = MsgKind::kMbrUpdate;
   retry.payload = pub.payload;
   retry.trace_id = pub.trace_id;
   retry.reroute_on_dead = replication_on();
@@ -472,7 +472,7 @@ void MiddlewareSystem::on_mbr_ack_timeout(NodeIndex source, StreamId stream,
             metrics_.registry()->counter("heal.retry_hedges").add();
           }
           Message hedge;
-          hedge.kind = static_cast<int>(MsgKind::kMbrUpdate);
+          hedge.kind = MsgKind::kMbrUpdate;
           hedge.payload = pending.payload;
           hedge.trace_id = pending.trace_id;
           hedge.reroute_on_dead = true;
@@ -506,7 +506,7 @@ void MiddlewareSystem::refresh_node_mbrs(NodeIndex index) {
       continue;
     }
     Message msg;
-    msg.kind = static_cast<int>(MsgKind::kMbrUpdate);
+    msg.kind = MsgKind::kMbrUpdate;
     msg.payload = pub.payload;
     msg.trace_id = pub.trace_id;
     msg.reroute_on_dead = replication_on();
@@ -528,7 +528,7 @@ void MiddlewareSystem::refresh_node_mbrs(NodeIndex index) {
   for (const auto& [stream_id, local] : state.streams) {
     (void)local;
     Message msg;
-    msg.kind = static_cast<int>(MsgKind::kLocationPut);
+    msg.kind = MsgKind::kLocationPut;
     msg.payload = std::make_shared<const LocationPutPayload>(
         LocationPutPayload{stream_id, index});
     routing_.send(index, mapper_.key_for_stream(stream_id), std::move(msg));
@@ -562,7 +562,7 @@ QueryId MiddlewareSystem::subscribe_similarity(NodeIndex client,
   const auto payload = std::make_shared<const SimilarityQueryPayload>(
       SimilarityQueryPayload{std::move(query), middle});
   Message msg;
-  msg.kind = static_cast<int>(MsgKind::kSimilarityQuery);
+  msg.kind = MsgKind::kSimilarityQuery;
   msg.payload = payload;
   msg.reroute_on_dead = replication_on();
   routing_.send_range(client, lo, hi, std::move(msg), config_.multicast);
@@ -583,7 +583,7 @@ QueryId MiddlewareSystem::subscribe_similarity(NodeIndex client,
             return;
           }
           Message refresh;
-          refresh.kind = static_cast<int>(MsgKind::kSimilarityQuery);
+          refresh.kind = MsgKind::kSimilarityQuery;
           refresh.payload = payload;
           refresh.reroute_on_dead = replication_on();
           routing_.send_range(client, lo, hi, std::move(refresh),
@@ -632,7 +632,7 @@ QueryId MiddlewareSystem::subscribe_inner_product(
   state.pending_inner_queries[stream].push_back(std::move(query));
   if (!resolution_in_flight) {
     Message msg;
-    msg.kind = static_cast<int>(MsgKind::kLocationGet);
+    msg.kind = MsgKind::kLocationGet;
     msg.payload = std::make_shared<const LocationGetPayload>(
         LocationGetPayload{stream, client});
     routing_.send(client, mapper_.key_for_stream(stream), std::move(msg));
@@ -644,7 +644,7 @@ void MiddlewareSystem::dispatch_inner_query(
     NodeIndex client, std::shared_ptr<const InnerProductQuery> query,
     NodeIndex source) {
   Message msg;
-  msg.kind = static_cast<int>(MsgKind::kInnerProductQuery);
+  msg.kind = MsgKind::kInnerProductQuery;
   msg.payload = std::make_shared<const InnerProductQueryPayload>(
       InnerProductQueryPayload{std::move(query)});
   routing_.send(client, routing_.node_id(source), std::move(msg));
@@ -653,7 +653,7 @@ void MiddlewareSystem::dispatch_inner_query(
 // --- Delivery dispatch --------------------------------------------------------
 
 void MiddlewareSystem::on_deliver(NodeIndex at, const Message& msg) {
-  switch (static_cast<MsgKind>(msg.kind)) {
+  switch (msg.kind) {
     case MsgKind::kMbrUpdate:
       handle_mbr(at, msg);
       return;
@@ -699,6 +699,8 @@ void MiddlewareSystem::on_deliver(NodeIndex at, const Message& msg) {
     case MsgKind::kAggregatorReplica:
       handle_aggregator_replica(at, msg);
       return;
+    case MsgKind::kInvalid:
+      break;
   }
   SDSI_CHECK(false);
 }
@@ -747,7 +749,7 @@ void MiddlewareSystem::handle_mbr(NodeIndex at, const Message& msg) {
     return;
   }
   Message ack;
-  ack.kind = static_cast<int>(MsgKind::kMbrAck);
+  ack.kind = MsgKind::kMbrAck;
   ack.payload = std::make_shared<const MbrAckPayload>(
       MbrAckPayload{payload->stream, payload->batch_seq});
   routing_.send_direct(at, payload->source, std::move(ack));
@@ -851,7 +853,7 @@ void MiddlewareSystem::handle_response(NodeIndex at, const Message& msg) {
     // Confirm match-bearing pushes even when the query record is gone: the
     // aggregator must stop retransmitting either way.
     Message ack;
-    ack.kind = static_cast<int>(MsgKind::kResponseAck);
+    ack.kind = MsgKind::kResponseAck;
     ack.payload = std::make_shared<const ResponseAckPayload>(
         ResponseAckPayload{payload->query, payload->push_seq});
     routing_.send_direct(at, payload->aggregator, std::move(ack));
@@ -908,7 +910,7 @@ void MiddlewareSystem::handle_location_get(NodeIndex at, const Message& msg) {
       entry == directory.end() ? kInvalidNode : entry->second;
 
   Message reply;
-  reply.kind = static_cast<int>(MsgKind::kLocationReply);
+  reply.kind = MsgKind::kLocationReply;
   reply.payload = std::make_shared<const LocationReplyPayload>(
       LocationReplyPayload{payload->stream, source});
   routing_.send(at, routing_.node_id(payload->requester), std::move(reply));
@@ -938,7 +940,7 @@ void MiddlewareSystem::retry_location_get(NodeIndex client, StreamId stream) {
     ++metrics_.robustness().location_retries;
   }
   Message msg;
-  msg.kind = static_cast<int>(MsgKind::kLocationGet);
+  msg.kind = MsgKind::kLocationGet;
   msg.payload = std::make_shared<const LocationGetPayload>(
       LocationGetPayload{stream, client});
   routing_.send(client, mapper_.key_for_stream(stream), std::move(msg));
@@ -1100,7 +1102,7 @@ void MiddlewareSystem::dispatch_tick(NodeIndex index, sim::SimTime now,
     state.outgoing_reports.clear();
     if (!up.empty()) {
       Message msg;
-      msg.kind = static_cast<int>(MsgKind::kNeighborExchange);
+      msg.kind = MsgKind::kNeighborExchange;
       msg.payload = std::make_shared<const NeighborDigestPayload>(
           NeighborDigestPayload{std::move(up)});
       // A neighbor that died since the last stabilization round must not
@@ -1112,7 +1114,7 @@ void MiddlewareSystem::dispatch_tick(NodeIndex index, sim::SimTime now,
     }
     if (!down.empty()) {
       Message msg;
-      msg.kind = static_cast<int>(MsgKind::kNeighborExchange);
+      msg.kind = MsgKind::kNeighborExchange;
       msg.payload = std::make_shared<const NeighborDigestPayload>(
           NeighborDigestPayload{std::move(down)});
       msg.reroute_on_dead = true;
@@ -1151,7 +1153,7 @@ void MiddlewareSystem::dispatch_tick(NodeIndex index, sim::SimTime now,
           ++metrics_.robustness().response_retries;
         }
         Message resend;
-        resend.kind = static_cast<int>(MsgKind::kResponse);
+        resend.kind = MsgKind::kResponse;
         resend.payload = std::make_shared<const ResponsePayload>(
             ResponsePayload{query_id, record.client, false, inflight.matches,
                             0.0, index, push->first});
@@ -1169,7 +1171,7 @@ void MiddlewareSystem::dispatch_tick(NodeIndex index, sim::SimTime now,
           seq, AggregatorRecord::InflightPush{matches, now, 0});
     }
     Message msg;
-    msg.kind = static_cast<int>(MsgKind::kResponse);
+    msg.kind = MsgKind::kResponse;
     msg.payload = std::make_shared<const ResponsePayload>(ResponsePayload{
         query_id, record.client, false, std::move(matches), 0.0,
         config_.response_ack.enabled ? index : kInvalidNode, seq});
@@ -1208,7 +1210,7 @@ void MiddlewareSystem::dispatch_tick(NodeIndex index, sim::SimTime now,
       const double value = dsp::weighted_inner_product(
           approx, sub.query->index, sub.query->weights);
       Message msg;
-      msg.kind = static_cast<int>(MsgKind::kResponse);
+      msg.kind = MsgKind::kResponse;
       msg.payload = std::make_shared<const ResponsePayload>(ResponsePayload{
           sub.query->id, sub.query->client, true, {}, value});
       routing_.send(index, routing_.node_id(sub.query->client),
@@ -1276,7 +1278,7 @@ void MiddlewareSystem::mirror_mbr(NodeIndex at,
                         false});
   for (const NodeIndex replica : replicas) {
     Message msg;
-    msg.kind = static_cast<int>(MsgKind::kReplicaPut);
+    msg.kind = MsgKind::kReplicaPut;
     msg.payload = payload;
     msg.reroute_on_dead = true;
     routing_.send_direct(at, replica, std::move(msg));
@@ -1307,7 +1309,7 @@ void MiddlewareSystem::mirror_subscription(
           false});
   for (const NodeIndex replica : replicas) {
     Message msg;
-    msg.kind = static_cast<int>(MsgKind::kReplicaPut);
+    msg.kind = MsgKind::kReplicaPut;
     msg.payload = payload;
     msg.reroute_on_dead = true;
     routing_.send_direct(at, replica, std::move(msg));
@@ -1336,7 +1338,7 @@ void MiddlewareSystem::mirror_aggregation(NodeIndex at, QueryId query,
                                record.expires, at, {match}});
   for (const NodeIndex replica : replicas) {
     Message msg;
-    msg.kind = static_cast<int>(MsgKind::kAggregatorReplica);
+    msg.kind = MsgKind::kAggregatorReplica;
     msg.payload = payload;
     msg.reroute_on_dead = true;
     routing_.send_direct(at, replica, std::move(msg));
@@ -1440,7 +1442,7 @@ void MiddlewareSystem::handle_handoff_request(NodeIndex at,
   }
   const std::size_t entries = mbrs.size() + subs.size();
   Message reply;
-  reply.kind = static_cast<int>(MsgKind::kReplicaPut);
+  reply.kind = MsgKind::kReplicaPut;
   reply.payload = std::make_shared<const ReplicaPutPayload>(ReplicaPutPayload{
       at, std::move(mbrs), std::move(subs), true, false});
   reply.reroute_on_dead = true;
@@ -1512,7 +1514,7 @@ void MiddlewareSystem::anti_entropy_tick(NodeIndex index) {
                                std::move(query_ids)});
   for (const NodeIndex replica : replicas) {
     Message msg;
-    msg.kind = static_cast<int>(MsgKind::kAntiEntropyDigest);
+    msg.kind = MsgKind::kAntiEntropyDigest;
     msg.payload = payload;
     msg.reroute_on_dead = true;
     routing_.send_direct(index, replica, std::move(msg));
@@ -1544,7 +1546,7 @@ void MiddlewareSystem::handle_anti_entropy_digest(NodeIndex at,
   }
   if (!want_mbrs.empty() || !want_queries.empty()) {
     Message req;
-    req.kind = static_cast<int>(MsgKind::kAntiEntropyRequest);
+    req.kind = MsgKind::kAntiEntropyRequest;
     req.payload = std::make_shared<const AntiEntropyRequestPayload>(
         AntiEntropyRequestPayload{at, std::move(want_mbrs),
                                   std::move(want_queries)});
@@ -1595,7 +1597,7 @@ void MiddlewareSystem::handle_anti_entropy_digest(NodeIndex at,
     return;
   }
   Message back;
-  back.kind = static_cast<int>(MsgKind::kReplicaPut);
+  back.kind = MsgKind::kReplicaPut;
   back.payload = std::make_shared<const ReplicaPutPayload>(ReplicaPutPayload{
       at, std::move(push_mbrs), std::move(push_subs), false, true});
   back.reroute_on_dead = true;
@@ -1631,7 +1633,7 @@ void MiddlewareSystem::handle_anti_entropy_request(NodeIndex at,
     return;
   }
   Message reply;
-  reply.kind = static_cast<int>(MsgKind::kReplicaPut);
+  reply.kind = MsgKind::kReplicaPut;
   reply.payload = std::make_shared<const ReplicaPutPayload>(ReplicaPutPayload{
       at, std::move(mbrs), std::move(subs), false, true});
   reply.reroute_on_dead = true;
@@ -1712,7 +1714,7 @@ void MiddlewareSystem::handle_node_join(NodeIndex index) {
     return;  // alone on the ring: nothing to pull
   }
   Message msg;
-  msg.kind = static_cast<int>(MsgKind::kHandoffRequest);
+  msg.kind = MsgKind::kHandoffRequest;
   msg.payload = std::make_shared<const HandoffRequestPayload>(
       HandoffRequestPayload{
           index, routing_.node_id(routing_.predecessor_index(index)),
@@ -1760,7 +1762,7 @@ void MiddlewareSystem::handle_node_leave(NodeIndex index) {
   if (!mbrs.empty() || !subs.empty()) {
     const std::size_t entries = mbrs.size() + subs.size();
     Message push;
-    push.kind = static_cast<int>(MsgKind::kReplicaPut);
+    push.kind = MsgKind::kReplicaPut;
     push.payload = std::make_shared<const ReplicaPutPayload>(ReplicaPutPayload{
         index, std::move(mbrs), std::move(subs), true, false});
     push.reroute_on_dead = true;
@@ -1801,7 +1803,7 @@ void MiddlewareSystem::handle_node_leave(NodeIndex index) {
       matches.insert(matches.end(), push.matches.begin(), push.matches.end());
     }
     Message msg;
-    msg.kind = static_cast<int>(MsgKind::kAggregatorReplica);
+    msg.kind = MsgKind::kAggregatorReplica;
     msg.payload = std::make_shared<const AggregatorReplicaPayload>(
         AggregatorReplicaPayload{query, record.client, record.middle_key,
                                  record.expires, index, std::move(matches)});
@@ -1913,7 +1915,7 @@ void MiddlewareSystem::divert_store(NodeIndex at, NodeIndex target,
                         false,
                         false});
   Message msg;
-  msg.kind = static_cast<int>(MsgKind::kReplicaPut);
+  msg.kind = MsgKind::kReplicaPut;
   msg.payload = payload;
   msg.reroute_on_dead = true;
   routing_.send_direct(at, target, std::move(msg));
@@ -1956,7 +1958,7 @@ void MiddlewareSystem::mirror_subscriptions_to_delegates(NodeIndex node) {
       ReplicaPutPayload{node, {}, std::move(entries), false, false});
   for (const NodeIndex delegate : delegates) {
     Message msg;
-    msg.kind = static_cast<int>(MsgKind::kReplicaPut);
+    msg.kind = MsgKind::kReplicaPut;
     msg.payload = payload;
     msg.reroute_on_dead = true;
     routing_.send_direct(node, delegate, std::move(msg));
@@ -1974,7 +1976,7 @@ void MiddlewareSystem::forward_subscription_to_delegates(
           false});
   for (const NodeIndex delegate : nodes_[node].overload.split_delegates) {
     Message msg;
-    msg.kind = static_cast<int>(MsgKind::kReplicaPut);
+    msg.kind = MsgKind::kReplicaPut;
     msg.payload = payload;
     msg.reroute_on_dead = true;
     routing_.send_direct(node, delegate, std::move(msg));
@@ -2086,7 +2088,7 @@ void MiddlewareSystem::account_overload_drop(fault::DropCause cause,
   // the attribution into the shared drop path — same counters, registry
   // series, and trace stream as every in-flight loss.
   Message synth;
-  synth.kind = static_cast<int>(MsgKind::kMbrUpdate);
+  synth.kind = MsgKind::kMbrUpdate;
   synth.origin = origin;
   routing_.account_app_drop(cause, synth);
 }

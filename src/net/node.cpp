@@ -1,0 +1,256 @@
+#include "net/node.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace sdsi::net {
+
+namespace {
+
+template <typename T>
+std::shared_ptr<const T> payload_of(const routing::Message& msg) {
+  const auto* ptr = std::any_cast<std::shared_ptr<const T>>(&msg.payload);
+  SDSI_CHECK(ptr != nullptr && *ptr != nullptr);
+  return *ptr;
+}
+
+}  // namespace
+
+NetNode::NetNode(const NetRing& ring, NodeIndex self, Transport& transport,
+                 NetNodeConfig config)
+    : ring_(ring),
+      self_(self),
+      transport_(transport),
+      config_(std::move(config)),
+      mapper_(ring.space()) {
+  config_.features.validate();
+}
+
+std::uint64_t NetNode::next_trace_id() noexcept {
+  // Globally unique without coordination: high bits carry the node index.
+  return (static_cast<std::uint64_t>(self_) + 1) << 40 | ++trace_counter_;
+}
+
+void NetNode::publish_value(StreamId stream, Sample value, sim::SimTime now) {
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) {
+    auto state = std::make_unique<LocalStream>(LocalStream{
+        streams::StreamSummarizer(config_.features),
+        core::MbrBatcher(config_.batching), 0});
+    it = streams_.emplace(stream, std::move(state)).first;
+  }
+  LocalStream& state = *it->second;
+  state.summarizer.push(value);
+  if (!state.summarizer.ready()) {
+    return;
+  }
+  dsp::FeatureVector features;
+  if (!state.summarizer.features_into(features)) {
+    return;  // degenerate window: no direction on the unit sphere
+  }
+  if (std::optional<dsp::Mbr> closed = state.batcher.push(features)) {
+    publish_mbr(stream, state, std::move(*closed), now);
+  }
+}
+
+void NetNode::publish_mbr(StreamId stream, LocalStream& state, dsp::Mbr mbr,
+                          sim::SimTime now) {
+  const auto [lo, hi] = mapper_.mbr_range(mbr);
+  const sim::SimTime expires = now + config_.mbr_lifespan;
+  const auto payload = std::make_shared<const core::MbrPayload>(
+      core::MbrPayload{stream, self_, std::move(mbr), state.batch_seq++,
+                       expires});
+
+  if (config_.store_local_summaries) {
+    if (store_.add_mbr({payload->stream, self_, payload->mbr,
+                        payload->batch_seq, now, expires})) {
+      ++counters_.mbrs_stored;
+    }
+  }
+
+  routing::Message msg;
+  msg.kind = routing::MsgKind::kMbrUpdate;
+  msg.origin = self_;
+  msg.payload = payload;
+  msg.has_range = true;
+  msg.range_lo = lo;
+  msg.range_hi = hi;
+  msg.range_dir = routing::RangeDir::kUp;  // sequential multicast
+  msg.sent_at = now;
+  msg.trace_id = next_trace_id();
+  ++counters_.mbrs_published;
+  route_to_key(lo, std::move(msg), now);
+}
+
+void NetNode::subscribe_similarity(core::QueryId id,
+                                   dsp::FeatureVector features, double radius,
+                                   sim::Duration lifespan, sim::SimTime now) {
+  auto query = std::make_shared<const core::SimilarityQuery>(
+      core::SimilarityQuery{id, self_, std::move(features), radius, lifespan,
+                            now});
+  const auto [lo, hi] = mapper_.query_range(query->features, radius);
+  const Key middle = ring_.space().midpoint(lo, hi);
+  results_.try_emplace(id);
+
+  routing::Message msg;
+  msg.kind = routing::MsgKind::kSimilarityQuery;
+  msg.origin = self_;
+  msg.payload = std::make_shared<const core::SimilarityQueryPayload>(
+      core::SimilarityQueryPayload{std::move(query), middle});
+  msg.has_range = true;
+  msg.range_lo = lo;
+  msg.range_hi = hi;
+  msg.range_dir = routing::RangeDir::kUp;
+  msg.sent_at = now;
+  msg.trace_id = next_trace_id();
+  ++counters_.queries_posed;
+  route_to_key(lo, std::move(msg), now);
+}
+
+void NetNode::route_to_key(Key key, routing::Message msg, sim::SimTime now) {
+  msg.target_key = ring_.space().wrap(key);
+  const NodeIndex dst = ring_.successor_of_key(msg.target_key);
+  if (dst == self_) {
+    deliver(std::move(msg), now);
+    return;
+  }
+  msg.hops = 1;
+  if (!transport_.send(dst, msg)) {
+    ++counters_.send_failures;
+  }
+}
+
+void NetNode::deliver(routing::Message&& msg, sim::SimTime now) {
+  switch (msg.kind) {
+    case routing::MsgKind::kMbrUpdate:
+      handle_mbr(msg, now);
+      break;
+    case routing::MsgKind::kSimilarityQuery:
+      handle_similarity_query(msg);
+      break;
+    case routing::MsgKind::kResponse:
+      handle_response(msg);
+      return;  // responses are point-to-point, never range-forwarded
+    default:
+      return;  // kinds outside the net pipeline's scope: ignore
+  }
+  if (msg.has_range) {
+    forward_range_copies(msg);
+  }
+}
+
+void NetNode::handle_mbr(const routing::Message& msg, sim::SimTime now) {
+  const auto payload = payload_of<core::MbrPayload>(msg);
+  // The source already stored this batch at publish time; every other node
+  // stores it here (the payload's absolute expiry keeps redelivery
+  // idempotent, same as the sim's handle_mbr).
+  if (!(config_.store_local_summaries && payload->source == self_)) {
+    if (store_.add_mbr({payload->stream, payload->source, payload->mbr,
+                        payload->batch_seq, now, payload->expires})) {
+      ++counters_.mbrs_stored;
+    }
+  }
+}
+
+void NetNode::handle_similarity_query(const routing::Message& msg) {
+  const auto payload = payload_of<core::SimilarityQueryPayload>(msg);
+  const core::SimilarityQuery& query = *payload->query;
+  store_.add_subscription(payload->query, payload->middle_key,
+                          query.issued_at + query.lifespan);
+  ++counters_.subscriptions_stored;
+}
+
+void NetNode::handle_response(const routing::Message& msg) {
+  const auto payload = payload_of<core::ResponsePayload>(msg);
+  const auto it = results_.find(payload->query);
+  if (it == results_.end()) {
+    return;  // not our query (stale route)
+  }
+  for (const core::SimilarityMatch& match : payload->matches) {
+    it->second.insert(match.stream);
+  }
+}
+
+void NetNode::forward_range_copies(const routing::Message& msg) {
+  const Key self_id = ring_.id(self_);
+  const Key pred_id = ring_.id(ring_.predecessor_index(self_));
+  const common::IdSpace& space = ring_.space();
+  const bool covers_lo = space.in_half_open(msg.range_lo, pred_id, self_id);
+  const bool covers_hi = space.in_half_open(msg.range_hi, pred_id, self_id);
+
+  const bool go_up = (msg.range_dir == routing::RangeDir::kUp ||
+                      msg.range_dir == routing::RangeDir::kBoth) &&
+                     !covers_hi;
+  const bool go_down = (msg.range_dir == routing::RangeDir::kDown ||
+                        msg.range_dir == routing::RangeDir::kBoth) &&
+                       !covers_lo;
+  if (go_up) {
+    routing::Message copy = msg;
+    copy.range_internal = true;
+    copy.range_dir = routing::RangeDir::kUp;
+    copy.origin = self_;
+    copy.hops = 1;
+    const NodeIndex next = ring_.successor_index(self_);
+    copy.target_key = ring_.id(next);
+    if (!transport_.send(next, copy)) {
+      ++counters_.send_failures;
+    }
+  }
+  if (go_down) {
+    routing::Message copy = msg;
+    copy.range_internal = true;
+    copy.range_dir = routing::RangeDir::kDown;
+    copy.origin = self_;
+    copy.hops = 1;
+    const NodeIndex prev = ring_.predecessor_index(self_);
+    copy.target_key = ring_.id(prev);
+    if (!transport_.send(prev, copy)) {
+      ++counters_.send_failures;
+    }
+  }
+}
+
+void NetNode::tick(sim::SimTime now) {
+  const std::vector<core::SimilarityMatch> fresh = store_.match(now);
+  if (fresh.empty()) {
+    return;
+  }
+  // Group this tick's fresh matches per query and respond to each client
+  // directly (divergence from the sim's middle-node aggregation — see the
+  // header comment for why the matched sets are unaffected).
+  std::map<core::QueryId, std::vector<core::SimilarityMatch>> by_query;
+  for (const core::SimilarityMatch& match : fresh) {
+    by_query[match.query].push_back(match);
+  }
+  for (auto& [query_id, matches] : by_query) {
+    const core::IndexStore::Subscription* sub =
+        store_.find_subscription(query_id);
+    if (sub == nullptr || sub->query == nullptr) {
+      continue;  // expired between match and push
+    }
+    const NodeIndex client = sub->query->client;
+    core::ResponsePayload response;
+    response.query = query_id;
+    response.client = client;
+    response.matches = std::move(matches);
+
+    routing::Message msg;
+    msg.kind = routing::MsgKind::kResponse;
+    msg.origin = self_;
+    msg.target_key = ring_.id(client);
+    msg.sent_at = now;
+    msg.trace_id = next_trace_id();
+    msg.hops = client == self_ ? 0 : 1;
+    msg.payload = std::make_shared<const core::ResponsePayload>(
+        std::move(response));
+    ++counters_.responses_sent;
+    if (client == self_) {
+      handle_response(msg);
+    } else if (!transport_.send(client, msg)) {
+      ++counters_.send_failures;
+    }
+  }
+}
+
+}  // namespace sdsi::net

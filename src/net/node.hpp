@@ -1,0 +1,132 @@
+// NetNode: the paper's data-center pipeline bound to a pluggable Transport —
+// the process that actually "breaks out of the simulator".
+//
+// One NetNode is one ring member: it summarizes its local streams
+// (StreamSummarizer -> MbrBatcher), routes closed MBRs and similarity
+// subscriptions over the content ring (Eq. 6 ranges, sequential range
+// multicast replicated exactly from RoutingSystem::forward_range_copies),
+// stores and matches what lands on it (IndexStore), and reports matches.
+//
+// Scope (documented divergence from the sim middleware, see
+// docs/ARCHITECTURE.md "Transport layer"): a detecting node responds to the
+// query's client DIRECTLY instead of aggregating reports at the range's
+// middle node first, and the reliability layers (acks, refresh, replication,
+// overload control) are off. The client-visible matched (stream, query) sets
+// are invariant to both choices on a fault-free run — the per-node
+// IndexStore dedup plus the client-side stream-set dedup make the report
+// route invisible — which is exactly the property the sim-vs-socket
+// equivalence test pins.
+//
+// Clocking: the node never reads a clock; callers pass `now` (the sim clock
+// under SimTransport, a wall-clock-derived SimTime in sdsi_node). Lifespans
+// only need to be long relative to the run for equivalence to hold.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "core/batcher.hpp"
+#include "core/index_store.hpp"
+#include "core/mapper.hpp"
+#include "core/query.hpp"
+#include "net/ring.hpp"
+#include "net/transport.hpp"
+#include "streams/summarizer.hpp"
+
+namespace sdsi::net {
+
+struct NetNodeConfig {
+  dsp::FeatureConfig features;
+  core::MbrBatcher::Options batching;
+  sim::Duration mbr_lifespan = sim::Duration::seconds(3600);
+  /// Mirror of MiddlewareConfig::store_local_summaries — the sim stores
+  /// every closed MBR at its source regardless of key range, so the
+  /// equivalence run must too.
+  bool store_local_summaries = true;
+};
+
+class NetNode {
+ public:
+  struct Counters {
+    std::uint64_t mbrs_published = 0;
+    std::uint64_t queries_posed = 0;
+    std::uint64_t mbrs_stored = 0;
+    std::uint64_t subscriptions_stored = 0;
+    std::uint64_t responses_sent = 0;
+    std::uint64_t send_failures = 0;  // transport had no route to the peer
+  };
+
+  /// The ring and transport must outlive the node. The caller wires
+  /// transport.set_deliver to deliver() (the node needs `now` per delivery,
+  /// which the Transport interface does not carry).
+  NetNode(const NetRing& ring, NodeIndex self, Transport& transport,
+          NetNodeConfig config);
+
+  NodeIndex self() const noexcept { return self_; }
+
+  /// Feeds one raw sample of a locally sourced stream; a closed MBR batch
+  /// is stored locally and range-multicast over the ring.
+  void publish_value(StreamId stream, Sample value, sim::SimTime now);
+
+  /// Poses a continuous similarity query from this node. `id` must be
+  /// globally unique (the equivalence driver assigns the same ids the sim
+  /// middleware would).
+  void subscribe_similarity(core::QueryId id, dsp::FeatureVector features,
+                            double radius, sim::Duration lifespan,
+                            sim::SimTime now);
+
+  /// Periodic driver (the paper's NPER tick): runs one match pass and
+  /// pushes fresh matches to their clients.
+  void tick(sim::SimTime now);
+
+  /// Transport upcall: one decoded frame addressed to this node.
+  void deliver(routing::Message&& msg, sim::SimTime now);
+
+  /// Client-side results: per locally-posed query, the set of matched
+  /// stream ids (the equivalence test's comparison object).
+  const std::map<core::QueryId, std::set<StreamId>>& results() const noexcept {
+    return results_;
+  }
+
+  const Counters& counters() const noexcept { return counters_; }
+  const core::IndexStore& store() const noexcept { return store_; }
+
+ private:
+  struct LocalStream {
+    streams::StreamSummarizer summarizer;
+    core::MbrBatcher batcher;
+    std::uint64_t batch_seq = 0;
+  };
+
+  void publish_mbr(StreamId stream, LocalStream& state, dsp::Mbr mbr,
+                   sim::SimTime now);
+  void handle_mbr(const routing::Message& msg, sim::SimTime now);
+  void handle_similarity_query(const routing::Message& msg);
+  void handle_response(const routing::Message& msg);
+  /// Replica of RoutingSystem::forward_range_copies over the transport:
+  /// walk the neighbor in every direction whose range endpoint this node
+  /// does not cover.
+  void forward_range_copies(const routing::Message& msg);
+  /// Routes `msg` to successor(key): local delivery loops back through
+  /// deliver() without touching the transport, exactly like the sim's
+  /// zero-latency local path.
+  void route_to_key(Key key, routing::Message msg, sim::SimTime now);
+  std::uint64_t next_trace_id() noexcept;
+
+  const NetRing& ring_;
+  NodeIndex self_;
+  Transport& transport_;
+  NetNodeConfig config_;
+  core::SummaryMapper mapper_;
+  core::IndexStore store_;
+  std::unordered_map<StreamId, std::unique_ptr<LocalStream>> streams_;
+  std::map<core::QueryId, std::set<StreamId>> results_;
+  std::uint64_t trace_counter_ = 0;
+  Counters counters_;
+};
+
+}  // namespace sdsi::net

@@ -1,0 +1,41 @@
+#include "net/sim_transport.hpp"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "net/wire.hpp"
+
+namespace sdsi::net {
+
+SimTransport::SimTransport(SimFabric& fabric, NodeIndex self)
+    : fabric_(fabric), self_(self) {
+  fabric.attach(self, this);
+}
+
+bool SimTransport::send(NodeIndex peer, const routing::Message& msg) {
+  if (peer >= fabric_.endpoints_.size() ||
+      fabric_.endpoints_[peer] == nullptr) {
+    return false;
+  }
+  // Model the wire faithfully: the peer receives the decoded form of the
+  // encoded bytes, never the in-memory original (shared_ptr payloads are
+  // deep-copied by the codec exactly as a socket hop would).
+  const std::vector<std::uint8_t> wire = encode_frame(msg);
+  auto decoded = std::make_shared<routing::Message>();
+  const DecodeResult result = decode_frame(wire, decoded.get());
+  SDSI_CHECK(result == DecodeResult::kOk);
+  ++fabric_.frames_;
+  fabric_.bytes_ += wire.size();
+
+  SimTransport* endpoint = fabric_.endpoints_[peer];
+  fabric_.sim_.schedule_after(fabric_.hop_latency_, [endpoint, decoded] {
+    if (endpoint->deliver_) {
+      endpoint->deliver_(std::move(*decoded));
+    }
+  });
+  return true;
+}
+
+}  // namespace sdsi::net

@@ -1,0 +1,76 @@
+// SimTransport: the Transport interface over the discrete-event kernel.
+//
+// A SimFabric owns the shared medium: the simulator clock plus the endpoint
+// registry. Each SimTransport is one node's endpoint. send() pushes the
+// frame through the v1 wire codec — encode, decode, byte-equality check, so
+// the receiver only ever sees what survived serialization — then schedules
+// delivery at the peer after the configured hop latency, using the same
+// pooled-deferral idiom as RoutingSystem::schedule_msg.
+//
+// Determinism: with a deterministic simulator and a fixed send order,
+// delivery order is fixed too, which is what lets the sim-vs-socket
+// equivalence test compare matched sets across transports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace sdsi::net {
+
+class SimTransport;
+
+/// The shared in-process medium a set of SimTransports communicates over.
+class SimFabric {
+ public:
+  SimFabric(sim::Simulator& simulator, sim::Duration hop_latency)
+      : sim_(simulator), hop_latency_(hop_latency) {}
+
+  sim::Simulator& simulator() noexcept { return sim_; }
+  sim::Duration hop_latency() const noexcept { return hop_latency_; }
+
+  /// Total frames/bytes that crossed the fabric (all endpoints).
+  std::uint64_t frames_sent() const noexcept { return frames_; }
+  std::uint64_t bytes_sent() const noexcept { return bytes_; }
+
+ private:
+  friend class SimTransport;
+
+  void attach(NodeIndex peer, SimTransport* endpoint) {
+    if (peer >= endpoints_.size()) {
+      endpoints_.resize(peer + 1, nullptr);
+    }
+    endpoints_[peer] = endpoint;
+  }
+
+  sim::Simulator& sim_;
+  sim::Duration hop_latency_;
+  std::vector<SimTransport*> endpoints_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+class SimTransport final : public Transport {
+ public:
+  /// Registers this endpoint as `self` on the fabric. The fabric must
+  /// outlive every endpoint attached to it.
+  SimTransport(SimFabric& fabric, NodeIndex self);
+
+  NodeIndex self() const noexcept { return self_; }
+
+  bool send(NodeIndex peer, const routing::Message& msg) override;
+  void set_deliver(DeliverFn fn) override { deliver_ = std::move(fn); }
+  /// No-op: deliveries ride the sim scheduler (run the simulator instead).
+  void poll(int budget_ms) override { (void)budget_ms; }
+  std::size_t peer_count() const override { return fabric_.endpoints_.size(); }
+
+ private:
+  SimFabric& fabric_;
+  NodeIndex self_;
+  DeliverFn deliver_;
+};
+
+}  // namespace sdsi::net

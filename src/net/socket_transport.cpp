@@ -1,0 +1,350 @@
+#include "net/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/check.hpp"
+#include "net/wire.hpp"
+
+namespace sdsi::net {
+
+namespace {
+
+void set_nonblocking_cloexec(int fd) {
+  SDSI_CHECK(fcntl(fd, F_SETFL, fcntl(fd, F_GETFL, 0) | O_NONBLOCK) == 0);
+  SDSI_CHECK(fcntl(fd, F_SETFD, FD_CLOEXEC) == 0);
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(std::uint16_t port) {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  SDSI_CHECK(epoll_fd_ >= 0);
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  SDSI_CHECK(listen_fd_ >= 0);
+  set_nonblocking_cloexec(listen_fd_);
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  SDSI_CHECK(bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) == 0);
+  SDSI_CHECK(listen(listen_fd_, SOMAXCONN) == 0);
+
+  socklen_t len = sizeof(addr);
+  SDSI_CHECK(getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                         &len) == 0);
+  listen_port_ = ntohs(addr.sin_port);
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  SDSI_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0);
+}
+
+SocketTransport::~SocketTransport() {
+  for (auto& [peer_index, peer] : peers_) {
+    if (peer.fd >= 0) {
+      close(peer.fd);
+    }
+  }
+  for (auto& [fd, conn] : inbound_by_fd_) {
+    close(fd);
+  }
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+  }
+  if (epoll_fd_ >= 0) {
+    close(epoll_fd_);
+  }
+}
+
+void SocketTransport::set_peer(NodeIndex peer, const std::string& host,
+                               std::uint16_t port) {
+  Peer& entry = peers_[peer];
+  entry.host = host;
+  entry.port = port;
+}
+
+bool SocketTransport::connected(NodeIndex peer) const {
+  const auto it = peers_.find(peer);
+  return it != peers_.end() && it->second.fd >= 0 && !it->second.connecting;
+}
+
+bool SocketTransport::send(NodeIndex peer, const routing::Message& msg) {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) {
+    return false;
+  }
+  Peer& entry = it->second;
+  const std::vector<std::uint8_t> frame = encode_frame(msg);
+  if (entry.outbox.size() - entry.out_offset + frame.size() >
+      kMaxOutboxBytes) {
+    ++stats_.dropped_overflow;
+    return true;  // peer known; the frame itself is accounted as shed
+  }
+  entry.outbox.insert(entry.outbox.end(), frame.begin(), frame.end());
+  ++stats_.frames_sent;
+  stats_.bytes_sent += frame.size();
+
+  if (entry.fd < 0 && !entry.connecting &&
+      Clock::now() >= entry.next_attempt) {
+    start_connect(peer);
+  } else if (entry.fd >= 0 && !entry.connecting) {
+    flush_outbox(peer);
+  }
+  return true;
+}
+
+void SocketTransport::start_connect(NodeIndex peer_index) {
+  Peer& peer = peers_[peer_index];
+  SDSI_CHECK(peer.fd < 0);
+  ++stats_.reconnect_attempts;
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    fail_connection(peer_index);
+    return;
+  }
+  set_nonblocking_cloexec(fd);
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(peer.port);
+  if (inet_pton(AF_INET, peer.host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    fail_connection(peer_index);
+    return;
+  }
+  const int rc =
+      connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    close(fd);
+    fail_connection(peer_index);
+    return;
+  }
+  peer.fd = fd;
+  peer.connecting = (rc != 0);
+  outbound_by_fd_[fd] = peer_index;
+
+  epoll_event ev{};
+  ev.events = EPOLLOUT;  // writable = connect finished (or ready to flush)
+  ev.data.fd = fd;
+  SDSI_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0);
+  if (!peer.connecting) {
+    on_connect_ready(peer_index);
+  }
+}
+
+void SocketTransport::on_connect_ready(NodeIndex peer_index) {
+  Peer& peer = peers_[peer_index];
+  peer.connecting = false;
+  peer.backoff_ms = kBackoffStartMs;
+  ++stats_.connects;
+  flush_outbox(peer_index);
+}
+
+void SocketTransport::fail_connection(NodeIndex peer_index) {
+  Peer& peer = peers_[peer_index];
+  if (peer.fd >= 0) {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, peer.fd, nullptr);
+    outbound_by_fd_.erase(peer.fd);
+    close(peer.fd);
+    peer.fd = -1;
+  }
+  peer.connecting = false;
+  peer.next_attempt =
+      Clock::now() + std::chrono::milliseconds(peer.backoff_ms);
+  peer.backoff_ms = std::min(peer.backoff_ms * 2, kBackoffMaxMs);
+}
+
+void SocketTransport::flush_outbox(NodeIndex peer_index) {
+  Peer& peer = peers_[peer_index];
+  if (peer.fd < 0 || peer.connecting) {
+    return;
+  }
+  while (peer.out_offset < peer.outbox.size()) {
+    const ssize_t n =
+        ::write(peer.fd, peer.outbox.data() + peer.out_offset,
+                peer.outbox.size() - peer.out_offset);
+    if (n > 0) {
+      peer.out_offset += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;  // kernel buffer full; EPOLLOUT will resume us
+    }
+    fail_connection(peer_index);  // peer went away; keep outbox, retry later
+    return;
+  }
+  if (peer.out_offset == peer.outbox.size()) {
+    peer.outbox.clear();
+    peer.out_offset = 0;
+  } else if (peer.out_offset > (1u << 20)) {
+    // Compact the consumed prefix so a long-lived congested peer does not
+    // pin the high-water mark forever.
+    peer.outbox.erase(peer.outbox.begin(),
+                      peer.outbox.begin() +
+                          static_cast<std::ptrdiff_t>(peer.out_offset));
+    peer.out_offset = 0;
+  }
+  epoll_event ev{};
+  ev.events = peer.outbox.empty() ? 0u : EPOLLOUT;
+  ev.data.fd = peer.fd;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, peer.fd, &ev);
+}
+
+void SocketTransport::accept_ready() {
+  while (true) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      return;  // EAGAIN or transient error; epoll will re-arm
+    }
+    set_nonblocking_cloexec(fd);
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Inbound>();
+    conn->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    SDSI_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0);
+    inbound_by_fd_[fd] = std::move(conn);
+  }
+}
+
+bool SocketTransport::drain_frames(std::vector<std::uint8_t>& inbuf) {
+  std::size_t consumed = 0;
+  while (inbuf.size() - consumed >= kWireHeaderSize) {
+    const std::span<const std::uint8_t> rest(inbuf.data() + consumed,
+                                             inbuf.size() - consumed);
+    FrameHeader header;
+    const DecodeResult header_result =
+        decode_header(rest.first(kWireHeaderSize), &header);
+    if (header_result != DecodeResult::kOk &&
+        header_result != DecodeResult::kTruncated) {
+      // Unframeable stream: without a trustworthy payload_len there is no
+      // next-frame boundary to resync to.
+      ++stats_.decode_rejects;
+      return false;
+    }
+    if (header.payload_len > kMaxPayloadLen) {
+      ++stats_.decode_rejects;
+      return false;
+    }
+    const std::size_t frame_len = kWireHeaderSize + header.payload_len;
+    if (rest.size() < frame_len) {
+      break;  // wait for the rest of the frame
+    }
+    routing::Message msg;
+    const DecodeResult result = decode_frame(rest.first(frame_len), &msg);
+    if (result == DecodeResult::kOk) {
+      ++stats_.frames_received;
+      stats_.bytes_received += frame_len;
+      if (deliver_) {
+        deliver_(std::move(msg));
+      }
+    } else {
+      ++stats_.decode_rejects;  // framed but unparseable: skip this frame
+    }
+    consumed += frame_len;
+  }
+  if (consumed > 0) {
+    inbuf.erase(inbuf.begin(),
+                inbuf.begin() + static_cast<std::ptrdiff_t>(consumed));
+  }
+  return true;
+}
+
+void SocketTransport::read_ready(Inbound& conn) {
+  while (true) {
+    std::uint8_t chunk[16384];
+    const ssize_t n = ::read(conn.fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      conn.inbuf.insert(conn.inbuf.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    }
+    // EOF or hard error: parse what we have, then drop the connection.
+    drain_frames(conn.inbuf);
+    close_inbound(conn.fd);
+    return;
+  }
+  if (!drain_frames(conn.inbuf)) {
+    close_inbound(conn.fd);
+  }
+}
+
+void SocketTransport::close_inbound(int fd) {
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  close(fd);
+  inbound_by_fd_.erase(fd);
+}
+
+void SocketTransport::poll(int budget_ms) {
+  // Retry due outbound connections (frames may be queued behind a backoff).
+  const Clock::time_point now = Clock::now();
+  for (auto& [peer_index, peer] : peers_) {
+    if (peer.fd < 0 && !peer.outbox.empty() && now >= peer.next_attempt) {
+      start_connect(peer_index);
+    }
+  }
+
+  epoll_event events[64];
+  const int n = epoll_wait(epoll_fd_, events, 64, budget_ms);
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    const std::uint32_t mask = events[i].events;
+    if (fd == listen_fd_) {
+      accept_ready();
+      continue;
+    }
+    if (const auto out = outbound_by_fd_.find(fd);
+        out != outbound_by_fd_.end()) {
+      const NodeIndex peer_index = out->second;
+      Peer& peer = peers_[peer_index];
+      if ((mask & (EPOLLERR | EPOLLHUP)) != 0) {
+        fail_connection(peer_index);
+        continue;
+      }
+      if (peer.connecting) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err != 0) {
+          fail_connection(peer_index);
+          continue;
+        }
+        on_connect_ready(peer_index);
+      } else if ((mask & EPOLLOUT) != 0) {
+        flush_outbox(peer_index);
+      }
+      continue;
+    }
+    if (const auto in = inbound_by_fd_.find(fd); in != inbound_by_fd_.end()) {
+      if ((mask & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
+        read_ready(*in->second);
+      }
+    }
+  }
+}
+
+}  // namespace sdsi::net

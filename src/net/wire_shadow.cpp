@@ -1,0 +1,29 @@
+#include "net/wire_shadow.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "net/wire.hpp"
+
+namespace sdsi::net {
+
+std::shared_ptr<const WireShadowStats> install_wire_shadow(
+    routing::RoutingSystem& routing) {
+  auto stats = std::make_shared<WireShadowStats>();
+  routing.set_transmit_filter([stats](routing::Message& msg) {
+    const std::vector<std::uint8_t> wire = encode_frame(msg);
+    routing::Message decoded;
+    const DecodeResult result = decode_frame(wire, &decoded);
+    SDSI_CHECK(result == DecodeResult::kOk);
+    // Byte-level idempotence: re-encoding the decoded copy must reproduce
+    // the original frame exactly, or the codec lost information.
+    SDSI_CHECK(encode_frame(decoded) == wire);
+    ++stats->frames;
+    stats->bytes += wire.size();
+    msg = std::move(decoded);
+  });
+  return stats;
+}
+
+}  // namespace sdsi::net

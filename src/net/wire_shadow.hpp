@@ -1,0 +1,36 @@
+// Wire-shadow mode: run the simulator's transmission path through the v1
+// wire codec.
+//
+// install_wire_shadow() sets a RoutingSystem transmit filter that, for every
+// envelope entering a transmission deferral, (1) encodes it to wire bytes,
+// (2) decodes those bytes back into a fresh Message, (3) re-encodes the
+// decoded copy and aborts unless the two byte strings are identical, and
+// (4) replaces the in-flight envelope with the decoded copy — so everything
+// the receiving node observes actually crossed the serialization boundary.
+//
+// This is the SimTransport equivalence gate of docs/WIRE_FORMAT.md: a
+// seeded experiment must produce byte-identical metrics.json and identical
+// matched (stream, query) sets with the shadow on and off
+// (tests/test_wire_shadow.cpp; `sdsi_sim --wire-shadow`).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "routing/api.hpp"
+
+namespace sdsi::net {
+
+/// Codec traffic counters of one shadow installation (alive as long as the
+/// filter is installed; read them after the run).
+struct WireShadowStats {
+  std::uint64_t frames = 0;  // envelopes pushed through encode/decode
+  std::uint64_t bytes = 0;   // total encoded frame bytes
+};
+
+/// Installs the shadow filter on `routing` (replacing any previous transmit
+/// filter) and returns the stats block it feeds.
+std::shared_ptr<const WireShadowStats> install_wire_shadow(
+    routing::RoutingSystem& routing);
+
+}  // namespace sdsi::net

@@ -131,7 +131,7 @@ void RoutingSystem::emit_trace(obs::TraceEventKind event, NodeIndex node,
   record.event = event;
   record.at_us = sim_.now().count_micros();
   record.node = node;
-  record.kind = msg.kind;
+  record.kind = static_cast<int>(msg.kind);
   record.hops = msg.hops;
   record.target_key = msg.target_key;
   record.range_internal = msg.range_internal;

@@ -138,6 +138,18 @@ class RoutingSystem {
   /// it. Pass 0 to disable, 1.0 for a total blackout (partition tests).
   void set_message_loss(double probability, common::Pcg32 rng);
 
+  /// Hook applied to every in-flight envelope as it enters a transmission
+  /// deferral (schedule_msg) — the seam where a wire protocol can observe or
+  /// rewrite what "goes on the wire" without the routing layer depending on
+  /// the codec. net::install_wire_shadow() uses it to push every message
+  /// through encode/decode (wire v1) and assert the round-trip is lossless,
+  /// equivalence-gated on metrics.json digests. Empty (the default) costs
+  /// one branch per transmission and changes nothing.
+  using TransmitFilter = std::function<void(Message&)>;
+  void set_transmit_filter(TransmitFilter filter) {
+    transmit_filter_ = std::move(filter);
+  }
+
   /// Structured fault injection (fault/model.hpp): bursty loss, key-range
   /// partitions, latency jitter. Composes with the legacy uniform model
   /// (both are sampled; either can drop). Pass nullptr to remove.
@@ -278,6 +290,9 @@ class RoutingSystem {
   /// BENCH_scale.json uses as its baseline.
   template <typename Fn>
   void schedule_msg(sim::Duration delay, Message msg, Fn fn) {
+    if (transmit_filter_) {
+      transmit_filter_(msg);
+    }
     if (sim_.pooled_events()) {
       sim_.schedule_after(delay, [fn = std::move(fn),
                                   p = msg_pool_.make(std::move(msg))]() mutable {
@@ -318,6 +333,7 @@ class RoutingSystem {
   common::IdSpace space_;
   sim::Duration hop_latency_;
   DeliverFn deliver_;
+  TransmitFilter transmit_filter_;
   MetricsHook* metrics_ = nullptr;
   obs::TraceSink* trace_ = nullptr;
   std::uint64_t last_trace_id_ = 0;

@@ -130,7 +130,7 @@ TEST(ChordRouting, MessageArrivesAtSuccessorWithHopDelay) {
   h.net.bootstrap(figure1_ids());
   const NodeIndex n8 = by_id(h.net, 8);
   Message msg;
-  msg.kind = 1;
+  msg.kind = static_cast<routing::MsgKind>(1);
   h.net.send(n8, 25, std::move(msg));
   h.sim.run_all();
   ASSERT_EQ(h.deliveries.size(), 1u);
@@ -145,7 +145,7 @@ TEST(ChordRouting, LocalKeyDeliversWithZeroHops) {
   h.net.bootstrap(figure1_ids());
   const NodeIndex n14 = by_id(h.net, 14);
   Message msg;
-  msg.kind = 1;
+  msg.kind = static_cast<routing::MsgKind>(1);
   h.net.send(n14, 12, std::move(msg));
   h.sim.run_all();
   ASSERT_EQ(h.deliveries.size(), 1u);
@@ -158,7 +158,7 @@ TEST(ChordRouting, RangeMulticastMatchesFigure3a) {
   h.net.bootstrap(figure1_ids());
   const NodeIndex n1 = by_id(h.net, 1);
   Message msg;
-  msg.kind = 1;
+  msg.kind = static_cast<routing::MsgKind>(1);
   h.net.send_range(n1, 10, 19, std::move(msg),
                    routing::MulticastStrategy::kSequential);
   h.sim.run_all();
@@ -221,7 +221,7 @@ TEST(ChordRouting, DeterministicAcrossRuns) {
     h.net.bootstrap(routing::hash_node_ids(30, common::IdSpace(16), 9));
     for (Key key = 0; key < 20000; key += 997) {
       Message msg;
-      msg.kind = 1;
+      msg.kind = static_cast<routing::MsgKind>(1);
       h.net.send(0, key, std::move(msg));
     }
     h.sim.run_all();

@@ -156,7 +156,7 @@ TEST(ChordCrash, MessagesToCrashedCoverageRerouteAfterRepair) {
   net.crash(by_id(net, 160));
   net.run_maintenance_rounds(4);
   Message msg;
-  msg.kind = 1;
+  msg.kind = static_cast<routing::MsgKind>(1);
   net.send(by_id(net, 10), 100, std::move(msg));  // key 100 was 160's
   sim.run_all();
   ASSERT_EQ(deliveries.size(), 1u);
@@ -226,7 +226,7 @@ TEST(ChordChurn, RoutingUnderContinuousChurnNeverMisdelivers) {
             rng.bounded(static_cast<std::uint32_t>(net.num_nodes())));
       } while (!net.is_alive(from));
       Message msg;
-      msg.kind = 1;
+      msg.kind = static_cast<routing::MsgKind>(1);
       net.send(from, net.id_space().wrap(rng.next64()), std::move(msg));
       ++sent;
     }

@@ -44,10 +44,10 @@ TEST(IterativeLookup, DeliversToTheSameNodesAsRecursive) {
   for (int i = 0; i < 200; ++i) {
     const Key key = recursive.net.id_space().wrap(rng.next64());
     Message a;
-    a.kind = 1;
+    a.kind = static_cast<routing::MsgKind>(1);
     recursive.net.send(0, key, std::move(a));
     Message b;
-    b.kind = 1;
+    b.kind = static_cast<routing::MsgKind>(1);
     iterative.net.send(0, key, std::move(b));
   }
   recursive.sim.run_all();
@@ -68,10 +68,10 @@ TEST(IterativeLookup, CostsRoughlyTwiceTheTransmissions) {
   for (int i = 0; i < kSends; ++i) {
     const Key key = recursive.net.id_space().wrap(rng.next64());
     Message a;
-    a.kind = 1;
+    a.kind = static_cast<routing::MsgKind>(1);
     recursive.net.send(0, key, std::move(a));
     Message b;
-    b.kind = 1;
+    b.kind = static_cast<routing::MsgKind>(1);
     iterative.net.send(0, key, std::move(b));
   }
   recursive.sim.run_all();
@@ -96,12 +96,12 @@ TEST(IterativeLookup, LatencyDoublesToo) {
   for (int i = 0; i < 100; ++i) {
     const Key key = recursive.net.id_space().wrap(rng.next64());
     Message a;
-    a.kind = 1;
+    a.kind = static_cast<routing::MsgKind>(1);
     recursive.net.send(5, key, std::move(a));
     recursive.sim.run_all();
     recursive_total += recursive.delivery_times_ms.back();
     Message b;
-    b.kind = 1;
+    b.kind = static_cast<routing::MsgKind>(1);
     iterative.net.send(5, key, std::move(b));
     iterative.sim.run_all();
     iterative_total += iterative.delivery_times_ms.back();
@@ -115,7 +115,7 @@ TEST(IterativeLookup, LocalKeyIsFree) {
   const NodeIndex node = 3;
   const Key key = h.net.node_id(node);  // a node covers its own id
   Message msg;
-  msg.kind = 1;
+  msg.kind = static_cast<routing::MsgKind>(1);
   h.net.send(node, key, std::move(msg));
   h.sim.run_all();
   ASSERT_EQ(h.deliveries.size(), 1u);
@@ -129,7 +129,7 @@ TEST(IterativeLookup, TransitChargedAtProbedNodes) {
   common::Pcg32 rng(4, 4);
   for (int i = 0; i < 100; ++i) {
     Message msg;
-    msg.kind = static_cast<int>(core::MsgKind::kMbrUpdate);
+    msg.kind = core::MsgKind::kMbrUpdate;
     h.net.send(0, h.net.id_space().wrap(rng.next64()), std::move(msg));
   }
   h.sim.run_all();
@@ -140,7 +140,7 @@ TEST(IterativeLookup, TransitChargedAtProbedNodes) {
 TEST(IterativeLookup, WorksWithRangeMulticast) {
   Harness h(LookupStyle::kIterative, 12);
   Message msg;
-  msg.kind = 1;
+  msg.kind = static_cast<routing::MsgKind>(1);
   const Key lo = 1000;
   const Key hi = 20000;
   h.net.send_range(0, lo, hi, std::move(msg),

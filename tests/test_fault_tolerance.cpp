@@ -101,7 +101,7 @@ TEST(MessageLoss, SamplerRespectsProbability) {
   constexpr int kSends = 4000;
   for (int i = 0; i < kSends; ++i) {
     routing::Message msg;
-    msg.kind = 1;
+    msg.kind = static_cast<routing::MsgKind>(1);
     ring.send(0, static_cast<Key>(i * 13) & ring.id_space().mask(),
               std::move(msg));
   }
@@ -118,7 +118,7 @@ TEST(MessageLoss, ZeroProbabilityDropsNothing) {
   ring.set_message_loss(0.0, common::Pcg32(1, 1));
   for (int i = 0; i < 100; ++i) {
     routing::Message msg;
-    msg.kind = 1;
+    msg.kind = static_cast<routing::MsgKind>(1);
     ring.send(0, static_cast<Key>(i), std::move(msg));
   }
   sim.run_all();

@@ -9,7 +9,7 @@ namespace {
 
 routing::Message make(MsgKind kind, bool internal = false, int hops = 0) {
   routing::Message msg;
-  msg.kind = static_cast<int>(kind);
+  msg.kind = kind;
   msg.range_internal = internal;
   msg.hops = hops;
   return msg;

@@ -1,0 +1,52 @@
+// In-process leg of the sim-vs-socket equivalence gate (the wire-protocol
+// PR's acceptance test): the NetNode pipeline — the same code sdsi_node runs
+// over real TCP — driven over SimTransport must produce the exact per-query
+// matched stream sets the canonical simulated middleware produces on the
+// identical workload, at N >= 8 nodes, fault-free. Every frame between
+// NetNodes crosses the v1 codec, so a divergence anywhere in the envelope or
+// payload serialization shows up as a digest mismatch here.
+//
+// The socket leg (real processes, real TCP) is tools/net_equiv, wired as
+// `ctest -L net-smoke`.
+#include <gtest/gtest.h>
+
+#include "net/equivalence.hpp"
+
+namespace sdsi::net {
+namespace {
+
+TEST(NetEquivalence, SimAndNetDigestsMatchAtEightNodes) {
+  WorkloadConfig config;
+  config.nodes = 8;
+  config.seed = 42;
+
+  const MatchDigest sim_digest = run_sim_reference(config);
+  const MatchDigest net_digest = run_net_over_sim_transport(config);
+
+  // The gate is vacuous unless the workload actually produces matches.
+  ASSERT_EQ(sim_digest.size(), static_cast<std::size_t>(config.nodes));
+  std::size_t nonempty = 0;
+  for (const auto& [id, streams] : sim_digest) {
+    nonempty += streams.empty() ? 0u : 1u;
+  }
+  ASSERT_GT(nonempty, 0u) << "workload produced no matches at all";
+
+  EXPECT_EQ(net_digest, sim_digest);
+}
+
+TEST(NetEquivalence, HoldsAcrossSeedsAndRingSizes) {
+  for (const auto& [nodes, seed] : {std::pair<std::uint32_t, std::uint64_t>{3, 7},
+                                    {8, 1234},
+                                    {11, 99}}) {
+    WorkloadConfig config;
+    config.nodes = nodes;
+    config.seed = seed;
+    config.samples_per_stream = 300;
+    const MatchDigest sim_digest = run_sim_reference(config);
+    const MatchDigest net_digest = run_net_over_sim_transport(config);
+    EXPECT_EQ(net_digest, sim_digest) << nodes << " nodes, seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace sdsi::net

@@ -47,7 +47,7 @@ std::vector<Key> figure1_ids() { return {1, 8, 11, 14, 20, 23}; }
 TEST(Trace, SendAssignsAFreshIdAndEmitsOriginateAndDeliver) {
   Harness h(common::IdSpace(5), figure1_ids());
   Message msg;
-  msg.kind = 2;
+  msg.kind = static_cast<routing::MsgKind>(2);
   h.ring.send(0, 13, std::move(msg));
   h.sim.run_all();
 
@@ -69,7 +69,7 @@ TEST(Trace, DistinctSendsGetDistinctIds) {
   Harness h(common::IdSpace(5), figure1_ids());
   for (Key key : {Key{13}, Key{17}, Key{26}}) {
     Message msg;
-    msg.kind = 1;
+    msg.kind = static_cast<routing::MsgKind>(1);
     h.ring.send(0, key, std::move(msg));
   }
   h.sim.run_all();
@@ -83,7 +83,7 @@ TEST(Trace, DistinctSendsGetDistinctIds) {
 TEST(Trace, CallerProvidedIdIsPreserved) {
   Harness h(common::IdSpace(5), figure1_ids());
   Message msg;
-  msg.kind = 1;
+  msg.kind = static_cast<routing::MsgKind>(1);
   msg.trace_id = 777;  // middleware pre-allocates one id per MBR publication
   h.ring.send(0, 13, std::move(msg));
   h.sim.run_all();
@@ -99,7 +99,7 @@ TEST_P(RangeTraceBothStrategies, EveryRangeCopySharesTheOriginatorsId) {
   // one trace id across the original and every forwarded copy.
   Harness h(common::IdSpace(5), figure1_ids());
   Message msg;
-  msg.kind = 3;
+  msg.kind = static_cast<routing::MsgKind>(3);
   h.ring.send_range(0, 10, 19, std::move(msg), GetParam());
   h.sim.run_all();
 
@@ -140,9 +140,9 @@ TEST(Trace, ConcurrentMulticastsStayDistinguishable) {
   // one of the two ids, with per-id delivery counts intact.
   Harness h(common::IdSpace(5), figure1_ids());
   Message a;
-  a.kind = 3;
+  a.kind = static_cast<routing::MsgKind>(3);
   Message b;
-  b.kind = 3;
+  b.kind = static_cast<routing::MsgKind>(3);
   h.ring.send_range(0, 10, 19, std::move(a), MulticastStrategy::kSequential);
   h.ring.send_range(3, 20, 1, std::move(b), MulticastStrategy::kSequential);
   h.sim.run_all();
@@ -180,7 +180,7 @@ TEST(Trace, NoSinkMeansNoOverheadAndNoCrash) {
   sim::Simulator sim;
   StaticRing ring(sim, common::IdSpace(5), figure1_ids());
   Message msg;
-  msg.kind = 1;
+  msg.kind = static_cast<routing::MsgKind>(1);
   ring.send_range(0, 10, 19, std::move(msg), MulticastStrategy::kSequential);
   sim.run_all();  // no sink attached: ids still assigned, nothing recorded
   SUCCEED();

@@ -106,7 +106,7 @@ TEST(PrefixRing, SingleNodeCoversEverything) {
 TEST(PrefixRing, MessageRoutingDeliversWithHopLatency) {
   Harness h(small_config(), {10, 80, 160, 230});
   Message msg;
-  msg.kind = 1;
+  msg.kind = static_cast<routing::MsgKind>(1);
   const NodeIndex n10 = h.ring.find_successor_oracle(10);
   h.ring.send(n10, 100, std::move(msg));
   h.sim.run_all();
@@ -139,7 +139,7 @@ TEST(PrefixRing, RangeMulticastCoversOracleSet) {
     }
   }
   Message msg;
-  msg.kind = 1;
+  msg.kind = static_cast<routing::MsgKind>(1);
   h.ring.send_range(0, lo, hi, std::move(msg),
                     MulticastStrategy::kBidirectional);
   h.sim.run_all();

@@ -67,7 +67,7 @@ TEST(StaticRing, NeighborsFollowRingOrder) {
 TEST(StaticRing, SendDeliversAtSuccessorWithOneHop) {
   Harness h(common::IdSpace(5), figure1_ids());
   Message msg;
-  msg.kind = 1;
+  msg.kind = static_cast<routing::MsgKind>(1);
   h.ring.send(0, 13, std::move(msg));
   h.sim.run_all();
   ASSERT_EQ(h.deliveries.size(), 1u);
@@ -80,7 +80,7 @@ TEST(StaticRing, SelfSendIsLocalAndImmediate) {
   Harness h(common::IdSpace(5), figure1_ids());
   const NodeIndex n14 = h.ring.find_successor_oracle(14);
   Message msg;
-  msg.kind = 1;
+  msg.kind = static_cast<routing::MsgKind>(1);
   h.ring.send(n14, 13, std::move(msg));  // node 14 covers key 13
   h.sim.run_all();
   ASSERT_EQ(h.deliveries.size(), 1u);
@@ -92,7 +92,7 @@ TEST(StaticRing, SelfSendIsLocalAndImmediate) {
 TEST(StaticRing, SendDirectTakesOneHop) {
   Harness h(common::IdSpace(5), figure1_ids());
   Message msg;
-  msg.kind = 2;
+  msg.kind = static_cast<routing::MsgKind>(2);
   h.ring.send_direct(0, 3, std::move(msg));
   h.sim.run_all();
   ASSERT_EQ(h.deliveries.size(), 1u);
@@ -103,12 +103,12 @@ TEST(StaticRing, SendDirectTakesOneHop) {
 TEST(StaticRing, MessageMetadataPropagates) {
   Harness h(common::IdSpace(5), figure1_ids());
   Message msg;
-  msg.kind = 42;
+  msg.kind = static_cast<routing::MsgKind>(42);
   msg.payload = std::make_shared<const int>(7);
   h.ring.send(0, 17, std::move(msg));
   h.sim.run_all();
   ASSERT_EQ(h.deliveries.size(), 1u);
-  EXPECT_EQ(h.deliveries[0].msg.kind, 42);
+  EXPECT_EQ(h.deliveries[0].msg.kind, static_cast<routing::MsgKind>(42));
   EXPECT_EQ(h.deliveries[0].msg.origin, 0u);
   EXPECT_EQ(h.deliveries[0].msg.target_key, 17u);
   const auto payload = std::any_cast<std::shared_ptr<const int>>(
@@ -121,7 +121,7 @@ TEST(StaticRing, RangeMulticastPaperExample) {
   // N20" (Figure 3a: keys K10 and K19).
   Harness h(common::IdSpace(5), figure1_ids());
   Message msg;
-  msg.kind = 3;
+  msg.kind = static_cast<routing::MsgKind>(3);
   h.ring.send_range(0, 10, 19, std::move(msg),
                     MulticastStrategy::kSequential);
   h.sim.run_all();
@@ -135,7 +135,7 @@ TEST(StaticRing, RangeMulticastPaperExample) {
 TEST(StaticRing, RangeMulticastBidirectionalSameCoverage) {
   Harness h(common::IdSpace(5), figure1_ids());
   Message msg;
-  msg.kind = 3;
+  msg.kind = static_cast<routing::MsgKind>(3);
   h.ring.send_range(0, 10, 19, std::move(msg),
                     MulticastStrategy::kBidirectional);
   h.sim.run_all();
@@ -156,7 +156,7 @@ TEST(StaticRing, BidirectionalHalvesPropagationDepth) {
   const auto run = [&](MulticastStrategy strategy) {
     Harness h(common::IdSpace(8), ids);
     Message msg;
-    msg.kind = 1;
+    msg.kind = static_cast<routing::MsgKind>(1);
     h.ring.send_range(0, 16, 144, std::move(msg), strategy);
     h.sim.run_all();
     double last = 0.0;
@@ -176,7 +176,7 @@ TEST(StaticRing, FullCircleRangeReachesEveryNode) {
   std::vector<Key> ids{5, 50, 100, 150, 200, 250};
   Harness h(common::IdSpace(8), ids);
   Message msg;
-  msg.kind = 1;
+  msg.kind = static_cast<routing::MsgKind>(1);
   const Key self = h.ring.node_id(2);
   h.ring.send_range(2, h.ring.id_space().wrap(self + 1), self, std::move(msg),
                     MulticastStrategy::kSequential);
@@ -187,7 +187,7 @@ TEST(StaticRing, FullCircleRangeReachesEveryNode) {
 TEST(StaticRing, SingleNodeRangeNoForwarding) {
   Harness h(common::IdSpace(5), figure1_ids());
   Message msg;
-  msg.kind = 1;
+  msg.kind = static_cast<routing::MsgKind>(1);
   h.ring.send_range(0, 12, 13, std::move(msg),
                     MulticastStrategy::kSequential);
   h.sim.run_all();
@@ -199,7 +199,7 @@ TEST(StaticRing, SingleNodeRangeNoForwarding) {
 TEST(StaticRing, RangeInternalFlagSetOnForwardedCopies) {
   Harness h(common::IdSpace(5), figure1_ids());
   Message msg;
-  msg.kind = 1;
+  msg.kind = static_cast<routing::MsgKind>(1);
   h.ring.send_range(0, 10, 19, std::move(msg),
                     MulticastStrategy::kSequential);
   h.sim.run_all();
@@ -246,7 +246,7 @@ TEST_P(RangeCoverageProperty, MulticastCoversExactlyTheOracleNodeSet) {
        {MulticastStrategy::kSequential, MulticastStrategy::kBidirectional}) {
     Harness h(space, ids);
     Message msg;
-    msg.kind = 1;
+    msg.kind = static_cast<routing::MsgKind>(1);
     h.ring.send_range(0, lo, hi, std::move(msg), strategy);
     h.sim.run_all();
     EXPECT_EQ(h.delivered_nodes(), expected)

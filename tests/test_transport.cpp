@@ -1,0 +1,171 @@
+// SocketTransport plumbing tests: real localhost TCP between in-process
+// endpoints — delivery through the v1 codec, queueing while the peer is
+// still unreachable, reconnect-with-backoff after a peer restart, and
+// rejection accounting for garbage bytes.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/socket_transport.hpp"
+#include "net/wire.hpp"
+#include "wire_samples.hpp"
+
+namespace sdsi::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Drives a set of transports until `done` or the deadline.
+bool pump(std::vector<SocketTransport*> transports,
+          const std::function<bool()>& done, int deadline_ms = 5000) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+  while (!done()) {
+    if (Clock::now() > deadline) {
+      return false;
+    }
+    for (SocketTransport* transport : transports) {
+      transport->poll(5);
+    }
+  }
+  return true;
+}
+
+TEST(SocketTransport, DeliversFramesBetweenEndpoints) {
+  SocketTransport a(0);
+  SocketTransport b(0);
+  std::vector<routing::Message> at_b;
+  b.set_deliver([&](routing::Message&& msg) { at_b.push_back(std::move(msg)); });
+  a.set_peer(1, "127.0.0.1", b.listen_port());
+
+  const routing::Message original =
+      testing::sample_message(routing::MsgKind::kMbrUpdate);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(a.send(1, original));
+  }
+  ASSERT_TRUE(pump({&a, &b}, [&] { return at_b.size() == 10; }));
+
+  // What arrived is what was sent, to the byte.
+  const std::vector<std::uint8_t> wire = encode_frame(original);
+  for (const routing::Message& msg : at_b) {
+    EXPECT_EQ(encode_frame(msg), wire);
+  }
+  EXPECT_GE(a.stats().frames_sent, 10u);
+  EXPECT_GE(b.stats().frames_received, 10u);
+}
+
+TEST(SocketTransport, UnknownPeerFailsFast) {
+  SocketTransport a(0);
+  EXPECT_FALSE(
+      a.send(9, testing::sample_message(routing::MsgKind::kMbrAck)));
+}
+
+TEST(SocketTransport, QueuesWhilePeerIsDownThenFlushesOnReconnect) {
+  SocketTransport a(0);
+  std::uint16_t port = 0;
+  {
+    // Reserve a real ephemeral port, then shut the listener down.
+    SocketTransport ghost(0);
+    port = ghost.listen_port();
+  }
+  a.set_peer(1, "127.0.0.1", port);
+
+  // Sends while the peer is down queue in the outbox (send() still true).
+  const routing::Message msg =
+      testing::sample_message(routing::MsgKind::kResponse);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(a.send(1, msg));
+  }
+  // Let a few connection attempts fail so backoff is actually exercised.
+  const auto spin_until = Clock::now() + std::chrono::milliseconds(150);
+  while (Clock::now() < spin_until) {
+    a.poll(5);
+  }
+  EXPECT_FALSE(a.connected(1));
+
+  // Peer comes up on the same port: the queued frames must all arrive.
+  SocketTransport b(port);
+  std::vector<routing::Message> at_b;
+  b.set_deliver([&](routing::Message&& m) { at_b.push_back(std::move(m)); });
+  ASSERT_TRUE(pump({&a, &b}, [&] { return at_b.size() == 5; }));
+  EXPECT_TRUE(a.connected(1));
+  EXPECT_GE(a.stats().reconnect_attempts, 1u);
+}
+
+TEST(SocketTransport, SurvivesPeerRestartMidStream) {
+  SocketTransport a(0);
+  std::uint16_t port = 0;
+  std::vector<routing::Message> received;
+  const auto sink = [&](routing::Message&& m) {
+    received.push_back(std::move(m));
+  };
+  auto b = std::make_unique<SocketTransport>(std::uint16_t{0});
+  port = b->listen_port();
+  b->set_deliver(sink);
+  a.set_peer(1, "127.0.0.1", port);
+
+  const routing::Message msg =
+      testing::sample_message(routing::MsgKind::kLocationPut);
+  EXPECT_TRUE(a.send(1, msg));
+  {
+    SocketTransport* b_raw = b.get();
+    ASSERT_TRUE(pump({&a, b_raw}, [&] { return received.size() == 1; }));
+  }
+
+  // Restart the peer on the same port; the next sends reconnect and land.
+  b.reset();
+  b = std::make_unique<SocketTransport>(port);
+  b->set_deliver(sink);
+  SocketTransport* b_raw = b.get();
+  const auto deadline = Clock::now() + std::chrono::seconds(10);
+  while (received.size() < 2 && Clock::now() < deadline) {
+    // Keep nudging: the first send after the restart may land on the dead
+    // connection and only fail once the kernel reports it.
+    EXPECT_TRUE(a.send(1, msg));
+    a.poll(5);
+    b_raw->poll(5);
+  }
+  EXPECT_GE(received.size(), 2u);
+}
+
+TEST(SocketTransport, GarbageBytesDropTheConnectionNotTheProcess) {
+  SocketTransport b(0);
+  std::vector<routing::Message> at_b;
+  b.set_deliver([&](routing::Message&& m) { at_b.push_back(std::move(m)); });
+
+  // A raw TCP client speaking garbage: the receiver must count the reject
+  // and close that connection — and keep serving well-formed peers.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(b.listen_port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const char garbage[] = "this is definitely not an SDSI frame, not even "
+                         "close; padding padding padding padding padding";
+  ASSERT_GT(::write(fd, garbage, sizeof(garbage)), 0);
+  pump({&b}, [&] { return b.stats().decode_rejects > 0; });
+  EXPECT_GE(b.stats().decode_rejects, 1u);
+  ::close(fd);
+
+  // A well-formed peer still gets through afterwards.
+  SocketTransport a(0);
+  a.set_peer(1, "127.0.0.1", b.listen_port());
+  const routing::Message good =
+      testing::sample_message(routing::MsgKind::kMbrAck);
+  EXPECT_TRUE(a.send(1, good));
+  ASSERT_TRUE(pump({&a, &b}, [&] { return at_b.size() == 1; }));
+}
+
+}  // namespace
+}  // namespace sdsi::net

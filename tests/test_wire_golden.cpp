@@ -1,0 +1,74 @@
+// Golden-bytes pin of wire protocol v1: one committed fixture per message
+// kind under tests/golden/wire_v1/, each the exact frame encode_frame
+// produces for the canonical sample message. These bytes are the protocol —
+// any codec change that alters them is a protocol break and must bump
+// kWireVersion instead of editing the fixtures.
+//
+// Regenerating (new kind appended, NEVER for layout changes):
+//   SDSI_REGEN_GOLDEN=1 ./test_wire_golden
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "wire_samples.hpp"
+
+#ifndef SDSI_GOLDEN_DIR
+#error "build must define SDSI_GOLDEN_DIR"
+#endif
+
+namespace sdsi::net {
+namespace {
+
+std::string fixture_path(routing::MsgKind kind) {
+  return std::string(SDSI_GOLDEN_DIR) + "/wire_v1/" +
+         routing::msg_kind_name(kind) + ".bin";
+}
+
+std::vector<std::uint8_t> read_fixture(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return {};
+  }
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+TEST(WireGolden, V1FramesArePinnedForever) {
+  const bool regen = std::getenv("SDSI_REGEN_GOLDEN") != nullptr;
+  for (std::uint16_t raw = 1; raw <= routing::kNumMsgKinds; ++raw) {
+    const auto kind = static_cast<routing::MsgKind>(raw);
+    const std::vector<std::uint8_t> wire =
+        encode_frame(testing::sample_message(kind));
+    const std::string path = fixture_path(kind);
+
+    if (regen) {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      ASSERT_TRUE(out.is_open()) << path;
+      out.write(reinterpret_cast<const char*>(wire.data()),
+                static_cast<std::streamsize>(wire.size()));
+      continue;
+    }
+
+    const std::vector<std::uint8_t> golden = read_fixture(path);
+    ASSERT_FALSE(golden.empty())
+        << "missing fixture " << path
+        << " (run with SDSI_REGEN_GOLDEN=1 after adding a NEW kind)";
+    ASSERT_EQ(wire, golden)
+        << routing::msg_kind_name(kind)
+        << ": encoder no longer reproduces the pinned v1 bytes — this is a "
+           "wire protocol break; bump kWireVersion instead";
+
+    // The pinned bytes must also decode and re-encode canonically.
+    routing::Message decoded;
+    ASSERT_EQ(decode_frame(golden, &decoded), DecodeResult::kOk)
+        << routing::msg_kind_name(kind);
+    EXPECT_EQ(encode_frame(decoded), golden) << routing::msg_kind_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace sdsi::net

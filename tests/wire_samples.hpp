@@ -1,0 +1,201 @@
+// Canonical sample message per wire kind, shared by the codec round-trip
+// test and the golden-bytes fixtures. Deliberately deterministic (no rng):
+// the golden files pin encode_frame(sample_message(kind)) byte for byte.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/query.hpp"
+#include "net/wire.hpp"
+
+namespace sdsi::net::testing {
+
+inline dsp::FeatureVector sample_features() {
+  return dsp::FeatureVector({{0.25, -0.5}, {0.125, 1.0}});
+}
+
+inline dsp::Mbr sample_mbr() {
+  return dsp::Mbr({-0.5, -0.25, 0.0, 0.0}, {0.5, 0.25, 0.125, 0.0});
+}
+
+inline std::shared_ptr<const core::SimilarityQuery> sample_query() {
+  core::SimilarityQuery query;
+  query.id = 7;
+  query.client = 3;
+  query.features = sample_features();
+  query.radius = 0.35;
+  query.lifespan = sim::Duration::seconds(60);
+  query.issued_at = sim::SimTime::from_micros(1'000'000);
+  return std::make_shared<const core::SimilarityQuery>(std::move(query));
+}
+
+inline core::SimilarityMatch sample_match() {
+  core::SimilarityMatch match;
+  match.query = 7;
+  match.stream = 42;
+  match.bound_distance = 0.125;
+  match.detected_at = sim::SimTime::from_micros(2'500'000);
+  return match;
+}
+
+template <typename T>
+void set_payload(routing::Message& msg, T payload) {
+  msg.payload = std::shared_ptr<const T>(
+      std::make_shared<const T>(std::move(payload)));
+}
+
+/// A fully populated envelope + representative payload for `kind`.
+inline routing::Message sample_message(routing::MsgKind kind) {
+  using routing::MsgKind;
+  routing::Message msg;
+  msg.kind = kind;
+  msg.target_key = 0xBEEF;
+  msg.origin = 2;
+  msg.range_internal = true;
+  msg.range_dir = routing::RangeDir::kUp;
+  msg.has_range = true;
+  msg.range_lo = 0x1000;
+  msg.range_hi = 0x2000;
+  msg.reroute_on_dead = true;
+  msg.hops = 3;
+  msg.sent_at = sim::SimTime::from_micros(5'000'000);
+  msg.trace_id = 0x1122334455667788ull;
+
+  switch (kind) {
+    case MsgKind::kInvalid:
+      break;
+    case MsgKind::kMbrUpdate: {
+      core::MbrPayload payload;
+      payload.stream = 42;
+      payload.source = 2;
+      payload.mbr = sample_mbr();
+      payload.batch_seq = 9;
+      payload.expires = sim::SimTime::from_micros(90'000'000);
+      set_payload(msg, std::move(payload));
+      break;
+    }
+    case MsgKind::kSimilarityQuery: {
+      core::SimilarityQueryPayload payload;
+      payload.query = sample_query();
+      payload.middle_key = 0x1800;
+      set_payload(msg, std::move(payload));
+      break;
+    }
+    case MsgKind::kInnerProductQuery: {
+      core::InnerProductQuery query;
+      query.id = 11;
+      query.client = 1;
+      query.stream = 42;
+      query.index = {1.0, 0.0, 1.0};
+      query.weights = {0.5, 0.25, 0.25};
+      query.lifespan = sim::Duration::seconds(30);
+      query.issued_at = sim::SimTime::from_micros(1'500'000);
+      core::InnerProductQueryPayload payload;
+      payload.query =
+          std::make_shared<const core::InnerProductQuery>(std::move(query));
+      set_payload(msg, std::move(payload));
+      break;
+    }
+    case MsgKind::kResponse: {
+      core::ResponsePayload payload;
+      payload.query = 7;
+      payload.client = 3;
+      payload.inner_product = false;
+      payload.matches = {sample_match()};
+      payload.inner_product_value = 0.75;
+      payload.aggregator = 5;
+      payload.push_seq = 4;
+      set_payload(msg, std::move(payload));
+      break;
+    }
+    case MsgKind::kNeighborExchange: {
+      core::MatchReport report;
+      report.match = sample_match();
+      report.client = 3;
+      report.middle_key = 0x1800;
+      report.query_expires = sim::SimTime::from_micros(61'000'000);
+      core::NeighborDigestPayload payload;
+      payload.reports = {report};
+      set_payload(msg, std::move(payload));
+      break;
+    }
+    case MsgKind::kLocationPut: {
+      set_payload(msg, core::LocationPutPayload{42, 2});
+      break;
+    }
+    case MsgKind::kLocationGet: {
+      set_payload(msg, core::LocationGetPayload{42, 1});
+      break;
+    }
+    case MsgKind::kLocationReply: {
+      set_payload(msg, core::LocationReplyPayload{42, kInvalidNode});
+      break;
+    }
+    case MsgKind::kMbrAck: {
+      set_payload(msg, core::MbrAckPayload{42, 9});
+      break;
+    }
+    case MsgKind::kResponseAck: {
+      set_payload(msg, core::ResponseAckPayload{7, 4});
+      break;
+    }
+    case MsgKind::kReplicaPut: {
+      core::ReplicaMbrEntry entry;
+      entry.stream = 42;
+      entry.source = 2;
+      entry.mbr = sample_mbr();
+      entry.batch_seq = 9;
+      entry.expires = sim::SimTime::from_micros(90'000'000);
+      core::ReplicaSubscriptionEntry sub;
+      sub.query = sample_query();
+      sub.middle_key = 0x1800;
+      sub.expires = sim::SimTime::from_micros(61'000'000);
+      core::ReplicaPutPayload payload;
+      payload.from = 4;
+      payload.mbrs = {entry};
+      payload.subscriptions = {std::move(sub)};
+      payload.handoff = true;
+      payload.repair = false;
+      set_payload(msg, std::move(payload));
+      break;
+    }
+    case MsgKind::kHandoffRequest: {
+      set_payload(msg, core::HandoffRequestPayload{6, 0x0FFF, 0x1FFF});
+      break;
+    }
+    case MsgKind::kAntiEntropyDigest: {
+      core::AntiEntropyDigestPayload payload;
+      payload.from = 2;
+      payload.lo = 0x0FFF;
+      payload.hi = 0x1FFF;
+      payload.mbr_keys = {{42, 9}, {43, 1}};
+      payload.query_ids = {7, 11};
+      set_payload(msg, std::move(payload));
+      break;
+    }
+    case MsgKind::kAntiEntropyRequest: {
+      core::AntiEntropyRequestPayload payload;
+      payload.requester = 5;
+      payload.mbr_keys = {{43, 1}};
+      payload.query_ids = {11};
+      set_payload(msg, std::move(payload));
+      break;
+    }
+    case MsgKind::kAggregatorReplica: {
+      core::AggregatorReplicaPayload payload;
+      payload.query = 7;
+      payload.client = 3;
+      payload.middle_key = 0x1800;
+      payload.expires = sim::SimTime::from_micros(61'000'000);
+      payload.owner = 2;
+      payload.matches = {sample_match()};
+      set_payload(msg, std::move(payload));
+      break;
+    }
+  }
+  return msg;
+}
+
+}  // namespace sdsi::net::testing

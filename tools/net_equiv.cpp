@@ -1,0 +1,276 @@
+// net_equiv: the socket leg of the sim-vs-socket equivalence gate.
+//
+// Launches N sdsi_node processes (real TCP over 127.0.0.1, wire protocol
+// v1), waits for the ring to run the deterministic net workload to
+// completion, merges the per-process out.<i>.json results, and compares the
+// merged per-query matched stream sets against the canonical simulated
+// middleware run in-process (net::run_sim_reference). Exits 0 iff the
+// digests are identical and non-vacuous.
+//
+// Usage: net_equiv --nodes N --dir SCRATCH [--seed S] [--samples K]
+//                  [--node-bin PATH]
+// The node binary defaults to "sdsi_node" next to this executable.
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/equivalence.hpp"
+#include "obs/json.hpp"
+
+namespace fs = std::filesystem;
+using namespace sdsi;
+
+namespace {
+
+struct Options {
+  std::uint32_t nodes = 8;
+  std::string dir;
+  std::uint64_t seed = 42;
+  std::uint32_t samples = 400;
+  std::string node_bin;
+  int timeout_s = 120;
+};
+
+[[noreturn]] void usage_and_exit(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --nodes N --dir SCRATCH [--seed S] [--samples K] "
+               "[--node-bin PATH] [--timeout SECONDS]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage_and_exit(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--nodes") {
+      opts.nodes = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--dir") {
+      opts.dir = next();
+    } else if (arg == "--seed") {
+      opts.seed = std::stoull(next());
+    } else if (arg == "--samples") {
+      opts.samples = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--node-bin") {
+      opts.node_bin = next();
+    } else if (arg == "--timeout") {
+      opts.timeout_s = std::stoi(next());
+    } else {
+      usage_and_exit(argv[0]);
+    }
+  }
+  if (opts.nodes == 0 || opts.dir.empty()) usage_and_exit(argv[0]);
+  return opts;
+}
+
+/// Directory of this executable, so sdsi_node is found in the same build
+/// tree without relying on cwd or PATH.
+fs::path self_directory() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return fs::path(".");
+  buf[n] = '\0';
+  return fs::path(buf).parent_path();
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void print_digest_diff(const net::MatchDigest& sim_digest,
+                       const net::MatchDigest& net_digest) {
+  for (const auto& [query, streams] : sim_digest) {
+    const auto it = net_digest.find(query);
+    if (it != net_digest.end() && it->second == streams) continue;
+    std::fprintf(stderr, "  query %llu: sim={",
+                 static_cast<unsigned long long>(query));
+    for (const StreamId s : streams) {
+      std::fprintf(stderr, " %llu", static_cast<unsigned long long>(s));
+    }
+    std::fprintf(stderr, " } net={");
+    if (it != net_digest.end()) {
+      for (const StreamId s : it->second) {
+        std::fprintf(stderr, " %llu", static_cast<unsigned long long>(s));
+      }
+    } else {
+      std::fprintf(stderr, " <missing>");
+    }
+    std::fprintf(stderr, " }\n");
+  }
+  for (const auto& [query, streams] : net_digest) {
+    if (sim_digest.find(query) == sim_digest.end()) {
+      std::fprintf(stderr, "  query %llu: only in net digest\n",
+                   static_cast<unsigned long long>(query));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = parse_args(argc, argv);
+
+  fs::create_directories(opts.dir);
+  // Stale rendezvous files from a previous run would wreck the barriers.
+  for (const auto& entry : fs::directory_iterator(opts.dir)) {
+    fs::remove_all(entry.path());
+  }
+
+  const fs::path node_bin = opts.node_bin.empty()
+                                ? self_directory() / "sdsi_node"
+                                : fs::path(opts.node_bin);
+  if (!fs::exists(node_bin)) {
+    std::fprintf(stderr, "net_equiv: node binary not found: %s\n",
+                 node_bin.c_str());
+    return 2;
+  }
+
+  // --- Launch the ring ----------------------------------------------------
+  std::vector<pid_t> children;
+  children.reserve(opts.nodes);
+  for (std::uint32_t i = 0; i < opts.nodes; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("net_equiv: fork");
+      for (const pid_t child : children) ::kill(child, SIGKILL);
+      return 2;
+    }
+    if (pid == 0) {
+      const std::string index_arg = std::to_string(i);
+      const std::string nodes_arg = std::to_string(opts.nodes);
+      const std::string seed_arg = std::to_string(opts.seed);
+      const std::string samples_arg = std::to_string(opts.samples);
+      const char* child_argv[] = {
+          node_bin.c_str(),    "--index",   index_arg.c_str(),
+          "--nodes",           nodes_arg.c_str(),
+          "--dir",             opts.dir.c_str(),
+          "--seed",            seed_arg.c_str(),
+          "--samples",         samples_arg.c_str(),
+          nullptr};
+      ::execv(node_bin.c_str(), const_cast<char* const*>(child_argv));
+      std::perror("net_equiv: execv");
+      ::_exit(127);
+    }
+    children.push_back(pid);
+  }
+
+  // --- Wait for every process (bounded) -----------------------------------
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + std::chrono::seconds(opts.timeout_s);
+  std::uint32_t exited_ok = 0;
+  bool failed = false;
+  std::vector<pid_t> pending = children;
+  while (!pending.empty() && !failed) {
+    if (Clock::now() > deadline) {
+      std::fprintf(stderr, "net_equiv: timeout after %d s (%zu still up)\n",
+                   opts.timeout_s, pending.size());
+      failed = true;
+      break;
+    }
+    for (auto it = pending.begin(); it != pending.end();) {
+      int status = 0;
+      const pid_t done = ::waitpid(*it, &status, WNOHANG);
+      if (done == 0) {
+        ++it;
+        continue;
+      }
+      if (done < 0 || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        std::fprintf(stderr, "net_equiv: node pid %d failed (status %d)\n",
+                     static_cast<int>(*it), status);
+        failed = true;
+      } else {
+        ++exited_ok;
+      }
+      it = pending.erase(it);
+    }
+    ::usleep(20'000);
+  }
+  if (failed) {
+    for (const pid_t child : pending) ::kill(child, SIGKILL);
+    for (const pid_t child : pending) ::waitpid(child, nullptr, 0);
+    return 1;
+  }
+  std::fprintf(stderr, "net_equiv: %u/%u node processes exited cleanly\n",
+               exited_ok, opts.nodes);
+
+  // --- Merge the per-process digests --------------------------------------
+  net::MatchDigest net_digest;
+  std::uint64_t total_frames = 0;
+  for (std::uint32_t i = 0; i < opts.nodes; ++i) {
+    const fs::path out_path =
+        fs::path(opts.dir) / ("out." + std::to_string(i) + ".json");
+    std::string error;
+    const auto doc = obs::Json::parse(slurp(out_path), &error);
+    if (!doc || !doc->is_object()) {
+      std::fprintf(stderr, "net_equiv: bad %s: %s\n", out_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    const obs::Json* results = doc->find("results");
+    if (results == nullptr || !results->is_object()) {
+      std::fprintf(stderr, "net_equiv: %s missing results\n",
+                   out_path.c_str());
+      return 1;
+    }
+    for (const auto& [key, streams] : results->members()) {
+      auto& bucket = net_digest[std::stoull(key)];
+      for (std::size_t k = 0; k < streams.size(); ++k) {
+        bucket.insert(static_cast<StreamId>(streams[k].as_int()));
+      }
+    }
+    const obs::Json* transport = doc->find("transport");
+    if (transport != nullptr) {
+      if (const obs::Json* frames = transport->find("frames_received")) {
+        total_frames += static_cast<std::uint64_t>(frames->as_int());
+      }
+    }
+  }
+
+  // --- Compare against the canonical sim ----------------------------------
+  net::WorkloadConfig config;
+  config.nodes = opts.nodes;
+  config.seed = opts.seed;
+  config.samples_per_stream = opts.samples;
+  const net::MatchDigest sim_digest = net::run_sim_reference(config);
+
+  std::size_t nonempty = 0;
+  for (const auto& [query, streams] : sim_digest) {
+    if (!streams.empty()) ++nonempty;
+  }
+  if (sim_digest.size() != opts.nodes || nonempty == 0) {
+    std::fprintf(stderr,
+                 "net_equiv: vacuous reference (queries=%zu, nonempty=%zu)\n",
+                 sim_digest.size(), nonempty);
+    return 1;
+  }
+
+  if (net_digest != sim_digest) {
+    std::fprintf(stderr, "net_equiv: DIGEST MISMATCH (sim vs socket):\n");
+    print_digest_diff(sim_digest, net_digest);
+    return 1;
+  }
+
+  std::printf(
+      "net_equiv: OK — %u processes, %zu queries (%zu with matches), "
+      "%llu TCP frames, socket digest == sim digest\n",
+      opts.nodes, sim_digest.size(), nonempty,
+      static_cast<unsigned long long>(total_frames));
+  return 0;
+}

@@ -1,0 +1,250 @@
+// sdsi_node: one ring member as a real OS process — the paper's data center
+// daemon, speaking wire protocol v1 over TCP (docs/WIRE_FORMAT.md).
+//
+// N processes rendezvous through a shared directory (port files, then named
+// phase barriers), derive the identical ring from (nodes, bits, salt), run
+// the deterministic net workload (src/net/workload.hpp), and each write
+// their client-side results as JSON. tools/net_equiv launches a set of
+// these and compares the merged digests against the simulated middleware.
+//
+// Phase structure (every phase ends with flush + barrier + settle):
+//   1. subscribe own queries, publish own streams   (content traffic)
+//   2. tick: match + push responses                 (response traffic)
+//   3. straggler tick: catches anything that raced past phase 2 — store
+//      and client dedup make it a no-op when nothing did
+//   4. write out.<i>.json, final barrier, exit 0
+//
+// The logical clock is phase-fixed (ingest at t=0, ticks at t=1s/t=2s) and
+// lifespans are hours, so the matched sets are timing-independent — the
+// property the equivalence gate rests on.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "net/node.hpp"
+#include "net/socket_transport.hpp"
+#include "net/workload.hpp"
+#include "obs/json.hpp"
+#include "routing/static_ring.hpp"
+
+namespace fs = std::filesystem;
+using namespace sdsi;
+
+namespace {
+
+struct Options {
+  NodeIndex index = 0;
+  std::uint32_t nodes = 0;
+  std::string dir;
+  net::WorkloadConfig workload;
+};
+
+[[noreturn]] void usage_and_exit(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --index I --nodes N --dir RENDEZVOUS_DIR "
+               "[--seed S] [--samples K] [--streams-per-node M]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opts;
+  bool have_index = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage_and_exit(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--index") {
+      opts.index = static_cast<NodeIndex>(std::stoul(next()));
+      have_index = true;
+    } else if (arg == "--nodes") {
+      opts.nodes = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--dir") {
+      opts.dir = next();
+    } else if (arg == "--seed") {
+      opts.workload.seed = std::stoull(next());
+    } else if (arg == "--samples") {
+      opts.workload.samples_per_stream =
+          static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--streams-per-node") {
+      opts.workload.streams_per_node =
+          static_cast<std::uint32_t>(std::stoul(next()));
+    } else {
+      usage_and_exit(argv[0]);
+    }
+  }
+  if (!have_index || opts.nodes == 0 || opts.dir.empty() ||
+      opts.index >= opts.nodes) {
+    usage_and_exit(argv[0]);
+  }
+  opts.workload.nodes = opts.nodes;
+  return opts;
+}
+
+/// Atomic small-file publication: peers only ever see complete contents.
+void write_file_atomic(const fs::path& path, const std::string& contents) {
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    SDSI_CHECK(out.is_open());
+    out << contents;
+  }
+  fs::rename(tmp, path);
+}
+
+/// Polls the transport while waiting for every process to publish `name.J`.
+void barrier(net::SocketTransport& transport, const Options& opts,
+             const std::string& name) {
+  write_file_atomic(fs::path(opts.dir) / (name + "." +
+                                          std::to_string(opts.index)),
+                    "1");
+  while (true) {
+    bool all = true;
+    for (std::uint32_t j = 0; j < opts.nodes; ++j) {
+      if (!fs::exists(fs::path(opts.dir) /
+                      (name + "." + std::to_string(j)))) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return;
+    transport.poll(5);
+  }
+}
+
+/// Drives I/O until every queued frame reached the kernel AND no new frame
+/// has arrived for `quiet_ms`. On a localhost ring this bounds the full
+/// range-forwarding chain by orders of magnitude.
+void settle(net::SocketTransport& transport, int quiet_ms) {
+  using Clock = std::chrono::steady_clock;
+  std::uint64_t seen = transport.stats().frames_received;
+  auto last_change = Clock::now();
+  while (true) {
+    transport.poll(5);
+    if (transport.stats().frames_received != seen) {
+      seen = transport.stats().frames_received;
+      last_change = Clock::now();
+    }
+    if (transport.pending_out_bytes() == 0 &&
+        Clock::now() - last_change > std::chrono::milliseconds(quiet_ms)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = parse_args(argc, argv);
+  const net::WorkloadConfig& workload = opts.workload;
+
+  net::SocketTransport transport(0);
+  write_file_atomic(fs::path(opts.dir) /
+                        ("port." + std::to_string(opts.index)),
+                    std::to_string(transport.listen_port()) + "\n");
+
+  // Address book: wait for every peer's port file.
+  for (std::uint32_t j = 0; j < opts.nodes; ++j) {
+    if (j == opts.index) continue;
+    const fs::path path = fs::path(opts.dir) / ("port." + std::to_string(j));
+    while (!fs::exists(path)) {
+      transport.poll(5);
+    }
+    std::ifstream in(path);
+    std::uint32_t port = 0;
+    in >> port;
+    SDSI_CHECK(port > 0 && port <= 0xFFFF);
+    transport.set_peer(j, "127.0.0.1", static_cast<std::uint16_t>(port));
+  }
+
+  const common::IdSpace space(workload.id_bits);
+  net::NetRing ring(space, routing::hash_node_ids(opts.nodes, space,
+                                                  workload.ring_salt));
+  net::NetNodeConfig node_config;
+  node_config.features = workload.features;
+  net::NetNode node(ring, opts.index, transport, node_config);
+
+  // Phase-fixed logical clock (see header comment).
+  sim::SimTime logical_now = sim::SimTime::from_micros(0);
+  transport.set_deliver([&node, &logical_now](routing::Message&& msg) {
+    node.deliver(std::move(msg), logical_now);
+  });
+
+  // --- Phase 1: content traffic ------------------------------------------
+  for (const net::WorkloadQuery& query : net::workload_queries(workload)) {
+    if (query.client != opts.index) continue;
+    node.subscribe_similarity(
+        query.id, dsp::extract_features(query.window, workload.features),
+        query.radius, sim::Duration::seconds(3600), logical_now);
+  }
+  for (std::uint32_t slot = 0; slot < workload.streams_per_node; ++slot) {
+    const StreamId stream =
+        net::workload_stream_id(workload, opts.index, slot);
+    std::uint32_t fed = 0;
+    for (const Sample value : net::workload_samples(workload, stream)) {
+      node.publish_value(stream, value, logical_now);
+      if (++fed % 64 == 0) transport.poll(0);  // keep draining inbound
+    }
+  }
+  settle(transport, 300);
+  barrier(transport, opts, "sent");
+  settle(transport, 300);
+
+  // --- Phase 2: match + respond ------------------------------------------
+  logical_now = sim::SimTime::from_micros(1'000'000);
+  node.tick(logical_now);
+  settle(transport, 300);
+  barrier(transport, opts, "tick1");
+  settle(transport, 300);
+
+  // --- Phase 3: straggler sweep ------------------------------------------
+  logical_now = sim::SimTime::from_micros(2'000'000);
+  node.tick(logical_now);
+  settle(transport, 300);
+  barrier(transport, opts, "tick2");
+  settle(transport, 300);
+
+  // --- Phase 4: report ----------------------------------------------------
+  obs::Json doc = obs::Json::object();
+  doc["index"] = static_cast<std::uint64_t>(opts.index);
+  doc["listen_port"] = static_cast<std::uint64_t>(transport.listen_port());
+  obs::Json results = obs::Json::object();
+  for (const auto& [query, streams] : node.results()) {
+    obs::Json arr = obs::Json::array();
+    for (const StreamId stream : streams) {
+      arr.push_back(stream);
+    }
+    results[std::to_string(query)] = std::move(arr);
+  }
+  doc["results"] = std::move(results);
+  obs::Json counters = obs::Json::object();
+  counters["mbrs_published"] = node.counters().mbrs_published;
+  counters["queries_posed"] = node.counters().queries_posed;
+  counters["mbrs_stored"] = node.counters().mbrs_stored;
+  counters["subscriptions_stored"] = node.counters().subscriptions_stored;
+  counters["responses_sent"] = node.counters().responses_sent;
+  counters["send_failures"] = node.counters().send_failures;
+  doc["counters"] = std::move(counters);
+  obs::Json wire = obs::Json::object();
+  wire["frames_sent"] = transport.stats().frames_sent;
+  wire["frames_received"] = transport.stats().frames_received;
+  wire["bytes_sent"] = transport.stats().bytes_sent;
+  wire["bytes_received"] = transport.stats().bytes_received;
+  wire["decode_rejects"] = transport.stats().decode_rejects;
+  wire["reconnect_attempts"] = transport.stats().reconnect_attempts;
+  doc["transport"] = std::move(wire);
+  write_file_atomic(fs::path(opts.dir) /
+                        ("out." + std::to_string(opts.index) + ".json"),
+                    doc.dump(2) + "\n");
+
+  barrier(transport, opts, "done");
+  return 0;
+}

@@ -19,10 +19,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "bench/bench_common.hpp"
 #include "core/report_render.hpp"
+#include "net/wire_shadow.hpp"
 
 namespace {
 
@@ -85,7 +87,9 @@ using namespace sdsi;
       "  --drain S            settling time after measure before reports\n"
       "  --obs-dir DIR        write DIR/metrics.json (time series + reports)\n"
       "  --trace              with --obs-dir: also stream DIR/trace.jsonl\n"
-      "  --obs-window MS      time-series window in ms (default 1000)\n",
+      "  --obs-window MS      time-series window in ms (default 1000)\n"
+      "  --wire-shadow        route every transmission through the v1 wire\n"
+      "                       codec (encode->decode; docs/WIRE_FORMAT.md)\n",
       argv0);
   std::exit(2);
 }
@@ -113,6 +117,7 @@ long parse_long(const char* text, const char* argv0) {
 int main(int argc, char** argv) {
   core::ExperimentConfig config = bench::paper_experiment(100);
   double crash_fraction = 0.0;
+  bool wire_shadow = false;
   const auto adversarial = [&]() -> streams::AdversarialSpec& {
     if (!config.adversarial.has_value()) {
       config.adversarial.emplace();
@@ -281,6 +286,8 @@ int main(int argc, char** argv) {
     } else if (is("--obs-window")) {
       config.obs.window =
           sim::Duration::millis(parse_long(value(), argv[0]));
+    } else if (std::strcmp(argv[i], "--wire-shadow") == 0) {
+      wire_shadow = true;
     } else {
       usage(argv[0]);
     }
@@ -338,7 +345,17 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(ov.publish_budget), ov.defer_capacity);
   }
   core::Experiment experiment(config);
+  std::shared_ptr<const net::WireShadowStats> shadow_stats;
+  if (wire_shadow) {
+    experiment.prepare();
+    shadow_stats = net::install_wire_shadow(experiment.routing_system());
+  }
   experiment.run();
+  if (shadow_stats != nullptr) {
+    std::printf("wire shadow: %llu frames, %llu bytes crossed the v1 codec\n",
+                static_cast<unsigned long long>(shadow_stats->frames),
+                static_cast<unsigned long long>(shadow_stats->bytes));
+  }
   if (config.obs.enabled()) {
     std::printf("observability: wrote %s/metrics.json%s\n",
                 config.obs.dir.c_str(),
