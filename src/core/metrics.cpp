@@ -28,6 +28,7 @@ LoadComponent component_of(const routing::Message& msg, bool transit) {
       return LoadComponent::kResponsesInternal;
     case MsgKind::kMbrAck:
     case MsgKind::kResponseAck:
+    case MsgKind::kHeartbeat:
       return LoadComponent::kControl;
     case MsgKind::kReplicaPut:
     case MsgKind::kHandoffRequest:
@@ -102,6 +103,7 @@ CategoryCounters& MetricsCollector::category(const routing::Message& msg) {
       return location_;
     case MsgKind::kMbrAck:
     case MsgKind::kResponseAck:
+    case MsgKind::kHeartbeat:
       return control_;
     case MsgKind::kReplicaPut:
     case MsgKind::kHandoffRequest:

@@ -196,6 +196,18 @@ struct AggregatorReplicaPayload {
   std::vector<SimilarityMatch> matches;  // newly filed since the last mirror
 };
 
+/// Payload of kHeartbeat messages: the periodic liveness beacon every ring
+/// member sends every peer (net::FailureDetector). `epoch` increments each
+/// time the process restarts, so a peer that sees a higher epoch than it
+/// last recorded knows the node died and rejoined — the trigger for handoff
+/// and anti-entropy repair toward the rejoiner. `seq` is a per-sender
+/// counter (monotone within one epoch) for observability.
+struct HeartbeatPayload {
+  NodeIndex from = kInvalidNode;
+  std::uint64_t epoch = 0;
+  std::uint64_t seq = 0;
+};
+
 /// Location service payloads (Sec IV-D).
 struct LocationPutPayload {
   StreamId stream = 0;

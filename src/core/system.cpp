@@ -699,6 +699,11 @@ void MiddlewareSystem::on_deliver(NodeIndex at, const Message& msg) {
     case MsgKind::kAggregatorReplica:
       handle_aggregator_replica(at, msg);
       return;
+    case MsgKind::kHeartbeat:
+      // Liveness beacons belong to the socket ring's failure detector
+      // (net::NetNode); the sim middleware learns liveness from its
+      // membership hooks instead, so a stray heartbeat is inert.
+      return;
     case MsgKind::kInvalid:
       break;
   }

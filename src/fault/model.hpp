@@ -35,9 +35,11 @@ namespace sdsi::fault {
 /// Why a transmission (or routed message) was dropped. The first three are
 /// link-level faults injected by the LinkFaultModel; the next three are
 /// routing-level losses (messages that died inside the overlay) which the
-/// substrates report; the last two are deliberate overload-control sheds the
-/// middleware accounts for — so every loss, injected or chosen, is accounted
-/// for under one label set.
+/// substrates report; kShedOverload/kBackpressure are deliberate
+/// overload-control sheds; kOutboxOverflow/kMalformedFrame are transport
+/// endpoint losses (a full per-peer socket outbox, a frame the receiving
+/// codec rejected) — so every loss, injected or chosen, is accounted for
+/// under one label set across the sim and the socket ring alike.
 enum class DropCause : std::size_t {
   kUniformLoss = 0,  // i.i.d. loss model
   kBurstLoss = 1,    // Gilbert-Elliott bad-state loss
@@ -47,7 +49,9 @@ enum class DropCause : std::size_t {
   kDeadAggregator = 5,  // report/response path: whole replica set gone
   kShedOverload = 6,    // bounded ingest queue full: MBR shed at the index
   kBackpressure = 7,    // source-side deferral queue overflowed
-  kCount = 8,
+  kOutboxOverflow = 8,  // socket transport: bounded per-peer outbox full
+  kMalformedFrame = 9,  // receiver rejected the frame at the wire codec
+  kCount = 10,
 };
 
 /// Human label for report tables. Out-of-range values are a program error
@@ -63,6 +67,8 @@ inline const char* drop_cause_name(DropCause cause) {
     case DropCause::kDeadAggregator: return "dead aggregator";
     case DropCause::kShedOverload: return "shed overload";
     case DropCause::kBackpressure: return "backpressure";
+    case DropCause::kOutboxOverflow: return "outbox overflow";
+    case DropCause::kMalformedFrame: return "malformed frame";
     case DropCause::kCount: break;
   }
   SDSI_CHECK(false && "unknown DropCause");
@@ -81,6 +87,8 @@ inline const char* drop_cause_slug(DropCause cause) {
     case DropCause::kDeadAggregator: return "dead_aggregator";
     case DropCause::kShedOverload: return "shed_overload";
     case DropCause::kBackpressure: return "backpressure";
+    case DropCause::kOutboxOverflow: return "outbox_overflow";
+    case DropCause::kMalformedFrame: return "malformed_frame";
     case DropCause::kCount: break;
   }
   SDSI_CHECK(false && "unknown DropCause");
@@ -124,16 +132,29 @@ struct LatencyJitter {
 };
 
 /// A composed chaos scenario. Empty (the default) injects nothing.
+/// `reorder`/`corrupt` are transport-level processes consumed by
+/// net::FaultyTransport (the sim's RoutingSystem has no byte stream to
+/// corrupt); the rest are shared by both worlds.
 struct FaultPlan {
   double uniform_loss = 0.0;
   std::optional<GilbertElliottParams> burst_loss;
   std::optional<LatencyJitter> jitter;
   std::vector<KeyRangePartition> partitions;
   std::vector<CrashWave> crash_waves;
+  /// Probability a frame is held past later sends to the same peer (an
+  /// extra `reorder_extra` of delay on top of any jitter draw).
+  double reorder = 0.0;
+  sim::Duration reorder_extra = sim::Duration::millis(5);
+  /// Probability one payload byte of the encoded frame is flipped in
+  /// flight. The receiver's codec sees the damage (kBadPayload -> a counted
+  /// kMalformedFrame drop) or, rarely, a decodable-but-altered payload —
+  /// both are what real bit rot does to a framed stream.
+  double corrupt = 0.0;
 
   bool has_link_faults() const noexcept {
     return uniform_loss > 0.0 || burst_loss.has_value() ||
-           jitter.has_value() || !partitions.empty();
+           jitter.has_value() || !partitions.empty() || reorder > 0.0 ||
+           corrupt > 0.0;
   }
   bool empty() const noexcept {
     return !has_link_faults() && crash_waves.empty();

@@ -1,0 +1,160 @@
+// FailureDetector: heartbeat-driven liveness tracking for the socket ring.
+//
+// Pure logic, no I/O and no clock of its own: NetNode feeds it evidence
+// (any delivered frame proves the origin alive; heartbeats additionally
+// carry the sender's epoch) and periodically advances it. Each peer walks
+// the classic three-state machine on silence:
+//
+//   alive --(silence >= suspect_after)--> suspect
+//   suspect --(silence >= dead_after)--> dead
+//   suspect --(any frame)--> alive            (a counted false suspicion)
+//   dead --(any frame)--> alive               (recovery, or rejoin when the
+//                                              heartbeat epoch advanced)
+//
+// Policy split that keeps delay-only chaos harmless: routing detours only
+// around *dead* peers (usable() == not dead). A suspect still receives
+// traffic — jitter-induced false suspicion then costs nothing but a counter
+// tick, while a genuinely dead peer is excised once the longer dead_after
+// deadline passes. Epochs (incremented by a process on every restart) let a
+// peer distinguish "was slow" from "died and came back with an empty
+// store" — the trigger for handoff/anti-entropy repair toward the rejoiner.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sdsi::net {
+
+enum class PeerHealth : std::uint8_t { kAlive = 0, kSuspect = 1, kDead = 2 };
+
+inline const char* peer_health_name(PeerHealth health) {
+  switch (health) {
+    case PeerHealth::kAlive: return "alive";
+    case PeerHealth::kSuspect: return "suspect";
+    case PeerHealth::kDead: return "dead";
+  }
+  return "?";
+}
+
+struct FailureDetectorConfig {
+  std::int64_t heartbeat_period_ms = 50;  // sender cadence (NetNode uses it)
+  std::int64_t suspect_after_ms = 250;    // silence before suspicion
+  std::int64_t dead_after_ms = 600;       // silence before excision
+};
+
+class FailureDetector {
+ public:
+  struct Counters {
+    std::uint64_t suspects = 0;          // alive -> suspect transitions
+    std::uint64_t false_suspicions = 0;  // suspect -> alive recoveries
+    std::uint64_t deaths = 0;            // -> dead transitions
+    std::uint64_t recoveries = 0;        // dead -> alive (any evidence)
+    std::uint64_t rejoins = 0;           // heartbeat epoch advanced
+  };
+
+  FailureDetector(FailureDetectorConfig config, std::size_t peers,
+                  NodeIndex self)
+      : config_(config), self_(self), records_(peers) {}
+
+  /// Any delivered frame from `peer` is liveness evidence.
+  void observe_alive(NodeIndex peer, std::int64_t now_ms) {
+    if (peer == self_ || peer >= records_.size()) {
+      return;
+    }
+    PeerRecord& record = records_[peer];
+    record.last_heard = now_ms;
+    revive(record);
+  }
+
+  /// Heartbeat evidence: liveness plus the sender's epoch. Returns true
+  /// when the epoch advanced past the last recorded one — the peer's
+  /// process died and rejoined (possibly between our two observations, so
+  /// this fires even if we never saw it as dead).
+  bool observe_heartbeat(NodeIndex peer, std::uint64_t epoch,
+                         std::int64_t now_ms) {
+    if (peer == self_ || peer >= records_.size()) {
+      return false;
+    }
+    PeerRecord& record = records_[peer];
+    record.last_heard = now_ms;
+    revive(record);
+    if (epoch > record.epoch) {
+      const bool rejoined = record.epoch_known;
+      record.epoch = epoch;
+      record.epoch_known = true;
+      if (rejoined) {
+        ++counters_.rejoins;
+      }
+      return rejoined;
+    }
+    record.epoch_known = true;
+    return false;
+  }
+
+  /// Applies the silence deadlines at `now_ms`. Peers never heard from are
+  /// measured from time zero, so a member absent from the start is excised
+  /// on the same schedule as one that died mid-run.
+  void advance(std::int64_t now_ms) {
+    for (NodeIndex peer = 0; peer < records_.size(); ++peer) {
+      if (peer == self_) {
+        continue;
+      }
+      PeerRecord& record = records_[peer];
+      const std::int64_t silence = now_ms - record.last_heard;
+      if (record.health != PeerHealth::kDead &&
+          silence >= config_.dead_after_ms) {
+        record.health = PeerHealth::kDead;
+        ++counters_.deaths;
+      } else if (record.health == PeerHealth::kAlive &&
+                 silence >= config_.suspect_after_ms) {
+        record.health = PeerHealth::kSuspect;
+        ++counters_.suspects;
+      }
+    }
+  }
+
+  PeerHealth health(NodeIndex peer) const {
+    if (peer >= records_.size() || peer == self_) {
+      return PeerHealth::kAlive;
+    }
+    return records_[peer].health;
+  }
+
+  /// Routing policy: suspects still get traffic; only the dead are detoured.
+  bool usable(NodeIndex peer) const {
+    return health(peer) != PeerHealth::kDead;
+  }
+
+  std::uint64_t epoch(NodeIndex peer) const {
+    return peer < records_.size() ? records_[peer].epoch : 0;
+  }
+
+  const Counters& counters() const noexcept { return counters_; }
+  const FailureDetectorConfig& config() const noexcept { return config_; }
+
+ private:
+  struct PeerRecord {
+    std::int64_t last_heard = 0;
+    std::uint64_t epoch = 0;
+    bool epoch_known = false;  // first heartbeat baselines, never "rejoins"
+    PeerHealth health = PeerHealth::kAlive;
+  };
+
+  void revive(PeerRecord& record) {
+    if (record.health == PeerHealth::kSuspect) {
+      ++counters_.false_suspicions;
+    } else if (record.health == PeerHealth::kDead) {
+      ++counters_.recoveries;
+    }
+    record.health = PeerHealth::kAlive;
+  }
+
+  FailureDetectorConfig config_;
+  NodeIndex self_;
+  std::vector<PeerRecord> records_;
+  Counters counters_;
+};
+
+}  // namespace sdsi::net

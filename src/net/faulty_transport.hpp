@@ -1,0 +1,131 @@
+// FaultyTransport: seeded fault injection as a Transport decorator.
+//
+// Wraps any net::Transport and applies the link-fault processes of a
+// fault::FaultPlan to every outbound frame — the socket ring's counterpart
+// of the sim's RoutingSystem-level LinkFaultModel hook:
+//
+//  - uniform and Gilbert-Elliott bursty loss (sampled per frame, sender
+//    side, exactly the LinkFaultModel processes);
+//  - latency jitter and probabilistic reorder: the frame is encoded once
+//    and parked in a delay queue, released through inner.send_raw() when
+//    its due time passes (poll() drives the release);
+//  - byte corruption: one payload byte of the encoded frame is XORed with
+//    a seeded nonzero mask. The header survives, so framing resyncs and
+//    the receiver charges a malformed_frame drop (or, rarely, decodes an
+//    altered payload — exactly what bit rot does to a framed stream).
+//
+// Every decision draws from Pcg32 streams derived from one seed, so a chaos
+// run over real sockets is as reproducible as scheduling allows, and a
+// fully idle plan (has_link_faults() == false) forwards verbatim — the
+// decorator is then observationally identical to the bare transport.
+//
+// Accounting contract (the chaos gate's zero-unaccounted-drops check):
+//   offered == forwarded + dropped() + pending_delayed()
+// holds at every instant; dropped() splits by DropCause so injected losses
+// join the transport's own (outbox_overflow, malformed_frame) under the
+// shared slug vocabulary.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/ring_math.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "fault/model.hpp"
+#include "net/transport.hpp"
+
+namespace sdsi::net {
+
+struct FaultyTransportStats {
+  std::uint64_t offered = 0;    // frames handed to send()
+  std::uint64_t forwarded = 0;  // frames handed on to the inner transport
+  std::uint64_t dropped_uniform = 0;
+  std::uint64_t dropped_burst = 0;
+  std::uint64_t dropped_partition = 0;
+  std::uint64_t corrupted = 0;  // forwarded, but with one byte flipped
+  std::uint64_t delayed = 0;    // parked in the delay queue at send time
+  std::uint64_t reordered = 0;  // drew the extra reorder delay
+  std::uint64_t forward_failures = 0;  // inner transport refused the frame
+
+  std::uint64_t dropped() const noexcept {
+    return dropped_uniform + dropped_burst + dropped_partition;
+  }
+
+  /// Injected losses in the shared DropCause vocabulary (out.json joins
+  /// these with the inner transport's own endpoint drops).
+  std::array<std::uint64_t, static_cast<std::size_t>(fault::DropCause::kCount)>
+  drops_by_cause() const noexcept {
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(fault::DropCause::kCount)>
+        drops{};
+    drops[static_cast<std::size_t>(fault::DropCause::kUniformLoss)] =
+        dropped_uniform;
+    drops[static_cast<std::size_t>(fault::DropCause::kBurstLoss)] =
+        dropped_burst;
+    drops[static_cast<std::size_t>(fault::DropCause::kPartition)] =
+        dropped_partition;
+    return drops;
+  }
+};
+
+class FaultyTransport final : public Transport {
+ public:
+  /// Monotone milliseconds; injectable so tests drive the delay queue with
+  /// a fake clock. The default counts from construction (steady_clock).
+  using ClockFn = std::function<std::int64_t()>;
+
+  /// The inner transport must outlive this decorator. `space` is the ring's
+  /// id space (partition windows test target keys against it); `seed`
+  /// derives every fault stream — same seed, same plan, same send sequence
+  /// => same faults.
+  FaultyTransport(Transport& inner, fault::FaultPlan plan,
+                  common::IdSpace space, std::uint64_t seed);
+
+  void set_clock(ClockFn clock) { clock_ms_ = std::move(clock); }
+
+  bool send(NodeIndex peer, const routing::Message& msg) override;
+  /// Raw frames pass through verbatim: the only raw sender above a
+  /// FaultyTransport is another fault layer, and double-faulting one frame
+  /// would break the accounting identity.
+  bool send_raw(NodeIndex peer, std::span<const std::uint8_t> frame) override;
+  void set_deliver(DeliverFn fn) override { inner_.set_deliver(std::move(fn)); }
+  /// Releases every delayed frame whose due time passed, then polls the
+  /// inner transport.
+  void poll(int budget_ms) override;
+  std::size_t peer_count() const override { return inner_.peer_count(); }
+
+  /// Frames parked in the delay queue (settle barriers must wait for zero).
+  std::size_t pending_delayed() const noexcept { return delayed_.size(); }
+
+  const FaultyTransportStats& stats() const noexcept { return stats_; }
+  const fault::FaultPlan& plan() const noexcept { return model_.plan(); }
+
+ private:
+  struct DelayedFrame {
+    std::int64_t due_ms = 0;
+    std::uint64_t seq = 0;  // FIFO among equal due times
+    NodeIndex peer = kInvalidNode;
+    std::vector<std::uint8_t> bytes;
+    friend bool operator>(const DelayedFrame& a, const DelayedFrame& b) {
+      return a.due_ms != b.due_ms ? a.due_ms > b.due_ms : a.seq > b.seq;
+    }
+  };
+
+  void release_due(std::int64_t now_ms);
+
+  Transport& inner_;
+  fault::LinkFaultModel model_;
+  common::Pcg32 aux_;  // corrupt/reorder decisions + corrupt byte choice
+  ClockFn clock_ms_;
+  std::priority_queue<DelayedFrame, std::vector<DelayedFrame>,
+                      std::greater<DelayedFrame>>
+      delayed_;
+  std::uint64_t next_seq_ = 0;
+  FaultyTransportStats stats_;
+};
+
+}  // namespace sdsi::net

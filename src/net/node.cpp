@@ -1,5 +1,6 @@
 #include "net/node.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.hpp"
@@ -23,7 +24,8 @@ NetNode::NetNode(const NetRing& ring, NodeIndex self, Transport& transport,
       self_(self),
       transport_(transport),
       config_(std::move(config)),
-      mapper_(ring.space()) {
+      mapper_(ring.space()),
+      detector_(config_.reliability.detector, ring.size(), self) {
   config_.features.validate();
 }
 
@@ -69,6 +71,18 @@ void NetNode::publish_mbr(StreamId stream, LocalStream& state, dsp::Mbr mbr,
     }
   }
 
+  ++counters_.mbrs_published;
+  if (reliable()) {
+    // Track the publication until the landing node acks it; refresh keeps
+    // re-multicasting it afterwards (range replicas have no ack of their
+    // own — soft state owns them).
+    auto [it, inserted] = published_.try_emplace(
+        std::make_pair(payload->stream, payload->batch_seq),
+        PendingMbr{payload, lo, hi, false, clock_ms_, 0});
+    send_mbr_multicast(it->second, now);
+    return;
+  }
+
   routing::Message msg;
   msg.kind = routing::MsgKind::kMbrUpdate;
   msg.origin = self_;
@@ -79,8 +93,21 @@ void NetNode::publish_mbr(StreamId stream, LocalStream& state, dsp::Mbr mbr,
   msg.range_dir = routing::RangeDir::kUp;  // sequential multicast
   msg.sent_at = now;
   msg.trace_id = next_trace_id();
-  ++counters_.mbrs_published;
   route_to_key(lo, std::move(msg), now);
+}
+
+void NetNode::send_mbr_multicast(const PendingMbr& pending, sim::SimTime now) {
+  routing::Message msg;
+  msg.kind = routing::MsgKind::kMbrUpdate;
+  msg.origin = self_;
+  msg.payload = pending.payload;
+  msg.has_range = true;
+  msg.range_lo = pending.lo;
+  msg.range_hi = pending.hi;
+  msg.range_dir = routing::RangeDir::kUp;
+  msg.sent_at = now;
+  msg.trace_id = next_trace_id();
+  route_to_key(pending.lo, std::move(msg), now);
 }
 
 void NetNode::subscribe_similarity(core::QueryId id,
@@ -92,6 +119,12 @@ void NetNode::subscribe_similarity(core::QueryId id,
   const auto [lo, hi] = mapper_.query_range(query->features, radius);
   const Key middle = ring_.space().midpoint(lo, hi);
   results_.try_emplace(id);
+  ++counters_.queries_posed;
+  if (reliable()) {
+    own_queries_.push_back(OwnQuery{query, lo, hi, middle});
+    send_query_multicast(own_queries_.back(), now);
+    return;
+  }
 
   routing::Message msg;
   msg.kind = routing::MsgKind::kSimilarityQuery;
@@ -104,13 +137,38 @@ void NetNode::subscribe_similarity(core::QueryId id,
   msg.range_dir = routing::RangeDir::kUp;
   msg.sent_at = now;
   msg.trace_id = next_trace_id();
-  ++counters_.queries_posed;
   route_to_key(lo, std::move(msg), now);
+}
+
+void NetNode::send_query_multicast(const OwnQuery& own, sim::SimTime now) {
+  routing::Message msg;
+  msg.kind = routing::MsgKind::kSimilarityQuery;
+  msg.origin = self_;
+  msg.payload = std::make_shared<const core::SimilarityQueryPayload>(
+      core::SimilarityQueryPayload{own.query, own.middle});
+  msg.has_range = true;
+  msg.range_lo = own.lo;
+  msg.range_hi = own.hi;
+  msg.range_dir = routing::RangeDir::kUp;
+  msg.sent_at = now;
+  msg.trace_id = next_trace_id();
+  route_to_key(own.lo, std::move(msg), now);
 }
 
 void NetNode::route_to_key(Key key, routing::Message msg, sim::SimTime now) {
   msg.target_key = ring_.space().wrap(key);
-  const NodeIndex dst = ring_.successor_of_key(msg.target_key);
+  NodeIndex dst = ring_.successor_of_key(msg.target_key);
+  if (reliable()) {
+    // Detour past excised peers: the first live successor inherits the dead
+    // node's arc (it stores whatever lands, so range coverage survives).
+    std::size_t walked = 0;
+    while (dst != self_ && !detector_.usable(dst) &&
+           walked + 1 < ring_.size()) {
+      dst = ring_.successor_index(dst);
+      ++counters_.detours;
+      ++walked;
+    }
+  }
   if (dst == self_) {
     deliver(std::move(msg), now);
     return;
@@ -121,17 +179,69 @@ void NetNode::route_to_key(Key key, routing::Message msg, sim::SimTime now) {
   }
 }
 
+void NetNode::send_direct(NodeIndex peer, routing::MsgKind kind,
+                          std::any payload, sim::SimTime now) {
+  if (peer >= ring_.size()) {
+    // Peer indices riding in reliability payloads are untrusted once link
+    // corruption is in play: a flipped byte can decode into a frame whose
+    // `source`/`requester`/`from` field is garbage. Drop instead of letting
+    // ring_.id() abort the process.
+    ++counters_.send_failures;
+    return;
+  }
+  routing::Message msg;
+  msg.kind = kind;
+  msg.origin = self_;
+  msg.target_key = ring_.id(peer);
+  msg.payload = std::move(payload);
+  msg.sent_at = now;
+  msg.trace_id = next_trace_id();
+  if (peer == self_) {
+    deliver(std::move(msg), now);
+    return;
+  }
+  msg.hops = 1;
+  if (!transport_.send(peer, msg)) {
+    ++counters_.send_failures;
+  }
+}
+
 void NetNode::deliver(routing::Message&& msg, sim::SimTime now) {
+  if (reliable() && msg.origin != self_ && msg.origin < ring_.size()) {
+    // Any frame is liveness evidence (epochs ride only in heartbeats).
+    detector_.observe_alive(msg.origin, clock_ms_);
+  }
   switch (msg.kind) {
     case routing::MsgKind::kMbrUpdate:
       handle_mbr(msg, now);
       break;
     case routing::MsgKind::kSimilarityQuery:
-      handle_similarity_query(msg);
+      handle_similarity_query(msg, now);
       break;
     case routing::MsgKind::kResponse:
-      handle_response(msg);
+      handle_response(msg, now);
       return;  // responses are point-to-point, never range-forwarded
+    case routing::MsgKind::kHeartbeat:
+      handle_heartbeat(msg);
+      return;
+    case routing::MsgKind::kMbrAck:
+      handle_mbr_ack(msg);
+      return;
+    case routing::MsgKind::kResponseAck:
+      handle_response_ack(msg);
+      return;
+    case routing::MsgKind::kReplicaPut:
+      handle_replica_put(msg, now);
+      return;
+    case routing::MsgKind::kHandoffRequest:
+      handle_handoff_request(msg, now);
+      return;
+    case routing::MsgKind::kAntiEntropyDigest:
+      handle_anti_entropy_digest(msg, now);
+      return;
+    case routing::MsgKind::kAntiEntropyRequest:
+      handle_anti_entropy_request(msg, now);
+      return;
     default:
       return;  // kinds outside the net pipeline's scope: ignore
   }
@@ -145,23 +255,102 @@ void NetNode::handle_mbr(const routing::Message& msg, sim::SimTime now) {
   // The source already stored this batch at publish time; every other node
   // stores it here (the payload's absolute expiry keeps redelivery
   // idempotent, same as the sim's handle_mbr).
+  bool stored = false;
   if (!(config_.store_local_summaries && payload->source == self_)) {
-    if (store_.add_mbr({payload->stream, payload->source, payload->mbr,
-                        payload->batch_seq, now, payload->expires})) {
+    stored = store_.add_mbr({payload->stream, payload->source, payload->mbr,
+                             payload->batch_seq, now, payload->expires});
+    if (stored) {
       ++counters_.mbrs_stored;
     }
   }
+  if (!reliable() || msg.range_internal) {
+    return;
+  }
+  // This node is the landing node (successor of the range's low end):
+  // acknowledge the publication end-to-end and mirror the entry to the
+  // live successor set so a crash here cannot erase it.
+  if (payload->source == self_) {
+    const auto it = published_.find(
+        std::make_pair(payload->stream, payload->batch_seq));
+    if (it != published_.end()) {
+      it->second.acked = true;
+    }
+  } else {
+    send_direct(payload->source, routing::MsgKind::kMbrAck,
+                std::make_shared<const core::MbrAckPayload>(
+                    core::MbrAckPayload{payload->stream, payload->batch_seq}),
+                now);
+    ++counters_.mbr_acks_sent;
+  }
+  if (!stored && !(config_.store_local_summaries && payload->source == self_)) {
+    return;  // duplicate redelivery: already mirrored the first time
+  }
+  core::ReplicaPutPayload put;
+  put.from = self_;
+  put.mbrs.push_back({payload->stream, payload->source, payload->mbr,
+                      payload->batch_seq, payload->expires});
+  const auto shared =
+      std::make_shared<const core::ReplicaPutPayload>(std::move(put));
+  std::vector<NodeIndex> replicas;
+  NodeIndex cursor = self_;
+  while (replicas.size() < config_.reliability.replication) {
+    cursor = next_live_successor(cursor);
+    if (cursor == kInvalidNode ||
+        std::find(replicas.begin(), replicas.end(), cursor) !=
+            replicas.end()) {
+      break;  // ring exhausted or wrapped
+    }
+    replicas.push_back(cursor);
+  }
+  for (const NodeIndex replica : replicas) {
+    if (replica == payload->source) {
+      continue;  // the source holds its own copy already
+    }
+    send_direct(replica, routing::MsgKind::kReplicaPut, shared, now);
+    ++counters_.replica_puts_sent;
+  }
 }
 
-void NetNode::handle_similarity_query(const routing::Message& msg) {
+void NetNode::handle_similarity_query(const routing::Message& msg,
+                                      sim::SimTime now) {
   const auto payload = payload_of<core::SimilarityQueryPayload>(msg);
   const core::SimilarityQuery& query = *payload->query;
+  const bool fresh = store_.find_subscription(query.id) == nullptr;
   store_.add_subscription(payload->query, payload->middle_key,
                           query.issued_at + query.lifespan);
   ++counters_.subscriptions_stored;
+  if (!reliable() || msg.range_internal || !fresh) {
+    return;
+  }
+  // Landing node: mirror the fresh subscription alongside the MBR replicas
+  // so a crash cannot silently unsubscribe the client.
+  core::ReplicaPutPayload put;
+  put.from = self_;
+  put.subscriptions.push_back({payload->query, payload->middle_key,
+                               query.issued_at + query.lifespan});
+  const auto shared =
+      std::make_shared<const core::ReplicaPutPayload>(std::move(put));
+  std::vector<NodeIndex> replicas;
+  NodeIndex cursor = self_;
+  while (replicas.size() < config_.reliability.replication) {
+    cursor = next_live_successor(cursor);
+    if (cursor == kInvalidNode ||
+        std::find(replicas.begin(), replicas.end(), cursor) !=
+            replicas.end()) {
+      break;
+    }
+    replicas.push_back(cursor);
+  }
+  for (const NodeIndex replica : replicas) {
+    if (replica == query.client) {
+      continue;
+    }
+    send_direct(replica, routing::MsgKind::kReplicaPut, shared, now);
+    ++counters_.replica_puts_sent;
+  }
 }
 
-void NetNode::handle_response(const routing::Message& msg) {
+void NetNode::handle_response(const routing::Message& msg, sim::SimTime now) {
   const auto payload = payload_of<core::ResponsePayload>(msg);
   const auto it = results_.find(payload->query);
   if (it == results_.end()) {
@@ -170,6 +359,167 @@ void NetNode::handle_response(const routing::Message& msg) {
   for (const core::SimilarityMatch& match : payload->matches) {
     it->second.insert(match.stream);
   }
+  if (reliable() && payload->aggregator != kInvalidNode &&
+      payload->aggregator < ring_.size() && payload->aggregator != self_) {
+    send_direct(payload->aggregator, routing::MsgKind::kResponseAck,
+                std::make_shared<const core::ResponseAckPayload>(
+                    core::ResponseAckPayload{payload->query,
+                                             payload->push_seq}),
+                now);
+    ++counters_.response_acks_sent;
+  }
+}
+
+void NetNode::handle_heartbeat(const routing::Message& msg) {
+  const auto payload = payload_of<core::HeartbeatPayload>(msg);
+  ++counters_.heartbeats_received;
+  if (!reliable()) {
+    return;
+  }
+  if (detector_.observe_heartbeat(payload->from, payload->epoch, clock_ms_)) {
+    // The peer's process restarted with an empty store: owe it a repair
+    // digest on the next anti-entropy pass.
+    pending_repair_.insert(payload->from);
+  }
+}
+
+void NetNode::handle_mbr_ack(const routing::Message& msg) {
+  const auto payload = payload_of<core::MbrAckPayload>(msg);
+  ++counters_.mbr_acks_received;
+  const auto it =
+      published_.find(std::make_pair(payload->stream, payload->batch_seq));
+  if (it != published_.end()) {
+    it->second.acked = true;
+  }
+}
+
+void NetNode::handle_response_ack(const routing::Message& msg) {
+  const auto payload = payload_of<core::ResponseAckPayload>(msg);
+  ++counters_.response_acks_received;
+  unacked_responses_.erase(std::make_pair(payload->query, payload->push_seq));
+}
+
+void NetNode::handle_replica_put(const routing::Message& msg,
+                                 sim::SimTime now) {
+  const auto payload = payload_of<core::ReplicaPutPayload>(msg);
+  for (const core::ReplicaMbrEntry& entry : payload->mbrs) {
+    if (store_.add_mbr({entry.stream, entry.source, entry.mbr,
+                        entry.batch_seq, now, entry.expires})) {
+      ++counters_.replica_entries_stored;
+    }
+  }
+  for (const core::ReplicaSubscriptionEntry& entry : payload->subscriptions) {
+    if (entry.query != nullptr) {
+      store_.add_subscription(entry.query, entry.middle_key, entry.expires);
+      ++counters_.replica_entries_stored;
+    }
+  }
+}
+
+void NetNode::handle_handoff_request(const routing::Message& msg,
+                                     sim::SimTime now) {
+  const auto payload = payload_of<core::HandoffRequestPayload>(msg);
+  std::optional<core::ReplicaPutPayload> put =
+      collect_arc_entries(payload->lo, payload->hi);
+  if (!put.has_value()) {
+    return;
+  }
+  put->handoff = true;
+  counters_.handoff_entries_sent += put->mbrs.size() + put->subscriptions.size();
+  send_direct(payload->requester, routing::MsgKind::kReplicaPut,
+              std::make_shared<const core::ReplicaPutPayload>(
+                  std::move(*put)),
+              now);
+}
+
+void NetNode::handle_anti_entropy_digest(const routing::Message& msg,
+                                         sim::SimTime now) {
+  const auto payload = payload_of<core::AntiEntropyDigestPayload>(msg);
+  // Pull direction: request every digest entry this store is missing.
+  core::AntiEntropyRequestPayload request;
+  request.requester = self_;
+  for (const core::MbrBatchId& id : payload->mbr_keys) {
+    if (!store_.contains_mbr(id.stream, id.batch_seq)) {
+      request.mbr_keys.push_back(id);
+    }
+  }
+  for (const core::QueryId id : payload->query_ids) {
+    if (store_.find_subscription(id) == nullptr) {
+      request.query_ids.push_back(id);
+    }
+  }
+  if (!request.mbr_keys.empty() || !request.query_ids.empty()) {
+    ++counters_.anti_entropy_requests;
+    send_direct(payload->from, routing::MsgKind::kAntiEntropyRequest,
+                std::make_shared<const core::AntiEntropyRequestPayload>(
+                    std::move(request)),
+                now);
+  }
+  // Push direction: back-fill arc entries the digest's sender is missing.
+  std::optional<core::ReplicaPutPayload> put =
+      collect_arc_entries(payload->lo, payload->hi);
+  if (!put.has_value()) {
+    return;
+  }
+  core::ReplicaPutPayload missing;
+  missing.from = self_;
+  missing.repair = true;
+  for (core::ReplicaMbrEntry& entry : put->mbrs) {
+    const bool listed = std::any_of(
+        payload->mbr_keys.begin(), payload->mbr_keys.end(),
+        [&](const core::MbrBatchId& id) {
+          return id.stream == entry.stream && id.batch_seq == entry.batch_seq;
+        });
+    if (!listed) {
+      missing.mbrs.push_back(std::move(entry));
+    }
+  }
+  for (core::ReplicaSubscriptionEntry& entry : put->subscriptions) {
+    const core::QueryId id = entry.query->id;
+    const bool listed = std::find(payload->query_ids.begin(),
+                                  payload->query_ids.end(),
+                                  id) != payload->query_ids.end();
+    if (!listed) {
+      missing.subscriptions.push_back(std::move(entry));
+    }
+  }
+  if (missing.mbrs.empty() && missing.subscriptions.empty()) {
+    return;
+  }
+  counters_.repair_entries_sent +=
+      missing.mbrs.size() + missing.subscriptions.size();
+  send_direct(payload->from, routing::MsgKind::kReplicaPut,
+              std::make_shared<const core::ReplicaPutPayload>(
+                  std::move(missing)),
+              now);
+}
+
+void NetNode::handle_anti_entropy_request(const routing::Message& msg,
+                                          sim::SimTime now) {
+  const auto payload = payload_of<core::AntiEntropyRequestPayload>(msg);
+  core::ReplicaPutPayload put;
+  put.from = self_;
+  put.repair = true;
+  for (const core::MbrBatchId& id : payload->mbr_keys) {
+    if (const core::IndexStore::StoredMbr* entry =
+            store_.find_mbr(id.stream, id.batch_seq)) {
+      put.mbrs.push_back({entry->stream, entry->source, entry->mbr,
+                          entry->batch_seq, entry->expires});
+    }
+  }
+  for (const core::QueryId id : payload->query_ids) {
+    if (const core::IndexStore::Subscription* sub =
+            store_.find_subscription(id)) {
+      put.subscriptions.push_back({sub->query, sub->middle_key, sub->expires});
+    }
+  }
+  if (put.mbrs.empty() && put.subscriptions.empty()) {
+    return;
+  }
+  counters_.repair_entries_sent += put.mbrs.size() + put.subscriptions.size();
+  send_direct(payload->requester, routing::MsgKind::kReplicaPut,
+              std::make_shared<const core::ReplicaPutPayload>(std::move(put)),
+              now);
 }
 
 void NetNode::forward_range_copies(const routing::Message& msg) {
@@ -191,10 +541,18 @@ void NetNode::forward_range_copies(const routing::Message& msg) {
     copy.range_dir = routing::RangeDir::kUp;
     copy.origin = self_;
     copy.hops = 1;
-    const NodeIndex next = ring_.successor_index(self_);
-    copy.target_key = ring_.id(next);
-    if (!transport_.send(next, copy)) {
-      ++counters_.send_failures;
+    NodeIndex next = ring_.successor_index(self_);
+    if (reliable()) {
+      while (next != self_ && !detector_.usable(next)) {
+        next = ring_.successor_index(next);
+        ++counters_.detours;
+      }
+    }
+    if (next != self_) {
+      copy.target_key = ring_.id(next);
+      if (!transport_.send(next, copy)) {
+        ++counters_.send_failures;
+      }
     }
   }
   if (go_down) {
@@ -203,10 +561,18 @@ void NetNode::forward_range_copies(const routing::Message& msg) {
     copy.range_dir = routing::RangeDir::kDown;
     copy.origin = self_;
     copy.hops = 1;
-    const NodeIndex prev = ring_.predecessor_index(self_);
-    copy.target_key = ring_.id(prev);
-    if (!transport_.send(prev, copy)) {
-      ++counters_.send_failures;
+    NodeIndex prev = ring_.predecessor_index(self_);
+    if (reliable()) {
+      while (prev != self_ && !detector_.usable(prev)) {
+        prev = ring_.predecessor_index(prev);
+        ++counters_.detours;
+      }
+    }
+    if (prev != self_) {
+      copy.target_key = ring_.id(prev);
+      if (!transport_.send(prev, copy)) {
+        ++counters_.send_failures;
+      }
     }
   }
 }
@@ -230,27 +596,268 @@ void NetNode::tick(sim::SimTime now) {
       continue;  // expired between match and push
     }
     const NodeIndex client = sub->query->client;
+    if (client >= ring_.size()) {
+      continue;  // corrupted subscription frame carried a garbage client
+    }
     core::ResponsePayload response;
     response.query = query_id;
     response.client = client;
     response.matches = std::move(matches);
+    if (reliable() && client != self_) {
+      // Acked push: the client confirms receipt, otherwise the push is
+      // retransmitted from reliability_tick until retries run out.
+      response.aggregator = self_;
+      response.push_seq = ++push_seq_;
+    }
 
+    const auto payload =
+        std::make_shared<const core::ResponsePayload>(std::move(response));
+    ++counters_.responses_sent;
+    if (client == self_) {
+      routing::Message msg;
+      msg.kind = routing::MsgKind::kResponse;
+      msg.origin = self_;
+      msg.target_key = ring_.id(client);
+      msg.sent_at = now;
+      msg.trace_id = next_trace_id();
+      msg.payload = payload;
+      handle_response(msg, now);
+      continue;
+    }
+    if (reliable()) {
+      const PendingResponse pending{payload, client, clock_ms_, 0};
+      unacked_responses_.emplace(
+          std::make_pair(payload->query, payload->push_seq), pending);
+      send_response_push(pending, now);
+      continue;
+    }
     routing::Message msg;
     msg.kind = routing::MsgKind::kResponse;
     msg.origin = self_;
     msg.target_key = ring_.id(client);
     msg.sent_at = now;
     msg.trace_id = next_trace_id();
-    msg.hops = client == self_ ? 0 : 1;
-    msg.payload = std::make_shared<const core::ResponsePayload>(
-        std::move(response));
-    ++counters_.responses_sent;
-    if (client == self_) {
-      handle_response(msg);
-    } else if (!transport_.send(client, msg)) {
+    msg.hops = 1;
+    msg.payload = payload;
+    if (!transport_.send(client, msg)) {
       ++counters_.send_failures;
     }
   }
+}
+
+void NetNode::send_response_push(const PendingResponse& pending,
+                                 sim::SimTime now) {
+  send_direct(pending.client, routing::MsgKind::kResponse, pending.payload,
+              now);
+}
+
+void NetNode::heartbeat_tick(std::int64_t now_ms, sim::SimTime now) {
+  clock_ms_ = now_ms;
+  if (!reliable()) {
+    return;
+  }
+  detector_.advance(now_ms);
+  const std::int64_t period = config_.reliability.detector.heartbeat_period_ms;
+  if (last_heartbeat_ms_ >= 0 && now_ms - last_heartbeat_ms_ < period) {
+    return;
+  }
+  last_heartbeat_ms_ = now_ms;
+  const auto payload = std::make_shared<const core::HeartbeatPayload>(
+      core::HeartbeatPayload{self_, config_.epoch, ++heartbeat_seq_});
+  for (NodeIndex peer = 0; peer < ring_.size(); ++peer) {
+    if (peer == self_) {
+      continue;
+    }
+    // Dead peers are pinged too — a restarted process answers with a higher
+    // epoch, which is how the rejoin is noticed.
+    send_direct(peer, routing::MsgKind::kHeartbeat, payload, now);
+    ++counters_.heartbeats_sent;
+  }
+}
+
+void NetNode::reliability_tick(std::int64_t now_ms, sim::SimTime now) {
+  clock_ms_ = now_ms;
+  if (!reliable()) {
+    return;
+  }
+  const NetReliabilityConfig& rel = config_.reliability;
+
+  // 1. Fast retransmit of unacked publications.
+  for (auto& [key, pending] : published_) {
+    if (!pending.acked && pending.retries < rel.max_retries &&
+        now_ms - pending.last_sent_ms >= rel.ack_timeout_ms) {
+      ++pending.retries;
+      pending.last_sent_ms = now_ms;
+      ++counters_.mbr_retransmits;
+      send_mbr_multicast(pending, now);
+    }
+  }
+
+  // 2. Periodic soft-state refresh: re-multicast everything this node owns.
+  //    Receiver-side dedup makes the sweep idempotent; it is what heals
+  //    range replicas and anything a detoured delivery mis-placed.
+  if (now_ms - last_refresh_ms_ >= rel.refresh_period_ms) {
+    last_refresh_ms_ = now_ms;
+    ++counters_.refresh_rounds;
+    for (auto& [key, pending] : published_) {
+      ++counters_.mbr_refreshes;
+      send_mbr_multicast(pending, now);
+    }
+    for (const OwnQuery& own : own_queries_) {
+      if (own.query->issued_at + own.query->lifespan <= now) {
+        continue;  // expired: let it die
+      }
+      ++counters_.query_refreshes;
+      send_query_multicast(own, now);
+    }
+  }
+
+  // 3. Retransmit unacked match pushes; give up after max_retries (a client
+  //    that stays gone is excised by the detector anyway).
+  for (auto it = unacked_responses_.begin(); it != unacked_responses_.end();) {
+    PendingResponse& pending = it->second;
+    if (now_ms - pending.last_sent_ms >= rel.ack_timeout_ms) {
+      if (pending.retries >= rel.max_retries) {
+        it = unacked_responses_.erase(it);
+        continue;
+      }
+      ++pending.retries;
+      pending.last_sent_ms = now_ms;
+      ++counters_.response_retransmits;
+      send_response_push(pending, now);
+    }
+    ++it;
+  }
+
+  // 4. Anti-entropy digests toward both live ring neighbors, plus any peer
+  //    whose rejoin was observed since the last pass.
+  if (now_ms - last_anti_entropy_ms_ >= rel.anti_entropy_period_ms) {
+    last_anti_entropy_ms_ = now_ms;
+    ++counters_.anti_entropy_rounds;
+    const NodeIndex up = next_live_successor(self_);
+    if (up != kInvalidNode) {
+      send_digest_to(up, now);
+    }
+    const NodeIndex down = next_live_predecessor(self_);
+    if (down != kInvalidNode && down != up) {
+      send_digest_to(down, now);
+    }
+    for (const NodeIndex peer : pending_repair_) {
+      if (peer != up && peer != down && detector_.usable(peer)) {
+        send_digest_to(peer, now);
+      }
+    }
+    pending_repair_.clear();
+  }
+}
+
+void NetNode::request_handoff(sim::SimTime now) {
+  if (!reliable()) {
+    return;
+  }
+  const auto payload = std::make_shared<const core::HandoffRequestPayload>(
+      core::HandoffRequestPayload{self_,
+                                  ring_.id(ring_.predecessor_index(self_)),
+                                  ring_.id(self_)});
+  const NodeIndex up = next_live_successor(self_);
+  if (up != kInvalidNode) {
+    ++counters_.handoff_requests_sent;
+    send_direct(up, routing::MsgKind::kHandoffRequest, payload, now);
+  }
+  const NodeIndex down = next_live_predecessor(self_);
+  if (down != kInvalidNode && down != up) {
+    ++counters_.handoff_requests_sent;
+    send_direct(down, routing::MsgKind::kHandoffRequest, payload, now);
+  }
+}
+
+void NetNode::send_digest_to(NodeIndex peer, sim::SimTime now) {
+  // Digest the entries relevant to `peer`'s owned arc (its static ring
+  // predecessor to itself; a dead predecessor only widens what the peer is
+  // offered, never narrows it).
+  const Key lo = ring_.id(ring_.predecessor_index(peer));
+  const Key hi = ring_.id(peer);
+  core::AntiEntropyDigestPayload digest;
+  digest.from = self_;
+  digest.lo = lo;
+  digest.hi = hi;
+  for (const core::IndexStore::StoredMbr& entry : store_.mbrs()) {
+    const auto [rlo, rhi] = mapper_.mbr_range(entry.mbr);
+    if (range_intersects_arc(rlo, rhi, lo, hi)) {
+      digest.mbr_keys.push_back({entry.stream, entry.batch_seq});
+    }
+  }
+  for (const auto& [id, sub] : store_.subscriptions()) {
+    if (sub.query == nullptr) {
+      continue;
+    }
+    const auto [rlo, rhi] =
+        mapper_.query_range(sub.query->features, sub.query->radius);
+    if (range_intersects_arc(rlo, rhi, lo, hi)) {
+      digest.query_ids.push_back(id);
+    }
+  }
+  send_direct(peer, routing::MsgKind::kAntiEntropyDigest,
+              std::make_shared<const core::AntiEntropyDigestPayload>(
+                  std::move(digest)),
+              now);
+}
+
+std::optional<core::ReplicaPutPayload> NetNode::collect_arc_entries(Key lo,
+                                                                    Key hi) {
+  core::ReplicaPutPayload put;
+  put.from = self_;
+  for (const core::IndexStore::StoredMbr& entry : store_.mbrs()) {
+    const auto [rlo, rhi] = mapper_.mbr_range(entry.mbr);
+    if (range_intersects_arc(rlo, rhi, lo, hi)) {
+      put.mbrs.push_back({entry.stream, entry.source, entry.mbr,
+                          entry.batch_seq, entry.expires});
+    }
+  }
+  for (const auto& [id, sub] : store_.subscriptions()) {
+    if (sub.query == nullptr) {
+      continue;
+    }
+    const auto [rlo, rhi] =
+        mapper_.query_range(sub.query->features, sub.query->radius);
+    if (range_intersects_arc(rlo, rhi, lo, hi)) {
+      put.subscriptions.push_back({sub.query, sub.middle_key, sub.expires});
+    }
+  }
+  if (put.mbrs.empty() && put.subscriptions.empty()) {
+    return std::nullopt;
+  }
+  return put;
+}
+
+bool NetNode::range_intersects_arc(Key lo, Key hi, Key a, Key b) const {
+  const common::IdSpace& space = ring_.space();
+  // [lo, hi] meets (a, b] iff the range starts inside the arc, ends inside
+  // it, or swallows it whole.
+  return space.in_half_open(lo, a, b) || space.in_half_open(hi, a, b) ||
+         space.in_closed(b, lo, hi);
+}
+
+NodeIndex NetNode::next_live_successor(NodeIndex from) {
+  NodeIndex n = from;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    n = ring_.successor_index(n);
+    if (n != self_ && detector_.usable(n)) {
+      return n;
+    }
+  }
+  return kInvalidNode;
+}
+
+NodeIndex NetNode::next_live_predecessor(NodeIndex from) {
+  NodeIndex n = from;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    n = ring_.predecessor_index(n);
+    if (n != self_ && detector_.usable(n)) {
+      return n;
+    }
+  }
+  return kInvalidNode;
 }
 
 }  // namespace sdsi::net

@@ -22,22 +22,48 @@
 // only need to be long relative to the run for equivalence to hold.
 #pragma once
 
+#include <any>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/batcher.hpp"
 #include "core/index_store.hpp"
 #include "core/mapper.hpp"
 #include "core/query.hpp"
+#include "net/failure_detector.hpp"
 #include "net/ring.hpp"
 #include "net/transport.hpp"
 #include "streams/summarizer.hpp"
 
 namespace sdsi::net {
+
+/// The self-healing layers over a real transport. Off by default: the plain
+/// pipeline stays byte-identical for the fault-free equivalence gate. When
+/// enabled, the node runs the full soft-state reliability stack the sim
+/// middleware has had all along — heartbeats + failure detection, acked
+/// publications with retransmit, periodic refresh, successor replication,
+/// anti-entropy digests, and rejoin handoff — so a lossy socket ring
+/// converges back to the fault-free matched set.
+struct NetReliabilityConfig {
+  bool enabled = false;
+  FailureDetectorConfig detector;
+  /// Unacked MBR publication / response push retransmit deadline.
+  std::int64_t ack_timeout_ms = 250;
+  int max_retries = 10;
+  /// Full soft-state refresh cadence: every tracked publication and every
+  /// locally-posed query is re-multicast (receiver dedup keeps it
+  /// idempotent), healing range replicas an ack cannot vouch for.
+  std::int64_t refresh_period_ms = 800;
+  std::int64_t anti_entropy_period_ms = 600;
+  /// Live successors that mirror each entry landed on this node.
+  std::uint32_t replication = 2;
+};
 
 struct NetNodeConfig {
   dsp::FeatureConfig features;
@@ -47,6 +73,10 @@ struct NetNodeConfig {
   /// every closed MBR at its source regardless of key range, so the
   /// equivalence run must too.
   bool store_local_summaries = true;
+  NetReliabilityConfig reliability;
+  /// Process incarnation, bumped on every restart (rides in heartbeats so
+  /// peers detect the rejoin and push repair state).
+  std::uint64_t epoch = 0;
 };
 
 class NetNode {
@@ -58,6 +88,26 @@ class NetNode {
     std::uint64_t subscriptions_stored = 0;
     std::uint64_t responses_sent = 0;
     std::uint64_t send_failures = 0;  // transport had no route to the peer
+    // Reliability layer (all zero unless config.reliability.enabled):
+    std::uint64_t heartbeats_sent = 0;
+    std::uint64_t heartbeats_received = 0;
+    std::uint64_t detours = 0;  // hops skipped past a dead peer
+    std::uint64_t mbr_acks_sent = 0;
+    std::uint64_t mbr_acks_received = 0;
+    std::uint64_t mbr_retransmits = 0;
+    std::uint64_t refresh_rounds = 0;
+    std::uint64_t mbr_refreshes = 0;
+    std::uint64_t query_refreshes = 0;
+    std::uint64_t response_retransmits = 0;
+    std::uint64_t response_acks_sent = 0;
+    std::uint64_t response_acks_received = 0;
+    std::uint64_t replica_puts_sent = 0;
+    std::uint64_t replica_entries_stored = 0;
+    std::uint64_t anti_entropy_rounds = 0;
+    std::uint64_t anti_entropy_requests = 0;
+    std::uint64_t repair_entries_sent = 0;
+    std::uint64_t handoff_requests_sent = 0;
+    std::uint64_t handoff_entries_sent = 0;
   };
 
   /// The ring and transport must outlive the node. The caller wires
@@ -83,6 +133,28 @@ class NetNode {
   /// pushes fresh matches to their clients.
   void tick(sim::SimTime now);
 
+  /// Reliability drivers (no-ops unless config.reliability.enabled).
+  /// `now_ms` is the node's monotone wall clock (the failure detector's
+  /// time base); `now` is the logical clock the store runs on. Call both
+  /// ticks frequently (every poll loop iteration) — each applies its own
+  /// cadence internally.
+  ///
+  /// heartbeat_tick: advances the detector and emits the periodic
+  /// heartbeat fan-out (every peer, dead ones included — that is how a
+  /// restart is noticed).
+  void heartbeat_tick(std::int64_t now_ms, sim::SimTime now);
+  /// reliability_tick: retransmits unacked publications and response
+  /// pushes, runs the periodic soft-state refresh, and exchanges
+  /// anti-entropy digests with the ring neighbors (plus any peer whose
+  /// rejoin was just observed).
+  void reliability_tick(std::int64_t now_ms, sim::SimTime now);
+  /// Rejoin repair: asks both live ring neighbors for every stored entry
+  /// whose key range intersects this node's owned arc. sdsi_node calls it
+  /// once at startup when epoch > 0.
+  void request_handoff(sim::SimTime now);
+
+  const FailureDetector& detector() const noexcept { return detector_; }
+
   /// Transport upcall: one decoded frame addressed to this node.
   void deliver(routing::Message&& msg, sim::SimTime now);
 
@@ -102,11 +174,71 @@ class NetNode {
     std::uint64_t batch_seq = 0;
   };
 
+  /// One tracked local publication: the full payload (for retransmit and
+  /// refresh) plus its ack state.
+  struct PendingMbr {
+    std::shared_ptr<const core::MbrPayload> payload;
+    Key lo = 0;
+    Key hi = 0;
+    bool acked = false;
+    std::int64_t last_sent_ms = 0;
+    int retries = 0;
+  };
+
+  /// One unacked match push awaiting the client's kResponseAck.
+  struct PendingResponse {
+    std::shared_ptr<const core::ResponsePayload> payload;
+    NodeIndex client = kInvalidNode;
+    std::int64_t last_sent_ms = 0;
+    int retries = 0;
+  };
+
+  /// One locally-posed query, kept for the periodic re-subscription sweep.
+  struct OwnQuery {
+    std::shared_ptr<const core::SimilarityQuery> query;
+    Key lo = 0;
+    Key hi = 0;
+    Key middle = 0;
+  };
+
+  bool reliable() const noexcept { return config_.reliability.enabled; }
+
   void publish_mbr(StreamId stream, LocalStream& state, dsp::Mbr mbr,
                    sim::SimTime now);
   void handle_mbr(const routing::Message& msg, sim::SimTime now);
-  void handle_similarity_query(const routing::Message& msg);
-  void handle_response(const routing::Message& msg);
+  void handle_similarity_query(const routing::Message& msg,
+                               sim::SimTime now);
+  void handle_response(const routing::Message& msg, sim::SimTime now);
+  void handle_heartbeat(const routing::Message& msg);
+  void handle_mbr_ack(const routing::Message& msg);
+  void handle_response_ack(const routing::Message& msg);
+  void handle_replica_put(const routing::Message& msg, sim::SimTime now);
+  void handle_handoff_request(const routing::Message& msg, sim::SimTime now);
+  void handle_anti_entropy_digest(const routing::Message& msg,
+                                  sim::SimTime now);
+  void handle_anti_entropy_request(const routing::Message& msg,
+                                   sim::SimTime now);
+
+  /// Re-emits the range multicast for one tracked publication (retransmit
+  /// and refresh share it; receiver-side dedup keeps it idempotent).
+  void send_mbr_multicast(const PendingMbr& pending, sim::SimTime now);
+  void send_query_multicast(const OwnQuery& own, sim::SimTime now);
+  void send_response_push(const PendingResponse& pending, sim::SimTime now);
+  /// Point-to-point frame to a specific ring member (no range machinery).
+  void send_direct(NodeIndex peer, routing::MsgKind kind, std::any payload,
+                   sim::SimTime now);
+  /// Sends an anti-entropy digest of this store's entries that intersect
+  /// `peer`'s owned arc.
+  void send_digest_to(NodeIndex peer, sim::SimTime now);
+  /// Builds a ReplicaPutPayload of the stored entries whose key range
+  /// intersects the clockwise arc (lo, hi]; empty optional when none do.
+  std::optional<core::ReplicaPutPayload> collect_arc_entries(Key lo, Key hi);
+  /// Whether the closed key range [lo, hi] intersects the arc (a, b].
+  bool range_intersects_arc(Key lo, Key hi, Key a, Key b) const;
+  /// First non-dead successor after `from` (wrapping, never self unless the
+  /// whole ring is dead); `steps` caps the walk.
+  NodeIndex next_live_successor(NodeIndex from);
+  NodeIndex next_live_predecessor(NodeIndex from);
   /// Replica of RoutingSystem::forward_range_copies over the transport:
   /// walk the neighbor in every direction whose range endpoint this node
   /// does not cover.
@@ -127,6 +259,20 @@ class NetNode {
   std::map<core::QueryId, std::set<StreamId>> results_;
   std::uint64_t trace_counter_ = 0;
   Counters counters_;
+
+  // Reliability state (idle unless config_.reliability.enabled).
+  FailureDetector detector_;
+  std::int64_t clock_ms_ = 0;  // last wall clock seen by a reliability tick
+  std::int64_t last_heartbeat_ms_ = -1;
+  std::uint64_t heartbeat_seq_ = 0;
+  std::int64_t last_refresh_ms_ = 0;
+  std::int64_t last_anti_entropy_ms_ = 0;
+  std::map<std::pair<StreamId, std::uint64_t>, PendingMbr> published_;
+  std::map<std::pair<core::QueryId, std::uint64_t>, PendingResponse>
+      unacked_responses_;
+  std::uint64_t push_seq_ = 0;
+  std::vector<OwnQuery> own_queries_;
+  std::set<NodeIndex> pending_repair_;  // rejoined peers owed a digest
 };
 
 }  // namespace sdsi::net

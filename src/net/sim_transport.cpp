@@ -38,4 +38,31 @@ bool SimTransport::send(NodeIndex peer, const routing::Message& msg) {
   return true;
 }
 
+bool SimTransport::send_raw(NodeIndex peer,
+                            std::span<const std::uint8_t> frame) {
+  if (peer >= fabric_.endpoints_.size() ||
+      fabric_.endpoints_[peer] == nullptr) {
+    return false;
+  }
+  ++fabric_.frames_;
+  fabric_.bytes_ += frame.size();
+  // The receiving side of the hop runs the codec, exactly as a socket
+  // endpoint would on arrival; damaged bytes become a counted drop.
+  auto decoded = std::make_shared<routing::Message>();
+  if (decode_frame(frame, decoded.get()) != DecodeResult::kOk) {
+    ++fabric_.decode_rejects_;
+    if (fabric_.drop_hook_) {
+      fabric_.drop_hook_(fault::DropCause::kMalformedFrame);
+    }
+    return true;  // accepted by the medium; lost at the receiver, accounted
+  }
+  SimTransport* endpoint = fabric_.endpoints_[peer];
+  fabric_.sim_.schedule_after(fabric_.hop_latency_, [endpoint, decoded] {
+    if (endpoint->deliver_) {
+      endpoint->deliver_(std::move(*decoded));
+    }
+  });
+  return true;
+}
+
 }  // namespace sdsi::net

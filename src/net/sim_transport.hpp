@@ -13,8 +13,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
+#include "fault/model.hpp"
 #include "net/transport.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
@@ -36,6 +38,17 @@ class SimFabric {
   std::uint64_t frames_sent() const noexcept { return frames_; }
   std::uint64_t bytes_sent() const noexcept { return bytes_; }
 
+  /// Raw frames (send_raw) the receiving side's codec rejected — the sim
+  /// fabric's analogue of SocketTransportStats::decode_rejects.
+  std::uint64_t decode_rejects() const noexcept { return decode_rejects_; }
+
+  /// Observer for fabric-level losses (today only kMalformedFrame from a
+  /// rejected raw frame); lets an in-process chaos run route transport
+  /// drops into the same accounting as the injected ones.
+  void set_drop_hook(std::function<void(fault::DropCause)> hook) {
+    drop_hook_ = std::move(hook);
+  }
+
  private:
   friend class SimTransport;
 
@@ -51,6 +64,8 @@ class SimFabric {
   std::vector<SimTransport*> endpoints_;
   std::uint64_t frames_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t decode_rejects_ = 0;
+  std::function<void(fault::DropCause)> drop_hook_;
 };
 
 class SimTransport final : public Transport {
@@ -62,6 +77,10 @@ class SimTransport final : public Transport {
   NodeIndex self() const noexcept { return self_; }
 
   bool send(NodeIndex peer, const routing::Message& msg) override;
+  /// Raw bytes cross the fabric exactly like a socket hop: the receiving
+  /// side decodes them, and a reject is a counted drop (never an abort) —
+  /// this is the path fault-injected corruption rides.
+  bool send_raw(NodeIndex peer, std::span<const std::uint8_t> frame) override;
   void set_deliver(DeliverFn fn) override { deliver_ = std::move(fn); }
   /// No-op: deliveries ride the sim scheduler (run the simulator instead).
   void poll(int budget_ms) override { (void)budget_ms; }

@@ -86,12 +86,23 @@ bool SocketTransport::connected(NodeIndex peer) const {
 }
 
 bool SocketTransport::send(NodeIndex peer, const routing::Message& msg) {
-  const auto it = peers_.find(peer);
-  if (it == peers_.end()) {
+  if (peers_.find(peer) == peers_.end()) {
     return false;
   }
-  Peer& entry = it->second;
-  const std::vector<std::uint8_t> frame = encode_frame(msg);
+  return enqueue_frame(peer, encode_frame(msg));
+}
+
+bool SocketTransport::send_raw(NodeIndex peer,
+                               std::span<const std::uint8_t> frame) {
+  if (peers_.find(peer) == peers_.end()) {
+    return false;
+  }
+  return enqueue_frame(peer, frame);
+}
+
+bool SocketTransport::enqueue_frame(NodeIndex peer,
+                                    std::span<const std::uint8_t> frame) {
+  Peer& entry = peers_[peer];
   if (entry.outbox.size() - entry.out_offset + frame.size() >
       kMaxOutboxBytes) {
     ++stats_.dropped_overflow;
@@ -169,8 +180,17 @@ void SocketTransport::fail_connection(NodeIndex peer_index) {
     peer.fd = -1;
   }
   peer.connecting = false;
-  peer.next_attempt =
-      Clock::now() + std::chrono::milliseconds(peer.backoff_ms);
+  // Jittered (when seeded): uniform in [½d, 1½d) around the current ladder
+  // step d, so peers that lost the same node do not retry in lockstep. The
+  // draw comes from this endpoint's own seeded stream — reconnect timing is
+  // deterministic per node, not shared across nodes.
+  int delay_ms = peer.backoff_ms;
+  if (backoff_jitter_) {
+    delay_ms = peer.backoff_ms / 2 +
+               static_cast<int>(backoff_rng_.bounded(
+                   static_cast<std::uint32_t>(peer.backoff_ms)));
+  }
+  peer.next_attempt = Clock::now() + std::chrono::milliseconds(delay_ms);
   peer.backoff_ms = std::min(peer.backoff_ms * 2, kBackoffMaxMs);
 }
 
@@ -180,9 +200,11 @@ void SocketTransport::flush_outbox(NodeIndex peer_index) {
     return;
   }
   while (peer.out_offset < peer.outbox.size()) {
+    // MSG_NOSIGNAL: a peer that died mid-run must surface as EPIPE (handled
+    // below via fail_connection), not as a process-killing SIGPIPE.
     const ssize_t n =
-        ::write(peer.fd, peer.outbox.data() + peer.out_offset,
-                peer.outbox.size() - peer.out_offset);
+        ::send(peer.fd, peer.outbox.data() + peer.out_offset,
+               peer.outbox.size() - peer.out_offset, MSG_NOSIGNAL);
     if (n > 0) {
       peer.out_offset += static_cast<std::size_t>(n);
       continue;

@@ -20,6 +20,7 @@
 //    (counted) — the middleware's soft state owns end-to-end repair.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -27,6 +28,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/rng.hpp"
+#include "fault/model.hpp"
 #include "net/transport.hpp"
 
 namespace sdsi::net {
@@ -72,11 +75,40 @@ class SocketTransport final : public Transport {
   bool connected(NodeIndex peer) const;
 
   bool send(NodeIndex peer, const routing::Message& msg) override;
+  bool send_raw(NodeIndex peer, std::span<const std::uint8_t> frame) override;
   void set_deliver(DeliverFn fn) override { deliver_ = std::move(fn); }
   void poll(int budget_ms) override;
   std::size_t peer_count() const override { return peers_.size(); }
 
+  /// Seeds the deterministic reconnect-backoff jitter (derive the seed from
+  /// the node's identity). Unseeded, backoff is the bare doubling ladder —
+  /// after a crash takes a peer down, every survivor's retry clock ticks in
+  /// lockstep; the jitter spreads each delay uniformly over [½d, 1½d) so a
+  /// restart is not greeted by a synchronized reconnect storm.
+  void set_backoff_seed(std::uint64_t seed) {
+    backoff_rng_ = common::Pcg32(seed, /*stream=*/0x5bcf);
+    backoff_jitter_ = true;
+  }
+
   const SocketTransportStats& stats() const noexcept { return stats_; }
+
+  /// This endpoint's losses in the shared fault vocabulary: what send()
+  /// shed at a full outbox and what the receive codec rejected. The slugs
+  /// (`outbox_overflow`, `malformed_frame`) join the injected causes in
+  /// out.json / metrics.json so transport losses are visible to the
+  /// robustness accounting, not just local counters.
+  std::array<std::uint64_t,
+             static_cast<std::size_t>(fault::DropCause::kCount)>
+  drops_by_cause() const noexcept {
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(fault::DropCause::kCount)>
+        drops{};
+    drops[static_cast<std::size_t>(fault::DropCause::kOutboxOverflow)] =
+        stats_.dropped_overflow;
+    drops[static_cast<std::size_t>(fault::DropCause::kMalformedFrame)] =
+        stats_.decode_rejects;
+    return drops;
+  }
 
   /// Bytes accepted by send() but not yet written to a socket, across all
   /// peers. Zero means every queued frame is at least in the kernel's hands
@@ -108,6 +140,7 @@ class SocketTransport final : public Transport {
     std::vector<std::uint8_t> inbuf;
   };
 
+  bool enqueue_frame(NodeIndex peer, std::span<const std::uint8_t> frame);
   void start_connect(NodeIndex peer_index);
   void on_connect_ready(NodeIndex peer_index);
   void fail_connection(NodeIndex peer_index);
@@ -127,6 +160,8 @@ class SocketTransport final : public Transport {
   std::unordered_map<int, NodeIndex> outbound_by_fd_;
   std::unordered_map<int, std::unique_ptr<Inbound>> inbound_by_fd_;
   SocketTransportStats stats_;
+  common::Pcg32 backoff_rng_;
+  bool backoff_jitter_ = false;
 };
 
 }  // namespace sdsi::net

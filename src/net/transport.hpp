@@ -13,7 +13,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <span>
 
 #include "common/types.hpp"
 #include "routing/message.hpp"
@@ -33,6 +35,17 @@ class Transport {
   /// at-most-once — a transport does not retransmit, the middleware's
   /// soft-state machinery owns end-to-end reliability.
   virtual bool send(NodeIndex peer, const routing::Message& msg) = 0;
+
+  /// Queues pre-encoded frame bytes to `peer` verbatim, bypassing this
+  /// endpoint's encoder. This is the seam the fault-injection layer uses to
+  /// put damaged or delayed bytes on the wire: the receiving endpoint runs
+  /// its normal codec and must survive (and account for) whatever arrives.
+  /// Default: unsupported.
+  virtual bool send_raw(NodeIndex peer, std::span<const std::uint8_t> frame) {
+    (void)peer;
+    (void)frame;
+    return false;
+  }
 
   virtual void set_deliver(DeliverFn fn) = 0;
 

@@ -18,6 +18,7 @@ using core::AggregatorReplicaPayload;
 using core::AntiEntropyDigestPayload;
 using core::AntiEntropyRequestPayload;
 using core::HandoffRequestPayload;
+using core::HeartbeatPayload;
 using core::InnerProductQuery;
 using core::InnerProductQueryPayload;
 using core::LocationGetPayload;
@@ -435,6 +436,13 @@ void encode_payload(Writer& w, const Message& msg) {
       put_matches(w, p.matches);
       return;
     }
+    case MsgKind::kHeartbeat: {
+      const auto& p = payload_of<HeartbeatPayload>(msg);
+      w.u32(p.from);
+      w.u64(p.epoch);
+      w.u64(p.seq);
+      return;
+    }
   }
   SDSI_CHECK(false && "encode_frame: message kind carries no codec");
 }
@@ -618,6 +626,15 @@ bool decode_payload(Reader& r, MsgKind kind, Message* out) {
       p.expires = get_time(r);
       p.owner = r.u32();
       p.matches = get_matches(r);
+      if (!r.ok()) return false;
+      emplace_payload(out, std::move(p));
+      return true;
+    }
+    case MsgKind::kHeartbeat: {
+      HeartbeatPayload p;
+      p.from = r.u32();
+      p.epoch = r.u64();
+      p.seq = r.u64();
       if (!r.ok()) return false;
       emplace_payload(out, std::move(p));
       return true;

@@ -37,11 +37,12 @@ enum class MsgKind : std::uint16_t {
   kAntiEntropyDigest = 13,   // compact content digest between replica peers
   kAntiEntropyRequest = 14,  // backfill request for digest gaps
   kAggregatorReplica = 15,   // partial-aggregation mirror to the replica set
+  kHeartbeat = 16,           // liveness beacon for the failure detector
 };
 
 /// Number of assigned wire kinds (kInvalid excluded); kind values in
 /// [1, kNumMsgKinds] are valid on the wire.
-inline constexpr std::uint16_t kNumMsgKinds = 15;
+inline constexpr std::uint16_t kNumMsgKinds = 16;
 
 /// Whether a raw header value names an assigned message kind. The wire
 /// decoder consults this so an unknown kind REJECTS the frame (a peer
@@ -70,6 +71,7 @@ constexpr const char* msg_kind_name(MsgKind kind) noexcept {
     case MsgKind::kAntiEntropyDigest: return "anti_entropy_digest";
     case MsgKind::kAntiEntropyRequest: return "anti_entropy_request";
     case MsgKind::kAggregatorReplica: return "aggregator_replica";
+    case MsgKind::kHeartbeat: return "heartbeat";
   }
   return "invalid";
 }

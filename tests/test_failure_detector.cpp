@@ -1,0 +1,109 @@
+// Unit tests of the heartbeat failure detector's three-state machine
+// (src/net/failure_detector.hpp): silence deadlines, false-suspicion
+// recovery, epoch-based rejoin detection, and the bounds/self guards the
+// chaos path relies on (corrupted frames can carry garbage peer indices).
+#include <gtest/gtest.h>
+
+#include "net/failure_detector.hpp"
+
+namespace sdsi::net {
+namespace {
+
+FailureDetectorConfig test_config() {
+  FailureDetectorConfig config;
+  config.heartbeat_period_ms = 50;
+  config.suspect_after_ms = 250;
+  config.dead_after_ms = 600;
+  return config;
+}
+
+TEST(FailureDetector, AliveToSuspectToDeadOnSilence) {
+  FailureDetector detector(test_config(), 2, /*self=*/0);
+  detector.observe_alive(1, 0);
+
+  detector.advance(100);
+  EXPECT_EQ(detector.health(1), PeerHealth::kAlive);
+  EXPECT_TRUE(detector.usable(1));
+
+  detector.advance(250);  // silence == suspect_after
+  EXPECT_EQ(detector.health(1), PeerHealth::kSuspect);
+  EXPECT_TRUE(detector.usable(1)) << "suspects still get traffic";
+  EXPECT_EQ(detector.counters().suspects, 1u);
+
+  detector.advance(599);
+  EXPECT_EQ(detector.health(1), PeerHealth::kSuspect);
+
+  detector.advance(600);  // silence == dead_after
+  EXPECT_EQ(detector.health(1), PeerHealth::kDead);
+  EXPECT_FALSE(detector.usable(1));
+  EXPECT_EQ(detector.counters().deaths, 1u);
+}
+
+TEST(FailureDetector, FalseSuspicionRecoversWithoutDetour) {
+  FailureDetector detector(test_config(), 2, /*self=*/0);
+  detector.observe_alive(1, 0);
+  detector.advance(300);
+  ASSERT_EQ(detector.health(1), PeerHealth::kSuspect);
+
+  // Delay-only chaos: the frame was late, not lost. One observation heals
+  // the suspicion and the only trace is the false_suspicions counter.
+  detector.observe_alive(1, 310);
+  EXPECT_EQ(detector.health(1), PeerHealth::kAlive);
+  EXPECT_EQ(detector.counters().false_suspicions, 1u);
+  EXPECT_EQ(detector.counters().deaths, 0u);
+
+  detector.advance(400);
+  EXPECT_EQ(detector.health(1), PeerHealth::kAlive);
+}
+
+TEST(FailureDetector, DeadPeerRecoversAndEpochBumpSignalsRejoin) {
+  FailureDetector detector(test_config(), 2, /*self=*/0);
+  // First heartbeat baselines the epoch — never a rejoin, even if nonzero.
+  EXPECT_FALSE(detector.observe_heartbeat(1, 0, 0));
+  EXPECT_EQ(detector.counters().rejoins, 0u);
+
+  detector.advance(1000);
+  ASSERT_EQ(detector.health(1), PeerHealth::kDead);
+
+  // The process restarted: same index, bumped epoch. One heartbeat both
+  // revives the record and reports the rejoin exactly once.
+  EXPECT_TRUE(detector.observe_heartbeat(1, 1, 1000));
+  EXPECT_EQ(detector.health(1), PeerHealth::kAlive);
+  EXPECT_EQ(detector.counters().recoveries, 1u);
+  EXPECT_EQ(detector.counters().rejoins, 1u);
+  EXPECT_EQ(detector.epoch(1), 1u);
+
+  EXPECT_FALSE(detector.observe_heartbeat(1, 1, 1050))
+      << "same epoch must not re-report the rejoin";
+}
+
+TEST(FailureDetector, RejoinDetectedEvenWithoutObservedDeath) {
+  FailureDetector detector(test_config(), 2, /*self=*/0);
+  EXPECT_FALSE(detector.observe_heartbeat(1, 0, 0));
+  // The peer died and came back between two heartbeats we received: the
+  // epoch advance alone is the rejoin evidence.
+  EXPECT_TRUE(detector.observe_heartbeat(1, 1, 100));
+  EXPECT_EQ(detector.counters().rejoins, 1u);
+  EXPECT_EQ(detector.counters().deaths, 0u);
+}
+
+TEST(FailureDetector, NeverHeardPeerExcisedFromTimeZero) {
+  FailureDetector detector(test_config(), 2, /*self=*/0);
+  detector.advance(600);
+  EXPECT_EQ(detector.health(1), PeerHealth::kDead);
+}
+
+TEST(FailureDetector, SelfAndOutOfRangeEvidenceIgnored) {
+  FailureDetector detector(test_config(), 2, /*self=*/0);
+  detector.observe_alive(0, 0);  // self: no record
+  detector.observe_alive(7, 0);  // out of range: corrupted frame's index
+  EXPECT_FALSE(detector.observe_heartbeat(7, 3, 0));
+  EXPECT_EQ(detector.epoch(7), 0u);
+  detector.advance(10'000);
+  EXPECT_EQ(detector.health(0), PeerHealth::kAlive) << "self is never dead";
+  EXPECT_EQ(detector.health(7), PeerHealth::kAlive)
+      << "unknown peers default to alive (callers bounds-check separately)";
+}
+
+}  // namespace
+}  // namespace sdsi::net

@@ -194,6 +194,10 @@ inline routing::Message sample_message(routing::MsgKind kind) {
       set_payload(msg, std::move(payload));
       break;
     }
+    case MsgKind::kHeartbeat: {
+      set_payload(msg, core::HeartbeatPayload{2, 1, 17});
+      break;
+    }
   }
   return msg;
 }

@@ -1,30 +1,54 @@
-// net_equiv: the socket leg of the sim-vs-socket equivalence gate.
+// net_equiv: the socket leg of the sim-vs-socket equivalence gate, plus the
+// net-chaos drill driver.
 //
-// Launches N sdsi_node processes (real TCP over 127.0.0.1, wire protocol
-// v1), waits for the ring to run the deterministic net workload to
-// completion, merges the per-process out.<i>.json results, and compares the
-// merged per-query matched stream sets against the canonical simulated
-// middleware run in-process (net::run_sim_reference). Exits 0 iff the
-// digests are identical and non-vacuous.
+// Fault-free mode (default): launches N sdsi_node processes (real TCP over
+// 127.0.0.1, wire protocol v1), waits for the ring to run the deterministic
+// net workload to completion, merges the per-process out.<i>.json results,
+// and compares the merged per-query matched stream sets against the
+// canonical simulated middleware run in-process (net::run_sim_reference).
+// Exits 0 iff the digests are identical and non-vacuous.
+//
+// Chaos mode (--chaos, or any --fault-* / --kill-index flag): the ring runs
+// with seeded transport fault injection and the NetNode reliability stack
+// on, optionally SIGKILLing one member mid-run and restarting it on the
+// same port with a bumped epoch. The gate then relaxes from exact equality
+// to a recall floor (matched pairs recovered vs the fault-free sim digest,
+// excluding queries posed by the killed member — the RecallOracle policy),
+// and additionally enforces the zero-unaccounted-drops identity per
+// endpoint:
+//   faults.offered == transport.frames_sent + drops.outbox_overflow
+//                     + drops.uniform_loss + drops.burst_loss
+//                     + drops.partition
+// (no frame may vanish without a DropCause). --bench-json writes the drill
+// outcome as socket-chaos rows in the BENCH_robustness.json row schema.
 //
 // Usage: net_equiv --nodes N --dir SCRATCH [--seed S] [--samples K]
-//                  [--node-bin PATH]
+//                  [--node-bin PATH] [--timeout SECONDS]
+//                  [--chaos] [--fault-uniform P] [--fault-burst RATE]
+//                  [--fault-jitter-ms MS] [--fault-reorder P]
+//                  [--fault-corrupt P] [--converge-ms MS]
+//                  [--kill-index K] [--kill-after-ms T]
+//                  [--restart-after-ms R] [--recall-floor F]
+//                  [--bench-json PATH]
 // The node binary defaults to "sdsi_node" next to this executable.
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "net/equivalence.hpp"
+#include "net/workload.hpp"
 #include "obs/json.hpp"
 
 namespace fs = std::filesystem;
@@ -39,12 +63,30 @@ struct Options {
   std::uint32_t samples = 400;
   std::string node_bin;
   int timeout_s = 120;
+  // Chaos drill:
+  bool chaos = false;
+  double fault_uniform = 0.0;
+  double fault_burst = 0.0;
+  int fault_jitter_ms = 0;
+  double fault_reorder = 0.0;
+  double fault_corrupt = 0.0;
+  int converge_ms = 4000;
+  int kill_index = -1;
+  int kill_after_ms = 1500;
+  int restart_after_ms = 500;
+  double recall_floor = 0.95;
+  std::string bench_json;
 };
 
 [[noreturn]] void usage_and_exit(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --nodes N --dir SCRATCH [--seed S] [--samples K] "
-               "[--node-bin PATH] [--timeout SECONDS]\n",
+               "[--node-bin PATH] [--timeout SECONDS] [--chaos] "
+               "[--fault-uniform P] [--fault-burst RATE] "
+               "[--fault-jitter-ms MS] [--fault-reorder P] "
+               "[--fault-corrupt P] [--converge-ms MS] [--kill-index K] "
+               "[--kill-after-ms T] [--restart-after-ms R] "
+               "[--recall-floor F] [--bench-json PATH]\n",
                argv0);
   std::exit(2);
 }
@@ -69,11 +111,57 @@ Options parse_args(int argc, char** argv) {
       opts.node_bin = next();
     } else if (arg == "--timeout") {
       opts.timeout_s = std::stoi(next());
+    } else if (arg == "--chaos") {
+      opts.chaos = true;
+    } else if (arg == "--fault-uniform") {
+      opts.fault_uniform = std::stod(next());
+      opts.chaos = true;
+    } else if (arg == "--fault-burst") {
+      opts.fault_burst = std::stod(next());
+      opts.chaos = true;
+    } else if (arg == "--fault-jitter-ms") {
+      opts.fault_jitter_ms = std::stoi(next());
+      opts.chaos = true;
+    } else if (arg == "--fault-reorder") {
+      opts.fault_reorder = std::stod(next());
+      opts.chaos = true;
+    } else if (arg == "--fault-corrupt") {
+      opts.fault_corrupt = std::stod(next());
+      opts.chaos = true;
+    } else if (arg == "--converge-ms") {
+      opts.converge_ms = std::stoi(next());
+    } else if (arg == "--kill-index") {
+      opts.kill_index = std::stoi(next());
+      opts.chaos = true;
+    } else if (arg == "--kill-after-ms") {
+      opts.kill_after_ms = std::stoi(next());
+    } else if (arg == "--restart-after-ms") {
+      opts.restart_after_ms = std::stoi(next());
+    } else if (arg == "--recall-floor") {
+      opts.recall_floor = std::stod(next());
+    } else if (arg == "--bench-json") {
+      opts.bench_json = next();
     } else {
       usage_and_exit(argv[0]);
     }
   }
   if (opts.nodes == 0 || opts.dir.empty()) usage_and_exit(argv[0]);
+  if (opts.chaos && opts.fault_uniform == 0.0 && opts.fault_burst == 0.0 &&
+      opts.fault_jitter_ms == 0 && opts.fault_reorder == 0.0 &&
+      opts.fault_corrupt == 0.0 && opts.kill_index < 0) {
+    // Bare --chaos: the acceptance-gate preset (~10% bursty loss, light
+    // jitter/reorder/corruption, one mid-run crash of node 1).
+    opts.fault_burst = 0.10;
+    opts.fault_jitter_ms = 5;
+    opts.fault_reorder = 0.02;
+    opts.fault_corrupt = 0.005;
+    opts.kill_index = 1;
+  }
+  if (opts.kill_index >= 0 &&
+      static_cast<std::uint32_t>(opts.kill_index) >= opts.nodes) {
+    std::fprintf(stderr, "net_equiv: --kill-index out of range\n");
+    std::exit(2);
+  }
   return opts;
 }
 
@@ -122,6 +210,84 @@ void print_digest_diff(const net::MatchDigest& sim_digest,
   }
 }
 
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+/// Forks one sdsi_node. `epoch` > 0 marks a restart (fixed `port`).
+pid_t launch_node(const Options& opts, const fs::path& node_bin,
+                  std::uint32_t index, std::uint32_t port,
+                  std::uint64_t epoch) {
+  const pid_t pid = ::fork();
+  if (pid != 0) {
+    return pid;
+  }
+  std::vector<std::string> args;
+  args.push_back(node_bin.string());
+  args.push_back("--index");
+  args.push_back(std::to_string(index));
+  args.push_back("--nodes");
+  args.push_back(std::to_string(opts.nodes));
+  args.push_back("--dir");
+  args.push_back(opts.dir);
+  args.push_back("--seed");
+  args.push_back(std::to_string(opts.seed));
+  args.push_back("--samples");
+  args.push_back(std::to_string(opts.samples));
+  if (opts.chaos) {
+    args.push_back("--reliable");
+    args.push_back("--converge-ms");
+    args.push_back(std::to_string(opts.converge_ms));
+    if (opts.fault_uniform > 0.0) {
+      args.push_back("--fault-uniform");
+      args.push_back(format_double(opts.fault_uniform));
+    }
+    if (opts.fault_burst > 0.0) {
+      args.push_back("--fault-burst");
+      args.push_back(format_double(opts.fault_burst));
+    }
+    if (opts.fault_jitter_ms > 0) {
+      args.push_back("--fault-jitter-ms");
+      args.push_back(std::to_string(opts.fault_jitter_ms));
+    }
+    if (opts.fault_reorder > 0.0) {
+      args.push_back("--fault-reorder");
+      args.push_back(format_double(opts.fault_reorder));
+    }
+    if (opts.fault_corrupt > 0.0) {
+      args.push_back("--fault-corrupt");
+      args.push_back(format_double(opts.fault_corrupt));
+    }
+  }
+  if (port != 0) {
+    args.push_back("--port");
+    args.push_back(std::to_string(port));
+  }
+  if (epoch != 0) {
+    args.push_back("--epoch");
+    args.push_back(std::to_string(epoch));
+  }
+  std::vector<char*> argv_raw;
+  argv_raw.reserve(args.size() + 1);
+  for (std::string& a : args) {
+    argv_raw.push_back(a.data());
+  }
+  argv_raw.push_back(nullptr);
+  ::execv(node_bin.c_str(), argv_raw.data());
+  std::perror("net_equiv: execv");
+  ::_exit(127);
+}
+
+std::uint64_t json_u64(const obs::Json* obj, const char* key) {
+  if (obj == nullptr) return 0;
+  const obs::Json* field = obj->find(key);
+  return field == nullptr
+             ? 0
+             : static_cast<std::uint64_t>(field->as_int());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -143,37 +309,27 @@ int main(int argc, char** argv) {
   }
 
   // --- Launch the ring ----------------------------------------------------
+  using Clock = std::chrono::steady_clock;
+  const auto launch_time = Clock::now();
   std::vector<pid_t> children;
   children.reserve(opts.nodes);
   for (std::uint32_t i = 0; i < opts.nodes; ++i) {
-    const pid_t pid = ::fork();
+    const pid_t pid = launch_node(opts, node_bin, i, /*port=*/0, /*epoch=*/0);
     if (pid < 0) {
       std::perror("net_equiv: fork");
       for (const pid_t child : children) ::kill(child, SIGKILL);
       return 2;
     }
-    if (pid == 0) {
-      const std::string index_arg = std::to_string(i);
-      const std::string nodes_arg = std::to_string(opts.nodes);
-      const std::string seed_arg = std::to_string(opts.seed);
-      const std::string samples_arg = std::to_string(opts.samples);
-      const char* child_argv[] = {
-          node_bin.c_str(),    "--index",   index_arg.c_str(),
-          "--nodes",           nodes_arg.c_str(),
-          "--dir",             opts.dir.c_str(),
-          "--seed",            seed_arg.c_str(),
-          "--samples",         samples_arg.c_str(),
-          nullptr};
-      ::execv(node_bin.c_str(), const_cast<char* const*>(child_argv));
-      std::perror("net_equiv: execv");
-      ::_exit(127);
-    }
     children.push_back(pid);
   }
 
-  // --- Wait for every process (bounded) -----------------------------------
-  using Clock = std::chrono::steady_clock;
+  // --- Wait for every process, running the crash drill --------------------
   const auto deadline = Clock::now() + std::chrono::seconds(opts.timeout_s);
+  enum class Drill { kIdle, kKilled, kRestarted, kOff };
+  Drill drill =
+      opts.chaos && opts.kill_index >= 0 ? Drill::kIdle : Drill::kOff;
+  auto killed_at = Clock::now();
+  std::uint32_t victim_port = 0;
   std::uint32_t exited_ok = 0;
   bool failed = false;
   std::vector<pid_t> pending = children;
@@ -183,6 +339,45 @@ int main(int argc, char** argv) {
                    opts.timeout_s, pending.size());
       failed = true;
       break;
+    }
+    if (drill == Drill::kIdle &&
+        Clock::now() - launch_time >
+            std::chrono::milliseconds(opts.kill_after_ms)) {
+      const pid_t victim = children[static_cast<std::size_t>(opts.kill_index)];
+      const fs::path port_path =
+          fs::path(opts.dir) / ("port." + std::to_string(opts.kill_index));
+      std::ifstream in(port_path);
+      in >> victim_port;
+      if (victim_port == 0) {
+        // The ring is still rendezvousing; try again next iteration.
+      } else {
+        std::fprintf(stderr, "net_equiv: SIGKILL node %d (pid %d)\n",
+                     opts.kill_index, static_cast<int>(victim));
+        ::kill(victim, SIGKILL);
+        ::waitpid(victim, nullptr, 0);
+        pending.erase(std::remove(pending.begin(), pending.end(), victim),
+                      pending.end());
+        killed_at = Clock::now();
+        drill = Drill::kKilled;
+      }
+    }
+    if (drill == Drill::kKilled &&
+        Clock::now() - killed_at >
+            std::chrono::milliseconds(opts.restart_after_ms)) {
+      std::fprintf(stderr, "net_equiv: restarting node %d on port %u\n",
+                   opts.kill_index, victim_port);
+      const pid_t replacement =
+          launch_node(opts, node_bin,
+                      static_cast<std::uint32_t>(opts.kill_index),
+                      victim_port, /*epoch=*/1);
+      if (replacement < 0) {
+        std::perror("net_equiv: fork (restart)");
+        failed = true;
+        break;
+      }
+      children[static_cast<std::size_t>(opts.kill_index)] = replacement;
+      pending.push_back(replacement);
+      drill = Drill::kRestarted;
     }
     for (auto it = pending.begin(); it != pending.end();) {
       int status = 0;
@@ -202,6 +397,12 @@ int main(int argc, char** argv) {
     }
     ::usleep(20'000);
   }
+  if (drill == Drill::kIdle || drill == Drill::kKilled) {
+    std::fprintf(stderr,
+                 "net_equiv: drill never completed (ring finished first); "
+                 "rerun with a smaller --kill-after-ms\n");
+    failed = true;
+  }
   if (failed) {
     for (const pid_t child : pending) ::kill(child, SIGKILL);
     for (const pid_t child : pending) ::waitpid(child, nullptr, 0);
@@ -213,6 +414,12 @@ int main(int argc, char** argv) {
   // --- Merge the per-process digests --------------------------------------
   net::MatchDigest net_digest;
   std::uint64_t total_frames = 0;
+  std::uint64_t total_reconnects = 0;
+  std::uint64_t total_detours = 0;
+  std::uint64_t total_rejoins = 0;
+  std::uint64_t total_retransmits = 0;
+  std::uint64_t drops_total = 0;
+  std::uint64_t drops_unaccounted = 0;
   for (std::uint32_t i = 0; i < opts.nodes; ++i) {
     const fs::path out_path =
         fs::path(opts.dir) / ("out." + std::to_string(i) + ".json");
@@ -236,14 +443,47 @@ int main(int argc, char** argv) {
       }
     }
     const obs::Json* transport = doc->find("transport");
-    if (transport != nullptr) {
-      if (const obs::Json* frames = transport->find("frames_received")) {
-        total_frames += static_cast<std::uint64_t>(frames->as_int());
+    total_frames += json_u64(transport, "frames_received");
+    total_reconnects += json_u64(transport, "reconnect_attempts");
+    const obs::Json* counters = doc->find("counters");
+    total_detours += json_u64(counters, "detours");
+    total_retransmits += json_u64(counters, "mbr_retransmits") +
+                         json_u64(counters, "response_retransmits");
+    total_rejoins += json_u64(doc->find("detector"), "rejoins");
+
+    // Zero-unaccounted-drops: every frame this endpoint offered must be
+    // either handed to the kernel or attributed to a DropCause.
+    const obs::Json* faults = doc->find("faults");
+    const obs::Json* drops = doc->find("drops");
+    for (const char* slug :
+         {"uniform_loss", "burst_loss", "partition", "outbox_overflow",
+          "malformed_frame"}) {
+      drops_total += json_u64(drops, slug);
+    }
+    if (faults != nullptr) {
+      const std::uint64_t offered = json_u64(faults, "offered");
+      const std::uint64_t accounted =
+          json_u64(transport, "frames_sent") +
+          json_u64(drops, "outbox_overflow") +
+          json_u64(drops, "uniform_loss") + json_u64(drops, "burst_loss") +
+          json_u64(drops, "partition");
+      const std::uint64_t leaks = json_u64(faults, "forward_failures") +
+                                  json_u64(faults, "pending_delayed");
+      if (offered != accounted || leaks != 0) {
+        std::fprintf(stderr,
+                     "net_equiv: node %u UNACCOUNTED DROPS: offered=%llu "
+                     "accounted=%llu leaks=%llu\n",
+                     i, static_cast<unsigned long long>(offered),
+                     static_cast<unsigned long long>(accounted),
+                     static_cast<unsigned long long>(leaks));
+        drops_unaccounted +=
+            (offered > accounted ? offered - accounted : accounted - offered) +
+            leaks;
       }
     }
   }
 
-  // --- Compare against the canonical sim ----------------------------------
+  // --- Compare against the canonical (fault-free) sim ---------------------
   net::WorkloadConfig config;
   config.nodes = opts.nodes;
   config.seed = opts.seed;
@@ -261,16 +501,119 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (net_digest != sim_digest) {
-    std::fprintf(stderr, "net_equiv: DIGEST MISMATCH (sim vs socket):\n");
+  if (!opts.chaos) {
+    if (net_digest != sim_digest) {
+      std::fprintf(stderr, "net_equiv: DIGEST MISMATCH (sim vs socket):\n");
+      print_digest_diff(sim_digest, net_digest);
+      return 1;
+    }
+    std::printf(
+        "net_equiv: OK — %u processes, %zu queries (%zu with matches), "
+        "%llu TCP frames, socket digest == sim digest\n",
+        opts.nodes, sim_digest.size(), nonempty,
+        static_cast<unsigned long long>(total_frames));
+    return 0;
+  }
+
+  // --- Chaos verdict: recall floor + full drop accounting -----------------
+  // Queries posed by the killed member are excluded (its client-side result
+  // set died with the first process; the RecallOracle applies the same
+  // policy to crashed sim clients).
+  std::map<std::uint64_t, NodeIndex> client_of;
+  for (const net::WorkloadQuery& query : net::workload_queries(config)) {
+    client_of[query.id] = query.client;
+  }
+  std::uint64_t expected_pairs = 0;
+  std::uint64_t recovered_pairs = 0;
+  std::uint64_t excluded_queries = 0;
+  for (const auto& [query, streams] : sim_digest) {
+    const auto client_it = client_of.find(query);
+    if (opts.kill_index >= 0 && client_it != client_of.end() &&
+        client_it->second == static_cast<NodeIndex>(opts.kill_index)) {
+      ++excluded_queries;
+      continue;
+    }
+    expected_pairs += streams.size();
+    const auto it = net_digest.find(query);
+    if (it == net_digest.end()) continue;
+    for (const StreamId s : streams) {
+      if (it->second.count(s) != 0) ++recovered_pairs;
+    }
+  }
+  const double recall =
+      expected_pairs == 0
+          ? 1.0
+          : static_cast<double>(recovered_pairs) /
+                static_cast<double>(expected_pairs);
+
+  std::printf(
+      "net_equiv: chaos — recall %.4f (%llu/%llu pairs, %llu queries "
+      "excluded), drops=%llu (unaccounted %llu), detours=%llu, "
+      "retransmits=%llu, rejoins=%llu, reconnects=%llu, frames=%llu\n",
+      recall, static_cast<unsigned long long>(recovered_pairs),
+      static_cast<unsigned long long>(expected_pairs),
+      static_cast<unsigned long long>(excluded_queries),
+      static_cast<unsigned long long>(drops_total),
+      static_cast<unsigned long long>(drops_unaccounted),
+      static_cast<unsigned long long>(total_detours),
+      static_cast<unsigned long long>(total_retransmits),
+      static_cast<unsigned long long>(total_rejoins),
+      static_cast<unsigned long long>(total_reconnects),
+      static_cast<unsigned long long>(total_frames));
+
+  if (!opts.bench_json.empty()) {
+    const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             Clock::now() - launch_time)
+                             .count();
+    std::ostringstream cfg;
+    cfg << "socket N=" << opts.nodes << " seed=" << opts.seed
+        << " burst~" << static_cast<int>(opts.fault_burst * 100) << "%"
+        << " corrupt=" << format_double(opts.fault_corrupt)
+        << " jitter=" << opts.fault_jitter_ms << "ms";
+    if (opts.kill_index >= 0) {
+      cfg << " kill=" << opts.kill_index << "@" << opts.kill_after_ms
+          << "ms restart+" << opts.restart_after_ms << "ms";
+    }
+    const auto row = [&](const char* name, double value) {
+      obs::Json r = obs::Json::object();
+      r["name"] = std::string(name);
+      r["config"] = cfg.str();
+      r["threads"] = static_cast<std::uint64_t>(1);
+      r["ops_per_sec"] = value;
+      r["wall_ms"] = static_cast<std::uint64_t>(wall_ms);
+      return r;
+    };
+    obs::Json rows = obs::Json::array();
+    rows.push_back(row("recall/socket-chaos", recall));
+    rows.push_back(row("drops_total/socket-chaos",
+                       static_cast<double>(drops_total)));
+    rows.push_back(row("drops_unaccounted/socket-chaos",
+                       static_cast<double>(drops_unaccounted)));
+    rows.push_back(row("detours/socket-chaos",
+                       static_cast<double>(total_detours)));
+    rows.push_back(row("retransmits/socket-chaos",
+                       static_cast<double>(total_retransmits)));
+    rows.push_back(row("rejoins/socket-chaos",
+                       static_cast<double>(total_rejoins)));
+    rows.push_back(row("frames/socket-chaos",
+                       static_cast<double>(total_frames)));
+    obs::Json doc = obs::Json::object();
+    doc["schema_version"] = static_cast<std::uint64_t>(1);
+    doc["suite"] = std::string("robustness");
+    doc["benchmarks"] = std::move(rows);
+    std::ofstream out(opts.bench_json, std::ios::trunc);
+    out << doc.dump(2) << "\n";
+  }
+
+  if (drops_unaccounted != 0) {
+    std::fprintf(stderr, "net_equiv: FAIL — unaccounted drops\n");
+    return 1;
+  }
+  if (recall < opts.recall_floor) {
+    std::fprintf(stderr, "net_equiv: FAIL — recall %.4f < floor %.4f\n",
+                 recall, opts.recall_floor);
     print_digest_diff(sim_digest, net_digest);
     return 1;
   }
-
-  std::printf(
-      "net_equiv: OK — %u processes, %zu queries (%zu with matches), "
-      "%llu TCP frames, socket digest == sim digest\n",
-      opts.nodes, sim_digest.size(), nonempty,
-      static_cast<unsigned long long>(total_frames));
   return 0;
 }

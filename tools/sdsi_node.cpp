@@ -12,21 +12,38 @@
 //   2. tick: match + push responses                 (response traffic)
 //   3. straggler tick: catches anything that raced past phase 2 — store
 //      and client dedup make it a no-op when nothing did
-//   4. write out.<i>.json, final barrier, exit 0
+//   4. (--reliable + --converge-ms) convergence: keep polling, heartbeating
+//      and retransmitting under a fixed logical clock until the healing
+//      layers have had time to repair whatever chaos broke
+//   5. write out.<i>.json, final barrier, exit 0
 //
 // The logical clock is phase-fixed (ingest at t=0, ticks at t=1s/t=2s) and
 // lifespans are hours, so the matched sets are timing-independent — the
 // property the equivalence gate rests on.
+//
+// Chaos mode (docs/EXPERIMENTS.md "chaos on a real ring"): the --fault-*
+// flags wrap the socket transport in a seeded net::FaultyTransport, and
+// --reliable switches on the NetNode self-healing stack (heartbeat failure
+// detection, acked publications with retransmit, soft-state refresh,
+// successor replication, anti-entropy). --port/--epoch let a supervisor
+// SIGKILL a member and restart it on the same address with a bumped epoch,
+// which peers detect through heartbeats and answer with repair traffic.
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/check.hpp"
+#include "fault/model.hpp"
+#include "net/faulty_transport.hpp"
 #include "net/node.hpp"
 #include "net/socket_transport.hpp"
 #include "net/workload.hpp"
@@ -43,13 +60,24 @@ struct Options {
   std::uint32_t nodes = 0;
   std::string dir;
   net::WorkloadConfig workload;
+  std::uint16_t port = 0;     // 0: ephemeral; fixed for restart-in-place
+  std::uint64_t epoch = 0;    // bumped by the supervisor on each restart
+  bool reliable = false;
+  int converge_ms = 0;
+  fault::FaultPlan faults;
+  std::uint64_t fault_seed = 0;
+  bool fault_seed_set = false;
 };
 
 [[noreturn]] void usage_and_exit(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s --index I --nodes N --dir RENDEZVOUS_DIR "
-               "[--seed S] [--samples K] [--streams-per-node M]\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s --index I --nodes N --dir RENDEZVOUS_DIR "
+      "[--seed S] [--samples K] [--streams-per-node M]\n"
+      "  [--port P] [--epoch E] [--reliable] [--converge-ms MS]\n"
+      "  [--fault-uniform P] [--fault-burst RATE] [--fault-jitter-ms MS]\n"
+      "  [--fault-reorder P] [--fault-corrupt P] [--fault-seed S]\n",
+      argv0);
   std::exit(2);
 }
 
@@ -77,6 +105,39 @@ Options parse_args(int argc, char** argv) {
     } else if (arg == "--streams-per-node") {
       opts.workload.streams_per_node =
           static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--port") {
+      opts.port = static_cast<std::uint16_t>(std::stoul(next()));
+    } else if (arg == "--epoch") {
+      opts.epoch = std::stoull(next());
+    } else if (arg == "--reliable") {
+      opts.reliable = true;
+    } else if (arg == "--converge-ms") {
+      opts.converge_ms = std::stoi(next());
+    } else if (arg == "--fault-uniform") {
+      opts.faults.uniform_loss = std::stod(next());
+    } else if (arg == "--fault-burst") {
+      // Stationary loss target: solve the Gilbert-Elliott chain for
+      // p_good_to_bad at the default recovery rate (mean burst length 4).
+      const double rate = std::stod(next());
+      SDSI_CHECK(rate >= 0.0 && rate < 1.0);
+      if (rate > 0.0) {
+        fault::GilbertElliottParams ge;
+        ge.p_bad_to_good = 0.25;
+        ge.p_good_to_bad = rate * ge.p_bad_to_good / (1.0 - rate);
+        opts.faults.burst_loss = ge;
+      }
+    } else if (arg == "--fault-jitter-ms") {
+      const int ms = std::stoi(next());
+      if (ms > 0) {
+        opts.faults.jitter = fault::LatencyJitter{sim::Duration::millis(ms)};
+      }
+    } else if (arg == "--fault-reorder") {
+      opts.faults.reorder = std::stod(next());
+    } else if (arg == "--fault-corrupt") {
+      opts.faults.corrupt = std::stod(next());
+    } else if (arg == "--fault-seed") {
+      opts.fault_seed = std::stoull(next());
+      opts.fault_seed_set = true;
     } else {
       usage_and_exit(argv[0]);
     }
@@ -86,12 +147,18 @@ Options parse_args(int argc, char** argv) {
     usage_and_exit(argv[0]);
   }
   opts.workload.nodes = opts.nodes;
+  if (!opts.fault_seed_set) {
+    // Per-endpoint stream: same drill seed, distinct per-node fault draws.
+    opts.fault_seed = opts.workload.seed ^
+                      (0x9e3779b97f4a7c15ull * (opts.index + 1)) ^
+                      (opts.epoch << 56);
+  }
   return opts;
 }
 
 /// Atomic small-file publication: peers only ever see complete contents.
 void write_file_atomic(const fs::path& path, const std::string& contents) {
-  const fs::path tmp = path.string() + ".tmp";
+  const fs::path tmp = path.string() + ".tmp." + std::to_string(::getpid());
   {
     std::ofstream out(tmp, std::ios::trunc);
     SDSI_CHECK(out.is_open());
@@ -100,8 +167,12 @@ void write_file_atomic(const fs::path& path, const std::string& contents) {
   fs::rename(tmp, path);
 }
 
-/// Polls the transport while waiting for every process to publish `name.J`.
-void barrier(net::SocketTransport& transport, const Options& opts,
+/// One I/O pump step: drive the (possibly fault-wrapped) transport and, in
+/// reliable mode, the node's heartbeat/retransmit clocks.
+using PumpFn = std::function<void(int budget_ms)>;
+
+/// Polls while waiting for every process to publish `name.J`.
+void barrier(const PumpFn& pump, const Options& opts,
              const std::string& name) {
   write_file_atomic(fs::path(opts.dir) / (name + "." +
                                           std::to_string(opts.index)),
@@ -116,25 +187,41 @@ void barrier(net::SocketTransport& transport, const Options& opts,
       }
     }
     if (all) return;
-    transport.poll(5);
+    pump(5);
   }
 }
 
-/// Drives I/O until every queued frame reached the kernel AND no new frame
-/// has arrived for `quiet_ms`. On a localhost ring this bounds the full
-/// range-forwarding chain by orders of magnitude.
-void settle(net::SocketTransport& transport, int quiet_ms) {
+/// Drives I/O until every queued frame reached the kernel (including frames
+/// parked in the fault layer's delay queue) AND the ring looks settled. In
+/// plain mode "settled" means no new frame arrived for `quiet_ms` — on a
+/// localhost ring that bounds the full range-forwarding chain by orders of
+/// magnitude. In reliable mode the ring is NEVER frame-quiet (heartbeats
+/// every 50 ms from every peer, periodic anti-entropy digests), so settle
+/// instead pumps for a fixed `quiet_ms` budget and then only insists the
+/// outbound queues drained; actual convergence is the converge phase's job.
+void settle(const PumpFn& pump, net::SocketTransport& socket,
+            const net::FaultyTransport* faulty, bool periodic_traffic,
+            int quiet_ms) {
   using Clock = std::chrono::steady_clock;
-  std::uint64_t seen = transport.stats().frames_received;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(quiet_ms);
+  std::uint64_t seen = socket.stats().frames_received;
   auto last_change = Clock::now();
   while (true) {
-    transport.poll(5);
-    if (transport.stats().frames_received != seen) {
-      seen = transport.stats().frames_received;
+    pump(5);
+    if (socket.stats().frames_received != seen) {
+      seen = socket.stats().frames_received;
       last_change = Clock::now();
     }
-    if (transport.pending_out_bytes() == 0 &&
-        Clock::now() - last_change > std::chrono::milliseconds(quiet_ms)) {
+    const bool drained =
+        socket.pending_out_bytes() == 0 &&
+        (faulty == nullptr || faulty->pending_delayed() == 0);
+    if (!drained) {
+      continue;
+    }
+    if (periodic_traffic) {
+      if (Clock::now() >= deadline) return;
+    } else if (Clock::now() - last_change >
+               std::chrono::milliseconds(quiet_ms)) {
       return;
     }
   }
@@ -145,11 +232,19 @@ void settle(net::SocketTransport& transport, int quiet_ms) {
 int main(int argc, char** argv) {
   const Options opts = parse_args(argc, argv);
   const net::WorkloadConfig& workload = opts.workload;
+  const common::IdSpace space(workload.id_bits);
 
-  net::SocketTransport transport(0);
+  net::SocketTransport socket(opts.port);
+  socket.set_backoff_seed(opts.fault_seed ^ 0xb0ffull);
+  std::optional<net::FaultyTransport> faulty;
+  if (opts.faults.has_link_faults()) {
+    faulty.emplace(socket, opts.faults, space, opts.fault_seed);
+  }
+  net::Transport& transport = faulty ? static_cast<net::Transport&>(*faulty)
+                                     : socket;
   write_file_atomic(fs::path(opts.dir) /
                         ("port." + std::to_string(opts.index)),
-                    std::to_string(transport.listen_port()) + "\n");
+                    std::to_string(socket.listen_port()) + "\n");
 
   // Address book: wait for every peer's port file.
   for (std::uint32_t j = 0; j < opts.nodes; ++j) {
@@ -162,14 +257,15 @@ int main(int argc, char** argv) {
     std::uint32_t port = 0;
     in >> port;
     SDSI_CHECK(port > 0 && port <= 0xFFFF);
-    transport.set_peer(j, "127.0.0.1", static_cast<std::uint16_t>(port));
+    socket.set_peer(j, "127.0.0.1", static_cast<std::uint16_t>(port));
   }
 
-  const common::IdSpace space(workload.id_bits);
   net::NetRing ring(space, routing::hash_node_ids(opts.nodes, space,
                                                   workload.ring_salt));
   net::NetNodeConfig node_config;
   node_config.features = workload.features;
+  node_config.reliability.enabled = opts.reliable;
+  node_config.epoch = opts.epoch;
   net::NetNode node(ring, opts.index, transport, node_config);
 
   // Phase-fixed logical clock (see header comment).
@@ -177,6 +273,26 @@ int main(int argc, char** argv) {
   transport.set_deliver([&node, &logical_now](routing::Message&& msg) {
     node.deliver(std::move(msg), logical_now);
   });
+
+  // Monotone wall clock for the failure detector and retransmit timers.
+  const auto started = std::chrono::steady_clock::now();
+  const auto wall_ms = [&started]() -> std::int64_t {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - started)
+        .count();
+  };
+  const PumpFn pump = [&](int budget_ms) {
+    transport.poll(budget_ms);
+    if (opts.reliable) {
+      node.heartbeat_tick(wall_ms(), logical_now);
+      node.reliability_tick(wall_ms(), logical_now);
+    }
+  };
+
+  if (opts.reliable && opts.epoch > 0) {
+    // Restarted in place: ask the live neighbors for the arc we own.
+    node.request_handoff(logical_now);
+  }
 
   // --- Phase 1: content traffic ------------------------------------------
   for (const net::WorkloadQuery& query : net::workload_queries(workload)) {
@@ -191,31 +307,55 @@ int main(int argc, char** argv) {
     std::uint32_t fed = 0;
     for (const Sample value : net::workload_samples(workload, stream)) {
       node.publish_value(stream, value, logical_now);
-      if (++fed % 64 == 0) transport.poll(0);  // keep draining inbound
+      if (++fed % 64 == 0) pump(0);  // keep draining inbound
     }
   }
-  settle(transport, 300);
-  barrier(transport, opts, "sent");
-  settle(transport, 300);
+  settle(pump, socket, faulty ? &*faulty : nullptr, opts.reliable, 300);
+  barrier(pump, opts, "sent");
+  settle(pump, socket, faulty ? &*faulty : nullptr, opts.reliable, 300);
 
   // --- Phase 2: match + respond ------------------------------------------
   logical_now = sim::SimTime::from_micros(1'000'000);
   node.tick(logical_now);
-  settle(transport, 300);
-  barrier(transport, opts, "tick1");
-  settle(transport, 300);
+  settle(pump, socket, faulty ? &*faulty : nullptr, opts.reliable, 300);
+  barrier(pump, opts, "tick1");
+  settle(pump, socket, faulty ? &*faulty : nullptr, opts.reliable, 300);
 
   // --- Phase 3: straggler sweep ------------------------------------------
   logical_now = sim::SimTime::from_micros(2'000'000);
   node.tick(logical_now);
-  settle(transport, 300);
-  barrier(transport, opts, "tick2");
-  settle(transport, 300);
+  settle(pump, socket, faulty ? &*faulty : nullptr, opts.reliable, 300);
+  barrier(pump, opts, "tick2");
+  settle(pump, socket, faulty ? &*faulty : nullptr, opts.reliable, 300);
 
-  // --- Phase 4: report ----------------------------------------------------
+  // --- Phase 4: convergence under chaos -----------------------------------
+  // The logical clock stays at t=2s (lifespans are hours, so nothing
+  // expires); wall time keeps moving, driving retransmits, refresh and
+  // anti-entropy until the healing layers run out of gaps to close.
+  if (opts.reliable && opts.converge_ms > 0) {
+    using Clock = std::chrono::steady_clock;
+    const auto until =
+        Clock::now() + std::chrono::milliseconds(opts.converge_ms);
+    auto last_match = Clock::now();
+    while (Clock::now() < until) {
+      pump(5);
+      if (Clock::now() - last_match > std::chrono::milliseconds(100)) {
+        node.tick(logical_now);
+        last_match = Clock::now();
+      }
+    }
+    node.tick(logical_now);
+    settle(pump, socket, faulty ? &*faulty : nullptr, opts.reliable, 300);
+    barrier(pump, opts, "conv");
+    node.tick(logical_now);
+    settle(pump, socket, faulty ? &*faulty : nullptr, opts.reliable, 300);
+  }
+
+  // --- Phase 5: report ----------------------------------------------------
   obs::Json doc = obs::Json::object();
   doc["index"] = static_cast<std::uint64_t>(opts.index);
-  doc["listen_port"] = static_cast<std::uint64_t>(transport.listen_port());
+  doc["epoch"] = opts.epoch;
+  doc["listen_port"] = static_cast<std::uint64_t>(socket.listen_port());
   obs::Json results = obs::Json::object();
   for (const auto& [query, streams] : node.results()) {
     obs::Json arr = obs::Json::array();
@@ -226,25 +366,90 @@ int main(int argc, char** argv) {
   }
   doc["results"] = std::move(results);
   obs::Json counters = obs::Json::object();
-  counters["mbrs_published"] = node.counters().mbrs_published;
-  counters["queries_posed"] = node.counters().queries_posed;
-  counters["mbrs_stored"] = node.counters().mbrs_stored;
-  counters["subscriptions_stored"] = node.counters().subscriptions_stored;
-  counters["responses_sent"] = node.counters().responses_sent;
-  counters["send_failures"] = node.counters().send_failures;
+  const net::NetNode::Counters& c = node.counters();
+  counters["mbrs_published"] = c.mbrs_published;
+  counters["queries_posed"] = c.queries_posed;
+  counters["mbrs_stored"] = c.mbrs_stored;
+  counters["subscriptions_stored"] = c.subscriptions_stored;
+  counters["responses_sent"] = c.responses_sent;
+  counters["send_failures"] = c.send_failures;
+  if (opts.reliable) {
+    counters["heartbeats_sent"] = c.heartbeats_sent;
+    counters["heartbeats_received"] = c.heartbeats_received;
+    counters["detours"] = c.detours;
+    counters["mbr_acks_sent"] = c.mbr_acks_sent;
+    counters["mbr_acks_received"] = c.mbr_acks_received;
+    counters["mbr_retransmits"] = c.mbr_retransmits;
+    counters["refresh_rounds"] = c.refresh_rounds;
+    counters["mbr_refreshes"] = c.mbr_refreshes;
+    counters["query_refreshes"] = c.query_refreshes;
+    counters["response_retransmits"] = c.response_retransmits;
+    counters["response_acks_sent"] = c.response_acks_sent;
+    counters["response_acks_received"] = c.response_acks_received;
+    counters["replica_puts_sent"] = c.replica_puts_sent;
+    counters["replica_entries_stored"] = c.replica_entries_stored;
+    counters["anti_entropy_rounds"] = c.anti_entropy_rounds;
+    counters["anti_entropy_requests"] = c.anti_entropy_requests;
+    counters["repair_entries_sent"] = c.repair_entries_sent;
+    counters["handoff_requests_sent"] = c.handoff_requests_sent;
+    counters["handoff_entries_sent"] = c.handoff_entries_sent;
+    obs::Json det = obs::Json::object();
+    det["suspects"] = node.detector().counters().suspects;
+    det["false_suspicions"] = node.detector().counters().false_suspicions;
+    det["deaths"] = node.detector().counters().deaths;
+    det["recoveries"] = node.detector().counters().recoveries;
+    det["rejoins"] = node.detector().counters().rejoins;
+    doc["detector"] = std::move(det);
+  }
   doc["counters"] = std::move(counters);
   obs::Json wire = obs::Json::object();
-  wire["frames_sent"] = transport.stats().frames_sent;
-  wire["frames_received"] = transport.stats().frames_received;
-  wire["bytes_sent"] = transport.stats().bytes_sent;
-  wire["bytes_received"] = transport.stats().bytes_received;
-  wire["decode_rejects"] = transport.stats().decode_rejects;
-  wire["reconnect_attempts"] = transport.stats().reconnect_attempts;
+  wire["frames_sent"] = socket.stats().frames_sent;
+  wire["frames_received"] = socket.stats().frames_received;
+  wire["bytes_sent"] = socket.stats().bytes_sent;
+  wire["bytes_received"] = socket.stats().bytes_received;
+  wire["decode_rejects"] = socket.stats().decode_rejects;
+  wire["dropped_overflow"] = socket.stats().dropped_overflow;
+  wire["connects"] = socket.stats().connects;
+  wire["reconnect_attempts"] = socket.stats().reconnect_attempts;
   doc["transport"] = std::move(wire);
+  if (faulty) {
+    const net::FaultyTransportStats& f = faulty->stats();
+    obs::Json fj = obs::Json::object();
+    fj["offered"] = f.offered;
+    fj["forwarded"] = f.forwarded;
+    fj["dropped_uniform"] = f.dropped_uniform;
+    fj["dropped_burst"] = f.dropped_burst;
+    fj["dropped_partition"] = f.dropped_partition;
+    fj["corrupted"] = f.corrupted;
+    fj["delayed"] = f.delayed;
+    fj["reordered"] = f.reordered;
+    fj["forward_failures"] = f.forward_failures;
+    fj["pending_delayed"] =
+        static_cast<std::uint64_t>(faulty->pending_delayed());
+    doc["faults"] = std::move(fj);
+  }
+  // Every transport-level loss at this endpoint, keyed by the canonical
+  // DropCause slugs (docs/OBSERVABILITY.md): injected causes from the fault
+  // layer, endpoint causes from the socket.
+  {
+    auto drops = socket.drops_by_cause();
+    if (faulty) {
+      const auto injected = faulty->stats().drops_by_cause();
+      for (std::size_t i = 0; i < drops.size(); ++i) {
+        drops[i] += injected[i];
+      }
+    }
+    obs::Json dj = obs::Json::object();
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(fault::DropCause::kCount); ++i) {
+      dj[fault::drop_cause_slug(static_cast<fault::DropCause>(i))] = drops[i];
+    }
+    doc["drops"] = std::move(dj);
+  }
   write_file_atomic(fs::path(opts.dir) /
                         ("out." + std::to_string(opts.index) + ".json"),
                     doc.dump(2) + "\n");
 
-  barrier(transport, opts, "done");
+  barrier(pump, opts, "done");
   return 0;
 }
