@@ -18,6 +18,8 @@ CentralizedSystem::CentralizedSystem(routing::RoutingSystem& routing,
                                      NodeIndex center)
     : routing_(routing),
       config_(config),
+      strategy_(core::IndexingStrategy::make(config.strategy, config.features,
+                                             routing.id_space())),
       metrics_(routing.num_nodes()),
       center_(center) {
   SDSI_CHECK(center < routing.num_nodes());
@@ -38,7 +40,7 @@ void CentralizedSystem::start() {
 
 void CentralizedSystem::register_stream(NodeIndex node, StreamId stream) {
   const auto [it, inserted] = streams_.try_emplace(
-      stream, std::make_unique<core::LocalStream>(stream, config_.features,
+      stream, std::make_unique<core::LocalStream>(stream, *strategy_,
                                                   config_.batching));
   SDSI_CHECK(inserted);
   stream_homes_[stream] = node;
@@ -50,9 +52,9 @@ void CentralizedSystem::post_stream_value(NodeIndex node, StreamId stream,
   SDSI_CHECK(it != streams_.end());
   SDSI_CHECK(stream_homes_[stream] == node);
   core::LocalStream& local = *it->second;
-  local.summarizer.push(value);
+  local.summarizer->push(value);
   const std::optional<dsp::FeatureVector> features =
-      local.summarizer.features();
+      local.summarizer->features();
   if (!features.has_value()) {
     return;
   }

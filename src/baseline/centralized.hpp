@@ -57,6 +57,9 @@ class CentralizedSystem {
 
   routing::RoutingSystem& routing_;
   core::MiddlewareConfig config_;
+  /// Summarization strategy shared with the distributed middleware, so
+  /// baseline-vs-middleware comparisons summarize identically.
+  std::unique_ptr<core::IndexingStrategy> strategy_;
   core::MetricsCollector metrics_;
   NodeIndex center_;
   /// Source-side summarizers/batchers, one per stream.

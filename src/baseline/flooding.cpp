@@ -17,6 +17,8 @@ FloodingSystem::FloodingSystem(routing::RoutingSystem& routing,
                                core::MiddlewareConfig config)
     : routing_(routing),
       config_(config),
+      strategy_(core::IndexingStrategy::make(config.strategy, config.features,
+                                             routing.id_space())),
       metrics_(routing.num_nodes()),
       nodes_(routing.num_nodes()) {
   metrics_.set_clock(&routing_.simulator());
@@ -44,7 +46,7 @@ void FloodingSystem::start() {
 void FloodingSystem::register_stream(NodeIndex node, StreamId stream) {
   SDSI_CHECK(node < nodes_.size());
   const auto [it, inserted] = nodes_[node].streams.try_emplace(
-      stream, stream, config_.features, config_.batching);
+      stream, stream, *strategy_, config_.batching);
   SDSI_CHECK(inserted);
 }
 
@@ -54,9 +56,9 @@ void FloodingSystem::post_stream_value(NodeIndex node, StreamId stream,
   const auto it = nodes_[node].streams.find(stream);
   SDSI_CHECK(it != nodes_[node].streams.end());
   core::LocalStream& local = it->second;
-  local.summarizer.push(value);
+  local.summarizer->push(value);
   const std::optional<dsp::FeatureVector> features =
-      local.summarizer.features();
+      local.summarizer->features();
   if (!features.has_value()) {
     return;
   }

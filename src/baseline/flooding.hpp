@@ -52,6 +52,9 @@ class FloodingSystem {
 
   routing::RoutingSystem& routing_;
   core::MiddlewareConfig config_;
+  /// Summarization strategy shared with the distributed middleware, so
+  /// baseline-vs-middleware comparisons summarize identically.
+  std::unique_ptr<core::IndexingStrategy> strategy_;
   core::MetricsCollector metrics_;
   std::vector<NodeState> nodes_;
   std::unordered_map<core::QueryId, core::ClientQueryRecord> client_records_;

@@ -69,6 +69,7 @@ void Experiment::build() {
 
   MiddlewareConfig middleware;
   middleware.features = config_.features;
+  middleware.strategy = config_.strategy;
   middleware.batching = config_.batching;
   middleware.multicast = config_.multicast;
   middleware.mbr_lifespan = config_.workload.mbr_lifespan;
@@ -315,7 +316,7 @@ dsp::FeatureVector Experiment::query_features_from(common::Pcg32& rng) {
       break;
     }
   }
-  return dsp::extract_features(window, config_.features);
+  return system_->strategy().features_from_window(window);
 }
 
 dsp::FeatureVector Experiment::random_query_features() {

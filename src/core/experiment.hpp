@@ -83,6 +83,9 @@ struct ExperimentConfig {
   std::uint64_t seed = 42;
   WorkloadConfig workload;
   dsp::FeatureConfig features = experiment_feature_config();
+  /// Summary/index/routing-key strategy (core/strategy.hpp): the default
+  /// kDft is the paper's pipeline, byte-identical to pre-strategy builds.
+  StrategyOptions strategy;
   MbrBatcher::Options batching;  // defaults: fixed batches of beta = 5
   routing::MulticastStrategy multicast =
       routing::MulticastStrategy::kSequential;

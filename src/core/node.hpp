@@ -12,8 +12,8 @@
 #include "core/index_store.hpp"
 #include "core/precision.hpp"
 #include "core/query.hpp"
+#include "core/strategy.hpp"
 #include "sim/simulator.hpp"
-#include "streams/summarizer.hpp"
 
 namespace sdsi::core {
 
@@ -27,7 +27,9 @@ struct InnerProductSubscription {
 /// one stream" in the experiments; the API supports several).
 struct LocalStream {
   StreamId id = 0;
-  streams::StreamSummarizer summarizer;
+  /// Strategy-made summary (core/strategy.hpp); never null. The dft
+  /// strategy wraps streams::StreamSummarizer verbatim.
+  std::unique_ptr<Summarizer> summarizer;
   MbrBatcher batcher;
   /// Per-stream Sec VI-A closed loop, when the middleware enables it.
   std::optional<AdaptivePrecisionController> precision;
@@ -37,9 +39,9 @@ struct LocalStream {
   /// sample so the steady-state ingest path allocates nothing.
   dsp::FeatureVector features_scratch;
 
-  LocalStream(StreamId stream, const dsp::FeatureConfig& features,
+  LocalStream(StreamId stream, const IndexingStrategy& strategy,
               const MbrBatcher::Options& batching)
-      : id(stream), summarizer(features), batcher(batching) {}
+      : id(stream), summarizer(strategy.make_summarizer()), batcher(batching) {}
 };
 
 /// Aggregation state for one similarity query whose range middle key this
@@ -105,6 +107,13 @@ struct DeferredPublication {
 };
 
 struct MiddlewareNode {
+  MiddlewareNode() = default;
+  /// nodes_ grows via emplace_back, which moves only when the move is
+  /// noexcept; `streams` holds move-only LocalStream entries, so the copy
+  /// fallback is deleted and the move path must be forced.
+  MiddlewareNode(MiddlewareNode&&) noexcept = default;
+  MiddlewareNode& operator=(MiddlewareNode&&) noexcept = default;
+
   NodeIndex index = kInvalidNode;
 
   /// Streams originating here, keyed by stream id (iteration follows

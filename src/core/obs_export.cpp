@@ -133,10 +133,13 @@ obs::Json metrics_to_json(const Experiment& experiment) {
   // v3 (additive): load.per_node_work + load.imbalance, overload-survival
   // robustness counters, drops.shed_overload / drops.backpressure, and the
   // run.overload flag.
-  doc["schema_version"] = obs::Json(3);
+  // v4 (additive): run.strategy names the indexing strategy
+  // (core/strategy.hpp); everything else is unchanged for the default.
+  doc["schema_version"] = obs::Json(4);
   doc["kind"] = obs::Json("sdsi.metrics");
 
   obs::Json run = obs::Json::object();
+  run["strategy"] = obs::Json(strategy_name(config.strategy.kind));
   run["nodes"] = obs::Json(static_cast<std::uint64_t>(config.num_nodes));
   run["id_bits"] = obs::Json(static_cast<std::uint64_t>(config.id_bits));
   run["seed"] = obs::Json(config.seed);

@@ -32,6 +32,8 @@ MiddlewareSystem::MiddlewareSystem(routing::RoutingSystem& routing,
       nodes_(routing.num_nodes()),
       rng_(common::RngFactory(config.rng_seed).make("middleware.jitter")) {
   config_.features.validate();
+  strategy_ = IndexingStrategy::make(config_.strategy, config_.features,
+                                     routing_.id_space());
   if (config_.overload.has_value()) {
     SDSI_CHECK(config_.overload->split_ways >= 1);
     SDSI_CHECK(config_.overload->forced_shed_rate >= 0.0 &&
@@ -142,7 +144,7 @@ void MiddlewareSystem::register_stream(NodeIndex node, StreamId stream) {
         AdaptivePrecisionController(*config_.adaptive_precision).extent();
   }
   auto [it, inserted] = state_of(node).streams.try_emplace(
-      stream, stream, config_.features, batching);
+      stream, stream, *strategy_, batching);
   SDSI_CHECK(inserted);
   if (config_.adaptive_precision.has_value()) {
     it->second.precision.emplace(*config_.adaptive_precision);
@@ -179,8 +181,8 @@ namespace {
 /// the per-value and burst ingest paths so they cannot diverge.
 void summarize_value(LocalStream& local, Sample value,
                      std::vector<dsp::Mbr>& closed) {
-  local.summarizer.push(value);
-  if (!local.summarizer.features_into(local.features_scratch)) {
+  local.summarizer->push(value);
+  if (!local.summarizer->features_into(local.features_scratch)) {
     return;  // window not full yet, or degenerate (constant) window
   }
   std::optional<dsp::Mbr> mbr = local.batcher.push(local.features_scratch);
@@ -233,10 +235,10 @@ void MiddlewareSystem::post_stream_burst(
   const auto summarize_burst = [](Task& task) {
     LocalStream& local = *task.local;
     std::span<const Sample> values(task.burst->values);
-    const std::size_t until_ready = local.summarizer.samples_until_ready();
+    const std::size_t until_ready = local.summarizer->samples_until_ready();
     if (until_ready > 1) {
       const std::size_t cold = std::min(values.size(), until_ready - 1);
-      local.summarizer.push_span(values.first(cold));
+      local.summarizer->push_span(values.first(cold));
       values = values.subspan(cold);
     }
     for (const Sample value : values) {
@@ -277,7 +279,11 @@ void MiddlewareSystem::route_mbr(NodeIndex source, LocalStream& stream,
 void MiddlewareSystem::publish_mbr(NodeIndex source, LocalStream& stream,
                                    dsp::Mbr mbr) {
   const sim::SimTime now = routing_.simulator().now();
-  const auto [lo, hi] = mapper_.mbr_range(mbr);
+  // The strategy may return several ranges (multi-probe lsh); the first is
+  // the primary, which alone drives acks, refresh, and replication mirrors.
+  // For dft/ecm the set is exactly the paper's Eq. 6 interval.
+  strategy_->key_map().mbr_ranges(mbr, range_scratch_);
+  const auto [lo, hi] = range_scratch_.front();
   // The expiry instant is fixed HERE, once: retransmissions and refreshes
   // re-send the identical payload, so every replica stores the same entry
   // and redelivery stays idempotent.
@@ -316,6 +322,19 @@ void MiddlewareSystem::publish_mbr(NodeIndex source, LocalStream& stream,
   msg.trace_id = trace_id;
   routing_.send_range(source, lo, hi, std::move(msg), config_.multicast);
   ++mbrs_routed_;
+
+  // Extra probe ranges (multi-probe strategies; none for dft/ecm). Each
+  // carries the same idempotent payload, so redundant landings dedup; they
+  // are fire-and-forget — only the primary range is acked and refreshed.
+  for (std::size_t i = 1; i < range_scratch_.size(); ++i) {
+    Message probe;
+    probe.kind = MsgKind::kMbrUpdate;
+    probe.payload = payload;
+    probe.reroute_on_dead = replication_on();
+    routing_.send_range(source, range_scratch_[i].first,
+                        range_scratch_[i].second, std::move(probe),
+                        config_.multicast);
+  }
 
   if (config_.mbr_ack.enabled ||
       config_.mbr_refresh_period > sim::Duration()) {
@@ -549,8 +568,14 @@ QueryId MiddlewareSystem::subscribe_similarity(NodeIndex client,
   if (query_hook_) {
     query_hook_(query);
   }
-  const auto [lo, hi] = mapper_.query_range(query->features, radius);
+  // Primary range first: its midpoint keys the aggregator, and the refresh
+  // loop below re-sends it alone. Extra probe ranges (multi-probe lsh) are
+  // installed once, fire-and-forget, after the primary send.
+  strategy_->key_map().query_ranges(query->features, radius, range_scratch_);
+  const auto [lo, hi] = range_scratch_.front();
   const Key middle = routing_.id_space().midpoint(lo, hi);
+  const std::vector<std::pair<Key, Key>> probes(range_scratch_.begin() + 1,
+                                                range_scratch_.end());
 
   ClientQueryRecord record;
   record.id = id;
@@ -566,6 +591,15 @@ QueryId MiddlewareSystem::subscribe_similarity(NodeIndex client,
   msg.payload = payload;
   msg.reroute_on_dead = replication_on();
   routing_.send_range(client, lo, hi, std::move(msg), config_.multicast);
+
+  for (const auto& [plo, phi] : probes) {
+    Message probe;
+    probe.kind = MsgKind::kSimilarityQuery;
+    probe.payload = payload;
+    probe.reroute_on_dead = replication_on();
+    routing_.send_range(client, plo, phi, std::move(probe),
+                        config_.multicast);
+  }
 
   if (config_.query_refresh_period > sim::Duration()) {
     // Soft state: periodically reinstall the subscription across the range
@@ -597,8 +631,7 @@ QueryId MiddlewareSystem::subscribe_similarity_window(
     NodeIndex client, std::span<const Sample> window, double radius,
     sim::Duration lifespan) {
   return subscribe_similarity(
-      client, dsp::extract_features(window, config_.features), radius,
-      lifespan);
+      client, strategy_->features_from_window(window), radius, lifespan);
 }
 
 QueryId MiddlewareSystem::subscribe_inner_product(
@@ -1195,21 +1228,13 @@ void MiddlewareSystem::dispatch_tick(NodeIndex index, sim::SimTime now,
     if (local.inner_subscriptions.empty()) {
       continue;
     }
-    const std::optional<dsp::FeatureVector> features =
-        local.summarizer.features();
-    if (!features.has_value()) {
+    // Strategy-owned window approximation on the raw data scale: the dft
+    // strategy reconstructs via Eq. 7 and undoes the normalization (the
+    // synopsis-owning node knows the window mean and norm); ecm answers
+    // from its exact raw ring.
+    std::vector<Sample> approx;
+    if (!local.summarizer->approx_window(approx)) {
       continue;
-    }
-    // Undo the normalization so the product is on the raw data scale: the
-    // synopsis-owning node knows the window mean and norm.
-    std::vector<Sample> approx = dsp::reconstruct(*features, config_.features);
-    const double denom = local.summarizer.normalization_denominator();
-    const double mu =
-        config_.features.normalization == dsp::Normalization::kZNormalize
-            ? local.summarizer.window_mean()
-            : 0.0;
-    for (Sample& x : approx) {
-      x = x * denom + mu;
     }
     for (const InnerProductSubscription& sub : local.inner_subscriptions) {
       const double value = dsp::weighted_inner_product(
@@ -1412,7 +1437,7 @@ void MiddlewareSystem::handle_handoff_request(NodeIndex at,
   std::vector<ReplicaMbrEntry> mbrs;
   std::size_t bytes = 0;
   for (const IndexStore::StoredMbr& entry : state.store.mbrs()) {
-    const auto [mlo, mhi] = mapper_.mbr_range(entry.mbr);
+    const auto [mlo, mhi] = strategy_->key_map().mbr_range(entry.mbr);
     if (!range_intersects_arc(space, mlo, mhi, payload->lo, payload->hi)) {
       continue;
     }
@@ -1427,7 +1452,8 @@ void MiddlewareSystem::handle_handoff_request(NodeIndex at,
       continue;
     }
     const auto [qlo, qhi] =
-        mapper_.query_range(sub.query->features, sub.query->radius);
+        strategy_->key_map().query_range(sub.query->features,
+                                         sub.query->radius);
     if (!range_intersects_arc(space, qlo, qhi, payload->lo, payload->hi)) {
       continue;
     }
@@ -1497,7 +1523,7 @@ void MiddlewareSystem::anti_entropy_tick(NodeIndex index) {
   // the gap back as repair).
   std::vector<MbrBatchId> mbr_keys;
   for (const IndexStore::StoredMbr& entry : state.store.mbrs()) {
-    const auto [mlo, mhi] = mapper_.mbr_range(entry.mbr);
+    const auto [mlo, mhi] = strategy_->key_map().mbr_range(entry.mbr);
     if (range_intersects_arc(space, mlo, mhi, pred_id, self_id)) {
       mbr_keys.push_back(MbrBatchId{entry.stream, entry.batch_seq});
     }
@@ -1508,7 +1534,8 @@ void MiddlewareSystem::anti_entropy_tick(NodeIndex index) {
       continue;
     }
     const auto [qlo, qhi] =
-        mapper_.query_range(sub.query->features, sub.query->radius);
+        strategy_->key_map().query_range(sub.query->features,
+                                         sub.query->radius);
     if (range_intersects_arc(space, qlo, qhi, pred_id, self_id)) {
       query_ids.push_back(id);
     }
@@ -1573,7 +1600,7 @@ void MiddlewareSystem::handle_anti_entropy_digest(NodeIndex at,
     if (digest_mbrs.contains({entry.stream, entry.batch_seq})) {
       continue;
     }
-    const auto [mlo, mhi] = mapper_.mbr_range(entry.mbr);
+    const auto [mlo, mhi] = strategy_->key_map().mbr_range(entry.mbr);
     if (!range_intersects_arc(space, mlo, mhi, payload->lo, payload->hi)) {
       continue;
     }
@@ -1586,7 +1613,8 @@ void MiddlewareSystem::handle_anti_entropy_digest(NodeIndex at,
       continue;
     }
     const auto [qlo, qhi] =
-        mapper_.query_range(sub.query->features, sub.query->radius);
+        strategy_->key_map().query_range(sub.query->features,
+                                         sub.query->radius);
     if (!range_intersects_arc(space, qlo, qhi, payload->lo, payload->hi)) {
       continue;
     }

@@ -24,6 +24,7 @@
 #include "core/mapper.hpp"
 #include "core/metrics.hpp"
 #include "core/node.hpp"
+#include "core/strategy.hpp"
 #include "core/worker_pool.hpp"
 #include "routing/api.hpp"
 
@@ -84,6 +85,11 @@ struct OverloadOptions {
 struct MiddlewareConfig {
   /// Window/coefficient/normalization scheme (Sec III-C).
   dsp::FeatureConfig features;
+
+  /// Indexing strategy: summary + content-to-key map (core/strategy.hpp).
+  /// The default ("dft") is the paper's pipeline, byte-identical to the
+  /// pre-strategy code; "ecm" and "lsh" are the PAPERS.md alternatives.
+  StrategyOptions strategy;
 
   /// MBR batching (Sec IV-G / VI-A).
   MbrBatcher::Options batching;
@@ -203,6 +209,7 @@ class MiddlewareSystem {
 
   const MiddlewareConfig& config() const noexcept { return config_; }
   const SummaryMapper& mapper() const noexcept { return mapper_; }
+  const IndexingStrategy& strategy() const noexcept { return *strategy_; }
   MetricsCollector& metrics() noexcept { return metrics_; }
   const MetricsCollector& metrics() const noexcept { return metrics_; }
   routing::RoutingSystem& routing() noexcept { return routing_; }
@@ -536,6 +543,10 @@ class MiddlewareSystem {
   routing::RoutingSystem& routing_;
   MiddlewareConfig config_;
   SummaryMapper mapper_;
+  /// The pluggable summary/key-map pair; never null (defaults to "dft").
+  std::unique_ptr<IndexingStrategy> strategy_;
+  /// Scratch for multi-range strategies' probe sets (serial paths only).
+  std::vector<std::pair<Key, Key>> range_scratch_;
   MetricsCollector metrics_;
   /// Parallel engine for the hot paths; null when threads resolves to 1, so
   /// the serial path carries zero pool overhead.

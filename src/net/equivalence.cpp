@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "core/strategy.hpp"
 #include "core/system.hpp"
 #include "net/node.hpp"
 #include "net/sim_transport.hpp"
@@ -29,6 +30,7 @@ MatchDigest run_sim_reference(const WorkloadConfig& config) {
 
   core::MiddlewareConfig mw;
   mw.features = config.features;
+  mw.strategy = config.strategy;
   mw.mbr_lifespan = kLifespan;
   mw.notify_period = sim::Duration::millis(500);
   core::MiddlewareSystem system(ring, mw);
@@ -72,6 +74,7 @@ MatchDigest run_net_over_sim_transport(const WorkloadConfig& config) {
 
   NetNodeConfig node_config;
   node_config.features = config.features;
+  node_config.strategy = config.strategy;
   node_config.mbr_lifespan = kLifespan;
 
   std::vector<std::unique_ptr<SimTransport>> transports;
@@ -91,10 +94,12 @@ MatchDigest run_net_over_sim_transport(const WorkloadConfig& config) {
     });
   }
 
+  const auto strategy =
+      core::IndexingStrategy::make(config.strategy, config.features, space);
   for (const WorkloadQuery& query : workload_queries(config)) {
     nodes[query.client]->subscribe_similarity(
-        query.id, dsp::extract_features(query.window, config.features),
-        query.radius, kLifespan, simulator.now());
+        query.id, strategy->features_from_window(query.window), query.radius,
+        kLifespan, simulator.now());
   }
   simulator.run_until(simulator.now() + sim::Duration::seconds(2));
 

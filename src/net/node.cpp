@@ -24,7 +24,8 @@ NetNode::NetNode(const NetRing& ring, NodeIndex self, Transport& transport,
       self_(self),
       transport_(transport),
       config_(std::move(config)),
-      mapper_(ring.space()),
+      strategy_(core::IndexingStrategy::make(config_.strategy,
+                                             config_.features, ring.space())),
       detector_(config_.reliability.detector, ring.size(), self) {
   config_.features.validate();
 }
@@ -38,17 +39,16 @@ void NetNode::publish_value(StreamId stream, Sample value, sim::SimTime now) {
   auto it = streams_.find(stream);
   if (it == streams_.end()) {
     auto state = std::make_unique<LocalStream>(LocalStream{
-        streams::StreamSummarizer(config_.features),
-        core::MbrBatcher(config_.batching), 0});
+        strategy_->make_summarizer(), core::MbrBatcher(config_.batching), 0});
     it = streams_.emplace(stream, std::move(state)).first;
   }
   LocalStream& state = *it->second;
-  state.summarizer.push(value);
-  if (!state.summarizer.ready()) {
+  state.summarizer->push(value);
+  if (!state.summarizer->ready()) {
     return;
   }
   dsp::FeatureVector features;
-  if (!state.summarizer.features_into(features)) {
+  if (!state.summarizer->features_into(features)) {
     return;  // degenerate window: no direction on the unit sphere
   }
   if (std::optional<dsp::Mbr> closed = state.batcher.push(features)) {
@@ -58,7 +58,12 @@ void NetNode::publish_value(StreamId stream, Sample value, sim::SimTime now) {
 
 void NetNode::publish_mbr(StreamId stream, LocalStream& state, dsp::Mbr mbr,
                           sim::SimTime now) {
-  const auto [lo, hi] = mapper_.mbr_range(mbr);
+  // Primary range first (acks/refresh track it alone); extra probe ranges
+  // (multi-probe lsh; none for dft/ecm) go out fire-and-forget below.
+  strategy_->key_map().mbr_ranges(mbr, range_scratch_);
+  const auto [lo, hi] = range_scratch_.front();
+  const std::vector<std::pair<Key, Key>> probes(range_scratch_.begin() + 1,
+                                                range_scratch_.end());
   const sim::SimTime expires = now + config_.mbr_lifespan;
   const auto payload = std::make_shared<const core::MbrPayload>(
       core::MbrPayload{stream, self_, std::move(mbr), state.batch_seq++,
@@ -80,6 +85,7 @@ void NetNode::publish_mbr(StreamId stream, LocalStream& state, dsp::Mbr mbr,
         std::make_pair(payload->stream, payload->batch_seq),
         PendingMbr{payload, lo, hi, false, clock_ms_, 0});
     send_mbr_multicast(it->second, now);
+    send_probe_multicasts(routing::MsgKind::kMbrUpdate, payload, probes, now);
     return;
   }
 
@@ -94,6 +100,27 @@ void NetNode::publish_mbr(StreamId stream, LocalStream& state, dsp::Mbr mbr,
   msg.sent_at = now;
   msg.trace_id = next_trace_id();
   route_to_key(lo, std::move(msg), now);
+  send_probe_multicasts(routing::MsgKind::kMbrUpdate, payload, probes, now);
+}
+
+void NetNode::send_probe_multicasts(
+    routing::MsgKind kind, std::any payload,
+    const std::vector<std::pair<Key, Key>>& probes, sim::SimTime now) {
+  // Extra probe arcs of a multi-probe strategy: same idempotent payload,
+  // fire-and-forget (dedup at the receivers; never acked or refreshed).
+  for (const auto& [plo, phi] : probes) {
+    routing::Message msg;
+    msg.kind = kind;
+    msg.origin = self_;
+    msg.payload = payload;
+    msg.has_range = true;
+    msg.range_lo = plo;
+    msg.range_hi = phi;
+    msg.range_dir = routing::RangeDir::kUp;
+    msg.sent_at = now;
+    msg.trace_id = next_trace_id();
+    route_to_key(plo, std::move(msg), now);
+  }
 }
 
 void NetNode::send_mbr_multicast(const PendingMbr& pending, sim::SimTime now) {
@@ -116,21 +143,27 @@ void NetNode::subscribe_similarity(core::QueryId id,
   auto query = std::make_shared<const core::SimilarityQuery>(
       core::SimilarityQuery{id, self_, std::move(features), radius, lifespan,
                             now});
-  const auto [lo, hi] = mapper_.query_range(query->features, radius);
+  strategy_->key_map().query_ranges(query->features, radius, range_scratch_);
+  const auto [lo, hi] = range_scratch_.front();
+  const std::vector<std::pair<Key, Key>> probes(range_scratch_.begin() + 1,
+                                                range_scratch_.end());
   const Key middle = ring_.space().midpoint(lo, hi);
+  const auto payload = std::make_shared<const core::SimilarityQueryPayload>(
+      core::SimilarityQueryPayload{query, middle});
   results_.try_emplace(id);
   ++counters_.queries_posed;
   if (reliable()) {
     own_queries_.push_back(OwnQuery{query, lo, hi, middle});
     send_query_multicast(own_queries_.back(), now);
+    send_probe_multicasts(routing::MsgKind::kSimilarityQuery, payload, probes,
+                          now);
     return;
   }
 
   routing::Message msg;
   msg.kind = routing::MsgKind::kSimilarityQuery;
   msg.origin = self_;
-  msg.payload = std::make_shared<const core::SimilarityQueryPayload>(
-      core::SimilarityQueryPayload{std::move(query), middle});
+  msg.payload = payload;
   msg.has_range = true;
   msg.range_lo = lo;
   msg.range_hi = hi;
@@ -138,6 +171,8 @@ void NetNode::subscribe_similarity(core::QueryId id,
   msg.sent_at = now;
   msg.trace_id = next_trace_id();
   route_to_key(lo, std::move(msg), now);
+  send_probe_multicasts(routing::MsgKind::kSimilarityQuery, payload, probes,
+                        now);
 }
 
 void NetNode::send_query_multicast(const OwnQuery& own, sim::SimTime now) {
@@ -782,7 +817,7 @@ void NetNode::send_digest_to(NodeIndex peer, sim::SimTime now) {
   digest.lo = lo;
   digest.hi = hi;
   for (const core::IndexStore::StoredMbr& entry : store_.mbrs()) {
-    const auto [rlo, rhi] = mapper_.mbr_range(entry.mbr);
+    const auto [rlo, rhi] = strategy_->key_map().mbr_range(entry.mbr);
     if (range_intersects_arc(rlo, rhi, lo, hi)) {
       digest.mbr_keys.push_back({entry.stream, entry.batch_seq});
     }
@@ -792,7 +827,8 @@ void NetNode::send_digest_to(NodeIndex peer, sim::SimTime now) {
       continue;
     }
     const auto [rlo, rhi] =
-        mapper_.query_range(sub.query->features, sub.query->radius);
+        strategy_->key_map().query_range(sub.query->features,
+                                         sub.query->radius);
     if (range_intersects_arc(rlo, rhi, lo, hi)) {
       digest.query_ids.push_back(id);
     }
@@ -808,7 +844,7 @@ std::optional<core::ReplicaPutPayload> NetNode::collect_arc_entries(Key lo,
   core::ReplicaPutPayload put;
   put.from = self_;
   for (const core::IndexStore::StoredMbr& entry : store_.mbrs()) {
-    const auto [rlo, rhi] = mapper_.mbr_range(entry.mbr);
+    const auto [rlo, rhi] = strategy_->key_map().mbr_range(entry.mbr);
     if (range_intersects_arc(rlo, rhi, lo, hi)) {
       put.mbrs.push_back({entry.stream, entry.source, entry.mbr,
                           entry.batch_seq, entry.expires});
@@ -819,7 +855,8 @@ std::optional<core::ReplicaPutPayload> NetNode::collect_arc_entries(Key lo,
       continue;
     }
     const auto [rlo, rhi] =
-        mapper_.query_range(sub.query->features, sub.query->radius);
+        strategy_->key_map().query_range(sub.query->features,
+                                         sub.query->radius);
     if (range_intersects_arc(rlo, rhi, lo, hi)) {
       put.subscriptions.push_back({sub.query, sub.middle_key, sub.expires});
     }

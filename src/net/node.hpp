@@ -36,10 +36,10 @@
 #include "core/index_store.hpp"
 #include "core/mapper.hpp"
 #include "core/query.hpp"
+#include "core/strategy.hpp"
 #include "net/failure_detector.hpp"
 #include "net/ring.hpp"
 #include "net/transport.hpp"
-#include "streams/summarizer.hpp"
 
 namespace sdsi::net {
 
@@ -67,6 +67,9 @@ struct NetReliabilityConfig {
 
 struct NetNodeConfig {
   dsp::FeatureConfig features;
+  /// Summary/index/routing-key strategy (core/strategy.hpp); the default
+  /// dft keeps the socket path digest-identical to pre-strategy builds.
+  core::StrategyOptions strategy;
   core::MbrBatcher::Options batching;
   sim::Duration mbr_lifespan = sim::Duration::seconds(3600);
   /// Mirror of MiddlewareConfig::store_local_summaries — the sim stores
@@ -169,7 +172,7 @@ class NetNode {
 
  private:
   struct LocalStream {
-    streams::StreamSummarizer summarizer;
+    std::unique_ptr<core::Summarizer> summarizer;
     core::MbrBatcher batcher;
     std::uint64_t batch_seq = 0;
   };
@@ -248,12 +251,18 @@ class NetNode {
   /// zero-latency local path.
   void route_to_key(Key key, routing::Message msg, sim::SimTime now);
   std::uint64_t next_trace_id() noexcept;
+  /// Fire-and-forget multicasts over a multi-probe strategy's extra arcs.
+  void send_probe_multicasts(routing::MsgKind kind, std::any payload,
+                             const std::vector<std::pair<Key, Key>>& probes,
+                             sim::SimTime now);
 
   const NetRing& ring_;
   NodeIndex self_;
   Transport& transport_;
   NetNodeConfig config_;
-  core::SummaryMapper mapper_;
+  std::unique_ptr<core::IndexingStrategy> strategy_;
+  /// Scratch for multi-range probe sets (single-threaded message loop).
+  std::vector<std::pair<Key, Key>> range_scratch_;
   core::IndexStore store_;
   std::unordered_map<StreamId, std::unique_ptr<LocalStream>> streams_;
   std::map<core::QueryId, std::set<StreamId>> results_;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/strategy.hpp"
 #include "dsp/features.hpp"
 
 namespace sdsi::net {
@@ -35,6 +36,10 @@ struct WorkloadConfig {
   std::uint32_t streams_per_node = 1;
   double query_radius = 0.35;
   dsp::FeatureConfig features;
+  /// Indexing strategy both worlds run (core/strategy.hpp). The gate is
+  /// strategy-generic: sim and socket share the strategy code, so equal
+  /// digests check the wire/transport layers for every strategy.
+  core::StrategyOptions strategy;
 };
 
 /// One continuous similarity query of the workload. `id` is the globally

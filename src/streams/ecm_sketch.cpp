@@ -1,0 +1,199 @@
+#include "streams/ecm_sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace sdsi::streams {
+
+void ExpHistogram::add(std::uint64_t t) {
+  buckets_.push_back(Bucket{t, 1});
+  // Cascade merges: whenever more than k+1 buckets share a size, merge the
+  // two oldest of that size into one of twice the size (keeping the newer
+  // timestamp — the newest arrival the merged bucket covers).
+  std::uint64_t size = 1;
+  while (true) {
+    std::size_t count = 0;
+    std::size_t first = buckets_.size();
+    std::size_t second = buckets_.size();
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      if (buckets_[i].size == size) {
+        ++count;
+        if (first == buckets_.size()) {
+          first = i;
+        } else if (second == buckets_.size()) {
+          second = i;
+        }
+      }
+    }
+    if (count <= k_ + 1) {
+      break;
+    }
+    buckets_[second].size = size * 2;
+    buckets_.erase(buckets_.begin() + static_cast<std::ptrdiff_t>(first));
+    size *= 2;
+  }
+}
+
+std::uint64_t ExpHistogram::estimate(std::uint64_t t,
+                                     std::uint64_t window) const {
+  const std::uint64_t cutoff = t >= window ? t - window : 0;
+  std::uint64_t total = 0;
+  std::uint64_t oldest = 0;
+  for (const Bucket& bucket : buckets_) {
+    if (bucket.time <= cutoff) {
+      continue;  // fully expired
+    }
+    if (oldest == 0) {
+      oldest = bucket.size;
+    }
+    total += bucket.size;
+  }
+  // Standard EH estimator: the oldest surviving bucket straddles the window
+  // edge, so count half of it.
+  return total - oldest / 2;
+}
+
+std::uint64_t ExpHistogram::oldest_surviving_size(std::uint64_t t,
+                                                  std::uint64_t window) const {
+  const std::uint64_t cutoff = t >= window ? t - window : 0;
+  for (const Bucket& bucket : buckets_) {
+    if (bucket.time > cutoff) {
+      return bucket.size;
+    }
+  }
+  return 0;
+}
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+EcmSketch::EcmSketch(Options options) : options_(options) {
+  SDSI_CHECK(options_.window >= 1);
+  SDSI_CHECK(options_.width >= 1);
+  SDSI_CHECK(options_.depth >= 1);
+  common::SplitMix64 salts(options_.seed);
+  row_salt_.reserve(options_.depth);
+  for (std::size_t r = 0; r < options_.depth; ++r) {
+    row_salt_.push_back(salts.next());
+  }
+  cells_.assign(options_.depth * options_.width, ExpHistogram(options_.eh_k));
+}
+
+std::size_t EcmSketch::cell_of(std::size_t row,
+                               std::uint64_t level) const noexcept {
+  return static_cast<std::size_t>(mix64(row_salt_[row] ^ level) %
+                                  options_.width);
+}
+
+void EcmSketch::add(std::uint64_t level, std::uint64_t t) {
+  for (std::size_t r = 0; r < options_.depth; ++r) {
+    cells_[r * options_.width + cell_of(r, level)].add(t);
+  }
+}
+
+std::uint64_t EcmSketch::estimate(std::uint64_t level, std::uint64_t t) const {
+  std::uint64_t best = ~0ull;
+  for (std::size_t r = 0; r < options_.depth; ++r) {
+    best = std::min(
+        best,
+        cells_[r * options_.width + cell_of(r, level)].estimate(
+            t, options_.window));
+  }
+  return best == ~0ull ? 0 : best;
+}
+
+EcmStreamSummarizer::EcmStreamSummarizer(Options options)
+    : options_(options),
+      sketch_(EcmSketch::Options{options.window, options.width, options.depth,
+                                 options.eh_k, options.seed}) {
+  SDSI_CHECK(options_.window >= 2);
+  SDSI_CHECK(options_.bins >= 2 && options_.bins % 2 == 0);
+  SDSI_CHECK(options_.z_span > 0.0);
+  ring_.assign(options_.window, 0.0);
+}
+
+std::size_t EcmStreamSummarizer::bin_of(Sample value) const noexcept {
+  const double var =
+      seen_ > 1 ? run_m2_ / static_cast<double>(seen_ - 1) : 0.0;
+  const double sigma = std::sqrt(var);
+  const double z = sigma > 0.0 ? (value - run_mean_) / sigma : 0.0;
+  const double unit =
+      (z + options_.z_span) / (2.0 * options_.z_span);  // -> [0, 1]
+  const auto bins = static_cast<double>(options_.bins);
+  const double scaled = std::floor(unit * bins);
+  if (scaled < 0.0) {
+    return 0;
+  }
+  if (scaled >= bins) {
+    return options_.bins - 1;
+  }
+  return static_cast<std::size_t>(scaled);
+}
+
+void EcmStreamSummarizer::push(Sample value) {
+  // Welford update first: the very first sample sees sigma 0 and bins to
+  // the center, which is fine — binning only needs to be a deterministic
+  // function of the prefix, not a perfect scale.
+  ++seen_;
+  const double delta = value - run_mean_;
+  run_mean_ += delta / static_cast<double>(seen_);
+  run_m2_ += delta * (value - run_mean_);
+  ring_[static_cast<std::size_t>((seen_ - 1) % options_.window)] = value;
+  sketch_.add(bin_of(value), seen_);
+}
+
+bool EcmStreamSummarizer::features_into(dsp::FeatureVector& out) const {
+  if (!ready()) {
+    return false;
+  }
+  const std::size_t bins = options_.bins;
+  // Coordinate order: central bin first (the routing coordinate), then the
+  // remaining bins ascending. Central mass varies the most across windows,
+  // which is what the Eq. 6 arc placement needs to spread load.
+  double values[2];  // staging for one complex coordinate
+  double norm_sq = 0.0;
+  std::vector<double> mass(bins);
+  std::size_t coord = 0;
+  const std::size_t central = bins / 2;
+  for (std::size_t j = 0; j < bins; ++j) {
+    const std::size_t bin =
+        j == 0 ? central : (j <= central ? j - 1 : j);
+    mass[coord] = std::sqrt(
+        static_cast<double>(sketch_.estimate(bin, seen_)));
+    norm_sq += mass[coord] * mass[coord];
+    ++coord;
+  }
+  if (norm_sq <= 0.0) {
+    return false;
+  }
+  const double inv_norm = 1.0 / std::sqrt(norm_sq);
+  const auto coeffs = out.overwrite(bins / 2);
+  for (std::size_t c = 0; c < bins / 2; ++c) {
+    values[0] = mass[2 * c] * inv_norm;
+    values[1] = mass[2 * c + 1] * inv_norm;
+    coeffs[c] = dsp::Complex(values[0], values[1]);
+  }
+  return true;
+}
+
+void EcmStreamSummarizer::copy_window(std::vector<Sample>& out) const {
+  const auto window = options_.window;
+  const auto count = static_cast<std::size_t>(
+      std::min<std::uint64_t>(seen_, window));
+  out.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = ring_[static_cast<std::size_t>((seen_ - count + i) % window)];
+  }
+}
+
+}  // namespace sdsi::streams

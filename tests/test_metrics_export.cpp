@@ -70,15 +70,18 @@ TEST(Json, MalformedInputIsRejectedWithAnError) {
   }
 }
 
-TEST(MetricsExport, DocumentCarriesTheV3Shape) {
+TEST(MetricsExport, DocumentCarriesTheV4Shape) {
   const std::string dir =
       ::testing::TempDir() + "sdsi_metrics_export_shape";
   Experiment exp(tiny_obs_config(dir));
   exp.run();
 
   const obs::Json doc = metrics_to_json(exp);
-  EXPECT_EQ(doc.find("schema_version")->as_int(), 3);
+  EXPECT_EQ(doc.find("schema_version")->as_int(), 4);
   EXPECT_EQ(doc.find("kind")->as_string(), "sdsi.metrics");
+  // v4: the strategy name leads the run section.
+  EXPECT_EQ(doc.find("run")->members().front().first, "strategy");
+  EXPECT_EQ(doc.find("run")->find("strategy")->as_string(), "dft");
   EXPECT_EQ(doc.find("run")->find("nodes")->as_int(), 10);
   EXPECT_EQ(doc.find("run")->find("substrate")->as_string(), "chord");
   EXPECT_EQ(doc.find("run")->find("replication_factor")->as_int(), 0);

@@ -1,0 +1,67 @@
+// Per-strategy recall floors via the fault-free RecallOracle: the dft
+// strategy's interval map guarantees no false dismissals (recall 1.0 inside
+// the oracle's visibility), the ecm strategy keeps the same interval
+// guarantee over sketch-derived features, and the lsh strategy's capped
+// multi-probe trades a bounded amount of recall for fewer routed messages.
+// The floors here are the regression contract docs/STRATEGIES.md documents.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/strategy.hpp"
+
+namespace sdsi::core {
+namespace {
+
+ExperimentConfig recall_config(StrategyKind kind) {
+  ExperimentConfig config;
+  config.num_nodes = 16;
+  config.id_bits = 16;
+  config.seed = 20260809;
+  config.features.window_size = 64;
+  config.features.num_coefficients = 2;
+  config.warmup = sim::Duration::seconds(20);
+  config.measure = sim::Duration::seconds(30);
+  config.oracle_sample_period = sim::Duration::seconds(1);
+  // Let end-of-window publications finish matching and delivery before the
+  // report is read; without it even the lossless path reads ~0.94.
+  config.drain = sim::Duration::seconds(5);
+  config.strategy.kind = kind;
+  return config;
+}
+
+double measured_recall(StrategyKind kind) {
+  Experiment experiment(recall_config(kind));
+  experiment.run();
+  const RobustnessReport report = experiment.robustness_report();
+  EXPECT_GT(report.oracle_pairs, 0u)
+      << strategy_name(kind) << ": oracle saw no (query, stream) pairs";
+  return report.recall;
+}
+
+TEST(StrategyRecall, DftRecallIsNearLossless) {
+  // The paper's pipeline: interval-pruned matching with symmetric lower
+  // bounds never dismisses a true match. End-to-end recall still dips a
+  // hair under 1: a pair the oracle predicts in the last instants of the
+  // window is dropped if its query expires before the next notify tick
+  // reports it — a property of the periodic push protocol, not the index.
+  EXPECT_GE(measured_recall(StrategyKind::kDft), 0.97);
+}
+
+TEST(StrategyRecall, EcmKeepsTheIntervalGuarantee) {
+  // Same Eq. 6 interval map over sketch features: every published summary
+  // is stored on the arc any overlapping query covers, so the fault-free
+  // delivery path is as lossless as dft's. (Match *quality* differs — the
+  // oracle measures delivery of its own predicted matches.)
+  EXPECT_GE(measured_recall(StrategyKind::kEcm), 1.0);
+}
+
+TEST(StrategyRecall, LshRecallStaysAboveTheDocumentedFloor) {
+  // Multi-probe SRP hashing is lossy by design: a match whose MBR hashes
+  // far from the query's probed buckets is never scanned. The 0.55 floor is
+  // the regression contract for the default 6-plane / 8-probe geometry on
+  // this seed; BENCH_strategies.json tracks the full tradeoff surface.
+  EXPECT_GE(measured_recall(StrategyKind::kLsh), 0.55);
+}
+
+}  // namespace
+}  // namespace sdsi::core

@@ -17,8 +17,16 @@
 // Validation failures exit nonzero with a list of violations, so this
 // binary doubles as the schema checker wired into `ctest -L obs-smoke`.
 //
+// Second mode: `make_figures --strategies BENCH_strategies.json [--out DIR]`
+// validates the cross-strategy bench document (bench/bench_strategies.cpp)
+// and renders figures/strategy_comparison.csv — one row per strategy, each
+// metric averaged over the shared seeds — plus the same table on stdout
+// (the source of the comparison table in docs/STRATEGIES.md).
+//
 //   make_figures <run-dir> [--out DIR]
+#include <algorithm>
 #include <cstdio>
+#include <map>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -76,11 +84,12 @@ void check_metrics_schema(const Json& doc) {
   // component, the replication category, and the failover robustness fields.
   // v3 adds load.per_node_work, robustness.imbalance + the overload-survival
   // counters, the shed_overload/backpressure drop causes, and run.overload.
+  // v4 adds run.strategy (the indexing strategy name).
   std::int64_t schema = 0;
   if (version != nullptr) {
     schema = version->as_int();
-    require(schema == 1 || schema == 2 || schema == 3,
-            "metrics.json: schema_version must be 1, 2, or 3");
+    require(schema >= 1 && schema <= 4,
+            "metrics.json: schema_version must be 1 through 4");
   }
   const Json* kind = field(doc, "kind", Json::Type::kString, "metrics.json");
   if (kind != nullptr) {
@@ -308,24 +317,169 @@ std::string csv_number(const Json& value) {
   return value.dump();  // numbers dump in shortest round-trip form
 }
 
+/// `--strategies` mode: BENCH_strategies.json -> strategy_comparison.csv.
+int run_strategies_mode(const std::string& json_path, std::string out_dir) {
+  std::ifstream in(json_path);
+  if (!in) {
+    std::fprintf(stderr, "make_figures: cannot read %s\n", json_path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string parse_error;
+  auto doc = Json::parse(buffer.str(), &parse_error);
+  if (!doc.has_value()) {
+    std::fprintf(stderr, "make_figures: %s: %s\n", json_path.c_str(),
+                 parse_error.c_str());
+    return 1;
+  }
+
+  const Json* version =
+      field(*doc, "schema_version", Json::Type::kNumber, "BENCH_strategies");
+  require(version == nullptr || version->as_int() == 1,
+          "BENCH_strategies: schema_version must be 1");
+  const Json* suite =
+      field(*doc, "suite", Json::Type::kString, "BENCH_strategies");
+  require(suite == nullptr || suite->as_string() == "strategies",
+          "BENCH_strategies: suite must be \"strategies\"");
+  const Json* rows =
+      field(*doc, "benchmarks", Json::Type::kArray, "BENCH_strategies");
+  require(rows == nullptr || rows->size() > 0,
+          "BENCH_strategies: benchmarks must be non-empty");
+
+  // metric sums per strategy, in first-appearance strategy order.
+  const std::vector<std::string> metrics = {
+      "recall",      "message_p99_over_median",
+      "hops_mbr",    "hops_query",
+      "hops_response", "msgs_per_query"};
+  std::vector<std::string> strategies;
+  std::map<std::string, std::map<std::string, std::pair<double, int>>> sums;
+  if (rows != nullptr) {
+    for (std::size_t i = 0; i < rows->size(); ++i) {
+      const Json& row = (*rows)[i];
+      const std::string where =
+          "BENCH_strategies row " + std::to_string(i);
+      if (!row.is_object()) {
+        g_errors.push_back(where + ": must be an object");
+        continue;
+      }
+      const Json* name = field(row, "name", Json::Type::kString, where);
+      const Json* config = field(row, "config", Json::Type::kString, where);
+      const Json* value =
+          field(row, "ops_per_sec", Json::Type::kNumber, where);
+      if (name == nullptr || config == nullptr || value == nullptr) {
+        continue;
+      }
+      const std::string& cfg = config->as_string();
+      const auto at = cfg.find("strategy=");
+      if (at == std::string::npos) {
+        g_errors.push_back(where + ": config lacks strategy=");
+        continue;
+      }
+      const std::string strategy =
+          cfg.substr(at + 9, cfg.find(' ', at) - (at + 9));
+      if (std::find(strategies.begin(), strategies.end(), strategy) ==
+          strategies.end()) {
+        strategies.push_back(strategy);
+      }
+      auto& cell = sums[strategy][name->as_string()];
+      cell.first += value->as_number();
+      cell.second += 1;
+    }
+  }
+  for (const std::string& strategy : strategies) {
+    for (const std::string& metric : metrics) {
+      require(sums[strategy][metric].second > 0,
+              "BENCH_strategies: strategy \"" + strategy +
+                  "\" has no \"" + metric + "\" rows");
+    }
+  }
+  require(strategies.size() >= 3,
+          "BENCH_strategies: expected all three built-in strategies");
+
+  if (!g_errors.empty()) {
+    std::fprintf(stderr, "make_figures: %zu schema violation(s) in %s:\n",
+                 g_errors.size(), json_path.c_str());
+    for (const std::string& error : g_errors) {
+      std::fprintf(stderr, "  - %s\n", error.c_str());
+    }
+    return 1;
+  }
+
+  if (out_dir.empty()) {
+    const auto parent = std::filesystem::path(json_path).parent_path();
+    out_dir = (parent.empty() ? std::filesystem::path(".") : parent)
+                  .string() + "/figures";
+  }
+  std::filesystem::create_directories(out_dir);
+
+  std::string csv = "strategy";
+  for (const std::string& metric : metrics) {
+    csv += "," + metric;
+  }
+  csv += "\n";
+  std::printf("| strategy |");
+  for (const std::string& metric : metrics) {
+    std::printf(" %s |", metric.c_str());
+  }
+  std::printf("\n|---|");
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    std::printf("---|");
+  }
+  std::printf("\n");
+  for (const std::string& strategy : strategies) {
+    csv += strategy;
+    std::printf("| %s |", strategy.c_str());
+    for (const std::string& metric : metrics) {
+      const auto& [sum, count] = sums[strategy][metric];
+      char num[64];
+      std::snprintf(num, sizeof(num), "%.4g", sum / count);
+      csv += std::string(",") + num;
+      std::printf(" %s |", num);
+    }
+    csv += "\n";
+    std::printf("\n");
+  }
+  if (!write_file(out_dir + "/strategy_comparison.csv", csv)) {
+    return 1;
+  }
+  std::printf(
+      "make_figures: %s valid; wrote %s/strategy_comparison.csv "
+      "(%zu strategies, seed-averaged)\n",
+      json_path.c_str(), out_dir.c_str(), strategies.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string run_dir;
   std::string out_dir;
+  std::string strategies_json;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out" && i + 1 < argc) {
       out_dir = argv[++i];
+    } else if (arg == "--strategies" && i + 1 < argc) {
+      strategies_json = argv[++i];
     } else if (run_dir.empty() && !arg.empty() && arg[0] != '-') {
       run_dir = arg;
     } else {
-      std::fprintf(stderr, "usage: %s <run-dir> [--out DIR]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s <run-dir> [--out DIR]\n"
+                   "       %s --strategies BENCH_strategies.json [--out DIR]\n",
+                   argv[0], argv[0]);
       return 2;
     }
   }
+  if (!strategies_json.empty()) {
+    return run_strategies_mode(strategies_json, out_dir);
+  }
   if (run_dir.empty()) {
-    std::fprintf(stderr, "usage: %s <run-dir> [--out DIR]\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <run-dir> [--out DIR]\n"
+                 "       %s --strategies BENCH_strategies.json [--out DIR]\n",
+                 argv[0], argv[0]);
     return 2;
   }
   if (out_dir.empty()) {

@@ -47,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "core/strategy.hpp"
 #include "net/equivalence.hpp"
 #include "net/workload.hpp"
 #include "obs/json.hpp"
@@ -61,6 +62,7 @@ struct Options {
   std::string dir;
   std::uint64_t seed = 42;
   std::uint32_t samples = 400;
+  core::StrategyKind strategy = core::StrategyKind::kDft;
   std::string node_bin;
   int timeout_s = 120;
   // Chaos drill:
@@ -78,9 +80,11 @@ struct Options {
   std::string bench_json;
 };
 
-[[noreturn]] void usage_and_exit(const char* argv0) {
-  std::fprintf(stderr,
+[[noreturn]] void usage_and_exit(const char* argv0, std::FILE* out = stderr,
+                                 int code = 2) {
+  std::fprintf(out,
                "usage: %s --nodes N --dir SCRATCH [--seed S] [--samples K] "
+               "[--strategy dft|ecm|lsh] "
                "[--node-bin PATH] [--timeout SECONDS] [--chaos] "
                "[--fault-uniform P] [--fault-burst RATE] "
                "[--fault-jitter-ms MS] [--fault-reorder P] "
@@ -88,7 +92,7 @@ struct Options {
                "[--kill-after-ms T] [--restart-after-ms R] "
                "[--recall-floor F] [--bench-json PATH]\n",
                argv0);
-  std::exit(2);
+  std::exit(code);
 }
 
 Options parse_args(int argc, char** argv) {
@@ -99,7 +103,9 @@ Options parse_args(int argc, char** argv) {
       if (i + 1 >= argc) usage_and_exit(argv[0]);
       return argv[++i];
     };
-    if (arg == "--nodes") {
+    if (arg == "--help" || arg == "-h") {
+      usage_and_exit(argv[0], stdout, 0);
+    } else if (arg == "--nodes") {
       opts.nodes = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (arg == "--dir") {
       opts.dir = next();
@@ -107,6 +113,10 @@ Options parse_args(int argc, char** argv) {
       opts.seed = std::stoull(next());
     } else if (arg == "--samples") {
       opts.samples = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--strategy") {
+      const auto kind = core::parse_strategy(next());
+      if (!kind.has_value()) usage_and_exit(argv[0]);
+      opts.strategy = *kind;
     } else if (arg == "--node-bin") {
       opts.node_bin = next();
     } else if (arg == "--timeout") {
@@ -236,6 +246,8 @@ pid_t launch_node(const Options& opts, const fs::path& node_bin,
   args.push_back(std::to_string(opts.seed));
   args.push_back("--samples");
   args.push_back(std::to_string(opts.samples));
+  args.push_back("--strategy");
+  args.push_back(core::strategy_name(opts.strategy));
   if (opts.chaos) {
     args.push_back("--reliable");
     args.push_back("--converge-ms");
@@ -488,6 +500,7 @@ int main(int argc, char** argv) {
   config.nodes = opts.nodes;
   config.seed = opts.seed;
   config.samples_per_stream = opts.samples;
+  config.strategy.kind = opts.strategy;
   const net::MatchDigest sim_digest = net::run_sim_reference(config);
 
   std::size_t nonempty = 0;

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "core/strategy.hpp"
 #include "fault/model.hpp"
 #include "net/faulty_transport.hpp"
 #include "net/node.hpp"
@@ -69,16 +70,18 @@ struct Options {
   bool fault_seed_set = false;
 };
 
-[[noreturn]] void usage_and_exit(const char* argv0) {
+[[noreturn]] void usage_and_exit(const char* argv0, std::FILE* out = stderr,
+                                 int code = 2) {
   std::fprintf(
-      stderr,
+      out,
       "usage: %s --index I --nodes N --dir RENDEZVOUS_DIR "
       "[--seed S] [--samples K] [--streams-per-node M]\n"
-      "  [--port P] [--epoch E] [--reliable] [--converge-ms MS]\n"
+      "  [--strategy dft|ecm|lsh] [--port P] [--epoch E] [--reliable]\n"
+      "  [--converge-ms MS]\n"
       "  [--fault-uniform P] [--fault-burst RATE] [--fault-jitter-ms MS]\n"
       "  [--fault-reorder P] [--fault-corrupt P] [--fault-seed S]\n",
       argv0);
-  std::exit(2);
+  std::exit(code);
 }
 
 Options parse_args(int argc, char** argv) {
@@ -90,7 +93,9 @@ Options parse_args(int argc, char** argv) {
       if (i + 1 >= argc) usage_and_exit(argv[0]);
       return argv[++i];
     };
-    if (arg == "--index") {
+    if (arg == "--help" || arg == "-h") {
+      usage_and_exit(argv[0], stdout, 0);
+    } else if (arg == "--index") {
       opts.index = static_cast<NodeIndex>(std::stoul(next()));
       have_index = true;
     } else if (arg == "--nodes") {
@@ -105,6 +110,10 @@ Options parse_args(int argc, char** argv) {
     } else if (arg == "--streams-per-node") {
       opts.workload.streams_per_node =
           static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--strategy") {
+      const auto kind = core::parse_strategy(next());
+      if (!kind.has_value()) usage_and_exit(argv[0]);
+      opts.workload.strategy.kind = *kind;
     } else if (arg == "--port") {
       opts.port = static_cast<std::uint16_t>(std::stoul(next()));
     } else if (arg == "--epoch") {
@@ -264,6 +273,7 @@ int main(int argc, char** argv) {
                                                   workload.ring_salt));
   net::NetNodeConfig node_config;
   node_config.features = workload.features;
+  node_config.strategy = workload.strategy;
   node_config.reliability.enabled = opts.reliable;
   node_config.epoch = opts.epoch;
   net::NetNode node(ring, opts.index, transport, node_config);
@@ -295,11 +305,15 @@ int main(int argc, char** argv) {
   }
 
   // --- Phase 1: content traffic ------------------------------------------
+  // Query features come from the same strategy the nodes index with, so the
+  // socket leg matches the sim reference for every --strategy.
+  const auto strategy = core::IndexingStrategy::make(workload.strategy,
+                                                     workload.features, space);
   for (const net::WorkloadQuery& query : net::workload_queries(workload)) {
     if (query.client != opts.index) continue;
     node.subscribe_similarity(
-        query.id, dsp::extract_features(query.window, workload.features),
-        query.radius, sim::Duration::seconds(3600), logical_now);
+        query.id, strategy->features_from_window(query.window), query.radius,
+        sim::Duration::seconds(3600), logical_now);
   }
   for (std::uint32_t slot = 0; slot < workload.streams_per_node; ++slot) {
     const StreamId stream =

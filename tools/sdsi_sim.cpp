@@ -30,14 +30,17 @@ namespace {
 
 using namespace sdsi;
 
-[[noreturn]] void usage(const char* argv0) {
+[[noreturn]] void usage(const char* argv0, std::FILE* out = stderr,
+                        int code = 2) {
   std::fprintf(
-      stderr,
+      out,
       "usage: %s [options]\n"
       "  --nodes N            data centers (default 100)\n"
       "  --radius R           similarity query radius (default 0.1)\n"
       "  --seed S             master seed (default 42)\n"
       "  --substrate KIND     chord | prefix | ideal (default chord)\n"
+      "  --strategy KIND      dft | ecm | lsh indexing strategy (default dft;\n"
+      "                       see docs/STRATEGIES.md)\n"
       "  --multicast KIND     seq | bidir (default seq)\n"
       "  --beta B             MBR batch size (default 5)\n"
       "  --window W           sliding window length (default 256)\n"
@@ -91,7 +94,7 @@ using namespace sdsi;
       "  --wire-shadow        route every transmission through the v1 wire\n"
       "                       codec (encode->decode; docs/WIRE_FORMAT.md)\n",
       argv0);
-  std::exit(2);
+  std::exit(code);
 }
 
 double parse_double(const char* text, const char* argv0) {
@@ -141,7 +144,9 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (is("--nodes")) {
+    if (is("--help") || is("-h")) {
+      usage(argv[0], stdout, 0);
+    } else if (is("--nodes")) {
       config.num_nodes = static_cast<std::size_t>(parse_long(value(), argv[0]));
     } else if (is("--radius")) {
       config.workload.query_radius = parse_double(value(), argv[0]);
@@ -158,6 +163,12 @@ int main(int argc, char** argv) {
       } else {
         usage(argv[0]);
       }
+    } else if (is("--strategy")) {
+      const auto kind = core::parse_strategy(value());
+      if (!kind.has_value()) {
+        usage(argv[0]);
+      }
+      config.strategy.kind = *kind;
     } else if (is("--multicast")) {
       const std::string kind = value();
       if (kind == "seq") {
@@ -313,9 +324,10 @@ int main(int argc, char** argv) {
     config.faults.crash_waves.push_back(wave);
   }
 
-  std::printf("sdsi_sim: %zu nodes, radius %.2f, seed %llu\n",
+  std::printf("sdsi_sim: %zu nodes, radius %.2f, seed %llu, strategy %s\n",
               config.num_nodes, config.workload.query_radius,
-              static_cast<unsigned long long>(config.seed));
+              static_cast<unsigned long long>(config.seed),
+              core::strategy_name(config.strategy.kind));
   bench::print_workload_banner(config.workload);
 
   if (config.message_loss > 0.0) {
